@@ -1,0 +1,23 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper figure/claim (DESIGN.md §2): it prints
+the experiment's paper-vs-measured rows (run with ``-s`` to see them inline;
+they are also written under ``benchmarks/artifacts/``) and times the
+experiment's characteristic operation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+def publish(report, extra: dict[str, str] | None = None) -> None:
+    """Print a report and persist it under benchmarks/artifacts/."""
+    text = report.formatted()
+    print("\n" + text)
+    ARTIFACTS.mkdir(exist_ok=True)
+    (ARTIFACTS / f"{report.experiment}.txt").write_text(text + "\n", encoding="utf-8")
+    for name, content in (extra or {}).items():
+        (ARTIFACTS / name).write_text(content, encoding="utf-8")

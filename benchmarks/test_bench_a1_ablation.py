@@ -1,0 +1,21 @@
+"""A1 — ablation of the online-loop design choices (DESIGN.md §6)."""
+
+from conftest import publish
+
+from repro.experiments.ablation import run_ablation
+
+
+def test_bench_a1_ablation(benchmark):
+    report = run_ablation(repeats=3)
+    publish(report)
+    by_variant = {row["variant"]: row for row in report.rows}
+    full = by_variant["full system"]
+    # The full system must be competitive with every ablated variant
+    # (allowing noise), i.e. no lever actively hurts.
+    for label, row in by_variant.items():
+        assert full["satisfaction"] >= row["satisfaction"] - 0.25, label
+    # And it must clearly work on this workload.
+    assert full["completion"] >= 0.5
+
+    benchmark.pedantic(lambda: run_ablation(genres=("fiction",), repeats=1),
+                       rounds=2, iterations=1)

@@ -1,0 +1,31 @@
+"""C10 — BookCrossing scale (1M / 278,858 / 271,379) and ETL throughput."""
+
+import tempfile
+from pathlib import Path
+
+from conftest import publish
+
+from repro.data.etl import load_dataset
+from repro.experiments.common import bookcrossing_data
+from repro.experiments.etl_scale import run_etl_scale
+
+
+def test_bench_c10_report(benchmark, tmp_path):
+    report = run_etl_scale()
+    publish(report)
+    default_row = next(row for row in report.rows if row["scale"] == "default")
+    paper_row = next(row for row in report.rows if row["scale"] == "paper (quoted)")
+    assert paper_row["ratings"] == 1_000_000
+    assert default_row["etl_records_per_s"] > 10_000  # ETL keeps up
+
+    dataset = bookcrossing_data().dataset
+    dataset.to_csv(tmp_path)
+
+    benchmark.pedantic(
+        lambda: load_dataset(
+            tmp_path / "actions.csv", tmp_path / "demographics.csv",
+            value_range=(1, 10),
+        ),
+        rounds=3,
+        iterations=1,
+    )

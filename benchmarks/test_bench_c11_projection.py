@@ -1,0 +1,28 @@
+"""C11 — the LDA Focus view: "members whose profile are more similar
+appear closer to each other" (§II-B)."""
+
+import numpy as np
+from conftest import publish
+
+from repro.core.features import user_feature_matrix
+from repro.experiments.common import dbauthors_data
+from repro.experiments.projection_quality import run_projection_quality
+from repro.viz.projection import lda_projection
+
+
+def test_bench_c11_report(benchmark):
+    report = run_projection_quality()
+    publish(report)
+    lda_row = next(row for row in report.rows if "LDA" in row["method"])
+    pca_row = next(row for row in report.rows if "PCA" in row["method"])
+    # The supervised projection must separate profiles far better than the
+    # unsupervised baseline (who wins, by a clear factor).
+    assert lda_row["fisher_ratio"] > 2 * pca_row["fisher_ratio"]
+    assert lda_row["silhouette"] > pca_row["silhouette"]
+
+    dataset = dbauthors_data().dataset
+    features = user_feature_matrix(dataset)
+    labels = np.array(
+        [dataset.demographic_value(u, "topic") for u in range(dataset.n_users)]
+    )
+    benchmark(lambda: lda_projection(features.matrix, labels))

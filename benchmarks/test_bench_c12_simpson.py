@@ -1,0 +1,19 @@
+"""C12 — P2 "prevents statistically false local discoveries such as
+Simpson's paradox" (§I)."""
+
+from conftest import publish
+
+from repro.analysis.simpson import guard_comparison
+from repro.experiments.simpson_guard import confounded_dataset, run_simpson_guard
+
+
+def test_bench_c12_report(benchmark):
+    report = run_simpson_guard()
+    publish(report)
+    verdict = next(row for row in report.rows if row["view"] == "guard verdict")
+    assert "PARADOX" in str(verdict["winner"])
+    control = next(row for row in report.rows if "control" in row["view"])
+    assert "clean" in str(control["winner"])
+
+    dataset, members_a, members_b = confounded_dataset(n_per_cell=150)
+    benchmark(lambda: guard_comparison(dataset, members_a, members_b))

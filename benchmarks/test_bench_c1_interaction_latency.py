@@ -1,0 +1,23 @@
+"""C1 — "all interactions in VEXUS occur in O(1)" (§II-B)."""
+
+from conftest import publish
+
+from repro.core.session import ExplorationSession, SessionConfig
+from repro.experiments.common import dbauthors_space
+from repro.experiments.latency import run_latency
+
+
+def test_bench_c1_report(benchmark):
+    report = run_latency(scales=(250, 500, 1000, 2000), budget_ms=50.0)
+    publish(report)
+    # O(1) shape: backtrack/memo latency must not grow with population.
+    smallest, largest = report.rows[0], report.rows[-1]
+    assert largest["backtrack_ms"] < max(10 * smallest["backtrack_ms"], 5.0)
+    assert largest["memo_ms"] < max(10 * smallest["memo_ms"], 5.0)
+
+    # The recurring interaction: a click under the paper's 100 ms budget.
+    space = dbauthors_space()
+    session = ExplorationSession(space, config=SessionConfig(k=5, time_budget_ms=100))
+    shown = session.start()
+    gid = shown[0].gid
+    benchmark(lambda: session.click(gid))

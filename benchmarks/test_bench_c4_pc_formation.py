@@ -1,0 +1,27 @@
+"""C4 — PC committees "in less than 10 iterations on average" (§III)."""
+
+from conftest import publish
+
+from repro.agents.explorer import AgentConfig
+from repro.agents.scenarios import run_pc_formation
+from repro.experiments.common import dbauthors_data, dbauthors_space
+from repro.experiments.pc_formation import run_pc_formation as run_report
+
+
+def test_bench_c4_report(benchmark):
+    report = run_report(repeats=4)
+    publish(report)
+    for row in report.rows:
+        assert row["mean_iterations"] < 10, row  # the paper's headline
+        assert row["completion"] >= 0.75
+
+    data = dbauthors_data()
+    space = dbauthors_space()
+    benchmark.pedantic(
+        lambda: run_pc_formation(
+            data, space, venue="SIGMOD",
+            agent_config=AgentConfig(seed=0, max_iterations=25),
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,31 @@
+"""C6 — "number of user groups will be in the order of 10^6" (§I)."""
+
+from conftest import publish
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.experiments.common import dbauthors_data
+from repro.experiments.group_space import run_group_space
+
+
+def test_bench_c6_report(benchmark):
+    report = run_group_space(max_attributes=5)
+    publish(report)
+    rows = report.rows
+    # Paper's arithmetic at 4 attributes x 5 values.
+    assert rows[3]["conjunctive_bound"] == 1295
+    assert rows[3]["powerset_bound"] == f"{2**20 - 1:.0f}"
+    # Exponential growth of the *occupied* space.
+    counts = [row["closed_groups"] for row in rows]
+    assert counts == sorted(counts)
+    assert counts[-1] > 10 * counts[0]
+
+    dataset = dbauthors_data().dataset
+    benchmark.pedantic(
+        lambda: discover_groups(
+            dataset,
+            DiscoveryConfig(method="lcm", min_support=2, max_description=4,
+                            include_items=False),
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,34 @@
+"""C7 — "k <= 7 is an ideal match for human perception capacity" (§II-A)."""
+
+from conftest import publish
+
+from repro.agents.explorer import AgentConfig, TargetSeekingExplorer
+from repro.agents.scenarios import discussion_group_target
+from repro.core.session import ExplorationSession, SessionConfig
+from repro.core.tasks import SingleTargetTask
+from repro.experiments.common import bookcrossing_space
+from repro.experiments.k_sweep import run_k_sweep
+
+
+def test_bench_c7_report(benchmark):
+    report = run_k_sweep(ks=(2, 3, 5, 7, 9, 12), repeats=3)
+    publish(report)
+    by_k = {row["k"]: row for row in report.rows}
+    # Per-step scan effort grows with k (each extra circle costs attention)...
+    assert by_k[12]["scan_effort"] > by_k[3]["scan_effort"]
+    # ...and too few options starves the search (P1's lower side), while the
+    # 5-9 band already succeeds — the Miller-law sweet spot the paper cites.
+    mid_band = max(by_k[5]["completion"], by_k[7]["completion"], by_k[9]["completion"])
+    assert mid_band >= by_k[2]["completion"] + 0.2
+
+    space = bookcrossing_space()
+    target = discussion_group_target(space, "fiction")
+
+    def one_session():
+        task = SingleTargetTask(space, target_gid=target)
+        session = ExplorationSession(space, config=SessionConfig(k=5))
+        return TargetSeekingExplorer(
+            task, AgentConfig(seed=0, max_iterations=15)
+        ).run(session)
+
+    benchmark.pedantic(one_session, rounds=3, iterations=1)

@@ -1,0 +1,39 @@
+"""C8 — "62% of its members are male" + the brush-to-one-researcher table."""
+
+import numpy as np
+from conftest import publish
+
+from repro.experiments.common import dbauthors_data
+from repro.experiments.stats_drilldown import run_stats_drilldown
+from repro.viz.stats import StatsView
+
+
+def test_bench_c8_report(benchmark):
+    report = run_stats_drilldown()
+    publish(report)
+    by_measure = {row["measure"]: row for row in report.rows}
+    measured_share = float(str(by_measure["male share"]["measured"]).rstrip("%"))
+    assert abs(measured_share - 62.0) < 5.0
+    assert by_measure["brushed members (female + extremely active)"]["measured"] == 1
+    assert any(
+        "325" in str(row["measured"]) for row in report.rows if row["measure"] == "table row"
+    )
+
+    dataset = dbauthors_data().dataset
+    members = np.intersect1d(
+        dataset.users_matching_all(
+            [("seniority", "very-senior"), ("topic", "data management")]
+        ),
+        np.union1d(
+            dataset.users_matching("publication_rate", "highly-active"),
+            dataset.users_matching("publication_rate", "extremely-active"),
+        ),
+    )
+
+    def drill():
+        stats = StatsView(dataset, members)
+        stats.brush("gender", "female")
+        stats.brush("publication_rate", "extremely-active")
+        return stats.table()
+
+    benchmark(drill)

@@ -1,0 +1,36 @@
+"""C9 — Crossfilter's "incremental queries" vs redundant re-execution."""
+
+import numpy as np
+from conftest import publish
+
+from repro.experiments.common import bookcrossing_data
+from repro.experiments.crossfilter_perf import run_crossfilter_perf
+from repro.viz.crossfilter import Crossfilter
+
+
+def test_bench_c9_report(benchmark):
+    report = run_crossfilter_perf()
+    publish(report)
+    drag = next(row for row in report.rows if "drag" in row["brush kind"])
+    # The incremental engine must clearly beat per-brush recomputation on
+    # the canonical drag gesture.
+    assert drag["speedup"] > 1.5
+
+    # Time one incremental drag step on the big population.
+    dataset = bookcrossing_data(100000, 20000, 400000).dataset
+    cf = Crossfilter(dataset.n_users)
+    activity = dataset.user_activity().astype(np.float64)
+    dimension = cf.dimension(activity, "activity")
+    for attribute in dataset.attributes:
+        column = dataset.column(attribute)
+        values = np.array(
+            [column.value_of(u) for u in range(dataset.n_users)], dtype=object
+        )
+        cf.dimension(values, attribute).histogram()
+    state = {"position": 0.0}
+
+    def drag_step():
+        state["position"] = (state["position"] + 1.0) % 30.0
+        dimension.filter_range(state["position"], state["position"] + 10.0)
+
+    benchmark(drag_step)

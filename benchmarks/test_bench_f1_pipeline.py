@@ -1,0 +1,16 @@
+"""F1 — Fig. 1: the ETL -> discovery -> index -> exploration pipeline."""
+
+from conftest import publish
+
+from repro.experiments.pipeline import run_pipeline
+
+
+def test_bench_f1_pipeline(benchmark):
+    report = run_pipeline(n_authors=600)
+    publish(report)
+    assert len(report.rows) == 5
+
+    result = benchmark.pedantic(
+        lambda: run_pipeline(n_authors=300), rounds=3, iterations=1
+    )
+    assert len(result.rows) == 5

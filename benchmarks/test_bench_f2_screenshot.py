@@ -1,0 +1,16 @@
+"""F2 — Fig. 2: the five coordinated panels, snapshotted headlessly."""
+
+from conftest import publish
+
+from repro.experiments.screenshot import run_screenshot
+
+
+def test_bench_f2_screenshot(benchmark):
+    report, dashboard, svg = run_screenshot()
+    publish(report, extra={"F2_dashboard.txt": dashboard, "F2_groupviz.svg": svg})
+    assert {row["panel"] for row in report.rows} == {
+        "GROUPVIZ", "CONTEXT", "STATS", "HISTORY", "MEMO",
+    }
+
+    # The recurring cost of the figure is re-rendering after an interaction.
+    benchmark.pedantic(run_screenshot, rounds=3, iterations=1)

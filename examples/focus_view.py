@@ -1,0 +1,48 @@
+"""The Focus view (§II-B): a 2-D LDA map of one group's members.
+
+Drills into a DB-AUTHORS group, projects its members with LDA (classes =
+research topic) and renders the ASCII scatter — the headless equivalent of
+Fig. 2's Focus View panel.  PCA is shown next to it so the supervised
+projection's advantage is visible.
+
+Run:  python examples/focus_view.py
+"""
+
+import numpy as np
+
+from repro.core import DiscoveryConfig, discover_groups, user_feature_matrix
+from repro.data.generators import generate_dbauthors
+from repro.viz import build_focus_view, render_focus_ascii
+
+data = generate_dbauthors()
+dataset = data.dataset
+space = discover_groups(
+    dataset, DiscoveryConfig(method="lcm", min_support=0.05, max_description=3)
+)
+
+group = space.largest(1)[0]
+members = group.members[:400]
+print(f"Focus view of #{group.gid} ({group.label}), {len(members)} members shown\n")
+
+features = user_feature_matrix(dataset)
+labels = np.array(
+    [dataset.demographic_value(int(user), "topic") for user in members]
+)
+keep = [
+    column
+    for column, name in enumerate(features.column_names)
+    if not name.startswith("topic=")
+]
+matrix = features.matrix[members][:, keep]
+
+supervised = build_focus_view(matrix, members, labels)
+print("LDA (the paper's choice) — classes are research topics:")
+print(render_focus_ascii(supervised))
+
+unsupervised = build_focus_view(matrix, members)
+print("\nPCA (unsupervised baseline):")
+print(render_focus_ascii(unsupervised))
+print(
+    f"\nseparability: LDA fisher={supervised.fisher_ratio:.2f} "
+    f"vs PCA fisher={unsupervised.fisher_ratio:.2f}"
+)

@@ -1,0 +1,93 @@
+"""The §I walk-through: Tiffany finds the person from last night's party.
+
+*"Tiffany wants to find a person she met at last night's party ... She does
+not remember his name ... Hence no querying mechanism is of help."*  VEXUS
+groups Mike's friends; Tiffany rules out the NextWorth engineers (he talked
+about data visualization, NextWorth recycles) and the part-time market
+managers, clicks "bioinformatics people", and in the next iteration —
+*"she immediately receives three subsets of that group"* — spots the
+"software engineers in BioView", where she finds him.
+
+This example builds Mike's friend list as a small bespoke dataset with the
+paper's communities planted, then replays the walk step by step.
+
+Run:  python examples/tiffany_party.py
+"""
+
+import numpy as np
+
+from repro.core import DiscoveryConfig, ExplorationSession, SessionConfig, discover_groups
+from repro.data.dataset import UserDataset
+from repro.data.names import person_name
+
+# ---- Mike's friends: overlapping communities + background ----------------
+profiles: list[tuple[str, str, str, str, str, str]] = []
+
+
+def add(count, job, field, company, state, hours, degree):
+    profiles.extend([(job, field, company, state, hours, degree)] * count)
+
+
+# The paper's three first-screen groups:
+add(22, "engineer", "consumer-tech", "NextWorth", "MA", "full-time", "MSc")
+add(16, "market manager", "retail", "ShopSmart", "MA", "part-time", "BSc")
+# The bioinformatics community, with three internal subsets:
+add(8, "engineer", "bioinformatics", "GenomicsCo", "MA", "full-time", "PhD")
+add(6, "engineer", "bioinformatics", "GenomicsCo", "MA", "full-time", "MSc")
+add(5, "software engineer", "bioinformatics", "BioView", "MA", "full-time", "PhD")
+add(4, "software engineer", "bioinformatics", "BioView", "MA", "full-time", "MSc")
+# Background noise so groups do not trivially partition:
+add(30, "teacher", "education", "various", "NH", "full-time", "BSc")
+
+labels = [person_name(i, seed=99) for i in range(len(profiles))]
+demographics = {
+    "job": [p[0] for p in profiles],
+    "field": [p[1] for p in profiles],
+    "company": [p[2] for p in profiles],
+    "state": [p[3] for p in profiles],
+    "hours": [p[4] for p in profiles],
+    "degree": [p[5] for p in profiles],
+}
+friends = UserDataset.from_arrays(
+    labels, ["party"], np.arange(len(labels)), np.zeros(len(labels), dtype=int),
+    np.ones(len(labels)), demographics=demographics, name="mikes-friends",
+)
+
+# Closed descriptions here carry every implied attribute (the whole bio
+# community is MA + full-time), so allow longer descriptions than usual.
+space = discover_groups(
+    friends,
+    DiscoveryConfig(method="lcm", min_support=5, max_description=6, include_items=False),
+)
+print(f"{space} from {friends.n_users} of Mike's friends\n")
+
+# A similarity lower bound (§II-B) keeps each next display on *tight*
+# neighbors — the paper's "three subsets of that group" behaviour.
+session = ExplorationSession(space, config=SessionConfig(k=3, similarity_floor=0.35))
+shown = session.start()
+print("VEXUS shows three groups (limited options, P1):")
+for group in shown:
+    print(f"  #{group.gid}: {group.label} (n={group.size})")
+
+# Tiffany reasons: not NextWorth (he does data viz), not part-time managers.
+bio = max(
+    (group for group in space if "field=bioinformatics" in group.description),
+    key=lambda group: group.size,
+)
+print(f"\nTiffany clicks #{bio.gid} ({bio.label}, n={bio.size})")
+
+shown = session.click(bio.gid)
+print("next iteration (efficiency, P3) — subsets of the clicked group:")
+for group in shown:
+    print(f"  #{group.gid}: {group.label} (n={group.size})")
+
+bioview = next(
+    (group for group in shown if "company=BioView" in group.description), None
+)
+assert bioview is not None, "the BioView software engineers must surface"
+print(f"\nShe recognises #{bioview.gid} ({bioview.label}) — and there he is:")
+for user in bioview.members[:3]:
+    print(f"  {friends.users.label(int(user))} — "
+          f"{friends.demographics_of(int(user))['job']} at BioView")
+session.bookmark_user(int(bioview.members[0]), "the person from the party")
+print(f"\nMEMO: {session.memo} — analysis goal reached.")

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable
+installs fail; this shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` use the legacy ``setup.py develop`` path.  All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — a full reproduction of "Exploration of User Groups in VEXUS"
+(Amer-Yahia et al., ICDE 2018).
+
+The package mirrors the paper's architecture (Fig. 1):
+
+- :mod:`repro.data`   — schema, ETL, generators, streams (inputs);
+- :mod:`repro.mining` — LCM, Apriori, α-MOMRI, STREAMMINING, BIRCH;
+- :mod:`repro.index`  — partial inverted similarity index + secondaries;
+- :mod:`repro.core`   — groups, the exploration session, feedback, tasks;
+- :mod:`repro.viz`    — crossfilter, stats, force layout, LDA, renderers;
+- :mod:`repro.analysis` — quality metrics and the Simpson guard;
+- :mod:`repro.agents` — simulated explorers for the paper's scenarios;
+- :mod:`repro.experiments` — one driver per paper figure/claim.
+
+Quickstart::
+
+    from repro.data.generators import generate_dbauthors
+    from repro.core import discover_groups, DiscoveryConfig, ExplorationSession
+
+    data = generate_dbauthors()
+    space = discover_groups(data.dataset, DiscoveryConfig(min_support=0.05))
+    session = ExplorationSession(space)
+    shown = session.start()
+    shown = session.click(shown[0].gid)   # learn feedback, get next groups
+"""
+
+from repro.core import (
+    DiscoveryConfig,
+    ExplorationSession,
+    Group,
+    GroupSpace,
+    SessionConfig,
+    discover_groups,
+)
+from repro.data import UserDataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiscoveryConfig",
+    "ExplorationSession",
+    "Group",
+    "GroupSpace",
+    "SessionConfig",
+    "UserDataset",
+    "discover_groups",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Simulated explorers standing in for the paper's live users."""
+
+from repro.agents.explorer import (
+    AgentConfig,
+    AgentResult,
+    CollectorExplorer,
+    IndividualBrowserBaseline,
+    TargetSeekingExplorer,
+)
+from repro.agents.scenarios import (
+    ScenarioOutcome,
+    discussion_group_target,
+    pc_formation_study,
+    run_discussion_search,
+    run_pc_formation,
+    satisfaction_study,
+    seed_groups_for_venue,
+    venue_community,
+)
+
+__all__ = [
+    "AgentConfig",
+    "AgentResult",
+    "CollectorExplorer",
+    "IndividualBrowserBaseline",
+    "ScenarioOutcome",
+    "TargetSeekingExplorer",
+    "discussion_group_target",
+    "pc_formation_study",
+    "run_discussion_search",
+    "run_pc_formation",
+    "satisfaction_study",
+    "seed_groups_for_venue",
+    "venue_community",
+]

@@ -1,0 +1,364 @@
+"""Simulated explorers.
+
+The paper's evaluation relies on people (demo visitors, the user studies of
+[5] and [14]); offline we substitute *agents* that drive
+:class:`~repro.core.session.ExplorationSession` through the same loop
+(DESIGN.md §4).  Agents have partial knowledge (they recognise a good group
+when shown one, but cannot query for it — exactly the paper's premise that
+"no querying mechanism is of help") and make noisy choices to model human
+error.
+
+Three agents:
+
+- :class:`TargetSeekingExplorer` — ST tasks: walk toward one target group;
+- :class:`CollectorExplorer` — MT tasks: harvest users into MEMO until the
+  task's constraints hold (the PC-chair behaviour, including the paper's
+  "delete a learned demographic value" move when balance stalls);
+- :class:`IndividualBrowserBaseline` — the no-groups control of the [5]
+  user study: inspect users one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.group import Group
+from repro.core.session import ExplorationSession
+from repro.core.tasks import MinShare, MultiTargetTask, SingleTargetTask
+
+
+@dataclass(frozen=True)
+class AgentConfig:
+    """Shared agent knobs."""
+
+    max_iterations: int = 30
+    noise: float = 0.10  # probability of a suboptimal click (human error)
+    harvest_per_step: int = 5  # users bookmarked per iteration (MT)
+    recognition_threshold: float = 0.65  # member overlap at which the ST agent
+    # accepts a displayed group as "the group I was looking for"
+    seed: int = 0
+
+
+@dataclass
+class AgentResult:
+    """Outcome of one simulated session."""
+
+    completed: bool
+    iterations: int
+    progress: float
+    effort: int  # items the explorer had to inspect (groups or users)
+    trajectory: list[int] = field(default_factory=list)
+
+    @property
+    def satisfaction(self) -> float:
+        """Satisfaction proxy in [0, 1]: task progress, full marks on completion.
+
+        Matches how the [5] study scored sessions: a satisfied explorer is
+        one whose goal was met; partial progress earns partial credit.
+        """
+        return 1.0 if self.completed else self.progress
+
+
+class TargetSeekingExplorer:
+    """ST agent: recognises the target by member overlap and walks to it."""
+
+    def __init__(self, task: SingleTargetTask, config: AgentConfig | None = None):
+        self.task = task
+        self.config = config or AgentConfig()
+        if task.target_gid is None:
+            raise ValueError("TargetSeekingExplorer needs a concrete target gid")
+        self._target_members = task.space[task.target_gid].members
+
+    def _affinity(self, group: Group) -> float:
+        """How much a displayed group resembles what the explorer remembers."""
+        if group.size == 0:
+            return 0.0
+        overlap = len(
+            np.intersect1d(group.members, self._target_members, assume_unique=True)
+        )
+        union = group.size + len(self._target_members) - overlap
+        return overlap / union if union else 0.0
+
+    def _navigation_score(self, group: Group) -> float:
+        """Which way to walk: recall toward the target community, with a
+        Jaccard bonus.  Recall lets the agent descend from huge coarse
+        groups (high recall, low Jaccard) toward the target; the bonus
+        prefers the tighter of two equally-covering directions."""
+        if group.size == 0:
+            return 0.0
+        overlap = len(
+            np.intersect1d(group.members, self._target_members, assume_unique=True)
+        )
+        recall = overlap / max(len(self._target_members), 1)
+        return recall + 0.3 * self._affinity(group)
+
+    def run(self, session: ExplorationSession) -> AgentResult:
+        rng = np.random.default_rng(self.config.seed)
+        shown = session.start()
+        effort = len(shown)
+        trajectory: list[int] = []
+        target_gid = self.task.target_gid
+        assert target_gid is not None
+
+        best_affinity = 0.0
+        for iteration in range(1, self.config.max_iterations + 1):
+            if not shown:
+                break
+            best_affinity = max(
+                best_affinity, max(self._affinity(group) for group in shown)
+            )
+            # Recognition: the target (or something indistinguishable from
+            # it — §III wants *a* discussion group she agrees with, not one
+            # specific gid) on screen ends the hunt.
+            recognised = next(
+                (
+                    group
+                    for group in shown
+                    if group.gid == target_gid
+                    or self._affinity(group) >= self.config.recognition_threshold
+                ),
+                None,
+            )
+            if recognised is not None:
+                session.bookmark_group(recognised.gid, "found it")
+                return AgentResult(
+                    completed=True,
+                    iterations=iteration,
+                    progress=1.0,
+                    effort=effort,
+                    trajectory=trajectory + [recognised.gid],
+                )
+            # Prefer unexplored directions (the explorer sees HISTORY and
+            # will not re-click a dead end); when everything on screen is
+            # stale, backtrack to the most promising earlier step — the
+            # paper's HISTORY gesture.
+            visited = set(trajectory)
+            fresh = [group for group in shown if group.gid not in visited]
+            if not fresh:
+                best_step = self._best_backtrack(session, visited)
+                if best_step is not None:
+                    shown = session.backtrack(best_step)
+                    fresh = [
+                        group for group in shown if group.gid not in visited
+                    ]
+                if not fresh:
+                    fresh = shown  # nothing new anywhere: retry in place
+            scored = sorted(
+                fresh, key=lambda group: (-self._navigation_score(group), group.gid)
+            )
+            choice = scored[0]
+            if len(scored) > 1 and rng.random() < self.config.noise:
+                choice = scored[int(rng.integers(1, len(scored)))]
+            trajectory.append(choice.gid)
+            shown = session.click(choice.gid)
+            effort += len(shown)
+
+        return self._final_result(session, effort, trajectory, best_affinity)
+
+    def _best_backtrack(
+        self, session: ExplorationSession, visited: set[int]
+    ) -> int | None:
+        """The recorded step whose display has the best unvisited option."""
+        best_step = None
+        best_score = 0.0
+        for step in session.history:
+            for gid in step.shown_gids:
+                if gid in visited:
+                    continue
+                score = self._navigation_score(session.space[gid])
+                if score > best_score:
+                    best_score = score
+                    best_step = step.step_id
+        return best_step
+
+    def _final_result(
+        self,
+        session: ExplorationSession,
+        effort: int,
+        trajectory: list[int],
+        best_affinity: float,
+    ) -> AgentResult:
+        # Incomplete: partial satisfaction is the closest group ever shown —
+        # the explorer walked away with *something*, just not the goal.
+        progress = max(self.task.progress(session.memo), best_affinity)
+        return AgentResult(
+            completed=self.task.is_complete(session.memo),
+            iterations=self.config.max_iterations,
+            progress=progress,
+            effort=effort,
+            trajectory=trajectory,
+        )
+
+
+class CollectorExplorer:
+    """MT agent: the PC chair of Scenario 1.
+
+    Per iteration: harvest useful members of the most promising displayed
+    group into MEMO, then click the group most likely to help the unmet
+    constraints.  When a :class:`MinShare` constraint stalls (e.g. gender
+    balance), the agent deletes the dominant opposite token from CONTEXT —
+    the paper's own unlearning example.
+    """
+
+    def __init__(self, task: MultiTargetTask, config: AgentConfig | None = None):
+        self.task = task
+        self.config = config or AgentConfig()
+
+    # -- helpers ----------------------------------------------------------
+
+    def _net_gain(self, user: int, memo_users: set[int]) -> float:
+        """Net progress delta if ``user`` were bookmarked (can be negative).
+
+        Negative deltas matter: a user outside the venue community bumps
+        MinCount but dilutes MembersOf — the chair would not invite them.
+        """
+        if user in memo_users:
+            return 0.0
+        dataset = self.task.dataset
+        users = list(memo_users)
+        with_user = users + [user]
+        before = float(
+            np.mean([c.satisfaction(users, dataset) for c in self.task.constraints])
+        )
+        after = float(
+            np.mean(
+                [c.satisfaction(with_user, dataset) for c in self.task.constraints]
+            )
+        )
+        return after - before
+
+    def _group_promise(self, group: Group, memo_users: set[int]) -> float:
+        """Expected usefulness of a group: mean positive member gain."""
+        sample = group.members[: min(group.size, 20)]
+        if len(sample) == 0:
+            return 0.0
+        gains = [max(0.0, self._net_gain(int(user), memo_users)) for user in sample]
+        return float(np.mean(gains))
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, session: ExplorationSession, seed_gids: list[int] | None = None) -> AgentResult:
+        rng = np.random.default_rng(self.config.seed)
+        shown = session.start(seed_gids=seed_gids)
+        effort = len(shown)
+        trajectory: list[int] = []
+
+        for iteration in range(1, self.config.max_iterations + 1):
+            if not shown:
+                break
+            memo_users = set(session.memo.collected_users())
+
+            # Harvest: bookmark the best members of the most promising group.
+            ranked = sorted(
+                shown,
+                key=lambda group: (-self._group_promise(group, memo_users), group.gid),
+            )
+            best = ranked[0]
+            scan = min(best.size, 80)
+            effort += scan
+            candidates = sorted(
+                (int(user) for user in best.members[:scan]),
+                key=lambda user: -self._net_gain(user, memo_users),
+            )
+            harvested = 0
+            for user in candidates:
+                if harvested >= self.config.harvest_per_step:
+                    break
+                # Re-check against the *updated* memo: gains interact
+                # (the 4th female changes what the 5th is worth).
+                if self._net_gain(user, memo_users) > 1e-9:
+                    session.bookmark_user(user, f"step {iteration}")
+                    memo_users.add(user)
+                    harvested += 1
+
+            if self.task.is_complete(session.memo):
+                return AgentResult(
+                    completed=True,
+                    iterations=iteration,
+                    progress=1.0,
+                    effort=effort,
+                    trajectory=trajectory,
+                )
+
+            # Unlearn when a share constraint stalls: the paper's CONTEXT
+            # deletion gesture ("delete ... 'male' to obtain more
+            # gender-balanced results").
+            unmet_share = next(
+                (
+                    constraint
+                    for constraint in self.task.unmet(session.memo)
+                    if isinstance(constraint, MinShare)
+                ),
+                None,
+            )
+            if unmet_share is not None and iteration >= 2:
+                column = self.task.dataset.column(unmet_share.attribute)
+                for value in column.vocab.labels():
+                    if value != unmet_share.value:
+                        session.context.forget_token(
+                            f"{unmet_share.attribute}={value}"
+                        )
+
+            # Click: the most promising group, with human noise.
+            choice = ranked[0]
+            if len(ranked) > 1 and rng.random() < self.config.noise:
+                choice = ranked[int(rng.integers(1, len(ranked)))]
+            trajectory.append(choice.gid)
+            shown = session.click(choice.gid)
+            effort += len(shown)
+
+        return AgentResult(
+            completed=self.task.is_complete(session.memo),
+            iterations=self.config.max_iterations,
+            progress=self.task.progress(session.memo),
+            effort=effort,
+            trajectory=trajectory,
+        )
+
+
+class IndividualBrowserBaseline:
+    """The control arm of the [5] study: no groups, user-by-user inspection.
+
+    For an MT task the browser walks a ranked user list (most active first
+    — the natural sort every rating site offers) and bookmarks anyone who
+    helps; effort is the number of users inspected.  The same interaction
+    budget as the group-based agent buys far less progress, which is the
+    80%-vs-individuals comparison of experiment C5.
+    """
+
+    def __init__(self, task: MultiTargetTask, config: AgentConfig | None = None):
+        self.task = task
+        self.config = config or AgentConfig()
+
+    def run(self, inspection_budget: int) -> AgentResult:
+        dataset = self.task.dataset
+        order = np.argsort(-dataset.user_activity(), kind="stable")
+        memo_users: list[int] = []
+        from repro.core.memo import Memo
+
+        memo = Memo()
+        inspected = 0
+        for user in order:
+            if inspected >= inspection_budget:
+                break
+            inspected += 1
+            user = int(user)
+            before = self.task.progress(memo)
+            memo.bookmark_user(user)
+            if self.task.progress(memo) <= before:
+                memo.remove_user(user)
+            if self.task.is_complete(memo):
+                return AgentResult(
+                    completed=True,
+                    iterations=inspected,
+                    progress=1.0,
+                    effort=inspected,
+                )
+        return AgentResult(
+            completed=self.task.is_complete(memo),
+            iterations=inspected,
+            progress=self.task.progress(memo),
+            effort=inspected,
+        )

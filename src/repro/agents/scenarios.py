@@ -1,0 +1,234 @@
+"""The paper's two demonstration scenarios, runnable end to end.
+
+Scenario 1 (§III, MT): a PC chair assembles a geographically diverse,
+gender-balanced committee for a database venue, seeded from "last year's
+PC".  The paper reports *"less than 10 iterations on average"* for SIGMOD,
+VLDB and CIKM — experiment C4 re-measures that with
+:class:`~repro.agents.explorer.CollectorExplorer`.
+
+Scenario 2 (§III, ST): an avid reader navigates BOOKCROSSING groups to find
+a discussion group she agrees with.  The [5] study reports *"80%
+satisfaction ... via user groups in contrast to individuals"* — experiment
+C5 re-measures both arms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.agents.explorer import (
+    AgentConfig,
+    AgentResult,
+    CollectorExplorer,
+    IndividualBrowserBaseline,
+    TargetSeekingExplorer,
+)
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.group import GroupSpace
+from repro.core.session import ExplorationSession, SessionConfig
+from repro.core.tasks import SingleTargetTask, committee_task
+from repro.data.generators.bookcrossing import BookCrossingData
+from repro.data.generators.dbauthors import DBAuthorsData
+
+
+@dataclass
+class ScenarioOutcome:
+    """One scenario arm's aggregate over repeated runs."""
+
+    label: str
+    runs: list[AgentResult]
+
+    @property
+    def mean_iterations(self) -> float:
+        return float(np.mean([run.iterations for run in self.runs]))
+
+    @property
+    def completion_rate(self) -> float:
+        return float(np.mean([1.0 if run.completed else 0.0 for run in self.runs]))
+
+    @property
+    def mean_satisfaction(self) -> float:
+        return float(np.mean([run.satisfaction for run in self.runs]))
+
+    @property
+    def mean_effort(self) -> float:
+        return float(np.mean([run.effort for run in self.runs]))
+
+
+# ---------------------------------------------------------------------------
+# Scenario 1: expert-set formation (MT)
+# ---------------------------------------------------------------------------
+
+
+def venue_community(data: DBAuthorsData, venue: str) -> np.ndarray:
+    """User indices with at least one publication at ``venue``."""
+    dataset = data.dataset
+    return dataset.users_of_item(dataset.items.code(venue))
+
+
+def seed_groups_for_venue(space: GroupSpace, venue: str, limit: int = 3) -> list[int]:
+    """Groups whose description mentions the venue — "last year's PC" seeds."""
+    token = f"item:{venue}"
+    seeds = [
+        group.gid for group in space if token in group.description
+    ]
+    seeds.sort(key=lambda gid: -space[gid].size)
+    return seeds[:limit]
+
+
+def run_pc_formation(
+    data: DBAuthorsData,
+    space: GroupSpace,
+    venue: str = "SIGMOD",
+    committee_size: int = 12,
+    agent_config: AgentConfig | None = None,
+    session_config: SessionConfig | None = None,
+) -> AgentResult:
+    """One PC-formation session for one venue (experiment C4's unit)."""
+    community = frozenset(
+        int(user) for user in venue_community(data, venue)
+    )
+    task = committee_task(
+        data.dataset,
+        size=committee_size,
+        community=community,
+    )
+    session = ExplorationSession(space, config=session_config or SessionConfig())
+    agent = CollectorExplorer(task, agent_config or AgentConfig())
+    return agent.run(session, seed_gids=seed_groups_for_venue(space, venue))
+
+
+def pc_formation_study(
+    data: DBAuthorsData,
+    space: GroupSpace,
+    venues: tuple[str, ...] = ("SIGMOD", "VLDB", "CIKM"),
+    repeats: int = 5,
+    committee_size: int = 12,
+) -> dict[str, ScenarioOutcome]:
+    """C4: repeated PC formation per venue; the paper expects <10 iterations."""
+    outcomes: dict[str, ScenarioOutcome] = {}
+    for venue in venues:
+        runs = [
+            run_pc_formation(
+                data,
+                space,
+                venue=venue,
+                committee_size=committee_size,
+                agent_config=AgentConfig(seed=repeat, max_iterations=25),
+            )
+            for repeat in range(repeats)
+        ]
+        outcomes[venue] = ScenarioOutcome(label=venue, runs=runs)
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Scenario 2: discussion groups (ST)
+# ---------------------------------------------------------------------------
+
+
+def discussion_group_target(space: GroupSpace, genre: str) -> int | None:
+    """A genre-lovers group: the largest group tagged favorite_genre=genre."""
+    token = f"favorite_genre={genre}"
+    matching = [group for group in space if token in group.description]
+    if not matching:
+        return None
+    return max(matching, key=lambda group: group.size).gid
+
+
+def run_discussion_search(
+    data: BookCrossingData,
+    space: GroupSpace,
+    genre: str = "fiction",
+    agent_config: AgentConfig | None = None,
+    session_config: SessionConfig | None = None,
+) -> AgentResult:
+    """One ST session: find the genre discussion group (experiment C5 unit)."""
+    target = discussion_group_target(space, genre)
+    if target is None:
+        raise ValueError(f"no discussion group for genre {genre!r} in this space")
+    task = SingleTargetTask(space, target_gid=target)
+    session = ExplorationSession(space, config=session_config or SessionConfig())
+    agent = TargetSeekingExplorer(task, agent_config or AgentConfig())
+    return agent.run(session)
+
+
+def satisfaction_study(
+    data: BookCrossingData,
+    space: GroupSpace,
+    genres: tuple[str, ...] = ("fiction", "romance", "mystery", "fantasy"),
+    repeats: int = 5,
+) -> tuple[ScenarioOutcome, ScenarioOutcome]:
+    """C5: group-based exploration vs individual browsing, same budget.
+
+    The individual arm gets the group arm's mean *effort* as its inspection
+    budget, so both arms spend comparable attention.
+    """
+    group_runs: list[AgentResult] = []
+    for genre in genres:
+        target = discussion_group_target(space, genre)
+        if target is None:
+            continue
+        for repeat in range(repeats):
+            task = SingleTargetTask(space, target_gid=target)
+            session = ExplorationSession(space)
+            agent = TargetSeekingExplorer(
+                task, AgentConfig(seed=repeat, max_iterations=20)
+            )
+            group_runs.append(agent.run(session))
+    group_outcome = ScenarioOutcome("groups", group_runs)
+
+    # Individual-browsing arm: same attention budget, no group structure.
+    budget = max(10, int(group_outcome.mean_effort))
+    individual_runs: list[AgentResult] = []
+    for genre in genres:
+        target = discussion_group_target(space, genre)
+        if target is None:
+            continue
+        target_members = space[target].members
+        for repeat in range(repeats):
+            individual_runs.append(
+                _individual_group_hunt(data, space, target_members, budget, seed=repeat)
+            )
+    return group_outcome, ScenarioOutcome("individuals", individual_runs)
+
+
+def _individual_group_hunt(
+    data: BookCrossingData,
+    space: GroupSpace,
+    target_members: np.ndarray,
+    budget: int,
+    seed: int,
+) -> AgentResult:
+    """Individual browsing for an ST goal: inspect users one at a time.
+
+    The browser succeeds once it has *seen* enough of the target community
+    to identify it (half the group's members, capped at 25) — a generous
+    stand-in for "found my discussion group user by user".
+    """
+    dataset = data.dataset
+    rng = np.random.default_rng(seed)
+    order = np.argsort(-dataset.user_activity(), kind="stable")
+    # Humans skim with error: shuffle within blocks of 20.
+    order = order.copy()
+    for start in range(0, len(order), 20):
+        block = order[start : start + 20]
+        rng.shuffle(block)
+        order[start : start + 20] = block
+    needed = int(min(25, max(3, len(target_members) // 2)))
+    seen = 0
+    for position, user in enumerate(order[:budget], start=1):
+        if int(user) in set(target_members.tolist()):
+            seen += 1
+            if seen >= needed:
+                return AgentResult(
+                    completed=True, iterations=position, progress=1.0, effort=position
+                )
+    return AgentResult(
+        completed=False,
+        iterations=budget,
+        progress=seen / needed if needed else 0.0,
+        effort=budget,
+    )

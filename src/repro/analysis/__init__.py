@@ -1,0 +1,25 @@
+"""Analysis helpers: selection quality metrics and the P2 Simpson guard."""
+
+from repro.analysis.quality import (
+    coverage,
+    diversity,
+    quality_summary,
+    redundancy,
+)
+from repro.analysis.simpson import (
+    ComparisonReport,
+    StratumComparison,
+    compare_groups,
+    guard_comparison,
+)
+
+__all__ = [
+    "ComparisonReport",
+    "StratumComparison",
+    "compare_groups",
+    "coverage",
+    "diversity",
+    "guard_comparison",
+    "quality_summary",
+    "redundancy",
+]

@@ -1,0 +1,145 @@
+"""Simpson's-paradox guard for group comparisons.
+
+§I principle P2: interactive steps must optimize a quality function, which
+*"prevents statistically false local discoveries such as Simpson's paradox
+[10]"*.  When an explorer compares two user groups on an aggregate (e.g.
+mean rating), the aggregate ordering can invert inside every stratum of a
+confounding demographic.  This module detects exactly that: it re-runs the
+comparison within each stratum of each candidate confounder and flags
+comparisons whose aggregate direction is contradicted by the (weighted)
+stratified direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import UserDataset
+
+
+@dataclass(frozen=True)
+class StratumComparison:
+    """The comparison restricted to one confounder value."""
+
+    stratum: str
+    mean_a: float
+    mean_b: float
+    n_a: int
+    n_b: int
+
+    @property
+    def direction(self) -> int:
+        """+1 if A > B, −1 if A < B, 0 if tied/empty."""
+        if self.n_a == 0 or self.n_b == 0:
+            return 0
+        if self.mean_a > self.mean_b:
+            return 1
+        if self.mean_a < self.mean_b:
+            return -1
+        return 0
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Aggregate vs stratified comparison of two user sets."""
+
+    confounder: str
+    aggregate_mean_a: float
+    aggregate_mean_b: float
+    strata: tuple[StratumComparison, ...] = field(default=())
+
+    @property
+    def aggregate_direction(self) -> int:
+        if self.aggregate_mean_a > self.aggregate_mean_b:
+            return 1
+        if self.aggregate_mean_a < self.aggregate_mean_b:
+            return -1
+        return 0
+
+    @property
+    def reversal_count(self) -> int:
+        """Strata whose direction contradicts the aggregate."""
+        return sum(
+            1
+            for stratum in self.strata
+            if stratum.direction != 0
+            and self.aggregate_direction != 0
+            and stratum.direction != self.aggregate_direction
+        )
+
+    @property
+    def is_simpson(self) -> bool:
+        """True when **every** populated stratum contradicts the aggregate.
+
+        The textbook paradox: the aggregate says A wins, each stratum says B
+        wins (or vice versa).
+        """
+        populated = [stratum for stratum in self.strata if stratum.direction != 0]
+        if not populated or self.aggregate_direction == 0:
+            return False
+        return all(
+            stratum.direction != self.aggregate_direction for stratum in populated
+        )
+
+
+def _mean_value(dataset: UserDataset, users: np.ndarray) -> float:
+    values = [
+        dataset.mean_value_of_user(int(user))
+        for user in users
+        if len(dataset.values_of_user(int(user)))
+    ]
+    return float(np.mean(values)) if values else float("nan")
+
+
+def compare_groups(
+    dataset: UserDataset,
+    members_a: np.ndarray,
+    members_b: np.ndarray,
+    confounder: str,
+) -> ComparisonReport:
+    """Compare mean action value of two member sets, stratified by one attribute."""
+    strata: list[StratumComparison] = []
+    column = dataset.column(confounder)
+    for value in column.vocab.labels():
+        in_value = column.users_with(value)
+        slice_a = np.intersect1d(members_a, in_value, assume_unique=False)
+        slice_b = np.intersect1d(members_b, in_value, assume_unique=False)
+        if len(slice_a) == 0 and len(slice_b) == 0:
+            continue
+        strata.append(
+            StratumComparison(
+                stratum=value,
+                mean_a=_mean_value(dataset, slice_a),
+                mean_b=_mean_value(dataset, slice_b),
+                n_a=len(slice_a),
+                n_b=len(slice_b),
+            )
+        )
+    return ComparisonReport(
+        confounder=confounder,
+        aggregate_mean_a=_mean_value(dataset, members_a),
+        aggregate_mean_b=_mean_value(dataset, members_b),
+        strata=tuple(strata),
+    )
+
+
+def guard_comparison(
+    dataset: UserDataset,
+    members_a: np.ndarray,
+    members_b: np.ndarray,
+    confounders: list[str] | None = None,
+) -> list[ComparisonReport]:
+    """Run the P2 guard across candidate confounders.
+
+    Returns the reports where a full Simpson reversal was detected — an
+    empty list means the aggregate comparison is safe to show the explorer.
+    """
+    confounders = confounders or dataset.attributes
+    flagged: list[ComparisonReport] = []
+    for confounder in confounders:
+        report = compare_groups(dataset, members_a, members_b, confounder)
+        if report.is_simpson:
+            flagged.append(report)
+    return flagged

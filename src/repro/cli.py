@@ -1,0 +1,363 @@
+"""Command-line interface: the VEXUS demo, headless.
+
+Five subcommands mirror the life cycle of the paper's system::
+
+    python -m repro generate bookcrossing --out data/      synthesize CSVs
+    python -m repro discover --actions ... --store st/     offline phase
+    python -m repro explore --actions ... --store st/      the VEXUS loop
+    python -m repro scenario pc|discussion                 §III scenarios
+    python -m repro experiments --only C8,C12              paper claims
+
+``explore`` is an interactive REPL over :class:`ExplorationSession`; pass
+``--script "click 1; memo; quit"`` to drive it non-interactively (that is
+also how the test suite exercises it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.session import ExplorationSession, SessionConfig
+from repro.core.store import (
+    load_group_space,
+    load_index,
+    save_group_space,
+    save_index,
+)
+from repro.data.etl import load_dataset
+from repro.data.generators.bookcrossing import BookCrossingConfig, generate_bookcrossing
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+from repro.index.inverted import SimilarityIndex
+from repro.viz.render import render_histogram
+from repro.viz.stats import StatsView
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "handler"):
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="VEXUS reproduction (ICDE 2018)"
+    )
+    commands = parser.add_subparsers(title="commands")
+
+    generate = commands.add_parser("generate", help="synthesize a dataset to CSV")
+    generate.add_argument("dataset", choices=["bookcrossing", "dbauthors"])
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.add_argument("--users", type=int, default=1500)
+    generate.add_argument("--items", type=int, default=800)
+    generate.add_argument("--ratings", type=int, default=12000)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.set_defaults(handler=cmd_generate)
+
+    discover = commands.add_parser("discover", help="offline group discovery + index")
+    _add_data_arguments(discover)
+    discover.add_argument(
+        "--method", default="lcm",
+        choices=["lcm", "apriori", "momri", "stream", "birch"],
+    )
+    discover.add_argument("--min-support", type=float, default=0.03)
+    discover.add_argument("--max-description", type=int, default=3)
+    discover.add_argument("--min-item-support", type=int, default=10)
+    discover.add_argument("--store", required=True, help="artifact directory")
+    discover.add_argument(
+        "--materialize", type=float, default=0.10,
+        help="inverted-index materialization fraction (paper: 0.10)",
+    )
+    discover.set_defaults(handler=cmd_discover)
+
+    explore = commands.add_parser("explore", help="interactive exploration loop")
+    _add_data_arguments(explore)
+    explore.add_argument("--store", required=True, help="artifacts from `discover`")
+    explore.add_argument("--k", type=int, default=5)
+    explore.add_argument("--budget-ms", type=float, default=100.0)
+    explore.add_argument(
+        "--script", default=None,
+        help="semicolon-separated commands to run instead of stdin",
+    )
+    explore.set_defaults(handler=cmd_explore)
+
+    scenario = commands.add_parser("scenario", help="run a §III scenario")
+    scenario.add_argument("name", choices=["pc", "discussion"])
+    scenario.add_argument("--repeats", type=int, default=3)
+    scenario.set_defaults(handler=cmd_scenario)
+
+    experiments = commands.add_parser("experiments", help="regenerate paper claims")
+    experiments.add_argument(
+        "--only", default=None,
+        help="comma-separated experiment ids (e.g. C8,C12); default: fast set",
+    )
+    experiments.set_defaults(handler=cmd_experiments)
+    return parser
+
+
+def _add_data_arguments(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--actions", required=True, help="actions CSV path")
+    command.add_argument("--demographics", default=None, help="demographics CSV path")
+    command.add_argument("--name", default="dataset", help="dataset name")
+
+
+def _load(args: argparse.Namespace):
+    result = load_dataset(args.actions, args.demographics, name=args.name)
+    return result.dataset
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "bookcrossing":
+        data = generate_bookcrossing(
+            BookCrossingConfig(
+                n_users=args.users, n_items=args.items,
+                n_ratings=args.ratings, seed=args.seed,
+            )
+        )
+        dataset = data.dataset
+    else:
+        data = generate_dbauthors(
+            DBAuthorsConfig(n_authors=args.users, seed=args.seed)
+        )
+        dataset = data.dataset
+    dataset.to_csv(args.out)
+    print(f"wrote {dataset.n_actions} actions / {dataset.n_users} users to {args.out}")
+    return 0
+
+
+def cmd_discover(args: argparse.Namespace) -> int:
+    dataset = _load(args)
+    print(f"loaded {dataset}")
+    space = discover_groups(
+        dataset,
+        DiscoveryConfig(
+            method=args.method,
+            min_support=args.min_support,
+            max_description=args.max_description,
+            min_item_support=args.min_item_support,
+        ),
+    )
+    print(f"discovered {space}")
+    index = SimilarityIndex(space.memberships(), dataset.n_users, args.materialize)
+    print(f"built {index}")
+    save_group_space(space, args.store)
+    save_index(index, args.store)
+    print(f"stored artifacts under {args.store}")
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    dataset = _load(args)
+    space = load_group_space(dataset, args.store)
+    index = load_index(space, args.store)
+    session = ExplorationSession(
+        space, index, SessionConfig(k=args.k, time_budget_ms=args.budget_ms)
+    )
+    repl = ExplorationREPL(session, print)
+    repl.show(session.start())
+    if args.script is not None:
+        for command in args.script.split(";"):
+            if not repl.execute(command.strip()):
+                break
+        return 0
+    print("commands: click <n> | back <step> | memo [g <n>|u <name>] | "
+          "context | forget <token> | stats <n> [attr] | history | quit")
+    for line in sys.stdin:
+        if not repl.execute(line.strip()):
+            break
+    return 0
+
+
+class ExplorationREPL:
+    """Parses the explore subcommand's commands against one session."""
+
+    def __init__(self, session: ExplorationSession, emit: Callable[[str], None]):
+        self.session = session
+        self.emit = emit
+
+    def show(self, groups) -> None:
+        self.emit("GROUPVIZ:")
+        for position, group in enumerate(groups, start=1):
+            self.emit(
+                f"  [{position}] #{group.gid} {group.label} (n={group.size})"
+            )
+
+    def execute(self, line: str) -> bool:
+        """Run one command; returns False when the session should end."""
+        if not line:
+            return True
+        verb, _, rest = line.partition(" ")
+        handler = getattr(self, f"_cmd_{verb}", None)
+        if handler is None:
+            self.emit(f"unknown command: {verb!r}")
+            return True
+        return handler(rest.strip())
+
+    def _displayed_by_position(self, text: str):
+        try:
+            position = int(text)
+        except ValueError:
+            self.emit(f"expected a display position, got {text!r}")
+            return None
+        shown = self.session.displayed()
+        if not 1 <= position <= len(shown):
+            self.emit(f"position {position} not on screen (1..{len(shown)})")
+            return None
+        return shown[position - 1]
+
+    def _cmd_click(self, rest: str) -> bool:
+        group = self._displayed_by_position(rest)
+        if group is not None:
+            self.show(self.session.click(group.gid))
+            quality = self.session.last_selection
+            if quality is not None:
+                self.emit(
+                    f"  (diversity={quality.diversity:.2f} "
+                    f"coverage={quality.coverage:.2f} "
+                    f"{quality.elapsed_ms:.0f} ms)"
+                )
+        return True
+
+    def _cmd_back(self, rest: str) -> bool:
+        try:
+            step_id = int(rest)
+        except ValueError:
+            self.emit(f"expected a step id, got {rest!r}")
+            return True
+        try:
+            self.show(self.session.backtrack(step_id))
+        except KeyError as error:
+            self.emit(str(error))
+        return True
+
+    def _cmd_memo(self, rest: str) -> bool:
+        if not rest:
+            memo = self.session.memo
+            self.emit(f"MEMO: {len(memo.groups)} groups, {len(memo.users)} users")
+            for gid in memo.collected_groups():
+                self.emit(f"  group #{gid}: {self.session.space[gid].label}")
+            for user in memo.collected_users():
+                self.emit(f"  user {self.session.space.dataset.users.label(user)}")
+            return True
+        kind, _, target = rest.partition(" ")
+        if kind == "g":
+            group = self._displayed_by_position(target)
+            if group is not None:
+                self.session.bookmark_group(group.gid)
+                self.emit(f"bookmarked group #{group.gid}")
+        elif kind == "u":
+            users = self.session.space.dataset.users
+            if target in users:
+                self.session.bookmark_user(users.code(target))
+                self.emit(f"bookmarked user {target}")
+            else:
+                self.emit(f"unknown user {target!r}")
+        else:
+            self.emit("usage: memo [g <position> | u <user label>]")
+        return True
+
+    def _cmd_context(self, rest: str) -> bool:
+        entries = self.session.context.entries(10)
+        if not entries:
+            self.emit("CONTEXT: (no feedback yet)")
+        else:
+            chips = " ".join(f"[{e.label}:{e.score:.2f}]" for e in entries)
+            self.emit(f"CONTEXT: {chips}")
+        return True
+
+    def _cmd_forget(self, rest: str) -> bool:
+        if self.session.context.forget_token(rest) or (
+            self.session.context.forget_user_label(rest)
+        ):
+            self.emit(f"unlearned {rest!r}")
+        else:
+            self.emit(f"nothing learned about {rest!r}")
+        return True
+
+    def _cmd_stats(self, rest: str) -> bool:
+        target, _, attribute = rest.partition(" ")
+        group = self._displayed_by_position(target)
+        if group is None:
+            return True
+        stats = StatsView(self.session.space.dataset, group.members)
+        attributes = (
+            [attribute.strip()]
+            if attribute.strip()
+            else self.session.space.dataset.attributes[:3]
+        )
+        for name in attributes:
+            self.emit(f"[{name}]")
+            self.emit(render_histogram(stats.histogram(name)))
+        return True
+
+    def _cmd_history(self, rest: str) -> bool:
+        chain = " -> ".join(
+            "start" if step.clicked_gid is None else f"#{step.clicked_gid}"
+            for step in self.session.history.path()
+        )
+        self.emit(f"HISTORY: {chain}")
+        return True
+
+    def _cmd_quit(self, rest: str) -> bool:
+        self.emit("bye")
+        return False
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    if args.name == "pc":
+        from repro.experiments.pc_formation import run_pc_formation
+
+        print(run_pc_formation(repeats=args.repeats).formatted())
+    else:
+        from repro.experiments.satisfaction import run_satisfaction
+
+        print(run_satisfaction(repeats=args.repeats).formatted())
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro import experiments as exp
+
+    drivers = {
+        "F1": exp.run_pipeline,
+        "C6": exp.run_group_space,
+        "C8": exp.run_stats_drilldown,
+        "C10": exp.run_etl_scale,
+        "C11": exp.run_projection_quality,
+        "C12": exp.run_simpson_guard,
+        "C13": exp.run_miner_comparison,
+        "C2": exp.run_greedy_quality,
+        "C3": exp.run_index_materialization,
+        "C9": exp.run_crossfilter_perf,
+    }
+    fast_default = ["C8", "C12", "C10"]
+    wanted = (
+        [name.strip().upper() for name in args.only.split(",")]
+        if args.only
+        else fast_default
+    )
+    unknown = [name for name in wanted if name not in drivers]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {sorted(drivers)}")
+        return 2
+    for name in wanted:
+        print(drivers[name]().formatted())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

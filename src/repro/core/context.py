@@ -1,0 +1,65 @@
+"""CONTEXT module: the visible, editable feedback state.
+
+§II-B: *"VEXUS shows the explicit current status of the feedback vector in
+the CONTEXT module.  Hence the explorer can easily understand how VEXUS
+results are currently biased.  She can easily unlearn ... by deleting it
+from CONTEXT."*  (Fig. 2 renders it as chips like ``[cikm][male]``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.feedback import FeedbackKey, FeedbackVector
+from repro.data.dataset import UserDataset
+
+
+@dataclass(frozen=True)
+class ContextEntry:
+    """One chip in the CONTEXT panel."""
+
+    kind: str  # "user" | "token"
+    label: str
+    score: float
+    key: FeedbackKey
+
+
+class ContextView:
+    """Read/edit window over the session's feedback vector."""
+
+    def __init__(self, feedback: FeedbackVector, dataset: UserDataset) -> None:
+        self._feedback = feedback
+        self._dataset = dataset
+
+    def entries(self, top: int = 12) -> list[ContextEntry]:
+        """The highest-mass feedback entries, labelled for display."""
+        shown: list[ContextEntry] = []
+        for key, score in self._feedback.top(top):
+            kind, payload = key
+            if kind == "user":
+                label = self._dataset.users.label(int(payload))  # type: ignore[arg-type]
+            else:
+                label = str(payload)
+            shown.append(ContextEntry(kind=kind, label=label, score=score, key=key))
+        return shown
+
+    def forget(self, entry: ContextEntry) -> bool:
+        """Delete one chip — the §II-B unlearning gesture."""
+        return self._feedback.unlearn(entry.key)
+
+    def forget_token(self, token: str) -> bool:
+        """Unlearn a demographic value by its token label (e.g. 'gender=male')."""
+        return self._feedback.unlearn_token(token)
+
+    def forget_user_label(self, user_label: str) -> bool:
+        """Unlearn a user by display name."""
+        if user_label not in self._dataset.users:
+            return False
+        return self._feedback.unlearn_user(self._dataset.users.code(user_label))
+
+    def bias_summary(self) -> dict[str, float]:
+        """Total mass per kind — how user- vs attribute-driven the bias is."""
+        mass = {"user": 0.0, "token": 0.0}
+        for (kind, _), score in self._feedback.top(len(self._feedback)):
+            mass[kind] += score
+        return mass

@@ -1,0 +1,196 @@
+"""Group-discovery facade: one call from dataset to :class:`GroupSpace`.
+
+§II-A: *"The user data is given as input to a group discovery algorithm.
+VEXUS is independent of this process."*  This module is that independence
+boundary — every miner (LCM, Apriori, α-MOMRI, STREAMMINING, BIRCH) is
+exposed behind the same ``discover_groups`` call, returning the same
+:class:`GroupSpace` shape the exploration loop consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.features import user_feature_matrix
+from repro.core.group import Group, GroupSpace
+from repro.data.dataset import UserDataset
+from repro.mining.apriori import AprioriConfig, close_itemsets, mine_frequent
+from repro.mining.birch import Birch
+from repro.mining.itemsets import TransactionDB
+from repro.mining.lcm import LCMConfig, mine_closed
+from repro.mining.momri import MOMRIConfig, momri
+from repro.mining.streammining import StreamMiner
+
+METHODS = ("lcm", "apriori", "momri", "stream", "birch")
+
+
+@dataclass
+class DiscoveryConfig:
+    """Shared knobs across discovery backends.
+
+    ``min_support`` is a fraction of users when < 1, an absolute count
+    otherwise.  ``max_description`` caps group-description length (token
+    count), keeping the UI hover text readable.
+    """
+
+    method: str = "lcm"
+    min_support: float = 0.05
+    max_description: int = 4
+    min_group_size: int = 2
+    include_items: bool = True
+    min_item_support: int = 5
+    # momri-specific
+    momri_k: int = 5
+    momri_alpha: float = 0.05
+    momri_budget: int = 1500
+    # birch-specific
+    birch_threshold: float = 1.5
+    birch_branching: int = 50
+    birch_clusters: Optional[int] = 24
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ValueError(f"unknown discovery method {self.method!r}; pick from {METHODS}")
+        if self.min_support <= 0:
+            raise ValueError("min_support must be positive")
+
+    def absolute_support(self, n_users: int) -> int:
+        if self.min_support < 1:
+            return max(1, int(np.ceil(self.min_support * n_users)))
+        return int(self.min_support)
+
+
+def discover_groups(
+    dataset: UserDataset, config: Optional[DiscoveryConfig] = None
+) -> GroupSpace:
+    """Run the configured discovery backend and return its group space."""
+    config = config or DiscoveryConfig()
+    if config.method == "birch":
+        return _discover_birch(dataset, config)
+
+    transactions, token_vocab = dataset.transactions(
+        include_items=config.include_items,
+        min_item_support=config.min_item_support,
+    )
+    db = TransactionDB(transactions, token_vocab)
+    support = config.absolute_support(dataset.n_users)
+
+    if config.method == "lcm":
+        itemsets = mine_closed(
+            db, LCMConfig(min_support=support, max_items=config.max_description)
+        )
+    elif config.method == "apriori":
+        itemsets = close_itemsets(
+            db,
+            mine_frequent(
+                db, AprioriConfig(min_support=support, max_items=config.max_description)
+            ),
+        )
+    elif config.method == "stream":
+        itemsets = _discover_stream(db, dataset, config)
+    elif config.method == "momri":
+        closed = mine_closed(
+            db, LCMConfig(min_support=support, max_items=config.max_description)
+        )
+        candidates = [itemset for itemset in closed if itemset.items]
+        front = momri(
+            candidates,
+            db.n_transactions,
+            MOMRIConfig(
+                k=min(config.momri_k, max(len(candidates), 1)),
+                alpha=config.momri_alpha,
+                budget_evaluations=config.momri_budget,
+                seed=config.seed,
+            ),
+        )
+        chosen: dict[tuple[int, ...], object] = {}
+        for solution in front:
+            for itemset in solution.groups:
+                chosen.setdefault(itemset.items, itemset)
+        itemsets = sorted(
+            chosen.values(), key=lambda itemset: (len(itemset.items), itemset.items)  # type: ignore[attr-defined]
+        )
+    else:  # pragma: no cover — guarded by __post_init__
+        raise AssertionError(config.method)
+
+    return GroupSpace.from_itemsets(
+        dataset,
+        itemsets,  # type: ignore[arg-type]
+        token_vocab,
+        min_size=config.min_group_size,
+    )
+
+
+def _discover_stream(
+    db: TransactionDB, dataset: UserDataset, config: DiscoveryConfig
+) -> list:
+    """STREAMMINING backend: one-pass counting, then tid resolution.
+
+    The stream miner reports itemsets without tid-lists (it never stores
+    transactions); group construction resolves members with one indexed
+    lookup per reported itemset — the paper's offline pre-processing can
+    afford that single pass.
+    """
+    support_fraction = (
+        config.min_support
+        if config.min_support < 1
+        else config.min_support / max(dataset.n_users, 1)
+    )
+    miner = StreamMiner(
+        support=support_fraction,
+        max_itemset_size=config.max_description,
+    )
+    for tid in range(db.n_transactions):
+        miner.add_transaction(db.transaction(tid).tolist())
+    resolved = []
+    from repro.mining.itemsets import FrequentItemset
+
+    for itemset in miner.results():
+        tids = db.tids_of_itemset(itemset.items)
+        if len(tids):
+            resolved.append(FrequentItemset(itemset.items, len(tids), tids))
+    return resolved
+
+
+def _discover_birch(dataset: UserDataset, config: DiscoveryConfig) -> GroupSpace:
+    """BIRCH backend: featurise, cluster, describe clusters post hoc."""
+    features = user_feature_matrix(dataset)
+    model = Birch(
+        threshold=config.birch_threshold,
+        branching_factor=config.birch_branching,
+        n_clusters=config.birch_clusters,
+    )
+    model.fit(features.matrix)
+    labels = model.predict(features.matrix)
+    return GroupSpace.from_cluster_labels(
+        dataset, labels, min_size=config.min_group_size
+    )
+
+
+def group_space_with_descriptions_only(
+    dataset: UserDataset, config: Optional[DiscoveryConfig] = None
+) -> GroupSpace:
+    """Demographic-only group space (no item tokens).
+
+    Convenience used by experiments that study the demographic group
+    lattice (C6) where item tokens would drown the attribute structure.
+    """
+    config = config or DiscoveryConfig()
+    transactions, token_vocab = dataset.transactions(
+        include_items=False, min_item_support=config.min_item_support
+    )
+    db = TransactionDB(transactions, token_vocab)
+    itemsets = mine_closed(
+        db,
+        LCMConfig(
+            min_support=config.absolute_support(dataset.n_users),
+            max_items=config.max_description,
+        ),
+    )
+    return GroupSpace.from_itemsets(
+        dataset, itemsets, token_vocab, min_size=config.min_group_size
+    )

@@ -1,0 +1,98 @@
+"""User featurisation: numeric vectors for BIRCH and the Focus view.
+
+One-hot encoded demographics plus activity statistics (action count,
+log-count, mean value).  Used by the BIRCH discovery backend and as the
+input space of the LDA 2-D projection (§II-B Granular Analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import UserDataset
+from repro.data.schema import MISSING
+
+
+@dataclass(frozen=True)
+class FeatureSpace:
+    """A feature matrix plus the meaning of each column."""
+
+    matrix: np.ndarray  # (n_users, n_features) float64
+    column_names: tuple[str, ...]
+
+    @property
+    def n_features(self) -> int:
+        return self.matrix.shape[1]
+
+
+#: Datasets with at most this many items (e.g. DB-AUTHORS' 12 venues) get a
+#: per-item action-value column each — the "publication profile".
+ITEM_PROFILE_LIMIT = 50
+
+
+def user_feature_matrix(
+    dataset: UserDataset,
+    include_missing: bool = False,
+    standardize_activity: bool = True,
+    item_profile_limit: int = ITEM_PROFILE_LIMIT,
+) -> FeatureSpace:
+    """Featurise every user.
+
+    Demographic attributes become one-hot blocks (the :data:`MISSING` bucket
+    is skipped unless ``include_missing``); three activity columns capture
+    the action side: count, log1p(count), mean action value (0 for inactive
+    users).  When the item universe is small (<= ``item_profile_limit``,
+    e.g. venues), one z-scored column per item records the user's total
+    action value there — the profile LDA separates the Focus view by.
+    Activity columns are z-scored by default so one-hot and numeric scales
+    are comparable — BIRCH thresholds assume that.
+    """
+    blocks: list[np.ndarray] = []
+    names: list[str] = []
+    n = dataset.n_users
+
+    for attribute in dataset.attributes:
+        column = dataset.column(attribute)
+        for code, value in enumerate(column.vocab.labels()):
+            if value == MISSING and not include_missing:
+                continue
+            blocks.append((column.codes == code).astype(np.float64)[:, None])
+            names.append(f"{attribute}={value}")
+
+    if 0 < dataset.n_items <= item_profile_limit and dataset.n_actions:
+        profile = np.zeros((n, dataset.n_items))
+        np.add.at(
+            profile,
+            (dataset.action_user, dataset.action_item),
+            dataset.action_value.astype(np.float64),
+        )
+        profile = np.log1p(profile)
+        if standardize_activity:
+            center = profile.mean(axis=0)
+            scale = profile.std(axis=0)
+            scale[scale == 0] = 1.0
+            profile = (profile - center) / scale
+        blocks.append(profile)
+        names.extend(
+            f"item:{dataset.items.label(item)}" for item in range(dataset.n_items)
+        )
+
+    activity = dataset.user_activity().astype(np.float64)
+    means = np.zeros(n)
+    for user in range(n):
+        values = dataset.values_of_user(user)
+        if len(values):
+            means[user] = float(values.mean())
+    activity_block = np.column_stack([activity, np.log1p(activity), means])
+    if standardize_activity and n:
+        center = activity_block.mean(axis=0)
+        scale = activity_block.std(axis=0)
+        scale[scale == 0] = 1.0
+        activity_block = (activity_block - center) / scale
+    blocks.append(activity_block)
+    names.extend(["activity:count", "activity:log_count", "activity:mean_value"])
+
+    matrix = np.hstack(blocks) if blocks else np.zeros((n, 0))
+    return FeatureSpace(matrix=matrix, column_names=tuple(names))

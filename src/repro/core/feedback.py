@@ -1,0 +1,188 @@
+"""Explorer feedback learning.
+
+§II-B *Feedback Learning*: feedback is *"a probability vector over all
+users and demographic values"*.  Choosing a group is positive feedback: the
+scores of the group's members and of its description tokens increase, the
+vector is renormalised to sum to 1, and everything not rewarded decays
+toward zero implicitly.  The CONTEXT module shows the vector; deleting an
+entry *unlearns* it.
+
+Keys are ``("user", user_index)`` and ``("token", description_token)``.
+The invariant — non-negative entries summing to exactly 1 whenever the
+vector is non-empty — is property-tested under random learn/unlearn
+sequences.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Optional
+
+import numpy as np
+
+FeedbackKey = tuple[str, object]
+
+#: Entries below this mass are dropped at normalisation time; they are the
+#: "scores tending to zero" of §II-B and keeping them would let the vector
+#: grow without bound over a long session.
+PRUNE_EPSILON = 1e-9
+
+
+#: How much one click shifts the vector toward the clicked group.  The
+#: update is exponential-decay (s <- (1-eta) * s + eta * d): repeated
+#: rewards compound, unrewarded keys shrink geometrically toward zero —
+#: exactly the "gradually end up with a lower score tending to zero"
+#: behaviour §II-B describes — and the sum-to-1 invariant holds by
+#: construction.
+LEARNING_RATE = 0.4
+
+
+class FeedbackVector:
+    """Normalised preference scores over users and description tokens."""
+
+    def __init__(self, learning_rate: float = LEARNING_RATE) -> None:
+        if not 0 < learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+        self.learning_rate = learning_rate
+        self._scores: dict[FeedbackKey, float] = {}
+
+    # ------------------------------------------------------------------
+    # learning
+    # ------------------------------------------------------------------
+
+    def learn_group(
+        self,
+        members: np.ndarray,
+        description: Iterable[str],
+        reward: float = 1.0,
+    ) -> None:
+        """Positive feedback for choosing a group (§II-B).
+
+        The clicked group defines a reward distribution ``d`` (half its
+        mass uniformly over members, half uniformly over description
+        tokens); the vector moves toward it by ``learning_rate * reward``.
+        """
+        if reward <= 0:
+            raise ValueError("reward must be positive")
+        description = list(description)
+        distribution: dict[FeedbackKey, float] = {}
+        member_share = 0.5 if description else 1.0
+        token_share = 1.0 - member_share
+        if len(members):
+            per_member = member_share / len(members)
+            for user in members.tolist():
+                distribution[("user", int(user))] = per_member
+        elif description:
+            token_share = 1.0  # degenerate group: all mass on tokens
+        if description:
+            per_token = token_share / len(description)
+            for token in description:
+                distribution[("token", token)] = per_token
+        if not distribution:
+            return
+        total = sum(distribution.values())
+        distribution = {key: value / total for key, value in distribution.items()}
+
+        if not self._scores:
+            self._scores = distribution
+        else:
+            eta = min(1.0, self.learning_rate * reward)
+            for key in self._scores:
+                self._scores[key] *= 1.0 - eta
+            for key, value in distribution.items():
+                self._scores[key] = self._scores.get(key, 0.0) + eta * value
+        self._normalise()
+
+    def unlearn(self, key: FeedbackKey) -> bool:
+        """Delete one entry (the CONTEXT deletion gesture); True if present."""
+        if key in self._scores:
+            del self._scores[key]
+            self._normalise()
+            return True
+        return False
+
+    def unlearn_token(self, token: str) -> bool:
+        return self.unlearn(("token", token))
+
+    def unlearn_user(self, user: int) -> bool:
+        return self.unlearn(("user", int(user)))
+
+    def reset(self) -> None:
+        self._scores.clear()
+
+    def _normalise(self) -> None:
+        total = sum(self._scores.values())
+        if total <= 0.0:
+            self._scores.clear()
+            return
+        pruned = {
+            key: value / total
+            for key, value in self._scores.items()
+            if value / total > PRUNE_EPSILON
+        }
+        # Prune, then renormalise the survivors so the invariant holds exactly.
+        remaining = sum(pruned.values())
+        self._scores = {key: value / remaining for key, value in pruned.items()}
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def score(self, key: FeedbackKey) -> float:
+        return self._scores.get(key, 0.0)
+
+    def user_score(self, user: int) -> float:
+        return self._scores.get(("user", int(user)), 0.0)
+
+    def token_score(self, token: str) -> float:
+        return self._scores.get(("token", token), 0.0)
+
+    def total(self) -> float:
+        return sum(self._scores.values())
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __contains__(self, key: FeedbackKey) -> bool:
+        return key in self._scores
+
+    def top(self, count: int = 10) -> list[tuple[FeedbackKey, float]]:
+        """Highest-scored entries (what CONTEXT displays)."""
+        entries = sorted(
+            self._scores.items(), key=lambda item: (-item[1], repr(item[0]))
+        )
+        return entries[:count]
+
+    def group_weight(
+        self, members: np.ndarray, description: Iterable[str]
+    ) -> float:
+        """How aligned a group is with the feedback so far (§II-B).
+
+        Sum of the group's member scores and description-token scores; in
+        [0, 1] by the normalisation invariant (at most the whole vector).
+        """
+        weight = sum(self._scores.get(("user", int(user)), 0.0) for user in members.tolist())
+        weight += sum(
+            self._scores.get(("token", token), 0.0) for token in description
+        )
+        return weight
+
+    def user_weights(self, n_users: int, floor: float = 0.0) -> np.ndarray:
+        """Dense per-user weight vector (for weighted similarity/coverage)."""
+        weights = np.full(n_users, floor, dtype=np.float64)
+        for (kind, key), value in self._scores.items():
+            if kind == "user":
+                user = int(key)  # type: ignore[arg-type]
+                if 0 <= user < n_users:
+                    weights[user] += value
+        return weights
+
+    def snapshot(self) -> dict[FeedbackKey, float]:
+        """Copy of the raw scores (HISTORY stores these for backtracking)."""
+        return dict(self._scores)
+
+    def restore(self, snapshot: dict[FeedbackKey, float]) -> None:
+        self._scores = dict(snapshot)
+
+    def __repr__(self) -> str:
+        return f"FeedbackVector({len(self._scores)} entries, mass={self.total():.3f})"

@@ -1,0 +1,205 @@
+"""User groups and the group space.
+
+§I: *"The aggregation of users' demographics and actions forms groups such
+as 'young professionals in Paris' ... All group members share common
+demographics and actions that describe the group."*
+
+A :class:`Group` pairs a *description* (the common tokens) with its
+*members* (user indices).  A :class:`GroupSpace` is the set of groups the
+offline discovery step produced, with the lookups exploration needs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import UserDataset
+from repro.data.vocab import Vocab
+from repro.mining.itemsets import FrequentItemset
+
+
+@dataclass(frozen=True)
+class Group:
+    """One user group: description tokens + member user indices."""
+
+    gid: int
+    description: tuple[str, ...]
+    members: np.ndarray = field(hash=False, compare=False)
+
+    def __post_init__(self) -> None:
+        members = np.asarray(self.members, dtype=np.int64)
+        object.__setattr__(self, "members", members)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def label(self) -> str:
+        """Human-readable description (the hover text of GROUPVIZ)."""
+        if not self.description:
+            return "all users"
+        return " & ".join(self.description)
+
+    def contains_user(self, user: int) -> bool:
+        position = np.searchsorted(self.members, user)
+        return position < len(self.members) and self.members[position] == user
+
+    def __repr__(self) -> str:
+        return f"Group(#{self.gid} [{self.label}] n={self.size})"
+
+
+class GroupSpace:
+    """All discovered groups over one dataset.
+
+    Construction enforces sorted-unique member arrays so every similarity
+    computation downstream may assume them.
+    """
+
+    def __init__(self, dataset: UserDataset, groups: Sequence[Group]) -> None:
+        self.dataset = dataset
+        self.groups = list(groups)
+        for expected_gid, group in enumerate(self.groups):
+            if group.gid != expected_gid:
+                raise ValueError(
+                    f"group ids must be dense: position {expected_gid} holds #{group.gid}"
+                )
+        self._by_description: Optional[dict[tuple[str, ...], int]] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_itemsets(
+        cls,
+        dataset: UserDataset,
+        itemsets: Iterable[FrequentItemset],
+        token_vocab: Vocab,
+        min_size: int = 2,
+        drop_root: bool = True,
+    ) -> "GroupSpace":
+        """Turn mined closed itemsets into groups.
+
+        ``drop_root`` removes the empty-description group ("all users"),
+        which is never a useful exploration target.
+        """
+        groups: list[Group] = []
+        for itemset in itemsets:
+            if drop_root and not itemset.items:
+                continue
+            if itemset.support < min_size:
+                continue
+            description = tuple(token_vocab.label(item) for item in itemset.items)
+            groups.append(
+                Group(len(groups), description, np.sort(np.unique(itemset.tids)))
+            )
+        return cls(dataset, groups)
+
+    @classmethod
+    def from_cluster_labels(
+        cls,
+        dataset: UserDataset,
+        labels: np.ndarray,
+        min_size: int = 2,
+        describe_top: int = 3,
+        purity_floor: float = 0.6,
+    ) -> "GroupSpace":
+        """Turn a clustering (one label per user) into described groups.
+
+        Clusters have no intrinsic description, so one is attached post hoc:
+        the demographic values covering at least ``purity_floor`` of the
+        cluster, best ``describe_top`` of them (this is how VEXUS can sit on
+        top of BIRCH output).
+        """
+        labels = np.asarray(labels)
+        groups: list[Group] = []
+        for label in np.unique(labels):
+            members = np.flatnonzero(labels == label).astype(np.int64)
+            if len(members) < min_size:
+                continue
+            dominant: list[tuple[float, str]] = []
+            for attribute in dataset.attributes:
+                counts = dataset.column(attribute).counts(members)
+                value, count = max(counts.items(), key=lambda pair: pair[1])
+                share = count / len(members)
+                if share >= purity_floor:
+                    dominant.append((share, f"{attribute}={value}"))
+            dominant.sort(reverse=True)
+            description = tuple(token for _, token in dominant[:describe_top])
+            if not description:
+                description = (f"cluster:{int(label)}",)
+            groups.append(Group(len(groups), description, members))
+        return cls(dataset, groups)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __getitem__(self, gid: int) -> Group:
+        return self.groups[gid]
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    def memberships(self) -> list[np.ndarray]:
+        """Member arrays in gid order (the index-construction input)."""
+        return [group.members for group in self.groups]
+
+    def descriptions(self) -> list[tuple[str, ...]]:
+        return [group.description for group in self.groups]
+
+    def by_description(self, description: Iterable[str]) -> Optional[Group]:
+        """The group with exactly this description, if any."""
+        if self._by_description is None:
+            self._by_description = {
+                group.description: group.gid for group in self.groups
+            }
+        gid = self._by_description.get(tuple(description))
+        return self.groups[gid] if gid is not None else None
+
+    def groups_containing(self, user: int) -> list[Group]:
+        return [group for group in self.groups if group.contains_user(user)]
+
+    def largest(self, count: int) -> list[Group]:
+        """The ``count`` largest groups (ties broken by gid)."""
+        order = sorted(self.groups, key=lambda group: (-group.size, group.gid))
+        return order[:count]
+
+    def __repr__(self) -> str:
+        return f"GroupSpace({len(self.groups)} groups over {self.dataset.name!r})"
+
+
+def theoretical_group_count(n_attributes: int, n_values_per_attribute: int) -> int:
+    """Upper bound on the number of candidate groups (§I's 10^6 example).
+
+    Every user set sharing at least one attribute value can form a group, so
+    the candidate descriptions are all non-empty partial assignments of
+    values to attributes: ``(v + 1)^a - 1``.  With the paper's four
+    attributes and five values each this is 1,295 *conjunctive* descriptions
+    — the paper's "order of 10^6" additionally counts arbitrary unions of
+    such cells (any set of users with one shared token): ``2^(a*v)``-ish;
+    we report the conjunctive bound and measure empirical counts in C6.
+    """
+    if n_attributes < 0 or n_values_per_attribute < 0:
+        raise ValueError("counts must be non-negative")
+    return (n_values_per_attribute + 1) ** n_attributes - 1
+
+
+def powerset_group_count(n_attributes: int, n_values_per_attribute: int) -> float:
+    """The looser §I bound: any subset of the attribute-value tokens.
+
+    ``2^(a*v) - 1`` descriptions; with 4 attributes x 5 values this is
+    ``2^20 - 1 ≈ 10^6`` — the figure the paper quotes.
+    """
+    if n_attributes < 0 or n_values_per_attribute < 0:
+        raise ValueError("counts must be non-negative")
+    return math.pow(2, n_attributes * n_values_per_attribute) - 1

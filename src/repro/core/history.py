@@ -1,0 +1,104 @@
+"""HISTORY module: the exploration trajectory with backtracking.
+
+§II-A: *"The sequence of selected groups is visualized in HISTORY.  The
+explorer can backtrack to any previous step in HISTORY."*
+
+Steps form a tree, not a list: backtracking to an earlier step and clicking
+a different group branches the trajectory (both branches stay inspectable).
+Each step snapshots everything needed to restore the session exactly —
+shown groups and the feedback vector — which the round-trip property test
+relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.feedback import FeedbackKey
+
+
+@dataclass(frozen=True)
+class Step:
+    """One exploration step (immutable once recorded)."""
+
+    step_id: int
+    parent_id: Optional[int]
+    clicked_gid: Optional[int]  # group whose click produced this step; None = start
+    shown_gids: tuple[int, ...]
+    feedback_snapshot: dict[FeedbackKey, float] = field(hash=False, compare=False)
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id is None
+
+
+class History:
+    """Append-only step tree with a movable cursor."""
+
+    def __init__(self) -> None:
+        self._steps: list[Step] = []
+        self._children: dict[int, list[int]] = {}
+        self._current: Optional[int] = None
+
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        clicked_gid: Optional[int],
+        shown_gids: list[int],
+        feedback_snapshot: dict[FeedbackKey, float],
+    ) -> Step:
+        """Append a step under the cursor and move the cursor to it."""
+        step = Step(
+            step_id=len(self._steps),
+            parent_id=self._current,
+            clicked_gid=clicked_gid,
+            shown_gids=tuple(shown_gids),
+            feedback_snapshot=dict(feedback_snapshot),
+        )
+        self._steps.append(step)
+        if step.parent_id is not None:
+            self._children.setdefault(step.parent_id, []).append(step.step_id)
+        self._current = step.step_id
+        return step
+
+    def backtrack(self, step_id: int) -> Step:
+        """Move the cursor to any previously recorded step (O(1))."""
+        if not 0 <= step_id < len(self._steps):
+            raise KeyError(f"unknown history step {step_id}")
+        self._current = step_id
+        return self._steps[step_id]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Step]:
+        return self._steps[self._current] if self._current is not None else None
+
+    def step(self, step_id: int) -> Step:
+        return self._steps[step_id]
+
+    def children_of(self, step_id: int) -> list[Step]:
+        return [self._steps[child] for child in self._children.get(step_id, [])]
+
+    def path(self) -> list[Step]:
+        """Root-to-cursor chain (what the HISTORY panel draws)."""
+        chain: list[Step] = []
+        cursor = self._current
+        while cursor is not None:
+            step = self._steps[cursor]
+            chain.append(step)
+            cursor = step.parent_id
+        chain.reverse()
+        return chain
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self):
+        return iter(self._steps)
+
+    def __repr__(self) -> str:
+        position = self._current if self._current is not None else "-"
+        return f"History({len(self._steps)} steps, cursor at {position})"

@@ -1,0 +1,47 @@
+"""MEMO module: the explorer's bookmark collection.
+
+§II-A: *"At any stage of the process, the explorer can bookmark a group or
+a user in MEMO.  The analysis ends when the explorer is satisfied with her
+collection in MEMO, which serves as her analysis goal."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Memo:
+    """Bookmarked groups and users, each with an optional note."""
+
+    groups: dict[int, str] = field(default_factory=dict)
+    users: dict[int, str] = field(default_factory=dict)
+
+    def bookmark_group(self, gid: int, note: str = "") -> None:
+        self.groups[int(gid)] = note
+
+    def bookmark_user(self, user: int, note: str = "") -> None:
+        self.users[int(user)] = note
+
+    def remove_group(self, gid: int) -> bool:
+        return self.groups.pop(int(gid), None) is not None
+
+    def remove_user(self, user: int) -> bool:
+        return self.users.pop(int(user), None) is not None
+
+    def collected_users(self) -> list[int]:
+        """Bookmarked user indices, insertion order (the MT-task output)."""
+        return list(self.users)
+
+    def collected_groups(self) -> list[int]:
+        return list(self.groups)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.groups and not self.users
+
+    def __len__(self) -> int:
+        return len(self.groups) + len(self.users)
+
+    def __repr__(self) -> str:
+        return f"Memo({len(self.groups)} groups, {len(self.users)} users)"

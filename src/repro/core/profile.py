@@ -1,0 +1,70 @@
+"""Explorer profile: anticipating the next exploration step.
+
+§I: *"VEXUS builds an explorer profile and uses it to anticipate follow-up
+steps and select groups on-the-fly depending on the explorer's evolving
+needs."*
+
+The profile complements the feedback vector: where feedback captures *what*
+the explorer rewarded, the profile captures *how* the trajectory evolves —
+which description tokens keep recurring, and how recently.  The session
+uses it to pre-rank the candidate pool before the greedy selector runs, so
+anticipated directions are inside the pool even when the pool is capped.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.group import Group
+
+#: Per-step decay of old observations: recent clicks matter more.
+RECENCY_DECAY = 0.8
+
+
+@dataclass
+class ExplorerProfile:
+    """Recency-weighted token statistics over the visited trajectory."""
+
+    token_weight: dict[str, float] = field(default_factory=dict)
+    visited_gids: list[int] = field(default_factory=list)
+    steps_observed: int = 0
+
+    def observe(self, group: Group) -> None:
+        """Record one clicked group."""
+        for token in self.token_weight:
+            self.token_weight[token] *= RECENCY_DECAY
+        share = 1.0 / max(len(group.description), 1)
+        for token in group.description:
+            self.token_weight[token] = self.token_weight.get(token, 0.0) + share
+        self.visited_gids.append(group.gid)
+        self.steps_observed += 1
+
+    def interest(self, group: Group) -> float:
+        """Predicted affinity of a candidate group with the trajectory."""
+        if not group.description:
+            return 0.0
+        return sum(
+            self.token_weight.get(token, 0.0) for token in group.description
+        ) / len(group.description)
+
+    def rank(self, candidates: Sequence[Group]) -> list[Group]:
+        """Stable re-ranking: interest descending, original order as tiebreak.
+
+        Stability matters — when the profile knows nothing (cold start) the
+        pool must keep the inverted index's similarity order.
+        """
+        indexed = list(enumerate(candidates))
+        indexed.sort(key=lambda pair: (-self.interest(pair[1]), pair[0]))
+        return [group for _, group in indexed]
+
+    def top_tokens(self, count: int = 8) -> list[tuple[str, float]]:
+        entries = sorted(
+            self.token_weight.items(), key=lambda item: (-item[1], item[0])
+        )
+        return entries[:count]
+
+    def reset(self) -> None:
+        self.token_weight.clear()
+        self.visited_gids.clear()
+        self.steps_observed = 0

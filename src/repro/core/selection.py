@@ -1,0 +1,329 @@
+"""Anytime greedy selection of k diverse, covering groups.
+
+§II-B: *"We consider diversity and coverage as quality objectives ... We
+use a best-effort greedy approach ... to return a local diverse and
+covering set of k groups with a lower-bound on similarity ... we set a time
+limit for the greedy process.  The higher this limit, the more optimized
+the set of groups."*
+
+The selector is *anytime*: any budget returns k groups (P1), and more
+budget monotonically refines them (P2/P3):
+
+1. **floor fill** — the top-k pool entries (pool order is the inverted
+   index's similarity order), so even a ~0 budget shows something sensible;
+2. **greedy phase** — repeatedly add the candidate with the best marginal
+   gain on the blended objective;
+3. **swap phase** — local search exchanging a selected group for an
+   outsider while the clock allows.
+
+Objectives (all in [0, 1]):
+
+- ``diversity(S)`` = 1 − mean pairwise Jaccard of member sets;
+- ``coverage(S)``  = feedback-weighted fraction of the *relevant* users
+  (the clicked group's members) appearing in at least one selected group;
+- ``affinity(S)``  = mean feedback weight of the selected groups (the
+  §II-B weighted-similarity bias).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.feedback import FeedbackVector
+from repro.core.group import Group
+from repro.core.similarity import jaccard
+
+
+@dataclass
+class SelectionConfig:
+    """Knobs of the greedy selector.
+
+    Defaults follow the paper: ``k = 5`` (≤ 7 per Miller's law), a 100 ms
+    budget (continuity-preserving latency), and equal diversity/coverage
+    weight with a milder feedback bias.
+    """
+
+    k: int = 5
+    time_budget_ms: Optional[float] = 100.0
+    diversity_weight: float = 0.5
+    coverage_weight: float = 0.5
+    feedback_weight: float = 0.25
+    #: §II-B: "Optimizing diversity provides various analysis directions" —
+    #: member-level Jaccard alone would call five slices of the same
+    #: attribute maximally diverse; this term rewards displays whose
+    #: descriptions span *different attributes* (different directions).
+    description_diversity_weight: float = 0.3
+    max_candidates: int = 200
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.time_budget_ms is not None and self.time_budget_ms < 0:
+            raise ValueError("time budget must be >= 0")
+        if min(self.diversity_weight, self.coverage_weight, self.feedback_weight) < 0:
+            raise ValueError("objective weights must be >= 0")
+
+
+@dataclass
+class SelectionResult:
+    """Selected groups plus the quality numbers benchmarks report."""
+
+    groups: list[Group]
+    diversity: float
+    coverage: float
+    affinity: float
+    score: float
+    elapsed_ms: float
+    evaluations: int
+    pool_size: int
+    phases_completed: int  # 1 = floor fill, 2 = greedy, 3 = swaps converged
+
+    def gids(self) -> list[int]:
+        return [group.gid for group in self.groups]
+
+
+class _Evaluator:
+    """Incremental objective evaluation over a fixed candidate pool."""
+
+    def __init__(
+        self,
+        pool: Sequence[Group],
+        relevant: np.ndarray,
+        feedback: Optional[FeedbackVector],
+        config: SelectionConfig,
+        prior: Optional[Callable[[Group], float]] = None,
+    ) -> None:
+        self.pool = list(pool)
+        self.config = config
+        self.relevant = np.sort(np.asarray(relevant, dtype=np.int64))
+        n_relevant = len(self.relevant)
+        if feedback is not None and n_relevant:
+            dense = feedback.user_weights(int(self.relevant.max()) + 1, floor=0.0)
+            weights = dense[self.relevant] + 1.0 / n_relevant
+        else:
+            weights = np.full(n_relevant, 1.0 / max(n_relevant, 1))
+        self.weights = weights
+        self.total_weight = float(weights.sum()) if n_relevant else 1.0
+        # Candidate coverage = positions (into `relevant`) each candidate hits.
+        self.positions: list[np.ndarray] = []
+        for group in self.pool:
+            if n_relevant == 0:
+                self.positions.append(np.empty(0, dtype=np.int64))
+                continue
+            insert_at = np.searchsorted(self.relevant, group.members)
+            in_range = insert_at < n_relevant
+            matches = np.zeros(len(group.members), dtype=bool)
+            matches[in_range] = (
+                self.relevant[insert_at[in_range]] == group.members[in_range]
+            )
+            self.positions.append(insert_at[matches])
+        self.group_feedback = [
+            (
+                feedback.group_weight(group.members, group.description)
+                if feedback is not None
+                else 0.0
+            )
+            + (prior(group) if prior is not None else 0.0)
+            for group in self.pool
+        ]
+        self.group_attributes = [
+            frozenset(_attribute_of(token) for token in group.description)
+            for group in self.pool
+        ]
+        self._jaccard_cache: dict[tuple[int, int], float] = {}
+        self.evaluations = 0
+
+    def pairwise(self, left: int, right: int) -> float:
+        key = (left, right) if left < right else (right, left)
+        cached = self._jaccard_cache.get(key)
+        if cached is None:
+            cached = jaccard(self.pool[left].members, self.pool[right].members)
+            self._jaccard_cache[key] = cached
+        return cached
+
+    def diversity(self, selected: list[int]) -> float:
+        if len(selected) < 2:
+            return 1.0
+        total = 0.0
+        pairs = 0
+        for i in range(len(selected)):
+            for j in range(i + 1, len(selected)):
+                total += self.pairwise(selected[i], selected[j])
+                pairs += 1
+        return 1.0 - total / pairs
+
+    def coverage(self, selected: list[int]) -> float:
+        if len(self.relevant) == 0:
+            return 1.0
+        if not selected:
+            return 0.0
+        mask = np.zeros(len(self.relevant), dtype=bool)
+        for index in selected:
+            mask[self.positions[index]] = True
+        return float(self.weights[mask].sum() / self.total_weight)
+
+    def affinity(self, selected: list[int]) -> float:
+        if not selected:
+            return 0.0
+        return float(np.mean([self.group_feedback[index] for index in selected]))
+
+    def description_diversity(self, selected: list[int]) -> float:
+        """Share of distinct analysis directions across the display.
+
+        1.0 when every description opens a different attribute set; low when
+        the display is five slices of the same attribute.
+        """
+        if not selected:
+            return 0.0
+        total = sum(max(len(self.group_attributes[index]), 1) for index in selected)
+        distinct = len(
+            frozenset().union(*(self.group_attributes[index] for index in selected))
+        )
+        return max(distinct, 1) / total
+
+    def score(self, selected: list[int]) -> float:
+        self.evaluations += 1
+        return (
+            self.config.diversity_weight * self.diversity(selected)
+            + self.config.coverage_weight * self.coverage(selected)
+            + self.config.feedback_weight * self.affinity(selected)
+            + self.config.description_diversity_weight
+            * self.description_diversity(selected)
+        )
+
+
+def _attribute_of(token: str) -> str:
+    """The analysis direction a description token belongs to.
+
+    ``gender=female`` -> ``gender``; ``item:The Hobbit`` -> ``item``.
+    """
+    if token.startswith("item:"):
+        return "item"
+    attribute, separator, _ = token.partition("=")
+    return attribute if separator else token
+
+
+def select_k(
+    pool: Sequence[Group],
+    relevant: np.ndarray,
+    feedback: Optional[FeedbackVector] = None,
+    config: Optional[SelectionConfig] = None,
+    clock: Callable[[], float] = time.perf_counter,
+    prior: Optional[Callable[[Group], float]] = None,
+) -> SelectionResult:
+    """Pick ≤ k groups from ``pool`` optimizing the blended objective.
+
+    ``pool`` should arrive in descending parent-similarity order (the
+    inverted index's materialized prefix) — the zero-budget fallback takes
+    its head.  ``relevant`` is the user set coverage is measured against
+    (the clicked group's members, or every user at session start).
+    ``prior`` (optional) adds an explorer-profile interest bonus per group
+    to the affinity term — the "anticipate follow-up steps" hook of §I.
+    """
+    config = config or SelectionConfig()
+    started = clock()
+    budget_seconds = (
+        None if config.time_budget_ms is None else config.time_budget_ms / 1000.0
+    )
+
+    def out_of_time() -> bool:
+        return budget_seconds is not None and (clock() - started) >= budget_seconds
+
+    pool = list(pool)[: config.max_candidates]
+    k = min(config.k, len(pool))
+    evaluator = _Evaluator(pool, relevant, feedback, config, prior)
+
+    # Phase 1: floor fill — the top-k by index similarity.
+    selected = list(range(k))
+    phases = 1
+
+    # Phase 2: greedy rebuild, candidate-by-candidate, clock-checked.
+    if k and not out_of_time():
+        greedy: list[int] = []
+        aborted = False
+        for _slot in range(k):
+            best_index = -1
+            best_score = -np.inf
+            for candidate in range(len(pool)):
+                if candidate in greedy:
+                    continue
+                if out_of_time():
+                    aborted = True
+                    break
+                candidate_score = evaluator.score(greedy + [candidate])
+                if candidate_score > best_score:
+                    best_score = candidate_score
+                    best_index = candidate
+            if aborted and best_index < 0:
+                break
+            if best_index >= 0:
+                greedy.append(best_index)
+            if aborted:
+                break
+        if len(greedy) == k:
+            selected = greedy
+            phases = 2
+        elif greedy:
+            # Partial greedy: keep it, fill remaining slots by pool order.
+            filler = [index for index in range(len(pool)) if index not in greedy]
+            selected = greedy + filler[: k - len(greedy)]
+            phases = 2
+
+    # Phase 3: swap local search until no improvement or budget exhausted.
+    if phases == 2 and k and not out_of_time():
+        current_score = evaluator.score(selected)
+        improved = True
+        while improved and not out_of_time():
+            improved = False
+            for position in range(k):
+                if out_of_time():
+                    break
+                best_swap = None
+                best_swap_score = current_score
+                for candidate in range(len(pool)):
+                    if candidate in selected:
+                        continue
+                    if out_of_time():
+                        break
+                    trial = list(selected)
+                    trial[position] = candidate
+                    trial_score = evaluator.score(trial)
+                    if trial_score > best_swap_score + 1e-12:
+                        best_swap_score = trial_score
+                        best_swap = candidate
+                if best_swap is not None:
+                    selected[position] = best_swap
+                    current_score = best_swap_score
+                    improved = True
+        # A pass that found no swap *and* did not run out of time means the
+        # local search converged — the best the greedy can do on this pool.
+        if not improved and not out_of_time():
+            phases = 3
+
+    groups = [pool[index] for index in selected]
+    diversity = evaluator.diversity(selected)
+    coverage = evaluator.coverage(selected)
+    affinity = evaluator.affinity(selected)
+    score = (
+        config.diversity_weight * diversity
+        + config.coverage_weight * coverage
+        + config.feedback_weight * affinity
+        + config.description_diversity_weight
+        * evaluator.description_diversity(selected)
+    )
+    return SelectionResult(
+        groups=groups,
+        diversity=diversity,
+        coverage=coverage,
+        affinity=affinity,
+        score=score,
+        elapsed_ms=(clock() - started) * 1000.0,
+        evaluations=evaluator.evaluations,
+        pool_size=len(pool),
+        phases_completed=phases,
+    )

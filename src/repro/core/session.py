@@ -1,0 +1,209 @@
+"""The VEXUS exploration loop.
+
+§II wires five modules around an explorer: GROUPVIZ shows k groups, a click
+is implicit positive feedback (CONTEXT), the next k similar-but-diverse
+groups are computed within the latency budget, HISTORY records each step
+with backtracking, MEMO collects the analysis goal.  This module owns that
+loop; visualization (:mod:`repro.viz`) and simulated explorers
+(:mod:`repro.agents`) plug into it from outside.
+
+Interaction costs, matching §II-B: ``click`` = one materialized index
+lookup + the time-budgeted greedy (the only non-O(1) part, bounded by its
+budget); ``backtrack``, ``bookmark`` and CONTEXT edits are O(1) in the
+group space size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.context import ContextView
+from repro.core.feedback import FeedbackVector
+from repro.core.group import Group, GroupSpace
+from repro.core.history import History, Step
+from repro.core.memo import Memo
+from repro.core.profile import ExplorerProfile
+from repro.core.selection import SelectionConfig, SelectionResult, select_k
+from repro.index.inverted import SimilarityIndex
+
+
+@dataclass
+class SessionConfig:
+    """Session-level knobs (defaults follow the paper's choices)."""
+
+    k: int = 5  # ≤ 7 (Miller's law, §II-A)
+    time_budget_ms: Optional[float] = 100.0  # continuity-preserving latency
+    similarity_floor: float = 0.01  # lower bound on similarity (§II-B)
+    max_pool: int = 200
+    materialize_fraction: float = 0.10
+    reward: float = 1.0
+    use_profile: bool = True
+    #: §II-B: "To incorporate feedback in the greedy optimizer behind the
+    #: group visualizer, we consider a weighted similarity function."  When
+    #: on, the candidate pool is re-ranked by feedback-weighted Jaccard to
+    #: the clicked group before selection.
+    weighted_similarity: bool = False
+    selection: SelectionConfig = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        # The paper keeps k <= 7 (limited options, P1); the hard ceiling here
+        # is looser so experiment C7 can sweep past the knee and show *why*
+        # 7 is the right default.
+        if self.k < 1 or self.k > 15:
+            raise ValueError("k must be in 1..15 (P1 wants <= 7)")
+        if self.selection is None:
+            self.selection = SelectionConfig(
+                k=self.k,
+                time_budget_ms=self.time_budget_ms,
+                max_candidates=self.max_pool,
+            )
+
+
+class ExplorationSession:
+    """One explorer's interactive walk over a group space."""
+
+    def __init__(
+        self,
+        space: GroupSpace,
+        index: Optional[SimilarityIndex] = None,
+        config: Optional[SessionConfig] = None,
+    ) -> None:
+        self.space = space
+        self.config = config or SessionConfig()
+        self.index = index or SimilarityIndex(
+            space.memberships(),
+            space.dataset.n_users,
+            materialize_fraction=self.config.materialize_fraction,
+        )
+        self.feedback = FeedbackVector()
+        self.history = History()
+        self.memo = Memo()
+        self.profile = ExplorerProfile()
+        self.context = ContextView(self.feedback, space.dataset)
+        self._displayed: list[Group] = []
+        self.last_selection: Optional[SelectionResult] = None
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+
+    def start(self, seed_gids: Optional[list[int]] = None) -> list[Group]:
+        """Show the initial k groups.
+
+        With no seeds, the pool is the largest groups (a summary of the
+        dataset); with seeds (e.g. last year's PC in Scenario 1) the pool is
+        the seeds plus their index neighborhoods.
+        """
+        if seed_gids is None:
+            pool = self.space.largest(self.config.max_pool)
+        else:
+            pool_ids: list[int] = []
+            for gid in seed_gids:
+                if gid not in pool_ids:
+                    pool_ids.append(gid)
+                for neighbor in self.index.neighbors(gid, self.config.max_pool):
+                    if neighbor.group not in pool_ids:
+                        pool_ids.append(neighbor.group)
+            pool = [self.space[gid] for gid in pool_ids[: self.config.max_pool]]
+        relevant = np.arange(self.space.dataset.n_users, dtype=np.int64)
+        result = select_k(
+            pool, relevant, self.feedback, self.config.selection
+        )
+        self._displayed = result.groups
+        self.last_selection = result
+        self.history.record(None, result.gids(), self.feedback.snapshot())
+        return list(self._displayed)
+
+    def click(self, gid: int) -> list[Group]:
+        """Select a displayed group; learn feedback; show the next k.
+
+        The next candidates come from the clicked group's inverted index
+        prefix, filtered by the similarity lower bound, profile-reranked,
+        then greedily optimized for diversity + coverage of the clicked
+        group's members within the time budget (§II-B).
+        """
+        group = self.space[gid]
+        self.feedback.learn_group(
+            group.members, group.description, reward=self.config.reward
+        )
+        self.profile.observe(group)
+
+        neighbors = self.index.neighbors(gid, self.config.max_pool)
+        pool = [
+            self.space[neighbor.group]
+            for neighbor in neighbors
+            if neighbor.similarity >= self.config.similarity_floor
+        ]
+        if self.config.weighted_similarity and len(self.feedback):
+            pool = self._rerank_weighted(group, pool)
+        prior = None
+        if self.config.use_profile and self.profile.steps_observed > 1:
+            pool = self.profile.rank(pool)
+            prior = self.profile.interest
+        if not pool:
+            # Dead end in the graph: stay on the clicked group's display.
+            pool = [group]
+        result = select_k(
+            pool, group.members, self.feedback, self.config.selection, prior=prior
+        )
+        self._displayed = result.groups
+        self.last_selection = result
+        self.history.record(gid, result.gids(), self.feedback.snapshot())
+        return list(self._displayed)
+
+    def _rerank_weighted(self, clicked: Group, pool: list[Group]) -> list[Group]:
+        """Re-rank the pool by feedback-weighted Jaccard to the clicked group.
+
+        Users the explorer rewarded count more in the overlap, so groups in
+        line with the feedback float up (§II-B's weighted similarity).
+        """
+        from repro.core.similarity import weighted_jaccard
+
+        weights = self.feedback.user_weights(self.space.dataset.n_users, floor=1e-6)
+        scored = sorted(
+            enumerate(pool),
+            key=lambda pair: (
+                -weighted_jaccard(clicked.members, pair[1].members, weights),
+                pair[0],
+            ),
+        )
+        return [group for _, group in scored]
+
+    def backtrack(self, step_id: int) -> list[Group]:
+        """Jump to any HISTORY step, restoring its exact display + feedback."""
+        step = self.history.backtrack(step_id)
+        self.feedback.restore(step.feedback_snapshot)
+        self._displayed = [self.space[gid] for gid in step.shown_gids]
+        return list(self._displayed)
+
+    # ------------------------------------------------------------------
+    # O(1) side interactions
+    # ------------------------------------------------------------------
+
+    def displayed(self) -> list[Group]:
+        return list(self._displayed)
+
+    def displayed_gids(self) -> list[int]:
+        return [group.gid for group in self._displayed]
+
+    def bookmark_group(self, gid: int, note: str = "") -> None:
+        self.memo.bookmark_group(gid, note)
+
+    def bookmark_user(self, user: int, note: str = "") -> None:
+        self.memo.bookmark_user(user, note)
+
+    def drill_down(self, gid: int) -> np.ndarray:
+        """Member user indices of a group (the STATS/Focus-view input)."""
+        return self.space[gid].members.copy()
+
+    def current_step(self) -> Optional[Step]:
+        return self.history.current
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplorationSession({len(self.space)} groups, "
+            f"{len(self.history)} steps, showing {len(self._displayed)})"
+        )

@@ -1,0 +1,64 @@
+"""Set similarity between groups.
+
+§II-A uses Jaccard over member sets to rank each group's inverted index;
+§II-B extends it to a *weighted* similarity so the greedy optimizer can
+favour groups aligned with the explorer's feedback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def jaccard(left: np.ndarray, right: np.ndarray) -> float:
+    """Jaccard similarity of two sorted-unique index arrays."""
+    if len(left) == 0 and len(right) == 0:
+        return 1.0
+    intersection = len(np.intersect1d(left, right, assume_unique=True))
+    union = len(left) + len(right) - intersection
+    return intersection / union if union else 0.0
+
+
+def jaccard_distance(left: np.ndarray, right: np.ndarray) -> float:
+    """1 − Jaccard similarity (the paper's phrasing: 'Jaccard distance')."""
+    return 1.0 - jaccard(left, right)
+
+
+def overlap_size(left: np.ndarray, right: np.ndarray) -> int:
+    """|left ∩ right| — nonzero iff the group graph has an edge (§II)."""
+    return len(np.intersect1d(left, right, assume_unique=True))
+
+
+def weighted_jaccard(
+    left: np.ndarray,
+    right: np.ndarray,
+    weights: np.ndarray,
+) -> float:
+    """Jaccard where each user counts with an importance weight.
+
+    ``weights`` is a dense per-user weight vector (e.g. the feedback scores
+    of §II-B plus a uniform floor).  Reduces to plain Jaccard when all
+    weights are equal.
+    """
+    if len(left) == 0 and len(right) == 0:
+        return 1.0
+    intersection = np.intersect1d(left, right, assume_unique=True)
+    union = np.union1d(left, right)
+    union_weight = float(weights[union].sum())
+    if union_weight <= 0.0:
+        return 0.0
+    return float(weights[intersection].sum()) / union_weight
+
+
+def mean_pairwise_jaccard(memberships: list[np.ndarray]) -> float:
+    """Average Jaccard over all pairs (0 when fewer than two groups)."""
+    count = len(memberships)
+    if count < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i in range(count):
+        for j in range(i + 1, count):
+            total += jaccard(memberships[i], memberships[j])
+            pairs += 1
+    return total / pairs

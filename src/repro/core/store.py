@@ -1,0 +1,224 @@
+"""Persistence for offline pre-processing artifacts.
+
+The paper's pipeline (Fig. 1) runs group discovery and index construction
+*offline*; a real deployment computes them once and serves many exploration
+sessions.  This module persists both artifacts — the group space and the
+partially materialized similarity index — plus a session's state (feedback,
+history, memo), using portable formats only (JSON + ``.npz``; no pickle).
+
+Layout of a store directory::
+
+    <dir>/space.json      descriptions, gids, dataset name
+    <dir>/members.npz     member arrays (flattened + offsets)
+    <dir>/index.json      materialization fraction, prefix ranking
+    <dir>/session.json    feedback snapshot, history tree, memo
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.group import Group, GroupSpace
+from repro.core.session import ExplorationSession
+from repro.data.dataset import UserDataset
+from repro.index.inverted import Neighbor, SimilarityIndex
+
+_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# group space
+# ---------------------------------------------------------------------------
+
+
+def save_group_space(space: GroupSpace, directory: str | Path) -> None:
+    """Write a group space under ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    memberships = space.memberships()
+    offsets = np.zeros(len(memberships) + 1, dtype=np.int64)
+    np.cumsum([len(members) for members in memberships], out=offsets[1:])
+    flat = (
+        np.concatenate(memberships)
+        if memberships
+        else np.empty(0, dtype=np.int64)
+    )
+    np.savez_compressed(directory / "members.npz", offsets=offsets, members=flat)
+    manifest = {
+        "version": _FORMAT_VERSION,
+        "dataset": space.dataset.name,
+        "n_groups": len(space),
+        "descriptions": [list(group.description) for group in space],
+    }
+    (directory / "space.json").write_text(
+        json.dumps(manifest), encoding="utf-8"
+    )
+
+
+def load_group_space(dataset: UserDataset, directory: str | Path) -> GroupSpace:
+    """Rebuild a group space saved by :func:`save_group_space`.
+
+    ``dataset`` must be the same population the space was discovered on
+    (checked by name); member indices are not revalidated beyond bounds.
+    """
+    directory = Path(directory)
+    manifest = json.loads((directory / "space.json").read_text(encoding="utf-8"))
+    if manifest["version"] != _FORMAT_VERSION:
+        raise ValueError(f"unsupported store version {manifest['version']}")
+    if manifest["dataset"] != dataset.name:
+        raise ValueError(
+            f"store was built on dataset {manifest['dataset']!r}, "
+            f"got {dataset.name!r}"
+        )
+    arrays = np.load(directory / "members.npz")
+    offsets = arrays["offsets"]
+    flat = arrays["members"]
+    if len(flat) and flat.max() >= dataset.n_users:
+        raise ValueError("stored member index out of range for this dataset")
+    groups = [
+        Group(
+            gid,
+            tuple(description),
+            flat[offsets[gid] : offsets[gid + 1]],
+        )
+        for gid, description in enumerate(manifest["descriptions"])
+    ]
+    return GroupSpace(dataset, groups)
+
+
+# ---------------------------------------------------------------------------
+# similarity index
+# ---------------------------------------------------------------------------
+
+
+def save_index(index: SimilarityIndex, directory: str | Path) -> None:
+    """Persist the materialized prefix of a similarity index."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    prefix = [
+        [[neighbor.group, neighbor.similarity] for neighbor in index.materialized_neighbors(gid)]
+        for gid in range(index.n_groups)
+    ]
+    payload = {
+        "version": _FORMAT_VERSION,
+        "n_groups": index.n_groups,
+        "n_users": index.n_users,
+        "materialize_fraction": index.materialize_fraction,
+        "prefix": prefix,
+        "prefix_complete": list(index._prefix_complete),
+    }
+    (directory / "index.json").write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_index(space: GroupSpace, directory: str | Path) -> SimilarityIndex:
+    """Rebuild an index saved by :func:`save_index` without recomputing.
+
+    The memberships come from ``space``; the stored prefix replaces the
+    construction pass (useful when the O(|G|^2) build is the bottleneck).
+    """
+    directory = Path(directory)
+    payload = json.loads((directory / "index.json").read_text(encoding="utf-8"))
+    if payload["version"] != _FORMAT_VERSION:
+        raise ValueError(f"unsupported store version {payload['version']}")
+    if payload["n_groups"] != len(space):
+        raise ValueError(
+            f"index stores {payload['n_groups']} groups, space has {len(space)}"
+        )
+    index = SimilarityIndex.__new__(SimilarityIndex)
+    index.n_groups = payload["n_groups"]
+    index.n_users = payload["n_users"]
+    index.materialize_fraction = payload["materialize_fraction"]
+    index._memberships = [
+        np.asarray(members, dtype=np.int64) for members in space.memberships()
+    ]
+    index._sizes = np.array([len(members) for members in index._memberships])
+    index._prefix = [
+        [Neighbor(int(group), float(similarity)) for group, similarity in entry]
+        for entry in payload["prefix"]
+    ]
+    index._prefix_complete = list(payload["prefix_complete"])
+    index._exact_cache = {}
+    return index
+
+
+# ---------------------------------------------------------------------------
+# session state
+# ---------------------------------------------------------------------------
+
+
+def save_session_state(session: ExplorationSession, directory: str | Path) -> None:
+    """Persist everything needed to resume an exploration session."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "displayed": session.displayed_gids(),
+        "feedback": [
+            [kind, key, value]
+            for (kind, key), value in session.feedback.snapshot().items()
+        ],
+        "history": [
+            {
+                "step_id": step.step_id,
+                "parent_id": step.parent_id,
+                "clicked_gid": step.clicked_gid,
+                "shown_gids": list(step.shown_gids),
+                "feedback": [
+                    [kind, key, value]
+                    for (kind, key), value in step.feedback_snapshot.items()
+                ],
+            }
+            for step in session.history
+        ],
+        "cursor": (
+            session.history.current.step_id
+            if session.history.current is not None
+            else None
+        ),
+        "memo_groups": {str(gid): note for gid, note in session.memo.groups.items()},
+        "memo_users": {str(user): note for user, note in session.memo.users.items()},
+    }
+    (directory / "session.json").write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_session_state(
+    session: ExplorationSession, directory: str | Path
+) -> ExplorationSession:
+    """Restore a session saved by :func:`save_session_state` in place.
+
+    ``session`` must be freshly constructed over the same space; its
+    history/feedback/memo are replaced by the stored state.
+    """
+    directory = Path(directory)
+    payload = json.loads((directory / "session.json").read_text(encoding="utf-8"))
+    if payload["version"] != _FORMAT_VERSION:
+        raise ValueError(f"unsupported store version {payload['version']}")
+    if len(session.history) > 0:
+        raise ValueError("load_session_state needs a fresh session")
+
+    def decode(entries):
+        return {
+            (kind, key if kind == "token" else int(key)): float(value)
+            for kind, key, value in entries
+        }
+
+    for step in payload["history"]:
+        # Rebuild the tree in recorded order: set the cursor to each step's
+        # parent before recording so branching is preserved.
+        if step["parent_id"] is not None:
+            session.history.backtrack(step["parent_id"])
+        session.history.record(
+            step["clicked_gid"], step["shown_gids"], decode(step["feedback"])
+        )
+    if payload["cursor"] is not None:
+        session.history.backtrack(payload["cursor"])
+    session.feedback.restore(decode(payload["feedback"]))
+    for gid, note in payload["memo_groups"].items():
+        session.memo.bookmark_group(int(gid), note)
+    for user, note in payload["memo_users"].items():
+        session.memo.bookmark_user(int(user), note)
+    session._displayed = [session.space[gid] for gid in payload["displayed"]]
+    return session

@@ -1,0 +1,230 @@
+"""Exploration task models: single-target (ST) and multi-target (MT).
+
+§III: *"Explorers can seek to achieve either a single target task (ST),
+where the goal is to find a single group in its entirety (e.g., finding an
+audience group for targeted advertisement), or a multi-target task (MT),
+where the goal is to identify several users of interest while exploring
+user groups (e.g., forming an expert-set for a conference)."*
+
+Tasks are declarative: they inspect a MEMO (and the dataset) and report
+completion and progress.  The simulated explorers in :mod:`repro.agents`
+drive sessions until their task completes — which is how the paper's
+"<10 iterations" and "80% satisfaction" numbers are regenerated.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.group import Group, GroupSpace
+from repro.core.memo import Memo
+from repro.data.dataset import UserDataset
+
+
+class ExplorationTask(ABC):
+    """Common interface: completion + progress in [0, 1]."""
+
+    @abstractmethod
+    def is_complete(self, memo: Memo) -> bool: ...
+
+    @abstractmethod
+    def progress(self, memo: Memo) -> float: ...
+
+
+# ---------------------------------------------------------------------------
+# constraints (used by MT tasks)
+# ---------------------------------------------------------------------------
+
+
+class Constraint(ABC):
+    """A requirement over a set of collected users."""
+
+    @abstractmethod
+    def satisfaction(self, users: Sequence[int], dataset: UserDataset) -> float:
+        """Degree of satisfaction in [0, 1]; 1.0 means satisfied."""
+
+    def is_satisfied(self, users: Sequence[int], dataset: UserDataset) -> bool:
+        return self.satisfaction(users, dataset) >= 1.0
+
+
+@dataclass(frozen=True)
+class MinCount(Constraint):
+    """At least ``count`` users collected."""
+
+    count: int
+
+    def satisfaction(self, users: Sequence[int], dataset: UserDataset) -> float:
+        if self.count <= 0:
+            return 1.0
+        return min(1.0, len(users) / self.count)
+
+
+@dataclass(frozen=True)
+class MinDistinct(Constraint):
+    """Collected users span >= ``distinct`` values of ``attribute``.
+
+    The geographic-diversity requirement of Scenario 1 ("geographically
+    distributed researchers") is ``MinDistinct("country", 4)``.
+    """
+
+    attribute: str
+    distinct: int
+
+    def satisfaction(self, users: Sequence[int], dataset: UserDataset) -> float:
+        if self.distinct <= 0:
+            return 1.0
+        values = {dataset.demographic_value(user, self.attribute) for user in users}
+        return min(1.0, len(values) / self.distinct)
+
+
+@dataclass(frozen=True)
+class MinShare(Constraint):
+    """At least ``share`` of collected users have ``attribute == value``.
+
+    Gender balance ("gender-balanced committee") is
+    ``MinShare("gender", "female", 0.4)``.
+    """
+
+    attribute: str
+    value: str
+    share: float
+
+    def satisfaction(self, users: Sequence[int], dataset: UserDataset) -> float:
+        if not users:
+            return 0.0
+        hits = sum(
+            1
+            for user in users
+            if dataset.demographic_value(user, self.attribute) == self.value
+        )
+        actual = hits / len(users)
+        if self.share <= 0:
+            return 1.0
+        return min(1.0, actual / self.share)
+
+
+@dataclass(frozen=True)
+class MembersOf(Constraint):
+    """All collected users belong to a fixed user pool (e.g. one community)."""
+
+    pool: frozenset[int]
+
+    def satisfaction(self, users: Sequence[int], dataset: UserDataset) -> float:
+        if not users:
+            return 0.0
+        inside = sum(1 for user in users if user in self.pool)
+        return inside / len(users)
+
+
+# ---------------------------------------------------------------------------
+# tasks
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SingleTargetTask(ExplorationTask):
+    """ST: reach one specific group (bookmark it in MEMO).
+
+    The target can be a gid or any predicate over groups; completion is
+    "a bookmarked group satisfies the predicate".
+    """
+
+    space: GroupSpace
+    target_gid: int | None = None
+    predicate: object = None  # Callable[[Group], bool]
+
+    def __post_init__(self) -> None:
+        if self.target_gid is None and self.predicate is None:
+            raise ValueError("SingleTargetTask needs a target gid or predicate")
+
+    def _matches(self, group: Group) -> bool:
+        if self.target_gid is not None and group.gid == self.target_gid:
+            return True
+        if self.predicate is not None and self.predicate(group):  # type: ignore[operator]
+            return True
+        return False
+
+    def is_complete(self, memo: Memo) -> bool:
+        return any(self._matches(self.space[gid]) for gid in memo.collected_groups())
+
+    def progress(self, memo: Memo) -> float:
+        if self.is_complete(memo):
+            return 1.0
+        # Partial credit: best member overlap with the target group.
+        if self.target_gid is None:
+            return 0.0
+        target_members = self.space[self.target_gid].members
+        best = 0.0
+        for gid in memo.collected_groups():
+            overlap = len(np.intersect1d(self.space[gid].members, target_members))
+            best = max(best, overlap / max(len(target_members), 1))
+        return best
+
+
+@dataclass
+class MultiTargetTask(ExplorationTask):
+    """MT: collect users satisfying every constraint (the PC-chair task)."""
+
+    dataset: UserDataset
+    constraints: list[Constraint] = field(default_factory=list)
+
+    def is_complete(self, memo: Memo) -> bool:
+        users = memo.collected_users()
+        return all(
+            constraint.is_satisfied(users, self.dataset)
+            for constraint in self.constraints
+        )
+
+    def progress(self, memo: Memo) -> float:
+        if not self.constraints:
+            return 1.0
+        users = memo.collected_users()
+        return float(
+            np.mean(
+                [
+                    constraint.satisfaction(users, self.dataset)
+                    for constraint in self.constraints
+                ]
+            )
+        )
+
+    def unmet(self, memo: Memo) -> list[Constraint]:
+        """Constraints still violated — what the agent should chase next."""
+        users = memo.collected_users()
+        return [
+            constraint
+            for constraint in self.constraints
+            if not constraint.is_satisfied(users, self.dataset)
+        ]
+
+
+def committee_task(
+    dataset: UserDataset,
+    size: int = 12,
+    min_countries: int = 4,
+    min_female_share: float = 0.35,
+    min_male_share: float = 0.30,
+    min_seniorities: int = 3,
+    community: frozenset[int] | None = None,
+) -> MultiTargetTask:
+    """The Scenario-1 task: a geographically diverse, gender-balanced PC.
+
+    Balance is two-sided (min shares for both genders), so the committee
+    really is mixed.  ``community`` (optional) restricts members to one
+    venue community — the SIGMOD/VLDB/CIKM-specific variants of
+    experiment C4.
+    """
+    constraints: list[Constraint] = [
+        MinCount(size),
+        MinDistinct("country", min_countries),
+        MinShare("gender", "female", min_female_share),
+        MinShare("gender", "male", min_male_share),
+        MinDistinct("seniority", min_seniorities),
+    ]
+    if community is not None:
+        constraints.append(MembersOf(community))
+    return MultiTargetTask(dataset, constraints)

@@ -1,0 +1,36 @@
+"""User-data substrate: schema, ETL, columnar dataset, generators, streams.
+
+This package is the *Pre-processing* input side of the VEXUS architecture
+(Fig. 1): it turns CSV files, generators or streams into an analysis-ready
+:class:`~repro.data.dataset.UserDataset`.
+"""
+
+from repro.data.dataset import DemographicColumn, UserDataset
+from repro.data.etl import (
+    ActionCleaner,
+    CleaningReport,
+    DemographicCleaner,
+    ETLResult,
+    load_dataset,
+    read_actions_csv,
+    read_demographics_csv,
+)
+from repro.data.schema import MISSING, Action, Demographic, SchemaError
+from repro.data.vocab import Vocab
+
+__all__ = [
+    "Action",
+    "ActionCleaner",
+    "CleaningReport",
+    "Demographic",
+    "DemographicCleaner",
+    "DemographicColumn",
+    "ETLResult",
+    "MISSING",
+    "SchemaError",
+    "UserDataset",
+    "Vocab",
+    "load_dataset",
+    "read_actions_csv",
+    "read_demographics_csv",
+]

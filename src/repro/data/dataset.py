@@ -1,0 +1,434 @@
+"""Columnar container for user data.
+
+A :class:`UserDataset` is the product of the ETL phase (VEXUS Fig. 1,
+*Pre-processing*): a set of users, each with demographic attributes, plus a
+table of ``[user, item, value]`` actions.  It is stored column-wise on numpy
+arrays so the group-discovery miners and the crossfilter engine can scan
+millions of records without per-row Python overhead.
+
+The container is append-only during construction and logically immutable
+afterwards; exploration-time operations (drill-down, brushing) work on index
+arrays into it rather than copying records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.data.schema import MISSING, Action, Demographic, SchemaError
+from repro.data.vocab import Vocab
+
+
+@dataclass
+class DemographicColumn:
+    """One demographic attribute stored as coded values over all users."""
+
+    attribute: str
+    vocab: Vocab
+    codes: np.ndarray  # int32, shape (n_users,); always a valid vocab code
+    _value_index: Optional[dict[int, np.ndarray]] = field(default=None, repr=False)
+
+    def value_of(self, user_index: int) -> str:
+        """The attribute value label for one user."""
+        return self.vocab.label(int(self.codes[user_index]))
+
+    def users_with(self, value: str) -> np.ndarray:
+        """Indices of users whose attribute equals ``value`` (sorted)."""
+        code = self.vocab.get(value)
+        if code < 0:
+            return np.empty(0, dtype=np.int32)
+        return self._index().get(code, np.empty(0, dtype=np.int32))
+
+    def counts(self, users: Optional[np.ndarray] = None) -> dict[str, int]:
+        """Histogram ``{value label: count}`` over all users or a subset."""
+        codes = self.codes if users is None else self.codes[users]
+        counted = np.bincount(codes, minlength=len(self.vocab))
+        return {
+            self.vocab.label(code): int(count)
+            for code, count in enumerate(counted)
+            if count > 0
+        }
+
+    def _index(self) -> dict[int, np.ndarray]:
+        if self._value_index is None:
+            order = np.argsort(self.codes, kind="stable")
+            sorted_codes = self.codes[order]
+            boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+            chunks = np.split(order.astype(np.int32), boundaries)
+            self._value_index = {int(chunk_codes[0]): chunk for chunk, chunk_codes in zip(chunks, np.split(sorted_codes, boundaries)) if len(chunk)}
+        return self._value_index
+
+
+class UserDataset:
+    """Users + demographics + ``[user, item, value]`` actions, columnar.
+
+    Build one with :meth:`from_records` (the ETL layer's output) or a
+    generator from :mod:`repro.data.generators`.
+    """
+
+    def __init__(self, name: str = "dataset") -> None:
+        self.name = name
+        self.users = Vocab()
+        self.items = Vocab()
+        self._columns: dict[str, DemographicColumn] = {}
+        self.action_user = np.empty(0, dtype=np.int32)
+        self.action_item = np.empty(0, dtype=np.int32)
+        self.action_value = np.empty(0, dtype=np.float32)
+        self._user_adjacency: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._item_adjacency: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        actions: Iterable[Action],
+        demographics: Iterable[Demographic],
+        name: str = "dataset",
+    ) -> "UserDataset":
+        """Assemble a dataset from validated ETL records.
+
+        Users mentioned only in demographics (no actions) and only in actions
+        (no demographics) are both kept; absent demographic values are coded
+        as :data:`repro.data.schema.MISSING`.
+        """
+        ds = cls(name)
+        demo_rows: dict[str, dict[str, str]] = {}
+        attributes: list[str] = []
+        for record in demographics:
+            record.validate()
+            ds.users.add(record.user)
+            if record.attribute not in demo_rows.setdefault(record.user, {}):
+                demo_rows[record.user][record.attribute] = record.value or MISSING
+            if record.attribute not in attributes:
+                attributes.append(record.attribute)
+
+        user_col: list[int] = []
+        item_col: list[int] = []
+        value_col: list[float] = []
+        for action in actions:
+            action.validate()
+            user_col.append(ds.users.add(action.user))
+            item_col.append(ds.items.add(action.item))
+            value_col.append(action.value)
+        ds.action_user = np.asarray(user_col, dtype=np.int32)
+        ds.action_item = np.asarray(item_col, dtype=np.int32)
+        ds.action_value = np.asarray(value_col, dtype=np.float32)
+
+        n = len(ds.users)
+        for attribute in attributes:
+            vocab = Vocab([MISSING])
+            codes = np.zeros(n, dtype=np.int32)
+            for user_label, row in demo_rows.items():
+                value = row.get(attribute)
+                if value is not None:
+                    codes[ds.users.code(user_label)] = vocab.add(value)
+            ds._columns[attribute] = DemographicColumn(attribute, vocab, codes)
+        return ds
+
+    @classmethod
+    def from_arrays(
+        cls,
+        user_labels: Sequence[str],
+        item_labels: Sequence[str],
+        action_user: np.ndarray,
+        action_item: np.ndarray,
+        action_value: np.ndarray,
+        demographics: Optional[dict[str, Sequence[str]]] = None,
+        name: str = "dataset",
+    ) -> "UserDataset":
+        """Fast path for generators: build directly from index arrays.
+
+        ``action_user`` / ``action_item`` hold indices into ``user_labels`` /
+        ``item_labels``; ``demographics`` maps an attribute name to one value
+        label per user.  No cleaning is applied — callers are trusted to pass
+        consistent arrays (generators do; CSV input must go through
+        :mod:`repro.data.etl` instead).
+        """
+        ds = cls(name)
+        ds.users = Vocab(user_labels)
+        ds.items = Vocab(item_labels)
+        if len(ds.users) != len(user_labels):
+            raise SchemaError("duplicate user labels passed to from_arrays")
+        if len(ds.items) != len(item_labels):
+            raise SchemaError("duplicate item labels passed to from_arrays")
+        ds.action_user = np.asarray(action_user, dtype=np.int32)
+        ds.action_item = np.asarray(action_item, dtype=np.int32)
+        ds.action_value = np.asarray(action_value, dtype=np.float32)
+        if len(ds.action_user) and (
+            ds.action_user.min() < 0 or ds.action_user.max() >= len(ds.users)
+        ):
+            raise SchemaError("action_user index out of range")
+        if len(ds.action_item) and (
+            ds.action_item.min() < 0 or ds.action_item.max() >= len(ds.items)
+        ):
+            raise SchemaError("action_item index out of range")
+        for attribute, values in (demographics or {}).items():
+            if len(values) != len(user_labels):
+                raise SchemaError(
+                    f"demographic {attribute!r} has {len(values)} values "
+                    f"for {len(user_labels)} users"
+                )
+            vocab = Vocab([MISSING])
+            codes = np.fromiter(
+                (vocab.add(value) for value in values),
+                dtype=np.int32,
+                count=len(values),
+            )
+            ds._columns[attribute] = DemographicColumn(attribute, vocab, codes)
+        return ds
+
+    def add_derived_attribute(
+        self, attribute: str, value_of_user: Callable[[int], str]
+    ) -> None:
+        """Attach a computed demographic (e.g. activity level) to every user.
+
+        ``value_of_user`` maps a user index to a value label.  Derived
+        attributes behave exactly like ingested ones for grouping and stats.
+        """
+        if attribute in self._columns:
+            raise SchemaError(f"attribute {attribute!r} already exists")
+        vocab = Vocab([MISSING])
+        codes = np.zeros(self.n_users, dtype=np.int32)
+        for user_index in range(self.n_users):
+            codes[user_index] = vocab.add(value_of_user(user_index))
+        self._columns[attribute] = DemographicColumn(attribute, vocab, codes)
+
+    # ------------------------------------------------------------------
+    # basic shape
+    # ------------------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.items)
+
+    @property
+    def n_actions(self) -> int:
+        return len(self.action_user)
+
+    @property
+    def attributes(self) -> list[str]:
+        """Demographic attribute names, in ingestion order."""
+        return list(self._columns)
+
+    def column(self, attribute: str) -> DemographicColumn:
+        """The coded column for ``attribute`` (raises ``KeyError`` if absent)."""
+        return self._columns[attribute]
+
+    def __repr__(self) -> str:
+        return (
+            f"UserDataset({self.name!r}: {self.n_users} users, "
+            f"{self.n_items} items, {self.n_actions} actions, "
+            f"{len(self._columns)} demographics)"
+        )
+
+    # ------------------------------------------------------------------
+    # demographic queries
+    # ------------------------------------------------------------------
+
+    def demographic_value(self, user_index: int, attribute: str) -> str:
+        """Value label of ``attribute`` for one user."""
+        return self._columns[attribute].value_of(user_index)
+
+    def demographics_of(self, user_index: int) -> dict[str, str]:
+        """All demographic values of one user, ``{attribute: value}``."""
+        return {
+            attribute: column.value_of(user_index)
+            for attribute, column in self._columns.items()
+        }
+
+    def users_matching(self, attribute: str, value: str) -> np.ndarray:
+        """Sorted indices of users with ``attribute == value``."""
+        return self._columns[attribute].users_with(value)
+
+    def users_matching_all(self, conditions: Sequence[tuple[str, str]]) -> np.ndarray:
+        """Sorted indices of users satisfying every ``(attribute, value)`` pair."""
+        if not conditions:
+            return np.arange(self.n_users, dtype=np.int32)
+        result: Optional[np.ndarray] = None
+        for attribute, value in conditions:
+            matched = self.users_matching(attribute, value)
+            result = matched if result is None else np.intersect1d(result, matched, assume_unique=True)
+            if len(result) == 0:
+                break
+        assert result is not None
+        return result.astype(np.int32)
+
+    # ------------------------------------------------------------------
+    # action adjacency
+    # ------------------------------------------------------------------
+
+    def items_of_user(self, user_index: int) -> np.ndarray:
+        """Item indices this user acted on (order of ingestion)."""
+        offsets, targets, _ = self._user_csr()
+        return targets[offsets[user_index] : offsets[user_index + 1]]
+
+    def values_of_user(self, user_index: int) -> np.ndarray:
+        """Action values of this user, aligned with :meth:`items_of_user`."""
+        offsets, _, values = self._user_csr()
+        return values[offsets[user_index] : offsets[user_index + 1]]
+
+    def users_of_item(self, item_index: int) -> np.ndarray:
+        """User indices who acted on this item."""
+        offsets, targets, _ = self._item_csr()
+        return targets[offsets[item_index] : offsets[item_index + 1]]
+
+    def item_support(self) -> np.ndarray:
+        """Number of *distinct* users per item, shape ``(n_items,)``."""
+        if self.n_actions == 0:
+            return np.zeros(self.n_items, dtype=np.int64)
+        pairs = np.unique(
+            self.action_item.astype(np.int64) * max(self.n_users, 1)
+            + self.action_user.astype(np.int64)
+        )
+        return np.bincount(pairs // max(self.n_users, 1), minlength=self.n_items)
+
+    def user_activity(self) -> np.ndarray:
+        """Number of actions per user, shape ``(n_users,)``."""
+        return np.bincount(self.action_user, minlength=self.n_users)
+
+    def mean_value_of_user(self, user_index: int) -> float:
+        """Mean action value for one user (``nan`` if the user has none)."""
+        values = self.values_of_user(user_index)
+        return float(values.mean()) if len(values) else float("nan")
+
+    def _user_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._user_adjacency is None:
+            self._user_adjacency = _build_csr(
+                self.action_user, self.action_item, self.action_value, self.n_users
+            )
+        return self._user_adjacency
+
+    def _item_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._item_adjacency is None:
+            self._item_adjacency = _build_csr(
+                self.action_item, self.action_user, self.action_value, self.n_items
+            )
+        return self._item_adjacency
+
+    # ------------------------------------------------------------------
+    # mining views
+    # ------------------------------------------------------------------
+
+    def transactions(
+        self,
+        include_demographics: bool = True,
+        include_items: bool = True,
+        min_item_support: int = 2,
+        value_bucketer: Optional[Callable[[float], Optional[str]]] = None,
+    ) -> tuple[list[list[int]], Vocab]:
+        """Encode users as transactions over demographic/action tokens.
+
+        Each user becomes a sorted list of integer token codes.  Demographic
+        tokens look like ``"gender=female"``; item tokens look like
+        ``"item:The Hobbit"`` or, when ``value_bucketer`` maps an action value
+        to a bucket label, ``"item:The Hobbit|high"``.  Items acted on by
+        fewer than ``min_item_support`` distinct users are dropped — they can
+        never describe a group of at least that many users.
+
+        Returns ``(transactions, token_vocab)``; miners in
+        :mod:`repro.mining` consume exactly this shape.
+        """
+        tokens = Vocab()
+        per_user: list[list[int]] = [[] for _ in range(self.n_users)]
+
+        if include_demographics:
+            for attribute, column in self._columns.items():
+                for user_index in range(self.n_users):
+                    value = column.value_of(user_index)
+                    if value == MISSING:
+                        continue
+                    per_user[user_index].append(tokens.add(f"{attribute}={value}"))
+
+        if include_items and self.n_actions:
+            support = self.item_support()
+            keep = support >= min_item_support
+            for user_index in range(self.n_users):
+                items = self.items_of_user(user_index)
+                values = self.values_of_user(user_index)
+                seen: set[int] = set()
+                for item_index, value in zip(items, values):
+                    if not keep[item_index] or item_index in seen:
+                        continue
+                    seen.add(int(item_index))
+                    label = f"item:{self.items.label(int(item_index))}"
+                    if value_bucketer is not None:
+                        bucket = value_bucketer(float(value))
+                        if bucket is None:
+                            continue
+                        label = f"{label}|{bucket}"
+                    per_user[user_index].append(tokens.add(label))
+
+        for transaction in per_user:
+            transaction.sort()
+        return per_user, tokens
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def to_csv(self, directory: str | Path) -> None:
+        """Write ``actions.csv`` and ``demographics.csv`` under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with open(directory / "actions.csv", "w", encoding="utf-8") as handle:
+            handle.write("user,item,value\n")
+            for user_code, item_code, value in zip(
+                self.action_user, self.action_item, self.action_value
+            ):
+                handle.write(
+                    f"{_csv_escape(self.users.label(int(user_code)))},"
+                    f"{_csv_escape(self.items.label(int(item_code)))},"
+                    f"{float(value):g}\n"
+                )
+        with open(directory / "demographics.csv", "w", encoding="utf-8") as handle:
+            handle.write("user,attribute,value\n")
+            for attribute, column in self._columns.items():
+                for user_index in range(self.n_users):
+                    value = column.value_of(user_index)
+                    handle.write(
+                        f"{_csv_escape(self.users.label(user_index))},"
+                        f"{_csv_escape(attribute)},{_csv_escape(value)}\n"
+                    )
+
+    def describe(self) -> dict[str, object]:
+        """Summary statistics used by README examples and benchmarks."""
+        activity = self.user_activity()
+        return {
+            "name": self.name,
+            "users": self.n_users,
+            "items": self.n_items,
+            "actions": self.n_actions,
+            "attributes": self.attributes,
+            "mean_actions_per_user": float(activity.mean()) if self.n_users else 0.0,
+            "max_actions_per_user": int(activity.max()) if self.n_users else 0,
+            "mean_value": float(self.action_value.mean()) if self.n_actions else 0.0,
+        }
+
+
+def _build_csr(
+    source: np.ndarray, target: np.ndarray, values: np.ndarray, n_source: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group ``(source -> target, value)`` pairs into CSR adjacency arrays."""
+    order = np.argsort(source, kind="stable")
+    counts = np.bincount(source, minlength=n_source)
+    offsets = np.zeros(n_source + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets, target[order], values[order]
+
+
+def _csv_escape(text: str) -> str:
+    if any(ch in text for ch in ",\"\n"):
+        return '"' + text.replace('"', '""') + '"'
+    return text

@@ -1,0 +1,262 @@
+"""ETL: CSV import with cleaning.
+
+VEXUS §II-A: *"An ETL process (including data cleaning) precedes the data
+import to prepare data for analysis."*  This module implements that process
+for the generic ``[user, item, value]`` action schema plus demographics
+tables, tolerating the dirt real rating dumps contain: blank cells,
+non-numeric values, out-of-range scores, duplicated rows, ragged lines.
+
+Cleaning decisions are never silent — every dropped or repaired row is
+tallied in a :class:`CleaningReport` the caller can inspect or log.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, TextIO
+
+from repro.data.dataset import UserDataset
+from repro.data.schema import (
+    MISSING,
+    Action,
+    Demographic,
+    SchemaError,
+    normalize_label,
+    parse_value,
+)
+
+
+@dataclass
+class CleaningReport:
+    """Tally of what the cleaning pipeline did to an input file."""
+
+    rows_read: int = 0
+    rows_kept: int = 0
+    dropped_empty_user: int = 0
+    dropped_empty_item: int = 0
+    dropped_bad_value: int = 0
+    dropped_out_of_range: int = 0
+    dropped_duplicate: int = 0
+    dropped_short_row: int = 0
+    clipped_values: int = 0
+
+    @property
+    def rows_dropped(self) -> int:
+        return self.rows_read - self.rows_kept
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "rows_read": self.rows_read,
+            "rows_kept": self.rows_kept,
+            "rows_dropped": self.rows_dropped,
+            "dropped_empty_user": self.dropped_empty_user,
+            "dropped_empty_item": self.dropped_empty_item,
+            "dropped_bad_value": self.dropped_bad_value,
+            "dropped_out_of_range": self.dropped_out_of_range,
+            "dropped_duplicate": self.dropped_duplicate,
+            "dropped_short_row": self.dropped_short_row,
+            "clipped_values": self.clipped_values,
+        }
+
+
+@dataclass
+class ActionCleaner:
+    """Row-level cleaning policy for action records.
+
+    ``value_range`` constrains action values; ``out_of_range`` selects what
+    happens to violators (``"clip"`` pulls them to the nearest bound,
+    ``"drop"`` discards the row).  ``drop_duplicates`` keeps only the first
+    occurrence of each ``(user, item)`` pair — the convention rating datasets
+    such as BookCrossing follow.
+    """
+
+    value_range: Optional[tuple[float, float]] = None
+    out_of_range: str = "clip"  # "clip" | "drop"
+    drop_duplicates: bool = True
+    report: CleaningReport = field(default_factory=CleaningReport)
+
+    def __post_init__(self) -> None:
+        if self.out_of_range not in ("clip", "drop"):
+            raise SchemaError(f"unknown out_of_range policy: {self.out_of_range!r}")
+
+    def clean(self, rows: Iterable[tuple[str, str, str]]) -> Iterator[Action]:
+        """Yield cleaned :class:`Action` records from raw CSV cells."""
+        seen: set[tuple[str, str]] = set()
+        for raw_user, raw_item, raw_value in rows:
+            self.report.rows_read += 1
+            user = normalize_label(raw_user)
+            item = normalize_label(raw_item)
+            if user == MISSING:
+                self.report.dropped_empty_user += 1
+                continue
+            if item == MISSING:
+                self.report.dropped_empty_item += 1
+                continue
+            value = parse_value(raw_value)
+            if value is None:
+                self.report.dropped_bad_value += 1
+                continue
+            if self.value_range is not None:
+                low, high = self.value_range
+                if not low <= value <= high:
+                    if self.out_of_range == "drop":
+                        self.report.dropped_out_of_range += 1
+                        continue
+                    value = min(max(value, low), high)
+                    self.report.clipped_values += 1
+            if self.drop_duplicates:
+                key = (user, item)
+                if key in seen:
+                    self.report.dropped_duplicate += 1
+                    continue
+                seen.add(key)
+            self.report.rows_kept += 1
+            yield Action(user, item, value)
+
+
+@dataclass
+class DemographicCleaner:
+    """Row-level cleaning policy for demographic records.
+
+    Blank values are normalised to :data:`MISSING` rather than dropped so the
+    user keeps a row in every histogram; duplicated ``(user, attribute)``
+    pairs keep the first value seen.
+    """
+
+    drop_duplicates: bool = True
+    report: CleaningReport = field(default_factory=CleaningReport)
+
+    def clean(self, rows: Iterable[tuple[str, str, str]]) -> Iterator[Demographic]:
+        """Yield cleaned :class:`Demographic` records from raw CSV cells."""
+        seen: set[tuple[str, str]] = set()
+        for raw_user, raw_attribute, raw_value in rows:
+            self.report.rows_read += 1
+            user = normalize_label(raw_user)
+            attribute = normalize_label(raw_attribute)
+            if user == MISSING:
+                self.report.dropped_empty_user += 1
+                continue
+            if attribute == MISSING:
+                self.report.dropped_empty_item += 1
+                continue
+            if self.drop_duplicates:
+                key = (user, attribute)
+                if key in seen:
+                    self.report.dropped_duplicate += 1
+                    continue
+                seen.add(key)
+            self.report.rows_kept += 1
+            yield Demographic(user, attribute, normalize_label(raw_value))
+
+
+def _csv_rows(
+    handle: TextIO, n_columns: int, report: CleaningReport, has_header: bool
+) -> Iterator[tuple[str, ...]]:
+    reader = csv.reader(handle)
+    first = True
+    for row in reader:
+        if first and has_header:
+            first = False
+            continue
+        first = False
+        if len(row) < n_columns:
+            report.dropped_short_row += 1
+            report.rows_read += 1
+            continue
+        yield tuple(row[:n_columns])
+
+
+def read_actions_csv(
+    path: str | Path,
+    cleaner: Optional[ActionCleaner] = None,
+    has_header: bool = True,
+) -> tuple[list[Action], CleaningReport]:
+    """Read and clean an ``user,item,value`` CSV file."""
+    cleaner = cleaner or ActionCleaner()
+    with open(path, encoding="utf-8", newline="") as handle:
+        actions = list(
+            cleaner.clean(_csv_rows(handle, 3, cleaner.report, has_header))
+        )
+    return actions, cleaner.report
+
+
+def read_demographics_csv(
+    path: str | Path,
+    cleaner: Optional[DemographicCleaner] = None,
+    has_header: bool = True,
+) -> tuple[list[Demographic], CleaningReport]:
+    """Read and clean a demographics CSV file.
+
+    Accepts either the *long* layout ``user,attribute,value`` or the *wide*
+    layout ``user,attr1,attr2,...`` (detected from the header); wide rows are
+    unpivoted into long records.
+    """
+    cleaner = cleaner or DemographicCleaner()
+    with open(path, encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            return [], cleaner.report
+        header = [normalize_label(cell).lower() for cell in header]
+        if not has_header:
+            raise SchemaError("demographics CSV requires a header row")
+        if header[:3] == ["user", "attribute", "value"] and len(header) == 3:
+            rows: Iterable[tuple[str, str, str]] = (
+                tuple(row[:3]) for row in reader if _count_or_drop(row, 3, cleaner.report)
+            )
+            records = list(cleaner.clean(rows))
+        else:
+            attributes = header[1:]
+            long_rows: list[tuple[str, str, str]] = []
+            for row in reader:
+                if not _count_or_drop(row, 2, cleaner.report):
+                    continue
+                user = row[0]
+                for attribute, cell in zip(attributes, row[1:]):
+                    long_rows.append((user, attribute, cell))
+            records = list(cleaner.clean(long_rows))
+    return records, cleaner.report
+
+
+def _count_or_drop(row: list[str], minimum: int, report: CleaningReport) -> bool:
+    if len(row) < minimum:
+        report.dropped_short_row += 1
+        report.rows_read += 1
+        return False
+    return True
+
+
+@dataclass
+class ETLResult:
+    """Everything the offline pre-processing step produced."""
+
+    dataset: UserDataset
+    action_report: CleaningReport
+    demographic_report: CleaningReport
+
+
+def load_dataset(
+    actions_path: str | Path,
+    demographics_path: Optional[str | Path] = None,
+    name: str = "dataset",
+    value_range: Optional[tuple[float, float]] = None,
+) -> ETLResult:
+    """One-call ETL: read, clean and assemble a :class:`UserDataset`.
+
+    This is the Fig. 1 *ETL* box: CSV in, analysis-ready dataset out, with
+    cleaning reports for both inputs.
+    """
+    action_cleaner = ActionCleaner(value_range=value_range)
+    actions, action_report = read_actions_csv(actions_path, action_cleaner)
+    demographics: list[Demographic] = []
+    demographic_report = CleaningReport()
+    if demographics_path is not None:
+        demographic_cleaner = DemographicCleaner()
+        demographics, demographic_report = read_demographics_csv(
+            demographics_path, demographic_cleaner
+        )
+    dataset = UserDataset.from_records(actions, demographics, name=name)
+    return ETLResult(dataset, action_report, demographic_report)

@@ -1,0 +1,31 @@
+"""Synthetic dataset generators standing in for the paper's datasets."""
+
+from repro.data.generators.bookcrossing import (
+    BookCrossingConfig,
+    BookCrossingData,
+    FAVORITE_AUTHOR,
+    SPECIAL_READER,
+    generate_bookcrossing,
+    paper_scale_config,
+)
+from repro.data.generators.dbauthors import (
+    DBAuthorsConfig,
+    DBAuthorsData,
+    PAPER_MALE_SHARE,
+    STANDOUT_AUTHOR,
+    generate_dbauthors,
+)
+
+__all__ = [
+    "BookCrossingConfig",
+    "BookCrossingData",
+    "DBAuthorsConfig",
+    "DBAuthorsData",
+    "FAVORITE_AUTHOR",
+    "PAPER_MALE_SHARE",
+    "SPECIAL_READER",
+    "STANDOUT_AUTHOR",
+    "generate_bookcrossing",
+    "generate_dbauthors",
+    "paper_scale_config",
+]

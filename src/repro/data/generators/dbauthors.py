@@ -1,0 +1,218 @@
+"""Synthetic DB-AUTHORS-equivalent generator.
+
+The paper's Scenario 1 (expert-set formation) and the STATS drill-down
+example run on DB-AUTHORS, a dataset of database researchers hosted on the
+Perscido platform — unavailable offline.  This module generates an
+equivalent researcher population (see DESIGN.md §4):
+
+- demographics: ``gender``, ``seniority`` (derived from career years),
+  ``country`` / ``continent``, ``topic``, ``publication_rate`` (bucketed
+  publications-per-year);
+- actions: ``[author, venue, #publications]`` with topic-coherent venue
+  affinities, so venue-centred communities (the SIGMOD/VLDB/CIKM "previous
+  PC" seed groups of Scenario 1) exist;
+- **calibration to the paper's quoted statistic**: within the group of
+  *very senior researchers in data management with a very high number of
+  publications*, 62% of members are male (§II-B), and the group contains
+  exactly one *female, extremely active* standout member — the paper's
+  Elke A. Rundensteiner example — here a synthetic researcher with 325
+  publications over a 26-year career.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import UserDataset
+from repro.data.names import person_name
+
+TOPICS = [
+    "data management", "web search", "information retrieval",
+    "machine learning", "data mining", "database theory", "visualization",
+    "distributed systems",
+]
+
+VENUES = [
+    "SIGMOD", "VLDB", "ICDE", "EDBT", "CIKM", "SIGIR", "WWW", "KDD",
+    "ICDM", "PKDD", "TKDE", "DASFAA",
+]
+
+#: Rows = topics, columns = venues; unnormalised affinity weights.
+_VENUE_AFFINITY = np.array(
+    [
+        # SIGMOD VLDB ICDE EDBT CIKM SIGIR WWW KDD ICDM PKDD TKDE DASFAA
+        [8, 8, 7, 5, 3, 0.2, 0.5, 1, 0.5, 0.5, 4, 2],      # data management
+        [0.5, 0.5, 1, 0.3, 4, 6, 8, 2, 1, 0.5, 1, 0.3],    # web search
+        [0.3, 0.3, 0.5, 0.2, 5, 8, 4, 1, 1, 0.5, 1, 0.2],  # information retrieval
+        [0.3, 0.5, 0.5, 0.2, 2, 1, 2, 7, 5, 4, 2, 0.3],    # machine learning
+        [1, 1.5, 2, 0.5, 4, 1, 2, 8, 7, 5, 3, 1],          # data mining
+        [4, 4, 3, 4, 1, 0.2, 0.3, 0.5, 0.3, 0.5, 3, 1],    # database theory
+        [1, 1, 1.5, 0.5, 1, 0.5, 1, 1, 0.5, 0.3, 2, 0.5],  # visualization
+        [3, 4, 4, 2, 1, 0.2, 1, 1, 0.5, 0.3, 2, 1.5],      # distributed systems
+    ]
+)
+
+COUNTRY_TO_CONTINENT = {
+    "usa": "north-america", "canada": "north-america", "mexico": "north-america",
+    "brazil": "south-america", "argentina": "south-america", "chile": "south-america",
+    "uk": "europe", "germany": "europe", "france": "europe", "italy": "europe",
+    "netherlands": "europe", "greece": "europe", "switzerland": "europe",
+    "china": "asia", "japan": "asia", "india": "asia", "singapore": "asia",
+    "israel": "asia", "australia": "oceania", "new-zealand": "oceania",
+}
+
+SENIORITIES = ["junior", "mid-career", "senior", "very-senior"]
+PUBLICATION_RATES = ["low", "moderate", "active", "highly-active", "extremely-active"]
+
+#: User label of the calibrated standout (the paper's Rundensteiner example).
+STANDOUT_AUTHOR = "Elinor Runestone"
+
+#: The paper's quoted male share of the very-senior data-management group.
+PAPER_MALE_SHARE = 0.62
+
+
+@dataclass(frozen=True)
+class DBAuthorsConfig:
+    """Knobs for the synthetic researcher population."""
+
+    n_authors: int = 1500
+    base_male_share: float = 0.60
+    calibrated_male_share: float = PAPER_MALE_SHARE
+    max_career_years: int = 40
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.n_authors < 10:
+            raise ValueError("need at least 10 authors")
+        if not 0 <= self.base_male_share <= 1:
+            raise ValueError("base_male_share must be a probability")
+
+
+@dataclass
+class DBAuthorsData:
+    """Generator output: dataset plus the calibration anchors."""
+
+    dataset: UserDataset
+    standout_author: str
+    career_years: np.ndarray
+    publications_total: np.ndarray
+    topics: list[str]
+    venues: list[str]
+
+
+def generate_dbauthors(config: Optional[DBAuthorsConfig] = None) -> DBAuthorsData:
+    """Generate the synthetic DB-AUTHORS population described above."""
+    config = config or DBAuthorsConfig()
+    rng = np.random.default_rng(config.seed)
+    n = config.n_authors
+
+    # --- careers ----------------------------------------------------------
+    career_years = np.clip(
+        np.rint(rng.gamma(shape=2.2, scale=6.0, size=n)), 1, config.max_career_years
+    ).astype(np.int64)
+    productivity = rng.lognormal(mean=0.4, sigma=0.75, size=n)  # pubs / year
+    publications_total = np.maximum(1, np.rint(productivity * career_years)).astype(
+        np.int64
+    )
+
+    topic_weights = (np.arange(len(TOPICS)) + 1.0) ** -0.6
+    topic_weights /= topic_weights.sum()
+    topic_codes = rng.choice(len(TOPICS), size=n, p=topic_weights)
+
+    countries = list(COUNTRY_TO_CONTINENT)
+    country_weights = (np.arange(len(countries)) + 1.0) ** -0.8
+    country_weights /= country_weights.sum()
+    country_codes = rng.choice(len(countries), size=n, p=country_weights)
+
+    gender = np.where(rng.random(n) < config.base_male_share, "male", "female")
+
+    # --- derived buckets ---------------------------------------------------
+    seniority = np.select(
+        [career_years < 5, career_years < 12, career_years < 20],
+        ["junior", "mid-career", "senior"],
+        default="very-senior",
+    )
+    rate = publications_total / career_years
+    rate_edges = np.quantile(rate, [0.25, 0.55, 0.8, 0.95])
+    rate_bucket = np.select(
+        [
+            rate < rate_edges[0],
+            rate < rate_edges[1],
+            rate < rate_edges[2],
+            rate < rate_edges[3],
+        ],
+        PUBLICATION_RATES[:4],
+        default=PUBLICATION_RATES[4],
+    )
+
+    # --- the standout author (paper §II-B example) -------------------------
+    standout = 0
+    career_years[standout] = 26
+    publications_total[standout] = 325
+    topic_codes[standout] = TOPICS.index("data management")
+    gender[standout] = "female"
+    seniority[standout] = "very-senior"
+    rate_bucket[standout] = "extremely-active"
+
+    # --- calibrate the paper's 62%-male group ------------------------------
+    # Group: very-senior, data management, very high publications (the two
+    # top publication-rate buckets).
+    in_group = (
+        (seniority == "very-senior")
+        & (topic_codes == TOPICS.index("data management"))
+        & np.isin(rate_bucket, ["highly-active", "extremely-active"])
+    )
+    group_members = np.flatnonzero(in_group)
+    resample = group_members[group_members != standout]
+    if len(resample):
+        # Target count of males among the full group (standout is female).
+        target_males = int(round(config.calibrated_male_share * len(group_members)))
+        target_males = min(target_males, len(resample))
+        chosen = rng.permutation(resample)
+        gender[chosen[:target_males]] = "male"
+        gender[chosen[target_males:]] = "female"
+
+    # --- venue publication actions -----------------------------------------
+    affinity = _VENUE_AFFINITY[topic_codes]  # (n, n_venues)
+    noise = rng.gamma(shape=1.5, scale=1.0, size=affinity.shape)
+    weights = affinity * noise
+    weights /= weights.sum(axis=1, keepdims=True)
+    venue_counts = np.zeros((n, len(VENUES)), dtype=np.int64)
+    for author in range(n):
+        venue_counts[author] = rng.multinomial(publications_total[author], weights[author])
+
+    action_user, action_item = np.nonzero(venue_counts)
+    action_value = venue_counts[action_user, action_item].astype(np.float64)
+
+    # --- assembly -----------------------------------------------------------
+    user_labels = [
+        STANDOUT_AUTHOR if index == standout else person_name(index, seed=config.seed)
+        for index in range(n)
+    ]
+    dataset = UserDataset.from_arrays(
+        user_labels,
+        list(VENUES),
+        action_user,
+        action_item,
+        action_value,
+        demographics={
+            "gender": [str(value) for value in gender],
+            "seniority": [str(value) for value in seniority],
+            "topic": [TOPICS[code] for code in topic_codes],
+            "country": [countries[code] for code in country_codes],
+            "continent": [COUNTRY_TO_CONTINENT[countries[code]] for code in country_codes],
+            "publication_rate": [str(value) for value in rate_bucket],
+        },
+        name="db-authors-synthetic",
+    )
+    return DBAuthorsData(
+        dataset=dataset,
+        standout_author=STANDOUT_AUTHOR,
+        career_years=career_years,
+        publications_total=publications_total,
+        topics=list(TOPICS),
+        venues=list(VENUES),
+    )

@@ -1,0 +1,51 @@
+"""Deterministic synthetic person names.
+
+The generators need human-readable user labels (the paper's UI shows member
+tables with names) without shipping any real-person data.  Names are built
+from syllable pools, seeded per-index so a given ``(seed, index)`` always
+produces the same name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_FIRST_PARTS = [
+    "Al", "Be", "Ca", "Da", "El", "Fa", "Ga", "Ha", "Ina", "Jo",
+    "Ka", "Le", "Ma", "Ni", "Ora", "Pe", "Qui", "Ro", "Sa", "Tu",
+]
+_FIRST_SUFFIX = ["ra", "n", "la", "vid", "ke", "bian", "ry", "na", "s", "anna"]
+_LAST_PARTS = [
+    "Ander", "Berg", "Castel", "Dubo", "Ernst", "Ferra", "Gold", "Holm",
+    "Iva", "Jans", "Kauf", "Lind", "Moro", "Novak", "Oliv", "Petro",
+    "Quint", "Ross", "Silva", "Tanak",
+]
+_LAST_SUFFIX = ["son", "man", "ini", "is", "berg", "sen", "ov", "a", "er", "i"]
+
+
+def person_name(index: int, seed: int = 0) -> str:
+    """A stable synthetic ``"First Last"`` name for user ``index``."""
+    rng = np.random.default_rng((seed << 32) ^ (index * 2654435761 & 0xFFFFFFFF))
+    first = _FIRST_PARTS[int(rng.integers(len(_FIRST_PARTS)))] + _FIRST_SUFFIX[
+        int(rng.integers(len(_FIRST_SUFFIX)))
+    ]
+    last = _LAST_PARTS[int(rng.integers(len(_LAST_PARTS)))] + _LAST_SUFFIX[
+        int(rng.integers(len(_LAST_SUFFIX)))
+    ]
+    return f"{first} {last} {index}"
+
+
+def book_title(index: int, seed: int = 0) -> str:
+    """A stable synthetic book title for item ``index``."""
+    adjectives = [
+        "Silent", "Hidden", "Last", "Golden", "Broken", "Distant", "Secret",
+        "Crimson", "Forgotten", "Endless",
+    ]
+    nouns = [
+        "River", "Garden", "Letter", "Witness", "Summer", "Harbor", "Promise",
+        "Shadow", "Orchard", "Verdict",
+    ]
+    rng = np.random.default_rng((seed << 32) ^ (index * 40503 & 0xFFFFFFFF))
+    adjective = adjectives[int(rng.integers(len(adjectives)))]
+    noun = nouns[int(rng.integers(len(nouns)))]
+    return f"The {adjective} {noun} #{index}"

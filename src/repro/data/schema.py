@@ -1,0 +1,94 @@
+"""Record types for user data.
+
+VEXUS (§II-A) models user data with the generic schema ``[user, item,
+value]``: each record describes one user *action* (rating a book, publishing
+at a venue, ...).  Each user additionally carries a set of *demographics*
+(attribute -> value pairs such as ``gender=female``).
+
+This module defines the typed records exchanged between the ETL layer and
+:class:`repro.data.dataset.UserDataset`, plus validation helpers used when
+ingesting untrusted CSV input.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+#: Sentinel label stored for a missing demographic value.  Kept printable so
+#: it can round-trip through CSV and appear in histograms as its own bucket.
+MISSING = "<missing>"
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """One user action: ``user`` did something to ``item`` with ``value``.
+
+    Examples: ``Action("Mary", "Mr Miracle", 4.0)`` — Mary rated the book
+    *Mr Miracle* 4 out of 5; ``Action("alice", "SIGMOD", 12)`` — alice has 12
+    SIGMOD publications.
+    """
+
+    user: str
+    item: str
+    value: float
+
+    def validate(self) -> None:
+        """Raise :class:`SchemaError` if any field is unusable."""
+        if not self.user:
+            raise SchemaError("action has empty user")
+        if not self.item:
+            raise SchemaError(f"action for user {self.user!r} has empty item")
+        if not math.isfinite(self.value):
+            raise SchemaError(
+                f"action ({self.user!r}, {self.item!r}) has non-finite value"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class Demographic:
+    """One demographic fact about a user: ``attribute = value``."""
+
+    user: str
+    attribute: str
+    value: str
+
+    def validate(self) -> None:
+        """Raise :class:`SchemaError` if any field is unusable."""
+        if not self.user:
+            raise SchemaError("demographic has empty user")
+        if not self.attribute:
+            raise SchemaError(f"demographic for user {self.user!r} has empty attribute")
+        # An empty value is legal and normalised to MISSING by the ETL layer.
+
+
+class SchemaError(ValueError):
+    """A record violates the ``[user, item, value]`` / demographics schema."""
+
+
+def parse_value(raw: str) -> Optional[float]:
+    """Parse an action value from CSV text.
+
+    Returns ``None`` when the cell is empty or not a finite number, so the
+    caller (the cleaning pipeline) can decide whether to drop or repair the
+    record instead of crashing mid-import.
+    """
+    text = raw.strip()
+    if not text:
+        return None
+    try:
+        value = float(text)
+    except ValueError:
+        return None
+    return value if math.isfinite(value) else None
+
+
+def normalize_label(raw: str) -> str:
+    """Canonicalise a user/item/attribute/value label from CSV text.
+
+    Strips surrounding whitespace and collapses internal runs of whitespace;
+    empty results become :data:`MISSING`.
+    """
+    text = " ".join(raw.split())
+    return text if text else MISSING

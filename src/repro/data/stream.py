@@ -1,0 +1,144 @@
+"""Data-stream abstraction.
+
+VEXUS §II-A accepts user data *"either as a dataset (in the form of a CSV
+file) or as a data stream"*; the stream path feeds STREAMMINING and BIRCH.
+This module provides replayable streams over actions, transactions and
+feature vectors, plus tumbling/sliding windowing.  Streams are plain
+iterators so the miners never hold more than a window in memory (the
+"in-core" constraint of [9]).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import UserDataset
+from repro.data.schema import Action
+
+
+@dataclass(frozen=True, slots=True)
+class StreamEvent:
+    """One timestamped action on the wire."""
+
+    timestamp: float
+    action: Action
+
+
+def replay_actions(
+    dataset: UserDataset,
+    rate_per_second: float = 1000.0,
+    shuffle: bool = True,
+    seed: int = 0,
+) -> Iterator[StreamEvent]:
+    """Replay a dataset's actions as a stream with synthetic timestamps.
+
+    Inter-arrival times are exponential with the given mean rate, which is
+    the standard model for user-generated event streams; ``shuffle``
+    randomises arrival order so the stream has no artificial user locality.
+    """
+    rng = np.random.default_rng(seed)
+    order = np.arange(dataset.n_actions)
+    if shuffle:
+        rng.shuffle(order)
+    gaps = rng.exponential(1.0 / rate_per_second, size=dataset.n_actions)
+    clock = 0.0
+    for position, action_index in enumerate(order):
+        clock += float(gaps[position])
+        yield StreamEvent(
+            clock,
+            Action(
+                dataset.users.label(int(dataset.action_user[action_index])),
+                dataset.items.label(int(dataset.action_item[action_index])),
+                float(dataset.action_value[action_index]),
+            ),
+        )
+
+
+def transaction_stream(
+    dataset: UserDataset,
+    shuffle: bool = True,
+    seed: int = 0,
+    min_item_support: int = 2,
+    include_demographics: bool = True,
+) -> Iterator[list[int]]:
+    """Stream each user's transaction (token-code list), one user at a time.
+
+    This is the input shape STREAMMINING consumes: the stream of per-user
+    itemsets, arriving in arbitrary order.
+    """
+    transactions, _ = dataset.transactions(
+        include_demographics=include_demographics,
+        min_item_support=min_item_support,
+    )
+    order = np.arange(len(transactions))
+    if shuffle:
+        np.random.default_rng(seed).shuffle(order)
+    for user_index in order:
+        yield transactions[int(user_index)]
+
+
+def vector_stream(
+    dataset: UserDataset,
+    featurizer: Callable[[UserDataset, int], np.ndarray],
+    shuffle: bool = True,
+    seed: int = 0,
+) -> Iterator[np.ndarray]:
+    """Stream one feature vector per user (the BIRCH input shape)."""
+    order = np.arange(dataset.n_users)
+    if shuffle:
+        np.random.default_rng(seed).shuffle(order)
+    for user_index in order:
+        yield featurizer(dataset, int(user_index))
+
+
+def tumbling_windows(
+    stream: Iterable[StreamEvent], width_seconds: float
+) -> Iterator[list[StreamEvent]]:
+    """Partition a timestamped stream into back-to-back windows.
+
+    Empty windows between bursts are skipped; events are assumed to arrive
+    in timestamp order (as :func:`replay_actions` guarantees).
+    """
+    if width_seconds <= 0:
+        raise ValueError("window width must be positive")
+    window: list[StreamEvent] = []
+    boundary: float | None = None
+    for event in stream:
+        if boundary is None:
+            boundary = event.timestamp + width_seconds
+        while event.timestamp >= boundary:
+            if window:
+                yield window
+                window = []
+            boundary += width_seconds
+        window.append(event)
+    if window:
+        yield window
+
+
+def sliding_windows(
+    stream: Iterable[StreamEvent], width_seconds: float, step_seconds: float
+) -> Iterator[list[StreamEvent]]:
+    """Overlapping windows: every ``step_seconds``, the last ``width_seconds``.
+
+    Materialises only the active window (at most ``width / step`` steps of
+    overlap), preserving the in-core property.
+    """
+    if width_seconds <= 0 or step_seconds <= 0:
+        raise ValueError("window width and step must be positive")
+    buffer: list[StreamEvent] = []
+    next_emit: float | None = None
+    for event in stream:
+        if next_emit is None:
+            next_emit = event.timestamp + width_seconds
+        buffer.append(event)
+        while event.timestamp >= next_emit:
+            low = next_emit - width_seconds
+            buffer = [e for e in buffer if e.timestamp > low]
+            yield [e for e in buffer if e.timestamp <= next_emit]
+            next_emit += step_seconds
+    if buffer and next_emit is not None:
+        yield buffer

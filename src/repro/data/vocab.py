@@ -1,0 +1,83 @@
+"""Bidirectional label <-> integer-code mapping.
+
+Every columnar structure in :mod:`repro.data` stores string labels as dense
+integer codes.  :class:`Vocab` owns that mapping: codes are assigned in first
+-seen order, are stable for the lifetime of the vocabulary, and round-trip
+exactly (``vocab.label(vocab.code(x)) == x``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Optional
+
+
+class Vocab:
+    """Append-only bidirectional mapping between labels and dense int codes.
+
+    >>> v = Vocab(["a", "b"])
+    >>> v.code("a"), v.code("b")
+    (0, 1)
+    >>> v.add("c")
+    2
+    >>> v.label(2)
+    'c'
+    >>> "b" in v, "z" in v
+    (True, False)
+    """
+
+    __slots__ = ("_labels", "_codes")
+
+    def __init__(self, labels: Optional[Iterable[str]] = None) -> None:
+        self._labels: list[str] = []
+        self._codes: dict[str, int] = {}
+        if labels is not None:
+            for label in labels:
+                self.add(label)
+
+    def add(self, label: str) -> int:
+        """Return the code for ``label``, assigning a new one if unseen."""
+        code = self._codes.get(label)
+        if code is None:
+            code = len(self._labels)
+            self._codes[label] = code
+            self._labels.append(label)
+        return code
+
+    def code(self, label: str) -> int:
+        """Return the code for ``label``; raise ``KeyError`` if unknown."""
+        return self._codes[label]
+
+    def get(self, label: str, default: int = -1) -> int:
+        """Return the code for ``label``, or ``default`` if unknown."""
+        return self._codes.get(label, default)
+
+    def label(self, code: int) -> str:
+        """Return the label for ``code``; raise ``IndexError`` if out of range."""
+        if code < 0:
+            raise IndexError(f"negative vocab code: {code}")
+        return self._labels[code]
+
+    def labels(self) -> list[str]:
+        """All labels in code order (a copy; mutating it is safe)."""
+        return list(self._labels)
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._codes
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(label) for label in self._labels[:4])
+        if len(self._labels) > 4:
+            preview += ", ..."
+        return f"Vocab({len(self._labels)} labels: {preview})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocab):
+            return NotImplemented
+        return self._labels == other._labels

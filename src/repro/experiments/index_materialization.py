@@ -1,0 +1,68 @@
+"""Experiment C3: how much of the inverted index must be materialized?
+
+§II-A: *"we only materialize 10% of each inverted index which is shown in
+[14] to be adequate to deliver satisfying results."*
+
+The driver sweeps the materialization fraction and measures recall@k of
+the true top-k similar groups (against the exact ranking) plus memory and
+build time.  The paper's claim is a plateau: by ~10%, recall for the
+k ≈ 5-10 neighbors navigation actually uses is ~1.0.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.experiments.common import ExperimentReport, dbauthors_space
+from repro.index.inverted import SimilarityIndex
+
+
+def run_index_materialization(
+    fractions: tuple[float, ...] = (0.002, 0.005, 0.01, 0.025, 0.05, 0.10, 0.25),
+    k: int = 50,
+    sample: int = 60,
+) -> ExperimentReport:
+    space = dbauthors_space()
+    memberships = space.memberships()
+    n_users = space.dataset.n_users
+
+    exact = SimilarityIndex(memberships, n_users, 1.0)
+    rng = np.random.default_rng(3)
+    probes = rng.choice(len(space), size=min(sample, len(space)), replace=False)
+    truth = {
+        int(gid): [neighbor.group for neighbor in exact.neighbors(int(gid), k)]
+        for gid in probes
+    }
+
+    rows: list[dict[str, object]] = []
+    for fraction in fractions:
+        started = time.perf_counter()
+        index = SimilarityIndex(memberships, n_users, fraction)
+        build_seconds = time.perf_counter() - started
+        recalls = []
+        for gid, expected in truth.items():
+            if not expected:
+                continue
+            got = [
+                neighbor.group
+                for neighbor in index.materialized_neighbors(gid)[:k]
+            ]
+            recalls.append(
+                len(set(got) & set(expected)) / len(expected)
+            )
+        rows.append(
+            {
+                "fraction": fraction,
+                f"recall@{k}": float(np.mean(recalls)) if recalls else 1.0,
+                "entries": index.memory_entries(),
+                "build_s": build_seconds,
+            }
+        )
+    return ExperimentReport(
+        experiment="C3",
+        paper_claim="10% materialization is adequate (recall plateau)",
+        rows=rows,
+        notes="recall measured on the raw materialized prefix (no exact fallback)",
+    )

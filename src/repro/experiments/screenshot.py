@@ -1,0 +1,101 @@
+"""Experiment F2: regenerate the Fig. 2 screenshot.
+
+Fig. 2 shows the five coordinated panels mid-session on DB-AUTHORS, with
+CONTEXT holding ``[cikm][male]`` chips.  The driver scripts that same
+session — click into a CIKM-flavoured group so the same kind of chips
+appear — and snapshots the dashboard (ASCII) and the GROUPVIZ panel (SVG).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.session import ExplorationSession, SessionConfig
+from repro.experiments.common import ExperimentReport, dbauthors_data, dbauthors_space
+from repro.viz.groupviz import Scene, build_scene
+from repro.viz.render import render_dashboard, render_scene_svg
+from repro.viz.stats import StatsView
+
+
+def run_screenshot(color_by: str = "gender") -> tuple[ExperimentReport, str, str]:
+    """Returns (report, dashboard text, groupviz svg)."""
+    data = dbauthors_data()
+    space = dbauthors_space()
+    session = ExplorationSession(space, config=SessionConfig(k=5))
+
+    shown = session.start()
+    # Walk toward a CIKM-centred display, mirroring the figure's context.
+    cikm = next(
+        (group for group in shown if "item:CIKM" in group.description), None
+    )
+    if cikm is None:
+        candidates = [g for g in space if "item:CIKM" in g.description]
+        cikm = max(candidates, key=lambda group: group.size)
+    shown = session.click(cikm.gid)
+    session.bookmark_group(shown[0].gid, "shortlist")
+    if shown[0].size:
+        session.bookmark_user(int(shown[0].members[0]), "candidate expert")
+
+    scene = _scene_for(session, color_by)
+    stats = StatsView(data.dataset, session.drill_down(shown[0].gid))
+    dashboard = render_dashboard(
+        scene=scene,
+        context_entries=[
+            (entry.label, entry.score) for entry in session.context.entries(6)
+        ],
+        history_labels=[
+            f"#{step.clicked_gid}" if step.clicked_gid is not None else "start"
+            for step in session.history.path()
+        ],
+        memo_summary=(
+            f"{len(session.memo.groups)} groups, {len(session.memo.users)} users"
+        ),
+        stats_histograms={
+            "gender": stats.histogram("gender"),
+            "seniority": stats.histogram("seniority"),
+            "topic": stats.histogram("topic"),
+        },
+        title="VEXUS on DB-AUTHORS (Fig. 2 reproduction)",
+    )
+    svg = render_scene_svg(scene)
+
+    report = ExperimentReport(
+        experiment="F2",
+        paper_claim="Fig. 2: GROUPVIZ + CONTEXT + STATS + HISTORY + MEMO in action",
+        rows=[
+            {"panel": "GROUPVIZ", "content": f"{scene.k} circles, colored by {color_by}"},
+            {
+                "panel": "CONTEXT",
+                "content": ", ".join(
+                    entry.label for entry in session.context.entries(4)
+                ),
+            },
+            {
+                "panel": "STATS",
+                "content": f"{len(stats.histograms())} coordinated histograms",
+            },
+            {"panel": "HISTORY", "content": f"{len(session.history)} steps"},
+            {"panel": "MEMO", "content": f"{len(session.memo)} bookmarks"},
+        ],
+    )
+    return report, dashboard, svg
+
+
+def _scene_for(session: ExplorationSession, color_by: str) -> Scene:
+    shown = session.displayed()
+    k = len(shown)
+    similarity = np.zeros((k, k))
+    for i in range(k):
+        for j in range(i + 1, k):
+            similarity[i, j] = similarity[j, i] = session.index.similarity(
+                shown[i].gid, shown[j].gid
+            )
+    return build_scene(
+        gids=[group.gid for group in shown],
+        sizes=[group.size for group in shown],
+        labels=[group.label for group in shown],
+        memberships=[group.members for group in shown],
+        dataset=session.space.dataset,
+        color_by=color_by,
+        similarity=similarity,
+    )

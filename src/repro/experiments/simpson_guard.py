@@ -1,0 +1,125 @@
+"""Experiment C12: the P2 guard against Simpson's paradox.
+
+§I principle P2: optimized group selection *"prevents statistically false
+local discoveries such as Simpson's paradox"*.
+
+The driver constructs a deliberately confounded population — cohort A beats
+cohort B on aggregate mean rating, yet B beats A inside *every* age stratum
+(the textbook paradox, achievable because cohort A concentrates in the
+generous-rating stratum) — then shows the guard flags exactly this
+comparison and stays quiet on an unconfounded control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.simpson import compare_groups, guard_comparison
+from repro.data.dataset import UserDataset
+from repro.experiments.common import ExperimentReport
+
+
+def confounded_dataset(
+    n_per_cell: int = 100, seed: int = 21
+) -> tuple[UserDataset, np.ndarray, np.ndarray]:
+    """A population where cohort A > B aggregate but A < B in every stratum.
+
+    Construction (rates in mean rating units):
+
+    ========  ========  =======  ==========
+    cohort    stratum   users    mean value
+    ========  ========  =======  ==========
+    A         senior    3n       8.0   (high-rating stratum, A-heavy)
+    B         senior    n        8.6
+    A         young     n        4.0   (low-rating stratum, B-heavy)
+    B         young     3n       4.6
+    ========  ========  =======  ==========
+
+    Aggregate: A = (3·8.0 + 1·4.0)/4 = 7.0 > B = (1·8.6 + 3·4.6)/4 = 5.6,
+    yet B wins inside both strata.
+    """
+    rng = np.random.default_rng(seed)
+    cells = [
+        ("a", "senior", 3 * n_per_cell, 8.0),
+        ("b", "senior", n_per_cell, 8.6),
+        ("a", "young", n_per_cell, 4.0),
+        ("b", "young", 3 * n_per_cell, 4.6),
+    ]
+    user_labels: list[str] = []
+    cohorts: list[str] = []
+    ages: list[str] = []
+    values: list[float] = []
+    for cohort, age, count, mean in cells:
+        for i in range(count):
+            user_labels.append(f"{cohort}-{age}-{i}")
+            cohorts.append(cohort)
+            ages.append(age)
+            values.append(float(np.clip(rng.normal(mean, 0.3), 1.0, 10.0)))
+
+    n = len(user_labels)
+    dataset = UserDataset.from_arrays(
+        user_labels,
+        ["the-book"],
+        np.arange(n, dtype=np.int64),
+        np.zeros(n, dtype=np.int64),
+        np.asarray(values),
+        demographics={"cohort": cohorts, "age": ages},
+        name="simpson-synthetic",
+    )
+    members_a = dataset.users_matching("cohort", "a")
+    members_b = dataset.users_matching("cohort", "b")
+    return dataset, members_a, members_b
+
+
+def run_simpson_guard() -> ExperimentReport:
+    dataset, members_a, members_b = confounded_dataset()
+    report = compare_groups(dataset, members_a, members_b, confounder="age")
+    flagged = guard_comparison(dataset, members_a, members_b)
+
+    rows: list[dict[str, object]] = [
+        {
+            "view": "aggregate",
+            "mean_A": report.aggregate_mean_a,
+            "mean_B": report.aggregate_mean_b,
+            "winner": "A" if report.aggregate_direction > 0 else "B",
+        }
+    ]
+    for stratum in report.strata:
+        rows.append(
+            {
+                "view": f"stratum {stratum.stratum}",
+                "mean_A": stratum.mean_a,
+                "mean_B": stratum.mean_b,
+                "winner": "A" if stratum.direction > 0 else "B",
+            }
+        )
+    rows.append(
+        {
+            "view": "guard verdict",
+            "mean_A": "-",
+            "mean_B": "-",
+            "winner": (
+                f"PARADOX flagged on {[r.confounder for r in flagged]}"
+                if flagged
+                else "no paradox"
+            ),
+        }
+    )
+
+    # Control: an unconfounded comparison must not be flagged.
+    rng_split = np.concatenate([members_a[::2], members_b[::2]])
+    other_split = np.concatenate([members_a[1::2], members_b[1::2]])
+    control_flags = guard_comparison(dataset, np.sort(rng_split), np.sort(other_split))
+    rows.append(
+        {
+            "view": "control (random split)",
+            "mean_A": "-",
+            "mean_B": "-",
+            "winner": "flagged (BAD)" if control_flags else "clean (expected)",
+        }
+    )
+    return ExperimentReport(
+        experiment="C12",
+        paper_claim="P2 prevents statistically false discoveries (Simpson's paradox)",
+        rows=rows,
+    )

@@ -1,0 +1,14 @@
+"""Indexing substrate: the paper's partial inverted similarity index plus
+secondary (attribute/user) indexes and a MinHash/LSH accelerator."""
+
+from repro.index.attribute import AttributeIndex
+from repro.index.inverted import Neighbor, SimilarityIndex
+from repro.index.minhash import MinHashConfig, MinHashIndex
+
+__all__ = [
+    "AttributeIndex",
+    "MinHashConfig",
+    "MinHashIndex",
+    "Neighbor",
+    "SimilarityIndex",
+]

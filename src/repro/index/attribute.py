@@ -1,0 +1,58 @@
+"""Secondary indexes: attribute-value -> groups and user -> groups.
+
+These power the O(1) interactions of §II-B: when the explorer deletes a
+demographic value from CONTEXT (unlearn) or bookmarks a user, VEXUS must
+find every group whose description mentions that value, or every group the
+user belongs to, without scanning the group space.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+class AttributeIndex:
+    """Map description tokens and members back to group ids.
+
+    ``descriptions`` is one iterable of description tokens (strings such as
+    ``"gender=female"``) per group; ``memberships`` one user-index array per
+    group.
+    """
+
+    def __init__(
+        self,
+        descriptions: Sequence[Iterable[str]],
+        memberships: Sequence[np.ndarray],
+    ) -> None:
+        if len(descriptions) != len(memberships):
+            raise ValueError("descriptions and memberships must align")
+        self._groups_of_token: dict[str, list[int]] = {}
+        for group, description in enumerate(descriptions):
+            for token in description:
+                self._groups_of_token.setdefault(token, []).append(group)
+        self._groups_of_user: dict[int, list[int]] = {}
+        for group, members in enumerate(memberships):
+            for user in np.asarray(members).tolist():
+                self._groups_of_user.setdefault(int(user), []).append(group)
+        self.n_groups = len(descriptions)
+
+    def groups_with_token(self, token: str) -> list[int]:
+        """Group ids whose description contains ``token`` (ascending)."""
+        return list(self._groups_of_token.get(token, []))
+
+    def groups_of_user(self, user: int) -> list[int]:
+        """Group ids the user belongs to (ascending)."""
+        return list(self._groups_of_user.get(int(user), []))
+
+    def tokens(self) -> list[str]:
+        """All description tokens present in the group space."""
+        return sorted(self._groups_of_token)
+
+    def __repr__(self) -> str:
+        return (
+            f"AttributeIndex({self.n_groups} groups, "
+            f"{len(self._groups_of_token)} tokens, "
+            f"{len(self._groups_of_user)} users)"
+        )

@@ -1,0 +1,104 @@
+"""MinHash signatures + LSH banding for approximate group similarity.
+
+A scalability extension beyond the paper's exact index: at BookCrossing
+scale the O(|G|^2) exact Jaccard construction dominates pre-processing, and
+MinHash gives an unbiased estimator of the same Jaccard the paper ranks by.
+Benchmarks (C3 extension) compare recall and build time against
+:class:`repro.index.inverted.SimilarityIndex`.
+
+Standard construction: ``n_hashes`` universal hash functions
+``(a * x + b) mod p`` over user ids; signature of a group is the coordinate
+-wise minimum over its members; LSH splits signatures into bands of rows
+and buckets identical bands so candidate pairs are found in near-linear
+time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+@dataclass(frozen=True)
+class MinHashConfig:
+    """Signature and banding shape; ``n_hashes = bands * rows_per_band``."""
+
+    bands: int = 16
+    rows_per_band: int = 4
+    seed: int = 0
+
+    @property
+    def n_hashes(self) -> int:
+        return self.bands * self.rows_per_band
+
+
+class MinHashIndex:
+    """Approximate Jaccard search over group member sets."""
+
+    def __init__(
+        self,
+        memberships: list[np.ndarray],
+        config: MinHashConfig | None = None,
+    ) -> None:
+        self.config = config or MinHashConfig()
+        rng = np.random.default_rng(self.config.seed)
+        n_hashes = self.config.n_hashes
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=n_hashes, dtype=np.int64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=n_hashes, dtype=np.int64)
+        self.n_groups = len(memberships)
+        self.signatures = np.full(
+            (self.n_groups, n_hashes), np.iinfo(np.int64).max, dtype=np.int64
+        )
+        for group, members in enumerate(memberships):
+            if len(members) == 0:
+                continue
+            self.signatures[group] = self._signature(np.asarray(members, dtype=np.int64))
+        self._buckets: list[dict[bytes, list[int]]] = [
+            defaultdict(list) for _ in range(self.config.bands)
+        ]
+        for group in range(self.n_groups):
+            for band, key in enumerate(self._band_keys(self.signatures[group])):
+                self._buckets[band][key].append(group)
+
+    def _signature(self, members: np.ndarray) -> np.ndarray:
+        # hashes: (n_hashes, n_members) -> min over members
+        hashed = (
+            self._a[:, None] * members[None, :] + self._b[:, None]
+        ) % _MERSENNE_PRIME
+        return hashed.min(axis=1)
+
+    def _band_keys(self, signature: np.ndarray) -> list[bytes]:
+        rows = self.config.rows_per_band
+        return [
+            signature[band * rows : (band + 1) * rows].tobytes()
+            for band in range(self.config.bands)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def estimated_similarity(self, left: int, right: int) -> float:
+        """Unbiased MinHash estimate of Jaccard(left, right)."""
+        return float(
+            np.mean(self.signatures[left] == self.signatures[right])
+        )
+
+    def candidates(self, group: int) -> list[int]:
+        """Groups sharing at least one LSH bucket with ``group``."""
+        found: set[int] = set()
+        for band, key in enumerate(self._band_keys(self.signatures[group])):
+            found.update(self._buckets[band][key])
+        found.discard(group)
+        return sorted(found)
+
+    def neighbors(self, group: int, k: int) -> list[tuple[int, float]]:
+        """Top-``k`` (group, estimated similarity), LSH candidates only."""
+        scored = [
+            (candidate, self.estimated_similarity(group, candidate))
+            for candidate in self.candidates(group)
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:k]

@@ -1,0 +1,40 @@
+"""Group-discovery substrate: the four miners VEXUS names plus a baseline.
+
+§II-A: *"For user datasets, different group discovery algorithms such as
+LCM [16] and α-MOMRI [13] can be used.  In case of user data streams,
+STREAMMINING [9] and BIRCH [18] can be employed."*  All four are
+implemented here, plus Apriori as a validation/performance baseline.
+"""
+
+from repro.mining.apriori import AprioriConfig, close_itemsets, mine_frequent
+from repro.mining.birch import Birch, ClusteringFeature
+from repro.mining.itemsets import FrequentItemset, TransactionDB, brute_force_closed
+from repro.mining.lcm import LCMConfig, LCMStats, mine_closed
+from repro.mining.momri import (
+    MOMRIConfig,
+    MOMRISolution,
+    ParetoArchive,
+    alpha_dominates,
+    momri,
+)
+from repro.mining.streammining import StreamMiner
+
+__all__ = [
+    "AprioriConfig",
+    "Birch",
+    "ClusteringFeature",
+    "FrequentItemset",
+    "LCMConfig",
+    "LCMStats",
+    "MOMRIConfig",
+    "MOMRISolution",
+    "ParetoArchive",
+    "StreamMiner",
+    "TransactionDB",
+    "alpha_dominates",
+    "brute_force_closed",
+    "close_itemsets",
+    "mine_closed",
+    "mine_frequent",
+    "momri",
+]

@@ -1,0 +1,104 @@
+"""Apriori frequent itemset mining (level-wise baseline).
+
+VEXUS itself runs LCM; Apriori is here as the classical baseline the
+benchmarks compare against (experiment C13) and as an independent oracle the
+test suite uses to validate LCM: every closed itemset LCM reports must
+appear among Apriori's frequent itemsets with the same support, and closing
+Apriori's output must give exactly LCM's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.mining.itemsets import FrequentItemset, TransactionDB
+
+
+@dataclass
+class AprioriConfig:
+    """Bounds for an Apriori run."""
+
+    min_support: int = 2
+    max_items: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.min_support < 1:
+            raise ValueError("min_support must be >= 1")
+
+
+def mine_frequent(
+    db: TransactionDB, config: Optional[AprioriConfig] = None
+) -> list[FrequentItemset]:
+    """All frequent itemsets (not just closed), deterministic order.
+
+    Classic level-wise search: candidates of size ``k`` are joins of
+    size-``k-1`` frequent itemsets sharing a ``k-2`` prefix, pruned by the
+    downward-closure property, counted by tid-list intersection.
+    """
+    config = config or AprioriConfig()
+    results: list[FrequentItemset] = []
+    if db.n_transactions >= config.min_support:
+        results.append(
+            FrequentItemset((), db.n_transactions, np.arange(db.n_transactions, dtype=np.int64))
+        )
+
+    current: list[FrequentItemset] = []
+    for token in db.frequent_tokens(config.min_support):
+        tids = db.tids_of(token)
+        current.append(FrequentItemset((token,), len(tids), tids))
+    results.extend(current)
+
+    size = 1
+    frequent_keys = {itemset.items for itemset in current}
+    while current and (config.max_items is None or size < config.max_items):
+        by_prefix: dict[tuple[int, ...], list[FrequentItemset]] = {}
+        for itemset in current:
+            by_prefix.setdefault(itemset.items[:-1], []).append(itemset)
+        next_level: list[FrequentItemset] = []
+        next_keys: set[tuple[int, ...]] = set()
+        for siblings in by_prefix.values():
+            siblings.sort(key=lambda itemset: itemset.items)
+            for first_index in range(len(siblings)):
+                for second_index in range(first_index + 1, len(siblings)):
+                    left = siblings[first_index]
+                    right = siblings[second_index]
+                    candidate = left.items + (right.items[-1],)
+                    # Downward closure: every (k-1)-subset must be frequent.
+                    if any(
+                        candidate[:drop] + candidate[drop + 1 :] not in frequent_keys
+                        for drop in range(len(candidate) - 2)
+                    ):
+                        continue
+                    tids = np.intersect1d(
+                        left.tids, right.tids, assume_unique=True
+                    )
+                    if len(tids) >= config.min_support:
+                        mined = FrequentItemset(candidate, len(tids), tids)
+                        next_level.append(mined)
+                        next_keys.add(candidate)
+        current = next_level
+        frequent_keys = next_keys
+        results.extend(current)
+        size += 1
+
+    results.sort(key=lambda itemset: (len(itemset.items), itemset.items))
+    return results
+
+
+def close_itemsets(
+    db: TransactionDB, itemsets: list[FrequentItemset]
+) -> list[FrequentItemset]:
+    """Map each frequent itemset to its closure and deduplicate.
+
+    Used in tests: ``close_itemsets(db, mine_frequent(db))`` must equal
+    :func:`repro.mining.lcm.mine_closed` output exactly.
+    """
+    seen: dict[tuple[int, ...], FrequentItemset] = {}
+    for itemset in itemsets:
+        closed = tuple(int(token) for token in db.closure(itemset.tids))
+        if closed not in seen:
+            seen[closed] = FrequentItemset(closed, itemset.support, itemset.tids)
+    return sorted(seen.values(), key=lambda itemset: (len(itemset.items), itemset.items))

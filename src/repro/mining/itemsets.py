@@ -1,0 +1,165 @@
+"""Transaction database and itemset primitives shared by all miners.
+
+Group discovery in VEXUS (§II-A) runs frequent-itemset miners over user
+transactions: each user is one transaction whose items are demographic
+tokens (``gender=female``) and action tokens (``item:The Hobbit``).  A
+frequent (closed) itemset *is* a user group — the itemset is the group's
+description and its supporting transactions are the members.
+
+:class:`TransactionDB` stores the *vertical* representation (per-token
+sorted tid-lists) on numpy arrays; every miner in this package works off it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.vocab import Vocab
+
+
+@dataclass(frozen=True)
+class FrequentItemset:
+    """A mined itemset: token codes, support and supporting transactions."""
+
+    items: tuple[int, ...]
+    support: int
+    tids: np.ndarray  # sorted transaction ids
+
+    def labels(self, vocab: Vocab) -> tuple[str, ...]:
+        """Human-readable item labels (group description)."""
+        return tuple(vocab.label(item) for item in self.items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrequentItemset):
+            return NotImplemented
+        return self.items == other.items and self.support == other.support
+
+    def __hash__(self) -> int:
+        return hash((self.items, self.support))
+
+
+class TransactionDB:
+    """Vertical transaction database: token -> sorted tid array.
+
+    ``transactions`` is a list of (possibly unsorted) token-code iterables;
+    duplicate tokens within one transaction are collapsed.
+    """
+
+    def __init__(
+        self,
+        transactions: Sequence[Iterable[int]],
+        vocab: Vocab | None = None,
+    ) -> None:
+        self.vocab = vocab
+        self.n_transactions = len(transactions)
+        self._transactions = [
+            np.unique(np.asarray(list(transaction), dtype=np.int64))
+            for transaction in transactions
+        ]
+        n_tokens = 0
+        for transaction in self._transactions:
+            if len(transaction):
+                if transaction[0] < 0:
+                    raise ValueError("negative token code in transaction")
+                n_tokens = max(n_tokens, int(transaction[-1]) + 1)
+        self.n_tokens = n_tokens
+        # Vertical representation: one sorted tid array per token.
+        buckets: list[list[int]] = [[] for _ in range(n_tokens)]
+        for tid, transaction in enumerate(self._transactions):
+            for token in transaction:
+                buckets[int(token)].append(tid)
+        self._tidlists = [np.asarray(bucket, dtype=np.int64) for bucket in buckets]
+
+    def transaction(self, tid: int) -> np.ndarray:
+        """Sorted token codes of one transaction."""
+        return self._transactions[tid]
+
+    def tids_of(self, token: int) -> np.ndarray:
+        """Sorted tids containing ``token`` (empty if out of range)."""
+        if 0 <= token < self.n_tokens:
+            return self._tidlists[token]
+        return np.empty(0, dtype=np.int64)
+
+    def support(self, token: int) -> int:
+        """Number of transactions containing a single token."""
+        return len(self.tids_of(token))
+
+    def tids_of_itemset(self, items: Iterable[int]) -> np.ndarray:
+        """Sorted tids containing *every* item (intersection of tid-lists).
+
+        Intersects the rarest lists first so the working set shrinks fast.
+        """
+        item_list = sorted(set(items), key=self.support)
+        if not item_list:
+            return np.arange(self.n_transactions, dtype=np.int64)
+        tids = self.tids_of(item_list[0])
+        for item in item_list[1:]:
+            if len(tids) == 0:
+                break
+            tids = np.intersect1d(tids, self.tids_of(item), assume_unique=True)
+        return tids
+
+    def support_of_itemset(self, items: Iterable[int]) -> int:
+        """Number of transactions containing every item."""
+        return len(self.tids_of_itemset(items))
+
+    def closure(self, tids: np.ndarray) -> np.ndarray:
+        """Tokens present in *all* of the given transactions (sorted).
+
+        This is the closure operator of formal concept analysis: the unique
+        maximal itemset shared by ``tids``.  Empty ``tids`` closes to every
+        token (convention: returns all tokens, the top of the lattice).
+        """
+        if len(tids) == 0:
+            return np.arange(self.n_tokens, dtype=np.int64)
+        common = self._transactions[int(tids[0])]
+        for tid in tids[1:]:
+            if len(common) == 0:
+                break
+            common = np.intersect1d(
+                common, self._transactions[int(tid)], assume_unique=True
+            )
+        return common
+
+    def frequent_tokens(self, min_support: int) -> list[int]:
+        """Tokens with support >= ``min_support``, ascending code order."""
+        return [
+            token
+            for token in range(self.n_tokens)
+            if len(self._tidlists[token]) >= min_support
+        ]
+
+    def __len__(self) -> int:
+        return self.n_transactions
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionDB({self.n_transactions} transactions, "
+            f"{self.n_tokens} tokens)"
+        )
+
+
+def brute_force_closed(
+    db: TransactionDB, min_support: int
+) -> list[FrequentItemset]:
+    """Reference oracle: all frequent closed itemsets by exhaustive closure.
+
+    Exponential — only usable on tiny databases; exists so property tests
+    can check LCM's output exactly.
+    """
+    seen: dict[tuple[int, ...], FrequentItemset] = {}
+    from itertools import combinations
+
+    tokens = db.frequent_tokens(min_support)
+    for size in range(0, len(tokens) + 1):
+        for candidate in combinations(tokens, size):
+            tids = db.tids_of_itemset(candidate)
+            if len(tids) < min_support:
+                continue
+            closed = tuple(int(token) for token in db.closure(tids))
+            if closed not in seen:
+                seen[closed] = FrequentItemset(closed, len(tids), tids)
+    return sorted(seen.values(), key=lambda itemset: (len(itemset.items), itemset.items))

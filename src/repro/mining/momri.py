@@ -1,0 +1,239 @@
+"""α-MOMRI: multi-objective group discovery (reconstruction of [13]).
+
+VEXUS §II-A lists α-MOMRI (Omidvar-Tehrani et al., PKDD 2016) as an
+alternative offline group-discovery backend.  No public implementation
+exists, so this module reconstructs it from the cited paper's description
+(DESIGN.md §4): discover *sets of k groups* that are Pareto-optimal under
+multiple quality objectives, with an **α-relaxed dominance** that collapses
+near-duplicate solutions — larger α means a coarser, cheaper front.
+
+Objectives (all maximised, all in [0, 1]):
+
+- ``coverage``   — fraction of the universe covered by the union of members;
+- ``diversity``  — 1 − mean pairwise Jaccard overlap between the groups;
+- ``homogeneity``— 1 − normalised mean within-group spread of a per-user
+  value (e.g. mean rating), when values are supplied.
+
+The search is an α-Pareto archive fed by seeded greedy construction plus
+swap-based local search under a fixed evaluation budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.mining.itemsets import FrequentItemset
+
+
+@dataclass(frozen=True)
+class MOMRISolution:
+    """One k-group solution on the α-Pareto front."""
+
+    groups: tuple[FrequentItemset, ...]
+    objectives: dict[str, float] = field(hash=False, compare=False)
+
+    def vector(self, names: tuple[str, ...]) -> tuple[float, ...]:
+        return tuple(self.objectives[name] for name in names)
+
+
+@dataclass
+class MOMRIConfig:
+    """Search knobs for :func:`momri`."""
+
+    k: int = 3
+    alpha: float = 0.05
+    budget_evaluations: int = 2000
+    n_seeds: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.alpha < 0:
+            raise ValueError("alpha must be >= 0")
+
+
+class _Objectives:
+    """Vectorised objective evaluation over candidate groups."""
+
+    def __init__(
+        self,
+        candidates: list[FrequentItemset],
+        n_transactions: int,
+        values: Optional[np.ndarray],
+    ) -> None:
+        self.candidates = candidates
+        self.n = max(n_transactions, 1)
+        self.values = values
+        self.names: tuple[str, ...] = (
+            ("coverage", "diversity", "homogeneity")
+            if values is not None
+            else ("coverage", "diversity")
+        )
+        if values is not None:
+            spread = float(values.max() - values.min()) if len(values) else 0.0
+            self._value_scale = spread if spread > 0 else 1.0
+        self._pair_jaccard: dict[tuple[int, int], float] = {}
+        self._homogeneity: dict[int, float] = {}
+
+    def evaluate(self, indices: tuple[int, ...]) -> dict[str, float]:
+        groups = [self.candidates[index] for index in indices]
+        union = np.unique(np.concatenate([group.tids for group in groups]))
+        coverage = len(union) / self.n
+        diversity = 1.0 - self._mean_overlap(indices)
+        objectives = {"coverage": coverage, "diversity": diversity}
+        if self.values is not None:
+            objectives["homogeneity"] = float(
+                np.mean([self._group_homogeneity(index) for index in indices])
+            )
+        return objectives
+
+    def _mean_overlap(self, indices: tuple[int, ...]) -> float:
+        if len(indices) < 2:
+            return 0.0
+        overlaps = [
+            self._jaccard(low, high)
+            for low, high in itertools.combinations(sorted(indices), 2)
+        ]
+        return float(np.mean(overlaps))
+
+    def _jaccard(self, low: int, high: int) -> float:
+        key = (low, high)
+        cached = self._pair_jaccard.get(key)
+        if cached is None:
+            left = self.candidates[low].tids
+            right = self.candidates[high].tids
+            inter = len(np.intersect1d(left, right, assume_unique=True))
+            union = len(left) + len(right) - inter
+            cached = inter / union if union else 0.0
+            self._pair_jaccard[key] = cached
+        return cached
+
+    def _group_homogeneity(self, index: int) -> float:
+        cached = self._homogeneity.get(index)
+        if cached is None:
+            assert self.values is not None
+            member_values = self.values[self.candidates[index].tids]
+            spread = float(member_values.std()) if len(member_values) else 0.0
+            cached = max(0.0, 1.0 - spread / self._value_scale)
+            self._homogeneity[index] = cached
+        return cached
+
+
+def alpha_dominates(
+    left: tuple[float, ...], right: tuple[float, ...], alpha: float
+) -> bool:
+    """True when ``left`` α-dominates ``right``.
+
+    ε-dominance in the sense of Laumanns et al.: scaling ``left`` up by
+    ``(1 + α)`` must match-or-beat ``right`` on every objective, and beat it
+    strictly on at least one *unscaled* coordinate when α is zero.
+    """
+    scaled = tuple(value * (1.0 + alpha) for value in left)
+    if any(s < r for s, r in zip(scaled, right)):
+        return False
+    if alpha > 0:
+        return True
+    return any(l > r for l, r in zip(left, right))
+
+
+class ParetoArchive:
+    """Archive of mutually non-α-dominated solutions."""
+
+    def __init__(self, names: tuple[str, ...], alpha: float) -> None:
+        self.names = names
+        self.alpha = alpha
+        self._solutions: dict[tuple[int, ...], MOMRISolution] = {}
+
+    def offer(self, key: tuple[int, ...], solution: MOMRISolution) -> bool:
+        """Insert unless α-dominated; evict members it α-dominates."""
+        vector = solution.vector(self.names)
+        for existing in self._solutions.values():
+            if alpha_dominates(existing.vector(self.names), vector, self.alpha):
+                return False
+        dominated = [
+            existing_key
+            for existing_key, existing in self._solutions.items()
+            if alpha_dominates(vector, existing.vector(self.names), self.alpha)
+        ]
+        for existing_key in dominated:
+            del self._solutions[existing_key]
+        self._solutions[key] = solution
+        return True
+
+    def solutions(self) -> list[MOMRISolution]:
+        return sorted(
+            self._solutions.values(),
+            key=lambda solution: solution.vector(self.names),
+            reverse=True,
+        )
+
+    def entries(self) -> list[tuple[tuple[int, ...], MOMRISolution]]:
+        """(candidate-index key, solution) pairs, best objective vector first."""
+        return sorted(
+            self._solutions.items(),
+            key=lambda entry: entry[1].vector(self.names),
+            reverse=True,
+        )
+
+    def __len__(self) -> int:
+        return len(self._solutions)
+
+
+def momri(
+    candidates: list[FrequentItemset],
+    n_transactions: int,
+    config: Optional[MOMRIConfig] = None,
+    values: Optional[np.ndarray] = None,
+) -> list[MOMRISolution]:
+    """α-approximate Pareto front of k-group sets drawn from ``candidates``.
+
+    ``values`` (optional, one float per transaction, e.g. each user's mean
+    rating) switches on the third ``homogeneity`` objective.
+    """
+    config = config or MOMRIConfig()
+    usable = [group for group in candidates if len(group.tids) > 0]
+    if len(usable) < config.k:
+        return []
+    rng = np.random.default_rng(config.seed)
+    objectives = _Objectives(usable, n_transactions, values)
+    archive = ParetoArchive(objectives.names, config.alpha)
+    evaluations = 0
+
+    def evaluate(indices: tuple[int, ...]) -> MOMRISolution:
+        nonlocal evaluations
+        evaluations += 1
+        measured = objectives.evaluate(indices)
+        return MOMRISolution(tuple(usable[index] for index in indices), measured)
+
+    # --- seeds: greedy builds biased toward each single objective ---------
+    order_by_size = np.argsort([-len(group.tids) for group in usable])
+    seeds: list[tuple[int, ...]] = [tuple(int(i) for i in order_by_size[: config.k])]
+    for _ in range(config.n_seeds - 1):
+        seeds.append(tuple(int(i) for i in rng.choice(len(usable), size=config.k, replace=False)))
+    for seed_indices in seeds:
+        key = tuple(sorted(seed_indices))
+        archive.offer(key, evaluate(key))
+
+    # --- local search: swap one member for a random outsider --------------
+    if len(usable) > config.k:
+        while evaluations < config.budget_evaluations and len(archive):
+            entries = archive.entries()
+            base_indices, _ = entries[int(rng.integers(len(entries)))]
+            position = int(rng.integers(config.k))
+            replacement = int(rng.integers(len(usable)))
+            if replacement in base_indices:
+                continue
+            mutated = tuple(
+                sorted(
+                    replacement if slot == position else index
+                    for slot, index in enumerate(base_indices)
+                )
+            )
+            archive.offer(mutated, evaluate(mutated))
+
+    return archive.solutions()

@@ -1,0 +1,179 @@
+"""In-core frequent itemset mining over transaction streams.
+
+VEXUS §II-A: *"In case of user data streams, STREAMMINING [9] and BIRCH
+[18] can be employed."*  Reference [9] (Jin & Agrawal, ICDM 2005) describes
+a one-pass, bounded-memory itemset miner; no public implementation exists,
+so this is a reconstruction (DESIGN.md §4) built on the same foundations the
+original uses: Karp–Papadimitriou–Shenker / Lossy-Counting style counting,
+generalised from single items to itemsets via lazy lattice promotion.
+
+Guarantees (as in Lossy Counting, and verified by the test suite):
+
+- **singletons** — after ``N`` transactions, any item with true count
+  ``c`` is tracked with count ``>= c - epsilon * N``; nothing with true
+  frequency below ``support - epsilon`` is reported;
+- **itemsets of size >= 2** — promoted lazily once all their subsets are
+  tracked; counts are conservative (never overcounted), so reported sets
+  are genuinely frequent in the tracked region.  Exactness for higher
+  orders would need a second pass, exactly as [9] concedes.
+
+Memory is bounded by O((1/epsilon) * promoted-lattice width); the miner
+never stores transactions (the "in-core" property).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mining.itemsets import FrequentItemset
+
+
+@dataclass
+class _TrackedSet:
+    """Counter state for one tracked itemset."""
+
+    count: int
+    delta: int  # maximum possible undercount (bucket index at insertion)
+
+
+class StreamMiner:
+    """One-pass frequent-itemset miner with bounded memory.
+
+    Parameters
+    ----------
+    support:
+        Report itemsets with estimated frequency >= ``support`` (fraction).
+    epsilon:
+        Counting slack (fraction); memory grows as O(1/epsilon).  Defaults
+        to ``support / 10``.
+    max_itemset_size:
+        Lattice promotion stops at this size (VEXUS group descriptions stay
+        short anyway).
+    """
+
+    def __init__(
+        self,
+        support: float = 0.05,
+        epsilon: float | None = None,
+        max_itemset_size: int = 3,
+    ) -> None:
+        if not 0 < support <= 1:
+            raise ValueError("support must be in (0, 1]")
+        self.support = support
+        self.epsilon = epsilon if epsilon is not None else support / 10.0
+        if not 0 < self.epsilon <= self.support:
+            raise ValueError("epsilon must be in (0, support]")
+        if max_itemset_size < 1:
+            raise ValueError("max_itemset_size must be >= 1")
+        self.max_itemset_size = max_itemset_size
+        self.bucket_width = int(np.ceil(1.0 / self.epsilon))
+        self.n_transactions = 0
+        self._current_bucket = 1
+        self._tracked: dict[tuple[int, ...], _TrackedSet] = {}
+
+    # ------------------------------------------------------------------
+
+    def add_transaction(self, transaction: Iterable[int]) -> None:
+        """Consume one transaction (iterable of token codes)."""
+        tokens = sorted(set(int(token) for token in transaction))
+        self.n_transactions += 1
+
+        token_set = set(tokens)
+        # Count every tracked itemset contained in this transaction, and
+        # lazily promote supersets whose parts are all tracked.
+        for token in tokens:
+            self._bump((token,))
+        if self.max_itemset_size >= 2:
+            self._count_and_promote(tokens, token_set)
+
+        if self.n_transactions % self.bucket_width == 0:
+            self._prune()
+            self._current_bucket += 1
+
+    def add_transactions(self, transactions: Iterable[Iterable[int]]) -> None:
+        for transaction in transactions:
+            self.add_transaction(transaction)
+
+    # ------------------------------------------------------------------
+
+    def _bump(self, key: tuple[int, ...]) -> None:
+        entry = self._tracked.get(key)
+        if entry is None:
+            self._tracked[key] = _TrackedSet(count=1, delta=self._current_bucket - 1)
+        else:
+            entry.count += 1
+
+    def _count_and_promote(self, tokens: list[int], token_set: set[int]) -> None:
+        # Items that are themselves tracked with promising counts form the
+        # promotion alphabet; this keeps subset enumeration bounded.
+        threshold = max(1, int(self.support * self.n_transactions) // 2)
+        hot = [
+            token
+            for token in tokens
+            if self._tracked.get((token,), _TrackedSet(0, 0)).count >= threshold
+        ]
+        for size in range(2, self.max_itemset_size + 1):
+            if len(hot) < size:
+                break
+            promoted_any = False
+            for combo in itertools.combinations(hot, size):
+                key = tuple(combo)
+                if key in self._tracked:
+                    self._tracked[key].count += 1
+                    promoted_any = True
+                    continue
+                # Promote only when every (size-1)-subset is tracked — the
+                # streaming analogue of the Apriori candidate condition.
+                if all(
+                    combo[:drop] + combo[drop + 1 :] in self._tracked
+                    for drop in range(size)
+                ):
+                    self._tracked[key] = _TrackedSet(
+                        count=1, delta=self._current_bucket - 1
+                    )
+                    promoted_any = True
+            if not promoted_any:
+                break
+
+    def _prune(self) -> None:
+        doomed = [
+            key
+            for key, entry in self._tracked.items()
+            if entry.count + entry.delta <= self._current_bucket
+        ]
+        for key in doomed:
+            del self._tracked[key]
+
+    # ------------------------------------------------------------------
+
+    def tracked_count(self) -> int:
+        """Number of itemsets currently held in memory."""
+        return len(self._tracked)
+
+    def estimated_count(self, items: Iterable[int]) -> int:
+        """Current (conservative) count estimate for an itemset, 0 if untracked."""
+        key = tuple(sorted(set(int(token) for token in items)))
+        entry = self._tracked.get(key)
+        return entry.count if entry else 0
+
+    def results(self) -> list[FrequentItemset]:
+        """Itemsets with estimated frequency >= ``support - epsilon``.
+
+        The classic Lossy-Counting output rule: report entries whose count
+        exceeds ``(support - epsilon) * N``; supports are the conservative
+        counts (tid-lists are not kept — this is a stream).
+        """
+        if self.n_transactions == 0:
+            return []
+        threshold = (self.support - self.epsilon) * self.n_transactions
+        found = [
+            FrequentItemset(key, entry.count, np.empty(0, dtype=np.int64))
+            for key, entry in self._tracked.items()
+            if entry.count >= threshold
+        ]
+        found.sort(key=lambda itemset: (len(itemset.items), itemset.items))
+        return found

@@ -1,0 +1,59 @@
+"""Visualization substrate: the data side of every VEXUS panel.
+
+Headless by design — each module computes what the UI would show
+(coordinated histogram counts, circle positions/colors, 2-D projections)
+and :mod:`repro.viz.render` snapshots it to ASCII/SVG.
+"""
+
+from repro.viz.crossfilter import Crossfilter, Dimension, Histogram
+from repro.viz.focusview import FocusView, build_focus_view, render_focus_ascii
+from repro.viz.groupviz import PALETTE, Circle, Scene, build_scene
+from repro.viz.layout import (
+    LayoutConfig,
+    circle_radii,
+    force_layout,
+    overlap_count,
+)
+from repro.viz.projection import (
+    Projection,
+    fisher_separability,
+    lda_projection,
+    pca_projection,
+    silhouette_score,
+)
+from repro.viz.render import (
+    render_dashboard,
+    render_histogram,
+    render_scene_ascii,
+    render_scene_svg,
+)
+from repro.viz.stats import ACTIVITY_DIM, MEAN_VALUE_DIM, StatsView
+
+__all__ = [
+    "ACTIVITY_DIM",
+    "Circle",
+    "Crossfilter",
+    "Dimension",
+    "FocusView",
+    "Histogram",
+    "build_focus_view",
+    "render_focus_ascii",
+    "LayoutConfig",
+    "MEAN_VALUE_DIM",
+    "PALETTE",
+    "Projection",
+    "Scene",
+    "StatsView",
+    "build_scene",
+    "circle_radii",
+    "fisher_separability",
+    "force_layout",
+    "lda_projection",
+    "overlap_count",
+    "pca_projection",
+    "render_dashboard",
+    "render_histogram",
+    "render_scene_ascii",
+    "render_scene_svg",
+    "silhouette_score",
+]

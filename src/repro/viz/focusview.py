@@ -1,0 +1,103 @@
+"""The Focus view: a 2-D member map of one group (Fig. 2, right panel).
+
+§II-B: *"VEXUS employs Linear Discriminant Analysis ... to obtain a 2D
+projection of members of a desired group (Focus View in Fig. 2).  Members
+whose profile are more similar appear closer to each other."*
+
+This module composes a feature matrix, an (optional) class attribute and
+the LDA/PCA projections into one artifact with quality scores and an ASCII
+scatter renderer, so sessions and examples can show the panel in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.viz.projection import (
+    Projection,
+    fisher_separability,
+    lda_projection,
+    pca_projection,
+    silhouette_score,
+)
+
+_POINT_GLYPHS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class FocusView:
+    """A projected group-member map ready to render."""
+
+    coordinates: np.ndarray  # (n, 2), normalised to [0, 1]
+    labels: np.ndarray  # class label per member ("" when unsupervised)
+    member_ids: np.ndarray  # original user indices
+    projection: Projection
+    silhouette: float
+    fisher_ratio: float
+
+    @property
+    def n_members(self) -> int:
+        return len(self.member_ids)
+
+
+def build_focus_view(
+    features: np.ndarray,
+    member_ids: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+) -> FocusView:
+    """Project group members to 2-D (LDA when labels are given, else PCA)."""
+    features = np.asarray(features, dtype=np.float64)
+    member_ids = np.asarray(member_ids, dtype=np.int64)
+    if len(features) != len(member_ids):
+        raise ValueError("features and member_ids must align")
+    if labels is not None and len(labels) != len(member_ids):
+        raise ValueError("labels and member_ids must align")
+
+    if labels is not None:
+        projection = lda_projection(features, labels)
+        used_labels = np.asarray(labels)
+    else:
+        projection = pca_projection(features)
+        used_labels = np.array([""] * len(member_ids))
+
+    coordinates = projection.coordinates.copy()
+    span = coordinates.max(axis=0) - coordinates.min(axis=0)
+    span[span == 0] = 1.0
+    coordinates = (coordinates - coordinates.min(axis=0)) / span
+
+    return FocusView(
+        coordinates=coordinates,
+        labels=used_labels,
+        member_ids=member_ids,
+        projection=projection,
+        silhouette=silhouette_score(projection.coordinates, used_labels),
+        fisher_ratio=fisher_separability(projection.coordinates, used_labels),
+    )
+
+
+def render_focus_ascii(view: FocusView, width: int = 56, height: int = 18) -> str:
+    """ASCII scatter of the Focus view, one glyph per class."""
+    grid = [[" "] * width for _ in range(height)]
+    classes = sorted(set(view.labels.tolist()))
+    glyph_of = {
+        value: _POINT_GLYPHS[index % len(_POINT_GLYPHS)]
+        for index, value in enumerate(classes)
+    }
+    for (x, y), label in zip(view.coordinates, view.labels):
+        column = min(int(x * (width - 1)), width - 1)
+        row = min(int((1 - y) * (height - 1)), height - 1)
+        grid[row][column] = glyph_of[label]
+    lines = ["+" + "-" * width + "+"]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append("+" + "-" * width + "+")
+    lines.append(
+        f"projection={view.projection.method}  members={view.n_members}  "
+        f"silhouette={view.silhouette:.2f}  fisher={view.fisher_ratio:.2f}"
+    )
+    for value in classes:
+        if value:
+            lines.append(f"  ({glyph_of[value]}) {value}")
+    return "\n".join(lines)

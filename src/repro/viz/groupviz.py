@@ -1,0 +1,115 @@
+"""GROUPVIZ scene model: the k circles of Fig. 2.
+
+§II-A: *"GROUPVIZ visualizes k groups in the form of circles ... The size
+of circles reflects the number of users in groups.  Circles are color-coded
+by any attribute of choice (e.g., by gender in Fig. 2) to provide immediate
+insights.  The group description is shown by hovering over the circle."*
+
+This module is rendering-agnostic: it computes the *scene* (positions,
+radii, colors, hover labels); :mod:`repro.viz.render` turns scenes into
+ASCII or SVG.  To stay below :mod:`repro.core` in the dependency order it
+consumes plain data (sizes, member arrays, descriptions), which the session
+or the experiment drivers extract from their groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import UserDataset
+from repro.viz.layout import LayoutConfig, force_layout
+
+#: A colorblind-safe categorical palette (Okabe–Ito).
+PALETTE = [
+    "#E69F00", "#56B4E9", "#009E73", "#F0E442",
+    "#0072B2", "#D55E00", "#CC79A7", "#999999",
+]
+
+
+@dataclass(frozen=True)
+class Circle:
+    """One group circle in the scene."""
+
+    gid: int
+    x: float
+    y: float
+    radius: float
+    size: int
+    label: str  # hover text: the group description
+    color: str
+    color_value: str  # dominant value of the color-by attribute
+    color_share: float  # how dominant that value is among members
+
+
+@dataclass(frozen=True)
+class Scene:
+    """A laid-out GROUPVIZ frame."""
+
+    circles: tuple[Circle, ...]
+    color_attribute: Optional[str]
+    legend: dict[str, str]  # value -> color
+
+    @property
+    def k(self) -> int:
+        return len(self.circles)
+
+
+def build_scene(
+    gids: list[int],
+    sizes: list[int],
+    labels: list[str],
+    memberships: list[np.ndarray],
+    dataset: UserDataset,
+    color_by: Optional[str] = None,
+    similarity: Optional[np.ndarray] = None,
+    layout_config: Optional[LayoutConfig] = None,
+) -> Scene:
+    """Lay out one GROUPVIZ frame.
+
+    ``color_by`` picks the attribute circles are color-coded with; each
+    circle takes the color of its dominant value.  ``similarity`` (k x k)
+    feeds the force layout's attraction.
+    """
+    if not (len(gids) == len(sizes) == len(labels) == len(memberships)):
+        raise ValueError("gids, sizes, labels and memberships must align")
+    positions, radii = force_layout(
+        np.asarray(sizes, dtype=np.float64), similarity, layout_config
+    )
+
+    legend: dict[str, str] = {}
+    circles: list[Circle] = []
+    for index, gid in enumerate(gids):
+        color_value = ""
+        share = 0.0
+        color = PALETTE[index % len(PALETTE)]
+        if color_by is not None:
+            counts = dataset.column(color_by).counts(memberships[index])
+            if counts:
+                color_value, top_count = max(
+                    counts.items(), key=lambda pair: (pair[1], pair[0])
+                )
+                share = top_count / max(sum(counts.values()), 1)
+                if color_value not in legend:
+                    legend[color_value] = PALETTE[len(legend) % len(PALETTE)]
+                color = legend[color_value]
+        circles.append(
+            Circle(
+                gid=gid,
+                x=float(positions[index][0]),
+                y=float(positions[index][1]),
+                radius=float(radii[index]),
+                size=int(sizes[index]),
+                label=labels[index],
+                color=color,
+                color_value=color_value,
+                color_share=share,
+            )
+        )
+    return Scene(
+        circles=tuple(circles),
+        color_attribute=color_by,
+        legend=legend,
+    )

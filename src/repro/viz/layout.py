@@ -1,0 +1,152 @@
+"""Force-directed layout for GROUPVIZ.
+
+§II-A: *"The position of circles is enforced by a directed force layout to
+prevent visual clutter.  The size of circles reflects the number of users
+in groups."*
+
+Fruchterman–Reingold with similarity-weighted attraction (overlapping
+groups pull together, so related groups sit near each other), followed by a
+circle-collision pass so no two circles overlap — the "prevent clutter"
+requirement.  Deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LayoutConfig:
+    """Force-layout knobs; defaults suit k ≤ 7 circles on a unit canvas."""
+
+    iterations: int = 200
+    initial_temperature: float = 0.15
+    collision_passes: int = 50
+    max_total_radius_share: float = 0.35  # circles cover ≤ this canvas share
+    min_radius: float = 0.04
+    seed: int = 0
+
+
+def circle_radii(
+    sizes: np.ndarray, config: Optional[LayoutConfig] = None
+) -> np.ndarray:
+    """Radii proportional to sqrt(group size), scaled to fit the canvas."""
+    config = config or LayoutConfig()
+    sizes = np.asarray(sizes, dtype=np.float64)
+    if len(sizes) == 0:
+        return np.empty(0)
+    radii = np.sqrt(np.maximum(sizes, 1.0))
+    # Scale so the summed circle area is a fixed share of the unit canvas.
+    area = np.pi * (radii**2).sum()
+    radii *= np.sqrt(config.max_total_radius_share / area * np.pi) / np.sqrt(np.pi)
+    return np.maximum(radii, config.min_radius)
+
+
+def force_layout(
+    sizes: np.ndarray,
+    similarity: Optional[np.ndarray] = None,
+    config: Optional[LayoutConfig] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Positions + radii for ``len(sizes)`` circles on the unit square.
+
+    ``similarity`` (optional, symmetric, in [0, 1]) weights attraction:
+    similar groups land closer.  Returns ``(positions (k, 2), radii (k,))``
+    with every circle fully inside the canvas and no two overlapping
+    (best effort within ``collision_passes``).
+    """
+    config = config or LayoutConfig()
+    count = len(sizes)
+    radii = circle_radii(sizes, config)
+    if count == 0:
+        return np.empty((0, 2)), radii
+    rng = np.random.default_rng(config.seed)
+    positions = 0.5 + (rng.random((count, 2)) - 0.5) * 0.5
+    if count == 1:
+        return np.array([[0.5, 0.5]]), radii
+
+    if similarity is None:
+        similarity = np.zeros((count, count))
+    similarity = np.asarray(similarity, dtype=np.float64)
+
+    ideal = 1.0 / np.sqrt(count)  # FR's k: ideal pairwise distance
+    temperature = config.initial_temperature
+    cooling = temperature / max(config.iterations, 1)
+
+    for _ in range(config.iterations):
+        delta = positions[:, None, :] - positions[None, :, :]
+        distance = np.sqrt((delta**2).sum(axis=2))
+        np.fill_diagonal(distance, np.inf)
+        direction = delta / distance[:, :, None]
+        # Repulsion ~ k^2 / d; attraction ~ sim * d^2 / k.  The diagonal is
+        # inf (self-distance sentinel) — keep it out of the attraction term.
+        repulsion = (ideal**2) / distance
+        finite_distance = np.where(np.isfinite(distance), distance, 0.0)
+        attraction = similarity * (finite_distance**2) / ideal
+        force = ((repulsion - attraction)[:, :, None] * direction).sum(axis=1)
+        magnitude = np.sqrt((force**2).sum(axis=1, keepdims=True))
+        magnitude[magnitude == 0] = 1.0
+        step = force / magnitude * min(temperature, 1.0)
+        positions = positions + step * np.minimum(magnitude, temperature) / np.maximum(
+            magnitude, 1e-12
+        )
+        temperature = max(temperature - cooling, 1e-4)
+        positions = np.clip(positions, 0.02, 0.98)
+
+    # Interleave collision resolution with canvas clamping: clamping after
+    # separation can reintroduce overlaps near the border, so iterate until
+    # both constraints hold (shrinking radii as a last resort on degenerate
+    # dense inputs).
+    for _shrink in range(4):
+        positions = _resolve_collisions(positions, radii, config)
+        for index in range(count):
+            positions[index] = np.clip(
+                positions[index], radii[index], 1.0 - radii[index]
+            )
+        if overlap_count(positions, radii) == 0:
+            break
+        radii = radii * 0.93
+    return positions, radii
+
+
+def _resolve_collisions(
+    positions: np.ndarray, radii: np.ndarray, config: LayoutConfig
+) -> np.ndarray:
+    """Push overlapping circles apart, a few relaxation passes."""
+    count = len(radii)
+    positions = positions.copy()
+    for _ in range(config.collision_passes):
+        moved = False
+        for i in range(count):
+            for j in range(i + 1, count):
+                delta = positions[j] - positions[i]
+                distance = float(np.sqrt((delta**2).sum()))
+                needed = radii[i] + radii[j]
+                if distance >= needed or needed == 0:
+                    continue
+                moved = True
+                if distance < 1e-9:
+                    angle = (i * 2.399963) % (2 * np.pi)  # golden-angle spread
+                    delta = np.array([np.cos(angle), np.sin(angle)]) * 1e-3
+                    distance = 1e-3
+                push = (needed - distance) / 2.0
+                unit = delta / distance
+                positions[i] -= unit * push
+                positions[j] += unit * push
+        positions = np.clip(positions, 0.0, 1.0)
+        if not moved:
+            break
+    return positions
+
+
+def overlap_count(positions: np.ndarray, radii: np.ndarray) -> int:
+    """Number of overlapping circle pairs (0 = clutter-free)."""
+    count = 0
+    for i in range(len(radii)):
+        for j in range(i + 1, len(radii)):
+            distance = float(np.sqrt(((positions[j] - positions[i]) ** 2).sum()))
+            if distance < radii[i] + radii[j] - 1e-9:
+                count += 1
+    return count

@@ -1,0 +1,152 @@
+"""2-D projections for the Focus view.
+
+§II-B *Granular Analysis*: *"VEXUS employs Linear Discriminant Analysis [8]
+as a dimensionality reduction approach to obtain a 2D projection of members
+of a desired group.  Members whose profile are more similar appear closer
+to each other."*
+
+Fisher LDA implemented from scratch (regularised generalized eigenproblem
+on the within/between scatter matrices, per the cited Ji & Ye framework),
+plus PCA as the unsupervised fallback and the experiment-C11 baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import linalg
+
+
+@dataclass(frozen=True)
+class Projection:
+    """A fitted 2-D projection."""
+
+    coordinates: np.ndarray  # (n, 2)
+    axes: np.ndarray  # (n_features, 2) projection matrix
+    method: str
+    explained: float  # share of criterion captured by the 2 axes
+
+
+def pca_projection(matrix: np.ndarray, dimensions: int = 2) -> Projection:
+    """Principal component projection (the unsupervised baseline)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D feature matrix")
+    centered = matrix - matrix.mean(axis=0, keepdims=True)
+    covariance = centered.T @ centered / max(len(matrix) - 1, 1)
+    eigenvalues, eigenvectors = linalg.eigh(covariance)
+    order = np.argsort(eigenvalues)[::-1][:dimensions]
+    axes = eigenvectors[:, order]
+    axes = _pad_axes(axes, matrix.shape[1], dimensions)
+    total = float(eigenvalues.sum())
+    explained = float(eigenvalues[order].sum() / total) if total > 0 else 0.0
+    return Projection(centered @ axes, axes, "pca", explained)
+
+
+def lda_projection(
+    matrix: np.ndarray,
+    labels: np.ndarray,
+    dimensions: int = 2,
+    regularization: float = 1e-3,
+) -> Projection:
+    """Fisher LDA projection onto ``dimensions`` discriminant axes.
+
+    Falls back to PCA when there are fewer than two classes (LDA is
+    undefined) — the Focus view still renders, just unsupervised.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    if len(classes) < 2:
+        return pca_projection(matrix, dimensions)
+
+    overall_mean = matrix.mean(axis=0)
+    n_features = matrix.shape[1]
+    within = np.zeros((n_features, n_features))
+    between = np.zeros((n_features, n_features))
+    for value in classes:
+        block = matrix[labels == value]
+        mean = block.mean(axis=0)
+        centered = block - mean
+        within += centered.T @ centered
+        offset = (mean - overall_mean)[:, None]
+        between += len(block) * (offset @ offset.T)
+
+    # Regularise the within-class scatter so the generalized symmetric
+    # eigenproblem stays well-posed for one-hot (rank-deficient) features.
+    within += regularization * np.trace(within) / max(n_features, 1) * np.eye(
+        n_features
+    ) + regularization * np.eye(n_features)
+    eigenvalues, eigenvectors = linalg.eigh(between, within)
+    order = np.argsort(eigenvalues)[::-1][:dimensions]
+    axes = eigenvectors[:, order]
+    axes = _pad_axes(axes, n_features, dimensions)
+    positive = np.clip(eigenvalues, 0.0, None)
+    total = float(positive.sum())
+    explained = float(positive[order].sum() / total) if total > 0 else 0.0
+    return Projection((matrix - overall_mean) @ axes, axes, "lda", explained)
+
+
+def _pad_axes(axes: np.ndarray, n_features: int, dimensions: int) -> np.ndarray:
+    if axes.shape[1] >= dimensions:
+        return axes[:, :dimensions]
+    padding = np.zeros((n_features, dimensions - axes.shape[1]))
+    return np.hstack([axes, padding])
+
+
+# ---------------------------------------------------------------------------
+# projection quality (experiment C11)
+# ---------------------------------------------------------------------------
+
+
+def silhouette_score(coordinates: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette over all points (O(n^2); Focus views are small).
+
+    Standard definition: per point, ``(b - a) / max(a, b)`` where ``a`` is
+    the mean intra-class distance and ``b`` the smallest mean distance to
+    another class.  Classes of size 1 contribute 0 (scikit-learn
+    convention).
+    """
+    coordinates = np.asarray(coordinates, dtype=np.float64)
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    if len(classes) < 2 or len(coordinates) < 3:
+        return 0.0
+    deltas = coordinates[:, None, :] - coordinates[None, :, :]
+    distances = np.sqrt((deltas**2).sum(axis=2))
+    scores = np.zeros(len(coordinates))
+    for index in range(len(coordinates)):
+        own = labels == labels[index]
+        own_count = int(own.sum())
+        if own_count <= 1:
+            scores[index] = 0.0
+            continue
+        a = distances[index][own].sum() / (own_count - 1)
+        b = np.inf
+        for value in classes:
+            if value == labels[index]:
+                continue
+            other = labels == value
+            b = min(b, float(distances[index][other].mean()))
+        denominator = max(a, b)
+        scores[index] = (b - a) / denominator if denominator > 0 else 0.0
+    return float(scores.mean())
+
+
+def fisher_separability(coordinates: np.ndarray, labels: np.ndarray) -> float:
+    """Between-class / within-class variance ratio in projected space."""
+    coordinates = np.asarray(coordinates, dtype=np.float64)
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    if len(classes) < 2:
+        return 0.0
+    overall = coordinates.mean(axis=0)
+    within = 0.0
+    between = 0.0
+    for value in classes:
+        block = coordinates[labels == value]
+        mean = block.mean(axis=0)
+        within += float(((block - mean) ** 2).sum())
+        between += len(block) * float(((mean - overall) ** 2).sum())
+    return between / within if within > 0 else float("inf")

@@ -1,0 +1,135 @@
+"""Renderers: scenes and statistics to ASCII or SVG.
+
+The reproduction is headless, so Fig. 2 is regenerated as (a) an ASCII
+dashboard — GROUPVIZ circles, CONTEXT chips, STATS histograms, HISTORY
+chain and MEMO — and (b) an SVG file of the GROUPVIZ panel.  Experiment F2
+snapshots both.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.viz.groupviz import Scene
+
+_CIRCLE_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def render_histogram(
+    pairs: Sequence[tuple[object, int]], width: int = 32, max_rows: int = 12
+) -> str:
+    """One ASCII bar chart: ``value | ###### count`` rows."""
+    if not pairs:
+        return "(empty)"
+    shown = list(pairs)[:max_rows]
+    peak = max(count for _, count in shown) or 1
+    label_width = max(len(str(value)) for value, _ in shown)
+    lines = []
+    for value, count in shown:
+        bar = "#" * max(1 if count else 0, round(count / peak * width))
+        lines.append(f"{str(value):<{label_width}} | {bar} {count}")
+    if len(pairs) > max_rows:
+        lines.append(f"... ({len(pairs) - max_rows} more)")
+    return "\n".join(lines)
+
+
+def render_scene_ascii(scene: Scene, width: int = 64, height: int = 20) -> str:
+    """The GROUPVIZ panel as a character grid.
+
+    Each circle is drawn with its own letter; the legend below maps letters
+    to group descriptions and sizes (the hover text of the real UI).
+    """
+    grid = [[" "] * width for _ in range(height)]
+    for index, circle in enumerate(scene.circles):
+        letter = _CIRCLE_LETTERS[index % len(_CIRCLE_LETTERS)]
+        center_x = circle.x * (width - 1)
+        center_y = circle.y * (height - 1)
+        radius_x = max(circle.radius * (width - 1), 0.5)
+        radius_y = max(circle.radius * (height - 1), 0.5)
+        for row in range(height):
+            for column in range(width):
+                dx = (column - center_x) / radius_x
+                dy = (row - center_y) / radius_y
+                if dx * dx + dy * dy <= 1.0:
+                    grid[row][column] = letter
+    lines = ["+" + "-" * width + "+"]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append("+" + "-" * width + "+")
+    for index, circle in enumerate(scene.circles):
+        letter = _CIRCLE_LETTERS[index % len(_CIRCLE_LETTERS)]
+        color_note = (
+            f" [{circle.color_value} {circle.color_share:.0%}]"
+            if circle.color_value
+            else ""
+        )
+        lines.append(f"  ({letter}) #{circle.gid} {circle.label} n={circle.size}{color_note}")
+    return "\n".join(lines)
+
+
+def render_scene_svg(scene: Scene, size: int = 480) -> str:
+    """The GROUPVIZ panel as standalone SVG (circle sizes/colors faithful)."""
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" '
+        f'viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="#fafafa"/>',
+    ]
+    for circle in scene.circles:
+        cx = circle.x * size
+        cy = circle.y * size
+        r = circle.radius * size
+        title = f"{circle.label} (n={circle.size})"
+        parts.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{r:.1f}" fill="{circle.color}" '
+            f'fill-opacity="0.75" stroke="#333" stroke-width="1">'
+            f"<title>{_escape(title)}</title></circle>"
+        )
+        parts.append(
+            f'<text x="{cx:.1f}" y="{cy:.1f}" text-anchor="middle" '
+            f'font-size="11" fill="#111">#{circle.gid}</text>'
+        )
+    y = 16
+    for value, color in scene.legend.items():
+        parts.append(
+            f'<rect x="8" y="{y - 10}" width="10" height="10" fill="{color}"/>'
+            f'<text x="22" y="{y}" font-size="11" fill="#111">{_escape(value)}</text>'
+        )
+        y += 16
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_dashboard(
+    scene: Scene,
+    context_entries: Sequence[tuple[str, float]],
+    history_labels: Sequence[str],
+    memo_summary: str,
+    stats_histograms: dict[str, Sequence[tuple[object, int]]],
+    title: str = "VEXUS",
+) -> str:
+    """The five coordinated panels of Fig. 2 as one text dashboard."""
+    sections = [f"=== {title} ===", "", "--- GROUPVIZ ---", render_scene_ascii(scene)]
+    sections.append("")
+    sections.append("--- CONTEXT ---")
+    if context_entries:
+        chips = " ".join(f"[{label}:{score:.2f}]" for label, score in context_entries)
+    else:
+        chips = "(no feedback yet)"
+    sections.append(chips)
+    sections.append("")
+    sections.append("--- HISTORY ---")
+    sections.append(" -> ".join(history_labels) if history_labels else "(start)")
+    sections.append("")
+    sections.append("--- STATS ---")
+    for name, pairs in stats_histograms.items():
+        sections.append(f"[{name}]")
+        sections.append(render_histogram(pairs))
+        sections.append("")
+    sections.append("--- MEMO ---")
+    sections.append(memo_summary or "(empty)")
+    return "\n".join(sections)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

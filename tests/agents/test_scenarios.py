@@ -1,0 +1,91 @@
+"""Scenario harness plumbing (small scales; full runs live in benchmarks)."""
+
+import numpy as np
+import pytest
+
+from repro.agents.scenarios import (
+    ScenarioOutcome,
+    discussion_group_target,
+    run_pc_formation,
+    seed_groups_for_venue,
+    venue_community,
+)
+from repro.agents.explorer import AgentConfig, AgentResult
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.data.generators.bookcrossing import BookCrossingConfig, generate_bookcrossing
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+
+
+@pytest.fixture(scope="module")
+def db_world():
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=400, seed=31))
+    space = discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.05, max_description=3),
+    )
+    return data, space
+
+
+@pytest.fixture(scope="module")
+def bx_world():
+    data = generate_bookcrossing(
+        BookCrossingConfig(n_users=600, n_items=300, n_ratings=5000, seed=7)
+    )
+    space = discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.02, max_description=3, min_item_support=10),
+    )
+    return data, space
+
+
+class TestScenarioOutcome:
+    def test_aggregates(self):
+        outcome = ScenarioOutcome(
+            "x",
+            [
+                AgentResult(True, 4, 1.0, 10),
+                AgentResult(False, 8, 0.5, 20),
+            ],
+        )
+        assert outcome.mean_iterations == 6.0
+        assert outcome.completion_rate == 0.5
+        assert outcome.mean_satisfaction == pytest.approx(0.75)
+        assert outcome.mean_effort == 15.0
+
+
+class TestVenuePlumbing:
+    def test_venue_community_members_published_there(self, db_world):
+        data, _ = db_world
+        community = venue_community(data, "SIGMOD")
+        assert len(community) > 0
+        sigmod = data.dataset.items.code("SIGMOD")
+        for user in community[:10]:
+            assert sigmod in data.dataset.items_of_user(int(user))
+
+    def test_seed_groups_mention_venue(self, db_world):
+        _, space = db_world
+        seeds = seed_groups_for_venue(space, "SIGMOD")
+        assert seeds
+        for gid in seeds:
+            assert "item:SIGMOD" in space[gid].description
+
+    def test_pc_formation_single_run(self, db_world):
+        data, space = db_world
+        result = run_pc_formation(
+            data, space, venue="SIGMOD", committee_size=8,
+            agent_config=AgentConfig(seed=0, max_iterations=15),
+        )
+        assert result.completed
+        assert result.iterations < 10  # the paper's headline bound
+
+
+class TestDiscussionPlumbing:
+    def test_target_exists_for_major_genre(self, bx_world):
+        _, space = bx_world
+        target = discussion_group_target(space, "fiction")
+        assert target is not None
+        assert "favorite_genre=fiction" in space[target].description
+
+    def test_target_none_for_unknown_genre(self, bx_world):
+        _, space = bx_world
+        assert discussion_group_target(space, "telephone-books") is None

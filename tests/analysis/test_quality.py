@@ -1,0 +1,79 @@
+"""Diversity / coverage / redundancy metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.quality import coverage, diversity, quality_summary, redundancy
+
+user_sets = st.lists(
+    st.sets(st.integers(0, 20), min_size=1, max_size=10).map(
+        lambda users: np.asarray(sorted(users), dtype=np.int64)
+    ),
+    min_size=0,
+    max_size=6,
+)
+
+
+class TestDiversity:
+    def test_disjoint_is_one(self):
+        assert diversity([np.array([1, 2]), np.array([3, 4])]) == 1.0
+
+    def test_identical_is_zero(self):
+        members = np.array([1, 2, 3])
+        assert diversity([members, members.copy()]) == pytest.approx(0.0)
+
+    def test_single_group_is_one(self):
+        assert diversity([np.array([1])]) == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(user_sets)
+    def test_bounded(self, memberships):
+        assert 0.0 <= diversity(memberships) <= 1.0
+
+
+class TestCoverage:
+    def test_full(self):
+        assert coverage([np.array([0, 1]), np.array([2])], np.arange(3)) == 1.0
+
+    def test_partial(self):
+        assert coverage([np.array([0])], np.arange(4)) == pytest.approx(0.25)
+
+    def test_irrelevant_members_ignored(self):
+        assert coverage([np.array([10, 11])], np.arange(3)) == 0.0
+
+    def test_empty_relevant_is_one(self):
+        assert coverage([np.array([1])], np.empty(0, dtype=np.int64)) == 1.0
+
+    def test_no_groups_is_zero(self):
+        assert coverage([], np.arange(3)) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(user_sets)
+    def test_monotone_in_groups(self, memberships):
+        relevant = np.arange(21)
+        values = [
+            coverage(memberships[:count], relevant)
+            for count in range(len(memberships) + 1)
+        ]
+        assert values == sorted(values)
+
+
+class TestRedundancy:
+    def test_disjoint_zero(self):
+        assert redundancy([np.array([1]), np.array([2])]) == 0.0
+
+    def test_repeat_is_one(self):
+        members = np.array([1, 2])
+        assert redundancy([members, members.copy()]) == pytest.approx(1.0)
+
+    def test_single_group_zero(self):
+        assert redundancy([np.array([1])]) == 0.0
+
+
+class TestSummary:
+    def test_keys(self):
+        summary = quality_summary([np.array([0, 1])], np.arange(4))
+        assert set(summary) == {"diversity", "coverage", "redundancy"}
+        assert summary["coverage"] == pytest.approx(0.5)

@@ -1,0 +1,73 @@
+"""The Simpson's-paradox guard (principle P2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.simpson import compare_groups, guard_comparison
+from repro.experiments.simpson_guard import confounded_dataset
+
+
+@pytest.fixture(scope="module")
+def confounded():
+    return confounded_dataset(n_per_cell=60, seed=3)
+
+
+class TestComparison:
+    def test_aggregate_direction(self, confounded):
+        dataset, members_a, members_b = confounded
+        report = compare_groups(dataset, members_a, members_b, "age")
+        assert report.aggregate_direction == 1  # A wins on aggregate
+
+    def test_every_stratum_reverses(self, confounded):
+        dataset, members_a, members_b = confounded
+        report = compare_groups(dataset, members_a, members_b, "age")
+        populated = [s for s in report.strata if s.direction != 0]
+        assert populated
+        assert all(s.direction == -1 for s in populated)  # B wins everywhere
+
+    def test_is_simpson_true(self, confounded):
+        dataset, members_a, members_b = confounded
+        report = compare_groups(dataset, members_a, members_b, "age")
+        assert report.is_simpson
+        assert report.reversal_count == len(
+            [s for s in report.strata if s.direction != 0]
+        )
+
+    def test_guard_flags_age(self, confounded):
+        dataset, members_a, members_b = confounded
+        flagged = guard_comparison(dataset, members_a, members_b)
+        assert [r.confounder for r in flagged] == ["age"]
+
+    def test_guard_quiet_on_random_split(self, confounded):
+        dataset, members_a, members_b = confounded
+        mixed_a = np.sort(np.concatenate([members_a[::2], members_b[::2]]))
+        mixed_b = np.sort(np.concatenate([members_a[1::2], members_b[1::2]]))
+        assert guard_comparison(dataset, mixed_a, mixed_b) == []
+
+    def test_self_comparison_not_flagged(self, confounded):
+        dataset, members_a, _ = confounded
+        assert guard_comparison(dataset, members_a, members_a) == []
+
+    def test_empty_stratum_skipped(self, confounded):
+        dataset, members_a, members_b = confounded
+        # Compare along 'cohort' itself: each stratum holds only one side,
+        # so directions are 0 — not a paradox.
+        report = compare_groups(dataset, members_a, members_b, "cohort")
+        assert not report.is_simpson
+
+
+class TestReportStructure:
+    def test_stratum_fields(self, confounded):
+        dataset, members_a, members_b = confounded
+        report = compare_groups(dataset, members_a, members_b, "age")
+        for stratum in report.strata:
+            assert stratum.n_a + stratum.n_b > 0
+            assert stratum.stratum in ("senior", "young", "<missing>")
+
+    def test_tied_direction_zero(self):
+        from repro.analysis.simpson import StratumComparison
+
+        tied = StratumComparison("s", 5.0, 5.0, 3, 3)
+        assert tied.direction == 0
+        empty = StratumComparison("s", 5.0, 4.0, 3, 0)
+        assert empty.direction == 0

@@ -1,0 +1,121 @@
+"""The discovery facade over all backends, and user featurisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.discovery import (
+    DiscoveryConfig,
+    discover_groups,
+    group_space_with_descriptions_only,
+)
+from repro.core.features import user_feature_matrix
+from repro.data.generators.bookcrossing import BookCrossingConfig, generate_bookcrossing
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_bookcrossing(
+        BookCrossingConfig(n_users=300, n_items=150, n_ratings=2500, seed=3)
+    ).dataset
+
+
+class TestDiscoveryConfig:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown discovery method"):
+            DiscoveryConfig(method="magic")
+
+    def test_min_support_positive(self):
+        with pytest.raises(ValueError):
+            DiscoveryConfig(min_support=0)
+
+    def test_absolute_support_fraction(self):
+        assert DiscoveryConfig(min_support=0.1).absolute_support(50) == 5
+        assert DiscoveryConfig(min_support=7).absolute_support(50) == 7
+
+
+class TestBackends:
+    @pytest.mark.parametrize("method", ["lcm", "apriori", "momri", "birch"])
+    def test_every_backend_returns_groups(self, dataset, method):
+        space = discover_groups(
+            dataset,
+            DiscoveryConfig(
+                method=method, min_support=0.05, max_description=3,
+                min_item_support=10, momri_budget=200,
+            ),
+        )
+        assert len(space) > 0
+        for group in space:
+            assert group.size >= 2
+            assert len(group.members) == len(np.unique(group.members))
+
+    def test_stream_backend(self, dataset):
+        space = discover_groups(
+            dataset,
+            DiscoveryConfig(method="stream", min_support=0.10, max_description=2,
+                            min_item_support=10),
+        )
+        assert len(space) > 0
+
+    def test_lcm_and_apriori_agree(self, dataset):
+        config_kwargs = dict(min_support=0.08, max_description=2, min_item_support=10)
+        lcm_space = discover_groups(dataset, DiscoveryConfig(method="lcm", **config_kwargs))
+        apriori_space = discover_groups(
+            dataset, DiscoveryConfig(method="apriori", **config_kwargs)
+        )
+        assert {g.description for g in lcm_space} == {
+            g.description for g in apriori_space
+        }
+
+    def test_momri_is_subset_of_lcm(self, dataset):
+        kwargs = dict(min_support=0.08, max_description=2, min_item_support=10)
+        lcm_space = discover_groups(dataset, DiscoveryConfig(method="lcm", **kwargs))
+        momri_space = discover_groups(
+            dataset, DiscoveryConfig(method="momri", momri_budget=200, **kwargs)
+        )
+        assert {g.description for g in momri_space} <= {
+            g.description for g in lcm_space
+        }
+
+    def test_descriptions_only_space_has_no_item_tokens(self, dataset):
+        space = group_space_with_descriptions_only(
+            dataset, DiscoveryConfig(min_support=0.1, max_description=2)
+        )
+        for group in space:
+            assert not any(token.startswith("item:") for token in group.description)
+
+
+class TestFeatures:
+    def test_one_hot_blocks(self, dataset):
+        features = user_feature_matrix(dataset)
+        gender_columns = [
+            i for i, name in enumerate(features.column_names)
+            if name.startswith("age=")
+        ]
+        assert gender_columns
+        block = features.matrix[:, gender_columns]
+        # Each user has at most one age value set (missing users: none).
+        assert block.sum(axis=1).max() <= 1.0
+
+    def test_activity_columns_standardised(self, dataset):
+        features = user_feature_matrix(dataset)
+        count_column = features.column_names.index("activity:count")
+        column = features.matrix[:, count_column]
+        assert abs(column.mean()) < 1e-8
+        assert column.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_item_profile_only_for_small_universes(self, dataset):
+        # 150 items > limit: no per-item columns.
+        features = user_feature_matrix(dataset)
+        assert not any(name.startswith("item:") for name in features.column_names)
+
+    def test_item_profile_for_venues(self):
+        data = generate_dbauthors(DBAuthorsConfig(n_authors=100, seed=2))
+        features = user_feature_matrix(data.dataset)
+        venue_columns = [n for n in features.column_names if n.startswith("item:")]
+        assert len(venue_columns) == 12
+
+    def test_missing_bucket_toggle(self, dataset):
+        without = user_feature_matrix(dataset, include_missing=False)
+        with_missing = user_feature_matrix(dataset, include_missing=True)
+        assert with_missing.n_features > without.n_features

@@ -1,0 +1,144 @@
+"""Feedback vector: the normalisation invariant under any gesture sequence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feedback import FeedbackVector
+
+
+def members(*users):
+    return np.asarray(users, dtype=np.int64)
+
+
+class TestLearning:
+    def test_single_learn_normalises(self):
+        feedback = FeedbackVector()
+        feedback.learn_group(members(0, 1), ["gender=female"])
+        assert feedback.total() == pytest.approx(1.0)
+
+    def test_mass_split_between_members_and_tokens(self):
+        feedback = FeedbackVector()
+        feedback.learn_group(members(0, 1), ["t"])
+        assert feedback.user_score(0) == pytest.approx(0.25)
+        assert feedback.token_score("t") == pytest.approx(0.5)
+
+    def test_no_description_gives_all_mass_to_members(self):
+        feedback = FeedbackVector()
+        feedback.learn_group(members(0), [])
+        assert feedback.user_score(0) == pytest.approx(1.0)
+
+    def test_repeated_reward_concentrates(self):
+        feedback = FeedbackVector()
+        feedback.learn_group(members(0), ["a"])
+        feedback.learn_group(members(0), ["a"])
+        feedback.learn_group(members(1), ["b"])
+        assert feedback.user_score(0) > feedback.user_score(1)
+
+    def test_unrewarded_keys_decay(self):
+        feedback = FeedbackVector()
+        feedback.learn_group(members(0), ["a"])
+        initial = feedback.token_score("a")
+        for _ in range(5):
+            feedback.learn_group(members(1), ["b"])
+        assert feedback.token_score("a") < initial
+
+    def test_non_positive_reward_rejected(self):
+        with pytest.raises(ValueError):
+            FeedbackVector().learn_group(members(0), [], reward=0.0)
+
+
+class TestUnlearning:
+    def test_unlearn_token(self):
+        feedback = FeedbackVector()
+        feedback.learn_group(members(0), ["gender=male"])
+        assert feedback.unlearn_token("gender=male")
+        assert feedback.token_score("gender=male") == 0.0
+        assert feedback.total() == pytest.approx(1.0)  # renormalised
+
+    def test_unlearn_unknown_returns_false(self):
+        assert not FeedbackVector().unlearn_token("nope")
+
+    def test_unlearn_user(self):
+        feedback = FeedbackVector()
+        feedback.learn_group(members(3), ["t"])
+        assert feedback.unlearn_user(3)
+        assert feedback.user_score(3) == 0.0
+
+    def test_unlearn_last_entry_empties_vector(self):
+        feedback = FeedbackVector()
+        feedback.learn_group(members(0), [])
+        feedback.unlearn_user(0)
+        assert len(feedback) == 0
+        assert feedback.total() == 0.0
+
+    def test_reset(self):
+        feedback = FeedbackVector()
+        feedback.learn_group(members(0, 1), ["x"])
+        feedback.reset()
+        assert len(feedback) == 0
+
+
+class TestReading:
+    def test_top_sorted_by_score(self):
+        feedback = FeedbackVector()
+        feedback.learn_group(members(0), ["a"])
+        feedback.learn_group(members(0), ["a"])
+        top = feedback.top(2)
+        assert top[0][1] >= top[1][1]
+
+    def test_group_weight_sums_member_and_token_mass(self):
+        feedback = FeedbackVector()
+        feedback.learn_group(members(0, 1), ["t"])
+        weight = feedback.group_weight(members(0, 1), ["t"])
+        assert weight == pytest.approx(1.0)
+        assert feedback.group_weight(members(9), ["z"]) == 0.0
+
+    def test_user_weights_dense_vector(self):
+        feedback = FeedbackVector()
+        feedback.learn_group(members(2), [])
+        weights = feedback.user_weights(5, floor=0.1)
+        assert weights[2] == pytest.approx(1.1)
+        assert weights[0] == pytest.approx(0.1)
+
+    def test_snapshot_restore_roundtrip(self):
+        feedback = FeedbackVector()
+        feedback.learn_group(members(0, 1), ["a", "b"])
+        snapshot = feedback.snapshot()
+        feedback.learn_group(members(5), ["c"])
+        feedback.restore(snapshot)
+        assert feedback.snapshot() == snapshot
+
+
+gestures = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("learn"),
+            st.sets(st.integers(0, 10), min_size=1, max_size=4),
+            st.sets(st.sampled_from(["a", "b", "c"]), max_size=2),
+        ),
+        st.tuples(st.just("unlearn_user"), st.integers(0, 10)),
+        st.tuples(st.just("unlearn_token"), st.sampled_from(["a", "b", "c"])),
+    ),
+    max_size=25,
+)
+
+
+class TestInvariant:
+    @settings(max_examples=60, deadline=None)
+    @given(gestures)
+    def test_normalised_or_empty_after_any_sequence(self, sequence):
+        feedback = FeedbackVector()
+        for gesture in sequence:
+            if gesture[0] == "learn":
+                feedback.learn_group(
+                    np.asarray(sorted(gesture[1]), dtype=np.int64), sorted(gesture[2])
+                )
+            elif gesture[0] == "unlearn_user":
+                feedback.unlearn_user(gesture[1])
+            else:
+                feedback.unlearn_token(gesture[1])
+            total = feedback.total()
+            assert total == pytest.approx(1.0) or len(feedback) == 0
+            assert all(score > 0 for _, score in feedback.top(len(feedback)))

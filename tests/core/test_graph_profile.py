@@ -1,0 +1,99 @@
+"""The group graph G and the explorer profile."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import build_group_graph, navigation_summary
+from repro.core.group import Group, GroupSpace
+from repro.core.profile import ExplorerProfile
+from repro.core.similarity import jaccard
+from repro.data.dataset import UserDataset
+from repro.data.schema import Demographic
+
+
+@pytest.fixture
+def space():
+    dataset = UserDataset.from_records(
+        [], [Demographic(f"u{i}", "x", "v") for i in range(10)]
+    )
+    groups = [
+        Group(0, ("a",), np.array([0, 1, 2])),
+        Group(1, ("b",), np.array([2, 3])),
+        Group(2, ("c",), np.array([7, 8])),  # disjoint from 0 and 1
+    ]
+    return GroupSpace(dataset, groups)
+
+
+class TestGroupGraph:
+    def test_edges_iff_overlap(self, space):
+        graph = build_group_graph(space)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+        assert not graph.has_edge(1, 2)
+
+    def test_edge_weight_is_jaccard(self, space):
+        graph = build_group_graph(space)
+        expected = jaccard(space[0].members, space[1].members)
+        assert graph.edges[0, 1]["weight"] == pytest.approx(expected)
+
+    def test_node_attributes(self, space):
+        graph = build_group_graph(space)
+        assert graph.nodes[0]["size"] == 3
+        assert graph.nodes[0]["label"] == "a"
+
+    def test_disconnected_components(self, space):
+        stats = navigation_summary(build_group_graph(space))
+        assert stats["components"] == 2
+        assert stats["largest_component"] == 2
+        assert stats["nodes"] == 3
+
+    def test_empty_space(self):
+        dataset = UserDataset.from_records([], [])
+        stats = navigation_summary(build_group_graph(GroupSpace(dataset, [])))
+        assert stats["nodes"] == 0
+
+
+class TestExplorerProfile:
+    def make_group(self, gid, tokens):
+        return Group(gid, tuple(tokens), np.array([gid]))
+
+    def test_observe_accumulates_tokens(self):
+        profile = ExplorerProfile()
+        profile.observe(self.make_group(0, ["a", "b"]))
+        assert profile.interest(self.make_group(9, ["a"])) > 0
+
+    def test_recency_decay(self):
+        profile = ExplorerProfile()
+        profile.observe(self.make_group(0, ["old"]))
+        for step in range(5):
+            profile.observe(self.make_group(step + 1, ["new"]))
+        assert profile.token_weight["new"] > profile.token_weight["old"]
+
+    def test_rank_is_stable_when_uninformed(self):
+        profile = ExplorerProfile()
+        candidates = [self.make_group(i, [f"t{i}"]) for i in range(4)]
+        assert [g.gid for g in profile.rank(candidates)] == [0, 1, 2, 3]
+
+    def test_rank_prefers_interest(self):
+        profile = ExplorerProfile()
+        profile.observe(self.make_group(0, ["hot"]))
+        candidates = [
+            self.make_group(1, ["cold"]),
+            self.make_group(2, ["hot"]),
+        ]
+        assert [g.gid for g in profile.rank(candidates)] == [2, 1]
+
+    def test_interest_normalised_by_description_length(self):
+        profile = ExplorerProfile()
+        profile.observe(self.make_group(0, ["hot"]))
+        focused = profile.interest(self.make_group(1, ["hot"]))
+        diluted = profile.interest(self.make_group(2, ["hot", "x", "y", "z"]))
+        assert focused > diluted
+
+    def test_top_tokens_and_reset(self):
+        profile = ExplorerProfile()
+        profile.observe(self.make_group(0, ["a"]))
+        assert profile.top_tokens(1)[0][0] == "a"
+        profile.reset()
+        assert profile.steps_observed == 0
+        assert profile.top_tokens() == []

@@ -1,0 +1,126 @@
+"""Groups and the group space."""
+
+import numpy as np
+import pytest
+
+from repro.core.group import (
+    Group,
+    GroupSpace,
+    powerset_group_count,
+    theoretical_group_count,
+)
+from repro.data.dataset import UserDataset
+from repro.data.schema import Action, Demographic
+from repro.data.vocab import Vocab
+from repro.mining.itemsets import FrequentItemset
+
+
+@pytest.fixture
+def dataset():
+    demographics = [
+        Demographic(f"u{i}", "color", "red" if i < 4 else "blue") for i in range(8)
+    ]
+    return UserDataset.from_records([], demographics)
+
+
+class TestGroup:
+    def test_basics(self):
+        group = Group(0, ("a=1",), np.array([3, 1, 2]))
+        assert group.size == 3
+        assert group.label == "a=1"
+        assert "n=3" in repr(group)
+
+    def test_empty_description_label(self):
+        assert Group(0, (), np.array([0])).label == "all users"
+
+    def test_contains_user(self):
+        group = Group(0, (), np.array([1, 5, 9]))
+        assert group.contains_user(5)
+        assert not group.contains_user(4)
+        assert not group.contains_user(10)
+
+
+class TestGroupSpace:
+    def test_dense_gids_enforced(self, dataset):
+        with pytest.raises(ValueError, match="dense"):
+            GroupSpace(dataset, [Group(3, (), np.array([0]))])
+
+    def test_from_itemsets(self, dataset):
+        vocab = Vocab(["color=red", "color=blue"])
+        itemsets = [
+            FrequentItemset((), 8, np.arange(8)),
+            FrequentItemset((0,), 4, np.arange(4)),
+            FrequentItemset((1,), 4, np.arange(4, 8)),
+        ]
+        space = GroupSpace.from_itemsets(dataset, itemsets, vocab)
+        assert len(space) == 2  # root dropped
+        assert space[0].description == ("color=red",)
+
+    def test_from_itemsets_min_size(self, dataset):
+        vocab = Vocab(["t"])
+        itemsets = [FrequentItemset((0,), 1, np.array([0]))]
+        space = GroupSpace.from_itemsets(dataset, itemsets, vocab, min_size=2)
+        assert len(space) == 0
+
+    def test_from_cluster_labels_describes_dominant_values(self, dataset):
+        labels = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        space = GroupSpace.from_cluster_labels(dataset, labels)
+        assert len(space) == 2
+        assert space[0].description == ("color=red",)
+        assert space[1].description == ("color=blue",)
+
+    def test_from_cluster_labels_impure_cluster_gets_fallback_name(self, dataset):
+        labels = np.zeros(8)  # one cluster, split 50/50 on color
+        space = GroupSpace.from_cluster_labels(dataset, labels, purity_floor=0.9)
+        assert space[0].description[0].startswith("cluster:")
+
+    def test_by_description(self, dataset):
+        space = GroupSpace(
+            dataset,
+            [Group(0, ("color=red",), np.arange(4))],
+        )
+        assert space.by_description(["color=red"]).gid == 0
+        assert space.by_description(["nope"]) is None
+
+    def test_groups_containing(self, dataset):
+        space = GroupSpace(
+            dataset,
+            [
+                Group(0, (), np.array([0, 1])),
+                Group(1, (), np.array([1, 2])),
+            ],
+        )
+        assert [g.gid for g in space.groups_containing(1)] == [0, 1]
+
+    def test_largest(self, dataset):
+        space = GroupSpace(
+            dataset,
+            [
+                Group(0, (), np.arange(2)),
+                Group(1, (), np.arange(5)),
+                Group(2, (), np.arange(5)),
+            ],
+        )
+        assert [g.gid for g in space.largest(2)] == [1, 2]  # ties by gid
+
+    def test_memberships_and_descriptions_aligned(self, dataset):
+        space = GroupSpace(dataset, [Group(0, ("x",), np.array([0]))])
+        assert len(space.memberships()) == len(space.descriptions()) == 1
+
+
+class TestCombinatorics:
+    def test_conjunctive_bound_paper_numbers(self):
+        assert theoretical_group_count(4, 5) == 1295  # (5+1)^4 - 1
+
+    def test_powerset_bound_is_the_papers_million(self):
+        # 2^(4*5) - 1 = 1,048,575 — "in the order of 10^6".
+        assert powerset_group_count(4, 5) == pytest.approx(2**20 - 1)
+
+    def test_zero_attributes(self):
+        assert theoretical_group_count(0, 5) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            theoretical_group_count(-1, 5)
+        with pytest.raises(ValueError):
+            powerset_group_count(1, -5)

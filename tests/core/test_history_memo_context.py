@@ -1,0 +1,137 @@
+"""HISTORY (backtrack tree), MEMO (bookmarks), CONTEXT (feedback window)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import ContextView
+from repro.core.feedback import FeedbackVector
+from repro.core.history import History
+from repro.core.memo import Memo
+from repro.data.dataset import UserDataset
+from repro.data.schema import Demographic
+
+
+class TestHistory:
+    def test_record_moves_cursor(self):
+        history = History()
+        step = history.record(None, [1, 2, 3], {})
+        assert history.current is step
+        assert step.is_root
+
+    def test_chain_parents(self):
+        history = History()
+        root = history.record(None, [1], {})
+        child = history.record(5, [2], {})
+        assert child.parent_id == root.step_id
+        assert [s.step_id for s in history.path()] == [0, 1]
+
+    def test_backtrack_and_branch(self):
+        history = History()
+        history.record(None, [1], {})
+        history.record(5, [2], {})
+        history.backtrack(0)
+        branch = history.record(7, [3], {})
+        assert branch.parent_id == 0
+        assert len(history.children_of(0)) == 2
+
+    def test_backtrack_unknown_raises(self):
+        with pytest.raises(KeyError):
+            History().backtrack(0)
+
+    def test_snapshot_stored_by_value(self):
+        history = History()
+        snapshot = {("token", "a"): 1.0}
+        step = history.record(None, [], snapshot)
+        snapshot[("token", "a")] = 99.0
+        assert step.feedback_snapshot[("token", "a")] == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=20))
+    def test_backtrack_restores_exact_display(self, clicks):
+        history = History()
+        displays = {}
+        for index, gid in enumerate(clicks):
+            step = history.record(gid, [gid, gid + 1], {"mass": float(index)})
+            displays[step.step_id] = (gid, gid + 1)
+        for step_id in range(len(clicks)):
+            step = history.backtrack(step_id)
+            assert tuple(step.shown_gids) == displays[step_id]
+
+
+class TestMemo:
+    def test_bookkeeping(self):
+        memo = Memo()
+        assert memo.is_empty
+        memo.bookmark_group(3, "shortlist")
+        memo.bookmark_user(7)
+        assert len(memo) == 2
+        assert memo.collected_users() == [7]
+        assert memo.collected_groups() == [3]
+
+    def test_remove(self):
+        memo = Memo()
+        memo.bookmark_user(1)
+        assert memo.remove_user(1)
+        assert not memo.remove_user(1)
+
+    def test_rebookmark_updates_note(self):
+        memo = Memo()
+        memo.bookmark_group(1, "first")
+        memo.bookmark_group(1, "second")
+        assert memo.groups[1] == "second"
+        assert len(memo) == 1
+
+    def test_insertion_order_preserved(self):
+        memo = Memo()
+        for user in (5, 1, 9):
+            memo.bookmark_user(user)
+        assert memo.collected_users() == [5, 1, 9]
+
+
+@pytest.fixture
+def dataset():
+    return UserDataset.from_records(
+        [], [Demographic(f"user{i}", "gender", "female") for i in range(3)]
+    )
+
+
+class TestContext:
+    def test_entries_labelled(self, dataset):
+        feedback = FeedbackVector()
+        feedback.learn_group(np.array([0, 1]), ["gender=female"])
+        context = ContextView(feedback, dataset)
+        entries = context.entries(5)
+        labels = {entry.label for entry in entries}
+        assert "gender=female" in labels
+        assert "user0" in labels
+
+    def test_forget_entry(self, dataset):
+        feedback = FeedbackVector()
+        feedback.learn_group(np.array([0]), ["gender=female"])
+        context = ContextView(feedback, dataset)
+        chip = next(e for e in context.entries(5) if e.kind == "token")
+        assert context.forget(chip)
+        assert feedback.token_score("gender=female") == 0.0
+
+    def test_forget_token_by_label(self, dataset):
+        feedback = FeedbackVector()
+        feedback.learn_group(np.array([0]), ["gender=female"])
+        context = ContextView(feedback, dataset)
+        assert context.forget_token("gender=female")
+        assert not context.forget_token("gender=female")
+
+    def test_forget_user_label(self, dataset):
+        feedback = FeedbackVector()
+        feedback.learn_group(np.array([1]), [])
+        context = ContextView(feedback, dataset)
+        assert context.forget_user_label("user1")
+        assert not context.forget_user_label("not-a-user")
+
+    def test_bias_summary_sums_to_one(self, dataset):
+        feedback = FeedbackVector()
+        feedback.learn_group(np.array([0, 1]), ["gender=female"])
+        context = ContextView(feedback, dataset)
+        summary = context.bias_summary()
+        assert summary["user"] + summary["token"] == pytest.approx(1.0)

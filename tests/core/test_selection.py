@@ -1,0 +1,143 @@
+"""The anytime greedy selector: constraints, budgets, quality."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.quality import coverage as coverage_metric
+from repro.analysis.quality import diversity as diversity_metric
+from repro.core.feedback import FeedbackVector
+from repro.core.group import Group
+from repro.core.selection import SelectionConfig, SelectionResult, select_k
+
+
+def make_pool(seed=0, count=30, universe=100):
+    rng = np.random.default_rng(seed)
+    return [
+        Group(gid, (f"tok{gid}",), np.unique(rng.choice(universe, size=int(rng.integers(5, 30)))))
+        for gid in range(count)
+    ]
+
+
+UNLIMITED = SelectionConfig(k=5, time_budget_ms=None)
+
+
+class TestBasics:
+    def test_returns_at_most_k(self):
+        result = select_k(make_pool(), np.arange(100), config=UNLIMITED)
+        assert len(result.groups) == 5
+
+    def test_small_pool_returns_all(self):
+        pool = make_pool(count=3)
+        result = select_k(pool, np.arange(100), config=UNLIMITED)
+        assert len(result.groups) == 3
+
+    def test_empty_pool(self):
+        result = select_k([], np.arange(100), config=UNLIMITED)
+        assert result.groups == []
+        assert result.pool_size == 0
+
+    def test_no_duplicate_groups(self):
+        result = select_k(make_pool(), np.arange(100), config=UNLIMITED)
+        gids = result.gids()
+        assert len(gids) == len(set(gids))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SelectionConfig(k=0)
+        with pytest.raises(ValueError):
+            SelectionConfig(time_budget_ms=-1)
+        with pytest.raises(ValueError):
+            SelectionConfig(diversity_weight=-0.5)
+
+    def test_empty_relevant_coverage_is_one(self):
+        result = select_k(
+            make_pool(), np.empty(0, dtype=np.int64), config=UNLIMITED
+        )
+        assert result.coverage == 1.0
+
+
+class TestQualityNumbers:
+    def test_metrics_match_analysis_module(self):
+        pool = make_pool(seed=1)
+        relevant = np.arange(100)
+        result = select_k(pool, relevant, config=UNLIMITED)
+        memberships = [group.members for group in result.groups]
+        assert result.diversity == pytest.approx(diversity_metric(memberships))
+        # Unweighted coverage comparison (no feedback -> uniform weights).
+        assert result.coverage == pytest.approx(
+            coverage_metric(memberships, relevant)
+        )
+
+    def test_unlimited_budget_converges(self):
+        result = select_k(make_pool(seed=2), np.arange(100), config=UNLIMITED)
+        assert result.phases_completed == 3
+
+    def test_greedy_beats_floor_fill(self):
+        pool = make_pool(seed=3)
+        relevant = np.arange(100)
+        floor = select_k(
+            pool,
+            relevant,
+            config=SelectionConfig(k=5, time_budget_ms=0.0),
+        )
+        converged = select_k(pool, relevant, config=UNLIMITED)
+        assert converged.score >= floor.score - 1e-9
+
+    def test_deterministic_without_budget(self):
+        pool = make_pool(seed=4)
+        first = select_k(pool, np.arange(100), config=UNLIMITED)
+        second = select_k(pool, np.arange(100), config=UNLIMITED)
+        assert first.gids() == second.gids()
+
+
+class TestTimeBudget:
+    def test_zero_budget_returns_pool_head(self):
+        pool = make_pool(seed=5)
+        result = select_k(
+            pool, np.arange(100), config=SelectionConfig(k=5, time_budget_ms=0.0)
+        )
+        assert result.gids() == [group.gid for group in pool[:5]]
+        assert result.phases_completed == 1
+
+    def test_fake_clock_cuts_greedy_short(self):
+        pool = make_pool(seed=6)
+        ticks = iter(np.arange(0, 1000, 0.5).tolist())
+
+        def clock():
+            return next(ticks)
+
+        result = select_k(
+            pool,
+            np.arange(100),
+            config=SelectionConfig(k=5, time_budget_ms=3.0),
+            clock=lambda: clock() / 1000.0,
+        )
+        assert len(result.groups) == 5  # anytime: k groups regardless
+        assert result.phases_completed <= 2
+
+    def test_elapsed_reported(self):
+        result = select_k(make_pool(), np.arange(100), config=UNLIMITED)
+        assert result.elapsed_ms >= 0.0
+        assert result.evaluations > 0
+
+
+class TestFeedbackBias:
+    def test_feedback_pulls_matching_groups_in(self):
+        # Two disjoint halves of the universe; feedback loves users 0..9.
+        pool = [
+            Group(0, ("a",), np.arange(0, 10)),
+            Group(1, ("b",), np.arange(50, 60)),
+            Group(2, ("c",), np.arange(10, 20)),
+        ]
+        feedback = FeedbackVector()
+        feedback.learn_group(np.arange(0, 10), ["a"])
+        config = SelectionConfig(
+            k=1, time_budget_ms=None, feedback_weight=5.0, diversity_weight=0.0,
+            coverage_weight=0.0,
+        )
+        result = select_k(pool, np.arange(100), feedback, config)
+        assert result.gids() == [0]
+
+    def test_affinity_zero_without_feedback(self):
+        result = select_k(make_pool(), np.arange(100), config=UNLIMITED)
+        assert result.affinity == 0.0

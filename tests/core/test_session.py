@@ -1,0 +1,164 @@
+"""The exploration session: the paper's online loop invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.session import ExplorationSession, SessionConfig
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+
+
+@pytest.fixture(scope="module")
+def space():
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=300, seed=17))
+    return discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.06, max_description=3),
+    )
+
+
+@pytest.fixture
+def session(space):
+    return ExplorationSession(space, config=SessionConfig(k=5, time_budget_ms=50))
+
+
+class TestConfig:
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            SessionConfig(k=0)
+        with pytest.raises(ValueError):
+            SessionConfig(k=16)
+
+    def test_selection_inherits_k(self):
+        config = SessionConfig(k=3)
+        assert config.selection.k == 3
+
+
+class TestStart:
+    def test_start_shows_at_most_k(self, session):
+        shown = session.start()
+        assert 1 <= len(shown) <= 5
+        assert shown == session.displayed()
+
+    def test_start_records_root_step(self, session):
+        session.start()
+        step = session.current_step()
+        assert step is not None
+        assert step.is_root
+        assert step.clicked_gid is None
+
+    def test_start_with_seeds_prioritises_neighborhood(self, space):
+        session = ExplorationSession(space, config=SessionConfig(k=5))
+        seed = space.largest(1)[0].gid
+        shown = session.start(seed_gids=[seed])
+        assert len(shown) >= 1
+
+
+class TestClick:
+    def test_click_advances_display(self, session):
+        shown = session.start()
+        next_shown = session.click(shown[0].gid)
+        assert next_shown
+        assert len(next_shown) <= 5
+        assert session.displayed_gids() == [g.gid for g in next_shown]
+
+    def test_click_learns_feedback(self, session):
+        shown = session.start()
+        assert len(session.feedback) == 0
+        session.click(shown[0].gid)
+        assert len(session.feedback) > 0
+        assert session.feedback.total() == pytest.approx(1.0)
+
+    def test_click_respects_similarity_floor(self, space):
+        session = ExplorationSession(
+            space, config=SessionConfig(k=5, similarity_floor=0.2)
+        )
+        shown = session.start()
+        clicked = shown[0]
+        for group in session.click(clicked.gid):
+            assert session.index.similarity(clicked.gid, group.gid) >= 0.2
+
+    def test_click_appends_history(self, session):
+        shown = session.start()
+        session.click(shown[0].gid)
+        assert len(session.history) == 2
+        step = session.current_step()
+        assert step.clicked_gid == shown[0].gid
+
+    def test_click_updates_profile(self, session):
+        shown = session.start()
+        session.click(shown[0].gid)
+        assert session.profile.steps_observed == 1
+
+    def test_selection_metrics_exposed(self, session):
+        shown = session.start()
+        session.click(shown[0].gid)
+        result = session.last_selection
+        assert result is not None
+        assert 0.0 <= result.diversity <= 1.0
+        assert 0.0 <= result.coverage <= 1.0
+
+
+class TestBacktrack:
+    def test_backtrack_restores_display(self, session):
+        first = session.start()
+        session.click(first[0].gid)
+        restored = session.backtrack(0)
+        assert [g.gid for g in restored] == [g.gid for g in first]
+
+    def test_backtrack_restores_feedback_exactly(self, session):
+        shown = session.start()
+        session.click(shown[0].gid)
+        snapshot_after_click = session.feedback.snapshot()
+        session.click(session.displayed()[0].gid)
+        session.backtrack(1)
+        assert session.feedback.snapshot() == snapshot_after_click
+
+    def test_backtrack_to_root_clears_feedback(self, session):
+        shown = session.start()
+        session.click(shown[0].gid)
+        session.backtrack(0)
+        assert len(session.feedback) == 0
+
+    def test_branching_after_backtrack(self, session):
+        shown = session.start()
+        session.click(shown[0].gid)
+        session.backtrack(0)
+        session.click(shown[1].gid)
+        assert len(session.history.children_of(0)) == 2
+
+
+class TestSideInteractions:
+    def test_bookmarks(self, session):
+        shown = session.start()
+        session.bookmark_group(shown[0].gid, "note")
+        session.bookmark_user(int(shown[0].members[0]))
+        assert len(session.memo) == 2
+
+    def test_drill_down_returns_copy(self, session):
+        shown = session.start()
+        members = session.drill_down(shown[0].gid)
+        members[0] = -1
+        assert session.space[shown[0].gid].members[0] != -1
+
+    def test_context_reflects_clicks(self, session):
+        shown = session.start()
+        session.click(shown[0].gid)
+        entries = session.context.entries(3)
+        assert entries
+        assert entries[0].score > 0
+
+    def test_repr(self, session):
+        session.start()
+        assert "1 steps" in repr(session) or "steps" in repr(session)
+
+
+class TestDeadEnds:
+    def test_click_isolated_group_stays_in_place(self, space):
+        # Force a dead end by using an absurdly high similarity floor.
+        session = ExplorationSession(
+            space, config=SessionConfig(k=5, similarity_floor=0.999)
+        )
+        shown = session.start()
+        next_shown = session.click(shown[0].gid)
+        assert next_shown  # never an empty screen

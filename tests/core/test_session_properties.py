@@ -1,0 +1,75 @@
+"""Property tests: session invariants under random gesture sequences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.session import ExplorationSession, SessionConfig
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+
+# One shared small world: hypothesis drives the gesture sequence, not the data.
+_DATA = generate_dbauthors(DBAuthorsConfig(n_authors=150, seed=47))
+_SPACE = discover_groups(
+    _DATA.dataset,
+    DiscoveryConfig(method="lcm", min_support=0.1, max_description=2),
+)
+
+gestures = st.lists(
+    st.one_of(
+        st.tuples(st.just("click"), st.integers(0, 4)),
+        st.tuples(st.just("back"), st.integers(0, 30)),
+        st.tuples(st.just("memo"), st.integers(0, 4)),
+    ),
+    max_size=12,
+)
+
+
+class TestSessionInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(gestures)
+    def test_invariants_hold_under_any_gesture_sequence(self, sequence):
+        session = ExplorationSession(
+            _SPACE, config=SessionConfig(k=5, time_budget_ms=None)
+        )
+        shown = session.start()
+        for kind, argument in sequence:
+            if kind == "click":
+                shown = session.click(shown[argument % len(shown)].gid)
+            elif kind == "back":
+                target = argument % len(session.history)
+                shown = session.backtrack(target)
+            else:
+                session.bookmark_group(shown[argument % len(shown)].gid)
+
+            # P1: never more than k groups, never an empty screen.
+            assert 1 <= len(shown) <= 5
+            # Display gids are unique and valid.
+            gids = [group.gid for group in shown]
+            assert len(gids) == len(set(gids))
+            assert all(0 <= gid < len(_SPACE) for gid in gids)
+            # Feedback invariant: normalised or empty.
+            total = session.feedback.total()
+            assert total == pytest.approx(1.0) or len(session.feedback) == 0
+            # Display matches what the cursor's step recorded.
+            step = session.current_step()
+            assert step is not None
+            assert tuple(gids) == step.shown_gids
+
+    @settings(max_examples=15, deadline=None)
+    @given(gestures)
+    def test_backtrack_to_root_always_restores_first_screen(self, sequence):
+        session = ExplorationSession(
+            _SPACE, config=SessionConfig(k=5, time_budget_ms=None)
+        )
+        first = [group.gid for group in session.start()]
+        shown = session.displayed()
+        for kind, argument in sequence:
+            if kind == "click":
+                shown = session.click(shown[argument % len(shown)].gid)
+            elif kind == "back" and len(session.history):
+                shown = session.backtrack(argument % len(session.history))
+        restored = session.backtrack(0)
+        assert [group.gid for group in restored] == first
+        assert len(session.feedback) == 0

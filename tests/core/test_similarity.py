@@ -1,0 +1,95 @@
+"""Jaccard and weighted similarity properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.similarity import (
+    jaccard,
+    jaccard_distance,
+    mean_pairwise_jaccard,
+    overlap_size,
+    weighted_jaccard,
+)
+
+user_sets = st.sets(st.integers(min_value=0, max_value=30), max_size=15).map(
+    lambda users: np.asarray(sorted(users), dtype=np.int64)
+)
+
+
+class TestJaccardKnown:
+    def test_identical(self):
+        members = np.array([1, 2, 3])
+        assert jaccard(members, members) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(np.array([1, 2]), np.array([3, 4])) == 0.0
+
+    def test_half_overlap(self):
+        assert jaccard(np.array([1, 2]), np.array([2, 3])) == pytest.approx(1 / 3)
+
+    def test_both_empty_convention(self):
+        empty = np.array([], dtype=np.int64)
+        assert jaccard(empty, empty) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard(np.array([], dtype=np.int64), np.array([1])) == 0.0
+
+    def test_distance_complement(self):
+        left, right = np.array([1, 2]), np.array([2, 3])
+        assert jaccard_distance(left, right) == pytest.approx(1 - jaccard(left, right))
+
+    def test_overlap_size(self):
+        assert overlap_size(np.array([1, 2, 3]), np.array([2, 3, 4])) == 2
+
+
+class TestJaccardProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(user_sets, user_sets)
+    def test_symmetric(self, left, right):
+        assert jaccard(left, right) == pytest.approx(jaccard(right, left))
+
+    @settings(max_examples=60, deadline=None)
+    @given(user_sets, user_sets)
+    def test_bounded(self, left, right):
+        assert 0.0 <= jaccard(left, right) <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(user_sets, user_sets, user_sets)
+    def test_triangle_inequality_of_distance(self, a, b, c):
+        """Jaccard distance is a metric."""
+        ab = jaccard_distance(a, b)
+        bc = jaccard_distance(b, c)
+        ac = jaccard_distance(a, c)
+        assert ac <= ab + bc + 1e-12
+
+
+class TestWeightedJaccard:
+    def test_uniform_weights_reduce_to_plain(self):
+        weights = np.ones(31)
+        left, right = np.array([1, 2, 3]), np.array([3, 4])
+        assert weighted_jaccard(left, right, weights) == pytest.approx(
+            jaccard(left, right)
+        )
+
+    def test_weight_concentration_shifts_similarity(self):
+        weights = np.full(10, 0.01)
+        weights[2] = 10.0  # the shared user dominates
+        left, right = np.array([1, 2]), np.array([2, 3])
+        assert weighted_jaccard(left, right, weights) > jaccard(left, right)
+
+    def test_zero_weights(self):
+        weights = np.zeros(10)
+        assert weighted_jaccard(np.array([1]), np.array([2]), weights) == 0.0
+
+
+class TestMeanPairwise:
+    def test_fewer_than_two_groups(self):
+        assert mean_pairwise_jaccard([]) == 0.0
+        assert mean_pairwise_jaccard([np.array([1])]) == 0.0
+
+    def test_three_groups(self):
+        groups = [np.array([1, 2]), np.array([2, 3]), np.array([5])]
+        expected = (1 / 3 + 0 + 0) / 3
+        assert mean_pairwise_jaccard(groups) == pytest.approx(expected)

@@ -1,0 +1,127 @@
+"""Persistence round-trips for the offline artifacts and session state."""
+
+import numpy as np
+import pytest
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.session import ExplorationSession, SessionConfig
+from repro.core.store import (
+    load_group_space,
+    load_index,
+    load_session_state,
+    save_group_space,
+    save_index,
+    save_session_state,
+)
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+from repro.index.inverted import SimilarityIndex
+
+
+@pytest.fixture(scope="module")
+def world():
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=200, seed=37))
+    space = discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.08, max_description=3),
+    )
+    return data.dataset, space
+
+
+class TestGroupSpaceStore:
+    def test_roundtrip(self, world, tmp_path):
+        dataset, space = world
+        save_group_space(space, tmp_path)
+        loaded = load_group_space(dataset, tmp_path)
+        assert len(loaded) == len(space)
+        for original, restored in zip(space, loaded):
+            assert original.description == restored.description
+            assert np.array_equal(original.members, restored.members)
+
+    def test_dataset_name_checked(self, world, tmp_path):
+        dataset, space = world
+        save_group_space(space, tmp_path)
+        other = generate_dbauthors(DBAuthorsConfig(n_authors=50, seed=1)).dataset
+        other.name = "a-different-population"
+        with pytest.raises(ValueError, match="built on dataset"):
+            load_group_space(other, tmp_path)
+
+    def test_member_bounds_checked(self, world, tmp_path):
+        dataset, space = world
+        save_group_space(space, tmp_path)
+        small = generate_dbauthors(DBAuthorsConfig(n_authors=50, seed=37)).dataset
+        small.name = dataset.name  # same name, fewer users
+        with pytest.raises(ValueError, match="out of range"):
+            load_group_space(small, tmp_path)
+
+
+class TestIndexStore:
+    def test_roundtrip_preserves_prefix(self, world, tmp_path):
+        dataset, space = world
+        index = SimilarityIndex(space.memberships(), dataset.n_users, 0.10)
+        save_group_space(space, tmp_path)
+        save_index(index, tmp_path)
+        loaded = load_index(space, tmp_path)
+        assert loaded.memory_entries() == index.memory_entries()
+        for gid in range(0, len(space), 17):
+            assert loaded.materialized_neighbors(gid) == index.materialized_neighbors(gid)
+
+    def test_loaded_index_supports_exact_fallback(self, world, tmp_path):
+        dataset, space = world
+        index = SimilarityIndex(space.memberships(), dataset.n_users, 0.05)
+        save_index(index, tmp_path)
+        loaded = load_index(space, tmp_path)
+        assert loaded.exact_neighbors(0) == index.exact_neighbors(0)
+
+    def test_group_count_checked(self, world, tmp_path):
+        dataset, space = world
+        index = SimilarityIndex(space.memberships(), dataset.n_users, 0.10)
+        save_index(index, tmp_path)
+        from repro.core.group import GroupSpace
+
+        truncated = GroupSpace(dataset, list(space)[: len(space) // 2])
+        with pytest.raises(ValueError, match="groups"):
+            load_index(truncated, tmp_path)
+
+
+class TestSessionStore:
+    def test_roundtrip_restores_everything(self, world, tmp_path):
+        dataset, space = world
+        session = ExplorationSession(space, config=SessionConfig(k=4))
+        shown = session.start()
+        session.click(shown[0].gid)
+        session.bookmark_group(shown[0].gid, "keep")
+        session.bookmark_user(int(shown[0].members[0]), "expert")
+        session.backtrack(0)
+        session.click(shown[1].gid)  # branch
+        save_session_state(session, tmp_path)
+
+        fresh = ExplorationSession(space, session.index, SessionConfig(k=4))
+        restored = load_session_state(fresh, tmp_path)
+        assert restored.displayed_gids() == session.displayed_gids()
+        assert restored.feedback.snapshot() == session.feedback.snapshot()
+        assert len(restored.history) == len(session.history)
+        assert restored.memo.groups == session.memo.groups
+        assert restored.memo.users == session.memo.users
+        # The branch structure survived.
+        assert len(restored.history.children_of(0)) == len(
+            session.history.children_of(0)
+        )
+
+    def test_restored_session_continues(self, world, tmp_path):
+        dataset, space = world
+        session = ExplorationSession(space, config=SessionConfig(k=4))
+        shown = session.start()
+        session.click(shown[0].gid)
+        save_session_state(session, tmp_path)
+        fresh = ExplorationSession(space, session.index, SessionConfig(k=4))
+        restored = load_session_state(fresh, tmp_path)
+        next_shown = restored.click(restored.displayed_gids()[0])
+        assert next_shown
+
+    def test_requires_fresh_session(self, world, tmp_path):
+        dataset, space = world
+        session = ExplorationSession(space, config=SessionConfig(k=4))
+        session.start()
+        save_session_state(session, tmp_path)
+        with pytest.raises(ValueError, match="fresh"):
+            load_session_state(session, tmp_path)

@@ -1,0 +1,144 @@
+"""ST/MT task models and constraints."""
+
+import numpy as np
+import pytest
+
+from repro.core.group import Group, GroupSpace
+from repro.core.memo import Memo
+from repro.core.tasks import (
+    MembersOf,
+    MinCount,
+    MinDistinct,
+    MinShare,
+    MultiTargetTask,
+    SingleTargetTask,
+    committee_task,
+)
+from repro.data.dataset import UserDataset
+from repro.data.schema import Demographic
+
+
+@pytest.fixture
+def dataset():
+    rows = []
+    genders = ["female", "male"] * 5
+    countries = ["usa", "france", "brazil", "japan", "india"] * 2
+    seniorities = ["junior", "senior", "very-senior", "mid-career", "junior"] * 2
+    for i in range(10):
+        rows += [
+            Demographic(f"u{i}", "gender", genders[i]),
+            Demographic(f"u{i}", "country", countries[i]),
+            Demographic(f"u{i}", "seniority", seniorities[i]),
+        ]
+    return UserDataset.from_records([], rows)
+
+
+class TestConstraints:
+    def test_min_count(self, dataset):
+        assert MinCount(3).satisfaction([1, 2], dataset) == pytest.approx(2 / 3)
+        assert MinCount(3).is_satisfied([1, 2, 3], dataset)
+        assert MinCount(0).is_satisfied([], dataset)
+
+    def test_min_distinct(self, dataset):
+        constraint = MinDistinct("country", 3)
+        assert constraint.satisfaction([0, 5], dataset) == pytest.approx(1 / 3)
+        assert constraint.is_satisfied([0, 1, 2], dataset)
+
+    def test_min_share(self, dataset):
+        constraint = MinShare("gender", "female", 0.5)
+        assert constraint.satisfaction([], dataset) == 0.0
+        assert constraint.is_satisfied([0, 2, 1], dataset)  # 2/3 female
+        assert not constraint.is_satisfied([1, 3], dataset)  # all male
+
+    def test_min_share_zero_threshold(self, dataset):
+        assert MinShare("gender", "female", 0.0).is_satisfied([1], dataset)
+
+    def test_members_of(self, dataset):
+        constraint = MembersOf(frozenset({0, 1, 2}))
+        assert constraint.satisfaction([0, 1], dataset) == 1.0
+        assert constraint.satisfaction([0, 9], dataset) == pytest.approx(0.5)
+        assert constraint.satisfaction([], dataset) == 0.0
+
+
+class TestMultiTargetTask:
+    def test_progress_averages_constraints(self, dataset):
+        task = MultiTargetTask(dataset, [MinCount(2), MinShare("gender", "female", 0.5)])
+        memo = Memo()
+        memo.bookmark_user(0)  # female: count 1/2, share 1.0
+        assert task.progress(memo) == pytest.approx((0.5 + 1.0) / 2)
+
+    def test_complete_when_all_satisfied(self, dataset):
+        task = MultiTargetTask(dataset, [MinCount(2), MinDistinct("country", 2)])
+        memo = Memo()
+        memo.bookmark_user(0)
+        memo.bookmark_user(1)
+        assert task.is_complete(memo)
+
+    def test_unmet_lists_violations(self, dataset):
+        task = MultiTargetTask(dataset, [MinCount(5), MinShare("gender", "female", 0.5)])
+        memo = Memo()
+        memo.bookmark_user(0)
+        unmet = task.unmet(memo)
+        assert any(isinstance(c, MinCount) for c in unmet)
+        assert not any(isinstance(c, MinShare) for c in unmet)
+
+    def test_no_constraints_always_complete(self, dataset):
+        assert MultiTargetTask(dataset, []).is_complete(Memo())
+
+    def test_committee_task_composition(self, dataset):
+        task = committee_task(dataset, size=4, min_countries=2, community=frozenset({0, 1, 2, 3}))
+        kinds = {type(c) for c in task.constraints}
+        assert kinds == {MinCount, MinDistinct, MinShare, MembersOf}
+
+    def test_committee_complete_on_balanced_mix(self, dataset):
+        task = committee_task(
+            dataset, size=4, min_countries=3, min_female_share=0.4,
+            min_male_share=0.25, min_seniorities=2,
+        )
+        memo = Memo()
+        for user in (0, 1, 2, 3):  # 2 female, 2 male, 4 countries
+            memo.bookmark_user(user)
+        assert task.is_complete(memo)
+
+
+class TestSingleTargetTask:
+    def _space(self, dataset):
+        groups = [
+            Group(0, ("a",), np.array([0, 1, 2, 3])),
+            Group(1, ("b",), np.array([0, 1])),
+            Group(2, ("c",), np.array([8, 9])),
+        ]
+        return GroupSpace(dataset, groups)
+
+    def test_requires_target(self, dataset):
+        with pytest.raises(ValueError):
+            SingleTargetTask(self._space(dataset))
+
+    def test_complete_on_bookmarked_target(self, dataset):
+        space = self._space(dataset)
+        task = SingleTargetTask(space, target_gid=0)
+        memo = Memo()
+        assert not task.is_complete(memo)
+        memo.bookmark_group(0)
+        assert task.is_complete(memo)
+
+    def test_predicate_target(self, dataset):
+        space = self._space(dataset)
+        task = SingleTargetTask(space, predicate=lambda g: "c" in g.description)
+        memo = Memo()
+        memo.bookmark_group(2)
+        assert task.is_complete(memo)
+
+    def test_progress_partial_credit_by_overlap(self, dataset):
+        space = self._space(dataset)
+        task = SingleTargetTask(space, target_gid=0)
+        memo = Memo()
+        memo.bookmark_group(1)  # covers 2 of 4 target members
+        assert task.progress(memo) == pytest.approx(0.5)
+
+    def test_progress_one_when_complete(self, dataset):
+        space = self._space(dataset)
+        task = SingleTargetTask(space, target_gid=2)
+        memo = Memo()
+        memo.bookmark_group(2)
+        assert task.progress(memo) == 1.0

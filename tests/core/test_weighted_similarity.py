@@ -1,0 +1,52 @@
+"""The §II-B weighted-similarity re-ranking inside the session."""
+
+import numpy as np
+import pytest
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.session import ExplorationSession, SessionConfig
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+
+
+@pytest.fixture(scope="module")
+def space():
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=250, seed=53))
+    return discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.08, max_description=3),
+    )
+
+
+class TestWeightedSimilarity:
+    def test_session_runs_with_reranking(self, space):
+        session = ExplorationSession(
+            space,
+            config=SessionConfig(k=5, time_budget_ms=None, weighted_similarity=True),
+        )
+        shown = session.start()
+        shown = session.click(shown[0].gid)  # first click builds feedback
+        shown = session.click(shown[0].gid)  # second click actually re-ranks
+        assert 1 <= len(shown) <= 5
+
+    def test_rerank_orders_by_weighted_overlap(self, space):
+        session = ExplorationSession(
+            space,
+            config=SessionConfig(k=5, time_budget_ms=None, weighted_similarity=True),
+        )
+        shown = session.start()
+        clicked = shown[0]
+        session.feedback.learn_group(clicked.members, clicked.description)
+        pool = [group for group in space][:30]
+        reranked = session._rerank_weighted(clicked, pool)
+        assert sorted(g.gid for g in reranked) == sorted(g.gid for g in pool)
+        # The head of the re-ranking overlaps the rewarded members more than
+        # the tail does.
+        def overlap(group):
+            return len(np.intersect1d(group.members, clicked.members))
+
+        head = np.mean([overlap(g) / max(g.size, 1) for g in reranked[:5]])
+        tail = np.mean([overlap(g) / max(g.size, 1) for g in reranked[-5:]])
+        assert head >= tail
+
+    def test_disabled_by_default(self, space):
+        assert SessionConfig().weighted_similarity is False

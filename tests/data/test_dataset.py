@@ -1,0 +1,227 @@
+"""Unit tests for the columnar UserDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import UserDataset
+from repro.data.schema import MISSING, Action, Demographic, SchemaError
+
+
+@pytest.fixture
+def small_dataset() -> UserDataset:
+    actions = [
+        Action("ann", "book1", 5.0),
+        Action("bob", "book1", 3.0),
+        Action("ann", "book2", 4.0),
+        Action("cat", "book3", 1.0),
+    ]
+    demographics = [
+        Demographic("ann", "gender", "female"),
+        Demographic("bob", "gender", "male"),
+        Demographic("cat", "gender", "female"),
+        Demographic("ann", "age", "adult"),
+        Demographic("bob", "age", "teen"),
+        # cat has no age -> MISSING
+        Demographic("dan", "gender", "male"),  # user with no actions
+    ]
+    return UserDataset.from_records(actions, demographics, name="small")
+
+
+class TestConstruction:
+    def test_shapes(self, small_dataset):
+        assert small_dataset.n_users == 4
+        assert small_dataset.n_items == 3
+        assert small_dataset.n_actions == 4
+        assert small_dataset.attributes == ["gender", "age"]
+
+    def test_missing_demographic_coded(self, small_dataset):
+        cat = small_dataset.users.code("cat")
+        assert small_dataset.demographic_value(cat, "age") == MISSING
+
+    def test_user_without_actions_kept(self, small_dataset):
+        dan = small_dataset.users.code("dan")
+        assert len(small_dataset.items_of_user(dan)) == 0
+
+    def test_duplicate_demographic_keeps_first(self):
+        ds = UserDataset.from_records(
+            [],
+            [
+                Demographic("u", "age", "teen"),
+                Demographic("u", "age", "adult"),
+            ],
+        )
+        assert ds.demographic_value(0, "age") == "teen"
+
+    def test_repr(self, small_dataset):
+        assert "small" in repr(small_dataset)
+
+
+class TestFromArrays:
+    def test_roundtrip(self):
+        ds = UserDataset.from_arrays(
+            ["u0", "u1"],
+            ["i0"],
+            np.array([0, 1]),
+            np.array([0, 0]),
+            np.array([1.0, 2.0]),
+            demographics={"color": ["red", "blue"]},
+        )
+        assert ds.n_users == 2
+        assert ds.demographic_value(1, "color") == "blue"
+
+    def test_duplicate_user_labels_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate user"):
+            UserDataset.from_arrays(
+                ["u", "u"], ["i"], np.array([0]), np.array([0]), np.array([1.0])
+            )
+
+    def test_out_of_range_action_user_rejected(self):
+        with pytest.raises(SchemaError, match="out of range"):
+            UserDataset.from_arrays(
+                ["u"], ["i"], np.array([3]), np.array([0]), np.array([1.0])
+            )
+
+    def test_misaligned_demographics_rejected(self):
+        with pytest.raises(SchemaError, match="values"):
+            UserDataset.from_arrays(
+                ["u0", "u1"],
+                ["i"],
+                np.array([0]),
+                np.array([0]),
+                np.array([1.0]),
+                demographics={"x": ["only-one"]},
+            )
+
+
+class TestQueries:
+    def test_users_matching(self, small_dataset):
+        females = small_dataset.users_matching("gender", "female")
+        labels = {small_dataset.users.label(int(u)) for u in females}
+        assert labels == {"ann", "cat"}
+
+    def test_users_matching_unknown_value_empty(self, small_dataset):
+        assert len(small_dataset.users_matching("gender", "other")) == 0
+
+    def test_users_matching_all(self, small_dataset):
+        matched = small_dataset.users_matching_all(
+            [("gender", "female"), ("age", "adult")]
+        )
+        assert [small_dataset.users.label(int(u)) for u in matched] == ["ann"]
+
+    def test_users_matching_all_empty_conditions(self, small_dataset):
+        assert len(small_dataset.users_matching_all([])) == small_dataset.n_users
+
+    def test_demographics_of(self, small_dataset):
+        ann = small_dataset.users.code("ann")
+        assert small_dataset.demographics_of(ann) == {
+            "gender": "female",
+            "age": "adult",
+        }
+
+
+class TestAdjacency:
+    def test_items_of_user(self, small_dataset):
+        ann = small_dataset.users.code("ann")
+        items = {small_dataset.items.label(int(i)) for i in small_dataset.items_of_user(ann)}
+        assert items == {"book1", "book2"}
+
+    def test_values_aligned(self, small_dataset):
+        ann = small_dataset.users.code("ann")
+        values = dict(
+            zip(
+                (small_dataset.items.label(int(i)) for i in small_dataset.items_of_user(ann)),
+                small_dataset.values_of_user(ann).tolist(),
+            )
+        )
+        assert values == {"book1": 5.0, "book2": 4.0}
+
+    def test_users_of_item(self, small_dataset):
+        book1 = small_dataset.items.code("book1")
+        users = {small_dataset.users.label(int(u)) for u in small_dataset.users_of_item(book1)}
+        assert users == {"ann", "bob"}
+
+    def test_item_support(self, small_dataset):
+        support = small_dataset.item_support()
+        assert support[small_dataset.items.code("book1")] == 2
+        assert support[small_dataset.items.code("book3")] == 1
+
+    def test_user_activity(self, small_dataset):
+        activity = small_dataset.user_activity()
+        assert activity[small_dataset.users.code("ann")] == 2
+        assert activity[small_dataset.users.code("dan")] == 0
+
+    def test_mean_value(self, small_dataset):
+        ann = small_dataset.users.code("ann")
+        assert small_dataset.mean_value_of_user(ann) == pytest.approx(4.5)
+        dan = small_dataset.users.code("dan")
+        assert np.isnan(small_dataset.mean_value_of_user(dan))
+
+
+class TestTransactions:
+    def test_demographic_tokens(self, small_dataset):
+        transactions, vocab = small_dataset.transactions(include_items=False)
+        ann = small_dataset.users.code("ann")
+        labels = {vocab.label(token) for token in transactions[ann]}
+        assert labels == {"gender=female", "age=adult"}
+
+    def test_missing_values_skipped(self, small_dataset):
+        transactions, vocab = small_dataset.transactions(include_items=False)
+        cat = small_dataset.users.code("cat")
+        labels = {vocab.label(token) for token in transactions[cat]}
+        assert labels == {"gender=female"}  # age is MISSING
+
+    def test_item_support_threshold(self, small_dataset):
+        transactions, vocab = small_dataset.transactions(
+            include_demographics=False, min_item_support=2
+        )
+        all_tokens = {vocab.label(t) for tx in transactions for t in tx}
+        assert all_tokens == {"item:book1"}  # only book1 has support 2
+
+    def test_value_bucketer(self, small_dataset):
+        transactions, vocab = small_dataset.transactions(
+            include_demographics=False,
+            min_item_support=1,
+            value_bucketer=lambda value: "high" if value >= 4 else None,
+        )
+        all_tokens = {vocab.label(t) for tx in transactions for t in tx}
+        assert all_tokens == {"item:book1|high", "item:book2|high"}
+
+    def test_transactions_sorted(self, small_dataset):
+        transactions, _ = small_dataset.transactions()
+        for transaction in transactions:
+            assert transaction == sorted(transaction)
+
+
+class TestDerivedAttributes:
+    def test_add_derived(self, small_dataset):
+        small_dataset.add_derived_attribute(
+            "active", lambda u: "yes" if small_dataset.user_activity()[u] > 0 else "no"
+        )
+        dan = small_dataset.users.code("dan")
+        assert small_dataset.demographic_value(dan, "active") == "no"
+        assert "active" in small_dataset.attributes
+
+    def test_duplicate_attribute_rejected(self, small_dataset):
+        with pytest.raises(SchemaError, match="already exists"):
+            small_dataset.add_derived_attribute("gender", lambda u: "x")
+
+
+class TestPersistence:
+    def test_csv_roundtrip(self, small_dataset, tmp_path):
+        small_dataset.to_csv(tmp_path)
+        from repro.data.etl import load_dataset
+
+        result = load_dataset(
+            tmp_path / "actions.csv", tmp_path / "demographics.csv"
+        )
+        loaded = result.dataset
+        assert loaded.n_users == small_dataset.n_users
+        assert loaded.n_actions == small_dataset.n_actions
+        ann = loaded.users.code("ann")
+        assert loaded.demographic_value(ann, "gender") == "female"
+
+    def test_describe(self, small_dataset):
+        info = small_dataset.describe()
+        assert info["users"] == 4
+        assert info["actions"] == 4
+        assert info["mean_actions_per_user"] == pytest.approx(1.0)

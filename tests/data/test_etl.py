@@ -1,0 +1,150 @@
+"""Unit tests for the ETL layer: CSV import, cleaning policies, reports."""
+
+import pytest
+
+from repro.data.etl import (
+    ActionCleaner,
+    DemographicCleaner,
+    load_dataset,
+    read_actions_csv,
+    read_demographics_csv,
+)
+from repro.data.schema import MISSING, SchemaError
+
+
+def write(path, text):
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestActionCleaner:
+    def test_clean_rows_pass(self):
+        cleaner = ActionCleaner()
+        out = list(cleaner.clean([("u", "i", "4")]))
+        assert len(out) == 1
+        assert out[0].value == 4.0
+        assert cleaner.report.rows_kept == 1
+
+    def test_empty_user_dropped(self):
+        cleaner = ActionCleaner()
+        assert list(cleaner.clean([("", "i", "4")])) == []
+        assert cleaner.report.dropped_empty_user == 1
+
+    def test_empty_item_dropped(self):
+        cleaner = ActionCleaner()
+        assert list(cleaner.clean([("u", "  ", "4")])) == []
+        assert cleaner.report.dropped_empty_item == 1
+
+    def test_bad_value_dropped(self):
+        cleaner = ActionCleaner()
+        assert list(cleaner.clean([("u", "i", "wat")])) == []
+        assert cleaner.report.dropped_bad_value == 1
+
+    def test_out_of_range_clipped_by_default(self):
+        cleaner = ActionCleaner(value_range=(1, 10))
+        out = list(cleaner.clean([("u", "i", "42"), ("v", "i", "-3")]))
+        assert [a.value for a in out] == [10.0, 1.0]
+        assert cleaner.report.clipped_values == 2
+
+    def test_out_of_range_drop_policy(self):
+        cleaner = ActionCleaner(value_range=(1, 10), out_of_range="drop")
+        assert list(cleaner.clean([("u", "i", "42")])) == []
+        assert cleaner.report.dropped_out_of_range == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SchemaError):
+            ActionCleaner(out_of_range="explode")
+
+    def test_duplicates_keep_first(self):
+        cleaner = ActionCleaner()
+        out = list(cleaner.clean([("u", "i", "4"), ("u", "i", "9")]))
+        assert len(out) == 1
+        assert out[0].value == 4.0
+        assert cleaner.report.dropped_duplicate == 1
+
+    def test_duplicates_kept_when_disabled(self):
+        cleaner = ActionCleaner(drop_duplicates=False)
+        assert len(list(cleaner.clean([("u", "i", "4"), ("u", "i", "9")]))) == 2
+
+    def test_whitespace_normalised(self):
+        cleaner = ActionCleaner()
+        out = list(cleaner.clean([(" mary ", " the  book ", "3")]))
+        assert out[0].user == "mary"
+        assert out[0].item == "the book"
+
+
+class TestDemographicCleaner:
+    def test_blank_value_becomes_missing(self):
+        cleaner = DemographicCleaner()
+        out = list(cleaner.clean([("u", "age", "")]))
+        assert out[0].value == MISSING
+
+    def test_duplicate_attribute_keeps_first(self):
+        cleaner = DemographicCleaner()
+        out = list(cleaner.clean([("u", "age", "teen"), ("u", "age", "adult")]))
+        assert len(out) == 1
+        assert out[0].value == "teen"
+
+
+class TestCsvReaders:
+    def test_read_actions(self, tmp_path):
+        path = write(tmp_path / "a.csv", "user,item,value\nu,i,4\nv,j,5\n")
+        actions, report = read_actions_csv(path)
+        assert len(actions) == 2
+        assert report.rows_read == 2
+
+    def test_short_rows_counted(self, tmp_path):
+        path = write(tmp_path / "a.csv", "user,item,value\nonlyone\nu,i,4\n")
+        actions, report = read_actions_csv(path)
+        assert len(actions) == 1
+        assert report.dropped_short_row == 1
+
+    def test_quoted_fields(self, tmp_path):
+        path = write(
+            tmp_path / "a.csv", 'user,item,value\n"Smith, Ann","A ""B"" C",3\n'
+        )
+        actions, _ = read_actions_csv(path)
+        assert actions[0].user == "Smith, Ann"
+        assert actions[0].item == 'A "B" C'
+
+    def test_long_demographics(self, tmp_path):
+        path = write(
+            tmp_path / "d.csv", "user,attribute,value\nu,age,teen\nu,gender,male\n"
+        )
+        records, _ = read_demographics_csv(path)
+        assert len(records) == 2
+        assert records[0].attribute == "age"
+
+    def test_wide_demographics_unpivoted(self, tmp_path):
+        path = write(tmp_path / "d.csv", "user,age,gender\nu,teen,male\nv,adult,\n")
+        records, _ = read_demographics_csv(path)
+        by_key = {(r.user, r.attribute): r.value for r in records}
+        assert by_key[("u", "age")] == "teen"
+        assert by_key[("v", "gender")] == MISSING
+
+    def test_empty_file(self, tmp_path):
+        path = write(tmp_path / "d.csv", "")
+        records, _ = read_demographics_csv(path)
+        assert records == []
+
+
+class TestLoadDataset:
+    def test_end_to_end(self, tmp_path):
+        write(tmp_path / "a.csv", "user,item,value\nu,i,4\nu,i,4\n,x,1\nv,j,99\n")
+        write(tmp_path / "d.csv", "user,attribute,value\nu,age,teen\n")
+        result = load_dataset(
+            tmp_path / "a.csv", tmp_path / "d.csv", value_range=(1, 10)
+        )
+        assert result.dataset.n_actions == 2  # dup + empty-user dropped
+        assert result.action_report.dropped_duplicate == 1
+        assert result.action_report.dropped_empty_user == 1
+        assert result.action_report.clipped_values == 1  # the 99
+        assert result.dataset.demographic_value(
+            result.dataset.users.code("u"), "age"
+        ) == "teen"
+
+    def test_without_demographics(self, tmp_path):
+        write(tmp_path / "a.csv", "user,item,value\nu,i,4\n")
+        result = load_dataset(tmp_path / "a.csv")
+        assert result.dataset.n_users == 1
+        assert result.dataset.attributes == []

@@ -1,0 +1,49 @@
+"""Fuzz: the ETL layer never crashes on arbitrary CSV text.
+
+Dirty inputs are the norm for rating dumps; whatever bytes arrive, the
+reader must return a (possibly empty) record list plus an honest report —
+never raise, never loop.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import UserDataset
+from repro.data.etl import read_actions_csv, read_demographics_csv
+
+csv_text = st.text(
+    alphabet=st.sampled_from(list("abcXYZ012 ,\n\"'.;-\t")), max_size=400
+)
+
+
+class TestEtlFuzz:
+    @settings(max_examples=80, deadline=None)
+    @given(csv_text)
+    def test_actions_reader_total(self, tmp_path_factory, text):
+        path = tmp_path_factory.mktemp("fuzz") / "a.csv"
+        path.write_text("user,item,value\n" + text, encoding="utf-8")
+        actions, report = read_actions_csv(path)
+        # Every kept record is well-formed (validate() does not raise).
+        for action in actions:
+            action.validate()
+        assert report.rows_kept == len(actions)
+        assert report.rows_dropped >= 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(csv_text)
+    def test_demographics_reader_total(self, tmp_path_factory, text):
+        path = tmp_path_factory.mktemp("fuzz") / "d.csv"
+        path.write_text("user,attribute,value\n" + text, encoding="utf-8")
+        records, report = read_demographics_csv(path)
+        for record in records:
+            record.validate()
+        assert report.rows_kept == len(records)
+
+    @settings(max_examples=40, deadline=None)
+    @given(csv_text)
+    def test_survivors_always_assemble_into_a_dataset(self, tmp_path_factory, text):
+        path = tmp_path_factory.mktemp("fuzz") / "a.csv"
+        path.write_text("user,item,value\n" + text, encoding="utf-8")
+        actions, _ = read_actions_csv(path)
+        dataset = UserDataset.from_records(actions, [])
+        assert dataset.n_actions == len(actions)

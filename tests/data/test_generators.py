@@ -1,0 +1,160 @@
+"""Unit tests for the synthetic dataset generators and their calibration."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators.bookcrossing import (
+    BookCrossingConfig,
+    SPECIAL_READER,
+    generate_bookcrossing,
+    paper_scale_config,
+)
+from repro.data.generators.dbauthors import (
+    DBAuthorsConfig,
+    PAPER_MALE_SHARE,
+    STANDOUT_AUTHOR,
+    generate_dbauthors,
+)
+
+
+@pytest.fixture(scope="module")
+def bookcrossing():
+    return generate_bookcrossing(
+        BookCrossingConfig(n_users=600, n_items=400, n_ratings=6000, seed=5)
+    )
+
+
+@pytest.fixture(scope="module")
+def dbauthors():
+    return generate_dbauthors(DBAuthorsConfig(n_authors=900, seed=13))
+
+
+class TestBookCrossing:
+    def test_shape(self, bookcrossing):
+        ds = bookcrossing.dataset
+        assert ds.n_users == 600
+        assert ds.n_items == 400
+        # Special-reader anchor ratings are appended after the target count.
+        assert ds.n_actions >= 5800
+
+    def test_rating_range(self, bookcrossing):
+        values = bookcrossing.dataset.action_value
+        assert values.min() >= 1
+        assert values.max() <= 10
+
+    def test_ratings_mostly_high(self, bookcrossing):
+        # Paper: ratings "ranging from 1 to 10 but mostly high".
+        assert bookcrossing.dataset.action_value.mean() > 5.5
+
+    def test_no_duplicate_user_item_pairs(self, bookcrossing):
+        ds = bookcrossing.dataset
+        keys = ds.action_user.astype(np.int64) * ds.n_items + ds.action_item
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_demographics_present(self, bookcrossing):
+        assert set(bookcrossing.dataset.attributes) == {
+            "age", "country", "favorite_genre", "activity",
+        }
+
+    def test_special_reader_exists_with_many_high_ratings(self, bookcrossing):
+        ds = bookcrossing.dataset
+        reader = ds.users.code(SPECIAL_READER)
+        ratings = ds.values_of_user(reader)
+        assert len(ratings) >= 40  # scaled-down 1,000+ of the paper
+        assert ratings.mean() > 7.5
+
+    def test_determinism(self):
+        config = BookCrossingConfig(n_users=200, n_items=150, n_ratings=1000, seed=9)
+        first = generate_bookcrossing(config)
+        second = generate_bookcrossing(config)
+        assert np.array_equal(first.dataset.action_user, second.dataset.action_user)
+        assert np.array_equal(first.dataset.action_value, second.dataset.action_value)
+
+    def test_paper_scale_config_quotes_the_paper(self):
+        config = paper_scale_config()
+        assert config.n_users == 278_858
+        assert config.n_items == 271_379
+        assert config.n_ratings == 1_000_000
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BookCrossingConfig(n_users=1)
+        with pytest.raises(ValueError):
+            BookCrossingConfig(rating_low=5, rating_high=5)
+        with pytest.raises(ValueError):
+            BookCrossingConfig(n_genres=0)
+
+    def test_genre_structure_exists(self, bookcrossing):
+        # Users rate mostly within their favorite genre: check the match
+        # rate is far above the 1/n_genres baseline.
+        ds = bookcrossing.dataset
+        genre_of_user = np.array(
+            [
+                bookcrossing.genres.index(ds.demographic_value(u, "favorite_genre"))
+                for u in range(ds.n_users)
+            ]
+        )
+        matches = (
+            genre_of_user[ds.action_user]
+            == bookcrossing.item_genre[ds.action_item]
+        )
+        assert matches.mean() > 2.0 / len(bookcrossing.genres)
+
+
+class TestDBAuthors:
+    def test_shape(self, dbauthors):
+        assert dbauthors.dataset.n_users == 900
+        assert dbauthors.dataset.n_items == 12  # venues
+
+    def test_calibrated_male_share(self, dbauthors):
+        ds = dbauthors.dataset
+        very_senior_dm = ds.users_matching_all(
+            [("seniority", "very-senior"), ("topic", "data management")]
+        )
+        high = np.union1d(
+            ds.users_matching("publication_rate", "highly-active"),
+            ds.users_matching("publication_rate", "extremely-active"),
+        )
+        group = np.intersect1d(very_senior_dm, high)
+        males = sum(
+            1 for u in group if ds.demographic_value(int(u), "gender") == "male"
+        )
+        share = males / len(group)
+        assert abs(share - PAPER_MALE_SHARE) < 0.08  # 62% +- rounding
+
+    def test_standout_author_matches_paper_example(self, dbauthors):
+        ds = dbauthors.dataset
+        standout = ds.users.code(STANDOUT_AUTHOR)
+        demo = ds.demographics_of(standout)
+        assert demo["gender"] == "female"
+        assert demo["seniority"] == "very-senior"
+        assert demo["topic"] == "data management"
+        assert demo["publication_rate"] == "extremely-active"
+        assert ds.values_of_user(standout).sum() == pytest.approx(325)
+
+    def test_publication_counts_distributed_over_venues(self, dbauthors):
+        ds = dbauthors.dataset
+        total = ds.action_value.sum()
+        assert total == pytest.approx(dbauthors.publications_total.sum())
+
+    def test_continent_derived_from_country(self, dbauthors):
+        from repro.data.generators.dbauthors import COUNTRY_TO_CONTINENT
+
+        ds = dbauthors.dataset
+        for user in range(0, ds.n_users, 97):
+            country = ds.demographic_value(user, "country")
+            assert ds.demographic_value(user, "continent") == COUNTRY_TO_CONTINENT[country]
+
+    def test_determinism(self):
+        config = DBAuthorsConfig(n_authors=120, seed=3)
+        first = generate_dbauthors(config)
+        second = generate_dbauthors(config)
+        assert np.array_equal(
+            first.dataset.action_value, second.dataset.action_value
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DBAuthorsConfig(n_authors=5)
+        with pytest.raises(ValueError):
+            DBAuthorsConfig(base_male_share=1.5)

@@ -1,0 +1,81 @@
+"""Unit tests for record types and CSV cell parsing."""
+
+import math
+
+import pytest
+
+from repro.data.schema import (
+    MISSING,
+    Action,
+    Demographic,
+    SchemaError,
+    normalize_label,
+    parse_value,
+)
+
+
+class TestAction:
+    def test_valid_action_passes(self):
+        Action("mary", "mr miracle", 4.0).validate()
+
+    def test_empty_user_rejected(self):
+        with pytest.raises(SchemaError, match="empty user"):
+            Action("", "book", 1.0).validate()
+
+    def test_empty_item_rejected(self):
+        with pytest.raises(SchemaError, match="empty item"):
+            Action("mary", "", 1.0).validate()
+
+    def test_nan_value_rejected(self):
+        with pytest.raises(SchemaError, match="non-finite"):
+            Action("mary", "book", float("nan")).validate()
+
+    def test_inf_value_rejected(self):
+        with pytest.raises(SchemaError):
+            Action("mary", "book", math.inf).validate()
+
+    def test_frozen(self):
+        action = Action("a", "b", 1.0)
+        with pytest.raises(AttributeError):
+            action.user = "c"  # type: ignore[misc]
+
+
+class TestDemographic:
+    def test_valid(self):
+        Demographic("mary", "age", "adult").validate()
+
+    def test_empty_user_rejected(self):
+        with pytest.raises(SchemaError):
+            Demographic("", "age", "adult").validate()
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Demographic("mary", "", "adult").validate()
+
+    def test_empty_value_allowed(self):
+        Demographic("mary", "age", "").validate()  # normalised later
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("4", 4.0), (" 4.5 ", 4.5), ("-2", -2.0), ("1e3", 1000.0), ("0", 0.0)],
+    )
+    def test_numeric(self, text, expected):
+        assert parse_value(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "  ", "abc", "nan", "inf", "-inf", "4..2"])
+    def test_unusable_returns_none(self, text):
+        assert parse_value(text) is None
+
+
+class TestNormalizeLabel:
+    def test_strips_and_collapses_whitespace(self):
+        assert normalize_label("  New   York ") == "New York"
+
+    def test_empty_becomes_missing(self):
+        assert normalize_label("") == MISSING
+        assert normalize_label("   ") == MISSING
+
+    def test_plain_label_unchanged(self):
+        assert normalize_label("adult") == "adult"

@@ -1,0 +1,103 @@
+"""Unit tests for the stream abstraction and windowing."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import UserDataset
+from repro.data.schema import Action
+from repro.data.stream import (
+    StreamEvent,
+    replay_actions,
+    sliding_windows,
+    transaction_stream,
+    tumbling_windows,
+    vector_stream,
+)
+
+
+@pytest.fixture
+def dataset():
+    actions = [Action(f"u{i % 5}", f"i{i % 7}", float(i % 10)) for i in range(40)]
+    demographics = []
+    return UserDataset.from_records(actions, demographics)
+
+
+class TestReplay:
+    def test_timestamps_monotonic(self, dataset):
+        events = list(replay_actions(dataset, rate_per_second=100.0, seed=1))
+        times = [event.timestamp for event in events]
+        assert times == sorted(times)
+        assert len(events) == dataset.n_actions
+
+    def test_replay_preserves_multiset_of_actions(self, dataset):
+        events = list(replay_actions(dataset, seed=2))
+        replayed = sorted((e.action.user, e.action.item, e.action.value) for e in events)
+        original = sorted(
+            (
+                dataset.users.label(int(u)),
+                dataset.items.label(int(i)),
+                float(v),
+            )
+            for u, i, v in zip(
+                dataset.action_user, dataset.action_item, dataset.action_value
+            )
+        )
+        assert replayed == original
+
+    def test_deterministic(self, dataset):
+        first = [e.action for e in replay_actions(dataset, seed=3)]
+        second = [e.action for e in replay_actions(dataset, seed=3)]
+        assert first == second
+
+    def test_rate_scales_duration(self, dataset):
+        fast = list(replay_actions(dataset, rate_per_second=1000.0, seed=4))
+        slow = list(replay_actions(dataset, rate_per_second=10.0, seed=4))
+        assert slow[-1].timestamp > fast[-1].timestamp
+
+
+class TestWindows:
+    def _stream(self, times):
+        return [
+            StreamEvent(t, Action("u", "i", 1.0)) for t in times
+        ]
+
+    def test_tumbling_partitions(self):
+        windows = list(tumbling_windows(self._stream([0.1, 0.2, 1.5, 2.2]), 1.0))
+        assert [len(w) for w in windows] == [2, 1, 1]
+
+    def test_tumbling_skips_empty_windows(self):
+        windows = list(tumbling_windows(self._stream([0.1, 5.0]), 1.0))
+        assert [len(w) for w in windows] == [1, 1]
+
+    def test_tumbling_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            list(tumbling_windows(iter([]), 0.0))
+
+    def test_tumbling_empty_stream(self):
+        assert list(tumbling_windows(iter([]), 1.0)) == []
+
+    def test_sliding_overlap(self):
+        windows = list(
+            sliding_windows(self._stream([0.1, 0.6, 1.1, 1.6, 2.1]), 1.0, 0.5)
+        )
+        assert len(windows) >= 2
+        # Every window's events span at most the window width.
+        for window in windows:
+            if window:
+                assert window[-1].timestamp - window[0].timestamp <= 1.0 + 1e-9
+
+    def test_sliding_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            list(sliding_windows(iter([]), 1.0, 0.0))
+
+
+class TestDerivedStreams:
+    def test_transaction_stream_yields_all_users(self, dataset):
+        transactions = list(transaction_stream(dataset, seed=0, min_item_support=1))
+        assert len(transactions) == dataset.n_users
+
+    def test_vector_stream_applies_featurizer(self, dataset):
+        vectors = list(
+            vector_stream(dataset, lambda ds, u: np.array([float(u)]), shuffle=False)
+        )
+        assert [float(v[0]) for v in vectors] == list(range(dataset.n_users))

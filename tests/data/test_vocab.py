@@ -1,0 +1,82 @@
+"""Unit tests for the label <-> code mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.vocab import Vocab
+
+
+class TestVocabBasics:
+    def test_empty(self):
+        vocab = Vocab()
+        assert len(vocab) == 0
+        assert "x" not in vocab
+
+    def test_add_assigns_dense_codes(self):
+        vocab = Vocab()
+        assert vocab.add("a") == 0
+        assert vocab.add("b") == 1
+        assert vocab.add("c") == 2
+
+    def test_add_is_idempotent(self):
+        vocab = Vocab()
+        assert vocab.add("a") == 0
+        assert vocab.add("a") == 0
+        assert len(vocab) == 1
+
+    def test_constructor_seeds_labels(self):
+        vocab = Vocab(["x", "y", "x"])
+        assert len(vocab) == 2
+        assert vocab.code("x") == 0
+        assert vocab.code("y") == 1
+
+    def test_code_raises_for_unknown(self):
+        with pytest.raises(KeyError):
+            Vocab().code("nope")
+
+    def test_get_returns_default(self):
+        assert Vocab().get("nope") == -1
+        assert Vocab().get("nope", -7) == -7
+
+    def test_label_roundtrip(self):
+        vocab = Vocab(["alpha", "beta"])
+        assert vocab.label(vocab.code("beta")) == "beta"
+
+    def test_label_negative_raises(self):
+        with pytest.raises(IndexError):
+            Vocab(["a"]).label(-1)
+
+    def test_label_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            Vocab(["a"]).label(5)
+
+    def test_iteration_in_code_order(self):
+        vocab = Vocab(["c", "a", "b"])
+        assert list(vocab) == ["c", "a", "b"]
+        assert vocab.labels() == ["c", "a", "b"]
+
+    def test_labels_returns_copy(self):
+        vocab = Vocab(["a"])
+        vocab.labels().append("tampered")
+        assert len(vocab) == 1
+
+    def test_equality(self):
+        assert Vocab(["a", "b"]) == Vocab(["a", "b"])
+        assert Vocab(["a", "b"]) != Vocab(["b", "a"])
+
+    def test_repr_mentions_size(self):
+        assert "2 labels" in repr(Vocab(["a", "b"]))
+
+
+class TestVocabProperties:
+    @given(st.lists(st.text(min_size=1, max_size=8)))
+    def test_roundtrip_property(self, labels):
+        vocab = Vocab(labels)
+        for label in labels:
+            assert vocab.label(vocab.code(label)) == label
+
+    @given(st.lists(st.text(min_size=1, max_size=8), unique=True))
+    def test_codes_are_dense_and_ordered(self, labels):
+        vocab = Vocab(labels)
+        assert [vocab.code(label) for label in labels] == list(range(len(labels)))

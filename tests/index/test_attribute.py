@@ -1,0 +1,45 @@
+"""Secondary indexes: token -> groups and user -> groups."""
+
+import numpy as np
+import pytest
+
+from repro.index.attribute import AttributeIndex
+
+
+@pytest.fixture
+def index():
+    return AttributeIndex(
+        descriptions=[
+            ("gender=female", "topic=ir"),
+            ("gender=female",),
+            ("topic=db",),
+        ],
+        memberships=[np.array([0, 1]), np.array([1, 2]), np.array([3])],
+    )
+
+
+class TestAttributeIndex:
+    def test_groups_with_token(self, index):
+        assert index.groups_with_token("gender=female") == [0, 1]
+        assert index.groups_with_token("topic=db") == [2]
+
+    def test_unknown_token_empty(self, index):
+        assert index.groups_with_token("nope") == []
+
+    def test_groups_of_user(self, index):
+        assert index.groups_of_user(1) == [0, 1]
+        assert index.groups_of_user(3) == [2]
+
+    def test_unknown_user_empty(self, index):
+        assert index.groups_of_user(99) == []
+
+    def test_tokens_sorted(self, index):
+        assert index.tokens() == ["gender=female", "topic=db", "topic=ir"]
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeIndex([("a",)], [])
+
+    def test_returns_copies(self, index):
+        index.groups_with_token("gender=female").append(99)
+        assert index.groups_with_token("gender=female") == [0, 1]

@@ -1,0 +1,107 @@
+"""The partial inverted similarity index: prefix property and lookups."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.similarity import jaccard
+from repro.index.inverted import SimilarityIndex
+
+memberships_strategy = st.lists(
+    st.sets(st.integers(min_value=0, max_value=40), min_size=1, max_size=15).map(
+        lambda users: np.asarray(sorted(users), dtype=np.int64)
+    ),
+    min_size=2,
+    max_size=25,
+)
+
+
+def make_groups(seed=0, count=40, universe=150):
+    rng = np.random.default_rng(seed)
+    return [
+        np.unique(rng.choice(universe, size=int(rng.integers(3, 25))))
+        for _ in range(count)
+    ]
+
+
+class TestConstruction:
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            SimilarityIndex([], 10, materialize_fraction=0.0)
+        with pytest.raises(ValueError):
+            SimilarityIndex([], 10, materialize_fraction=1.5)
+
+    def test_empty_space(self):
+        index = SimilarityIndex([], 10)
+        assert index.n_groups == 0
+        assert index.memory_entries() == 0
+
+    def test_single_group_has_no_neighbors(self):
+        index = SimilarityIndex([np.array([0, 1])], 10)
+        assert index.neighbors(0) == []
+
+    def test_disjoint_groups_not_in_prefix(self):
+        index = SimilarityIndex(
+            [np.array([0, 1]), np.array([5, 6])], 10, materialize_fraction=1.0
+        )
+        assert index.neighbors(0) == []  # zero similarity = no edge (§II)
+
+
+class TestSimilarity:
+    def test_matches_jaccard(self):
+        groups = make_groups(seed=1)
+        index = SimilarityIndex(groups, 150)
+        for left in range(0, len(groups), 7):
+            for right in range(0, len(groups), 5):
+                assert index.similarity(left, right) == pytest.approx(
+                    1.0 if left == right else jaccard(groups[left], groups[right])
+                )
+
+
+class TestPrefixProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(memberships_strategy, st.sampled_from([0.05, 0.1, 0.3, 1.0]))
+    def test_prefix_of_exact_ranking(self, memberships, fraction):
+        index = SimilarityIndex(memberships, 41, materialize_fraction=fraction)
+        for gid in range(len(memberships)):
+            prefix = index.materialized_neighbors(gid)
+            exact = index.exact_neighbors(gid)
+            assert [
+                (n.group, pytest.approx(n.similarity)) for n in prefix
+            ] == [(n.group, pytest.approx(n.similarity)) for n in exact[: len(prefix)]]
+
+    @settings(max_examples=30, deadline=None)
+    @given(memberships_strategy)
+    def test_exact_ranking_sorted_desc(self, memberships):
+        index = SimilarityIndex(memberships, 41)
+        for gid in range(len(memberships)):
+            ranking = index.exact_neighbors(gid)
+            similarities = [n.similarity for n in ranking]
+            assert similarities == sorted(similarities, reverse=True)
+            assert all(s > 0 for s in similarities)
+
+
+class TestNeighborLookups:
+    def test_neighbors_within_prefix(self):
+        groups = make_groups(seed=2)
+        index = SimilarityIndex(groups, 150, materialize_fraction=0.2)
+        prefix_length = index.prefix_length(0)
+        assert len(index.neighbors(0, prefix_length)) == prefix_length
+
+    def test_neighbors_fall_back_to_exact_beyond_prefix(self):
+        groups = make_groups(seed=3)
+        index = SimilarityIndex(groups, 150, materialize_fraction=0.05)
+        deep = index.neighbors(0, len(groups) - 1)
+        exact = index.exact_neighbors(0)
+        assert [n.group for n in deep] == [n.group for n in exact[: len(deep)]]
+
+    def test_memory_entries_scale_with_fraction(self):
+        groups = make_groups(seed=4, count=60)
+        small = SimilarityIndex(groups, 150, materialize_fraction=0.05)
+        large = SimilarityIndex(groups, 150, materialize_fraction=0.5)
+        assert small.memory_entries() < large.memory_entries()
+
+    def test_repr(self):
+        index = SimilarityIndex(make_groups(), 150)
+        assert "10%" in repr(index)

@@ -1,0 +1,64 @@
+"""MinHash/LSH: estimator accuracy and candidate generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import jaccard
+from repro.index.minhash import MinHashConfig, MinHashIndex
+
+
+def make_groups(seed=0, count=50, universe=300):
+    rng = np.random.default_rng(seed)
+    return [
+        np.unique(rng.choice(universe, size=int(rng.integers(5, 60))))
+        for _ in range(count)
+    ]
+
+
+class TestMinHash:
+    def test_identical_sets_estimate_one(self):
+        members = np.array([1, 5, 9])
+        index = MinHashIndex([members, members.copy()])
+        assert index.estimated_similarity(0, 1) == pytest.approx(1.0)
+
+    def test_disjoint_sets_estimate_near_zero(self):
+        index = MinHashIndex(
+            [np.arange(0, 50), np.arange(1000, 1050)],
+            MinHashConfig(bands=32, rows_per_band=4),
+        )
+        assert index.estimated_similarity(0, 1) < 0.1
+
+    def test_estimator_unbiased_on_average(self):
+        groups = make_groups(seed=1)
+        index = MinHashIndex(groups, MinHashConfig(bands=32, rows_per_band=4))
+        errors = []
+        for left in range(0, 50, 3):
+            for right in range(1, 50, 7):
+                truth = jaccard(groups[left], groups[right])
+                errors.append(index.estimated_similarity(left, right) - truth)
+        assert abs(float(np.mean(errors))) < 0.03  # unbiased
+        assert float(np.std(errors)) < 0.12  # 128 hashes -> ~1/sqrt(128)
+
+    def test_candidates_catch_similar_pairs(self):
+        rng = np.random.default_rng(2)
+        base = np.unique(rng.choice(300, size=60))
+        near_duplicate = base[:-3]  # ~95% Jaccard
+        groups = [base, near_duplicate] + make_groups(seed=3, count=20)
+        index = MinHashIndex(groups)
+        assert 1 in index.candidates(0)
+
+    def test_neighbors_sorted_by_estimate(self):
+        index = MinHashIndex(make_groups(seed=4))
+        neighbors = index.neighbors(0, k=5)
+        estimates = [similarity for _, similarity in neighbors]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_deterministic_given_seed(self):
+        groups = make_groups(seed=5)
+        first = MinHashIndex(groups, MinHashConfig(seed=7))
+        second = MinHashIndex(groups, MinHashConfig(seed=7))
+        assert np.array_equal(first.signatures, second.signatures)
+
+    def test_empty_group_handled(self):
+        index = MinHashIndex([np.array([], dtype=np.int64), np.array([1, 2])])
+        assert index.estimated_similarity(0, 1) <= 1.0  # no crash

@@ -1,0 +1,73 @@
+"""Smoke: every experiment driver produces its report (reduced scales).
+
+The benchmarks run the drivers at full scale; these tests only assert the
+drivers execute and their headline shape holds.
+"""
+
+import pytest
+
+from repro.experiments.group_space import run_group_space
+from repro.experiments.latency import run_latency
+from repro.experiments.pipeline import run_pipeline
+from repro.experiments.projection_quality import run_projection_quality
+from repro.experiments.screenshot import run_screenshot
+from repro.experiments.simpson_guard import run_simpson_guard
+from repro.experiments.stats_drilldown import run_stats_drilldown
+
+
+class TestDrivers:
+    def test_f1_pipeline_stages(self):
+        report = run_pipeline(n_authors=250)
+        stages = [row["stage"] for row in report.rows]
+        assert len(stages) == 5
+        assert any("ETL" in stage for stage in stages)
+        assert any("exploration" in stage for stage in stages)
+
+    def test_f2_screenshot_has_all_panels(self):
+        report, dashboard, svg = run_screenshot()
+        panels = {row["panel"] for row in report.rows}
+        assert panels == {"GROUPVIZ", "CONTEXT", "STATS", "HISTORY", "MEMO"}
+        for panel in panels:
+            assert panel in dashboard
+        assert svg.count("<circle") >= 1
+
+    def test_c1_latency_rows(self):
+        report = run_latency(scales=(150, 300), budget_ms=20.0)
+        assert len(report.rows) == 2
+        for row in report.rows:
+            assert row["backtrack_ms"] < 50.0
+            assert row["memo_ms"] < 50.0
+
+    def test_c6_group_space_growth(self):
+        report = run_group_space(max_attributes=3)
+        counts = [row["closed_groups"] for row in report.rows]
+        assert counts == sorted(counts)  # monotone growth with attributes
+        assert report.rows[2]["conjunctive_bound"] == 215
+
+    def test_c8_drilldown_reproduces_paper_numbers(self):
+        report = run_stats_drilldown()
+        by_measure = {row["measure"]: row for row in report.rows}
+        share = by_measure["male share"]["measured"]
+        assert abs(float(share.rstrip("%")) - 62.0) < 6.0
+        assert by_measure[
+            "brushed members (female + extremely active)"
+        ]["measured"] == 1
+
+    def test_c11_lda_beats_pca(self):
+        report = run_projection_quality()
+        lda_row = next(row for row in report.rows if "LDA" in row["method"])
+        pca_row = next(row for row in report.rows if "PCA" in row["method"])
+        assert lda_row["fisher_ratio"] > pca_row["fisher_ratio"]
+
+    def test_c12_guard_flags_paradox(self):
+        report = run_simpson_guard()
+        verdict = next(row for row in report.rows if row["view"] == "guard verdict")
+        assert "PARADOX" in str(verdict["winner"])
+        control = next(row for row in report.rows if "control" in row["view"])
+        assert "clean" in str(control["winner"])
+
+    def test_report_formatting(self):
+        report = run_simpson_guard()
+        text = report.formatted()
+        assert text.startswith("[C12]")
+        assert "paper:" in text

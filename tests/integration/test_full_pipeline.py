@@ -1,0 +1,90 @@
+"""Integration: the complete Fig. 1 flow, CSV to exploration, per backend."""
+
+import numpy as np
+import pytest
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.graph import build_group_graph, navigation_summary
+from repro.core.session import ExplorationSession, SessionConfig
+from repro.data.etl import load_dataset
+from repro.data.generators.bookcrossing import BookCrossingConfig, generate_bookcrossing
+from repro.index.inverted import SimilarityIndex
+from repro.viz.stats import StatsView
+
+
+@pytest.fixture(scope="module")
+def csv_world(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bx")
+    data = generate_bookcrossing(
+        BookCrossingConfig(n_users=400, n_items=250, n_ratings=3500, seed=19)
+    )
+    data.dataset.to_csv(directory)
+    result = load_dataset(
+        directory / "actions.csv",
+        directory / "demographics.csv",
+        name="bx-from-csv",
+        value_range=(1, 10),
+    )
+    return result.dataset
+
+
+class TestOfflineToOnline:
+    def test_etl_then_discovery_then_session(self, csv_world):
+        space = discover_groups(
+            csv_world,
+            DiscoveryConfig(method="lcm", min_support=0.04, max_description=3,
+                            min_item_support=8),
+        )
+        assert len(space) > 10
+
+        index = SimilarityIndex(space.memberships(), csv_world.n_users, 0.10)
+        session = ExplorationSession(space, index, SessionConfig(k=5))
+        shown = session.start()
+        assert shown
+        for _ in range(4):
+            shown = session.click(shown[0].gid)
+            assert shown
+            assert session.last_selection.elapsed_ms < 2_000
+
+        # Drill-down on the final display.
+        stats = StatsView(csv_world, session.drill_down(shown[0].gid))
+        histograms = stats.histograms()
+        assert "age" in histograms and "favorite_genre" in histograms
+
+    def test_group_graph_navigable(self, csv_world):
+        space = discover_groups(
+            csv_world,
+            DiscoveryConfig(method="lcm", min_support=0.05, max_description=2,
+                            min_item_support=8),
+        )
+        stats = navigation_summary(build_group_graph(space))
+        # The space must be walkable: one dominant component.
+        assert stats["largest_component"] >= 0.5 * stats["nodes"]
+
+    @pytest.mark.parametrize("method", ["apriori", "birch"])
+    def test_alternative_backends_explore_end_to_end(self, csv_world, method):
+        space = discover_groups(
+            csv_world,
+            DiscoveryConfig(method=method, min_support=0.05, max_description=3,
+                            min_item_support=8),
+        )
+        session = ExplorationSession(space, config=SessionConfig(k=4))
+        shown = session.start()
+        shown = session.click(shown[0].gid)
+        assert shown
+
+    def test_backtrack_round_trip_through_real_session(self, csv_world):
+        space = discover_groups(
+            csv_world,
+            DiscoveryConfig(method="lcm", min_support=0.05, max_description=3,
+                            min_item_support=8),
+        )
+        session = ExplorationSession(space, config=SessionConfig(k=5))
+        shown = session.start()
+        trail = [session.displayed_gids()]
+        for _ in range(3):
+            shown = session.click(shown[0].gid)
+            trail.append(session.displayed_gids())
+        for step_id in range(len(trail)):
+            restored = session.backtrack(step_id)
+            assert [g.gid for g in restored] == trail[step_id]

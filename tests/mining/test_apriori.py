@@ -1,0 +1,76 @@
+"""Apriori correctness and its closure-equivalence with LCM."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.apriori import AprioriConfig, close_itemsets, mine_frequent
+from repro.mining.itemsets import TransactionDB
+from repro.mining.lcm import LCMConfig, mine_closed
+
+transactions_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=6), max_size=5),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestAprioriKnownCases:
+    def test_singletons(self):
+        db = TransactionDB([[0], [0], [1]])
+        frequent = mine_frequent(db, AprioriConfig(min_support=2))
+        assert ((0,), 2) in {(f.items, f.support) for f in frequent}
+        assert all(f.items != (1,) for f in frequent)
+
+    def test_pairs_from_join(self):
+        db = TransactionDB([[0, 1, 2], [0, 1], [0, 2]])
+        frequent = mine_frequent(db, AprioriConfig(min_support=2))
+        pairs = {f.items for f in frequent if len(f.items) == 2}
+        assert pairs == {(0, 1), (0, 2)}
+
+    def test_empty_itemset_reported_when_db_frequent(self):
+        db = TransactionDB([[0], [1]])
+        frequent = mine_frequent(db, AprioriConfig(min_support=2))
+        assert ((), 2) in {(f.items, f.support) for f in frequent}
+
+    def test_max_items(self):
+        db = TransactionDB([[0, 1, 2]] * 3)
+        frequent = mine_frequent(db, AprioriConfig(min_support=2, max_items=2))
+        assert max(len(f.items) for f in frequent) == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AprioriConfig(min_support=0)
+
+
+class TestAprioriProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(transactions_strategy, st.integers(min_value=1, max_value=3))
+    def test_downward_closure(self, transactions, min_support):
+        """Every subset of a frequent itemset is frequent (and reported)."""
+        db = TransactionDB(transactions)
+        frequent = {f.items for f in mine_frequent(db, AprioriConfig(min_support=min_support))}
+        for items in frequent:
+            for drop in range(len(items)):
+                subset = items[:drop] + items[drop + 1 :]
+                assert subset in frequent
+
+    @settings(max_examples=50, deadline=None)
+    @given(transactions_strategy, st.integers(min_value=1, max_value=3))
+    def test_supports_exact(self, transactions, min_support):
+        db = TransactionDB(transactions)
+        for itemset in mine_frequent(db, AprioriConfig(min_support=min_support)):
+            assert itemset.support == db.support_of_itemset(itemset.items)
+
+    @settings(max_examples=50, deadline=None)
+    @given(transactions_strategy, st.integers(min_value=1, max_value=3))
+    def test_closing_apriori_equals_lcm(self, transactions, min_support):
+        """close(frequent itemsets) must be exactly the closed itemsets."""
+        db = TransactionDB(transactions)
+        closed_via_apriori = close_itemsets(
+            db, mine_frequent(db, AprioriConfig(min_support=min_support))
+        )
+        closed_via_lcm = mine_closed(db, LCMConfig(min_support=min_support))
+        assert [(c.items, c.support) for c in closed_via_apriori] == [
+            (c.items, c.support) for c in closed_via_lcm
+        ]

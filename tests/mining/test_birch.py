@@ -1,0 +1,125 @@
+"""BIRCH: CF additivity, threshold behaviour, clustering quality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.birch import Birch, ClusteringFeature
+
+vectors = st.lists(
+    st.lists(
+        st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=2, max_size=2
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestClusteringFeature:
+    def test_of_point(self):
+        cf = ClusteringFeature.of_point(np.array([3.0, 4.0]))
+        assert cf.n == 1
+        assert cf.squared_sum == pytest.approx(25.0)
+        assert cf.radius == pytest.approx(0.0)
+
+    def test_centroid(self):
+        cf = ClusteringFeature.of_point(np.array([2.0, 0.0]))
+        cf.add(ClusteringFeature.of_point(np.array([4.0, 0.0])))
+        assert cf.centroid.tolist() == [3.0, 0.0]
+
+    def test_radius_two_points(self):
+        cf = ClusteringFeature.of_point(np.array([0.0, 0.0]))
+        cf.add(ClusteringFeature.of_point(np.array([2.0, 0.0])))
+        assert cf.radius == pytest.approx(1.0)  # RMS distance to centroid
+
+    def test_distance(self):
+        a = ClusteringFeature.of_point(np.array([0.0, 0.0]))
+        b = ClusteringFeature.of_point(np.array([3.0, 4.0]))
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(vectors, vectors)
+    def test_additivity_theorem(self, left_points, right_points):
+        """CF(P1 ∪ P2) = CF(P1) + CF(P2), the paper's Theorem."""
+        def summarise(points):
+            cf = ClusteringFeature.empty(2)
+            for point in points:
+                cf.add(ClusteringFeature.of_point(np.asarray(point)))
+            return cf
+
+        merged = summarise(left_points).merged_with(summarise(right_points))
+        direct = summarise(left_points + right_points)
+        assert merged.n == direct.n
+        assert np.allclose(merged.linear_sum, direct.linear_sum)
+        assert merged.squared_sum == pytest.approx(direct.squared_sum, rel=1e-9)
+
+
+class TestBirchTree:
+    def test_absorption_respects_threshold(self):
+        model = Birch(threshold=1.0, branching_factor=4)
+        model.fit(np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]]))
+        for subcluster in model.subclusters():
+            assert subcluster.radius <= 1.0 + 1e-9
+
+    def test_tight_points_absorbed_into_one_subcluster(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(0, 0.05, size=(50, 2))
+        model = Birch(threshold=1.0, branching_factor=8).fit(points)
+        assert len(model.subclusters()) == 1
+        assert model.subclusters()[0].n == 50
+
+    def test_splits_create_more_subclusters(self):
+        points = np.array([[float(i * 10), 0.0] for i in range(20)])
+        model = Birch(threshold=0.5, branching_factor=3).fit(points)
+        assert len(model.subclusters()) == 20  # nothing absorbable
+
+    def test_subcluster_counts_sum_to_n(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(0, 2.0, size=(200, 3))
+        model = Birch(threshold=1.0, branching_factor=10).fit(points)
+        assert sum(cf.n for cf in model.subclusters()) == 200
+
+    def test_well_separated_blobs_recovered(self):
+        rng = np.random.default_rng(2)
+        blobs = [
+            rng.normal((0, 0), 0.3, size=(60, 2)),
+            rng.normal((8, 0), 0.3, size=(60, 2)),
+            rng.normal((0, 8), 0.3, size=(60, 2)),
+        ]
+        points = np.vstack(blobs)
+        model = Birch(threshold=1.5, branching_factor=10, n_clusters=3).fit(points)
+        labels = model.predict(points)
+        # Each blob must map to exactly one label, all three distinct.
+        blob_labels = [set(labels[i * 60 : (i + 1) * 60]) for i in range(3)]
+        assert all(len(block) == 1 for block in blob_labels)
+        assert len(set().union(*blob_labels)) == 3
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Birch().predict(np.array([[0.0, 0.0]]))
+
+    def test_dimension_mismatch_raises(self):
+        model = Birch()
+        model.partial_fit(np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            model.partial_fit(np.array([0.0, 0.0, 0.0]))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Birch(threshold=-1)
+        with pytest.raises(ValueError):
+            Birch(branching_factor=1)
+
+    def test_partial_fit_is_incremental(self):
+        model = Birch(threshold=1.0, branching_factor=5)
+        rng = np.random.default_rng(3)
+        for point in rng.normal(0, 3.0, size=(100, 2)):
+            model.partial_fit(point)
+        assert sum(cf.n for cf in model.subclusters()) == 100
+
+    def test_no_global_phase_without_n_clusters(self):
+        points = np.array([[0.0, 0.0], [10.0, 10.0]])
+        model = Birch(threshold=0.5).fit(points)
+        labels = model.predict(points)
+        assert labels[0] != labels[1]

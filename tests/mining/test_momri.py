@@ -1,0 +1,162 @@
+"""α-MOMRI: dominance semantics, archive invariants, search behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.itemsets import FrequentItemset
+from repro.mining.momri import (
+    MOMRIConfig,
+    ParetoArchive,
+    alpha_dominates,
+    momri,
+)
+
+
+def group(items, tids):
+    tids = np.asarray(sorted(set(tids)), dtype=np.int64)
+    return FrequentItemset(tuple(items), len(tids), tids)
+
+
+class TestAlphaDominance:
+    def test_strict_dominance(self):
+        assert alpha_dominates((0.9, 0.9), (0.5, 0.5), alpha=0.0)
+
+    def test_equal_vectors_do_not_dominate_at_alpha_zero(self):
+        assert not alpha_dominates((0.5, 0.5), (0.5, 0.5), alpha=0.0)
+
+    def test_tradeoff_is_incomparable(self):
+        assert not alpha_dominates((0.9, 0.1), (0.1, 0.9), alpha=0.0)
+        assert not alpha_dominates((0.1, 0.9), (0.9, 0.1), alpha=0.0)
+
+    def test_alpha_relaxation_collapses_near_duplicates(self):
+        # 0.95 vs 1.0: within 10% tolerance, so it alpha-dominates.
+        assert alpha_dominates((0.95, 0.95), (1.0, 1.0), alpha=0.1)
+        assert not alpha_dominates((0.95, 0.95), (1.0, 1.0), alpha=0.01)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.tuples(st.floats(0, 1), st.floats(0, 1)),
+        st.tuples(st.floats(0, 1), st.floats(0, 1)),
+    )
+    def test_no_mutual_strict_dominance(self, left, right):
+        if alpha_dominates(left, right, 0.0):
+            assert not alpha_dominates(right, left, 0.0)
+
+
+class TestParetoArchive:
+    def test_offer_keeps_non_dominated(self):
+        archive = ParetoArchive(("a", "b"), alpha=0.0)
+        from repro.mining.momri import MOMRISolution
+
+        s1 = MOMRISolution((), {"a": 0.9, "b": 0.1})
+        s2 = MOMRISolution((), {"a": 0.1, "b": 0.9})
+        assert archive.offer((0,), s1)
+        assert archive.offer((1,), s2)
+        assert len(archive) == 2
+
+    def test_offer_rejects_dominated(self):
+        archive = ParetoArchive(("a", "b"), alpha=0.0)
+        from repro.mining.momri import MOMRISolution
+
+        archive.offer((0,), MOMRISolution((), {"a": 0.9, "b": 0.9}))
+        assert not archive.offer((1,), MOMRISolution((), {"a": 0.5, "b": 0.5}))
+        assert len(archive) == 1
+
+    def test_offer_evicts_newly_dominated(self):
+        archive = ParetoArchive(("a", "b"), alpha=0.0)
+        from repro.mining.momri import MOMRISolution
+
+        archive.offer((0,), MOMRISolution((), {"a": 0.5, "b": 0.5}))
+        assert archive.offer((1,), MOMRISolution((), {"a": 0.9, "b": 0.9}))
+        assert len(archive) == 1
+
+    def test_archive_mutual_non_dominance_invariant(self):
+        rng = np.random.default_rng(0)
+        archive = ParetoArchive(("a", "b", "c"), alpha=0.02)
+        from repro.mining.momri import MOMRISolution
+
+        for key in range(200):
+            vector = rng.random(3)
+            archive.offer(
+                (key,),
+                MOMRISolution((), {"a": vector[0], "b": vector[1], "c": vector[2]}),
+            )
+        solutions = archive.solutions()
+        for left in solutions:
+            for right in solutions:
+                if left is right:
+                    continue
+                assert not alpha_dominates(
+                    left.vector(("a", "b", "c")),
+                    right.vector(("a", "b", "c")),
+                    0.02,
+                )
+
+
+class TestMOMRISearch:
+    def _candidates(self):
+        return [
+            group([0], range(0, 10)),
+            group([1], range(5, 15)),
+            group([2], range(10, 20)),
+            group([3], range(0, 20, 2)),
+            group([4], range(1, 20, 2)),
+            group([5], range(15, 25)),
+        ]
+
+    def test_front_solutions_have_k_groups(self):
+        front = momri(self._candidates(), 25, MOMRIConfig(k=3, budget_evaluations=200))
+        assert front
+        for solution in front:
+            assert len(solution.groups) == 3
+
+    def test_objectives_in_unit_range(self):
+        front = momri(self._candidates(), 25, MOMRIConfig(k=2, budget_evaluations=200))
+        for solution in front:
+            for value in solution.objectives.values():
+                assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_homogeneity_objective_enabled_by_values(self):
+        values = np.linspace(1, 10, 25)
+        front = momri(
+            self._candidates(),
+            25,
+            MOMRIConfig(k=2, budget_evaluations=150),
+            values=values,
+        )
+        assert all("homogeneity" in solution.objectives for solution in front)
+
+    def test_deterministic_given_seed(self):
+        config = MOMRIConfig(k=3, budget_evaluations=300, seed=9)
+        first = momri(self._candidates(), 25, config)
+        second = momri(self._candidates(), 25, config)
+        assert [s.objectives for s in first] == [s.objectives for s in second]
+
+    def test_insufficient_candidates_returns_empty(self):
+        assert momri(self._candidates()[:2], 25, MOMRIConfig(k=5)) == []
+
+    def test_exactly_k_candidates_skips_local_search(self):
+        front = momri(self._candidates()[:3], 25, MOMRIConfig(k=3, budget_evaluations=50))
+        assert len(front) == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MOMRIConfig(k=0)
+        with pytest.raises(ValueError):
+            MOMRIConfig(alpha=-0.1)
+
+    def test_disjoint_groups_dominate_on_diversity(self):
+        # Three mutually disjoint groups covering everything: diversity = 1,
+        # coverage = 1 — must be the single archive entry at alpha=0.
+        candidates = [
+            group([0], range(0, 10)),
+            group([1], range(10, 20)),
+            group([2], range(20, 30)),
+            group([3], range(0, 15)),  # overlapping alternative
+        ]
+        front = momri(candidates, 30, MOMRIConfig(k=3, alpha=0.0, budget_evaluations=500))
+        best = front[0]
+        assert best.objectives["diversity"] == pytest.approx(1.0)
+        assert best.objectives["coverage"] == pytest.approx(1.0)

@@ -1,0 +1,109 @@
+"""StreamMiner: the Lossy-Counting guarantees and memory bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.streammining import StreamMiner
+
+
+class TestConfig:
+    def test_support_range(self):
+        with pytest.raises(ValueError):
+            StreamMiner(support=0.0)
+        with pytest.raises(ValueError):
+            StreamMiner(support=1.5)
+
+    def test_epsilon_defaults_to_tenth(self):
+        miner = StreamMiner(support=0.2)
+        assert miner.epsilon == pytest.approx(0.02)
+
+    def test_epsilon_cannot_exceed_support(self):
+        with pytest.raises(ValueError):
+            StreamMiner(support=0.1, epsilon=0.2)
+
+    def test_max_size_validated(self):
+        with pytest.raises(ValueError):
+            StreamMiner(max_itemset_size=0)
+
+
+class TestSingletonGuarantee:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=9), max_size=4),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_undercount_bounded_by_epsilon_n(self, transactions):
+        """Lossy counting: true_count - estimate <= epsilon * N, always."""
+        miner = StreamMiner(support=0.3, epsilon=0.1, max_itemset_size=1)
+        true_counts: dict[int, int] = {}
+        for transaction in transactions:
+            miner.add_transaction(transaction)
+            for token in set(transaction):
+                true_counts[token] = true_counts.get(token, 0) + 1
+        n = miner.n_transactions
+        for token, count in true_counts.items():
+            estimate = miner.estimated_count([token])
+            assert estimate <= count  # never overcounts
+            assert count - estimate <= miner.epsilon * n + 1  # bounded undercount
+
+    def test_no_false_negatives_for_clearly_frequent(self):
+        rng = np.random.default_rng(0)
+        miner = StreamMiner(support=0.4, epsilon=0.04, max_itemset_size=1)
+        for _ in range(1000):
+            transaction = [0] if rng.random() < 0.8 else [1]
+            miner.add_transaction(transaction)
+        reported = {itemset.items for itemset in miner.results()}
+        assert (0,) in reported
+
+    def test_infrequent_items_pruned(self):
+        miner = StreamMiner(support=0.5, epsilon=0.1, max_itemset_size=1)
+        # Token 7 appears once at the start, then never again.
+        miner.add_transaction([7])
+        for _ in range(200):
+            miner.add_transaction([0])
+        assert miner.estimated_count([7]) == 0  # pruned at a bucket boundary
+        reported = {itemset.items for itemset in miner.results()}
+        assert (7,) not in reported
+
+
+class TestItemsets:
+    def test_frequent_pair_promoted_and_reported(self):
+        miner = StreamMiner(support=0.3, epsilon=0.03, max_itemset_size=2)
+        rng = np.random.default_rng(1)
+        for _ in range(1500):
+            miner.add_transaction([0, 1] if rng.random() < 0.6 else [2])
+        reported = {itemset.items for itemset in miner.results()}
+        assert (0, 1) in reported
+
+    def test_memory_stays_bounded(self):
+        rng = np.random.default_rng(2)
+        miner = StreamMiner(support=0.05, epsilon=0.01, max_itemset_size=2)
+        peak = 0
+        for i in range(3000):
+            # Adversarial: a churn of rare tokens plus a stable hot pair.
+            transaction = [0, 1, 100 + (i % 500)]
+            miner.add_transaction(transaction)
+            peak = max(peak, miner.tracked_count())
+        # Bounded well below the 503-token universe squared.
+        assert peak < 5000
+
+    def test_counts_conservative_for_pairs(self):
+        miner = StreamMiner(support=0.2, epsilon=0.05, max_itemset_size=2)
+        true_pair = 0
+        for i in range(500):
+            miner.add_transaction([0, 1])
+            true_pair += 1
+        assert miner.estimated_count([0, 1]) <= true_pair
+
+    def test_results_empty_before_any_transaction(self):
+        assert StreamMiner().results() == []
+
+    def test_add_transactions_bulk(self):
+        miner = StreamMiner(support=0.5, max_itemset_size=1)
+        miner.add_transactions([[0], [0], [1]])
+        assert miner.n_transactions == 3

@@ -1,0 +1,137 @@
+"""Crossfilter engine: semantics and the incremental == naive invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.viz.crossfilter import Crossfilter
+
+
+@pytest.fixture
+def filtered():
+    cf = Crossfilter(8)
+    color = cf.dimension(
+        np.array(["r", "g", "b", "r", "g", "b", "r", "r"], dtype=object), "color"
+    )
+    size = cf.dimension(np.array([1.0, 2, 3, 4, 5, 6, 7, 8]), "size")
+    return cf, color, size, color.histogram(), size.histogram()
+
+
+class TestSemantics:
+    def test_no_filters_counts_everything(self, filtered):
+        cf, _, _, color_hist, _ = filtered
+        assert cf.count() == 8
+        assert color_hist.as_dict() == {"r": 4, "g": 2, "b": 2}
+
+    def test_filter_in(self, filtered):
+        cf, color, _, _, size_hist = filtered
+        color.filter_in({"r"})
+        assert cf.count() == 4
+        assert sum(size_hist.counts) == 4
+
+    def test_range_half_open(self, filtered):
+        cf, _, size, _, _ = filtered
+        size.filter_range(2.0, 4.0)  # keeps 2, 3; excludes 4
+        assert cf.count() == 2
+
+    def test_own_histogram_ignores_own_filter(self, filtered):
+        cf, color, _, color_hist, _ = filtered
+        color.filter_in({"r"})
+        # The color histogram still shows all colors (crossfilter rule).
+        assert color_hist.as_dict() == {"r": 4, "g": 2, "b": 2}
+
+    def test_other_histogram_reflects_filter(self, filtered):
+        cf, color, size, color_hist, _ = filtered
+        size.filter_range(0.0, 3.5)  # records 0,1,2: r, g, b
+        assert color_hist.as_dict() == {"r": 1, "g": 1, "b": 1}
+
+    def test_filters_combine_conjunctively(self, filtered):
+        cf, color, size, _, _ = filtered
+        color.filter_in({"r"})
+        size.filter_range(0.0, 5.0)
+        assert cf.count() == 2  # records 0 and 3
+
+    def test_filter_all_clears(self, filtered):
+        cf, color, _, _, _ = filtered
+        color.filter_in({"g"})
+        color.filter_all()
+        assert cf.count() == 8
+
+    def test_passing_indices(self, filtered):
+        cf, color, _, _, _ = filtered
+        color.filter_in({"b"})
+        assert cf.passing().tolist() == [2, 5]
+
+    def test_range_on_categorical_rejected(self, filtered):
+        _, color, _, _, _ = filtered
+        with pytest.raises(TypeError):
+            color.filter_range(0, 1)
+
+    def test_top_bottom(self, filtered):
+        cf, color, size, _, _ = filtered
+        color.filter_in({"r"})
+        assert size.top(2).tolist() == [7, 6]
+        assert size.bottom(1).tolist() == [0]
+
+    def test_filter_in_unknown_value_empties(self, filtered):
+        cf, color, _, _, _ = filtered
+        color.filter_in({"nope"})
+        assert cf.count() == 0
+
+    def test_dimension_length_validated(self):
+        cf = Crossfilter(3)
+        with pytest.raises(ValueError):
+            cf.dimension(np.array([1.0, 2.0]))
+
+    def test_histogram_created_after_filter_is_correct(self, filtered):
+        cf, color, size, _, _ = filtered
+        color.filter_in({"r"})
+        late_histogram = size.histogram()
+        assert np.array_equal(late_histogram.counts, late_histogram.recompute())
+
+
+brush_programs = st.lists(
+    st.one_of(
+        st.tuples(st.just("in"), st.integers(0, 2), st.sets(st.integers(0, 4), max_size=3)),
+        st.tuples(
+            st.just("range"),
+            st.integers(0, 2),
+            st.floats(-1, 6, allow_nan=False),
+            st.floats(-1, 6, allow_nan=False),
+        ),
+        st.tuples(st.just("clear"), st.integers(0, 2)),
+    ),
+    max_size=20,
+)
+
+
+class TestIncrementalInvariant:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 4)),
+            min_size=1,
+            max_size=40,
+        ),
+        brush_programs,
+    )
+    def test_incremental_equals_recompute(self, rows, program):
+        """After ANY brush program, every histogram equals a fresh rebuild."""
+        data = np.asarray(rows, dtype=np.float64)
+        cf = Crossfilter(len(rows))
+        dimensions = [cf.dimension(data[:, axis], f"d{axis}") for axis in range(3)]
+        histograms = [dimension.histogram() for dimension in dimensions]
+        for operation in program:
+            dimension = dimensions[operation[1]]
+            if operation[0] == "in":
+                dimension.filter_in({float(v) for v in operation[2]})
+            elif operation[0] == "range":
+                low, high = sorted((operation[2], operation[3]))
+                dimension.filter_range(low, high)
+            else:
+                dimension.filter_all()
+            for histogram in histograms:
+                assert np.array_equal(histogram.counts, histogram.recompute())
+            # Count never negative, never exceeds n.
+            assert 0 <= cf.count() <= len(rows)

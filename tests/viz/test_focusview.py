@@ -1,0 +1,78 @@
+"""Focus view composition and ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.viz.focusview import FocusView, build_focus_view, render_focus_ascii
+
+
+def two_blobs(seed=0, n=40):
+    rng = np.random.default_rng(seed)
+    features = np.vstack(
+        [rng.normal(0, 0.3, size=(n, 4)), rng.normal(5, 0.3, size=(n, 4))]
+    )
+    labels = np.array(["left"] * n + ["right"] * n)
+    return features, labels
+
+
+class TestBuildFocusView:
+    def test_supervised_uses_lda(self):
+        features, labels = two_blobs()
+        view = build_focus_view(features, np.arange(80), labels)
+        assert view.projection.method == "lda"
+        assert view.n_members == 80
+        assert view.silhouette > 0.5
+
+    def test_unsupervised_uses_pca(self):
+        features, _ = two_blobs(seed=1)
+        view = build_focus_view(features, np.arange(80))
+        assert view.projection.method == "pca"
+        assert set(view.labels.tolist()) == {""}
+
+    def test_coordinates_normalised(self):
+        features, labels = two_blobs(seed=2)
+        view = build_focus_view(features, np.arange(80), labels)
+        assert view.coordinates.min() >= 0.0
+        assert view.coordinates.max() <= 1.0
+
+    def test_alignment_validated(self):
+        features, labels = two_blobs()
+        with pytest.raises(ValueError):
+            build_focus_view(features, np.arange(5), labels)
+        with pytest.raises(ValueError):
+            build_focus_view(features, np.arange(80), labels[:5])
+
+    def test_member_ids_preserved(self):
+        features, labels = two_blobs(seed=3)
+        ids = np.arange(100, 180)
+        view = build_focus_view(features, ids, labels)
+        assert np.array_equal(view.member_ids, ids)
+
+
+class TestRenderFocusAscii:
+    def test_contains_glyphs_and_legend(self):
+        features, labels = two_blobs(seed=4)
+        view = build_focus_view(features, np.arange(80), labels)
+        text = render_focus_ascii(view)
+        assert "(o) left" in text
+        assert "(x) right" in text
+        assert "projection=lda" in text
+
+    def test_grid_size(self):
+        features, labels = two_blobs(seed=5)
+        view = build_focus_view(features, np.arange(80), labels)
+        lines = render_focus_ascii(view, width=30, height=8).splitlines()
+        grid = [line for line in lines if line.startswith("|")]
+        assert len(grid) == 8
+        assert all(len(line) == 32 for line in grid)
+
+    def test_separated_classes_occupy_different_regions(self):
+        features, labels = two_blobs(seed=6)
+        view = build_focus_view(features, np.arange(80), labels)
+        text = render_focus_ascii(view, width=40, height=10)
+        grid_lines = [line[1:-1] for line in text.splitlines() if line.startswith("|")]
+        columns_o = [line.find("o") for line in grid_lines if "o" in line]
+        columns_x = [line.find("x") for line in grid_lines if "x" in line]
+        assert columns_o and columns_x
+        # The two classes' glyphs cluster at opposite ends of the x axis.
+        assert abs(np.mean(columns_o) - np.mean(columns_x)) > 10

@@ -1,0 +1,123 @@
+"""Force layout and the GROUPVIZ scene model."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import UserDataset
+from repro.data.schema import Demographic
+from repro.viz.groupviz import build_scene
+from repro.viz.layout import (
+    LayoutConfig,
+    circle_radii,
+    force_layout,
+    overlap_count,
+)
+
+
+class TestLayout:
+    def test_radii_monotone_in_size(self):
+        radii = circle_radii(np.array([10, 40, 90]))
+        assert radii[0] < radii[1] < radii[2]
+
+    def test_radii_empty(self):
+        assert len(circle_radii(np.array([]))) == 0
+
+    def test_positions_inside_canvas(self):
+        positions, radii = force_layout(np.array([50, 30, 20, 10, 5]))
+        for position, radius in zip(positions, radii):
+            assert radius <= position[0] <= 1 - radius + 1e-9
+            assert radius <= position[1] <= 1 - radius + 1e-9
+
+    def test_no_overlaps_for_k7(self):
+        positions, radii = force_layout(np.array([100, 80, 60, 40, 30, 20, 10]))
+        assert overlap_count(positions, radii) == 0
+
+    def test_single_circle_centered(self):
+        positions, _ = force_layout(np.array([10]))
+        assert positions.tolist() == [[0.5, 0.5]]
+
+    def test_empty(self):
+        positions, radii = force_layout(np.array([]))
+        assert positions.shape == (0, 2)
+
+    def test_deterministic(self):
+        sizes = np.array([30, 20, 10])
+        first, _ = force_layout(sizes, config=LayoutConfig(seed=5))
+        second, _ = force_layout(sizes, config=LayoutConfig(seed=5))
+        assert np.allclose(first, second)
+
+    def test_similar_groups_land_closer(self):
+        sizes = np.array([20, 20, 20])
+        similarity = np.zeros((3, 3))
+        similarity[0, 1] = similarity[1, 0] = 0.9  # 0 and 1 attract
+        positions, _ = force_layout(sizes, similarity, LayoutConfig(seed=2))
+
+        def distance(a, b):
+            return float(np.sqrt(((positions[a] - positions[b]) ** 2).sum()))
+
+        assert distance(0, 1) < max(distance(0, 2), distance(1, 2))
+
+
+@pytest.fixture
+def dataset():
+    rows = []
+    for i in range(10):
+        rows.append(Demographic(f"u{i}", "gender", "female" if i < 6 else "male"))
+    return UserDataset.from_records([], rows)
+
+
+class TestScene:
+    def test_scene_shape(self, dataset):
+        scene = build_scene(
+            gids=[3, 7],
+            sizes=[6, 4],
+            labels=["girls", "boys"],
+            memberships=[np.arange(6), np.arange(6, 10)],
+            dataset=dataset,
+            color_by="gender",
+        )
+        assert scene.k == 2
+        assert scene.circles[0].gid == 3
+        assert scene.circles[0].size == 6
+        assert scene.circles[0].label == "girls"
+
+    def test_color_by_dominant_value(self, dataset):
+        scene = build_scene(
+            gids=[0],
+            sizes=[10],
+            labels=["all"],
+            memberships=[np.arange(10)],
+            dataset=dataset,
+            color_by="gender",
+        )
+        circle = scene.circles[0]
+        assert circle.color_value == "female"  # 6 of 10
+        assert circle.color_share == pytest.approx(0.6)
+        assert circle.color == scene.legend["female"]
+
+    def test_same_value_same_color(self, dataset):
+        scene = build_scene(
+            gids=[0, 1],
+            sizes=[6, 6],
+            labels=["a", "b"],
+            memberships=[np.arange(6), np.arange(6)],
+            dataset=dataset,
+            color_by="gender",
+        )
+        assert scene.circles[0].color == scene.circles[1].color
+        assert len(scene.legend) == 1
+
+    def test_no_color_attribute(self, dataset):
+        scene = build_scene(
+            gids=[0],
+            sizes=[5],
+            labels=["x"],
+            memberships=[np.arange(5)],
+            dataset=dataset,
+        )
+        assert scene.color_attribute is None
+        assert scene.legend == {}
+
+    def test_misaligned_inputs_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            build_scene([0], [1, 2], ["a"], [np.array([0])], dataset)

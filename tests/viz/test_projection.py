@@ -1,0 +1,101 @@
+"""LDA / PCA projections and separability scores."""
+
+import numpy as np
+import pytest
+
+from repro.viz.projection import (
+    fisher_separability,
+    lda_projection,
+    pca_projection,
+    silhouette_score,
+)
+
+
+def gaussian_classes(seed=0, n=60, separation=6.0, noise_dims=8):
+    """Two classes separated along one axis, drowned in noisy dimensions."""
+    rng = np.random.default_rng(seed)
+    labels = np.array(["a"] * n + ["b"] * n)
+    signal = np.concatenate([np.zeros(n), np.full(n, separation)])[:, None]
+    noise = rng.normal(0, 3.0, size=(2 * n, noise_dims))
+    return np.hstack([signal + rng.normal(0, 0.5, size=(2 * n, 1)), noise]), labels
+
+
+class TestPCA:
+    def test_output_shape(self):
+        matrix, _ = gaussian_classes()
+        projection = pca_projection(matrix)
+        assert projection.coordinates.shape == (matrix.shape[0], 2)
+        assert projection.method == "pca"
+
+    def test_axes_orthonormal(self):
+        matrix, _ = gaussian_classes(seed=1)
+        axes = pca_projection(matrix).axes
+        gram = axes.T @ axes
+        assert np.allclose(gram, np.eye(2), atol=1e-8)
+
+    def test_explained_in_unit_range(self):
+        matrix, _ = gaussian_classes(seed=2)
+        assert 0 <= pca_projection(matrix).explained <= 1
+
+    def test_first_axis_carries_most_variance(self):
+        matrix, _ = gaussian_classes(seed=3)
+        coordinates = pca_projection(matrix).coordinates
+        assert coordinates[:, 0].var() >= coordinates[:, 1].var()
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            pca_projection(np.array([1.0, 2.0]))
+
+
+class TestLDA:
+    def test_separates_better_than_pca(self):
+        matrix, labels = gaussian_classes(seed=4)
+        lda = lda_projection(matrix, labels)
+        pca = pca_projection(matrix)
+        assert fisher_separability(lda.coordinates, labels) > fisher_separability(
+            pca.coordinates, labels
+        )
+        assert silhouette_score(lda.coordinates, labels) > silhouette_score(
+            pca.coordinates, labels
+        )
+
+    def test_single_class_falls_back_to_pca(self):
+        matrix, _ = gaussian_classes(seed=5)
+        projection = lda_projection(matrix, np.array(["same"] * matrix.shape[0]))
+        assert projection.method == "pca"
+
+    def test_three_classes(self):
+        rng = np.random.default_rng(6)
+        matrix = np.vstack(
+            [rng.normal(center, 0.4, size=(30, 5)) for center in (0.0, 4.0, 8.0)]
+        )
+        labels = np.repeat(["a", "b", "c"], 30)
+        projection = lda_projection(matrix, labels)
+        assert projection.method == "lda"
+        assert silhouette_score(projection.coordinates, labels) > 0.5
+
+    def test_pads_axes_when_fewer_discriminants(self):
+        # 2 classes -> only 1 meaningful axis; output must still be 2-D.
+        matrix, labels = gaussian_classes(seed=7)
+        assert lda_projection(matrix, labels).coordinates.shape[1] == 2
+
+
+class TestScores:
+    def test_silhouette_perfect_separation(self):
+        coordinates = np.array([[0, 0], [0.1, 0], [10, 10], [10.1, 10]])
+        labels = np.array(["a", "a", "b", "b"])
+        assert silhouette_score(coordinates, labels) > 0.9
+
+    def test_silhouette_single_class_is_zero(self):
+        coordinates = np.random.default_rng(0).random((10, 2))
+        assert silhouette_score(coordinates, np.array(["x"] * 10)) == 0.0
+
+    def test_silhouette_mixed_is_low(self):
+        rng = np.random.default_rng(1)
+        coordinates = rng.random((40, 2))
+        labels = np.array(["a", "b"] * 20)
+        assert silhouette_score(coordinates, labels) < 0.3
+
+    def test_fisher_single_class_zero(self):
+        coordinates = np.random.default_rng(2).random((10, 2))
+        assert fisher_separability(coordinates, np.array(["x"] * 10)) == 0.0

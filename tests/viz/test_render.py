@@ -1,0 +1,111 @@
+"""Renderers: ASCII histograms, the scene grid, SVG, the Fig. 2 dashboard."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import UserDataset
+from repro.data.schema import Demographic
+from repro.viz.groupviz import build_scene
+from repro.viz.render import (
+    render_dashboard,
+    render_histogram,
+    render_scene_ascii,
+    render_scene_svg,
+)
+
+
+@pytest.fixture
+def scene():
+    dataset = UserDataset.from_records(
+        [], [Demographic(f"u{i}", "g", "x") for i in range(10)]
+    )
+    return build_scene(
+        gids=[1, 2],
+        sizes=[8, 3],
+        labels=["big group", "small group"],
+        memberships=[np.arange(8), np.arange(3)],
+        dataset=dataset,
+        color_by="g",
+    )
+
+
+class TestHistogramRendering:
+    def test_bars_scale(self):
+        text = render_histogram([("a", 10), ("b", 5)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_counts_shown(self):
+        assert "10" in render_histogram([("a", 10)])
+
+    def test_empty(self):
+        assert render_histogram([]) == "(empty)"
+
+    def test_truncation_notice(self):
+        pairs = [(f"v{i}", i + 1) for i in range(20)]
+        assert "more)" in render_histogram(pairs, max_rows=5)
+
+    def test_zero_count_rendered_without_bar(self):
+        text = render_histogram([("a", 0), ("b", 2)])
+        assert "a" in text
+
+
+class TestSceneAscii:
+    def test_contains_circle_letters_and_legend(self, scene):
+        text = render_scene_ascii(scene, width=40, height=12)
+        assert "a" in text and "b" in text
+        assert "big group" in text
+        assert "n=8" in text
+
+    def test_grid_dimensions(self, scene):
+        lines = render_scene_ascii(scene, width=30, height=10).splitlines()
+        assert len(lines[0]) == 32  # border + width
+        grid_lines = [line for line in lines if line.startswith("|")]
+        assert len(grid_lines) == 10
+
+    def test_color_share_shown(self, scene):
+        assert "100%" in render_scene_ascii(scene)
+
+
+class TestSceneSvg:
+    def test_wellformed_circle_elements(self, scene):
+        svg = render_scene_svg(scene)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<circle") == 2
+        assert "<title>" in svg
+
+    def test_escapes_labels(self):
+        dataset = UserDataset.from_records(
+            [], [Demographic("u", "g", "x")]
+        )
+        scene = build_scene(
+            gids=[0], sizes=[1], labels=["a<b&c"], memberships=[np.array([0])],
+            dataset=dataset,
+        )
+        svg = render_scene_svg(scene)
+        assert "a&lt;b&amp;c" in svg
+
+    def test_legend_entries(self, scene):
+        assert render_scene_svg(scene).count("<rect") >= 2  # bg + legend
+
+
+class TestDashboard:
+    def test_all_five_panels_present(self, scene):
+        text = render_dashboard(
+            scene=scene,
+            context_entries=[("cikm", 0.4), ("male", 0.3)],
+            history_labels=["start", "#5"],
+            memo_summary="1 groups, 2 users",
+            stats_histograms={"gender": [("f", 3), ("m", 5)]},
+        )
+        for panel in ("GROUPVIZ", "CONTEXT", "STATS", "HISTORY", "MEMO"):
+            assert panel in text
+        assert "[cikm:0.40]" in text
+        assert "start -> #5" in text
+
+    def test_empty_context_placeholder(self, scene):
+        text = render_dashboard(scene, [], [], "", {})
+        assert "(no feedback yet)" in text
+        assert "(start)" in text

@@ -1,0 +1,119 @@
+"""STATS module: coordinated histograms, brushes, the member table."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+from repro.viz.stats import ACTIVITY_DIM, MEAN_VALUE_DIM, StatsView
+
+
+@pytest.fixture(scope="module")
+def data():
+    # Large enough that the calibrated 62%-male group has double-digit
+    # membership (rounding at tiny group sizes would blur the C8 check).
+    return generate_dbauthors(DBAuthorsConfig(n_authors=1200, seed=23))
+
+
+class TestStatsView:
+    def test_defaults_to_all_users(self, data):
+        stats = StatsView(data.dataset)
+        assert stats.selected_count() == data.dataset.n_users
+
+    def test_histogram_counts_members_only(self, data):
+        members = data.dataset.users_matching("gender", "female")
+        stats = StatsView(data.dataset, members)
+        histogram = dict(stats.histogram("gender"))
+        assert set(histogram) == {"female"}
+        assert histogram["female"] == len(members)
+
+    def test_share(self, data):
+        stats = StatsView(data.dataset)
+        male = stats.share("gender", "male")
+        female = stats.share("gender", "female")
+        assert male + female == pytest.approx(1.0)
+
+    def test_brush_narrows_selection(self, data):
+        stats = StatsView(data.dataset)
+        before = stats.selected_count()
+        stats.brush("gender", "female")
+        assert 0 < stats.selected_count() < before
+
+    def test_brush_multiple_values(self, data):
+        stats = StatsView(data.dataset)
+        stats.brush("seniority", "junior", "senior")
+        for row in stats.table(50):
+            assert row["seniority"] in {"junior", "senior"}
+
+    def test_coordinated_update(self, data):
+        stats = StatsView(data.dataset)
+        full = dict(stats.histogram("seniority"))
+        stats.brush("gender", "female")
+        brushed = dict(stats.histogram("seniority"))
+        assert sum(brushed.values()) < sum(full.values())
+
+    def test_own_histogram_unaffected_by_own_brush(self, data):
+        stats = StatsView(data.dataset)
+        before = dict(stats.histogram("gender"))
+        stats.brush("gender", "female")
+        assert dict(stats.histogram("gender")) == before
+
+    def test_brush_range_on_activity(self, data):
+        stats = StatsView(data.dataset)
+        stats.brush_range(ACTIVITY_DIM, 0, 5)
+        for row in stats.table(100):
+            assert row["actions"] < 5
+
+    def test_mean_value_dimension_exists(self, data):
+        stats = StatsView(data.dataset)
+        assert stats.histogram(MEAN_VALUE_DIM)
+
+    def test_clear_and_clear_all(self, data):
+        stats = StatsView(data.dataset)
+        total = stats.selected_count()
+        stats.brush("gender", "female")
+        stats.brush("seniority", "junior")
+        stats.clear("gender")
+        intermediate = stats.selected_count()
+        stats.clear_all()
+        assert stats.selected_count() == total
+        assert intermediate <= total
+
+    def test_unknown_dimension_raises(self, data):
+        stats = StatsView(data.dataset)
+        with pytest.raises(KeyError):
+            stats.histogram("shoe_size")
+        with pytest.raises(KeyError):
+            stats.brush("shoe_size", "42")
+
+    def test_table_contents(self, data):
+        stats = StatsView(data.dataset)
+        rows = stats.table(3)
+        assert len(rows) == 3
+        for row in rows:
+            assert "user" in row and "gender" in row and "actions" in row
+
+    def test_selected_users_are_original_indices(self, data):
+        members = data.dataset.users_matching("gender", "female")[:20]
+        stats = StatsView(data.dataset, members)
+        selected = stats.selected_users()
+        assert set(selected.tolist()) <= set(members.tolist())
+
+    def test_paper_drilldown_c8(self, data):
+        """The §II-B example end to end on the calibrated population."""
+        ds = data.dataset
+        group = np.intersect1d(
+            ds.users_matching_all(
+                [("seniority", "very-senior"), ("topic", "data management")]
+            ),
+            np.union1d(
+                ds.users_matching("publication_rate", "highly-active"),
+                ds.users_matching("publication_rate", "extremely-active"),
+            ),
+        )
+        stats = StatsView(ds, group)
+        assert stats.share("gender", "male") == pytest.approx(0.62, abs=0.08)
+        stats.brush("gender", "female")
+        stats.brush("publication_rate", "extremely-active")
+        table = stats.table()
+        assert len(table) >= 1
+        assert any(row["total_value"] == 325.0 for row in table)
