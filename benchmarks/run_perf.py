@@ -1,0 +1,197 @@
+"""Machine-readable selection-engine perf harness.
+
+Runs the characteristic operations of experiments C1 (interactive click),
+C2 (greedy re-selection of a large dbauthors neighborhood) and C7
+(greedy re-selection of bookcrossing discussion-group neighborhoods) with
+both selection engines and writes ``BENCH_selection.json`` next to this
+script, so the selection-engine perf trajectory is tracked from one PR to
+the next:
+
+- ``evaluations`` / ``evals_per_100ms`` — objective evaluations the
+  greedy affords inside the paper's 100 ms budget (the quality a budget
+  buys is bounded by this number);
+- ``click_p50_ms`` — median end-to-end click latency (C1's recurring
+  interaction);
+- ``phase3_rate`` — share of budgeted runs whose swap search converged
+  (phases_completed == 3) before the budget expired;
+- ``parity`` — untimed runs of both engines return identical displays.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf.py [--out PATH] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.agents.scenarios import discussion_group_target
+from repro.core.selection import SelectionConfig, select_k
+from repro.core.session import ExplorationSession, SessionConfig
+from repro.experiments.common import bookcrossing_space, dbauthors_space
+from repro.index.inverted import SimilarityIndex
+
+ENGINES = ("reference", "celf")
+BUDGET_MS = 100.0
+DEFAULT_OUT = Path(__file__).parent / "BENCH_selection.json"
+
+
+def c2_pools(n_parents: int) -> list[tuple]:
+    """C2's unit: the 200-candidate neighborhoods of large dbauthors groups."""
+    space = dbauthors_space()
+    index = SimilarityIndex(space.memberships(), space.dataset.n_users, 0.10)
+    pools = []
+    for parent in space.largest(n_parents):
+        pool = [space[n.group] for n in index.neighbors(parent.gid, 200)]
+        if len(pool) >= 5:
+            pools.append((parent, pool))
+    return pools
+
+
+def c7_pools(n_genres: int) -> list[tuple]:
+    """C7's unit: neighborhoods of bookcrossing discussion-group targets."""
+    space = bookcrossing_space()
+    index = SimilarityIndex(space.memberships(), space.dataset.n_users, 0.10)
+    pools = []
+    for genre in ("fiction", "romance", "mystery", "scifi", "history")[:n_genres]:
+        target = discussion_group_target(space, genre)
+        if target is None:
+            continue
+        parent = space[target]
+        pool = [space[n.group] for n in index.neighbors(parent.gid, 200)]
+        if len(pool) >= 5:
+            pools.append((parent, pool))
+    return pools
+
+
+def measure_pools(pools: list[tuple], engine: str, repeats: int) -> dict:
+    """Budgeted select_k over every pool; medians of the numbers that matter."""
+    evaluations: list[int] = []
+    elapsed: list[float] = []
+    rates: list[float] = []
+    converged = 0
+    runs = 0
+    for parent, pool in pools:
+        config = SelectionConfig(k=5, time_budget_ms=BUDGET_MS, engine=engine)
+        for _ in range(repeats):
+            result = select_k(pool, parent.members, config=config)
+            evaluations.append(result.evaluations)
+            elapsed.append(result.elapsed_ms)
+            rates.append(
+                result.evaluations / max(result.elapsed_ms, 1e-9) * 100.0
+            )
+            converged += 1 if result.phases_completed == 3 else 0
+            runs += 1
+    return {
+        "runs": runs,
+        "evaluations_median": int(statistics.median(evaluations)),
+        "elapsed_p50_ms": round(statistics.median(elapsed), 3),
+        "evals_per_100ms_median": round(statistics.median(rates), 1),
+        "phase3_rate": round(converged / runs, 3) if runs else 0.0,
+    }
+
+
+def check_parity(pools: list[tuple]) -> bool:
+    """Untimed runs of both engines must produce identical displays."""
+    for parent, pool in pools:
+        outputs = []
+        for engine in ENGINES:
+            config = SelectionConfig(k=5, time_budget_ms=None, engine=engine)
+            outputs.append(select_k(pool, parent.members, config=config))
+        if outputs[0].gids() != outputs[1].gids():
+            return False
+        if abs(outputs[0].score - outputs[1].score) > 1e-9:
+            return False
+    return True
+
+
+def measure_clicks(engine: str, clicks: int) -> dict:
+    """C1's recurring interaction: p50 wall time of a session click."""
+    space = dbauthors_space()
+    session = ExplorationSession(
+        space, config=SessionConfig(k=5, time_budget_ms=BUDGET_MS, engine=engine)
+    )
+    session.start()
+    timings: list[float] = []
+    evaluations: list[int] = []
+    for _ in range(clicks):
+        gid = session.displayed_gids()[0]
+        started = time.perf_counter()
+        session.click(gid)
+        timings.append((time.perf_counter() - started) * 1000.0)
+        if session.last_selection is not None:
+            evaluations.append(session.last_selection.evaluations)
+    return {
+        "clicks": clicks,
+        "click_p50_ms": round(statistics.median(timings), 3),
+        "click_evaluations_median": int(statistics.median(evaluations)),
+    }
+
+
+def run(n_parents: int, n_genres: int, repeats: int, clicks: int) -> dict:
+    pools = {"C2": c2_pools(n_parents), "C7": c7_pools(n_genres)}
+    report: dict = {
+        "benchmark": "selection-engine",
+        "budget_ms": BUDGET_MS,
+        "pools": {
+            name: {
+                "count": len(entries),
+                "pool_sizes": [len(pool) for _, pool in entries],
+            }
+            for name, entries in pools.items()
+        },
+        "engines": {},
+        "speedup": {},
+        "parity": {},
+    }
+    for engine in ENGINES:
+        engine_report: dict = {}
+        for name, entries in pools.items():
+            engine_report[name] = measure_pools(entries, engine, repeats)
+        engine_report["C1"] = measure_clicks(engine, clicks)
+        report["engines"][engine] = engine_report
+    for name in pools:
+        reference = report["engines"]["reference"][name]
+        optimized = report["engines"]["celf"][name]
+        report["speedup"][f"{name}_evals_per_100ms"] = round(
+            optimized["evals_per_100ms_median"]
+            / max(reference["evals_per_100ms_median"], 1e-9),
+            2,
+        )
+        report["parity"][name] = check_parity(pools[name])
+    reference_click = report["engines"]["reference"]["C1"]["click_p50_ms"]
+    optimized_click = report["engines"]["celf"]["C1"]["click_p50_ms"]
+    report["speedup"]["click_p50"] = round(
+        reference_click / max(optimized_click, 1e-9), 2
+    )
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer pools/repeats (smoke run)"
+    )
+    args = parser.parse_args()
+    if args.quick:
+        report = run(n_parents=2, n_genres=1, repeats=2, clicks=5)
+    else:
+        report = run(n_parents=6, n_genres=3, repeats=5, clicks=11)
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    ok = all(report["parity"].values())
+    for name in ("C2", "C7"):
+        speedup = report["speedup"].get(f"{name}_evals_per_100ms", 0.0)
+        print(f"{name}: {speedup:.1f}x objective evaluations per 100 ms")
+        ok = ok and speedup >= 5.0
+    print(f"parity: {report['parity']}  ->  {'OK' if ok else 'REGRESSION'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,12 +4,13 @@ from conftest import publish
 
 from repro.agents.explorer import AgentConfig
 from repro.agents.scenarios import run_pc_formation
+from repro.core.session import SessionConfig
 from repro.experiments.common import dbauthors_data, dbauthors_space
 from repro.experiments.pc_formation import run_pc_formation as run_report
 
 
 def test_bench_c4_report(benchmark):
-    report = run_report(repeats=4)
+    report = run_report(repeats=4, engine="celf")
     publish(report)
     for row in report.rows:
         assert row["mean_iterations"] < 10, row  # the paper's headline
@@ -21,6 +22,7 @@ def test_bench_c4_report(benchmark):
         lambda: run_pc_formation(
             data, space, venue="SIGMOD",
             agent_config=AgentConfig(seed=0, max_iterations=25),
+            session_config=SessionConfig(engine="celf"),
         ),
         rounds=3,
         iterations=1,

@@ -11,7 +11,7 @@ from repro.experiments.k_sweep import run_k_sweep
 
 
 def test_bench_c7_report(benchmark):
-    report = run_k_sweep(ks=(2, 3, 5, 7, 9, 12), repeats=3)
+    report = run_k_sweep(ks=(2, 3, 5, 7, 9, 12), repeats=3, engine="celf")
     publish(report)
     by_k = {row["k"]: row for row in report.rows}
     # Per-step scan effort grows with k (each extra circle costs attention)...
@@ -26,7 +26,9 @@ def test_bench_c7_report(benchmark):
 
     def one_session():
         task = SingleTargetTask(space, target_gid=target)
-        session = ExplorationSession(space, config=SessionConfig(k=5))
+        session = ExplorationSession(
+            space, config=SessionConfig(k=5, engine="celf")
+        )
         return TargetSeekingExplorer(
             task, AgentConfig(seed=0, max_iterations=15)
         ).run(session)

@@ -106,6 +106,7 @@ def pc_formation_study(
     venues: tuple[str, ...] = ("SIGMOD", "VLDB", "CIKM"),
     repeats: int = 5,
     committee_size: int = 12,
+    session_config: SessionConfig | None = None,
 ) -> dict[str, ScenarioOutcome]:
     """C4: repeated PC formation per venue; the paper expects <10 iterations."""
     outcomes: dict[str, ScenarioOutcome] = {}
@@ -117,6 +118,7 @@ def pc_formation_study(
                 venue=venue,
                 committee_size=committee_size,
                 agent_config=AgentConfig(seed=repeat, max_iterations=25),
+                session_config=session_config,
             )
             for repeat in range(repeats)
         ]

@@ -23,20 +23,66 @@ Objectives (all in [0, 1]):
   (the clicked group's members) appearing in at least one selected group;
 - ``affinity(S)``  = mean feedback weight of the selected groups (the
   §II-B weighted-similarity bias).
+
+Two engines implement the same phases on the same objective:
+
+**``engine="celf"`` (default)** — the vectorized incremental engine.  The
+quality a fixed budget buys is bounded by how many objective evaluations
+the greedy can afford, so the hot path never rebuilds state per trial:
+
+- the pool×pool Jaccard matrix is pooled through one sparse membership
+  matrix (:func:`repro.core.similarity.membership_matrix`, the same
+  product the inverted index builds from) and materialized lazily one
+  column per selected group, so pairwise diversity becomes running row
+  sums instead of per-pair set intersections;
+- a pool×relevant CSR coverage matrix makes the marginal coverage of
+  every candidate one sparse mat-vec against the uncovered-weight vector,
+  instead of a boolean mask rebuild per trial;
+- the greedy phase is CELF-style lazy evaluation (Leskovec et al. 2007):
+  candidates are ranked by a stale upper bound — exact non-coverage terms
+  plus the last known coverage marginal, admissible because weighted
+  coverage is monotone submodular so marginals only shrink as the
+  selection grows — and only heap-top candidates are re-evaluated until
+  the best exact score dominates the next bound;
+- the swap phase is delta-scored: one vectorized pass scores every
+  (position, candidate) exchange from maintained running sums (pair-sum,
+  per-position cover counts, feedback sum, attribute-union masks) rather
+  than re-scoring each trial set from scratch.
+
+**``engine="reference"``** — the retained brute-force implementation
+(per-pair Jaccard cache, full mask rebuild per score call).  It is the
+parity oracle: on untimed runs both engines return the same groups and
+scores (``tests/test_selection_parity.py``), and C2-style experiments can
+quantify how many more evaluations the vectorized engine affords per
+unit budget.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+from scipy import sparse
 
 from repro.core.feedback import FeedbackVector
 from repro.core.group import Group
-from repro.core.similarity import jaccard
+from repro.core.similarity import jaccard, membership_matrix
+
+#: Engines selectable via :attr:`SelectionConfig.engine`.
+ENGINES = ("celf", "reference")
+
+#: Minimum improvement for a swap to be applied (both engines).
+_SWAP_EPSILON = 1e-12
+
+#: Slack on the CELF prune: stale bounds come from a sparse mat-vec while
+#: exact re-evaluations sum the same weights with numpy's pairwise
+#: accumulation, so mathematically-equal values can differ by a few ulps.
+#: Pruning only when a bound is clearly below the best exact score keeps
+#: the lazy greedy's argmax identical to the reference scan.
+_BOUND_SLACK = 1e-12
 
 
 @dataclass
@@ -59,6 +105,9 @@ class SelectionConfig:
     #: descriptions span *different attributes* (different directions).
     description_diversity_weight: float = 0.3
     max_candidates: int = 200
+    #: ``"celf"`` = vectorized lazy-greedy engine (default);
+    #: ``"reference"`` = retained brute-force engine (parity oracle).
+    engine: str = "celf"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -67,6 +116,8 @@ class SelectionConfig:
             raise ValueError("time budget must be >= 0")
         if min(self.diversity_weight, self.coverage_weight, self.feedback_weight) < 0:
             raise ValueError("objective weights must be >= 0")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}")
 
 
 @dataclass
@@ -82,26 +133,35 @@ class SelectionResult:
     evaluations: int
     pool_size: int
     phases_completed: int  # 1 = floor fill, 2 = greedy, 3 = swaps converged
+    engine: str = "celf"
 
     def gids(self) -> list[int]:
         return [group.gid for group in self.groups]
 
 
-class _Evaluator:
-    """Incremental objective evaluation over a fixed candidate pool."""
+class _PoolStatistics:
+    """Per-pool precomputation shared by both engines.
+
+    Everything is derived from one pooled sparse membership matrix: the
+    pool×relevant coverage incidence (a CSR column slice), the
+    per-candidate coverage positions, and the feedback weights (a sparse
+    mat-vec against the dense user-weight vector).  ``relevant`` is
+    treated as a *set* of users (duplicates are dropped).  Holding the
+    shared quantities here guarantees the engines score the *same*
+    objective — parity tests compare their outputs directly.
+    """
 
     def __init__(
         self,
         pool: Sequence[Group],
         relevant: np.ndarray,
         feedback: Optional[FeedbackVector],
-        config: SelectionConfig,
         prior: Optional[Callable[[Group], float]] = None,
     ) -> None:
         self.pool = list(pool)
-        self.config = config
-        self.relevant = np.sort(np.asarray(relevant, dtype=np.int64))
+        self.relevant = np.unique(np.asarray(relevant, dtype=np.int64))
         n_relevant = len(self.relevant)
+        self.n_relevant = n_relevant
         if feedback is not None and n_relevant:
             dense = feedback.user_weights(int(self.relevant.max()) + 1, floor=0.0)
             weights = dense[self.relevant] + 1.0 / n_relevant
@@ -109,32 +169,76 @@ class _Evaluator:
             weights = np.full(n_relevant, 1.0 / max(n_relevant, 1))
         self.weights = weights
         self.total_weight = float(weights.sum()) if n_relevant else 1.0
-        # Candidate coverage = positions (into `relevant`) each candidate hits.
-        self.positions: list[np.ndarray] = []
-        for group in self.pool:
-            if n_relevant == 0:
-                self.positions.append(np.empty(0, dtype=np.int64))
-                continue
-            insert_at = np.searchsorted(self.relevant, group.members)
-            in_range = insert_at < n_relevant
-            matches = np.zeros(len(group.members), dtype=bool)
-            matches[in_range] = (
-                self.relevant[insert_at[in_range]] == group.members[in_range]
-            )
-            self.positions.append(insert_at[matches])
-        self.group_feedback = [
-            (
-                feedback.group_weight(group.members, group.description)
-                if feedback is not None
-                else 0.0
-            )
-            + (prior(group) if prior is not None else 0.0)
-            for group in self.pool
-        ]
+        # One membership matrix wide enough to index by relevant users too.
+        memberships = [group.members for group in self.pool]
+        n_columns = max(
+            (int(members.max()) + 1 for members in memberships if len(members)),
+            default=0,
+        )
+        if n_relevant:
+            n_columns = max(n_columns, int(self.relevant.max()) + 1)
+        self.n_columns = n_columns
+        self.members_matrix = membership_matrix(memberships, n_columns)
+        # Candidate coverage = positions (into `relevant`) each candidate
+        # hits; the CSR column slice *is* the pool×relevant incidence.
+        if n_relevant and self.pool:
+            cover = self.members_matrix[:, self.relevant].tocsr()
+            cover.data = cover.data.astype(np.float64)
+            self.cover: Optional[sparse.csr_matrix] = cover
+            indptr = cover.indptr
+            indices = cover.indices
+            self.positions = [
+                indices[indptr[i] : indptr[i + 1]].astype(np.int64)
+                for i in range(len(self.pool))
+            ]
+        else:
+            self.cover = None
+            self.positions = [np.empty(0, dtype=np.int64) for _ in self.pool]
+        self.group_feedback = self._pool_feedback(feedback, prior)
         self.group_attributes = [
             frozenset(_attribute_of(token) for token in group.description)
             for group in self.pool
         ]
+
+    def _pool_feedback(
+        self,
+        feedback: Optional[FeedbackVector],
+        prior: Optional[Callable[[Group], float]],
+    ) -> np.ndarray:
+        """§II-B group weight (+ optional profile prior) for every candidate.
+
+        The member part is one sparse mat-vec of the membership matrix
+        against the dense user-weight vector; only the (few) description
+        tokens stay per-group.
+        """
+        count = len(self.pool)
+        values = np.zeros(count, dtype=np.float64)
+        if feedback is not None and count:
+            user_weights = feedback.user_weights(self.n_columns, floor=0.0)
+            values += np.asarray(
+                self.members_matrix @ user_weights, dtype=np.float64
+            )
+            values += np.array(
+                [
+                    sum(feedback.token_score(token) for token in group.description)
+                    for group in self.pool
+                ],
+                dtype=np.float64,
+            )
+        if prior is not None and count:
+            values += np.array(
+                [prior(group) for group in self.pool], dtype=np.float64
+            )
+        return values
+
+
+class _ReferenceEvaluator:
+    """Brute-force objective evaluation: the retained parity oracle."""
+
+    def __init__(self, stats: _PoolStatistics, config: SelectionConfig) -> None:
+        self.stats = stats
+        self.pool = stats.pool
+        self.config = config
         self._jaccard_cache: dict[tuple[int, int], float] = {}
         self.evaluations = 0
 
@@ -158,19 +262,22 @@ class _Evaluator:
         return 1.0 - total / pairs
 
     def coverage(self, selected: list[int]) -> float:
-        if len(self.relevant) == 0:
+        stats = self.stats
+        if stats.n_relevant == 0:
             return 1.0
         if not selected:
             return 0.0
-        mask = np.zeros(len(self.relevant), dtype=bool)
+        mask = np.zeros(stats.n_relevant, dtype=bool)
         for index in selected:
-            mask[self.positions[index]] = True
-        return float(self.weights[mask].sum() / self.total_weight)
+            mask[stats.positions[index]] = True
+        return float(stats.weights[mask].sum() / stats.total_weight)
 
     def affinity(self, selected: list[int]) -> float:
         if not selected:
             return 0.0
-        return float(np.mean([self.group_feedback[index] for index in selected]))
+        return float(
+            np.mean([self.stats.group_feedback[index] for index in selected])
+        )
 
     def description_diversity(self, selected: list[int]) -> float:
         """Share of distinct analysis directions across the display.
@@ -180,9 +287,10 @@ class _Evaluator:
         """
         if not selected:
             return 0.0
-        total = sum(max(len(self.group_attributes[index]), 1) for index in selected)
+        attributes = self.stats.group_attributes
+        total = sum(max(len(attributes[index]), 1) for index in selected)
         distinct = len(
-            frozenset().union(*(self.group_attributes[index] for index in selected))
+            frozenset().union(*(attributes[index] for index in selected))
         )
         return max(distinct, 1) / total
 
@@ -194,6 +302,261 @@ class _Evaluator:
             + self.config.feedback_weight * self.affinity(selected)
             + self.config.description_diversity_weight
             * self.description_diversity(selected)
+        )
+
+
+class _VectorEngine:
+    """Incremental vectorized state for the CELF engine.
+
+    All per-candidate quantities live in pooled arrays; adding, removing
+    or swapping a selected group updates running sums in O(pool) instead
+    of rebuilding state per scored trial:
+
+    - the pool×pool Jaccard matrix is materialized lazily, one *column*
+      per group that actually enters the selection: a sparse mat-vec of
+      the pooled membership matrix (the same product
+      ``SimilarityIndex._build`` uses) against the group's member
+      indicator, cached for the rest of the call — far cheaper than the
+      full self-product when only ~k + #swaps columns are ever read;
+    - ``cover`` — CSR pool×relevant incidence, so every candidate's
+      marginal coverage is one mat-vec against ``uncovered_weights``;
+    - ``attrs`` — pool×attribute boolean description matrix, so the
+      distinct-direction count is a row-wise OR + popcount;
+    - running scalars/vectors: pairwise-similarity sum, per-candidate
+      similarity-to-selection, per-position cover counts, covered weight,
+      feedback sum and attribute-union mask.
+    """
+
+    def __init__(self, stats: _PoolStatistics, config: SelectionConfig) -> None:
+        self.stats = stats
+        self.config = config
+        npool = len(stats.pool)
+        self.npool = npool
+        self._members_matrix = stats.members_matrix
+        self._member_sizes = np.array(
+            [len(group.members) for group in stats.pool], dtype=np.float64
+        )
+        self._sim_columns: dict[int, np.ndarray] = {}
+        self.cover = stats.cover
+        self.feedback = stats.group_feedback
+        vocabulary = sorted(
+            {attr for attrs in stats.group_attributes for attr in attrs}
+        )
+        attr_index = {attr: i for i, attr in enumerate(vocabulary)}
+        self.attrs = np.zeros((npool, max(len(vocabulary), 1)), dtype=bool)
+        for index, attrs in enumerate(stats.group_attributes):
+            for attr in attrs:
+                self.attrs[index, attr_index[attr]] = True
+        self.attr_count = np.maximum(
+            np.array([len(attrs) for attrs in stats.group_attributes], dtype=np.int64),
+            1,
+        )
+        self.evaluations = 0
+        self.reset()
+
+    def sim_column(self, index: int) -> np.ndarray:
+        """Jaccard of every pool entry to ``pool[index]``, lazily cached.
+
+        One sparse mat-vec against the pooled membership matrix per
+        distinct group that enters the selection; matches
+        :func:`repro.core.similarity.jaccard` entrywise (two empty sets
+        similar at 1.0).
+        """
+        cached = self._sim_columns.get(index)
+        if cached is not None:
+            return cached
+        members = self.stats.pool[index].members
+        indicator = np.zeros(self._members_matrix.shape[1], dtype=np.float64)
+        indicator[members] = 1.0
+        intersections = np.asarray(
+            self._members_matrix @ indicator, dtype=np.float64
+        )
+        unions = self._member_sizes + float(len(members)) - intersections
+        column = np.where(
+            unions > 0, intersections / np.where(unions > 0, unions, 1.0), 1.0
+        )
+        self._sim_columns[index] = column
+        return column
+
+    # -- mutable selection state ---------------------------------------
+
+    def reset(self) -> None:
+        self.selected: list[int] = []
+        self.selected_mask = np.zeros(self.npool, dtype=bool)
+        self.pair_sum = 0.0  # Σ_{i<j ∈ S} sim[i, j]
+        self.sim_to_selected = np.zeros(self.npool, dtype=np.float64)
+        self.cover_counts = np.zeros(self.stats.n_relevant, dtype=np.int64)
+        self.covered_weight = 0.0
+        self.uncovered_weights = self.stats.weights.astype(np.float64, copy=True)
+        self.feedback_sum = 0.0
+        self.attr_union = np.zeros(self.attrs.shape[1], dtype=bool)
+        self.attr_total = 0
+
+    def add(self, index: int) -> None:
+        """Grow the selection by one group, updating every running sum."""
+        self.pair_sum += float(self.sim_to_selected[index])
+        self.sim_to_selected += self.sim_column(index)
+        positions = self.stats.positions[index]
+        if len(positions):
+            self.cover_counts[positions] += 1
+            newly = positions[self.cover_counts[positions] == 1]
+            self.covered_weight += float(self.stats.weights[newly].sum())
+            self.uncovered_weights[positions] = 0.0
+        self.feedback_sum += float(self.feedback[index])
+        self.attr_union |= self.attrs[index]
+        self.attr_total += int(self.attr_count[index])
+        self.selected.append(index)
+        self.selected_mask[index] = True
+
+    def swap(self, position: int, incoming: int) -> None:
+        """Replace ``selected[position]`` with ``incoming`` in place."""
+        outgoing = self.selected[position]
+        outgoing_column = self.sim_column(outgoing)
+        incoming_column = self.sim_column(incoming)
+        self.pair_sum += float(
+            (self.sim_to_selected[incoming] - outgoing_column[incoming])
+            - (self.sim_to_selected[outgoing] - 1.0)
+        )
+        self.sim_to_selected += incoming_column - outgoing_column
+        out_positions = self.stats.positions[outgoing]
+        if len(out_positions):
+            self.cover_counts[out_positions] -= 1
+            freed = out_positions[self.cover_counts[out_positions] == 0]
+            self.covered_weight -= float(self.stats.weights[freed].sum())
+            self.uncovered_weights[freed] = self.stats.weights[freed]
+        in_positions = self.stats.positions[incoming]
+        if len(in_positions):
+            self.cover_counts[in_positions] += 1
+            newly = in_positions[self.cover_counts[in_positions] == 1]
+            self.covered_weight += float(self.stats.weights[newly].sum())
+            self.uncovered_weights[in_positions] = 0.0
+        self.feedback_sum += float(self.feedback[incoming] - self.feedback[outgoing])
+        self.attr_total += int(self.attr_count[incoming] - self.attr_count[outgoing])
+        self.selected[position] = incoming
+        self.selected_mask[outgoing] = False
+        self.selected_mask[incoming] = True
+        union = np.zeros_like(self.attr_union)
+        for member in self.selected:
+            union |= self.attrs[member]
+        self.attr_union = union
+
+    # -- scoring -------------------------------------------------------
+
+    def objective_terms(self) -> tuple[float, float, float, float]:
+        """(diversity, coverage, affinity, description diversity) of S."""
+        count = len(self.selected)
+        if count < 2:
+            diversity = 1.0
+        else:
+            diversity = 1.0 - self.pair_sum / (count * (count - 1) / 2)
+        if self.stats.n_relevant == 0:
+            coverage = 1.0
+        elif not count:
+            coverage = 0.0
+        else:
+            coverage = self.covered_weight / self.stats.total_weight
+        affinity = self.feedback_sum / count if count else 0.0
+        if not count:
+            description = 0.0
+        else:
+            description = max(int(self.attr_union.sum()), 1) / self.attr_total
+        return diversity, coverage, affinity, description
+
+    def score(self) -> float:
+        diversity, coverage, affinity, description = self.objective_terms()
+        config = self.config
+        return (
+            config.diversity_weight * diversity
+            + config.coverage_weight * coverage
+            + config.feedback_weight * affinity
+            + config.description_diversity_weight * description
+        )
+
+    def base_add_scores(self) -> np.ndarray:
+        """Non-coverage part of score(S + {c}) for every candidate c.
+
+        Exact and O(pool): diversity from running row sums, affinity from
+        the feedback sum, description diversity from the attribute union.
+        Coverage is handled separately (lazily) by the CELF loop.
+        """
+        grown = len(self.selected) + 1
+        if grown >= 2:
+            pairs = grown * (grown - 1) / 2
+            diversity = 1.0 - (self.pair_sum + self.sim_to_selected) / pairs
+        else:
+            diversity = np.ones(self.npool, dtype=np.float64)
+        affinity = (self.feedback_sum + self.feedback) / grown
+        distinct = (self.attrs | self.attr_union).sum(axis=1)
+        description = np.maximum(distinct, 1) / (self.attr_total + self.attr_count)
+        config = self.config
+        return (
+            config.diversity_weight * diversity
+            + config.feedback_weight * affinity
+            + config.description_diversity_weight * description
+        )
+
+    def coverage_marginals(self) -> np.ndarray:
+        """Exact marginal covered weight of every candidate (one mat-vec)."""
+        if self.cover is None:
+            return np.zeros(self.npool, dtype=np.float64)
+        return np.asarray(self.cover @ self.uncovered_weights, dtype=np.float64)
+
+    def coverage_marginal(self, index: int) -> float:
+        """Exact marginal covered weight of one candidate."""
+        positions = self.stats.positions[index]
+        if not len(positions):
+            return 0.0
+        return float(self.uncovered_weights[positions].sum())
+
+    def swap_scores(self, position: int) -> np.ndarray:
+        """score((S − {selected[position]}) ∪ {c}) for every candidate c.
+
+        One vectorized delta pass; entries for already-selected candidates
+        are meaningless (callers skip them via ``selected_mask``).
+        """
+        stats = self.stats
+        config = self.config
+        count = len(self.selected)
+        outgoing = self.selected[position]
+        if count >= 2:
+            pairs = count * (count - 1) / 2
+            pair_sum_without = self.pair_sum - (self.sim_to_selected[outgoing] - 1.0)
+            sim_without = self.sim_to_selected - self.sim_column(outgoing)
+            diversity = 1.0 - (pair_sum_without + sim_without) / pairs
+        else:
+            diversity = np.ones(self.npool, dtype=np.float64)
+        if stats.n_relevant == 0:
+            coverage = np.ones(self.npool, dtype=np.float64)
+        else:
+            out_positions = stats.positions[outgoing]
+            solo = out_positions[self.cover_counts[out_positions] == 1]
+            covered_without = self.covered_weight - float(
+                stats.weights[solo].sum()
+            )
+            open_weights = self.uncovered_weights
+            if len(solo):
+                open_weights = open_weights.copy()
+                open_weights[solo] = stats.weights[solo]
+            marginals = (
+                np.asarray(self.cover @ open_weights, dtype=np.float64)
+                if self.cover is not None
+                else np.zeros(self.npool, dtype=np.float64)
+            )
+            coverage = (covered_without + marginals) / stats.total_weight
+        affinity = (self.feedback_sum - self.feedback[outgoing] + self.feedback) / count
+        union_without = np.zeros_like(self.attr_union)
+        for member in self.selected:
+            if member != outgoing:
+                union_without |= self.attrs[member]
+        total_without = self.attr_total - int(self.attr_count[outgoing])
+        distinct = (self.attrs | union_without).sum(axis=1)
+        description = np.maximum(distinct, 1) / (total_without + self.attr_count)
+        self.evaluations += self.npool - count
+        return (
+            config.diversity_weight * diversity
+            + config.coverage_weight * coverage
+            + config.feedback_weight * affinity
+            + config.description_diversity_weight * description
         )
 
 
@@ -224,6 +587,10 @@ def select_k(
     (the clicked group's members, or every user at session start).
     ``prior`` (optional) adds an explorer-profile interest bonus per group
     to the affinity term — the "anticipate follow-up steps" hook of §I.
+
+    ``config.engine`` selects the implementation: the vectorized CELF
+    engine (default) or the brute-force reference oracle; both run the
+    same floor-fill / greedy / swap phases on the same objective.
     """
     config = config or SelectionConfig()
     started = clock()
@@ -235,8 +602,195 @@ def select_k(
         return budget_seconds is not None and (clock() - started) >= budget_seconds
 
     pool = list(pool)[: config.max_candidates]
+    stats = _PoolStatistics(pool, relevant, feedback, prior)
+    if config.engine == "reference":
+        return _select_reference(stats, config, clock, started, out_of_time)
+    return _select_celf(stats, config, clock, started, out_of_time)
+
+
+# ---------------------------------------------------------------------------
+# CELF engine (default)
+# ---------------------------------------------------------------------------
+
+
+def _select_celf(
+    stats: _PoolStatistics,
+    config: SelectionConfig,
+    clock: Callable[[], float],
+    started: float,
+    out_of_time: Callable[[], bool],
+) -> SelectionResult:
+    pool = stats.pool
     k = min(config.k, len(pool))
-    evaluator = _Evaluator(pool, relevant, feedback, config, prior)
+    engine = _VectorEngine(stats, config)
+
+    # Phase 1: floor fill — the top-k by index similarity.
+    selected = list(range(k))
+    phases = 1
+
+    # Phase 2: CELF lazy greedy, clock-checked per re-evaluation.
+    if k and not out_of_time():
+        greedy, aborted = _celf_greedy(engine, k, out_of_time)
+        if len(greedy) == k:
+            selected = greedy
+            phases = 2
+        elif greedy:
+            # Partial greedy: keep it, fill remaining slots by pool order.
+            filler = [
+                index
+                for index in range(len(pool))
+                if not engine.selected_mask[index]
+            ]
+            for index in filler[: k - len(greedy)]:
+                engine.add(index)
+            selected = list(engine.selected)
+            phases = 2
+
+    # Sync the engine onto `selected` when the greedy never ran/landed.
+    if engine.selected != selected:
+        engine.reset()
+        for index in selected:
+            engine.add(index)
+
+    # Phase 3: delta-scored swap search until no improvement or budget out.
+    if phases == 2 and k and not out_of_time():
+        current_score = engine.score()
+        engine.evaluations += 1
+        improved = True
+        while improved and not out_of_time():
+            improved = False
+            for position in range(k):
+                if out_of_time():
+                    break
+                trial_scores = engine.swap_scores(position)
+                best_swap = None
+                best_swap_score = current_score
+                # Same chained-epsilon scan as the reference engine, over
+                # the vectorized trial scores.
+                for candidate in range(engine.npool):
+                    if engine.selected_mask[candidate]:
+                        continue
+                    trial = float(trial_scores[candidate])
+                    if trial > best_swap_score + _SWAP_EPSILON:
+                        best_swap_score = trial
+                        best_swap = candidate
+                if best_swap is not None:
+                    engine.swap(position, best_swap)
+                    current_score = best_swap_score
+                    improved = True
+        selected = list(engine.selected)
+        # A pass that found no swap *and* did not run out of time means the
+        # local search converged — the best the greedy can do on this pool.
+        if not improved and not out_of_time():
+            phases = 3
+
+    diversity, coverage, affinity, description = engine.objective_terms()
+    score = (
+        config.diversity_weight * diversity
+        + config.coverage_weight * coverage
+        + config.feedback_weight * affinity
+        + config.description_diversity_weight * description
+    )
+    return SelectionResult(
+        groups=[pool[index] for index in selected],
+        diversity=diversity,
+        coverage=coverage,
+        affinity=affinity,
+        score=score,
+        elapsed_ms=(clock() - started) * 1000.0,
+        evaluations=engine.evaluations,
+        pool_size=len(pool),
+        phases_completed=phases,
+        engine="celf",
+    )
+
+
+def _celf_greedy(
+    engine: _VectorEngine,
+    k: int,
+    out_of_time: Callable[[], bool],
+) -> tuple[list[int], bool]:
+    """Lazy-greedy fill of k slots; returns (chosen indices, aborted?).
+
+    Upper bound per candidate = exact non-coverage terms (cheap, vectorized
+    each slot) + the stale coverage marginal from the last time the
+    candidate was evaluated.  Weighted coverage is monotone submodular, so
+    stale marginals are admissible bounds; a candidate is accepted once its
+    freshly evaluated score dominates every remaining bound.  Tie-breaking
+    matches the reference scan: lowest pool index among exact maxima.
+    """
+    config = engine.config
+    stats = engine.stats
+    # Exact marginals for the empty selection: one mat-vec covers the pool.
+    stale_marginals = engine.coverage_marginals()
+    engine.evaluations += engine.npool
+    greedy: list[int] = []
+    aborted = False
+    for _slot in range(k):
+        base = engine.base_add_scores()
+        if stats.n_relevant == 0:
+            bounds = base + config.coverage_weight * 1.0
+        else:
+            # Same expression shape as the exact score below, so a fresh
+            # bound equals the exact value it will be compared against.
+            bounds = (
+                base
+                + config.coverage_weight
+                * (engine.covered_weight + stale_marginals)
+                / stats.total_weight
+            )
+        order = np.argsort(-bounds, kind="stable")
+        best_index = -1
+        best_score = -np.inf
+        for candidate in order:
+            candidate = int(candidate)
+            if engine.selected_mask[candidate]:
+                continue
+            if bounds[candidate] < best_score - _BOUND_SLACK:
+                break  # no remaining bound can beat the best exact score
+            if out_of_time():
+                aborted = True
+                break
+            if stats.n_relevant == 0:
+                exact = float(bounds[candidate])
+            else:
+                marginal = engine.coverage_marginal(candidate)
+                stale_marginals[candidate] = marginal
+                exact = float(
+                    base[candidate]
+                    + config.coverage_weight
+                    * (engine.covered_weight + marginal)
+                    / stats.total_weight
+                )
+            engine.evaluations += 1
+            if exact > best_score or (exact == best_score and candidate < best_index):
+                best_score = exact
+                best_index = candidate
+        if aborted and best_index < 0:
+            break
+        if best_index >= 0:
+            engine.add(best_index)
+            greedy.append(best_index)
+        if aborted:
+            break
+    return greedy, aborted
+
+
+# ---------------------------------------------------------------------------
+# Reference engine (parity oracle)
+# ---------------------------------------------------------------------------
+
+
+def _select_reference(
+    stats: _PoolStatistics,
+    config: SelectionConfig,
+    clock: Callable[[], float],
+    started: float,
+    out_of_time: Callable[[], bool],
+) -> SelectionResult:
+    pool = stats.pool
+    k = min(config.k, len(pool))
+    evaluator = _ReferenceEvaluator(stats, config)
 
     # Phase 1: floor fill — the top-k by index similarity.
     selected = list(range(k))
@@ -245,12 +799,13 @@ def select_k(
     # Phase 2: greedy rebuild, candidate-by-candidate, clock-checked.
     if k and not out_of_time():
         greedy: list[int] = []
+        in_greedy = np.zeros(len(pool), dtype=bool)
         aborted = False
         for _slot in range(k):
             best_index = -1
             best_score = -np.inf
             for candidate in range(len(pool)):
-                if candidate in greedy:
+                if in_greedy[candidate]:
                     continue
                 if out_of_time():
                     aborted = True
@@ -263,6 +818,7 @@ def select_k(
                 break
             if best_index >= 0:
                 greedy.append(best_index)
+                in_greedy[best_index] = True
             if aborted:
                 break
         if len(greedy) == k:
@@ -270,12 +826,16 @@ def select_k(
             phases = 2
         elif greedy:
             # Partial greedy: keep it, fill remaining slots by pool order.
-            filler = [index for index in range(len(pool)) if index not in greedy]
+            filler = [
+                index for index in range(len(pool)) if not in_greedy[index]
+            ]
             selected = greedy + filler[: k - len(greedy)]
             phases = 2
 
     # Phase 3: swap local search until no improvement or budget exhausted.
     if phases == 2 and k and not out_of_time():
+        in_selected = np.zeros(len(pool), dtype=bool)
+        in_selected[selected] = True
         current_score = evaluator.score(selected)
         improved = True
         while improved and not out_of_time():
@@ -286,17 +846,19 @@ def select_k(
                 best_swap = None
                 best_swap_score = current_score
                 for candidate in range(len(pool)):
-                    if candidate in selected:
+                    if in_selected[candidate]:
                         continue
                     if out_of_time():
                         break
                     trial = list(selected)
                     trial[position] = candidate
                     trial_score = evaluator.score(trial)
-                    if trial_score > best_swap_score + 1e-12:
+                    if trial_score > best_swap_score + _SWAP_EPSILON:
                         best_swap_score = trial_score
                         best_swap = candidate
                 if best_swap is not None:
+                    in_selected[selected[position]] = False
+                    in_selected[best_swap] = True
                     selected[position] = best_swap
                     current_score = best_swap_score
                     improved = True
@@ -326,4 +888,5 @@ def select_k(
         evaluations=evaluator.evaluations,
         pool_size=len(pool),
         phases_completed=phases,
+        engine="reference",
     )

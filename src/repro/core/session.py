@@ -46,6 +46,10 @@ class SessionConfig:
     #: on, the candidate pool is re-ranked by feedback-weighted Jaccard to
     #: the clicked group before selection.
     weighted_similarity: bool = False
+    #: Selection engine behind every click: the vectorized lazy-greedy
+    #: engine ("celf", default) or the brute-force parity oracle
+    #: ("reference") — see :mod:`repro.core.selection`.
+    engine: str = "celf"
     selection: SelectionConfig = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
@@ -59,7 +63,19 @@ class SessionConfig:
                 k=self.k,
                 time_budget_ms=self.time_budget_ms,
                 max_candidates=self.max_pool,
+                engine=self.engine,
             )
+        elif self.selection.engine != self.engine:
+            # An explicit SelectionConfig is authoritative; a *non-default*
+            # SessionConfig.engine disagreeing with it is a caller error
+            # (e.g. a parity experiment that would silently measure one
+            # engine against itself).
+            if self.engine != "celf":
+                raise ValueError(
+                    f"engine={self.engine!r} conflicts with "
+                    f"selection.engine={self.selection.engine!r}; set one"
+                )
+            self.engine = self.selection.engine
 
 
 class ExplorationSession:

@@ -3,11 +3,22 @@
 §II-A uses Jaccard over member sets to rank each group's inverted index;
 §II-B extends it to a *weighted* similarity so the greedy optimizer can
 favour groups aligned with the explorer's feedback.
+
+Besides the scalar functions, this module owns the *pooled* similarity
+primitives: one sparse group×user membership matrix and the dense
+pool×pool Jaccard matrix derived from its self-product.  Both the
+inverted index (:mod:`repro.index.inverted`) and the selection engine
+(:mod:`repro.core.selection`) build on these instead of re-deriving
+pairwise similarities one pair at a time.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from typing import Optional
+
 import numpy as np
+from scipy import sparse
 
 
 def jaccard(left: np.ndarray, right: np.ndarray) -> float:
@@ -48,6 +59,64 @@ def weighted_jaccard(
     if union_weight <= 0.0:
         return 0.0
     return float(weights[intersection].sum()) / union_weight
+
+
+def membership_matrix(
+    memberships: Sequence[np.ndarray], n_users: int
+) -> sparse.csr_matrix:
+    """Sparse |G|×|users| 0/1 matrix: row g marks group g's members.
+
+    The self-product of this matrix yields all pairwise intersection sizes
+    in one sparse multiply — the shared backbone of the inverted index and
+    the pooled Jaccard matrix below.  Member arrays are assumed unique
+    (the :class:`~repro.core.group.GroupSpace` invariant); duplicates
+    would inflate intersection counts.
+    """
+    count = len(memberships)
+    arrays = [np.asarray(members, dtype=np.int64) for members in memberships]
+    row_indices = (
+        np.concatenate(
+            [np.full(len(members), group) for group, members in enumerate(arrays)]
+        )
+        if count
+        else np.empty(0, dtype=np.int64)
+    )
+    column_indices = (
+        np.concatenate(arrays) if count else np.empty(0, dtype=np.int64)
+    )
+    data = np.ones(len(row_indices), dtype=np.int64)
+    return sparse.csr_matrix(
+        (data, (row_indices, column_indices)),
+        shape=(count, max(n_users, 1)),
+    )
+
+
+def pairwise_jaccard_matrix(
+    memberships: Sequence[np.ndarray], n_users: Optional[int] = None
+) -> np.ndarray:
+    """Dense |G|×|G| Jaccard matrix via one sparse membership self-product.
+
+    Matches :func:`jaccard` entrywise (two empty sets similar at 1.0, the
+    diagonal is 1.0) but costs one sparse multiply instead of O(|G|²)
+    pairwise ``intersect1d`` calls — intended for candidate pools of a few
+    hundred groups, where the dense result is small.
+    """
+    count = len(memberships)
+    if count == 0:
+        return np.zeros((0, 0), dtype=np.float64)
+    arrays = [np.asarray(members, dtype=np.int64) for members in memberships]
+    if n_users is None:
+        n_users = max(
+            (int(members.max()) + 1 for members in arrays if len(members)),
+            default=0,
+        )
+    matrix = membership_matrix(arrays, n_users)
+    intersections = np.asarray(
+        (matrix @ matrix.T).toarray(), dtype=np.float64
+    )
+    sizes = np.array([len(members) for members in arrays], dtype=np.float64)
+    unions = sizes[:, None] + sizes[None, :] - intersections
+    return np.where(unions > 0, intersections / np.where(unions > 0, unions, 1.0), 1.0)
 
 
 def mean_pairwise_jaccard(memberships: list[np.ndarray]) -> float:

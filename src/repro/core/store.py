@@ -141,6 +141,7 @@ def load_index(space: GroupSpace, directory: str | Path) -> SimilarityIndex:
     ]
     index._prefix_complete = list(payload["prefix_complete"])
     index._exact_cache = {}
+    index._matrix = None  # lazily rebuilt on the first exact lookup
     return index
 
 

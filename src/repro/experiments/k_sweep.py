@@ -25,6 +25,7 @@ def run_k_sweep(
     ks: tuple[int, ...] = (2, 3, 5, 7, 9, 12),
     genres: tuple[str, ...] = ("fiction", "romance", "mystery"),
     repeats: int = 3,
+    engine: str = "celf",
 ) -> ExperimentReport:
     space = bookcrossing_space()
     rows: list[dict[str, object]] = []
@@ -39,7 +40,10 @@ def run_k_sweep(
             for repeat in range(repeats):
                 task = SingleTargetTask(space, target_gid=target)
                 session = ExplorationSession(
-                    space, config=SessionConfig(k=k, time_budget_ms=100.0)
+                    space,
+                    config=SessionConfig(
+                        k=k, time_budget_ms=100.0, engine=engine
+                    ),
                 )
                 agent = TargetSeekingExplorer(
                     task, AgentConfig(seed=repeat, max_iterations=15)
@@ -65,5 +69,8 @@ def run_k_sweep(
         experiment="C7",
         paper_claim="k <= 7 matches perception: success saturates, effort keeps growing",
         rows=rows,
-        notes="scan_effort = total groups the explorer had to look at",
+        notes=(
+            f"engine={engine}; scan_effort = total groups the explorer had to "
+            "look at"
+        ),
     )

@@ -31,6 +31,7 @@ def _timed(operation, repeats: int = 5) -> float:
 def run_latency(
     scales: tuple[int, ...] = (250, 500, 1000, 2000),
     budget_ms: float = 50.0,
+    engine: str = "celf",
 ) -> ExperimentReport:
     rows: list[dict[str, object]] = []
     for n_authors in scales:
@@ -40,12 +41,15 @@ def run_latency(
             DiscoveryConfig(method="lcm", min_support=0.05, max_description=3),
         )
         session = ExplorationSession(
-            space, config=SessionConfig(k=5, time_budget_ms=budget_ms)
+            space,
+            config=SessionConfig(k=5, time_budget_ms=budget_ms, engine=engine),
         )
         shown = session.start()
         gid = shown[0].gid
 
         click_ms = _timed(lambda: session.click(gid), repeats=3)
+        selection = session.last_selection
+        click_evaluations = selection.evaluations if selection else 0
         backtrack_ms = _timed(lambda: session.backtrack(0))
         memo_ms = _timed(lambda: session.bookmark_group(gid))
         context_ms = _timed(lambda: session.context.entries(10))
@@ -56,6 +60,7 @@ def run_latency(
                 "users": n_authors,
                 "groups": len(space),
                 "click_ms": click_ms,
+                "click_evaluations": click_evaluations,
                 "backtrack_ms": backtrack_ms,
                 "memo_ms": memo_ms,
                 "context_ms": context_ms,
@@ -66,5 +71,8 @@ def run_latency(
         experiment="C1",
         paper_claim="all interactions O(1); greedy (click) bounded by its budget",
         rows=rows,
-        notes=f"greedy budget {budget_ms:.0f} ms; other ops should stay ~constant",
+        notes=(
+            f"greedy budget {budget_ms:.0f} ms, engine={engine}; "
+            "other ops should stay ~constant"
+        ),
     )

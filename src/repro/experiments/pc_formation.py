@@ -13,6 +13,7 @@ completion rates.
 from __future__ import annotations
 
 from repro.agents.scenarios import pc_formation_study
+from repro.core.session import SessionConfig
 from repro.experiments.common import (
     ExperimentReport,
     dbauthors_data,
@@ -24,11 +25,17 @@ def run_pc_formation(
     venues: tuple[str, ...] = ("SIGMOD", "VLDB", "CIKM"),
     repeats: int = 5,
     committee_size: int = 12,
+    engine: str = "celf",
 ) -> ExperimentReport:
     data = dbauthors_data()
     space = dbauthors_space()
     outcomes = pc_formation_study(
-        data, space, venues=venues, repeats=repeats, committee_size=committee_size
+        data,
+        space,
+        venues=venues,
+        repeats=repeats,
+        committee_size=committee_size,
+        session_config=SessionConfig(engine=engine),
     )
     rows = [
         {
@@ -44,5 +51,8 @@ def run_pc_formation(
         experiment="C4",
         paper_claim="PC committees formed in < 10 iterations on average",
         rows=rows,
-        notes=f"committee: {committee_size} members, geo/gender/seniority constraints",
+        notes=(
+            f"committee: {committee_size} members, geo/gender/seniority "
+            f"constraints; engine={engine}"
+        ),
     )

@@ -22,6 +22,8 @@ from typing import Optional
 import numpy as np
 from scipy import sparse
 
+from repro.core.similarity import membership_matrix
+
 
 @dataclass(frozen=True)
 class Neighbor:
@@ -64,13 +66,19 @@ class SimilarityIndex:
 
     def _build(self) -> None:
         matrix = self._membership_matrix()
+        self._matrix = matrix
         overlaps = (matrix @ matrix.T).tocsr()
         sizes = self._sizes.astype(np.float64)
         budget = self._budget()
+        # Walk the CSR buffers directly — `overlaps.getrow(...)` would
+        # allocate a fresh one-row sparse matrix per group.
+        indptr = overlaps.indptr
+        all_indices = overlaps.indices
+        all_data = overlaps.data
         for group in range(self.n_groups):
-            row = overlaps.getrow(group)
-            neighbor_ids = row.indices
-            inter = row.data.astype(np.float64)
+            start, end = indptr[group], indptr[group + 1]
+            neighbor_ids = all_indices[start:end]
+            inter = all_data[start:end].astype(np.float64)
             keep = neighbor_ids != group
             neighbor_ids = neighbor_ids[keep]
             inter = inter[keep]
@@ -93,19 +101,19 @@ class SimilarityIndex:
             self._prefix_complete.append(complete)
 
     def _membership_matrix(self) -> sparse.csr_matrix:
-        row_indices = np.concatenate(
-            [np.full(len(members), group) for group, members in enumerate(self._memberships)]
-        ) if self.n_groups else np.empty(0, dtype=np.int64)
-        column_indices = (
-            np.concatenate(self._memberships)
-            if self.n_groups
-            else np.empty(0, dtype=np.int64)
-        )
-        data = np.ones(len(row_indices), dtype=np.int64)
-        return sparse.csr_matrix(
-            (data, (row_indices, column_indices)),
-            shape=(self.n_groups, max(self.n_users, 1)),
-        )
+        return membership_matrix(self._memberships, self.n_users)
+
+    def _ensure_matrix(self) -> sparse.csr_matrix:
+        """The pooled membership matrix, rebuilt when absent.
+
+        Indexes restored by :func:`repro.core.store.load_index` skip
+        ``_build`` and only materialize the matrix on the first exact
+        lookup.
+        """
+        matrix = getattr(self, "_matrix", None)
+        if matrix is None:
+            self._matrix = matrix = self._membership_matrix()
+        return matrix
 
     def _budget(self) -> int:
         """Entries materialized per group: fraction of |G| − 1, at least 1."""
@@ -138,25 +146,30 @@ class SimilarityIndex:
         return list(self._prefix[group])
 
     def exact_neighbors(self, group: int) -> list[Neighbor]:
-        """The full exact ranking for one group (cached after first call)."""
+        """The full exact ranking for one group (cached after first call).
+
+        One sparse row product against the membership matrix yields every
+        positive-overlap intersection size at once; groups sharing no
+        member have similarity 0 and never appear in the ranking.
+        """
         cached = self._exact_cache.get(group)
         if cached is not None:
             return cached
-        members = self._memberships[group]
-        similarities = np.zeros(self.n_groups)
-        for other in range(self.n_groups):
-            if other == group:
-                continue
-            inter = len(
-                np.intersect1d(members, self._memberships[other], assume_unique=False)
-            )
-            union = len(members) + self._sizes[other] - inter
-            similarities[other] = inter / union if union else 0.0
-        order = np.lexsort((np.arange(self.n_groups), -similarities))
+        matrix = self._ensure_matrix()
+        row = (matrix.getrow(group) @ matrix.T).tocoo()
+        neighbor_ids = row.col
+        inter = row.data.astype(np.float64)
+        keep = neighbor_ids != group
+        neighbor_ids = neighbor_ids[keep]
+        inter = inter[keep]
+        unions = float(self._sizes[group]) + self._sizes[neighbor_ids] - inter
+        similarities = np.where(unions > 0, inter / np.where(unions > 0, unions, 1.0), 0.0)
+        positive = similarities > 0.0
+        neighbor_ids = neighbor_ids[positive]
+        similarities = similarities[positive]
+        order = np.lexsort((neighbor_ids, -similarities))
         ranking = [
-            Neighbor(int(other), float(similarities[other]))
-            for other in order
-            if other != group and similarities[other] > 0.0
+            Neighbor(int(neighbor_ids[i]), float(similarities[i])) for i in order
         ]
         self._exact_cache[group] = ranking
         return ranking

@@ -33,6 +33,28 @@ class TestConfig:
         config = SessionConfig(k=3)
         assert config.selection.k == 3
 
+    def test_selection_inherits_engine(self):
+        config = SessionConfig(engine="reference")
+        assert config.selection.engine == "reference"
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError):
+            SessionConfig(engine="bogus")
+
+    def test_explicit_selection_engine_wins_over_default(self):
+        from repro.core.selection import SelectionConfig
+
+        config = SessionConfig(selection=SelectionConfig(engine="reference"))
+        assert config.engine == "reference"
+
+    def test_conflicting_engines_rejected(self):
+        from repro.core.selection import SelectionConfig
+
+        with pytest.raises(ValueError):
+            SessionConfig(
+                engine="reference", selection=SelectionConfig(engine="celf")
+            )
+
 
 class TestStart:
     def test_start_shows_at_most_k(self, session):

@@ -9,7 +9,9 @@ from repro.core.similarity import (
     jaccard,
     jaccard_distance,
     mean_pairwise_jaccard,
+    membership_matrix,
     overlap_size,
+    pairwise_jaccard_matrix,
     weighted_jaccard,
 )
 
@@ -82,6 +84,46 @@ class TestWeightedJaccard:
     def test_zero_weights(self):
         weights = np.zeros(10)
         assert weighted_jaccard(np.array([1]), np.array([2]), weights) == 0.0
+
+
+class TestMembershipMatrix:
+    def test_shape_and_entries(self):
+        matrix = membership_matrix([np.array([0, 2]), np.array([2, 4])], 5)
+        assert matrix.shape == (2, 5)
+        dense = matrix.toarray()
+        assert dense[0].tolist() == [1, 0, 1, 0, 0]
+        assert dense[1].tolist() == [0, 0, 1, 0, 1]
+
+    def test_empty_inputs(self):
+        assert membership_matrix([], 10).shape == (0, 10)
+        assert membership_matrix([np.array([], dtype=np.int64)], 0).shape == (1, 1)
+
+    def test_self_product_gives_intersections(self):
+        groups = [np.array([0, 1, 2]), np.array([1, 2, 3]), np.array([4])]
+        matrix = membership_matrix(groups, 5)
+        overlaps = (matrix @ matrix.T).toarray()
+        assert overlaps[0, 1] == 2
+        assert overlaps[0, 2] == 0
+        assert overlaps[1, 1] == 3
+
+
+class TestPairwiseJaccardMatrix:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(user_sets, min_size=1, max_size=8))
+    def test_matches_scalar_jaccard(self, groups):
+        matrix = pairwise_jaccard_matrix(groups)
+        for i in range(len(groups)):
+            for j in range(len(groups)):
+                assert matrix[i, j] == pytest.approx(jaccard(groups[i], groups[j]))
+
+    def test_empty_pool(self):
+        assert pairwise_jaccard_matrix([]).shape == (0, 0)
+
+    def test_diagonal_is_one(self):
+        groups = [np.array([1, 2]), np.array([], dtype=np.int64)]
+        matrix = pairwise_jaccard_matrix(groups)
+        assert matrix[0, 0] == 1.0
+        assert matrix[1, 1] == 1.0  # empty-vs-empty convention
 
 
 class TestMeanPairwise:

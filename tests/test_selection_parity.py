@@ -1,0 +1,170 @@
+"""Engine parity: the vectorized CELF selector vs the brute-force oracle.
+
+The optimized engine must be a pure performance change: on untimed runs it
+returns the *same* groups and scores (±1e-9) as the retained reference
+implementation, across pool shapes, feedback states and priors.  A
+submodularity sanity test guards the assumption the lazy-greedy bound
+relies on: marginal weighted coverage never grows as the selection grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.feedback import FeedbackVector
+from repro.core.group import Group
+from repro.core.selection import (
+    SelectionConfig,
+    _PoolStatistics,
+    _VectorEngine,
+    select_k,
+)
+
+ATTRIBUTES = ("gender", "age", "city", "favorite_genre")
+
+
+def make_pool(seed: int, count: int = 28, universe: int = 120) -> list[Group]:
+    rng = np.random.default_rng(seed)
+    pool = []
+    for gid in range(count):
+        n_tokens = int(rng.integers(1, 4))
+        description = tuple(
+            f"{ATTRIBUTES[int(rng.integers(len(ATTRIBUTES)))]}=v{int(rng.integers(4))}"
+            for _ in range(n_tokens)
+        )
+        members = np.unique(rng.choice(universe, size=int(rng.integers(4, 28))))
+        pool.append(Group(gid, description, members))
+    return pool
+
+
+def make_feedback(seed: int, universe: int = 120) -> FeedbackVector:
+    rng = np.random.default_rng(seed)
+    feedback = FeedbackVector()
+    for _ in range(3):
+        members = np.unique(rng.choice(universe, size=12))
+        feedback.learn_group(members, [f"gender=v{int(rng.integers(4))}"])
+    return feedback
+
+
+def run_both(pool, relevant, feedback=None, prior=None, **config_kwargs):
+    results = {}
+    for engine in ("reference", "celf"):
+        config = SelectionConfig(time_budget_ms=None, engine=engine, **config_kwargs)
+        results[engine] = select_k(pool, relevant, feedback, config, prior=prior)
+    return results["reference"], results["celf"]
+
+
+def assert_parity(reference, optimized):
+    assert optimized.gids() == reference.gids()
+    assert optimized.score == pytest.approx(reference.score, abs=1e-9)
+    assert optimized.diversity == pytest.approx(reference.diversity, abs=1e-9)
+    assert optimized.coverage == pytest.approx(reference.coverage, abs=1e-9)
+    assert optimized.affinity == pytest.approx(reference.affinity, abs=1e-9)
+    assert reference.phases_completed == optimized.phases_completed == 3
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_plain_pools(self, seed):
+        pool = make_pool(seed)
+        rng = np.random.default_rng(seed + 500)
+        relevant = rng.choice(120, size=70, replace=False)
+        assert_parity(*run_both(pool, relevant, k=5))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_with_feedback(self, seed):
+        pool = make_pool(seed, count=22)
+        relevant = np.arange(120)
+        feedback = make_feedback(seed + 1000)
+        assert_parity(*run_both(pool, relevant, feedback, k=5))
+
+    @pytest.mark.parametrize("seed", (0, 3, 7))
+    def test_with_prior(self, seed):
+        pool = make_pool(seed, count=20)
+        relevant = np.arange(0, 120, 2)
+
+        def prior(group: Group) -> float:
+            return 0.01 * (group.gid % 5)
+
+        assert_parity(*run_both(pool, relevant, prior=prior, k=4))
+
+    @pytest.mark.parametrize("k", (1, 2, 3, 7))
+    def test_k_values(self, k):
+        pool = make_pool(42, count=25)
+        relevant = np.arange(120)
+        assert_parity(*run_both(pool, relevant, k=k))
+
+    def test_pool_smaller_than_k(self):
+        pool = make_pool(9, count=3)
+        reference, optimized = run_both(pool, np.arange(120), k=5)
+        assert optimized.gids() == reference.gids()
+        assert len(optimized.groups) == 3
+
+    def test_empty_relevant(self):
+        pool = make_pool(5, count=15)
+        reference, optimized = run_both(
+            pool, np.empty(0, dtype=np.int64), k=4
+        )
+        assert optimized.gids() == reference.gids()
+        assert optimized.coverage == reference.coverage == 1.0
+
+    def test_duplicate_groups_tie_break_identically(self):
+        # Identical member sets force exact score ties; both engines must
+        # resolve them to the lowest pool index.
+        members = np.arange(10, 40)
+        pool = [Group(gid, (f"age=v{gid % 2}",), members) for gid in range(8)]
+        reference, optimized = run_both(pool, np.arange(60), k=3)
+        assert optimized.gids() == reference.gids()
+
+    def test_weight_variations(self):
+        pool = make_pool(13)
+        relevant = np.arange(120)
+        for weights in (
+            dict(diversity_weight=1.0, coverage_weight=0.0, feedback_weight=0.0),
+            dict(diversity_weight=0.0, coverage_weight=1.0, feedback_weight=0.0),
+            dict(description_diversity_weight=0.0),
+        ):
+            assert_parity(*run_both(pool, relevant, k=5, **weights))
+
+    def test_evaluations_not_inflated(self):
+        # The lazy greedy must not evaluate more candidate sets than the
+        # exhaustive reference to reach the same answer.
+        pool = make_pool(21, count=40)
+        reference, optimized = run_both(pool, np.arange(120), k=5)
+        assert optimized.evaluations <= reference.evaluations
+
+
+class TestSubmodularity:
+    """The CELF bound is only admissible if coverage is submodular."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_coverage_marginals_shrink(self, seed):
+        pool = make_pool(seed, count=20)
+        rng = np.random.default_rng(seed + 77)
+        relevant = rng.choice(120, size=80, replace=False)
+        feedback = make_feedback(seed) if seed % 2 else None
+        stats = _PoolStatistics(pool, relevant, feedback)
+        engine = _VectorEngine(stats, SelectionConfig(time_budget_ms=None))
+        previous = engine.coverage_marginals()
+        order = rng.permutation(len(pool))[:8]
+        for index in order:
+            engine.add(int(index))
+            current = engine.coverage_marginals()
+            # Monotone submodular: every candidate's marginal coverage can
+            # only shrink as the selection grows.
+            assert np.all(current <= previous + 1e-12)
+            previous = current
+
+    def test_stale_bounds_are_admissible(self):
+        # The exact marginal computed later can never exceed a stale bound
+        # recorded earlier — the property the lazy heap relies on.
+        pool = make_pool(31, count=25)
+        stats = _PoolStatistics(pool, np.arange(120), None)
+        engine = _VectorEngine(stats, SelectionConfig(time_budget_ms=None))
+        stale = engine.coverage_marginals()
+        for index in (2, 11, 17):
+            engine.add(index)
+            for candidate in range(len(pool)):
+                assert (
+                    engine.coverage_marginal(candidate)
+                    <= stale[candidate] + 1e-12
+                )
