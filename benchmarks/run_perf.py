@@ -14,11 +14,23 @@ the next:
   interaction);
 - ``phase3_rate`` — share of budgeted runs whose swap search converged
   (phases_completed == 3) before the budget expired;
-- ``parity`` — untimed runs of both engines return identical displays.
+- ``parity`` — untimed runs of the reference oracle, the plain celf
+  engine, and the celf engine with a cold and a warm
+  :class:`~repro.core.poolcache.PoolStatsCache` all return identical
+  displays (the four engine/cache combinations);
+- ``cache`` — warm-vs-cold click latency from a session replay of the
+  HISTORY backtrack/re-click gesture, plus select-level cold / warm
+  (statistics reused, feedback changed) / memo (identical call) medians;
+- ``governor`` — escalation-tier distribution and objective uplift of the
+  adaptive budget governor on the C2 pools.
+
+A malformed existing output file (anything but a JSON object) aborts with
+exit code 2 before any measurement — the trajectory must never be
+clobbered by overwriting evidence that something else corrupted it.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_perf.py [--out PATH] [--quick]
+    PYTHONPATH=src python benchmarks/run_perf.py [--out PATH] [--quick | --smoke]
 """
 
 from __future__ import annotations
@@ -26,10 +38,13 @@ from __future__ import annotations
 import argparse
 import json
 import statistics
+import sys
 import time
 from pathlib import Path
 
 from repro.agents.scenarios import discussion_group_target
+from repro.core.feedback import FeedbackVector
+from repro.core.poolcache import PoolStatsCache
 from repro.core.selection import SelectionConfig, select_k
 from repro.core.session import ExplorationSession, SessionConfig
 from repro.experiments.common import bookcrossing_space, dbauthors_space
@@ -38,6 +53,10 @@ from repro.index.inverted import SimilarityIndex
 ENGINES = ("reference", "celf")
 BUDGET_MS = 100.0
 DEFAULT_OUT = Path(__file__).parent / "BENCH_selection.json"
+
+#: Gate on the session-replay cache speedup (full runs only): the second
+#: click on an already-visited pool must be at least this much faster.
+WARM_COLD_GATE = 2.0
 
 
 def c2_pools(n_parents: int) -> list[tuple]:
@@ -54,6 +73,8 @@ def c2_pools(n_parents: int) -> list[tuple]:
 
 def c7_pools(n_genres: int) -> list[tuple]:
     """C7's unit: neighborhoods of bookcrossing discussion-group targets."""
+    if n_genres <= 0:
+        return []
     space = bookcrossing_space()
     index = SimilarityIndex(space.memberships(), space.dataset.n_users, 0.10)
     pools = []
@@ -86,6 +107,8 @@ def measure_pools(pools: list[tuple], engine: str, repeats: int) -> dict:
             )
             converged += 1 if result.phases_completed == 3 else 0
             runs += 1
+    if not runs:
+        return {"runs": 0}
     return {
         "runs": runs,
         "evaluations_median": int(statistics.median(evaluations)),
@@ -96,16 +119,33 @@ def measure_pools(pools: list[tuple], engine: str, repeats: int) -> dict:
 
 
 def check_parity(pools: list[tuple]) -> bool:
-    """Untimed runs of both engines must produce identical displays."""
+    """All four engine/cache combinations must produce identical displays.
+
+    Untimed runs of: the reference oracle, the plain celf engine, celf
+    with a cold cache (first use), and celf with a warm cache (same call
+    repeated — structure, feedback layer and result memo all hot).
+    """
     for parent, pool in pools:
         outputs = []
-        for engine in ENGINES:
-            config = SelectionConfig(k=5, time_budget_ms=None, engine=engine)
-            outputs.append(select_k(pool, parent.members, config=config))
-        if outputs[0].gids() != outputs[1].gids():
-            return False
-        if abs(outputs[0].score - outputs[1].score) > 1e-9:
-            return False
+        config_reference = SelectionConfig(
+            k=5, time_budget_ms=None, engine="reference"
+        )
+        outputs.append(select_k(pool, parent.members, config=config_reference))
+        config_celf = SelectionConfig(k=5, time_budget_ms=None, engine="celf")
+        outputs.append(select_k(pool, parent.members, config=config_celf))
+        cache = PoolStatsCache()
+        outputs.append(
+            select_k(pool, parent.members, config=config_celf, cache=cache)
+        )
+        outputs.append(
+            select_k(pool, parent.members, config=config_celf, cache=cache)
+        )
+        baseline = outputs[0]
+        for other in outputs[1:]:
+            if other.gids() != baseline.gids():
+                return False
+            if abs(other.score - baseline.score) > 1e-9:
+                return False
     return True
 
 
@@ -132,7 +172,120 @@ def measure_clicks(engine: str, clicks: int) -> dict:
     }
 
 
-def run(n_parents: int, n_genres: int, repeats: int, clicks: int) -> dict:
+def measure_cache(pools: list[tuple], rounds: int, repeats: int) -> dict:
+    """Warm-vs-cold cache behaviour, at the click and the select level.
+
+    The click measurement replays the paper's HISTORY gesture in one
+    cached session: click a group (cold — its pool has never been seen),
+    advance, backtrack, and re-click the same group (warm — pool, restored
+    feedback and result all fingerprint-hit).  The select measurement
+    isolates the three cache states on the C2 pools: cold build, warm
+    reuse under *changed* feedback (structure reused, weights recomputed),
+    and a fully memoized identical call.
+    """
+    space = dbauthors_space()
+    session = ExplorationSession(
+        space,
+        config=SessionConfig(
+            k=5, time_budget_ms=BUDGET_MS, engine="celf", use_profile=False
+        ),
+    )
+    shown = session.start()
+    cold_clicks: list[float] = []
+    warm_clicks: list[float] = []
+    for _ in range(rounds):
+        step = session.current_step()
+        base_step = step.step_id if step is not None else 0
+        first = shown[0].gid
+        started = time.perf_counter()
+        after_first = session.click(first)
+        cold_clicks.append((time.perf_counter() - started) * 1000.0)
+        second = next(
+            (group.gid for group in after_first if group.gid != first), first
+        )
+        started = time.perf_counter()
+        session.click(second)
+        cold_clicks.append((time.perf_counter() - started) * 1000.0)
+        session.backtrack(base_step)
+        started = time.perf_counter()
+        replayed = session.click(first)
+        warm_clicks.append((time.perf_counter() - started) * 1000.0)
+        # Advance to an unvisited display for the next round's cold clicks.
+        shown = [group for group in replayed if group.gid != first] or replayed
+
+    select_cold: list[float] = []
+    select_warm: list[float] = []
+    select_memo: list[float] = []
+    config = SelectionConfig(k=5, time_budget_ms=BUDGET_MS, engine="celf")
+    for parent, pool in pools:
+        for _ in range(repeats):
+            cache = PoolStatsCache()
+            feedback = FeedbackVector()
+            started = time.perf_counter()
+            select_k(pool, parent.members, feedback, config, cache=cache)
+            select_cold.append((time.perf_counter() - started) * 1000.0)
+            feedback.learn_group(parent.members, parent.description)
+            started = time.perf_counter()
+            select_k(pool, parent.members, feedback, config, cache=cache)
+            select_warm.append((time.perf_counter() - started) * 1000.0)
+            started = time.perf_counter()
+            select_k(pool, parent.members, feedback, config, cache=cache)
+            select_memo.append((time.perf_counter() - started) * 1000.0)
+
+    cold_p50 = statistics.median(cold_clicks)
+    warm_p50 = statistics.median(warm_clicks)
+    pool_cache = session.pool_cache
+    return {
+        "engine": "celf",
+        "rounds": rounds,
+        "cold_click_p50_ms": round(cold_p50, 3),
+        "warm_click_p50_ms": round(warm_p50, 3),
+        "warm_cold_click_ratio": round(cold_p50 / max(warm_p50, 1e-9), 2),
+        "select_cold_p50_ms": round(statistics.median(select_cold), 3),
+        "select_warm_p50_ms": round(statistics.median(select_warm), 3),
+        "select_memo_p50_ms": round(statistics.median(select_memo), 3),
+        "select_warm_ratio": round(
+            statistics.median(select_cold)
+            / max(statistics.median(select_warm), 1e-9),
+            2,
+        ),
+        "session_cache": pool_cache.stats() if pool_cache is not None else {},
+    }
+
+
+def measure_governor(pools: list[tuple], repeats: int) -> dict:
+    """Escalation-tier distribution and objective uplift on the C2 pools."""
+    tiers: list[int] = []
+    uplifts: list[float] = []
+    elapsed: list[float] = []
+    base_config = SelectionConfig(k=5, time_budget_ms=BUDGET_MS, engine="celf")
+    governed_config = SelectionConfig(
+        k=5, time_budget_ms=BUDGET_MS, engine="celf", governor=True
+    )
+    for parent, pool in pools:
+        for _ in range(repeats):
+            base = select_k(pool, parent.members, config=base_config)
+            governed = select_k(pool, parent.members, config=governed_config)
+            tiers.append(governed.governor_tier)
+            uplifts.append(governed.score - base.score)
+            elapsed.append(governed.elapsed_ms)
+    if not tiers:
+        return {"runs": 0}
+    return {
+        "runs": len(tiers),
+        "mean_tier": round(statistics.mean(tiers), 2),
+        "tier_counts": {
+            str(tier): tiers.count(tier) for tier in sorted(set(tiers))
+        },
+        "mean_score_uplift": round(statistics.mean(uplifts), 6),
+        "elapsed_p50_ms": round(statistics.median(elapsed), 3),
+        "budget_ms": BUDGET_MS,
+    }
+
+
+def run(
+    n_parents: int, n_genres: int, repeats: int, clicks: int, cache_rounds: int
+) -> dict:
     pools = {"C2": c2_pools(n_parents), "C7": c7_pools(n_genres)}
     report: dict = {
         "benchmark": "selection-engine",
@@ -151,10 +304,13 @@ def run(n_parents: int, n_genres: int, repeats: int, clicks: int) -> dict:
     for engine in ENGINES:
         engine_report: dict = {}
         for name, entries in pools.items():
-            engine_report[name] = measure_pools(entries, engine, repeats)
+            if entries:
+                engine_report[name] = measure_pools(entries, engine, repeats)
         engine_report["C1"] = measure_clicks(engine, clicks)
         report["engines"][engine] = engine_report
-    for name in pools:
+    for name, entries in pools.items():
+        if not entries:
+            continue
         reference = report["engines"]["reference"][name]
         optimized = report["engines"]["celf"][name]
         report["speedup"][f"{name}_evals_per_100ms"] = round(
@@ -162,33 +318,103 @@ def run(n_parents: int, n_genres: int, repeats: int, clicks: int) -> dict:
             / max(reference["evals_per_100ms_median"], 1e-9),
             2,
         )
-        report["parity"][name] = check_parity(pools[name])
+        report["parity"][name] = check_parity(entries)
     reference_click = report["engines"]["reference"]["C1"]["click_p50_ms"]
     optimized_click = report["engines"]["celf"]["C1"]["click_p50_ms"]
     report["speedup"]["click_p50"] = round(
         reference_click / max(optimized_click, 1e-9), 2
     )
+    report["cache"] = measure_cache(pools["C2"], cache_rounds, repeats)
+    report["governor"] = measure_governor(pools["C2"], repeats)
     return report
+
+
+def load_prior(path: Path) -> tuple:
+    """(prior report or None, error string or None) for the existing output.
+
+    A present-but-malformed file is an error: the caller exits nonzero
+    instead of overwriting evidence of corruption (or crashing with a
+    traceback mid-benchmark).
+    """
+    if not path.exists():
+        return None, None
+    try:
+        prior = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+        return None, f"{type(error).__name__}: {error}"
+    if not isinstance(prior, dict):
+        return None, f"expected a JSON object, found {type(prior).__name__}"
+    return prior, None
+
+
+def print_deltas(prior: dict, report: dict) -> None:
+    """Trajectory vs the previous run of this harness (best effort)."""
+    try:
+        previous_click = prior["engines"]["celf"]["C1"]["click_p50_ms"]
+        current_click = report["engines"]["celf"]["C1"]["click_p50_ms"]
+        print(
+            f"click p50 trajectory: {previous_click} ms -> {current_click} ms"
+        )
+    except (KeyError, TypeError):
+        pass
+    try:
+        previous_ratio = prior["cache"]["warm_cold_click_ratio"]
+        current_ratio = report["cache"]["warm_cold_click_ratio"]
+        print(
+            "warm/cold click ratio trajectory: "
+            f"{previous_ratio}x -> {current_ratio}x"
+        )
+    except (KeyError, TypeError):
+        pass
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     parser.add_argument(
-        "--quick", action="store_true", help="fewer pools/repeats (smoke run)"
+        "--quick", action="store_true", help="fewer pools/repeats (quick run)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "minimal end-to-end pass (CI / pytest self-test): one dbauthors "
+            "pool, no bookcrossing space, relaxed gates"
+        ),
     )
     args = parser.parse_args()
-    if args.quick:
-        report = run(n_parents=2, n_genres=1, repeats=2, clicks=5)
+    prior, prior_error = load_prior(args.out)
+    if prior_error is not None:
+        print(
+            f"error: existing {args.out} is not valid benchmark JSON "
+            f"({prior_error}); move it aside before re-running",
+            file=sys.stderr,
+        )
+        return 2
+    if args.smoke:
+        report = run(n_parents=1, n_genres=0, repeats=1, clicks=3, cache_rounds=2)
+    elif args.quick:
+        report = run(n_parents=2, n_genres=1, repeats=2, clicks=5, cache_rounds=3)
     else:
-        report = run(n_parents=6, n_genres=3, repeats=5, clicks=11)
+        report = run(n_parents=6, n_genres=3, repeats=5, clicks=11, cache_rounds=6)
     args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(report, indent=2))
+    if prior is not None:
+        print_deltas(prior, report)
     ok = all(report["parity"].values())
     for name in ("C2", "C7"):
-        speedup = report["speedup"].get(f"{name}_evals_per_100ms", 0.0)
+        speedup = report["speedup"].get(f"{name}_evals_per_100ms")
+        if speedup is None:
+            continue
         print(f"{name}: {speedup:.1f}x objective evaluations per 100 ms")
         ok = ok and speedup >= 5.0
+    ratio = report["cache"]["warm_cold_click_ratio"]
+    gate = 1.0 if args.smoke else WARM_COLD_GATE
+    print(
+        f"cache: warm click {ratio:.1f}x faster than cold "
+        f"(gate {gate:.1f}x, {'smoke' if args.smoke else 'full'})"
+    )
+    ok = ok and ratio >= gate
     print(f"parity: {report['parity']}  ->  {'OK' if ok else 'REGRESSION'}")
     return 0 if ok else 1
 

@@ -1,0 +1,39 @@
+"""Repo-wide pytest/hypothesis configuration.
+
+Hypothesis profiles keep the property suites deterministic where it
+matters: the ``ci`` profile (selected via ``HYPOTHESIS_PROFILE=ci``, as
+the GitHub Actions workflow does) fixes the derandomization seed and
+trims example counts so CI runs are reproducible and bounded; the default
+``dev`` profile keeps randomized exploration for local runs.  Tests that
+pin their own ``max_examples`` keep it — profiles only fill unspecified
+settings.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=20,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: perf-harness self-tests (seeded subprocess smoke runs of "
+        "benchmarks/run_perf.py)",
+    )

@@ -50,6 +50,9 @@ class AgentResult:
     progress: float
     effort: int  # items the explorer had to inspect (groups or users)
     trajectory: list[int] = field(default_factory=list)
+    #: Governor escalation tier each click's selection reached (empty when
+    #: the agent drove no session or the governor was off).
+    governor_tiers: list[int] = field(default_factory=list)
 
     @property
     def satisfaction(self) -> float:
@@ -99,6 +102,7 @@ class TargetSeekingExplorer:
         shown = session.start()
         effort = len(shown)
         trajectory: list[int] = []
+        tiers = self._observed_tiers(session)
         target_gid = self.task.target_gid
         assert target_gid is not None
 
@@ -129,6 +133,7 @@ class TargetSeekingExplorer:
                     progress=1.0,
                     effort=effort,
                     trajectory=trajectory + [recognised.gid],
+                    governor_tiers=tiers,
                 )
             # Prefer unexplored directions (the explorer sees HISTORY and
             # will not re-click a dead end); when everything on screen is
@@ -153,9 +158,12 @@ class TargetSeekingExplorer:
                 choice = scored[int(rng.integers(1, len(scored)))]
             trajectory.append(choice.gid)
             shown = session.click(choice.gid)
+            tiers.extend(self._observed_tiers(session))
             effort += len(shown)
 
-        return self._final_result(session, effort, trajectory, best_affinity)
+        return self._final_result(
+            session, effort, trajectory, best_affinity, tiers
+        )
 
     def _best_backtrack(
         self, session: ExplorationSession, visited: set[int]
@@ -179,6 +187,7 @@ class TargetSeekingExplorer:
         effort: int,
         trajectory: list[int],
         best_affinity: float,
+        tiers: list[int],
     ) -> AgentResult:
         # Incomplete: partial satisfaction is the closest group ever shown —
         # the explorer walked away with *something*, just not the goal.
@@ -189,7 +198,13 @@ class TargetSeekingExplorer:
             progress=progress,
             effort=effort,
             trajectory=trajectory,
+            governor_tiers=tiers,
         )
+
+    @staticmethod
+    def _observed_tiers(session: ExplorationSession) -> list[int]:
+        selection = session.last_selection
+        return [selection.governor_tier] if selection is not None else []
 
 
 class CollectorExplorer:
@@ -244,6 +259,7 @@ class CollectorExplorer:
         shown = session.start(seed_gids=seed_gids)
         effort = len(shown)
         trajectory: list[int] = []
+        tiers = TargetSeekingExplorer._observed_tiers(session)
 
         for iteration in range(1, self.config.max_iterations + 1):
             if not shown:
@@ -280,6 +296,7 @@ class CollectorExplorer:
                     progress=1.0,
                     effort=effort,
                     trajectory=trajectory,
+                    governor_tiers=tiers,
                 )
 
             # Unlearn when a share constraint stalls: the paper's CONTEXT
@@ -307,6 +324,7 @@ class CollectorExplorer:
                 choice = ranked[int(rng.integers(1, len(ranked)))]
             trajectory.append(choice.gid)
             shown = session.click(choice.gid)
+            tiers.extend(TargetSeekingExplorer._observed_tiers(session))
             effort += len(shown)
 
         return AgentResult(
@@ -315,6 +333,7 @@ class CollectorExplorer:
             progress=self.task.progress(session.memo),
             effort=effort,
             trajectory=trajectory,
+            governor_tiers=tiers,
         )
 
 

@@ -56,6 +56,12 @@ class ScenarioOutcome:
     def mean_effort(self) -> float:
         return float(np.mean([run.effort for run in self.runs]))
 
+    @property
+    def mean_governor_tier(self) -> float:
+        """Mean escalation tier across every click of every run (0 = off)."""
+        tiers = [tier for run in self.runs for tier in run.governor_tiers]
+        return float(np.mean(tiers)) if tiers else 0.0
+
 
 # ---------------------------------------------------------------------------
 # Scenario 1: expert-set formation (MT)
@@ -162,11 +168,14 @@ def satisfaction_study(
     space: GroupSpace,
     genres: tuple[str, ...] = ("fiction", "romance", "mystery", "fantasy"),
     repeats: int = 5,
+    session_config: SessionConfig | None = None,
 ) -> tuple[ScenarioOutcome, ScenarioOutcome]:
     """C5: group-based exploration vs individual browsing, same budget.
 
     The individual arm gets the group arm's mean *effort* as its inspection
-    budget, so both arms spend comparable attention.
+    budget, so both arms spend comparable attention.  ``session_config``
+    (engine, governor, pool-cache knobs) applies to every group-arm
+    session, so the study can also quantify what escalation/caching buy.
     """
     group_runs: list[AgentResult] = []
     for genre in genres:
@@ -175,7 +184,9 @@ def satisfaction_study(
             continue
         for repeat in range(repeats):
             task = SingleTargetTask(space, target_gid=target)
-            session = ExplorationSession(space)
+            session = ExplorationSession(
+                space, config=session_config or SessionConfig()
+            )
             agent = TargetSeekingExplorer(
                 task, AgentConfig(seed=repeat, max_iterations=20)
             )

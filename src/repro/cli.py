@@ -84,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--k", type=int, default=5)
     explore.add_argument("--budget-ms", type=float, default=100.0)
     explore.add_argument(
+        "--governor", action="store_true",
+        help="escalate within the click budget when the greedy converges early",
+    )
+    explore.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the session pool cache (cold statistics every click)",
+    )
+    explore.add_argument(
         "--script", default=None,
         help="semicolon-separated commands to run instead of stdin",
     )
@@ -164,7 +172,14 @@ def cmd_explore(args: argparse.Namespace) -> int:
     space = load_group_space(dataset, args.store)
     index = load_index(space, args.store)
     session = ExplorationSession(
-        space, index, SessionConfig(k=args.k, time_budget_ms=args.budget_ms)
+        space,
+        index,
+        SessionConfig(
+            k=args.k,
+            time_budget_ms=args.budget_ms,
+            governor=args.governor,
+            cache_pools=not args.no_cache,
+        ),
     )
     repl = ExplorationREPL(session, print)
     repl.show(session.start())

@@ -45,6 +45,33 @@ class FeedbackVector:
             raise ValueError("learning_rate must be in (0, 1]")
         self.learning_rate = learning_rate
         self._scores: dict[FeedbackKey, float] = {}
+        self._version = 0
+        self._state_key: Optional[frozenset] = None
+
+    def _touch(self) -> None:
+        """Invalidate derived state after any mutation."""
+        self._version += 1
+        self._state_key = None
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (bumped by learn/unlearn/reset/restore)."""
+        return self._version
+
+    def state_key(self) -> Optional[frozenset]:
+        """Content-equality key of the current vector (``None`` when empty).
+
+        Two vectors holding the same scores — e.g. the same click replayed
+        after a HISTORY backtrack restored the snapshot — produce *equal*
+        keys, so :class:`repro.core.poolcache.PoolStatsCache` can key its
+        feedback-dependent layers on actual content rather than object
+        identity.  The frozenset is cached until the next mutation.
+        """
+        if not self._scores:
+            return None
+        if self._state_key is None:
+            self._state_key = frozenset(self._scores.items())
+        return self._state_key
 
     # ------------------------------------------------------------------
     # learning
@@ -83,6 +110,7 @@ class FeedbackVector:
         total = sum(distribution.values())
         distribution = {key: value / total for key, value in distribution.items()}
 
+        self._touch()
         if not self._scores:
             self._scores = distribution
         else:
@@ -96,6 +124,7 @@ class FeedbackVector:
     def unlearn(self, key: FeedbackKey) -> bool:
         """Delete one entry (the CONTEXT deletion gesture); True if present."""
         if key in self._scores:
+            self._touch()
             del self._scores[key]
             self._normalise()
             return True
@@ -108,6 +137,7 @@ class FeedbackVector:
         return self.unlearn(("user", int(user)))
 
     def reset(self) -> None:
+        self._touch()
         self._scores.clear()
 
     def _normalise(self) -> None:
@@ -182,6 +212,7 @@ class FeedbackVector:
         return dict(self._scores)
 
     def restore(self, snapshot: dict[FeedbackKey, float]) -> None:
+        self._touch()
         self._scores = dict(snapshot)
 
     def __repr__(self) -> str:

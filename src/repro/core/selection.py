@@ -55,21 +55,62 @@ parity oracle: on untimed runs both engines return the same groups and
 scores (``tests/test_selection_parity.py``), and C2-style experiments can
 quantify how many more evaluations the vectorized engine affords per
 unit budget.
+
+Two orthogonal accelerators sit on top of the engines:
+
+**Session-scoped pool cache** — pass a
+:class:`repro.core.poolcache.PoolStatsCache` as ``select_k(...,
+cache=...)`` and the feedback-independent per-pool precomputation
+(membership CSR slices, coverage incidence, lazily materialized Jaccard
+columns), the feedback-dependent weight arrays, and — for a fully
+identical call — the complete result are memoized under content
+fingerprints and reused across clicks.  The cache is transparent: cached
+and uncached runs return identical displays and scores (the four-way
+parity suite covers reference / celf / cached-cold / cached-warm).
+
+**Adaptive budget governor** (``SelectionConfig.governor``, celf only) —
+when the greedy + swap phases converge with at least
+``governor_slack_fraction`` of the deadline to spare, the engine
+escalates through up to three tiers *within the same deadline*, keeping
+the incumbent display unless a tier strictly improves the objective:
+
+- **tier 1 — multi-restart floor fills**: the swap local search is
+  re-run from up to ``governor_restarts`` alternative floor-fill windows
+  of the pool, escaping the greedy's basin;
+- **tier 2 — wider candidate pool**: the full greedy + swap pipeline is
+  re-run over ``governor_pool_factor`` × ``max_candidates`` candidates
+  when the caller's pool was truncated;
+- **tier 3 — deeper swap neighborhood**: the best ``governor_swap_depth``
+  two-exchange branches (a plateau/downhill swap followed by re-converged
+  local search) are explored from the incumbent.
+
+``SelectionResult.governor_tier`` records the highest tier a call
+entered and ``tier_scores`` the (monotonically non-decreasing) best
+objective after each tier.  ``engine="reference"`` refuses governor
+settings outright — the oracle must never silently diverge from what it
+is an oracle for.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
 
 import numpy as np
-from scipy import sparse
 
 from repro.core.feedback import FeedbackVector
 from repro.core.group import Group
-from repro.core.similarity import jaccard, membership_matrix
+from repro.core.poolcache import (
+    PoolStatsCache,
+    _attribute_of,
+    _PoolStructure,
+    pool_fingerprint,
+    relevant_fingerprint,
+)
+from repro.core.similarity import jaccard
 
 #: Engines selectable via :attr:`SelectionConfig.engine`.
 ENGINES = ("celf", "reference")
@@ -91,7 +132,9 @@ class SelectionConfig:
 
     Defaults follow the paper: ``k = 5`` (≤ 7 per Miller's law), a 100 ms
     budget (continuity-preserving latency), and equal diversity/coverage
-    weight with a milder feedback bias.
+    weight with a milder feedback bias.  The governor knobs control the
+    slack-escalation tiers documented in the module docstring; they only
+    apply to the celf engine.
     """
 
     k: int = 5
@@ -108,6 +151,18 @@ class SelectionConfig:
     #: ``"celf"`` = vectorized lazy-greedy engine (default);
     #: ``"reference"`` = retained brute-force engine (parity oracle).
     engine: str = "celf"
+    #: Escalate within the deadline when greedy + swaps converge early.
+    governor: bool = False
+    #: Highest escalation tier the governor may enter (1..3).
+    governor_max_tier: int = 3
+    #: Minimum fraction of the budget that must remain for escalation.
+    governor_slack_fraction: float = 0.2
+    #: Alternative floor-fill windows restarted in tier 1.
+    governor_restarts: int = 3
+    #: ``max_candidates`` multiplier for the tier-2 widened pool.
+    governor_pool_factor: float = 2.0
+    #: Two-exchange branches explored in tier 3.
+    governor_swap_depth: int = 4
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -118,6 +173,28 @@ class SelectionConfig:
             raise ValueError("objective weights must be >= 0")
         if self.engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}")
+        if self.governor and self.engine == "reference":
+            raise ValueError(
+                'the budget governor escalates only the "celf" engine; '
+                'engine="reference" is the parity oracle and ignoring the '
+                "governor would silently diverge — disable the governor or "
+                "switch engines"
+            )
+        if not 1 <= self.governor_max_tier <= 3:
+            raise ValueError("governor_max_tier must be in 1..3")
+        if not 0.0 <= self.governor_slack_fraction < 1.0:
+            raise ValueError("governor_slack_fraction must be in [0, 1)")
+        if self.governor_restarts < 1:
+            raise ValueError("governor_restarts must be >= 1")
+        if self.governor_pool_factor < 1.0:
+            raise ValueError("governor_pool_factor must be >= 1")
+        if self.governor_swap_depth < 1:
+            raise ValueError("governor_swap_depth must be >= 1")
+
+
+def _config_key(config: SelectionConfig) -> tuple:
+    """Hashable identity of every result-affecting config field."""
+    return dataclasses.astuple(config)
 
 
 @dataclass
@@ -134,6 +211,16 @@ class SelectionResult:
     pool_size: int
     phases_completed: int  # 1 = floor fill, 2 = greedy, 3 = swaps converged
     engine: str = "celf"
+    #: Highest governor tier that actually explored an alternative
+    #: (0 = none; a no-op tier block does not count).
+    governor_tier: int = 0
+    #: Best objective after the base run and after each attempted tier
+    #: block (monotonically non-decreasing); empty when the governor
+    #: never escalated.
+    tier_scores: list[float] = field(default_factory=list)
+    #: ``"off"`` (no cache), ``"miss"`` (built fresh), ``"warm"``
+    #: (pool statistics reused), ``"hit"`` (memoized result returned).
+    cache_state: str = "off"
 
     def gids(self) -> list[int]:
         return [group.gid for group in self.groups]
@@ -142,10 +229,10 @@ class SelectionResult:
 class _PoolStatistics:
     """Per-pool precomputation shared by both engines.
 
-    Everything is derived from one pooled sparse membership matrix: the
-    pool×relevant coverage incidence (a CSR column slice), the
-    per-candidate coverage positions, and the feedback weights (a sparse
-    mat-vec against the dense user-weight vector).  ``relevant`` is
+    A thin binding of one :class:`repro.core.poolcache._PoolStructure`
+    (the feedback-independent membership/coverage/attribute state, built
+    fresh or served by a :class:`~repro.core.poolcache.PoolStatsCache`)
+    to the feedback-dependent weight arrays of one call.  ``relevant`` is
     treated as a *set* of users (duplicates are dropped).  Holding the
     shared quantities here guarantees the engines score the *same*
     objective — parity tests compare their outputs directly.
@@ -157,79 +244,84 @@ class _PoolStatistics:
         relevant: np.ndarray,
         feedback: Optional[FeedbackVector],
         prior: Optional[Callable[[Group], float]] = None,
+        *,
+        structure: Optional[_PoolStructure] = None,
+        cache: Optional[PoolStatsCache] = None,
+        prior_key: Optional[Hashable] = None,
     ) -> None:
-        self.pool = list(pool)
-        self.relevant = np.unique(np.asarray(relevant, dtype=np.int64))
-        n_relevant = len(self.relevant)
-        self.n_relevant = n_relevant
-        if feedback is not None and n_relevant:
-            dense = feedback.user_weights(int(self.relevant.max()) + 1, floor=0.0)
-            weights = dense[self.relevant] + 1.0 / n_relevant
+        if structure is None:
+            structure = _PoolStructure(list(pool), relevant)
+        self.structure = structure
+        self.pool = structure.pool
+        self.relevant = structure.relevant
+        self.n_relevant = structure.n_relevant
+        self.n_columns = structure.n_columns
+        self.members_matrix = structure.members_matrix
+        self.cover = structure.cover
+        self.positions = structure.positions
+        self.group_attributes = structure.group_attributes
+
+        def compute() -> tuple:
+            return _feedback_layer(structure, feedback, prior, cache)
+
+        if cache is not None:
+            layer = cache.feedback_layer_for(
+                structure, feedback, prior, prior_key, compute
+            )
         else:
-            weights = np.full(n_relevant, 1.0 / max(n_relevant, 1))
-        self.weights = weights
-        self.total_weight = float(weights.sum()) if n_relevant else 1.0
-        # One membership matrix wide enough to index by relevant users too.
-        memberships = [group.members for group in self.pool]
-        n_columns = max(
-            (int(members.max()) + 1 for members in memberships if len(members)),
-            default=0,
+            layer = compute()
+        self.weights, self.total_weight, self.group_feedback = layer
+
+
+def _feedback_layer(
+    structure: _PoolStructure,
+    feedback: Optional[FeedbackVector],
+    prior: Optional[Callable[[Group], float]],
+    cache: Optional[PoolStatsCache] = None,
+) -> tuple:
+    """(coverage weights, total weight, per-candidate §II-B group weight).
+
+    The member part is one sparse mat-vec of the membership matrix against
+    the dense user-weight vector; only the (few) description tokens stay
+    per-group.  With a cache, the dense vectors are memoized by feedback
+    *content* so a restored snapshot reuses them.
+    """
+    n_relevant = structure.n_relevant
+    if feedback is not None and n_relevant:
+        size = int(structure.relevant.max()) + 1
+        dense = (
+            cache.dense_user_weights(feedback, size)
+            if cache is not None
+            else feedback.user_weights(size, floor=0.0)
         )
-        if n_relevant:
-            n_columns = max(n_columns, int(self.relevant.max()) + 1)
-        self.n_columns = n_columns
-        self.members_matrix = membership_matrix(memberships, n_columns)
-        # Candidate coverage = positions (into `relevant`) each candidate
-        # hits; the CSR column slice *is* the pool×relevant incidence.
-        if n_relevant and self.pool:
-            cover = self.members_matrix[:, self.relevant].tocsr()
-            cover.data = cover.data.astype(np.float64)
-            self.cover: Optional[sparse.csr_matrix] = cover
-            indptr = cover.indptr
-            indices = cover.indices
-            self.positions = [
-                indices[indptr[i] : indptr[i + 1]].astype(np.int64)
-                for i in range(len(self.pool))
-            ]
-        else:
-            self.cover = None
-            self.positions = [np.empty(0, dtype=np.int64) for _ in self.pool]
-        self.group_feedback = self._pool_feedback(feedback, prior)
-        self.group_attributes = [
-            frozenset(_attribute_of(token) for token in group.description)
-            for group in self.pool
-        ]
+        weights = dense[structure.relevant] + 1.0 / n_relevant
+    else:
+        weights = np.full(n_relevant, 1.0 / max(n_relevant, 1))
+    total_weight = float(weights.sum()) if n_relevant else 1.0
 
-    def _pool_feedback(
-        self,
-        feedback: Optional[FeedbackVector],
-        prior: Optional[Callable[[Group], float]],
-    ) -> np.ndarray:
-        """§II-B group weight (+ optional profile prior) for every candidate.
-
-        The member part is one sparse mat-vec of the membership matrix
-        against the dense user-weight vector; only the (few) description
-        tokens stay per-group.
-        """
-        count = len(self.pool)
-        values = np.zeros(count, dtype=np.float64)
-        if feedback is not None and count:
-            user_weights = feedback.user_weights(self.n_columns, floor=0.0)
-            values += np.asarray(
-                self.members_matrix @ user_weights, dtype=np.float64
-            )
-            values += np.array(
-                [
-                    sum(feedback.token_score(token) for token in group.description)
-                    for group in self.pool
-                ],
-                dtype=np.float64,
-            )
-        if prior is not None and count:
-            values += np.array(
-                [prior(group) for group in self.pool], dtype=np.float64
-            )
-        return values
+    count = len(structure.pool)
+    values = np.zeros(count, dtype=np.float64)
+    if feedback is not None and count:
+        user_weights = (
+            cache.dense_user_weights(feedback, structure.n_columns)
+            if cache is not None
+            else feedback.user_weights(structure.n_columns, floor=0.0)
+        )
+        values += np.asarray(
+            structure.members_matrix @ user_weights, dtype=np.float64
+        )
+        values += np.array(
+            [
+                sum(feedback.token_score(token) for token in group.description)
+                for group in structure.pool
+            ],
+            dtype=np.float64,
+        )
+    if prior is not None and count:
+        values += np.array(
+            [prior(group) for group in structure.pool], dtype=np.float64
+        )
+    return weights, total_weight, values
 
 
 class _ReferenceEvaluator:
@@ -313,11 +405,10 @@ class _VectorEngine:
     of rebuilding state per scored trial:
 
     - the pool×pool Jaccard matrix is materialized lazily, one *column*
-      per group that actually enters the selection: a sparse mat-vec of
-      the pooled membership matrix (the same product
-      ``SimilarityIndex._build`` uses) against the group's member
-      indicator, cached for the rest of the call — far cheaper than the
-      full self-product when only ~k + #swaps columns are ever read;
+      per group that actually enters the selection (one sparse mat-vec,
+      cached on the shared :class:`~repro.core.poolcache._PoolStructure`
+      so later calls on the same pool — and, via the cache's pair layer,
+      on overlapping pools — start with the columns already filled);
     - ``cover`` — CSR pool×relevant incidence, so every candidate's
       marginal coverage is one mat-vec against ``uncovered_weights``;
     - ``attrs`` — pool×attribute boolean description matrix, so the
@@ -330,53 +421,18 @@ class _VectorEngine:
     def __init__(self, stats: _PoolStatistics, config: SelectionConfig) -> None:
         self.stats = stats
         self.config = config
-        npool = len(stats.pool)
-        self.npool = npool
-        self._members_matrix = stats.members_matrix
-        self._member_sizes = np.array(
-            [len(group.members) for group in stats.pool], dtype=np.float64
-        )
-        self._sim_columns: dict[int, np.ndarray] = {}
+        self.structure = stats.structure
+        self.npool = len(stats.pool)
         self.cover = stats.cover
         self.feedback = stats.group_feedback
-        vocabulary = sorted(
-            {attr for attrs in stats.group_attributes for attr in attrs}
-        )
-        attr_index = {attr: i for i, attr in enumerate(vocabulary)}
-        self.attrs = np.zeros((npool, max(len(vocabulary), 1)), dtype=bool)
-        for index, attrs in enumerate(stats.group_attributes):
-            for attr in attrs:
-                self.attrs[index, attr_index[attr]] = True
-        self.attr_count = np.maximum(
-            np.array([len(attrs) for attrs in stats.group_attributes], dtype=np.int64),
-            1,
-        )
+        self.attrs = self.structure.attrs
+        self.attr_count = self.structure.attr_count
         self.evaluations = 0
         self.reset()
 
     def sim_column(self, index: int) -> np.ndarray:
-        """Jaccard of every pool entry to ``pool[index]``, lazily cached.
-
-        One sparse mat-vec against the pooled membership matrix per
-        distinct group that enters the selection; matches
-        :func:`repro.core.similarity.jaccard` entrywise (two empty sets
-        similar at 1.0).
-        """
-        cached = self._sim_columns.get(index)
-        if cached is not None:
-            return cached
-        members = self.stats.pool[index].members
-        indicator = np.zeros(self._members_matrix.shape[1], dtype=np.float64)
-        indicator[members] = 1.0
-        intersections = np.asarray(
-            self._members_matrix @ indicator, dtype=np.float64
-        )
-        unions = self._member_sizes + float(len(members)) - intersections
-        column = np.where(
-            unions > 0, intersections / np.where(unions > 0, unions, 1.0), 1.0
-        )
-        self._sim_columns[index] = column
-        return column
+        """Jaccard of every pool entry to ``pool[index]`` (structure-cached)."""
+        return self.structure.sim_column(index)
 
     # -- mutable selection state ---------------------------------------
 
@@ -391,6 +447,36 @@ class _VectorEngine:
         self.feedback_sum = 0.0
         self.attr_union = np.zeros(self.attrs.shape[1], dtype=bool)
         self.attr_total = 0
+
+    def clone(self) -> "_VectorEngine":
+        """An independent copy of the mutable selection state.
+
+        Shares the immutable pooled arrays (structure, cover, feedback)
+        so the governor's branch exploration costs only the running-sum
+        copies; the clone's ``evaluations`` counter starts at zero so
+        branch work is accounted separately.
+        """
+        twin = object.__new__(_VectorEngine)
+        twin.stats = self.stats
+        twin.config = self.config
+        twin.structure = self.structure
+        twin.npool = self.npool
+        twin.cover = self.cover
+        twin.feedback = self.feedback
+        twin.attrs = self.attrs
+        twin.attr_count = self.attr_count
+        twin.evaluations = 0
+        twin.selected = list(self.selected)
+        twin.selected_mask = self.selected_mask.copy()
+        twin.pair_sum = self.pair_sum
+        twin.sim_to_selected = self.sim_to_selected.copy()
+        twin.cover_counts = self.cover_counts.copy()
+        twin.covered_weight = self.covered_weight
+        twin.uncovered_weights = self.uncovered_weights.copy()
+        twin.feedback_sum = self.feedback_sum
+        twin.attr_union = self.attr_union.copy()
+        twin.attr_total = self.attr_total
+        return twin
 
     def add(self, index: int) -> None:
         """Grow the selection by one group, updating every running sum."""
@@ -560,17 +646,6 @@ class _VectorEngine:
         )
 
 
-def _attribute_of(token: str) -> str:
-    """The analysis direction a description token belongs to.
-
-    ``gender=female`` -> ``gender``; ``item:The Hobbit`` -> ``item``.
-    """
-    if token.startswith("item:"):
-        return "item"
-    attribute, separator, _ = token.partition("=")
-    return attribute if separator else token
-
-
 def select_k(
     pool: Sequence[Group],
     relevant: np.ndarray,
@@ -578,6 +653,8 @@ def select_k(
     config: Optional[SelectionConfig] = None,
     clock: Callable[[], float] = time.perf_counter,
     prior: Optional[Callable[[Group], float]] = None,
+    cache: Optional[PoolStatsCache] = None,
+    prior_key: Optional[Hashable] = None,
 ) -> SelectionResult:
     """Pick ≤ k groups from ``pool`` optimizing the blended objective.
 
@@ -591,6 +668,14 @@ def select_k(
     ``config.engine`` selects the implementation: the vectorized CELF
     engine (default) or the brute-force reference oracle; both run the
     same floor-fill / greedy / swap phases on the same objective.
+
+    ``cache`` (optional) is a session-scoped
+    :class:`~repro.core.poolcache.PoolStatsCache`; repeated or
+    overlapping pools then reuse their precomputed statistics, and a call
+    identical in every fingerprinted input returns its memoized result.
+    ``prior_key`` is the caller's hashable identity for ``prior`` — when
+    a prior is supplied without a key, the feedback layer and result memo
+    are skipped (never guessed) and only structural reuse applies.
     """
     config = config or SelectionConfig()
     started = clock()
@@ -601,11 +686,105 @@ def select_k(
     def out_of_time() -> bool:
         return budget_seconds is not None and (clock() - started) >= budget_seconds
 
-    pool = list(pool)[: config.max_candidates]
-    stats = _PoolStatistics(pool, relevant, feedback, prior)
+    full_pool = list(pool)
+    pool_list = full_pool[: config.max_candidates]
+
+    fingerprints = None
+    relevant_key = None
+    memo_key = None
+    if cache is not None:
+        fingerprints = pool_fingerprint(pool_list)
+        relevant_key = relevant_fingerprint(relevant)
+        memo_fingerprints = fingerprints
+        if (
+            config.engine == "celf"
+            and config.governor
+            and len(full_pool) > len(pool_list)
+        ):
+            # Governor tier 2 may select from the widened pool, so the
+            # memo must be keyed on everything the call could have seen —
+            # a same-prefix pool with a different tail is a different call.
+            wide_limit = int(
+                round(config.max_candidates * config.governor_pool_factor)
+            )
+            memo_fingerprints = pool_fingerprint(full_pool[:wide_limit])
+        memo_key = cache.result_key(
+            memo_fingerprints, relevant_key, feedback, prior, prior_key,
+            _config_key(config),
+        )
+        if memo_key is not None:
+            memoized = cache.lookup_result(memo_key)
+            if memoized is not None:
+                return dataclasses.replace(
+                    memoized,
+                    groups=list(memoized.groups),
+                    tier_scores=list(memoized.tier_scores),
+                    elapsed_ms=(clock() - started) * 1000.0,
+                    cache_state="hit",
+                )
+
+    stats, cache_state = _build_statistics(
+        pool_list, relevant, feedback, prior, cache, prior_key,
+        fingerprints, relevant_key,
+    )
     if config.engine == "reference":
-        return _select_reference(stats, config, clock, started, out_of_time)
-    return _select_celf(stats, config, clock, started, out_of_time)
+        result = _select_reference(stats, config, clock, started, out_of_time)
+    else:
+        extended_factory = None
+        if config.governor and len(full_pool) > len(pool_list):
+
+            def extended_factory() -> _PoolStatistics:
+                wide = full_pool[
+                    : int(round(config.max_candidates * config.governor_pool_factor))
+                ]
+                wide_stats, _ = _build_statistics(
+                    wide, relevant, feedback, prior, cache, prior_key, None, None
+                )
+                return wide_stats
+
+        result = _select_celf(
+            stats, config, clock, started, out_of_time, budget_seconds,
+            extended_factory,
+        )
+    result.cache_state = cache_state
+    if memo_key is not None:
+        cache.store_result(
+            memo_key,
+            dataclasses.replace(
+                result,
+                groups=list(result.groups),
+                tier_scores=list(result.tier_scores),
+            ),
+        )
+    return result
+
+
+def _build_statistics(
+    pool_list: list[Group],
+    relevant: np.ndarray,
+    feedback: Optional[FeedbackVector],
+    prior: Optional[Callable[[Group], float]],
+    cache: Optional[PoolStatsCache],
+    prior_key: Optional[Hashable],
+    fingerprints,
+    relevant_key,
+) -> tuple[_PoolStatistics, str]:
+    """Pool statistics via the cache when present; (stats, cache state)."""
+    if cache is None:
+        return _PoolStatistics(pool_list, relevant, feedback, prior), "off"
+    structure, state = cache.structure_for(
+        pool_list, relevant, fingerprints, relevant_key
+    )
+    stats = _PoolStatistics(
+        pool_list,
+        relevant,
+        feedback,
+        prior,
+        structure=structure,
+        cache=cache,
+        prior_key=prior_key,
+    )
+    return stats, state
 
 
 # ---------------------------------------------------------------------------
@@ -619,6 +798,8 @@ def _select_celf(
     clock: Callable[[], float],
     started: float,
     out_of_time: Callable[[], bool],
+    budget_seconds: Optional[float] = None,
+    extended_factory: Optional[Callable[[], _PoolStatistics]] = None,
 ) -> SelectionResult:
     pool = stats.pool
     k = min(config.k, len(pool))
@@ -653,38 +834,28 @@ def _select_celf(
             engine.add(index)
 
     # Phase 3: delta-scored swap search until no improvement or budget out.
+    winner = engine
+    tier = 0
+    tier_scores: list[float] = []
+    extra_engines: list[_VectorEngine] = []
     if phases == 2 and k and not out_of_time():
         current_score = engine.score()
         engine.evaluations += 1
-        improved = True
-        while improved and not out_of_time():
-            improved = False
-            for position in range(k):
-                if out_of_time():
-                    break
-                trial_scores = engine.swap_scores(position)
-                best_swap = None
-                best_swap_score = current_score
-                # Same chained-epsilon scan as the reference engine, over
-                # the vectorized trial scores.
-                for candidate in range(engine.npool):
-                    if engine.selected_mask[candidate]:
-                        continue
-                    trial = float(trial_scores[candidate])
-                    if trial > best_swap_score + _SWAP_EPSILON:
-                        best_swap_score = trial
-                        best_swap = candidate
-                if best_swap is not None:
-                    engine.swap(position, best_swap)
-                    current_score = best_swap_score
-                    improved = True
+        current_score, converged = _swap_phase(engine, k, current_score, out_of_time)
         selected = list(engine.selected)
         # A pass that found no swap *and* did not run out of time means the
         # local search converged — the best the greedy can do on this pool.
-        if not improved and not out_of_time():
+        if converged:
             phases = 3
+            if config.governor and _has_slack(
+                config, clock, started, budget_seconds
+            ):
+                winner, tier, tier_scores, extra_engines = _governor_escalate(
+                    engine, current_score, k, config, out_of_time, extended_factory
+                )
+                selected = list(winner.selected)
 
-    diversity, coverage, affinity, description = engine.objective_terms()
+    diversity, coverage, affinity, description = winner.objective_terms()
     score = (
         config.diversity_weight * diversity
         + config.coverage_weight * coverage
@@ -692,17 +863,187 @@ def _select_celf(
         + config.description_diversity_weight * description
     )
     return SelectionResult(
-        groups=[pool[index] for index in selected],
+        groups=[winner.stats.pool[index] for index in selected],
         diversity=diversity,
         coverage=coverage,
         affinity=affinity,
         score=score,
         elapsed_ms=(clock() - started) * 1000.0,
-        evaluations=engine.evaluations,
+        evaluations=engine.evaluations
+        + sum(other.evaluations for other in extra_engines),
         pool_size=len(pool),
         phases_completed=phases,
         engine="celf",
+        governor_tier=tier,
+        tier_scores=tier_scores,
     )
+
+
+def _swap_phase(
+    engine: _VectorEngine,
+    k: int,
+    current_score: float,
+    out_of_time: Callable[[], bool],
+) -> tuple[float, bool]:
+    """Delta-scored swap local search; (final score, converged?).
+
+    ``converged`` is True only when a full pass found no improving swap
+    *and* the budget still had room — the same criterion both engines'
+    phase 3 always used.
+    """
+    improved = True
+    while improved and not out_of_time():
+        improved = False
+        for position in range(k):
+            if out_of_time():
+                break
+            trial_scores = engine.swap_scores(position)
+            best_swap = None
+            best_swap_score = current_score
+            # Same chained-epsilon scan as the reference engine, over
+            # the vectorized trial scores.
+            for candidate in range(engine.npool):
+                if engine.selected_mask[candidate]:
+                    continue
+                trial = float(trial_scores[candidate])
+                if trial > best_swap_score + _SWAP_EPSILON:
+                    best_swap_score = trial
+                    best_swap = candidate
+            if best_swap is not None:
+                engine.swap(position, best_swap)
+                current_score = best_swap_score
+                improved = True
+    return current_score, (not improved and not out_of_time())
+
+
+def _has_slack(
+    config: SelectionConfig,
+    clock: Callable[[], float],
+    started: float,
+    budget_seconds: Optional[float],
+) -> bool:
+    """Enough of the deadline left to make escalation worthwhile?"""
+    if budget_seconds is None:
+        return True
+    remaining = budget_seconds - (clock() - started)
+    return remaining >= config.governor_slack_fraction * budget_seconds
+
+
+def _governor_escalate(
+    engine: _VectorEngine,
+    current_score: float,
+    k: int,
+    config: SelectionConfig,
+    out_of_time: Callable[[], bool],
+    extended_factory: Optional[Callable[[], _PoolStatistics]],
+) -> tuple[_VectorEngine, int, list[float], list[_VectorEngine]]:
+    """Spend converged-early slack on progressively deeper optimization.
+
+    Returns ``(winning engine, highest tier that explored an alternative,
+    best score after the base run and each attempted tier, extra engines
+    whose evaluations to account)``.
+    The incumbent is replaced only on strict objective improvement, so
+    the per-tier best scores are monotonically non-decreasing and every
+    tier is individually deadline-checked.
+    """
+    best_engine = engine
+    best_score = current_score
+    tier_scores = [best_score]
+    tier = 0
+    extra: list[_VectorEngine] = []
+
+    # Tier 1: restart the local search from alternative floor-fill windows.
+    # `tier` records only tiers that actually explored an alternative —
+    # a no-op block (no window, no widening, no branch) does not count.
+    if config.governor_max_tier >= 1 and not out_of_time():
+        for restart in range(1, config.governor_restarts + 1):
+            start = restart * k
+            if start + k > engine.npool:
+                break
+            if out_of_time():
+                break
+            tier = 1
+            trial_engine = _VectorEngine(engine.stats, config)
+            for index in range(start, start + k):
+                trial_engine.add(index)
+            extra.append(trial_engine)
+            trial_score = trial_engine.score()
+            trial_engine.evaluations += 1
+            trial_score, _ = _swap_phase(trial_engine, k, trial_score, out_of_time)
+            if trial_score > best_score + _SWAP_EPSILON:
+                best_score = trial_score
+                best_engine = trial_engine
+        tier_scores.append(best_score)
+
+    # Tier 2: rerun greedy + swaps over a widened candidate pool.
+    if config.governor_max_tier >= 2 and not out_of_time():
+        wide_stats = extended_factory() if extended_factory is not None else None
+        if wide_stats is not None and len(wide_stats.pool) > engine.npool:
+            tier = 2
+            wide_engine = _VectorEngine(wide_stats, config)
+            extra.append(wide_engine)
+            greedy, _ = _celf_greedy(wide_engine, k, out_of_time)
+            if len(greedy) == k:
+                wide_score = wide_engine.score()
+                wide_engine.evaluations += 1
+                wide_score, _ = _swap_phase(wide_engine, k, wide_score, out_of_time)
+                if wide_score > best_score + _SWAP_EPSILON:
+                    best_score = wide_score
+                    best_engine = wide_engine
+        tier_scores.append(best_score)
+
+    # Tier 3: two-exchange branches — a plateau/downhill swap followed by a
+    # re-converged local search can escape basins single swaps cannot.
+    # Every branch departs from the *same* incumbent the seeds were ranked
+    # for: rebinding mid-loop would apply a seed whose candidate is already
+    # selected in the newer engine and corrupt its running sums.
+    if config.governor_max_tier >= 3 and not out_of_time():
+        seed_engine = best_engine
+        for position, candidate in _swap_branches(seed_engine, k, config):
+            if out_of_time():
+                break
+            tier = 3
+            branch_engine = seed_engine.clone()
+            extra.append(branch_engine)
+            branch_engine.swap(position, candidate)
+            branch_score = branch_engine.score()
+            branch_engine.evaluations += 1
+            branch_score, _ = _swap_phase(branch_engine, k, branch_score, out_of_time)
+            if branch_score > best_score + _SWAP_EPSILON:
+                best_score = branch_score
+                best_engine = branch_engine
+        tier_scores.append(best_score)
+
+    return best_engine, tier, tier_scores, extra
+
+
+def _swap_branches(
+    engine: _VectorEngine,
+    k: int,
+    config: SelectionConfig,
+) -> list[tuple[int, int]]:
+    """The most promising (position, candidate) two-exchange seeds.
+
+    The converged incumbent has no *improving* single swap left, so the
+    near-best non-improving exchanges are ranked and the global top
+    ``governor_swap_depth`` returned (score desc, then position/candidate
+    asc for determinism).
+    """
+    ranked: list[tuple[float, int, int]] = []
+    count = len(engine.selected)
+    if count < k or k == 0:
+        return []
+    for position in range(k):
+        trial_scores = engine.swap_scores(position)
+        for candidate in range(engine.npool):
+            if engine.selected_mask[candidate]:
+                continue
+            ranked.append((float(trial_scores[candidate]), position, candidate))
+    ranked.sort(key=lambda entry: (-entry[0], entry[1], entry[2]))
+    return [
+        (position, candidate)
+        for _, position, candidate in ranked[: config.governor_swap_depth]
+    ]
 
 
 def _celf_greedy(

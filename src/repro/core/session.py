@@ -25,6 +25,7 @@ from repro.core.feedback import FeedbackVector
 from repro.core.group import Group, GroupSpace
 from repro.core.history import History, Step
 from repro.core.memo import Memo
+from repro.core.poolcache import PoolStatsCache
 from repro.core.profile import ExplorerProfile
 from repro.core.selection import SelectionConfig, SelectionResult, select_k
 from repro.index.inverted import SimilarityIndex
@@ -50,6 +51,16 @@ class SessionConfig:
     #: engine ("celf", default) or the brute-force parity oracle
     #: ("reference") — see :mod:`repro.core.selection`.
     engine: str = "celf"
+    #: Adaptive budget governor: spend converged-early budget slack on
+    #: escalation tiers (restart fills, wider pools, deeper swaps) within
+    #: the same deadline — see :mod:`repro.core.selection`.
+    governor: bool = False
+    #: Reuse pool statistics across this session's clicks via a
+    #: :class:`repro.core.poolcache.PoolStatsCache` (transparent: cached
+    #: and uncached sessions show identical displays).
+    cache_pools: bool = True
+    #: Structure entries the session cache retains (LRU-bounded).
+    cache_capacity: int = 32
     selection: SelectionConfig = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
@@ -58,24 +69,37 @@ class SessionConfig:
         # 7 is the right default.
         if self.k < 1 or self.k > 15:
             raise ValueError("k must be in 1..15 (P1 wants <= 7)")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1")
         if self.selection is None:
             self.selection = SelectionConfig(
                 k=self.k,
                 time_budget_ms=self.time_budget_ms,
                 max_candidates=self.max_pool,
                 engine=self.engine,
+                governor=self.governor,
             )
-        elif self.selection.engine != self.engine:
-            # An explicit SelectionConfig is authoritative; a *non-default*
-            # SessionConfig.engine disagreeing with it is a caller error
-            # (e.g. a parity experiment that would silently measure one
-            # engine against itself).
-            if self.engine != "celf":
+        else:
+            if self.selection.engine != self.engine:
+                # An explicit SelectionConfig is authoritative; a
+                # *non-default* SessionConfig.engine disagreeing with it is
+                # a caller error (e.g. a parity experiment that would
+                # silently measure one engine against itself).
+                if self.engine != "celf":
+                    raise ValueError(
+                        f"engine={self.engine!r} conflicts with "
+                        f"selection.engine={self.selection.engine!r}; set one"
+                    )
+                self.engine = self.selection.engine
+            if self.governor and not self.selection.governor:
+                # Same authority rule for the governor: an explicit
+                # selection config that disables it must not be silently
+                # overridden by the session-level convenience flag.
                 raise ValueError(
-                    f"engine={self.engine!r} conflicts with "
-                    f"selection.engine={self.selection.engine!r}; set one"
+                    "governor=True conflicts with selection.governor=False; "
+                    "set one"
                 )
-            self.engine = self.selection.engine
+            self.governor = self.selection.governor
 
 
 class ExplorationSession:
@@ -101,6 +125,17 @@ class ExplorationSession:
         self.context = ContextView(self.feedback, space.dataset)
         self._displayed: list[Group] = []
         self.last_selection: Optional[SelectionResult] = None
+        # Session-scoped reuse of pool statistics across clicks: keyed on
+        # content fingerprints (transparent), seeded with the index's
+        # membership matrix so cold pools slice rows instead of rebuilding.
+        self.pool_cache: Optional[PoolStatsCache] = (
+            PoolStatsCache(
+                capacity=self.config.cache_capacity,
+                space_matrix=self.index.membership_csr(),
+            )
+            if self.config.cache_pools
+            else None
+        )
 
     # ------------------------------------------------------------------
     # the loop
@@ -126,7 +161,8 @@ class ExplorationSession:
             pool = [self.space[gid] for gid in pool_ids[: self.config.max_pool]]
         relevant = np.arange(self.space.dataset.n_users, dtype=np.int64)
         result = select_k(
-            pool, relevant, self.feedback, self.config.selection
+            pool, relevant, self.feedback, self.config.selection,
+            cache=self.pool_cache,
         )
         self._displayed = result.groups
         self.last_selection = result
@@ -156,19 +192,34 @@ class ExplorationSession:
         if self.config.weighted_similarity and len(self.feedback):
             pool = self._rerank_weighted(group, pool)
         prior = None
+        prior_key = None
         if self.config.use_profile and self.profile.steps_observed > 1:
             pool = self.profile.rank(pool)
             prior = self.profile.interest
+            prior_key = self._profile_key()
         if not pool:
             # Dead end in the graph: stay on the clicked group's display.
             pool = [group]
         result = select_k(
-            pool, group.members, self.feedback, self.config.selection, prior=prior
+            pool, group.members, self.feedback, self.config.selection,
+            prior=prior, cache=self.pool_cache, prior_key=prior_key,
         )
         self._displayed = result.groups
         self.last_selection = result
         self.history.record(gid, result.gids(), self.feedback.snapshot())
         return list(self._displayed)
+
+    def _profile_key(self) -> tuple:
+        """Hashable content identity of the profile-interest prior.
+
+        Lets the pool cache key its feedback/result layers on what the
+        prior would actually *score* rather than skipping memoization
+        whenever a prior callable is present.
+        """
+        return (
+            self.profile.steps_observed,
+            tuple(sorted(self.profile.token_weight.items())),
+        )
 
     def _rerank_weighted(self, clicked: Group, pool: list[Group]) -> list[Group]:
         """Re-rank the pool by feedback-weighted Jaccard to the clicked group.
@@ -212,7 +263,14 @@ class ExplorationSession:
         self.memo.bookmark_user(user, note)
 
     def drill_down(self, gid: int) -> np.ndarray:
-        """Member user indices of a group (the STATS/Focus-view input)."""
+        """Member user indices of a group (the STATS/Focus-view input).
+
+        Drilling down signals the explorer is studying the current
+        neighborhood, so the session keeps its pool statistics hot in the
+        cache — the likely next click then reuses them.
+        """
+        if self.pool_cache is not None:
+            self.pool_cache.touch_last()
         return self.space[gid].members.copy()
 
     def current_step(self) -> Optional[Step]:

@@ -91,6 +91,34 @@ def membership_matrix(
     )
 
 
+def jaccard_column(
+    members_matrix: sparse.csr_matrix,
+    member_sizes: np.ndarray,
+    members: np.ndarray,
+) -> np.ndarray:
+    """Jaccard of every row of ``members_matrix`` to the set ``members``.
+
+    One sparse mat-vec against a 0/1 indicator of ``members`` yields all
+    intersection sizes at once; matches :func:`jaccard` entrywise (two
+    empty sets similar at 1.0).  This is the single column of the pooled
+    Jaccard matrix that the selection engine materializes lazily and that
+    :class:`repro.core.poolcache.PoolStatsCache` patches across
+    overlapping candidate pools — both must go through this function so
+    cached and freshly computed values are bitwise identical.
+    """
+    indicator = np.zeros(members_matrix.shape[1], dtype=np.float64)
+    indicator[members] = 1.0
+    intersections = np.asarray(members_matrix @ indicator, dtype=np.float64)
+    unions = (
+        np.asarray(member_sizes, dtype=np.float64)
+        + float(len(members))
+        - intersections
+    )
+    return np.where(
+        unions > 0, intersections / np.where(unions > 0, unions, 1.0), 1.0
+    )
+
+
 def pairwise_jaccard_matrix(
     memberships: Sequence[np.ndarray], n_users: Optional[int] = None
 ) -> np.ndarray:

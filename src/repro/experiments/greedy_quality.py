@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.poolcache import PoolStatsCache
 from repro.core.selection import SelectionConfig, select_k
 from repro.experiments.common import ExperimentReport, dbauthors_space
 
@@ -23,6 +24,8 @@ def run_greedy_quality(
     k: int = 5,
     n_parents: int = 6,
     engine: str = "celf",
+    governor: bool = False,
+    cache_pools: bool = True,
 ) -> ExperimentReport:
     space = dbauthors_space()
     # Parents: a spread of large groups whose neighborhoods we re-select.
@@ -38,7 +41,12 @@ def run_greedy_quality(
         if len(pool) >= k:
             pools.append((parent, pool))
 
-    # Reference: converged swap search (no budget).
+    # One cache across the whole sweep: the same pools are re-selected per
+    # budget, which is exactly the cross-click reuse sessions exhibit.
+    cache = PoolStatsCache(capacity=max(len(pools), 1)) if cache_pools else None
+
+    # Reference: converged swap search (no budget, no governor — the
+    # normalisation target must stay the plain converged greedy).
     references = []
     for parent, pool in pools:
         reference = select_k(
@@ -47,6 +55,7 @@ def run_greedy_quality(
             config=SelectionConfig(
                 k=k, time_budget_ms=None, max_candidates=200, engine=engine
             ),
+            cache=cache,
         )
         references.append(reference)
 
@@ -58,13 +67,21 @@ def run_greedy_quality(
         coverages = []
         phases = []
         evaluations = []
+        tiers = []
         for (parent, pool), reference in zip(pools, references):
             result = select_k(
                 pool,
                 parent.members,
                 config=SelectionConfig(
-                    k=k, time_budget_ms=budget, max_candidates=200, engine=engine
+                    k=k,
+                    time_budget_ms=budget,
+                    max_candidates=200,
+                    engine=engine,
+                    # SelectionConfig raises for reference+governor — the
+                    # oracle must error, not silently ignore escalation.
+                    governor=governor,
                 ),
+                cache=cache,
             )
             diversities.append(result.diversity)
             coverages.append(result.coverage)
@@ -76,6 +93,7 @@ def run_greedy_quality(
             )
             phases.append(result.phases_completed)
             evaluations.append(result.evaluations)
+            tiers.append(result.governor_tier)
         rows.append(
             {
                 "budget_ms": budget,
@@ -85,6 +103,7 @@ def run_greedy_quality(
                 "coverage_vs_ref": float(np.mean(coverage_ratios)),
                 "mean_phase": float(np.mean(phases)),
                 "mean_evaluations": float(np.mean(evaluations)),
+                "mean_governor_tier": float(np.mean(tiers)),
             }
         )
     return ExperimentReport(
@@ -92,7 +111,7 @@ def run_greedy_quality(
         paper_claim="100 ms budget reaches ~90% diversity and ~85% coverage",
         rows=rows,
         notes=(
-            f"engine={engine}; ratios are vs the converged (unbounded) greedy "
-            "on the same pools"
+            f"engine={engine}, governor={governor}, cache={cache_pools}; "
+            "ratios are vs the converged (unbounded) greedy on the same pools"
         ),
     )

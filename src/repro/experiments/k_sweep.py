@@ -26,6 +26,8 @@ def run_k_sweep(
     genres: tuple[str, ...] = ("fiction", "romance", "mystery"),
     repeats: int = 3,
     engine: str = "celf",
+    governor: bool = False,
+    cache_pools: bool = True,
 ) -> ExperimentReport:
     space = bookcrossing_space()
     rows: list[dict[str, object]] = []
@@ -33,6 +35,7 @@ def run_k_sweep(
         completions = []
         iterations = []
         efforts = []
+        tiers = []
         for genre in genres:
             target = discussion_group_target(space, genre)
             if target is None:
@@ -42,7 +45,11 @@ def run_k_sweep(
                 session = ExplorationSession(
                     space,
                     config=SessionConfig(
-                        k=k, time_budget_ms=100.0, engine=engine
+                        k=k,
+                        time_budget_ms=100.0,
+                        engine=engine,
+                        governor=governor,
+                        cache_pools=cache_pools,
                     ),
                 )
                 agent = TargetSeekingExplorer(
@@ -52,6 +59,7 @@ def run_k_sweep(
                 completions.append(1.0 if result.completed else 0.0)
                 iterations.append(result.iterations)
                 efforts.append(result.effort)
+                tiers.extend(result.governor_tiers)
         completion = float(np.mean(completions))
         effort = float(np.mean(efforts))
         rows.append(
@@ -63,6 +71,7 @@ def run_k_sweep(
                 "effort_per_success": (
                     effort / completion if completion > 0 else float("inf")
                 ),
+                "mean_governor_tier": float(np.mean(tiers)) if tiers else 0.0,
             }
         )
     return ExperimentReport(
@@ -70,7 +79,7 @@ def run_k_sweep(
         paper_claim="k <= 7 matches perception: success saturates, effort keeps growing",
         rows=rows,
         notes=(
-            f"engine={engine}; scan_effort = total groups the explorer had to "
-            "look at"
+            f"engine={engine}, governor={governor}, cache={cache_pools}; "
+            "scan_effort = total groups the explorer had to look at"
         ),
     )

@@ -32,6 +32,8 @@ def run_latency(
     scales: tuple[int, ...] = (250, 500, 1000, 2000),
     budget_ms: float = 50.0,
     engine: str = "celf",
+    governor: bool = False,
+    cache_pools: bool = True,
 ) -> ExperimentReport:
     rows: list[dict[str, object]] = []
     for n_authors in scales:
@@ -42,7 +44,13 @@ def run_latency(
         )
         session = ExplorationSession(
             space,
-            config=SessionConfig(k=5, time_budget_ms=budget_ms, engine=engine),
+            config=SessionConfig(
+                k=5,
+                time_budget_ms=budget_ms,
+                engine=engine,
+                governor=governor,
+                cache_pools=cache_pools,
+            ),
         )
         shown = session.start()
         gid = shown[0].gid
@@ -50,7 +58,12 @@ def run_latency(
         click_ms = _timed(lambda: session.click(gid), repeats=3)
         selection = session.last_selection
         click_evaluations = selection.evaluations if selection else 0
+        governor_tier = selection.governor_tier if selection else 0
         backtrack_ms = _timed(lambda: session.backtrack(0))
+        # The HISTORY gesture's follow-up: re-clicking a group after a
+        # backtrack restored its context — warm in the session pool cache.
+        session.backtrack(0)
+        reclick_ms = _timed(lambda: session.click(gid), repeats=3)
         memo_ms = _timed(lambda: session.bookmark_group(gid))
         context_ms = _timed(lambda: session.context.entries(10))
         drill_ms = _timed(lambda: session.drill_down(gid))
@@ -60,7 +73,9 @@ def run_latency(
                 "users": n_authors,
                 "groups": len(space),
                 "click_ms": click_ms,
+                "reclick_ms": reclick_ms,
                 "click_evaluations": click_evaluations,
+                "governor_tier": governor_tier,
                 "backtrack_ms": backtrack_ms,
                 "memo_ms": memo_ms,
                 "context_ms": context_ms,
@@ -72,7 +87,9 @@ def run_latency(
         paper_claim="all interactions O(1); greedy (click) bounded by its budget",
         rows=rows,
         notes=(
-            f"greedy budget {budget_ms:.0f} ms, engine={engine}; "
-            "other ops should stay ~constant"
+            f"greedy budget {budget_ms:.0f} ms, engine={engine}, "
+            f"governor={governor}, cache={cache_pools}; "
+            "other ops should stay ~constant; reclick = backtracked re-click "
+            "(warm in the session pool cache)"
         ),
     )

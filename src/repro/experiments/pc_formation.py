@@ -26,6 +26,8 @@ def run_pc_formation(
     repeats: int = 5,
     committee_size: int = 12,
     engine: str = "celf",
+    governor: bool = False,
+    cache_pools: bool = True,
 ) -> ExperimentReport:
     data = dbauthors_data()
     space = dbauthors_space()
@@ -35,7 +37,9 @@ def run_pc_formation(
         venues=venues,
         repeats=repeats,
         committee_size=committee_size,
-        session_config=SessionConfig(engine=engine),
+        session_config=SessionConfig(
+            engine=engine, governor=governor, cache_pools=cache_pools
+        ),
     )
     rows = [
         {
@@ -43,6 +47,7 @@ def run_pc_formation(
             "mean_iterations": outcome.mean_iterations,
             "completion": outcome.completion_rate,
             "mean_effort": outcome.mean_effort,
+            "mean_governor_tier": outcome.mean_governor_tier,
             "under_10": outcome.mean_iterations < 10,
         }
         for venue, outcome in outcomes.items()
@@ -53,6 +58,7 @@ def run_pc_formation(
         rows=rows,
         notes=(
             f"committee: {committee_size} members, geo/gender/seniority "
-            f"constraints; engine={engine}"
+            f"constraints; engine={engine}, governor={governor}, "
+            f"cache={cache_pools}"
         ),
     )

@@ -115,6 +115,17 @@ class SimilarityIndex:
             self._matrix = matrix = self._membership_matrix()
         return matrix
 
+    def membership_csr(self) -> sparse.csr_matrix:
+        """The pooled group×user membership matrix the index is built from.
+
+        Public accessor so downstream per-session machinery — notably
+        :class:`repro.core.poolcache.PoolStatsCache` — can slice candidate
+        pools out of the already-materialized rows instead of rebuilding a
+        fresh CSR per click.  Rebuilt lazily for indexes restored from a
+        store (same path exact lookups use).
+        """
+        return self._ensure_matrix()
+
     def _budget(self) -> int:
         """Entries materialized per group: fraction of |G| − 1, at least 1."""
         if self.n_groups <= 1:

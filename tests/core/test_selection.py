@@ -121,6 +121,205 @@ class TestTimeBudget:
         assert result.evaluations > 0
 
 
+class TestGovernor:
+    """Invariants of the adaptive budget governor.
+
+    Escalation must never exceed the deadline argument, must never make
+    the objective worse (tier scores are monotonically non-decreasing and
+    the final display is the best found), and must refuse the reference
+    oracle loudly instead of silently diverging from it.
+    """
+
+    def test_reference_engine_rejects_governor(self):
+        with pytest.raises(ValueError, match="governor"):
+            SelectionConfig(engine="reference", governor=True)
+
+    def test_session_config_rejects_conflicting_governor(self):
+        from repro.core.session import SessionConfig
+
+        with pytest.raises(ValueError, match="governor"):
+            SessionConfig(
+                governor=True,
+                selection=SelectionConfig(time_budget_ms=None, governor=False),
+            )
+
+    def test_governor_knob_validation(self):
+        with pytest.raises(ValueError):
+            SelectionConfig(governor_max_tier=0)
+        with pytest.raises(ValueError):
+            SelectionConfig(governor_max_tier=4)
+        with pytest.raises(ValueError):
+            SelectionConfig(governor_slack_fraction=1.0)
+        with pytest.raises(ValueError):
+            SelectionConfig(governor_restarts=0)
+        with pytest.raises(ValueError):
+            SelectionConfig(governor_pool_factor=0.5)
+        with pytest.raises(ValueError):
+            SelectionConfig(governor_swap_depth=0)
+
+    def test_tier_scores_monotone_and_final_is_best(self):
+        pool = make_pool(seed=9, count=40)
+        relevant = np.arange(100)
+        base = select_k(
+            pool, relevant, config=SelectionConfig(k=5, time_budget_ms=None)
+        )
+        governed = select_k(
+            pool,
+            relevant,
+            config=SelectionConfig(k=5, time_budget_ms=None, governor=True),
+        )
+        assert governed.governor_tier == 3
+        assert len(governed.tier_scores) == 4  # base + one per tier
+        for earlier, later in zip(governed.tier_scores, governed.tier_scores[1:]):
+            assert later >= earlier - 1e-12
+        assert governed.tier_scores[0] == pytest.approx(base.score, abs=1e-9)
+        assert governed.score == pytest.approx(governed.tier_scores[-1], abs=1e-9)
+        assert governed.score >= base.score - 1e-12
+
+    def test_max_tier_caps_escalation(self):
+        pool = make_pool(seed=10, count=40)
+        relevant = np.arange(100)
+        governed = select_k(
+            pool,
+            relevant,
+            config=SelectionConfig(
+                k=5, time_budget_ms=None, governor=True, governor_max_tier=1
+            ),
+        )
+        assert governed.governor_tier == 1
+        assert len(governed.tier_scores) == 2
+
+    def test_governor_off_reports_tier_zero(self):
+        result = select_k(
+            make_pool(seed=11), np.arange(100), config=UNLIMITED
+        )
+        assert result.governor_tier == 0
+        assert result.tier_scores == []
+
+    def test_escalation_never_exceeds_deadline(self):
+        # Deterministic fake clock: every reading advances 0.05 ms, so the
+        # governor's out_of_time gates are exercised without wall-clock
+        # noise.  Whatever tier the budget cuts into, the recorded elapsed
+        # time may overshoot the deadline by at most a few clock reads.
+        pool = make_pool(seed=12, count=60)
+        relevant = np.arange(100)
+        tick_ms = 0.05
+        for budget_ms in (1.0, 5.0, 20.0, 60.0):
+            calls = [0]
+
+            def clock():
+                calls[0] += 1
+                return calls[0] * tick_ms / 1000.0
+
+            result = select_k(
+                pool,
+                relevant,
+                config=SelectionConfig(
+                    k=5, time_budget_ms=budget_ms, governor=True
+                ),
+                clock=clock,
+            )
+            assert result.elapsed_ms <= budget_ms + 5 * tick_ms
+            assert len(result.groups) == 5  # anytime guarantee holds
+
+    def test_zero_budget_skips_escalation_entirely(self):
+        result = select_k(
+            make_pool(seed=13),
+            np.arange(100),
+            config=SelectionConfig(k=5, time_budget_ms=0.0, governor=True),
+        )
+        assert result.governor_tier == 0
+        assert result.phases_completed == 1
+
+    def test_tier3_branches_never_duplicate_a_selected_group(self):
+        # Regression: tier-3 seeds are ranked against one incumbent; if a
+        # branch improves mid-loop, later seeds must still branch from the
+        # engine they were ranked for — applying them to the rebound
+        # winner can swap in an already-selected group and corrupt the
+        # running sums (duplicate gids in the display).
+        for seed in range(40):
+            pool = make_pool(seed=seed, count=50)
+            result = select_k(
+                pool,
+                np.arange(100),
+                config=SelectionConfig(
+                    k=5,
+                    time_budget_ms=None,
+                    governor=True,
+                    governor_swap_depth=6,
+                ),
+            )
+            gids = result.gids()
+            assert len(gids) == len(set(gids)), f"seed {seed}: {gids}"
+
+    def test_memo_key_covers_governor_widened_pool(self):
+        # Regression: with the governor able to widen past max_candidates,
+        # two calls sharing a truncated prefix but differing in the tail
+        # must not share a memoized result.
+        from repro.core.poolcache import PoolStatsCache
+
+        rng = np.random.default_rng(5)
+        prefix = make_pool(seed=20, count=20)
+        tail_a = [
+            Group(20 + gid, (f"a{gid}",), np.unique(rng.choice(100, size=12)))
+            for gid in range(20)
+        ]
+        tail_b = [
+            Group(20 + gid, (f"b{gid}",), np.unique(rng.choice(100, size=12)))
+            for gid in range(20)
+        ]
+        config = SelectionConfig(
+            k=5, time_budget_ms=None, governor=True, max_candidates=20
+        )
+        cache = PoolStatsCache()
+        relevant = np.arange(100)
+        first = select_k(prefix + tail_a, relevant, config=config, cache=cache)
+        second = select_k(prefix + tail_b, relevant, config=config, cache=cache)
+        assert second.cache_state != "hit"
+        fresh = select_k(prefix + tail_b, relevant, config=config)
+        assert second.gids() == fresh.gids()
+        assert set(second.gids()) <= {g.gid for g in prefix + tail_b}
+        # And the keying is not over-broad: the identical call still hits.
+        replay = select_k(prefix + tail_a, relevant, config=config, cache=cache)
+        assert replay.cache_state == "hit"
+        assert replay.gids() == first.gids()
+
+    def test_governor_tier_counts_only_real_work(self):
+        # A pool too small for restart windows or widening must not report
+        # escalation it never performed.
+        pool = make_pool(seed=21, count=6)
+        result = select_k(
+            pool,
+            np.arange(100),
+            config=SelectionConfig(k=5, time_budget_ms=None, governor=True),
+        )
+        # npool=6 < 2k: no restart window; no wider pool available; only
+        # tier 3's branch exploration can actually run.
+        assert result.governor_tier in (0, 3)
+
+    def test_wide_pool_tier_only_selects_from_provided_pool(self):
+        # Tier 2 may widen past max_candidates but never invents groups.
+        pool = make_pool(seed=14, count=60)
+        relevant = np.arange(100)
+        governed = select_k(
+            pool,
+            relevant,
+            config=SelectionConfig(
+                k=5, time_budget_ms=None, governor=True, max_candidates=20
+            ),
+        )
+        provided = {group.gid for group in pool}
+        assert set(governed.gids()) <= provided
+        narrow = select_k(
+            pool,
+            relevant,
+            config=SelectionConfig(
+                k=5, time_budget_ms=None, max_candidates=20
+            ),
+        )
+        assert governed.score >= narrow.score - 1e-12
+
+
 class TestFeedbackBias:
     def test_feedback_pulls_matching_groups_in(self):
         # Two disjoint halves of the universe; feedback loves users 0..9.

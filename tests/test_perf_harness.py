@@ -1,0 +1,102 @@
+"""The perf harness itself must not rot between perf PRs.
+
+``benchmarks/run_perf.py`` is only consulted when someone touches the
+selection hot path — exactly when a silently broken harness would be most
+expensive.  These tests run the ``--smoke`` mode end to end in a
+subprocess (seeded datasets, generous thresholds: the point is that it
+*runs and reports*, not that this machine is fast) and pin the
+malformed-prior contract: a corrupt existing ``BENCH_selection.json``
+must abort with a clean nonzero exit, never a traceback and never an
+overwrite.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+HARNESS = REPO_ROOT / "benchmarks" / "run_perf.py"
+
+
+def run_harness(*arguments, timeout=600):
+    environment = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return subprocess.run(
+        [sys.executable, str(HARNESS), *arguments],
+        cwd=REPO_ROOT,
+        env=environment,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestSmokeEndToEnd:
+    @pytest.fixture(scope="class")
+    def smoke(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("perf") / "BENCH_selection.json"
+        process = run_harness("--smoke", "--out", str(out))
+        return process, out
+
+    def test_exits_zero(self, smoke):
+        process, _ = smoke
+        assert process.returncode == 0, process.stdout + process.stderr
+
+    def test_report_is_valid_json_with_the_contract_keys(self, smoke):
+        _, out = smoke
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["benchmark"] == "selection-engine"
+        for engine in ("reference", "celf"):
+            assert "C1" in report["engines"][engine]
+            assert report["engines"][engine]["C1"]["click_p50_ms"] > 0
+        assert all(report["parity"].values())
+        cache = report["cache"]
+        for key in (
+            "cold_click_p50_ms",
+            "warm_click_p50_ms",
+            "warm_cold_click_ratio",
+            "select_cold_p50_ms",
+            "select_warm_p50_ms",
+            "select_memo_p50_ms",
+        ):
+            assert cache[key] > 0, key
+        assert report["governor"]["runs"] > 0
+        assert 0 <= report["governor"]["mean_tier"] <= 3
+
+    def test_smoke_thresholds_are_generous_but_real(self, smoke):
+        # Machine-independent sanity, far below the full run's 2x gate:
+        # a *working* cache cannot make warm clicks slower than cold ones
+        # by any meaningful margin.
+        _, out = smoke
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["cache"]["warm_cold_click_ratio"] >= 1.0
+        assert report["speedup"]["C2_evals_per_100ms"] >= 2.0
+        uplift = report["governor"]["mean_score_uplift"]
+        assert uplift >= -1e-6  # escalation may find nothing, never worse
+
+
+class TestMalformedPrior:
+    def test_malformed_prior_exits_nonzero_without_traceback(self, tmp_path):
+        out = tmp_path / "BENCH_selection.json"
+        out.write_text("{this is not json", encoding="utf-8")
+        process = run_harness("--smoke", "--out", str(out), timeout=120)
+        assert process.returncode == 2
+        assert "not valid benchmark JSON" in process.stderr
+        assert "Traceback" not in process.stderr
+        # The corrupt evidence is preserved, not clobbered.
+        assert out.read_text(encoding="utf-8") == "{this is not json"
+
+    def test_wrong_shape_prior_exits_nonzero(self, tmp_path):
+        out = tmp_path / "BENCH_selection.json"
+        out.write_text("[1, 2, 3]", encoding="utf-8")
+        process = run_harness("--smoke", "--out", str(out), timeout=120)
+        assert process.returncode == 2
+        assert "expected a JSON object" in process.stderr
