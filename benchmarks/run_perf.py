@@ -22,7 +22,14 @@ the next:
   HISTORY backtrack/re-click gesture, plus select-level cold / warm
   (statistics reused, feedback changed) / memo (identical call) medians;
 - ``governor`` — escalation-tier distribution and objective uplift of the
-  adaptive budget governor on the C2 pools.
+  adaptive budget governor on the C2 pools;
+- ``serving`` — the multi-session workload: M sessions replayed against
+  one :class:`~repro.core.runtime.GroupSpaceRuntime` under thread
+  contention vs the per-session-cache baseline — cold-start
+  amortization, cross-session warm-hit rate, p50/p95 click latency, and
+  the gated second-and-later-session cold-click speedup;
+- ``index_build`` — batched-lexsort prefix ranking vs the retained
+  per-group-loop ranking on the largest generated group space.
 
 A malformed existing output file (anything but a JSON object) aborts with
 exit code 2 before any measurement — the trajectory must never be
@@ -40,15 +47,25 @@ import json
 import statistics
 import sys
 import time
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.agents.scenarios import discussion_group_target
 from repro.core.feedback import FeedbackVector
 from repro.core.poolcache import PoolStatsCache
+from repro.core.runtime import (
+    GroupSpaceRuntime,
+    SessionManager,
+    scripted_click_gid,
+)
 from repro.core.selection import SelectionConfig, select_k
 from repro.core.session import ExplorationSession, SessionConfig
 from repro.experiments.common import bookcrossing_space, dbauthors_space
-from repro.index.inverted import SimilarityIndex
+from repro.index.inverted import (
+    SimilarityIndex,
+    _rank_prefix_loop,
+    _rank_prefix_vectorized,
+)
 
 ENGINES = ("reference", "celf")
 BUDGET_MS = 100.0
@@ -57,6 +74,12 @@ DEFAULT_OUT = Path(__file__).parent / "BENCH_selection.json"
 #: Gate on the session-replay cache speedup (full runs only): the second
 #: click on an already-visited pool must be at least this much faster.
 WARM_COLD_GATE = 2.0
+
+#: Gate on the multi-session serving workload (full runs only): with 8
+#: concurrent sessions over one runtime, second-and-later sessions' cold
+#: click p50 must beat the per-session-cache baseline by at least this
+#: factor (cross-session pair/structure hits).
+SERVING_GATE = 2.0
 
 
 def c2_pools(n_parents: int) -> list[tuple]:
@@ -283,8 +306,212 @@ def measure_governor(pools: list[tuple], repeats: int) -> dict:
     }
 
 
+def _replay_session(manager: SessionManager, clicks: int) -> list[float]:
+    """One scripted session: always click the first unvisited display slot.
+
+    Deterministic, so every session walks the same trajectory — the
+    heavy-overlap pattern of many analysts exploring the same space.
+    Returns per-click wall latencies in ms.
+    """
+    session_id, shown = manager.open_session()
+    latencies: list[float] = []
+    visited: set[int] = set()
+    for _ in range(clicks):
+        gid = scripted_click_gid(shown, visited)
+        started = time.perf_counter()
+        shown = manager.click(session_id, gid)
+        latencies.append((time.perf_counter() - started) * 1000.0)
+    manager.close(session_id)
+    return latencies
+
+
+def _percentile(values: list[float], share: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(int(len(ordered) * share), len(ordered) - 1)]
+
+
+def measure_serving(n_sessions: int, clicks: int, threads: int) -> dict:
+    """The multi-session workload: M sessions against one runtime.
+
+    Both arms replay the identical deterministic trajectory from a thread
+    pool: the *baseline* arm is the per-session-cache stack (every
+    session has a private :class:`PoolStatsCache`, nothing crosses
+    sessions), the *shared* arm goes through one
+    :class:`GroupSpaceRuntime` + :class:`SessionManager`.  Session 1 runs
+    alone first (it pays the cross-session cold start); sessions 2..M
+    then run concurrently — their clicks are session-cold (first visit
+    of every pool within the session) and their p50 is the gated
+    ``later_cold_click_speedup``.  Cold-start amortization is reported
+    separately: per-session setup of the old stack (every session builds
+    its own SimilarityIndex) vs one runtime build serving all sessions.
+    """
+    space = dbauthors_space()
+    config = SessionConfig(
+        k=5, time_budget_ms=BUDGET_MS, engine="celf", use_profile=False
+    )
+
+    # Cold-start amortization: the pre-runtime stack built one index per
+    # session; the runtime builds once and every open_session is ~free.
+    started = time.perf_counter()
+    runtime = GroupSpaceRuntime(space)
+    runtime_build_ms = (time.perf_counter() - started) * 1000.0
+    started = time.perf_counter()
+    ExplorationSession(space, config=config)  # builds a private index
+    per_session_setup_ms = (time.perf_counter() - started) * 1000.0
+    started = time.perf_counter()
+    runtime.create_session(config)
+    runtime_session_setup_ms = (time.perf_counter() - started) * 1000.0
+
+    arms: dict[str, dict] = {}
+    for arm, share in (("baseline", False), ("shared", True)):
+        arm_runtime = (
+            runtime
+            if share
+            # The baseline arm reuses the already-built index so the
+            # comparison isolates the cache layers, not index builds.
+            else GroupSpaceRuntime(space, index=runtime.index, share_cache=False)
+        )
+        manager = SessionManager(arm_runtime, default_config=config)
+        first = _replay_session(manager, clicks)  # session 1, alone
+        with ThreadPoolExecutor(max_workers=threads) as executor:
+            later = list(
+                executor.map(
+                    lambda _: _replay_session(manager, clicks),
+                    range(n_sessions - 1),
+                )
+            )
+        later_clicks = [value for latencies in later for value in latencies]
+        every_click = first + later_clicks
+        arms[arm] = {
+            "sessions": n_sessions,
+            "clicks_per_session": clicks,
+            "threads": threads,
+            "first_session_click_p50_ms": round(statistics.median(first), 3),
+            "later_sessions_cold_click_p50_ms": round(
+                statistics.median(later_clicks), 3
+            ),
+            "click_p50_ms": round(statistics.median(every_click), 3),
+            "click_p95_ms": round(_percentile(every_click, 0.95), 3),
+        }
+
+    shared_stats = runtime.shared.stats() if runtime.shared is not None else {}
+    structure_requests = shared_stats.get("structure_hits", 0) + shared_stats.get(
+        "structure_misses", 0
+    )
+    warm_hit_rate = (
+        shared_stats.get("structure_hits", 0) / structure_requests
+        if structure_requests
+        else 0.0
+    )
+
+    # Display parity under concurrency: untimed runs must show every
+    # threaded shared-runtime session exactly what a sequential private
+    # session shows (the budgeted arms above measure latency only).
+    untimed = SessionConfig(
+        k=5, time_budget_ms=None, engine="celf", use_profile=False
+    )
+    parity_clicks = min(clicks, 3)
+
+    def displays(manager: SessionManager) -> list[list[int]]:
+        session_id, shown = manager.open_session()
+        trace = []
+        visited: set[int] = set()
+        for _ in range(parity_clicks):
+            gid = scripted_click_gid(shown, visited)
+            shown = manager.click(session_id, gid)
+            trace.append([group.gid for group in shown])
+        manager.close(session_id)
+        return trace
+
+    solo_manager = SessionManager(
+        GroupSpaceRuntime(space, index=runtime.index, share_cache=False),
+        default_config=untimed,
+    )
+    expected = displays(solo_manager)
+    parity_manager = SessionManager(
+        GroupSpaceRuntime(space, index=runtime.index), default_config=untimed
+    )
+    with ThreadPoolExecutor(max_workers=threads) as executor:
+        traces = list(
+            executor.map(lambda _: displays(parity_manager), range(4))
+        )
+    parity = all(trace == expected for trace in traces)
+
+    return {
+        "sessions": n_sessions,
+        "clicks_per_session": clicks,
+        "threads": threads,
+        "budget_ms": BUDGET_MS,
+        "runtime_build_ms": round(runtime_build_ms, 3),
+        "per_session_setup_ms": round(per_session_setup_ms, 3),
+        "runtime_session_setup_ms": round(runtime_session_setup_ms, 3),
+        "setup_amortization": round(
+            per_session_setup_ms / max(runtime_session_setup_ms, 1e-9), 1
+        ),
+        "baseline": arms["baseline"],
+        "shared": arms["shared"],
+        "later_cold_click_speedup": round(
+            arms["baseline"]["later_sessions_cold_click_p50_ms"]
+            / max(arms["shared"]["later_sessions_cold_click_p50_ms"], 1e-9),
+            2,
+        ),
+        "cross_session_warm_hit_rate": round(warm_hit_rate, 3),
+        "shared_cache": shared_stats,
+        "parity": parity,
+    }
+
+
+def measure_index_build(smoke: bool) -> dict:
+    """Batched vs per-group-loop prefix ranking on the largest space.
+
+    Times only the ranking stage (the shared membership self-product is
+    identical in both paths) on the biggest group space this run
+    generates, and checks the two rankings are identical entry for entry.
+    """
+    candidates = [dbauthors_space()]
+    if not smoke:
+        candidates.append(bookcrossing_space())
+    space = max(candidates, key=len)
+    index = SimilarityIndex(space.memberships(), space.dataset.n_users, 0.10)
+    overlaps = (index.membership_csr() @ index.membership_csr().T).tocsr()
+    sizes = [len(members) for members in space.memberships()]
+    budget = index._budget()
+
+    def best_of(ranker, repeats: int = 3) -> tuple[float, tuple]:
+        best = float("inf")
+        outcome = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            outcome = ranker(overlaps, sizes, budget)
+            best = min(best, (time.perf_counter() - started) * 1000.0)
+        return best, outcome
+
+    vectorized_ms, vectorized = best_of(_rank_prefix_vectorized)
+    loop_ms, loop = best_of(_rank_prefix_loop)
+    parity = all(
+        (a == b).all() for a, b in zip(vectorized, loop)
+    )
+    return {
+        "space": space.dataset.name,
+        "groups": len(space),
+        "prefix_entries": index.memory_entries(),
+        "rank_vectorized_ms": round(vectorized_ms, 3),
+        "rank_loop_ms": round(loop_ms, 3),
+        "build_speedup": round(loop_ms / max(vectorized_ms, 1e-9), 2),
+        "parity": bool(parity),
+    }
+
+
 def run(
-    n_parents: int, n_genres: int, repeats: int, clicks: int, cache_rounds: int
+    n_parents: int,
+    n_genres: int,
+    repeats: int,
+    clicks: int,
+    cache_rounds: int,
+    serving_sessions: int = 8,
+    serving_clicks: int = 4,
+    serving_threads: int = 8,
+    smoke: bool = False,
 ) -> dict:
     pools = {"C2": c2_pools(n_parents), "C7": c7_pools(n_genres)}
     report: dict = {
@@ -326,6 +553,12 @@ def run(
     )
     report["cache"] = measure_cache(pools["C2"], cache_rounds, repeats)
     report["governor"] = measure_governor(pools["C2"], repeats)
+    report["serving"] = measure_serving(
+        serving_sessions, serving_clicks, serving_threads
+    )
+    report["parity"]["serving"] = report["serving"]["parity"]
+    report["index_build"] = measure_index_build(smoke)
+    report["parity"]["index_build"] = report["index_build"]["parity"]
     return report
 
 
@@ -392,9 +625,15 @@ def main() -> int:
         )
         return 2
     if args.smoke:
-        report = run(n_parents=1, n_genres=0, repeats=1, clicks=3, cache_rounds=2)
+        report = run(
+            n_parents=1, n_genres=0, repeats=1, clicks=3, cache_rounds=2,
+            serving_sessions=3, serving_clicks=2, serving_threads=2, smoke=True,
+        )
     elif args.quick:
-        report = run(n_parents=2, n_genres=1, repeats=2, clicks=5, cache_rounds=3)
+        report = run(
+            n_parents=2, n_genres=1, repeats=2, clicks=5, cache_rounds=3,
+            serving_sessions=4, serving_clicks=3, serving_threads=4,
+        )
     else:
         report = run(n_parents=6, n_genres=3, repeats=5, clicks=11, cache_rounds=6)
     args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -415,6 +654,24 @@ def main() -> int:
         f"(gate {gate:.1f}x, {'smoke' if args.smoke else 'full'})"
     )
     ok = ok and ratio >= gate
+    serving_speedup = report["serving"]["later_cold_click_speedup"]
+    # Smoke runs only require the shared runtime to not be slower (tiny
+    # workloads on noisy CI boxes); full runs hold the 2x bar.
+    serving_gate = 0.8 if args.smoke else SERVING_GATE
+    print(
+        f"serving: later sessions {serving_speedup:.1f}x faster over the "
+        f"shared runtime (gate {serving_gate:.1f}x), warm-hit rate "
+        f"{report['serving']['cross_session_warm_hit_rate']:.0%}"
+    )
+    ok = ok and serving_speedup >= serving_gate
+    build_speedup = report["index_build"]["build_speedup"]
+    print(
+        f"index build: batched ranking {build_speedup:.1f}x the per-group "
+        f"loop on {report['index_build']['space']} "
+        f"({report['index_build']['groups']} groups)"
+    )
+    if not args.smoke:
+        ok = ok and build_speedup >= 1.0
     print(f"parity: {report['parity']}  ->  {'OK' if ok else 'REGRESSION'}")
     return 0 if ok else 1
 

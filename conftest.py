@@ -37,3 +37,9 @@ def pytest_configure(config):
         "perf: perf-harness self-tests (seeded subprocess smoke runs of "
         "benchmarks/run_perf.py)",
     )
+    config.addinivalue_line(
+        "markers",
+        "concurrency: threaded multi-session serving-runtime tests "
+        "(N sessions x M clicks against one GroupSpaceRuntime; run "
+        "standalone via `pytest -m concurrency`)",
+    )

@@ -27,7 +27,8 @@ from repro.agents.explorer import (
 )
 from repro.core.discovery import DiscoveryConfig, discover_groups
 from repro.core.group import GroupSpace
-from repro.core.session import ExplorationSession, SessionConfig
+from repro.core.runtime import GroupSpaceRuntime
+from repro.core.session import SessionConfig
 from repro.core.tasks import SingleTargetTask, committee_task
 from repro.data.generators.bookcrossing import BookCrossingData
 from repro.data.generators.dbauthors import DBAuthorsData
@@ -91,8 +92,15 @@ def run_pc_formation(
     committee_size: int = 12,
     agent_config: AgentConfig | None = None,
     session_config: SessionConfig | None = None,
+    runtime: GroupSpaceRuntime | None = None,
 ) -> AgentResult:
-    """One PC-formation session for one venue (experiment C4's unit)."""
+    """One PC-formation session for one venue (experiment C4's unit).
+
+    ``runtime`` is the serving runtime the session is opened on; repeated
+    runs over the same runtime share its index and cross-session cache —
+    exactly how several chairs exploring one DBLP space would be served.
+    A private runtime is created when none is passed.
+    """
     community = frozenset(
         int(user) for user in venue_community(data, venue)
     )
@@ -101,7 +109,11 @@ def run_pc_formation(
         size=committee_size,
         community=community,
     )
-    session = ExplorationSession(space, config=session_config or SessionConfig())
+    if runtime is None:
+        runtime = GroupSpaceRuntime(space, share_cache=False)
+    elif runtime.space is not space:
+        raise ValueError("runtime serves a different group space")
+    session = runtime.create_session(session_config or SessionConfig())
     agent = CollectorExplorer(task, agent_config or AgentConfig())
     return agent.run(session, seed_gids=seed_groups_for_venue(space, venue))
 
@@ -113,8 +125,16 @@ def pc_formation_study(
     repeats: int = 5,
     committee_size: int = 12,
     session_config: SessionConfig | None = None,
+    runtime: GroupSpaceRuntime | None = None,
 ) -> dict[str, ScenarioOutcome]:
-    """C4: repeated PC formation per venue; the paper expects <10 iterations."""
+    """C4: repeated PC formation per venue; the paper expects <10 iterations.
+
+    All sessions of the study run against one serving runtime (built here
+    when not supplied), so the index is constructed once and every
+    repeat's precomputation warms the next — the multi-chair story.
+    """
+    if runtime is None:
+        runtime = GroupSpaceRuntime(space)
     outcomes: dict[str, ScenarioOutcome] = {}
     for venue in venues:
         runs = [
@@ -125,6 +145,7 @@ def pc_formation_study(
                 committee_size=committee_size,
                 agent_config=AgentConfig(seed=repeat, max_iterations=25),
                 session_config=session_config,
+                runtime=runtime,
             )
             for repeat in range(repeats)
         ]
@@ -152,13 +173,18 @@ def run_discussion_search(
     genre: str = "fiction",
     agent_config: AgentConfig | None = None,
     session_config: SessionConfig | None = None,
+    runtime: GroupSpaceRuntime | None = None,
 ) -> AgentResult:
     """One ST session: find the genre discussion group (experiment C5 unit)."""
     target = discussion_group_target(space, genre)
     if target is None:
         raise ValueError(f"no discussion group for genre {genre!r} in this space")
     task = SingleTargetTask(space, target_gid=target)
-    session = ExplorationSession(space, config=session_config or SessionConfig())
+    if runtime is None:
+        runtime = GroupSpaceRuntime(space, share_cache=False)
+    elif runtime.space is not space:
+        raise ValueError("runtime serves a different group space")
+    session = runtime.create_session(session_config or SessionConfig())
     agent = TargetSeekingExplorer(task, agent_config or AgentConfig())
     return agent.run(session)
 
@@ -177,6 +203,7 @@ def satisfaction_study(
     (engine, governor, pool-cache knobs) applies to every group-arm
     session, so the study can also quantify what escalation/caching buy.
     """
+    runtime = GroupSpaceRuntime(space)
     group_runs: list[AgentResult] = []
     for genre in genres:
         target = discussion_group_target(space, genre)
@@ -184,9 +211,7 @@ def satisfaction_study(
             continue
         for repeat in range(repeats):
             task = SingleTargetTask(space, target_gid=target)
-            session = ExplorationSession(
-                space, config=session_config or SessionConfig()
-            )
+            session = runtime.create_session(session_config or SessionConfig())
             agent = TargetSeekingExplorer(
                 task, AgentConfig(seed=repeat, max_iterations=20)
             )

@@ -1,35 +1,44 @@
 """Command-line interface: the VEXUS demo, headless.
 
-Five subcommands mirror the life cycle of the paper's system::
+Six subcommands mirror the life cycle of the paper's system::
 
     python -m repro generate bookcrossing --out data/      synthesize CSVs
     python -m repro discover --actions ... --store st/     offline phase
     python -m repro explore --actions ... --store st/      the VEXUS loop
+    python -m repro serve --actions ... --store st/        multi-session runtime
     python -m repro scenario pc|discussion                 §III scenarios
     python -m repro experiments --only C8,C12              paper claims
 
 ``explore`` is an interactive REPL over :class:`ExplorationSession`; pass
 ``--script "click 1; memo; quit"`` to drive it non-interactively (that is
-also how the test suite exercises it).
+also how the test suite exercises it).  Both ``explore`` and ``serve``
+load the offline artifacts into one
+:class:`~repro.core.runtime.GroupSpaceRuntime`; ``serve`` then replays N
+concurrent scripted sessions through a
+:class:`~repro.core.runtime.SessionManager` and reports per-session click
+latency plus the cross-session cache's warm-hit counters — the headless
+stand-in for many analysts hitting one VEXUS deployment.
 """
 
 from __future__ import annotations
 
 import argparse
+import statistics
 import sys
+import time
 from pathlib import Path
 from typing import Callable, Optional
 
 import numpy as np
 
 from repro.core.discovery import DiscoveryConfig, discover_groups
-from repro.core.session import ExplorationSession, SessionConfig
-from repro.core.store import (
-    load_group_space,
-    load_index,
-    save_group_space,
-    save_index,
+from repro.core.runtime import (
+    GroupSpaceRuntime,
+    SessionManager,
+    scripted_click_gid,
 )
+from repro.core.session import ExplorationSession, SessionConfig
+from repro.core.store import save_group_space, save_index
 from repro.data.etl import load_dataset
 from repro.data.generators.bookcrossing import BookCrossingConfig, generate_bookcrossing
 from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
@@ -96,6 +105,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="semicolon-separated commands to run instead of stdin",
     )
     explore.set_defaults(handler=cmd_explore)
+
+    serve = commands.add_parser(
+        "serve", help="replay N concurrent sessions against one runtime"
+    )
+    _add_data_arguments(serve)
+    serve.add_argument("--store", required=True, help="artifacts from `discover`")
+    serve.add_argument("--sessions", type=int, default=4)
+    serve.add_argument("--clicks", type=int, default=5)
+    serve.add_argument(
+        "--threads", type=int, default=4,
+        help="worker threads driving the sessions concurrently",
+    )
+    serve.add_argument("--k", type=int, default=5)
+    serve.add_argument("--budget-ms", type=float, default=100.0)
+    serve.add_argument(
+        "--no-shared-cache", action="store_true",
+        help="per-session caches only (the pre-runtime baseline)",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     scenario = commands.add_parser("scenario", help="run a §III scenario")
     scenario.add_argument("name", choices=["pc", "discussion"])
@@ -169,11 +197,8 @@ def cmd_discover(args: argparse.Namespace) -> int:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     dataset = _load(args)
-    space = load_group_space(dataset, args.store)
-    index = load_index(space, args.store)
-    session = ExplorationSession(
-        space,
-        index,
+    runtime = GroupSpaceRuntime.from_store(dataset, args.store)
+    session = runtime.create_session(
         SessionConfig(
             k=args.k,
             time_budget_ms=args.budget_ms,
@@ -329,6 +354,76 @@ class ExplorationREPL:
     def _cmd_quit(self, rest: str) -> bool:
         self.emit("bye")
         return False
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Headless multi-session serving demo over stored artifacts.
+
+    Opens ``--sessions`` scripted sessions against one runtime and drives
+    them from ``--threads`` workers; each session deterministically walks
+    its display (always the first not-yet-clicked group).  Reports
+    per-session click latency and the cross-session cache counters, so
+    the cold-start amortization and warm-hit behaviour are visible from
+    the command line without any benchmark harness.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    if args.sessions < 1 or args.clicks < 1 or args.threads < 1:
+        print("sessions, clicks and threads must all be >= 1", file=sys.stderr)
+        return 2
+    dataset = _load(args)
+    started = time.perf_counter()
+    runtime = GroupSpaceRuntime.from_store(
+        dataset, args.store, share_cache=not args.no_shared_cache
+    )
+    build_ms = (time.perf_counter() - started) * 1000.0
+    manager = SessionManager(
+        runtime,
+        default_config=SessionConfig(
+            k=args.k, time_budget_ms=args.budget_ms, use_profile=False
+        ),
+    )
+    print(
+        f"runtime ready in {build_ms:.0f} ms: {len(runtime.space)} groups, "
+        f"{'shared' if runtime.shared is not None else 'per-session'} cache"
+    )
+
+    def drive(_worker: int) -> tuple[str, list[float]]:
+        session_id, shown = manager.open_session()
+        latencies: list[float] = []
+        visited: set[int] = set()
+        for _ in range(args.clicks):
+            gid = scripted_click_gid(shown, visited)
+            clicked = time.perf_counter()
+            shown = manager.click(session_id, gid)
+            latencies.append((time.perf_counter() - clicked) * 1000.0)
+        return session_id, latencies
+
+    with ThreadPoolExecutor(max_workers=args.threads) as executor:
+        outcomes = list(executor.map(drive, range(args.sessions)))
+    for session_id, latencies in outcomes:
+        summary = manager.close(session_id)
+        cache = summary["cache"]
+        shared_hits = cache.get("shared_structure_hits", 0) if cache else 0
+        print(
+            f"  {session_id}: {len(latencies)} clicks, "
+            f"p50 {statistics.median(latencies):.1f} ms, "
+            f"max {max(latencies):.1f} ms, "
+            f"{shared_hits} cross-session structure hits"
+        )
+    every_click = [value for _, latencies in outcomes for value in latencies]
+    print(
+        f"all sessions: p50 {statistics.median(every_click):.1f} ms over "
+        f"{len(every_click)} clicks"
+    )
+    if runtime.shared is not None:
+        shared = runtime.shared.stats()
+        print(
+            f"shared cache: {shared['structures']} structures "
+            f"({shared['structure_hits']} hits), "
+            f"{shared['pair_entries']} pair entries"
+        )
+    return 0
 
 
 def cmd_scenario(args: argparse.Namespace) -> int:

@@ -26,6 +26,11 @@ from repro.core.group import (
 from repro.core.history import History, Step
 from repro.core.memo import Memo
 from repro.core.profile import ExplorerProfile
+from repro.core.runtime import (
+    GroupSpaceRuntime,
+    SessionManager,
+    SharedPairCache,
+)
 from repro.core.selection import SelectionConfig, SelectionResult, select_k
 from repro.core.session import ExplorationSession, SessionConfig
 from repro.core.store import (
@@ -67,6 +72,7 @@ __all__ = [
     "FeedbackVector",
     "Group",
     "GroupSpace",
+    "GroupSpaceRuntime",
     "History",
     "Memo",
     "MembersOf",
@@ -77,6 +83,8 @@ __all__ = [
     "SelectionConfig",
     "SelectionResult",
     "SessionConfig",
+    "SessionManager",
+    "SharedPairCache",
     "SingleTargetTask",
     "Step",
     "build_group_graph",

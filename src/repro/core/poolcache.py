@@ -42,6 +42,19 @@ construction:
   display and scores; it is what makes the paper's backtrack/re-click
   HISTORY gesture effectively free.
 
+- **governor layer** — where the adaptive budget governor's escalation
+  stopped on each (pool, config), so a budgeted re-click *resumes* at the
+  recorded tier instead of restarting from tier 1 (see
+  :mod:`repro.core.selection`).
+
+When the owning session belongs to a
+:class:`~repro.core.runtime.GroupSpaceRuntime`, the structure and Jaccard
+pair layers additionally consult the runtime's cross-session
+:class:`~repro.core.runtime.SharedPairCache` before computing, so one
+session's precomputation warms every other session over the same group
+space.  The feedback, result and governor layers stay private per
+session by construction — they encode one explorer's CONTEXT.
+
 Every layer is LRU/size-bounded so long sessions stay in bounded memory,
 and every layer is *transparent*: cached and uncached runs return the
 same groups and scores (property-tested in
@@ -124,6 +137,9 @@ class _PoolStructure:
         "sim_columns",
         "pair_sims",
         "pair_capacity",
+        "shared_pairs",
+        "shared_version",
+        "published_columns",
     )
 
     def __init__(
@@ -168,6 +184,16 @@ class _PoolStructure:
         self.sim_columns: dict[int, np.ndarray] = {}
         self.pair_sims: Optional[dict] = None
         self.pair_capacity = 0
+        # Cross-session pair layer (a runtime's SharedPairCache) plus the
+        # runtime version observed when this structure was served — every
+        # shared read/publish is stamped with it, so a store mutation
+        # mid-click invalidates rather than races.
+        self.shared_pairs: Optional[Any] = None
+        self.shared_version = 0
+        # Columns already visible to the shared layer; when the live
+        # count grows past this, the owning cache republishes a snapshot
+        # so other sessions inherit the materialized columns.
+        self.published_columns = 0
 
     def _slice_space_matrix(
         self,
@@ -238,9 +264,12 @@ class _PoolStructure:
     def sim_column(self, index: int) -> np.ndarray:
         """Jaccard of every pool entry to ``pool[index]``, lazily cached.
 
-        With a shared pair dict attached, the column is assembled from
-        previously published (group, group) similarities and only the
-        missing rows pay a (partial) sparse mat-vec; either way every
+        With a session pair dict and/or a cross-session
+        :class:`~repro.core.runtime.SharedPairCache` attached, the column
+        is assembled from previously published (group, group)
+        similarities — the session layer first (lock-free), then one
+        batched, version-stamped shared lookup — and only the still
+        missing rows pay a (partial) sparse mat-vec.  Either way every
         entry comes from :func:`repro.core.similarity.jaccard_column`,
         so cached, patched and fresh columns are bitwise identical.
         """
@@ -249,38 +278,113 @@ class _PoolStructure:
             return cached
         members = self.pool[index].members
         pairs = self.pair_sims
+        shared = self.shared_pairs
         column: Optional[np.ndarray] = None
-        if pairs:
+        computed: list[int] = []
+        if pairs or shared is not None:
             own = self.fingerprints[index]
             column = np.empty(len(self.pool), dtype=np.float64)
             missing: list[int] = []
+            missing_keys: list[tuple] = []
             for position, fingerprint in enumerate(self.fingerprints):
                 key = (own, fingerprint) if own <= fingerprint else (fingerprint, own)
-                value = pairs.get(key)
+                value = pairs.get(key) if pairs else None
                 if value is None:
                     missing.append(position)
+                    missing_keys.append(key)
                 else:
                     column[position] = value
-            if missing:
+            if missing and shared is not None:
+                found = shared.get_pairs(missing_keys, self.shared_version)
+                if found:
+                    still_missing: list[int] = []
+                    for position, key in zip(missing, missing_keys):
+                        value = found.get(key)
+                        if value is None:
+                            still_missing.append(position)
+                        else:
+                            column[position] = value
+                    missing = still_missing
+            if len(missing) == len(self.pool):
+                column = None  # nothing cached anywhere: one full mat-vec
+            elif missing:
                 rows = self.members_matrix[missing]
                 column[missing] = jaccard_column(
                     rows, self.member_sizes[missing], members
                 )
+                computed = missing
         if column is None:
             column = jaccard_column(self.members_matrix, self.member_sizes, members)
-        self._publish_pairs(index, column)
+            computed = list(range(len(self.pool)))
+        self._publish_pairs(index, column, computed)
         self.sim_columns[index] = column
         return column
 
-    def _publish_pairs(self, index: int, column: np.ndarray) -> None:
+    def _publish_pairs(
+        self, index: int, column: np.ndarray, computed: list[int]
+    ) -> None:
+        """Publish one column's pair values to the session + shared layers.
+
+        The session dict absorbs the full column (local lookups stay
+        lock-free, including values that arrived from the shared layer);
+        the shared layer receives only the *freshly computed* entries —
+        everything else it either already holds or published itself.
+        """
         pairs = self.pair_sims
-        if pairs is None or len(pairs) >= self.pair_capacity:
+        shared = self.shared_pairs
+        session_wants = pairs is not None and len(pairs) < self.pair_capacity
+        shared_wants = shared is not None and computed
+        if not session_wants and not shared_wants:
             return
         own = self.fingerprints[index]
         values = column.tolist()
-        for position, fingerprint in enumerate(self.fingerprints):
-            key = (own, fingerprint) if own <= fingerprint else (fingerprint, own)
-            pairs[key] = values[position]
+        if session_wants:
+            for position, fingerprint in enumerate(self.fingerprints):
+                key = (
+                    (own, fingerprint) if own <= fingerprint else (fingerprint, own)
+                )
+                pairs[key] = values[position]
+        if shared_wants:
+            fresh: dict[tuple, float] = {}
+            for position in computed:
+                fingerprint = self.fingerprints[position]
+                key = (
+                    (own, fingerprint) if own <= fingerprint else (fingerprint, own)
+                )
+                fresh[key] = values[position]
+            shared.publish_pairs(fresh, self.shared_version)
+
+    def snapshot(self) -> "_PoolStructure":
+        """An independent view of this structure for another session.
+
+        Shares every immutable array (membership CSR, coverage incidence,
+        attribute matrices) but owns fresh mutable state: a copied
+        ``sim_columns`` dict and *no* pair/shared bindings — the serving
+        cache re-attaches those per session.  This is what
+        :class:`~repro.core.runtime.SharedPairCache` stores and returns,
+        so no two sessions ever mutate the same dict concurrently.
+        """
+        twin = object.__new__(_PoolStructure)
+        twin.pool = self.pool
+        twin.fingerprints = self.fingerprints
+        twin.key = self.key
+        twin.relevant = self.relevant
+        twin.n_relevant = self.n_relevant
+        twin.n_columns = self.n_columns
+        twin.members_matrix = self.members_matrix
+        twin.member_sizes = self.member_sizes
+        twin.cover = self.cover
+        twin.positions = self.positions
+        twin.group_attributes = self.group_attributes
+        twin.attrs = self.attrs
+        twin.attr_count = self.attr_count
+        twin.sim_columns = dict(self.sim_columns)
+        twin.pair_sims = None
+        twin.pair_capacity = 0
+        twin.shared_pairs = None
+        twin.shared_version = 0
+        twin.published_columns = len(twin.sim_columns)
+        return twin
 
     # -- permutation reuse ----------------------------------------------
 
@@ -331,6 +435,9 @@ class _PoolStructure:
         }
         twin.pair_sims = self.pair_sims
         twin.pair_capacity = self.pair_capacity
+        twin.shared_pairs = self.shared_pairs
+        twin.shared_version = self.shared_version
+        twin.published_columns = 0
         return twin
 
 
@@ -353,6 +460,7 @@ class PoolStatsCache:
         result_capacity: int = 64,
         pair_capacity: int = 200_000,
         space_matrix: Optional[sparse.csr_matrix] = None,
+        shared: Optional[Any] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -362,20 +470,27 @@ class PoolStatsCache:
         self.result_capacity = result_capacity
         self.pair_capacity = pair_capacity
         self.space_matrix = space_matrix
+        #: Cross-session layer (a :class:`repro.core.runtime.SharedPairCache`)
+        #: consulted for structures and Jaccard pairs before computing.
+        #: Feedback/result layers stay private to this session cache.
+        self.shared = shared
         self._structures: "OrderedDict[tuple, _PoolStructure]" = OrderedDict()
         self._by_set: dict[tuple, tuple] = {}
         self._feedback_layers: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._results: "OrderedDict[tuple, Any]" = OrderedDict()
         self._dense_weights: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._pair_sims: dict[tuple, float] = {}
+        self._governor_tiers: "OrderedDict[tuple, int]" = OrderedDict()
         self.last_structure_key: Optional[tuple] = None
         self.structure_hits = 0
         self.structure_permuted = 0
         self.structure_misses = 0
+        self.shared_structure_hits = 0
         self.feedback_hits = 0
         self.feedback_misses = 0
         self.result_hits = 0
         self.result_misses = 0
+        self.governor_resumes = 0
         self.evictions = 0
 
     # -- structure layer -------------------------------------------------
@@ -389,18 +504,22 @@ class PoolStatsCache:
     ) -> tuple[_PoolStructure, str]:
         """The structure for ``(pool, relevant)`` plus how it was obtained.
 
-        Returns ``(structure, state)`` with state ``"warm"`` (exact or
-        permuted reuse) or ``"miss"`` (fresh build, now cached).
+        Returns ``(structure, state)`` with state ``"warm"`` (exact,
+        permuted or cross-session reuse) or ``"miss"`` (fresh build, now
+        cached — and published to the shared layer when one is attached).
         """
         if fingerprints is None:
             fingerprints = pool_fingerprint(pool)
         if relevant_key is None:
             relevant_key = relevant_fingerprint(relevant)
         key = (fingerprints, relevant_key)
+        shared = self.shared
+        shared_version = shared.version if shared is not None else 0
         structure = self._structures.get(key)
         if structure is not None:
             self._structures.move_to_end(key)
             self.structure_hits += 1
+            structure.shared_version = shared_version
             self.last_structure_key = key
             return structure, "warm"
         set_key = (frozenset(fingerprints), relevant_key)
@@ -412,6 +531,15 @@ class PoolStatsCache:
             if structure is not None:
                 self.structure_permuted += 1
                 state = "warm"
+        if structure is None and shared is not None:
+            # Cross-session reuse: another session over the same runtime
+            # already built this (pool, relevant) structure.  The lookup
+            # returns an independent snapshot, so this session's column
+            # materialization never touches the donor's dicts.
+            structure = shared.lookup_structure(key, shared_version)
+            if structure is not None:
+                self.shared_structure_hits += 1
+                state = "warm"
         if structure is None:
             structure = _PoolStructure(
                 pool,
@@ -421,8 +549,14 @@ class PoolStatsCache:
                 space_matrix=self.space_matrix,
             )
             self.structure_misses += 1
+            if shared is not None and shared.publish_structure(
+                key, structure, shared_version
+            ):
+                structure.published_columns = len(structure.sim_columns)
         structure.pair_sims = self._pair_sims
         structure.pair_capacity = self.pair_capacity
+        structure.shared_pairs = shared
+        structure.shared_version = shared_version
         self._structures[key] = structure
         self._by_set[set_key] = key
         self.last_structure_key = key
@@ -444,6 +578,31 @@ class PoolStatsCache:
         key = self.last_structure_key
         if key is not None and key in self._structures:
             self._structures.move_to_end(key)
+
+    def republish_structure(self, key: Optional[tuple] = None) -> None:
+        """Refresh the shared copy of a pool with its live columns.
+
+        A structure is first published at build time, before any Jaccard
+        column exists; the selection engines then materialize columns for
+        every group that enters the display.  Called at the end of
+        ``select_k`` with the clicked pool's structure key (falling back
+        to the most recently served structure), this pushes an updated
+        snapshot so *other* sessions inherit the materialized columns
+        instead of re-assembling them pair by pair.  No-op without a
+        shared layer or when nothing new was materialized.
+        """
+        shared = self.shared
+        if key is None:
+            key = self.last_structure_key
+        if shared is None or key is None:
+            return
+        structure = self._structures.get(key)
+        if structure is None:
+            return
+        if len(structure.sim_columns) <= structure.published_columns:
+            return
+        if shared.publish_structure(key, structure, structure.shared_version):
+            structure.published_columns = len(structure.sim_columns)
 
     # -- feedback layer --------------------------------------------------
 
@@ -527,6 +686,44 @@ class PoolStatsCache:
         while len(self._results) > self.result_capacity:
             self._results.popitem(last=False)
 
+    # -- governor layer --------------------------------------------------
+
+    def governor_resume_tier(self, structure_key: tuple, config_key: Hashable) -> int:
+        """Highest escalation tier the last governed click on this pool
+        reached (0 when the pool has not been governed yet).
+
+        Keyed on the structure's content fingerprints plus the selection
+        config, so a mutated pool or different governor knobs start cold.
+        The budgeted escalation path uses this to *resume* at the
+        recorded tier instead of re-exploring tiers that already
+        converged on this pool — a scheduling hint only, never a result.
+        """
+        key = (structure_key, config_key)
+        tier = self._governor_tiers.get(key)
+        if tier is None:
+            return 0
+        self._governor_tiers.move_to_end(key)
+        return tier
+
+    def note_governor_resume(self) -> None:
+        """Count one escalation that actually resumed past tier 1.
+
+        Called by the selection engine *after* escalation ran with a
+        recorded start tier — a mere lookup is not a resume (the click
+        may exhaust its budget before ever escalating).
+        """
+        self.governor_resumes += 1
+
+    def record_governor_tier(
+        self, structure_key: tuple, config_key: Hashable, tier: int
+    ) -> None:
+        """Record where this pool's escalation stopped (LRU-bounded)."""
+        key = (structure_key, config_key)
+        self._governor_tiers[key] = tier
+        self._governor_tiers.move_to_end(key)
+        while len(self._governor_tiers) > max(2 * self.capacity, 4):
+            self._governor_tiers.popitem(last=False)
+
     # -- introspection ---------------------------------------------------
 
     def __len__(self) -> int:
@@ -539,10 +736,12 @@ class PoolStatsCache:
             "structure_hits": self.structure_hits,
             "structure_permuted": self.structure_permuted,
             "structure_misses": self.structure_misses,
+            "shared_structure_hits": self.shared_structure_hits,
             "feedback_hits": self.feedback_hits,
             "feedback_misses": self.feedback_misses,
             "result_hits": self.result_hits,
             "result_misses": self.result_misses,
+            "governor_resumes": self.governor_resumes,
             "evictions": self.evictions,
             "pair_entries": len(self._pair_sims),
         }
@@ -554,6 +753,7 @@ class PoolStatsCache:
         self._results.clear()
         self._dense_weights.clear()
         self._pair_sims.clear()
+        self._governor_tiers.clear()
         self.last_structure_key = None
 
     def __repr__(self) -> str:

@@ -1,0 +1,580 @@
+"""Multi-session serving runtime for one group space.
+
+VEXUS is a multi-user system: §II describes *analysts* — plural —
+exploring the same offline-discovered group space side by side (the demo
+scenarios of §III put several explorers on the same DBLP / BookCrossing
+populations).  Before this module, every
+:class:`~repro.core.session.ExplorationSession` built its own
+:class:`~repro.index.inverted.SimilarityIndex` and its own
+:class:`~repro.core.poolcache.PoolStatsCache`, so each new analyst paid
+the full cold-start cost and nothing one session precomputed ever helped
+another.
+
+Three pieces turn the per-session stack into a serving runtime:
+
+- :class:`SharedPairCache` — the concurrency-safe cross-session layer.
+  Jaccard pairs live in lock-striped dicts; per-(pool, relevant)
+  structure snapshots live behind one lock.  Every read and write is
+  stamped with the cache *version*: keys are content fingerprints (so
+  stale data misses by construction even without versioning), and a
+  store mutation bumps the version, which atomically empties the cache
+  and rejects any in-flight publication that observed the old version.
+- :class:`GroupSpaceRuntime` — owns, per group space, the immutable
+  shared artifacts every session reads: the similarity index (built once
+  with the batched lexsort ranking), the pooled group×user membership
+  CSR, and the shared pair cache.  Sessions are created *from* the
+  runtime and receive session caches wired to the shared layer; their
+  feedback / result / governor layers stay private (they encode one
+  explorer's CONTEXT, which must never leak between analysts — the
+  threaded suite in ``tests/core/test_runtime.py`` asserts exactly
+  this isolation plus display parity with sequential solo sessions).
+- :class:`SessionManager` — the thread-safe service API: ``open_session``
+  / ``click`` / ``close`` for N concurrent sessions against one runtime.
+  Clicks on the same session serialize on a per-session lock; clicks on
+  different sessions run concurrently and share warmth through the
+  runtime.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from scipy import sparse
+
+from repro.core.group import Group, GroupSpace
+from repro.core.poolcache import PoolStatsCache, _PoolStructure
+from repro.index.inverted import SimilarityIndex
+
+if TYPE_CHECKING:  # circular at runtime: session constructs a runtime
+    from repro.core.session import ExplorationSession, SessionConfig
+
+
+class SharedPairCache:
+    """Lock-striped, version-stamped cross-session selection cache.
+
+    Two layers, both keyed on *content fingerprints* (gid + member hash),
+    both transparent — a hit returns exactly what a fresh computation
+    would produce:
+
+    - **pairs**: (group fingerprint, group fingerprint) → Jaccard, the
+      values :class:`~repro.core.poolcache._PoolStructure` columns are
+      assembled from.  Striped across ``stripes`` dicts, each with its
+      own lock, so concurrent sessions publishing different
+      neighborhoods rarely contend.
+    - **structures**: (pool fingerprints, relevant fingerprint) →
+      feedback-independent :class:`_PoolStructure` snapshot.  Lookups
+      return an independent snapshot per caller so no two sessions share
+      mutable dicts.
+
+    Every operation carries the version the caller observed *before* it
+    started computing.  :meth:`bump_version` (called by the runtime on
+    store mutation) increments the version and empties both layers under
+    every lock, and any read or publication stamped with an older
+    version is refused — so a session that raced the mutation can
+    neither read nor write stale state.
+    """
+
+    def __init__(
+        self,
+        pair_capacity: int = 400_000,
+        structure_capacity: int = 64,
+        stripes: int = 16,
+    ) -> None:
+        if pair_capacity < 0 or structure_capacity < 0:
+            raise ValueError("capacities must be >= 0")
+        if stripes < 1:
+            raise ValueError("stripes must be >= 1")
+        self.pair_capacity = pair_capacity
+        self.structure_capacity = structure_capacity
+        self.n_stripes = stripes
+        # 0 disables the pair layer outright; otherwise every stripe gets
+        # at least one slot so tiny capacities still cache something.
+        self._stripe_capacity = (
+            max(pair_capacity // stripes, 1) if pair_capacity else 0
+        )
+        self._stripes: list[dict[tuple, float]] = [{} for _ in range(stripes)]
+        self._stripe_locks = [threading.Lock() for _ in range(stripes)]
+        self._structures: "OrderedDict[tuple, _PoolStructure]" = OrderedDict()
+        self._structures_lock = threading.Lock()
+        self._version_lock = threading.Lock()
+        # Counters are read-modify-write, so they take this lock — an
+        # unguarded `+= ` would silently lose increments under exactly
+        # the thread contention this cache exists to serve.
+        self._stats_lock = threading.Lock()
+        self._version = 0
+        self.pair_hits = 0
+        self.pair_misses = 0
+        self.structure_hits = 0
+        self.structure_misses = 0
+        self.stale_rejections = 0
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    # -- versioning ------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def bump_version(self) -> int:
+        """Invalidate everything: store mutation makes all entries stale.
+
+        Increments the version first (so publications that observed the
+        old version are refused from this point on), then empties both
+        layers under their locks.  Returns the new version.
+        """
+        with self._version_lock:
+            self._version += 1
+            version = self._version
+        for lock, stripe in zip(self._stripe_locks, self._stripes):
+            with lock:
+                stripe.clear()
+        with self._structures_lock:
+            self._structures.clear()
+        return version
+
+    # -- pair layer ------------------------------------------------------
+
+    def _stripe_of(self, key: tuple) -> int:
+        return hash(key) % self.n_stripes
+
+    def get_pairs(self, keys: list[tuple], version: int) -> dict[tuple, float]:
+        """Batched pair lookup; ``{}`` when ``version`` is stale.
+
+        Groups the keys by stripe so each stripe lock is taken at most
+        once per call.
+        """
+        if version != self._version:
+            self._count("stale_rejections")
+            return {}
+        by_stripe: dict[int, list[tuple]] = {}
+        for key in keys:
+            by_stripe.setdefault(self._stripe_of(key), []).append(key)
+        found: dict[tuple, float] = {}
+        for stripe_index, stripe_keys in by_stripe.items():
+            stripe = self._stripes[stripe_index]
+            with self._stripe_locks[stripe_index]:
+                if version != self._version:
+                    self._count("stale_rejections")
+                    return {}
+                for key in stripe_keys:
+                    value = stripe.get(key)
+                    if value is not None:
+                        found[key] = value
+        self._count("pair_hits", len(found))
+        self._count("pair_misses", len(keys) - len(found))
+        return found
+
+    def publish_pairs(self, entries: dict[tuple, float], version: int) -> bool:
+        """Publish pair similarities observed at ``version``.
+
+        Returns False (and writes nothing) when the version is stale.
+        Publication into a full stripe simply stops — the layer is a
+        bounded accelerator, not a store of record.
+        """
+        if version != self._version:
+            self._count("stale_rejections")
+            return False
+        by_stripe: dict[int, list[tuple]] = {}
+        for key in entries:
+            by_stripe.setdefault(self._stripe_of(key), []).append(key)
+        for stripe_index, stripe_keys in by_stripe.items():
+            stripe = self._stripes[stripe_index]
+            with self._stripe_locks[stripe_index]:
+                if version != self._version:
+                    self._count("stale_rejections")
+                    return False
+                for key in stripe_keys:
+                    if len(stripe) >= self._stripe_capacity and key not in stripe:
+                        break
+                    stripe[key] = entries[key]
+        return True
+
+    # -- structure layer -------------------------------------------------
+
+    def lookup_structure(
+        self, key: tuple, version: int
+    ) -> Optional[_PoolStructure]:
+        """An independent snapshot of a published structure, or ``None``.
+
+        The returned snapshot shares only immutable arrays with the
+        stored one; its mutable dicts are fresh, so the caller may
+        materialize columns without synchronization.
+        """
+        if version != self._version:
+            self._count("stale_rejections")
+            return None
+        with self._structures_lock:
+            if version != self._version:
+                self._count("stale_rejections")
+                return None
+            stored = self._structures.get(key)
+            if stored is None:
+                self._count("structure_misses")
+                return None
+            self._structures.move_to_end(key)
+            self._count("structure_hits")
+            return stored.snapshot()
+
+    def publish_structure(
+        self, key: tuple, structure: _PoolStructure, version: int
+    ) -> bool:
+        """Store a snapshot of ``structure`` for other sessions (LRU-bounded)."""
+        if version != self._version or self.structure_capacity == 0:
+            if version != self._version:
+                self._count("stale_rejections")
+            return False
+        snapshot = structure.snapshot()
+        with self._structures_lock:
+            if version != self._version:
+                self._count("stale_rejections")
+                return False
+            self._structures[key] = snapshot
+            self._structures.move_to_end(key)
+            while len(self._structures) > self.structure_capacity:
+                self._structures.popitem(last=False)
+        return True
+
+    # -- introspection ---------------------------------------------------
+
+    def pair_entries(self) -> int:
+        return sum(len(stripe) for stripe in self._stripes)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "version": self._version,
+            "pair_entries": self.pair_entries(),
+            "pair_hits": self.pair_hits,
+            "pair_misses": self.pair_misses,
+            "structures": len(self._structures),
+            "structure_hits": self.structure_hits,
+            "structure_misses": self.structure_misses,
+            "stale_rejections": self.stale_rejections,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedPairCache(v{self._version}, {self.pair_entries()} pairs, "
+            f"{len(self._structures)}/{self.structure_capacity} structures)"
+        )
+
+
+class GroupSpaceRuntime:
+    """Shared serving artifacts for all sessions over one group space.
+
+    Owns what §II computes offline once and serves to every analyst: the
+    group space, the partially materialized similarity index (built with
+    the batched lexsort ranking, so construction scales to very large
+    spaces), the pooled membership CSR behind it, and the cross-session
+    :class:`SharedPairCache`.  All of it is immutable from a session's
+    point of view; the only mutation signal is :meth:`bump_version`,
+    which a caller that mutated the underlying store must invoke so no
+    session can keep serving artifacts of the old space.
+
+    ``share_cache=False`` produces a private runtime (the implicit one a
+    standalone :class:`~repro.core.session.ExplorationSession` builds for
+    itself): same ownership structure, no cross-session layer.
+    """
+
+    def __init__(
+        self,
+        space: GroupSpace,
+        index: Optional[SimilarityIndex] = None,
+        materialize_fraction: float = 0.10,
+        shared: Optional[SharedPairCache] = None,
+        share_cache: bool = True,
+    ) -> None:
+        self.space = space
+        self.index = index or SimilarityIndex(
+            space.memberships(),
+            space.dataset.n_users,
+            materialize_fraction=materialize_fraction,
+        )
+        if self.index.n_groups != len(space):
+            raise ValueError(
+                f"index covers {self.index.n_groups} groups, "
+                f"space has {len(space)}"
+            )
+        self.shared: Optional[SharedPairCache] = (
+            shared if shared is not None else SharedPairCache() if share_cache else None
+        )
+        self._private_version = 0
+        self._sessions_opened = 0
+        self._opened_lock = threading.Lock()
+
+    # -- versioning ------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone generation counter of the underlying group space."""
+        if self.shared is not None:
+            return self.shared.version
+        return self._private_version
+
+    def bump_version(self) -> int:
+        """Signal a store mutation: all shared artifacts become stale.
+
+        Callers that mutate the group space (re-discovery, member edits)
+        must bump before serving new clicks; every session-cache layer is
+        already content-fingerprinted, and this additionally empties the
+        cross-session cache and refuses racing publications.
+        """
+        self._private_version += 1
+        if self.shared is not None:
+            return self.shared.bump_version()
+        return self._private_version
+
+    # -- shared artifacts ------------------------------------------------
+
+    def membership_csr(self) -> sparse.csr_matrix:
+        """The pooled group×user membership matrix (one per runtime)."""
+        return self.index.membership_csr()
+
+    def session_cache(
+        self, capacity: int = 32, result_capacity: int = 64
+    ) -> PoolStatsCache:
+        """A per-session pool cache wired to this runtime's shared layer."""
+        return PoolStatsCache(
+            capacity=capacity,
+            result_capacity=result_capacity,
+            space_matrix=self.membership_csr(),
+            shared=self.shared,
+        )
+
+    def create_session(
+        self, config: Optional["SessionConfig"] = None
+    ) -> "ExplorationSession":
+        """A new exploration session served by this runtime's artifacts."""
+        from repro.core.session import ExplorationSession
+
+        with self._opened_lock:
+            self._sessions_opened += 1
+        return ExplorationSession(config=config, runtime=self)
+
+    @classmethod
+    def from_store(
+        cls,
+        dataset,
+        directory: str | Path,
+        shared: Optional[SharedPairCache] = None,
+        share_cache: bool = True,
+    ) -> "GroupSpaceRuntime":
+        """Build a runtime from offline artifacts written by ``discover``.
+
+        Loads the group space and the persisted index (validated against
+        the live space's membership digest — a stale store raises here,
+        never serves).
+        """
+        from repro.core.store import load_group_space, load_index
+
+        space = load_group_space(dataset, directory)
+        index = load_index(space, directory)
+        return cls(space, index=index, shared=shared, share_cache=share_cache)
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "groups": len(self.space),
+            "users": self.space.dataset.n_users,
+            "index_entries": self.index.memory_entries(),
+            "version": self.version,
+            "sessions_opened": self._sessions_opened,
+            "shared": self.shared.stats() if self.shared is not None else None,
+        }
+
+    def __repr__(self) -> str:
+        shared = "shared" if self.shared is not None else "private"
+        return (
+            f"GroupSpaceRuntime({len(self.space)} groups, {shared}, "
+            f"v{self.version}, {self._sessions_opened} sessions opened)"
+        )
+
+
+def scripted_click_gid(shown: list[Group], visited: set[int]) -> int:
+    """The deterministic demo/benchmark walking policy, in one place.
+
+    Click the first displayed group this session has not clicked yet,
+    falling back to the first slot when everything on screen was already
+    visited; ``visited`` is updated in place.  ``cli serve`` and the
+    perf harness's serving section both replay sessions with exactly
+    this policy, so they measure the same workload by construction.
+    """
+    gid = next(
+        (group.gid for group in shown if group.gid not in visited),
+        shown[0].gid,
+    )
+    visited.add(gid)
+    return gid
+
+
+class _ManagedSession:
+    """One live session plus the lock serializing its interactions.
+
+    ``session`` is ``None`` only during :meth:`SessionManager.open_session`,
+    while the slot is reserved under the registry lock but the session is
+    still being constructed; the instance lock is held for that whole
+    window, so no interaction can observe the placeholder.
+    """
+
+    __slots__ = ("session", "lock", "clicks")
+
+    def __init__(self, session: Optional["ExplorationSession"]) -> None:
+        self.session = session
+        self.lock = threading.Lock()
+        self.clicks = 0
+
+
+class SessionManager:
+    """Thread-safe ``open_session`` / ``click`` / ``close`` service API.
+
+    N concurrent sessions against one :class:`GroupSpaceRuntime`: the
+    registry is guarded by one lock, each session's interactions by its
+    own, so clicks on *different* sessions proceed concurrently while
+    clicks on the *same* session (e.g. a double-submitting client)
+    serialize instead of corrupting feedback/history state.  Cross-session
+    warmth flows exclusively through the runtime's shared cache — the
+    manager never lets one session touch another's state.
+    """
+
+    def __init__(
+        self,
+        runtime: GroupSpaceRuntime,
+        default_config: Optional["SessionConfig"] = None,
+        max_sessions: Optional[int] = None,
+    ) -> None:
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.runtime = runtime
+        self.default_config = default_config
+        self.max_sessions = max_sessions
+        self._sessions: dict[str, _ManagedSession] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+        self.sessions_closed = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def open_session(
+        self,
+        config: Optional["SessionConfig"] = None,
+        seed_gids: Optional[list[int]] = None,
+    ) -> tuple[str, list[Group]]:
+        """Open a session and show its initial display.
+
+        Returns ``(session_id, initial groups)``; the id addresses every
+        later :meth:`click` / :meth:`close`.  Raises ``RuntimeError``
+        when ``max_sessions`` live sessions already exist (the caller's
+        admission-control signal) — checked *before* any session state
+        is constructed, so rejected requests stay cheap under exactly
+        the overload admission control exists for.
+        """
+        managed = _ManagedSession(None)
+        managed.lock.acquire()  # interactions block until start() finishes
+        with self._lock:
+            if (
+                self.max_sessions is not None
+                and len(self._sessions) >= self.max_sessions
+            ):
+                managed.lock.release()
+                raise RuntimeError(
+                    f"session limit reached ({self.max_sessions} live sessions)"
+                )
+            self._counter += 1
+            session_id = f"s{self._counter:04d}"
+            self._sessions[session_id] = managed
+        try:
+            session = self.runtime.create_session(
+                config if config is not None else self.default_config
+            )
+            managed.session = session
+            shown = session.start(seed_gids=seed_gids)
+        except BaseException:
+            with self._lock:
+                self._sessions.pop(session_id, None)
+            raise
+        finally:
+            managed.lock.release()
+        return session_id, shown
+
+    def close(self, session_id: str) -> dict[str, object]:
+        """Retire a session; returns its final summary.
+
+        The session object is dropped from the registry (later calls
+        raise ``KeyError``); its private caches die with it while
+        everything it published to the shared layer keeps warming other
+        sessions.
+        """
+        with self._lock:
+            managed = self._sessions.pop(session_id)
+            self.sessions_closed += 1
+        with managed.lock:
+            session = managed.session
+            return {
+                "session_id": session_id,
+                "clicks": managed.clicks,
+                "steps": len(session.history),
+                "cache": (
+                    session.pool_cache.stats()
+                    if session.pool_cache is not None
+                    else {}
+                ),
+            }
+
+    # -- interactions ----------------------------------------------------
+
+    def _managed(self, session_id: str) -> _ManagedSession:
+        with self._lock:
+            return self._sessions[session_id]
+
+    def click(self, session_id: str, gid: int) -> list[Group]:
+        """One explorer click, serialized per session."""
+        managed = self._managed(session_id)
+        with managed.lock:
+            shown = managed.session.click(gid)
+            managed.clicks += 1
+            return shown
+
+    def backtrack(self, session_id: str, step_id: int) -> list[Group]:
+        managed = self._managed(session_id)
+        with managed.lock:
+            return managed.session.backtrack(step_id)
+
+    def displayed(self, session_id: str) -> list[Group]:
+        managed = self._managed(session_id)
+        with managed.lock:
+            return managed.session.displayed()
+
+    def session(self, session_id: str) -> "ExplorationSession":
+        """Direct access to a live session (single-threaded callers only)."""
+        return self._managed(session_id).session
+
+    # -- introspection ---------------------------------------------------
+
+    def session_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            live = len(self._sessions)
+            clicks = sum(managed.clicks for managed in self._sessions.values())
+        return {
+            "live_sessions": live,
+            "sessions_closed": self.sessions_closed,
+            "clicks_in_flight_sessions": clicks,
+            "runtime": self.runtime.stats(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionManager({len(self)} live sessions over "
+            f"{len(self.runtime.space)} groups)"
+        )

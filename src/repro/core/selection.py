@@ -89,6 +89,19 @@ entered and ``tier_scores`` the (monotonically non-decreasing) best
 objective after each tier.  ``engine="reference"`` refuses governor
 settings outright — the oracle must never silently diverge from what it
 is an oracle for.
+
+With a cache attached, tier outcomes are persisted per (pool, config) in
+the cache's governor layer: a *budgeted* governed re-click on the same
+pool resumes escalation at the last tier reached instead of re-running
+tiers that already converged there (``SelectionResult.governor_resumed_tier``
+records the resume).  Untimed runs never resume — they are the
+deterministic parity oracles.
+
+When the session cache is wired to a
+:class:`repro.core.runtime.SharedPairCache` (multi-session serving), the
+structure and Jaccard-pair layers are additionally warmed by *other*
+sessions over the same group space; feedback, result and governor layers
+stay session-private.
 """
 
 from __future__ import annotations
@@ -218,6 +231,11 @@ class SelectionResult:
     #: block (monotonically non-decreasing); empty when the governor
     #: never escalated.
     tier_scores: list[float] = field(default_factory=list)
+    #: Tier the escalation *resumed* from thanks to the pool cache's
+    #: governor layer (0 = cold start from tier 1).  Only budgeted,
+    #: cached, governed re-clicks ever resume; the skipped lower tiers
+    #: already converged on this pool on an earlier click.
+    governor_resumed_tier: int = 0
     #: ``"off"`` (no cache), ``"miss"`` (built fresh), ``"warm"``
     #: (pool statistics reused), ``"hit"`` (memoized result returned).
     cache_state: str = "off"
@@ -744,9 +762,24 @@ def select_k(
 
         result = _select_celf(
             stats, config, clock, started, out_of_time, budget_seconds,
-            extended_factory,
+            extended_factory, cache,
         )
     result.cache_state = cache_state
+    if cache is not None:
+        # Multi-session serving: push the columns this call materialized
+        # into the runtime's shared layer so concurrent sessions start
+        # from them (no-op for purely session-scoped caches).  Keyed on
+        # the *clicked* pool explicitly — a governor tier-2 escalation
+        # serves a widened pool afterwards, which must not shadow it.
+        cache.republish_structure(stats.structure.key)
+        if (
+            config.engine == "celf"
+            and config.governor
+            and len(full_pool) > len(pool_list)
+        ):
+            # The widened tier-2 pool (when one was built) shares its
+            # columns too; republish_structure no-ops if tier 2 never ran.
+            cache.republish_structure()
     if memo_key is not None:
         cache.store_result(
             memo_key,
@@ -800,10 +833,26 @@ def _select_celf(
     out_of_time: Callable[[], bool],
     budget_seconds: Optional[float] = None,
     extended_factory: Optional[Callable[[], _PoolStatistics]] = None,
+    cache: Optional[PoolStatsCache] = None,
 ) -> SelectionResult:
     pool = stats.pool
     k = min(config.k, len(pool))
     engine = _VectorEngine(stats, config)
+
+    # Governor resume: under a *finite* budget, a cached re-click on this
+    # pool starts escalation at the tier the last governed click reached
+    # instead of re-exploring tiers that already converged here.  Untimed
+    # runs (the parity oracles) never resume, so determinism is preserved
+    # exactly where the test suite relies on it.
+    governor_key = None
+    resume_tier = 0
+    if (
+        cache is not None
+        and config.governor
+        and budget_seconds is not None
+    ):
+        governor_key = (stats.structure.key, _config_key(config))
+        resume_tier = cache.governor_resume_tier(*governor_key)
 
     # Phase 1: floor fill — the top-k by index similarity.
     selected = list(range(k))
@@ -851,9 +900,15 @@ def _select_celf(
                 config, clock, started, budget_seconds
             ):
                 winner, tier, tier_scores, extra_engines = _governor_escalate(
-                    engine, current_score, k, config, out_of_time, extended_factory
+                    engine, current_score, k, config, out_of_time,
+                    extended_factory, start_tier=max(1, resume_tier),
                 )
                 selected = list(winner.selected)
+                if governor_key is not None:
+                    if resume_tier >= 2:
+                        cache.note_governor_resume()
+                    if tier > 0:
+                        cache.record_governor_tier(*governor_key, tier)
 
     diversity, coverage, affinity, description = winner.objective_terms()
     score = (
@@ -876,6 +931,9 @@ def _select_celf(
         engine="celf",
         governor_tier=tier,
         tier_scores=tier_scores,
+        governor_resumed_tier=(
+            resume_tier if resume_tier >= 2 and tier_scores else 0
+        ),
     )
 
 
@@ -936,6 +994,7 @@ def _governor_escalate(
     config: SelectionConfig,
     out_of_time: Callable[[], bool],
     extended_factory: Optional[Callable[[], _PoolStatistics]],
+    start_tier: int = 1,
 ) -> tuple[_VectorEngine, int, list[float], list[_VectorEngine]]:
     """Spend converged-early slack on progressively deeper optimization.
 
@@ -945,6 +1004,11 @@ def _governor_escalate(
     The incumbent is replaced only on strict objective improvement, so
     the per-tier best scores are monotonically non-decreasing and every
     tier is individually deadline-checked.
+
+    ``start_tier`` (from the pool cache's governor layer) skips tiers
+    below it: a budgeted re-click on a pool whose earlier escalation
+    already reached tier t resumes at t instead of re-running converged
+    lower tiers; skipped blocks contribute no ``tier_scores`` entry.
     """
     best_engine = engine
     best_score = current_score
@@ -955,7 +1019,7 @@ def _governor_escalate(
     # Tier 1: restart the local search from alternative floor-fill windows.
     # `tier` records only tiers that actually explored an alternative —
     # a no-op block (no window, no widening, no branch) does not count.
-    if config.governor_max_tier >= 1 and not out_of_time():
+    if start_tier <= 1 and config.governor_max_tier >= 1 and not out_of_time():
         for restart in range(1, config.governor_restarts + 1):
             start = restart * k
             if start + k > engine.npool:
@@ -976,7 +1040,7 @@ def _governor_escalate(
         tier_scores.append(best_score)
 
     # Tier 2: rerun greedy + swaps over a widened candidate pool.
-    if config.governor_max_tier >= 2 and not out_of_time():
+    if start_tier <= 2 and config.governor_max_tier >= 2 and not out_of_time():
         wide_stats = extended_factory() if extended_factory is not None else None
         if wide_stats is not None and len(wide_stats.pool) > engine.npool:
             tier = 2

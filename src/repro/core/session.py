@@ -15,7 +15,7 @@ group space size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -27,6 +27,7 @@ from repro.core.history import History, Step
 from repro.core.memo import Memo
 from repro.core.poolcache import PoolStatsCache
 from repro.core.profile import ExplorerProfile
+from repro.core.runtime import GroupSpaceRuntime
 from repro.core.selection import SelectionConfig, SelectionResult, select_k
 from repro.index.inverted import SimilarityIndex
 
@@ -61,7 +62,10 @@ class SessionConfig:
     cache_pools: bool = True
     #: Structure entries the session cache retains (LRU-bounded).
     cache_capacity: int = 32
-    selection: SelectionConfig = field(default=None)  # type: ignore[assignment]
+    #: Explicit selection config; built from the session-level knobs above
+    #: in ``__post_init__`` when left ``None`` (and guaranteed non-None
+    #: afterwards).
+    selection: Optional[SelectionConfig] = None
 
     def __post_init__(self) -> None:
         # The paper keeps k <= 7 (limited options, P1); the hard ceiling here
@@ -103,36 +107,65 @@ class SessionConfig:
 
 
 class ExplorationSession:
-    """One explorer's interactive walk over a group space."""
+    """One explorer's interactive walk over a group space.
+
+    Every session is served by a
+    :class:`~repro.core.runtime.GroupSpaceRuntime` that owns the shared
+    artifacts (similarity index, pooled membership CSR, cross-session
+    cache).  Passing ``runtime`` explicitly — or creating the session via
+    :meth:`GroupSpaceRuntime.create_session` / a
+    :class:`~repro.core.runtime.SessionManager` — shares those artifacts
+    with every other session on the runtime; the legacy
+    ``ExplorationSession(space, index, config)`` form keeps working by
+    wrapping its arguments in a private runtime (no cross-session layer,
+    identical behaviour to the pre-runtime stack).
+    """
 
     def __init__(
         self,
-        space: GroupSpace,
+        space: Optional[GroupSpace] = None,
         index: Optional[SimilarityIndex] = None,
         config: Optional[SessionConfig] = None,
+        runtime: Optional[GroupSpaceRuntime] = None,
     ) -> None:
-        self.space = space
         self.config = config or SessionConfig()
-        self.index = index or SimilarityIndex(
-            space.memberships(),
-            space.dataset.n_users,
-            materialize_fraction=self.config.materialize_fraction,
-        )
+        if runtime is None:
+            if space is None:
+                raise ValueError("ExplorationSession needs a space or a runtime")
+            runtime = GroupSpaceRuntime(
+                space,
+                index=index,
+                materialize_fraction=self.config.materialize_fraction,
+                share_cache=False,
+            )
+        else:
+            if space is not None and space is not runtime.space:
+                raise ValueError(
+                    "space and runtime disagree; pass one or the other"
+                )
+            if index is not None and index is not runtime.index:
+                raise ValueError(
+                    "index and runtime disagree; the runtime owns the index"
+                )
+        self.runtime = runtime
+        self.space = runtime.space
+        self.index = runtime.index
         self.feedback = FeedbackVector()
         self.history = History()
         self.memo = Memo()
         self.profile = ExplorerProfile()
-        self.context = ContextView(self.feedback, space.dataset)
+        self.context = ContextView(self.feedback, self.space.dataset)
         self._displayed: list[Group] = []
         self.last_selection: Optional[SelectionResult] = None
         # Session-scoped reuse of pool statistics across clicks: keyed on
-        # content fingerprints (transparent), seeded with the index's
-        # membership matrix so cold pools slice rows instead of rebuilding.
+        # content fingerprints (transparent), seeded with the runtime's
+        # membership matrix so cold pools slice rows instead of
+        # rebuilding, and wired to the runtime's cross-session layer
+        # (when it has one) so other sessions' precomputation is
+        # consulted before computing.  Feedback/result layers stay
+        # private to this session.
         self.pool_cache: Optional[PoolStatsCache] = (
-            PoolStatsCache(
-                capacity=self.config.cache_capacity,
-                space_matrix=self.index.membership_csr(),
-            )
+            runtime.session_cache(capacity=self.config.cache_capacity)
             if self.config.cache_pools
             else None
         )

@@ -16,7 +16,9 @@ Layout of a store directory::
 
 from __future__ import annotations
 
+import hashlib
 import json
+from collections.abc import Sequence
 from pathlib import Path
 
 import numpy as np
@@ -24,9 +26,28 @@ import numpy as np
 from repro.core.group import Group, GroupSpace
 from repro.core.session import ExplorationSession
 from repro.data.dataset import UserDataset
-from repro.index.inverted import Neighbor, SimilarityIndex
+from repro.index.inverted import SimilarityIndex
 
 _FORMAT_VERSION = 1
+
+
+def space_digest(memberships: Sequence[np.ndarray]) -> str:
+    """Stable content digest of a group space's member arrays.
+
+    Hashes every group's length + member indices in gid order with
+    sha256, so the digest is identical across processes and hash seeds
+    (unlike :func:`repro.core.poolcache.group_fingerprint`, which is
+    process-local by design).  ``save_index`` stamps the index with the
+    digest of the space it was built on; ``load_index`` recomputes it
+    from the live space, so an on-disk index that went stale through
+    store mutation raises instead of silently serving wrong neighbors.
+    """
+    digest = hashlib.sha256()
+    for members in memberships:
+        array = np.ascontiguousarray(np.asarray(members, dtype=np.int64))
+        digest.update(np.int64(len(array)).tobytes())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
 
 
 # ---------------------------------------------------------------------------
@@ -95,7 +116,12 @@ def load_group_space(dataset: UserDataset, directory: str | Path) -> GroupSpace:
 
 
 def save_index(index: SimilarityIndex, directory: str | Path) -> None:
-    """Persist the materialized prefix of a similarity index."""
+    """Persist the materialized prefix of a similarity index.
+
+    The payload is stamped with the content digest of the memberships the
+    index was built on, so :func:`load_index` can refuse to pair it with
+    a group space that has since been mutated or re-discovered.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     prefix = [
@@ -108,7 +134,8 @@ def save_index(index: SimilarityIndex, directory: str | Path) -> None:
         "n_users": index.n_users,
         "materialize_fraction": index.materialize_fraction,
         "prefix": prefix,
-        "prefix_complete": list(index._prefix_complete),
+        "prefix_complete": [bool(flag) for flag in index._prefix_complete],
+        "space_digest": space_digest(index._memberships),
     }
     (directory / "index.json").write_text(json.dumps(payload), encoding="utf-8")
 
@@ -118,6 +145,9 @@ def load_index(space: GroupSpace, directory: str | Path) -> SimilarityIndex:
 
     The memberships come from ``space``; the stored prefix replaces the
     construction pass (useful when the O(|G|^2) build is the bottleneck).
+    The stored space digest is re-validated against the *live* space
+    before any reuse: an index saved for a since-mutated store raises
+    here instead of silently serving wrong neighbors.
     """
     directory = Path(directory)
     payload = json.loads((directory / "index.json").read_text(encoding="utf-8"))
@@ -127,6 +157,15 @@ def load_index(space: GroupSpace, directory: str | Path) -> SimilarityIndex:
         raise ValueError(
             f"index stores {payload['n_groups']} groups, space has {len(space)}"
         )
+    live_digest = space_digest(space.memberships())
+    stored_digest = payload.get("space_digest")
+    if stored_digest is not None and stored_digest != live_digest:
+        raise ValueError(
+            "stored index is stale: it was built on a group space whose "
+            f"membership digest was {stored_digest[:12]}..., but the live "
+            f"space digests to {live_digest[:12]}...; re-run discovery / "
+            "index construction instead of serving wrong neighbors"
+        )
     index = SimilarityIndex.__new__(SimilarityIndex)
     index.n_groups = payload["n_groups"]
     index.n_users = payload["n_users"]
@@ -135,11 +174,22 @@ def load_index(space: GroupSpace, directory: str | Path) -> SimilarityIndex:
         np.asarray(members, dtype=np.int64) for members in space.memberships()
     ]
     index._sizes = np.array([len(members) for members in index._memberships])
-    index._prefix = [
-        [Neighbor(int(group), float(similarity)) for group, similarity in entry]
-        for entry in payload["prefix"]
-    ]
-    index._prefix_complete = list(payload["prefix_complete"])
+    counts = np.array(
+        [len(entry) for entry in payload["prefix"]], dtype=np.int64
+    )
+    indptr = np.zeros(index.n_groups + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    flat = [pair for entry in payload["prefix"] for pair in entry]
+    index._prefix_ids = np.array(
+        [pair[0] for pair in flat], dtype=np.int64
+    )
+    index._prefix_sims = np.array(
+        [pair[1] for pair in flat], dtype=np.float64
+    )
+    index._prefix_indptr = indptr
+    index._prefix_complete = np.array(
+        payload["prefix_complete"], dtype=bool
+    )
     index._exact_cache = {}
     index._matrix = None  # lazily rebuilt on the first exact lookup
     return index

@@ -16,6 +16,7 @@ from functools import lru_cache
 
 from repro.core.discovery import DiscoveryConfig, discover_groups
 from repro.core.group import GroupSpace
+from repro.core.runtime import GroupSpaceRuntime
 from repro.data.generators.bookcrossing import (
     BookCrossingConfig,
     BookCrossingData,
@@ -37,22 +38,37 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_SCALE", "").lower() == "full"
 
 
+# The cached implementations take every parameter explicitly so the
+# public wrappers below normalize default arguments onto one cache key —
+# ``dbauthors_space()`` and ``dbauthors_space(11, 0.04)`` must return the
+# *same object*, or runtimes and drivers would each get a private copy
+# and identity checks (``runtime.space is space``) would fail.
+
+
 @lru_cache(maxsize=4)
-def dbauthors_data(seed: int = 11) -> DBAuthorsData:
+def _dbauthors_data(seed: int) -> DBAuthorsData:
     return generate_dbauthors(DBAuthorsConfig(seed=seed))
 
 
+def dbauthors_data(seed: int = 11) -> DBAuthorsData:
+    return _dbauthors_data(seed)
+
+
 @lru_cache(maxsize=4)
-def dbauthors_space(seed: int = 11, min_support: float = 0.04) -> GroupSpace:
+def _dbauthors_space(seed: int, min_support: float) -> GroupSpace:
     return discover_groups(
         dbauthors_data(seed).dataset,
         DiscoveryConfig(method="lcm", min_support=min_support, max_description=3),
     )
 
 
+def dbauthors_space(seed: int = 11, min_support: float = 0.04) -> GroupSpace:
+    return _dbauthors_space(seed, min_support)
+
+
 @lru_cache(maxsize=4)
-def bookcrossing_data(
-    n_users: int = 1500, n_items: int = 800, n_ratings: int = 12000, seed: int = 7
+def _bookcrossing_data(
+    n_users: int, n_items: int, n_ratings: int, seed: int
 ) -> BookCrossingData:
     return generate_bookcrossing(
         BookCrossingConfig(
@@ -61,13 +77,19 @@ def bookcrossing_data(
     )
 
 
+def bookcrossing_data(
+    n_users: int = 1500, n_items: int = 800, n_ratings: int = 12000, seed: int = 7
+) -> BookCrossingData:
+    return _bookcrossing_data(n_users, n_items, n_ratings, seed)
+
+
 @lru_cache(maxsize=4)
-def bookcrossing_space(
-    n_users: int = 1500,
-    n_items: int = 800,
-    n_ratings: int = 12000,
-    seed: int = 7,
-    min_support: float = BOOKCROSSING_MIN_SUPPORT,
+def _bookcrossing_space(
+    n_users: int,
+    n_items: int,
+    n_ratings: int,
+    seed: int,
+    min_support: float,
 ) -> GroupSpace:
     return discover_groups(
         bookcrossing_data(n_users, n_items, n_ratings, seed).dataset,
@@ -80,9 +102,72 @@ def bookcrossing_space(
     )
 
 
+def bookcrossing_space(
+    n_users: int = 1500,
+    n_items: int = 800,
+    n_ratings: int = 12000,
+    seed: int = 7,
+    min_support: float = BOOKCROSSING_MIN_SUPPORT,
+) -> GroupSpace:
+    return _bookcrossing_space(n_users, n_items, n_ratings, seed, min_support)
+
+
 def paper_scale_bookcrossing() -> BookCrossingData:
     """The full 278,858-user / 1M-rating population (C10 under REPRO_SCALE)."""
     return generate_bookcrossing(paper_scale_config())
+
+
+@lru_cache(maxsize=4)
+def _dbauthors_runtime(
+    seed: int, min_support: float, materialize_fraction: float
+) -> GroupSpaceRuntime:
+    return GroupSpaceRuntime(
+        dbauthors_space(seed, min_support),
+        materialize_fraction=materialize_fraction,
+    )
+
+
+def dbauthors_runtime(
+    seed: int = 11,
+    min_support: float = 0.04,
+    materialize_fraction: float = 0.10,
+) -> GroupSpaceRuntime:
+    """One serving runtime per dbauthors space, shared across drivers.
+
+    Every experiment session created from it reuses the same similarity
+    index and cross-session cache — the multi-user serving story the
+    drivers now measure instead of rebuilding per-session indexes.
+    """
+    return _dbauthors_runtime(seed, min_support, materialize_fraction)
+
+
+@lru_cache(maxsize=4)
+def _bookcrossing_runtime(
+    n_users: int,
+    n_items: int,
+    n_ratings: int,
+    seed: int,
+    min_support: float,
+    materialize_fraction: float,
+) -> GroupSpaceRuntime:
+    return GroupSpaceRuntime(
+        bookcrossing_space(n_users, n_items, n_ratings, seed, min_support),
+        materialize_fraction=materialize_fraction,
+    )
+
+
+def bookcrossing_runtime(
+    n_users: int = 1500,
+    n_items: int = 800,
+    n_ratings: int = 12000,
+    seed: int = 7,
+    min_support: float = BOOKCROSSING_MIN_SUPPORT,
+    materialize_fraction: float = 0.10,
+) -> GroupSpaceRuntime:
+    """One serving runtime per bookcrossing space (see ``dbauthors_runtime``)."""
+    return _bookcrossing_runtime(
+        n_users, n_items, n_ratings, seed, min_support, materialize_fraction
+    )
 
 
 @dataclass

@@ -14,9 +14,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.poolcache import PoolStatsCache
 from repro.core.selection import SelectionConfig, select_k
-from repro.experiments.common import ExperimentReport, dbauthors_space
+from repro.experiments.common import (
+    ExperimentReport,
+    dbauthors_runtime,
+    dbauthors_space,
+)
 
 
 def run_greedy_quality(
@@ -30,9 +33,11 @@ def run_greedy_quality(
     space = dbauthors_space()
     # Parents: a spread of large groups whose neighborhoods we re-select.
     parents = space.largest(n_parents)
-    from repro.index.inverted import SimilarityIndex
-
-    index = SimilarityIndex(space.memberships(), space.dataset.n_users, 1.0)
+    # The shared serving runtime owns the (fully materialized) index; the
+    # sweep's cache is a session cache on it, so re-running the driver in
+    # one process also exercises the cross-session layer.
+    runtime = dbauthors_runtime(materialize_fraction=1.0)
+    index = runtime.index
 
     pools = []
     for parent in parents:
@@ -43,7 +48,11 @@ def run_greedy_quality(
 
     # One cache across the whole sweep: the same pools are re-selected per
     # budget, which is exactly the cross-click reuse sessions exhibit.
-    cache = PoolStatsCache(capacity=max(len(pools), 1)) if cache_pools else None
+    cache = (
+        runtime.session_cache(capacity=max(len(pools), 1))
+        if cache_pools
+        else None
+    )
 
     # Reference: converged swap search (no budget, no governor — the
     # normalisation target must stay the plain converged greedy).

@@ -16,9 +16,13 @@ import numpy as np
 
 from repro.agents.explorer import AgentConfig, TargetSeekingExplorer
 from repro.agents.scenarios import discussion_group_target
-from repro.core.session import ExplorationSession, SessionConfig
+from repro.core.session import SessionConfig
 from repro.core.tasks import SingleTargetTask
-from repro.experiments.common import ExperimentReport, bookcrossing_space
+from repro.experiments.common import (
+    ExperimentReport,
+    bookcrossing_runtime,
+    bookcrossing_space,
+)
 
 
 def run_k_sweep(
@@ -30,6 +34,10 @@ def run_k_sweep(
     cache_pools: bool = True,
 ) -> ExperimentReport:
     space = bookcrossing_space()
+    # One serving runtime for the whole sweep: every (k, genre, repeat)
+    # session shares the index and cross-session cache, exactly like
+    # many readers exploring the same BookCrossing space.
+    runtime = bookcrossing_runtime()
     rows: list[dict[str, object]] = []
     for k in ks:
         completions = []
@@ -42,9 +50,8 @@ def run_k_sweep(
                 continue
             for repeat in range(repeats):
                 task = SingleTargetTask(space, target_gid=target)
-                session = ExplorationSession(
-                    space,
-                    config=SessionConfig(
+                session = runtime.create_session(
+                    SessionConfig(
                         k=k,
                         time_budget_ms=100.0,
                         engine=engine,

@@ -13,7 +13,8 @@ from __future__ import annotations
 import time
 
 from repro.core.discovery import DiscoveryConfig, discover_groups
-from repro.core.session import ExplorationSession, SessionConfig
+from repro.core.runtime import GroupSpaceRuntime
+from repro.core.session import SessionConfig
 from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
 from repro.experiments.common import ExperimentReport
 
@@ -42,9 +43,12 @@ def run_latency(
             data.dataset,
             DiscoveryConfig(method="lcm", min_support=0.05, max_description=3),
         )
-        session = ExplorationSession(
-            space,
-            config=SessionConfig(
+        # One serving runtime per scale: the index is built once and any
+        # follow-up session at this scale would share it (§II's offline
+        # phase serving many analysts).
+        runtime = GroupSpaceRuntime(space)
+        session = runtime.create_session(
+            SessionConfig(
                 k=5,
                 time_budget_ms=budget_ms,
                 engine=engine,

@@ -17,6 +17,7 @@ from repro.core.session import SessionConfig
 from repro.experiments.common import (
     ExperimentReport,
     dbauthors_data,
+    dbauthors_runtime,
     dbauthors_space,
 )
 
@@ -31,6 +32,8 @@ def run_pc_formation(
 ) -> ExperimentReport:
     data = dbauthors_data()
     space = dbauthors_space()
+    # All venues × repeats run against the one shared serving runtime —
+    # the index is built once and every chair's session warms the next.
     outcomes = pc_formation_study(
         data,
         space,
@@ -40,6 +43,7 @@ def run_pc_formation(
         session_config=SessionConfig(
             engine=engine, governor=governor, cache_pools=cache_pools
         ),
+        runtime=dbauthors_runtime(),
     )
     rows = [
         {

@@ -12,10 +12,25 @@ sparse membership matrix product (groups sharing no member have similarity
 then keeps only the top ``materialize_fraction`` of each group's ranking.
 Lookups beyond the materialized prefix can either fall back to an exact
 on-demand computation or report truncation, depending on the caller.
+
+Since the serving-runtime refactor the ranking itself is *batched*: row
+blocks of the pooled CSR product are ranked by a flat select-then-sort
+pass (per-block threshold selection via one padded ``np.partition``, an
+exact tie repair, then one lexsort of only the kept ~10%), blocks run on
+a worker pool when cores allow, and the materialized prefixes live in
+flat ``(ids, sims, indptr)`` arrays instead of per-group
+:class:`Neighbor` lists.  That is what lets one
+:class:`~repro.core.runtime.GroupSpaceRuntime` build the index for a very
+large group space once and serve it to every session.  The per-group loop
+is retained as :func:`_rank_prefix_loop` — the parity oracle for the
+batched ranking and the baseline the perf harness measures the build
+speedup against.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Optional
 
@@ -23,6 +38,11 @@ import numpy as np
 from scipy import sparse
 
 from repro.core.similarity import membership_matrix
+
+#: Target CSR entries per ranking block: small enough that one block's
+#: working set stays cache-resident, big enough that per-block overhead
+#: amortizes.  Blocks are independent, so the split never changes output.
+_RANK_BLOCK_NNZ = 262_144
 
 
 @dataclass(frozen=True)
@@ -33,6 +53,219 @@ class Neighbor:
     similarity: float
 
 
+def _rank_prefix_block(
+    overlaps: sparse.csr_matrix,
+    sizes: np.ndarray,
+    budget: int,
+    row_start: int,
+    row_end: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Rank rows ``[row_start, row_end)`` with flat select-then-sort passes.
+
+    Instead of fully sorting every row, the block (1) finds each
+    over-budget row's budget-th best similarity with one padded
+    ``np.partition`` per length bucket, (2) keeps everything strictly
+    above that threshold plus exactly enough threshold ties in
+    neighbor-gid order (the same ``(similarity desc, gid asc)`` rule the
+    full sort would apply), and (3) lexsorts only the kept ~10% of
+    entries.  Entry-for-entry identical to :func:`_rank_prefix_loop` —
+    the float comparisons are the same, only their order of discovery
+    changes.
+
+    Returns ``(ids, sims, kept_counts, complete)`` for the block's rows.
+    """
+    indptr_in = overlaps.indptr
+    low, high = indptr_in[row_start], indptr_in[row_end]
+    entry_counts = np.diff(indptr_in[row_start : row_end + 1])
+    rows = np.repeat(
+        np.arange(row_start, row_end, dtype=np.int64), entry_counts
+    )
+    cols = overlaps.indices[low:high].astype(np.int64)
+    inter = overlaps.data[low:high].astype(np.float64)
+    keep = cols != rows  # a group is not its own neighbor
+    rows, cols, inter = rows[keep], cols[keep], inter[keep]
+    union = sizes[rows] + sizes[cols] - inter
+    sims = np.where(union > 0, inter / np.where(union > 0, union, 1.0), 0.0)
+    neg = -sims
+    n_rows = row_end - row_start
+    counts = np.bincount(rows - row_start, minlength=n_rows).astype(np.int64)
+    starts = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    kept_counts = np.minimum(counts, budget)
+    complete = counts <= budget
+
+    # (1) per-row selection threshold: the budget-th best negated
+    # similarity, via one padded partition per power-of-two length bucket.
+    threshold = np.full(n_rows, np.inf)
+    over = np.flatnonzero(counts > budget)
+    if len(over):
+        buckets = np.maximum(
+            np.ceil(np.log2(counts[over])).astype(np.int64), 0
+        )
+        for bucket in np.unique(buckets):
+            selected = over[buckets == bucket]
+            width = 1 << int(bucket)
+            lengths = counts[selected]
+            row_index = np.repeat(np.arange(len(selected)), lengths)
+            within = np.arange(lengths.sum()) - np.repeat(
+                np.cumsum(lengths) - lengths, lengths
+            )
+            source = np.repeat(starts[selected], lengths) + within
+            padded = np.full((len(selected), width), np.inf)
+            padded[row_index, within] = neg[source]
+            threshold[selected] = np.partition(padded, budget - 1, axis=-1)[
+                :, budget - 1
+            ]
+
+    # (2) keep strictly-better entries, then admit threshold ties in
+    # neighbor-gid order until each row's budget is exact.
+    row_threshold = threshold[rows - row_start]
+    sure = neg < row_threshold
+    still_needed = kept_counts - np.bincount(
+        (rows - row_start)[sure], minlength=n_rows
+    )
+    tie_positions = np.flatnonzero(neg == row_threshold)
+    if len(tie_positions):
+        tie_order = tie_positions[
+            np.argsort(cols[tie_positions], kind="stable")
+        ]
+        tie_order = tie_order[np.argsort(rows[tie_order], kind="stable")]
+        tie_rows = rows[tie_order] - row_start
+        tie_counts = np.bincount(tie_rows, minlength=n_rows)
+        tie_starts = np.concatenate(([0], np.cumsum(tie_counts)))
+        tie_rank = np.arange(len(tie_order)) - tie_starts[tie_rows]
+        admitted = tie_order[tie_rank < still_needed[tie_rows]]
+        kept = np.concatenate((np.flatnonzero(sure), admitted))
+    else:
+        kept = np.flatnonzero(sure)
+
+    # (3) order the kept ~10%: row asc, similarity desc, gid asc.
+    order = kept[np.argsort(cols[kept], kind="stable")]
+    sim_key = np.ascontiguousarray(neg[order])
+    order = order[np.argsort(sim_key, kind="stable")]
+    order = order[np.argsort(rows[order], kind="stable")]
+    return cols[order], sims[order], kept_counts, complete
+
+
+def _rank_workers() -> int:
+    """Ranking worker threads: one per core, capped (numpy sorts drop the GIL)."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def _rank_prefix_vectorized(
+    overlaps: sparse.csr_matrix,
+    sizes: np.ndarray,
+    budget: int,
+    workers: Optional[int] = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Batched ranking of every group's neighbors, blocked over the CSR.
+
+    ``overlaps`` is the |G|×|G| sparse self-product of the membership
+    matrix (positive intersection sizes only).  Rows are split into
+    roughly equal-nnz blocks; each block is ranked by the flat
+    select-then-sort pass of :func:`_rank_prefix_block`, on a thread pool
+    when more than one core (and block) is available — numpy's sort,
+    partition and ufunc kernels release the GIL, so blocks genuinely
+    overlap.  Returns the flat prefix arrays
+    ``(ids, sims, indptr, complete)``; ordering per group matches
+    :func:`_rank_prefix_loop` exactly: similarity descending, neighbor
+    gid ascending.
+    """
+    n_groups = overlaps.shape[0]
+    sizes = np.asarray(sizes, dtype=np.float64)
+    if n_groups == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            np.zeros(1, dtype=np.int64),
+            np.zeros(0, dtype=bool),
+        )
+    if workers is None:
+        workers = _rank_workers()
+    total_nnz = int(overlaps.indptr[-1])
+    n_blocks = max(1, min(n_groups, -(-total_nnz // _RANK_BLOCK_NNZ)))
+    bounds = np.searchsorted(
+        overlaps.indptr[1:],
+        np.linspace(0, total_nnz, n_blocks + 1)[1:-1],
+        side="left",
+    )
+    edges = np.unique(
+        np.concatenate(([0], bounds + 1, [n_groups]))
+    ).astype(np.int64)
+    spans = [
+        (int(edges[i]), int(edges[i + 1]))
+        for i in range(len(edges) - 1)
+        if edges[i] < edges[i + 1]
+    ]
+
+    def rank(span: tuple[int, int]):
+        return _rank_prefix_block(overlaps, sizes, budget, span[0], span[1])
+
+    if workers > 1 and len(spans) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            parts = list(pool.map(rank, spans))
+    else:
+        parts = [rank(span) for span in spans]
+    ids = np.concatenate([part[0] for part in parts])
+    sims = np.concatenate([part[1] for part in parts])
+    kept_counts = np.concatenate([part[2] for part in parts])
+    complete = np.concatenate([part[3] for part in parts])
+    indptr = np.zeros(n_groups + 1, dtype=np.int64)
+    np.cumsum(kept_counts, out=indptr[1:])
+    return ids, sims, indptr, complete
+
+
+def _rank_prefix_loop(
+    overlaps: sparse.csr_matrix,
+    sizes: np.ndarray,
+    budget: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The retained per-group-loop ranking (parity oracle + bench baseline).
+
+    Walks the CSR buffers one group at a time and lexsorts each row
+    individually — the pre-runtime ``_build`` behaviour.  Kept so the test
+    suite can assert the batched ranking is a pure performance change and
+    so ``benchmarks/run_perf.py`` can record the build-time speedup.
+    """
+    n_groups = overlaps.shape[0]
+    sizes = np.asarray(sizes, dtype=np.float64)
+    indptr_in = overlaps.indptr
+    all_indices = overlaps.indices
+    all_data = overlaps.data
+    id_chunks: list[np.ndarray] = []
+    sim_chunks: list[np.ndarray] = []
+    indptr = np.zeros(n_groups + 1, dtype=np.int64)
+    complete = np.zeros(n_groups, dtype=bool)
+    for group in range(n_groups):
+        start, end = indptr_in[group], indptr_in[group + 1]
+        neighbor_ids = all_indices[start:end].astype(np.int64)
+        inter = all_data[start:end].astype(np.float64)
+        keep = neighbor_ids != group
+        neighbor_ids = neighbor_ids[keep]
+        inter = inter[keep]
+        if len(neighbor_ids) == 0:
+            indptr[group + 1] = indptr[group]
+            complete[group] = True
+            continue
+        union = sizes[group] + sizes[neighbor_ids] - inter
+        similarity = np.where(union > 0, inter / np.where(union > 0, union, 1.0), 0.0)
+        order = np.lexsort((neighbor_ids, -similarity))
+        complete[group] = len(order) <= budget
+        order = order[:budget]
+        id_chunks.append(neighbor_ids[order])
+        sim_chunks.append(similarity[order])
+        indptr[group + 1] = indptr[group] + len(order)
+    ids = (
+        np.concatenate(id_chunks) if id_chunks else np.empty(0, dtype=np.int64)
+    )
+    sims = (
+        np.concatenate(sim_chunks)
+        if sim_chunks
+        else np.empty(0, dtype=np.float64)
+    )
+    return ids, sims, indptr, complete
+
+
 class SimilarityIndex:
     """Jaccard-ranked neighbor lists for a set of groups, partially stored.
 
@@ -40,6 +273,11 @@ class SimilarityIndex:
     similarity are broken by ascending group id so rankings are
     deterministic and the materialized prefix is a true prefix of the exact
     ranking (a property the test suite checks).
+
+    Instances are immutable after construction apart from two lazy,
+    idempotent caches (the membership matrix and the exact-ranking memo),
+    which is what allows one index to be shared read-only across all the
+    concurrent sessions of a :class:`~repro.core.runtime.GroupSpaceRuntime`.
     """
 
     def __init__(
@@ -57,8 +295,6 @@ class SimilarityIndex:
             np.asarray(members, dtype=np.int64) for members in memberships
         ]
         self._sizes = np.array([len(members) for members in self._memberships])
-        self._prefix: list[list[Neighbor]] = []
-        self._prefix_complete: list[bool] = []
         self._exact_cache: dict[int, list[Neighbor]] = {}
         self._build()
 
@@ -68,37 +304,12 @@ class SimilarityIndex:
         matrix = self._membership_matrix()
         self._matrix = matrix
         overlaps = (matrix @ matrix.T).tocsr()
-        sizes = self._sizes.astype(np.float64)
-        budget = self._budget()
-        # Walk the CSR buffers directly — `overlaps.getrow(...)` would
-        # allocate a fresh one-row sparse matrix per group.
-        indptr = overlaps.indptr
-        all_indices = overlaps.indices
-        all_data = overlaps.data
-        for group in range(self.n_groups):
-            start, end = indptr[group], indptr[group + 1]
-            neighbor_ids = all_indices[start:end]
-            inter = all_data[start:end].astype(np.float64)
-            keep = neighbor_ids != group
-            neighbor_ids = neighbor_ids[keep]
-            inter = inter[keep]
-            if len(neighbor_ids) == 0:
-                self._prefix.append([])
-                self._prefix_complete.append(True)
-                continue
-            union = sizes[group] + sizes[neighbor_ids] - inter
-            similarity = np.where(union > 0, inter / union, 0.0)
-            # Sort by similarity desc, group id asc (deterministic).
-            order = np.lexsort((neighbor_ids, -similarity))
-            complete = len(order) <= budget
-            order = order[:budget]
-            self._prefix.append(
-                [
-                    Neighbor(int(neighbor_ids[i]), float(similarity[i]))
-                    for i in order
-                ]
-            )
-            self._prefix_complete.append(complete)
+        (
+            self._prefix_ids,
+            self._prefix_sims,
+            self._prefix_indptr,
+            self._prefix_complete,
+        ) = _rank_prefix_vectorized(overlaps, self._sizes, self._budget())
 
     def _membership_matrix(self) -> sparse.csr_matrix:
         return membership_matrix(self._memberships, self.n_users)
@@ -118,11 +329,13 @@ class SimilarityIndex:
     def membership_csr(self) -> sparse.csr_matrix:
         """The pooled group×user membership matrix the index is built from.
 
-        Public accessor so downstream per-session machinery — notably
-        :class:`repro.core.poolcache.PoolStatsCache` — can slice candidate
-        pools out of the already-materialized rows instead of rebuilding a
-        fresh CSR per click.  Rebuilt lazily for indexes restored from a
-        store (same path exact lookups use).
+        Public accessor so downstream machinery — notably
+        :class:`repro.core.poolcache.PoolStatsCache` and the
+        :class:`~repro.core.runtime.GroupSpaceRuntime` that hands it to
+        every session — can slice candidate pools out of the
+        already-materialized rows instead of rebuilding a fresh CSR per
+        click.  Rebuilt lazily for indexes restored from a store (same
+        path exact lookups use).
         """
         return self._ensure_matrix()
 
@@ -131,6 +344,18 @@ class SimilarityIndex:
         if self.n_groups <= 1:
             return 1
         return max(1, int(np.ceil(self.materialize_fraction * (self.n_groups - 1))))
+
+    def _prefix_slice(self, group: int) -> tuple[np.ndarray, np.ndarray]:
+        start = self._prefix_indptr[group]
+        end = self._prefix_indptr[group + 1]
+        return self._prefix_ids[start:end], self._prefix_sims[start:end]
+
+    @staticmethod
+    def _as_neighbors(ids: np.ndarray, sims: np.ndarray) -> list[Neighbor]:
+        return [
+            Neighbor(int(group), float(similarity))
+            for group, similarity in zip(ids.tolist(), sims.tolist())
+        ]
 
     # ------------------------------------------------------------------
 
@@ -141,11 +366,11 @@ class SimilarityIndex:
         back to :meth:`exact_neighbors` (on-demand computation) — the
         behaviour the paper's 10% materialization relies on being rare.
         """
-        prefix = self._prefix[group]
+        ids, sims = self._prefix_slice(group)
         if k is None:
-            return list(prefix)
-        if k <= len(prefix) or self._prefix_complete[group]:
-            return prefix[:k]
+            return self._as_neighbors(ids, sims)
+        if k <= len(ids) or self._prefix_complete[group]:
+            return self._as_neighbors(ids[:k], sims[:k])
         return self.exact_neighbors(group)[:k]
 
     def materialized_neighbors(self, group: int) -> list[Neighbor]:
@@ -154,7 +379,7 @@ class SimilarityIndex:
         Experiment C3 measures recall of exactly this list; normal
         navigation should use :meth:`neighbors`.
         """
-        return list(self._prefix[group])
+        return self._as_neighbors(*self._prefix_slice(group))
 
     def exact_neighbors(self, group: int) -> list[Neighbor]:
         """The full exact ranking for one group (cached after first call).
@@ -198,10 +423,12 @@ class SimilarityIndex:
 
     def memory_entries(self) -> int:
         """Total materialized (group, neighbor) entries — the C3 memory axis."""
-        return sum(len(prefix) for prefix in self._prefix)
+        return int(len(self._prefix_ids))
 
     def prefix_length(self, group: int) -> int:
-        return len(self._prefix[group])
+        return int(
+            self._prefix_indptr[group + 1] - self._prefix_indptr[group]
+        )
 
     def __repr__(self) -> str:
         return (

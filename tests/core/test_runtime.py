@@ -1,0 +1,315 @@
+"""The multi-session serving runtime: concurrency, parity, isolation.
+
+Three contracts, matching §II's multi-user setting:
+
+- **display parity** — N sessions driven concurrently through one
+  :class:`~repro.core.runtime.GroupSpaceRuntime` (shared index +
+  cross-session cache) must show *exactly* what a sequential solo
+  session over a private stack shows.  Cross-session caching is a pure
+  performance layer.
+- **no feedback leakage** — one session's clicks must never alter
+  another session's CONTEXT: the feedback/result layers are private per
+  session by construction, and the threaded stress asserts it.
+- **version invalidation** — :class:`SharedPairCache` entries are
+  stamped with the runtime version; a store mutation bumps it, after
+  which stale reads miss and in-flight publications that observed the
+  old version are refused (the hypothesis case drives the interleaving).
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.poolcache import PoolStatsCache, _PoolStructure
+from repro.core.runtime import (
+    GroupSpaceRuntime,
+    SessionManager,
+    SharedPairCache,
+    scripted_click_gid,
+)
+from repro.core.session import SessionConfig
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+
+pytestmark = pytest.mark.concurrency
+
+
+@pytest.fixture(scope="module")
+def space():
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=260, seed=23))
+    return discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.06, max_description=3),
+    )
+
+
+def untimed_config() -> SessionConfig:
+    # Untimed + no profile: every selection converges deterministically,
+    # so displays are comparable across arms and thread schedules.
+    return SessionConfig(k=5, time_budget_ms=None, use_profile=False)
+
+
+def replay_trajectory(open_session, click, clicks: int):
+    """Deterministic walk: always click the first unvisited display slot.
+
+    Returns (per-step displayed gids, clicked gids).
+    """
+    shown = open_session()
+    displays: list[list[int]] = []
+    clicked: list[int] = []
+    visited: set[int] = set()
+    for _ in range(clicks):
+        gid = scripted_click_gid(shown, visited)
+        shown = click(gid)
+        displays.append([group.gid for group in shown])
+        clicked.append(gid)
+    return displays, clicked
+
+
+def solo_replay(space, clicks: int):
+    """The oracle arm: one private session, no cross-session layer."""
+    runtime = GroupSpaceRuntime(space, share_cache=False)
+    session = runtime.create_session(untimed_config())
+    displays, clicked = replay_trajectory(
+        session.start, session.click, clicks
+    )
+    return displays, clicked, session.feedback.snapshot()
+
+
+class TestThreadedServingParity:
+    N_SESSIONS = 6
+    N_CLICKS = 4
+
+    def test_concurrent_sessions_match_sequential_solo_runs(self, space):
+        expected_displays, _, expected_feedback = solo_replay(
+            space, self.N_CLICKS
+        )
+        runtime = GroupSpaceRuntime(space)
+        manager = SessionManager(runtime, default_config=untimed_config())
+
+        def drive(_worker):
+            session_box = {}
+
+            def opener():
+                session_id, shown = manager.open_session()
+                session_box["id"] = session_id
+                return shown
+
+            displays, clicked = replay_trajectory(
+                opener,
+                lambda gid: manager.click(session_box["id"], gid),
+                self.N_CLICKS,
+            )
+            session = manager.session(session_box["id"])
+            return displays, session.feedback.snapshot()
+
+        with ThreadPoolExecutor(max_workers=self.N_SESSIONS) as pool:
+            outcomes = list(pool.map(drive, range(self.N_SESSIONS)))
+
+        for displays, feedback in outcomes:
+            # Parity: the shared runtime is invisible in what users see.
+            assert displays == expected_displays
+            # Isolation: every session learned exactly its own walk's
+            # feedback — nothing leaked in from the 5 concurrent twins.
+            assert feedback == expected_feedback
+
+    def test_cross_session_cache_actually_carries_state(self, space):
+        runtime = GroupSpaceRuntime(space)
+        manager = SessionManager(runtime, default_config=untimed_config())
+
+        def drive(_worker):
+            session_id, shown = manager.open_session()
+            visited: set[int] = set()
+            for _ in range(self.N_CLICKS):
+                shown = manager.click(
+                    session_id, scripted_click_gid(shown, visited)
+                )
+            return manager.close(session_id)
+
+        drive(0)  # session 1 pays the cross-session cold start
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            summaries = list(pool.map(drive, range(4)))
+        # Later sessions were served structures another session built.
+        assert all(
+            summary["cache"]["shared_structure_hits"] > 0
+            for summary in summaries
+        )
+        assert runtime.shared is not None
+        assert runtime.shared.stats()["structure_hits"] > 0
+
+    def test_same_session_clicks_serialize_without_corruption(self, space):
+        runtime = GroupSpaceRuntime(space)
+        manager = SessionManager(runtime, default_config=untimed_config())
+        session_id, shown = manager.open_session()
+        gids = [group.gid for group in shown]
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(lambda gid: manager.click(session_id, gid), gids))
+        session = manager.session(session_id)
+        # One history step per click, whatever the interleaving, and the
+        # display always has the session's k entries.
+        assert len(session.history) == 1 + len(gids)
+        assert 1 <= len(session.displayed()) <= 5
+
+
+class TestSessionManagerLifecycle:
+    def test_open_click_close(self, space):
+        runtime = GroupSpaceRuntime(space)
+        manager = SessionManager(runtime, default_config=untimed_config())
+        session_id, shown = manager.open_session()
+        assert shown and len(manager) == 1
+        manager.click(session_id, shown[0].gid)
+        summary = manager.close(session_id)
+        assert summary["clicks"] == 1
+        assert len(manager) == 0
+        with pytest.raises(KeyError):
+            manager.click(session_id, shown[0].gid)
+
+    def test_max_sessions_admission_control(self, space):
+        runtime = GroupSpaceRuntime(space)
+        manager = SessionManager(
+            runtime, default_config=untimed_config(), max_sessions=1
+        )
+        session_id, _ = manager.open_session()
+        with pytest.raises(RuntimeError, match="session limit"):
+            manager.open_session()
+        manager.close(session_id)
+        manager.open_session()  # capacity freed
+
+    def test_session_and_runtime_disagreement_rejected(self, space):
+        runtime = GroupSpaceRuntime(space)
+        other = generate_dbauthors(DBAuthorsConfig(n_authors=120, seed=5))
+        other_space = discover_groups(
+            other.dataset,
+            DiscoveryConfig(method="lcm", min_support=0.1, max_description=2),
+        )
+        from repro.core.session import ExplorationSession
+
+        with pytest.raises(ValueError, match="disagree"):
+            ExplorationSession(other_space, runtime=runtime)
+
+
+class TestRuntimeVersioning:
+    def test_bump_version_empties_shared_state(self, space):
+        runtime = GroupSpaceRuntime(space)
+        session = runtime.create_session(untimed_config())
+        shown = session.start()
+        session.click(shown[0].gid)
+        shared = runtime.shared
+        assert shared.pair_entries() > 0
+        before = runtime.version
+        runtime.bump_version()
+        assert runtime.version == before + 1
+        assert shared.pair_entries() == 0
+        assert shared.stats()["structures"] == 0
+
+    def test_new_sessions_after_bump_still_match_solo(self, space):
+        expected_displays, _, _ = solo_replay(space, 3)
+        runtime = GroupSpaceRuntime(space)
+        session = runtime.create_session(untimed_config())
+        replay_trajectory(session.start, session.click, 3)
+        runtime.bump_version()
+        fresh = runtime.create_session(untimed_config())
+        displays, _ = replay_trajectory(fresh.start, fresh.click, 3)
+        assert displays == expected_displays
+
+
+def make_structure(seed: int) -> _PoolStructure:
+    from repro.core.group import Group
+
+    rng = np.random.default_rng(seed)
+    pool = [
+        Group(gid, (f"a=v{gid % 3}",), np.unique(rng.choice(60, size=8)))
+        for gid in range(4)
+    ]
+    return _PoolStructure(pool, np.arange(30, dtype=np.int64))
+
+
+class TestSharedPairCacheVersioning:
+    """Hypothesis: version stamps make stale reuse impossible."""
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        entries=st.dictionaries(
+            st.tuples(st.integers(0, 50), st.integers(0, 50)),
+            st.floats(0.0, 1.0, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        bumps_before_publish=st.integers(0, 2),
+        bumps_before_read=st.integers(0, 2),
+    )
+    def test_pair_layer_version_stamps(
+        self, entries, bumps_before_publish, bumps_before_read
+    ):
+        shared = SharedPairCache(stripes=4)
+        observed = shared.version
+        for _ in range(bumps_before_publish):
+            shared.bump_version()
+        published = shared.publish_pairs(entries, observed)
+        # A publication that observed an older version must be refused.
+        assert published == (bumps_before_publish == 0)
+        for _ in range(bumps_before_read):
+            shared.bump_version()
+        found = shared.get_pairs(list(entries), shared.version)
+        if bumps_before_publish == 0 and bumps_before_read == 0:
+            assert found == pytest.approx(entries)
+        else:
+            assert found == {}
+        # Reads stamped with a stale version never return anything.
+        assert shared.get_pairs(list(entries), observed - 1) == {}
+
+    @settings(deadline=None, max_examples=15)
+    @given(seed=st.integers(0, 50), bump=st.booleans())
+    def test_structure_layer_version_stamps(self, seed, bump):
+        shared = SharedPairCache()
+        structure = make_structure(seed)
+        observed = shared.version
+        assert shared.publish_structure(structure.key, structure, observed)
+        if bump:
+            shared.bump_version()
+            assert (
+                shared.lookup_structure(structure.key, shared.version) is None
+            )
+            # Republication under the old stamp is refused too.
+            assert not shared.publish_structure(
+                structure.key, structure, observed
+            )
+        else:
+            served = shared.lookup_structure(structure.key, shared.version)
+            assert served is not None
+            # Independent snapshot: shared immutable arrays, private dicts.
+            assert served is not structure
+            assert served.members_matrix is structure.members_matrix
+            assert served.sim_columns == structure.sim_columns
+            assert served.sim_columns is not structure.sim_columns
+
+    def test_snapshot_columns_do_not_alias_sessions(self):
+        shared = SharedPairCache()
+        structure = make_structure(7)
+        structure.sim_column(0)
+        shared.publish_structure(structure.key, structure, shared.version)
+        first = shared.lookup_structure(structure.key, shared.version)
+        second = shared.lookup_structure(structure.key, shared.version)
+        first.sim_column(1)
+        # One session materializing more columns never mutates another's.
+        assert 1 not in second.sim_columns
+
+    def test_session_cache_observes_version_per_structure(self):
+        shared = SharedPairCache()
+        cache = PoolStatsCache(shared=shared)
+        structure = make_structure(3)
+        served, state = cache.structure_for(structure.pool, structure.relevant)
+        assert state == "miss"
+        assert served.shared_version == shared.version
+        shared.bump_version()
+        twin = PoolStatsCache(shared=shared)
+        again, state = twin.structure_for(structure.pool, structure.relevant)
+        # The pre-bump publication is gone; the fresh build observes the
+        # new version and repopulates the shared layer.
+        assert state == "miss"
+        assert again.shared_version == shared.version
+        assert shared.stats()["structures"] == 1

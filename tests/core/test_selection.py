@@ -340,3 +340,98 @@ class TestFeedbackBias:
     def test_affinity_zero_without_feedback(self):
         result = select_k(make_pool(), np.arange(100), config=UNLIMITED)
         assert result.affinity == 0.0
+
+
+class TestGovernorResume:
+    """Tier persistence in the pool cache's governor layer.
+
+    A *budgeted* governed re-click on the same pool resumes escalation at
+    the tier the previous click reached instead of restarting from tier 1;
+    untimed governed calls (the deterministic oracles) never resume.
+    """
+
+    @staticmethod
+    def governed_config(budget_ms):
+        return SelectionConfig(
+            k=5, time_budget_ms=budget_ms, governor=True, governor_max_tier=3
+        )
+
+    def test_budgeted_reclick_resumes_at_recorded_tier(self):
+        from repro.core.poolcache import PoolStatsCache
+
+        pool = make_pool(seed=60, count=45)
+        relevant = np.arange(100)
+        cache = PoolStatsCache(result_capacity=0)  # no memo: escalation reruns
+        config = self.governed_config(budget_ms=5_000.0)
+        first = select_k(pool, relevant, config=config, cache=cache)
+        assert first.governor_resumed_tier == 0
+        assert first.governor_tier == 3
+        second = select_k(pool, relevant, config=config, cache=cache)
+        # The re-click skipped the tiers below the recorded one: it
+        # resumed where the first call stopped, and says so.
+        assert second.governor_resumed_tier == first.governor_tier
+        assert second.governor_tier == first.governor_tier
+        # Skipped tier blocks contribute no tier_scores entries.
+        assert len(second.tier_scores) < len(first.tier_scores)
+        assert cache.governor_resumes == 1
+
+    def test_untimed_governed_calls_never_resume(self):
+        from repro.core.poolcache import PoolStatsCache
+
+        pool = make_pool(seed=61, count=45)
+        relevant = np.arange(100)
+        cache = PoolStatsCache(result_capacity=0)
+        config = self.governed_config(budget_ms=None)
+        first = select_k(pool, relevant, config=config, cache=cache)
+        second = select_k(pool, relevant, config=config, cache=cache)
+        assert first.governor_resumed_tier == 0
+        assert second.governor_resumed_tier == 0
+        # Determinism of the untimed oracle is untouched by the cache.
+        assert second.gids() == first.gids()
+        assert second.tier_scores == first.tier_scores
+
+    def test_resume_key_covers_pool_content_and_config(self):
+        from repro.core.poolcache import PoolStatsCache
+
+        relevant = np.arange(100)
+        cache = PoolStatsCache(result_capacity=0)
+        config = self.governed_config(budget_ms=5_000.0)
+        select_k(make_pool(seed=62, count=45), relevant, config=config, cache=cache)
+        # Different pool: cold escalation.
+        other = select_k(
+            make_pool(seed=63, count=45), relevant, config=config, cache=cache
+        )
+        assert other.governor_resumed_tier == 0
+        # Same pool, different governor knobs: cold escalation too.
+        deeper = select_k(
+            make_pool(seed=62, count=45),
+            relevant,
+            config=SelectionConfig(
+                k=5, time_budget_ms=5_000.0, governor=True, governor_swap_depth=6
+            ),
+            cache=cache,
+        )
+        assert deeper.governor_resumed_tier == 0
+
+    def test_resumed_display_stays_valid(self):
+        from repro.core.poolcache import PoolStatsCache
+
+        pool = make_pool(seed=64, count=50)
+        relevant = np.arange(100)
+        cache = PoolStatsCache(result_capacity=0)
+        config = self.governed_config(budget_ms=5_000.0)
+        baseline = select_k(pool, relevant, config=config)
+        select_k(pool, relevant, config=config, cache=cache)
+        resumed = select_k(pool, relevant, config=config, cache=cache)
+        gids = resumed.gids()
+        assert len(gids) == len(set(gids)) == 5
+        # Resuming never loses quality vs the converged base greedy: the
+        # incumbent before escalation is the same converged selection.
+        assert resumed.score >= baseline.tier_scores[0] - 1e-12
+
+    def test_no_cache_means_no_resume_fields(self):
+        pool = make_pool(seed=65, count=45)
+        result = select_k(
+            pool, np.arange(100), config=self.governed_config(5_000.0)
+        )
+        assert result.governor_resumed_tier == 0

@@ -82,6 +82,39 @@ class TestIndexStore:
         with pytest.raises(ValueError, match="groups"):
             load_index(truncated, tmp_path)
 
+    def test_stale_index_after_store_mutation_raises(self, world, tmp_path):
+        # The silent-wrong-neighbors bug: an index saved before a store
+        # mutation must refuse to pair with the mutated space instead of
+        # serving rankings computed over member sets that no longer exist.
+        dataset, space = world
+        index = SimilarityIndex(space.memberships(), dataset.n_users, 0.10)
+        save_index(index, tmp_path)
+        from repro.core.group import Group, GroupSpace
+
+        mutated_groups = list(space)
+        victim = mutated_groups[0]
+        mutated_groups[0] = Group(
+            victim.gid, victim.description, victim.members[:-1]
+        )
+        mutated = GroupSpace(dataset, mutated_groups)
+        with pytest.raises(ValueError, match="stale"):
+            load_index(mutated, tmp_path)
+        # The unmutated space still loads fine.
+        assert load_index(space, tmp_path).n_groups == len(space)
+
+    def test_legacy_payload_without_digest_still_loads(self, world, tmp_path):
+        import json
+
+        dataset, space = world
+        index = SimilarityIndex(space.memberships(), dataset.n_users, 0.10)
+        save_index(index, tmp_path)
+        payload = json.loads((tmp_path / "index.json").read_text())
+        assert "space_digest" in payload
+        del payload["space_digest"]  # a pre-runtime artifact
+        (tmp_path / "index.json").write_text(json.dumps(payload))
+        loaded = load_index(space, tmp_path)
+        assert loaded.memory_entries() == index.memory_entries()
+
 
 class TestSessionStore:
     def test_roundtrip_restores_everything(self, world, tmp_path):

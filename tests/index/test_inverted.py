@@ -5,8 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.similarity import jaccard
-from repro.index.inverted import SimilarityIndex
+from repro.core.similarity import jaccard, membership_matrix
+from repro.index.inverted import (
+    SimilarityIndex,
+    _rank_prefix_loop,
+    _rank_prefix_vectorized,
+)
 
 memberships_strategy = st.lists(
     st.sets(st.integers(min_value=0, max_value=40), min_size=1, max_size=15).map(
@@ -80,6 +84,59 @@ class TestPrefixProperty:
             similarities = [n.similarity for n in ranking]
             assert similarities == sorted(similarities, reverse=True)
             assert all(s > 0 for s in similarities)
+
+
+class TestBatchedRankingParity:
+    """The blocked select-then-sort ranking vs the retained per-group loop.
+
+    The batched path must be a pure performance change: identical ids,
+    bitwise-identical similarities, identical row boundaries and
+    completeness flags — including at selection-threshold ties, where the
+    (similarity desc, gid asc) rule decides which entries survive the
+    budget cut.
+    """
+
+    @staticmethod
+    def rank_both(memberships, n_users, fraction, workers=None):
+        index = SimilarityIndex(memberships, n_users, fraction)
+        matrix = membership_matrix(memberships, n_users)
+        overlaps = (matrix @ matrix.T).tocsr()
+        sizes = np.array([len(members) for members in memberships])
+        budget = index._budget()
+        vectorized = _rank_prefix_vectorized(
+            overlaps, sizes, budget, workers=workers
+        )
+        loop = _rank_prefix_loop(overlaps, sizes, budget)
+        return vectorized, loop
+
+    @settings(max_examples=30, deadline=None)
+    @given(memberships_strategy, st.sampled_from([0.05, 0.1, 0.3, 1.0]))
+    def test_generated_spaces(self, memberships, fraction):
+        vectorized, loop = self.rank_both(memberships, 41, fraction)
+        for batched, reference in zip(vectorized, loop):
+            assert np.array_equal(np.asarray(batched), np.asarray(reference))
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("workers", (1, 4))
+    def test_seeded_spaces_any_worker_count(self, seed, workers):
+        groups = make_groups(seed=seed, count=80, universe=120)
+        vectorized, loop = self.rank_both(groups, 120, 0.1, workers=workers)
+        for batched, reference in zip(vectorized, loop):
+            assert np.array_equal(np.asarray(batched), np.asarray(reference))
+
+    def test_threshold_ties_resolved_by_gid(self):
+        # Eight identical member sets: every similarity ties at 1.0, so
+        # the budget cut is decided purely by the gid tie-break.
+        members = np.arange(5, 25)
+        groups = [members.copy() for _ in range(8)]
+        vectorized, loop = self.rank_both(groups, 30, 0.3)
+        for batched, reference in zip(vectorized, loop):
+            assert np.array_equal(np.asarray(batched), np.asarray(reference))
+        index = SimilarityIndex(groups, 30, 0.3)
+        for gid in range(8):
+            neighbor_ids = [n.group for n in index.materialized_neighbors(gid)]
+            expected = [g for g in range(8) if g != gid][: len(neighbor_ids)]
+            assert neighbor_ids == expected
 
 
 class TestNeighborLookups:

@@ -123,6 +123,56 @@ class TestExplore:
         assert "nothing learned" in out
 
 
+class TestServe:
+    def test_multi_session_replay(self, data_dir, store_dir, capsys):
+        code = main(
+            [
+                "serve",
+                "--actions", str(data_dir / "actions.csv"),
+                "--demographics", str(data_dir / "demographics.csv"),
+                "--name", "cli-db",
+                "--store", str(store_dir),
+                "--sessions", "3",
+                "--clicks", "2",
+                "--threads", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runtime ready" in out and "shared cache" in out
+        assert out.count("clicks, p50") == 3
+        assert "all sessions: p50" in out
+
+    def test_baseline_mode_has_no_shared_cache(self, data_dir, store_dir, capsys):
+        code = main(
+            [
+                "serve",
+                "--actions", str(data_dir / "actions.csv"),
+                "--demographics", str(data_dir / "demographics.csv"),
+                "--name", "cli-db",
+                "--store", str(store_dir),
+                "--sessions", "2",
+                "--clicks", "1",
+                "--no-shared-cache",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-session cache" in out
+        assert "shared cache:" not in out
+
+    def test_bad_counts_rejected(self, data_dir, store_dir, capsys):
+        assert main(
+            [
+                "serve",
+                "--actions", str(data_dir / "actions.csv"),
+                "--name", "cli-db",
+                "--store", str(store_dir),
+                "--sessions", "0",
+            ]
+        ) == 2
+
+
 class TestREPLUnit:
     @pytest.fixture(scope="class")
     def repl(self):

@@ -24,9 +24,28 @@ from repro.core.poolcache import PoolStatsCache
 from repro.core.selection import (
     SelectionConfig,
     _PoolStatistics,
+    _ReferenceEvaluator,
     _VectorEngine,
     select_k,
 )
+
+
+def reference_display_score(pool, relevant, feedback, config, gids):
+    """Score a display with the brute-force reference evaluator.
+
+    The tie oracle for fuzzed pools: degenerate generated pools (empty /
+    duplicate member sets) can hold displays whose scores coincide to
+    within float accumulation noise, and the two engines' ULP-different
+    arithmetic may then settle different ones.  Re-scoring a divergent
+    display through the reference evaluator bounds the divergence at the
+    engines' own decision epsilon (``_SWAP_EPSILON`` = 1e-12) — far
+    tighter than the 1e-9 score proximity of the headline assertion, so
+    a nearly-as-good *wrong* answer still fails.
+    """
+    stats = _PoolStatistics(list(pool), relevant, feedback)
+    evaluator = _ReferenceEvaluator(stats, config)
+    position_of = {group.gid: index for index, group in enumerate(pool)}
+    return evaluator.score([position_of[gid] for gid in gids])
 
 ATTRIBUTES = ("gender", "age", "city", "favorite_genre")
 
@@ -212,9 +231,24 @@ class TestHypothesisParityFuzz:
         cache = PoolStatsCache()
         cold = select_k(pool, relevant, feedback, celf_config, cache=cache)
         warm = select_k(pool, relevant, feedback, celf_config, cache=cache)
+        celf_configured = SelectionConfig(
+            time_budget_ms=None, engine="reference", k=k, **weights
+        )
         for optimized in (plain, cold, warm):
-            assert optimized.gids() == reference.gids()
             assert optimized.score == pytest.approx(reference.score, abs=1e-9)
+            if optimized.gids() != reference.gids():
+                # Engines may settle different displays only when their
+                # reference-scored gap is inside the decision epsilon —
+                # anything larger is a real display regression.
+                divergence = reference_display_score(
+                    pool, relevant, feedback, celf_configured, reference.gids()
+                ) - reference_display_score(
+                    pool, relevant, feedback, celf_configured, optimized.gids()
+                )
+                assert abs(divergence) <= 1e-12
+            # The cache is bitwise-transparent: every celf variant must
+            # agree with plain celf exactly, ties included.
+            assert optimized.gids() == plain.gids()
         assert cold.cache_state == "miss"
         assert warm.cache_state == "hit"
 
@@ -234,7 +268,18 @@ class TestHypothesisParityFuzz:
         optimized = select_k(
             pool, relevant, config=SelectionConfig(engine="celf", **config)
         )
-        assert optimized.gids() == reference.gids()
+        # Same-score ties on degenerate pools may resolve to different
+        # displays — but only *exact* co-optima are acceptable (see the
+        # display-parity fuzz above).
+        if optimized.gids() != reference.gids():
+            oracle_config = SelectionConfig(engine="reference", **config)
+            divergence = reference_display_score(
+                pool, relevant, None, oracle_config, reference.gids()
+            ) - reference_display_score(
+                pool, relevant, None, oracle_config, optimized.gids()
+            )
+            assert abs(divergence) <= 1e-12
+        assert optimized.score == pytest.approx(reference.score, abs=1e-9)
         assert optimized.evaluations <= reference.evaluations + len(pool)
 
 
