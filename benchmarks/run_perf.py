@@ -28,6 +28,12 @@ the next:
   contention vs the per-session-cache baseline — cold-start
   amortization, cross-session warm-hit rate, p50/p95 click latency, and
   the gated second-and-later-session cold-click speedup;
+- ``service`` — the network front: the dbauthors replay driven through
+  the JSON-over-HTTP server (:mod:`repro.service`) vs the identical
+  replay through the in-process :class:`SessionManager` — the gated
+  per-click round-trip overhead, N concurrent HTTP clients' untimed
+  display parity against a solo in-process run, and a durable
+  crash/resume round trip through the wire protocol;
 - ``index_build`` — batched-lexsort prefix ranking vs the retained
   per-group-loop ranking on the largest generated group space.
 
@@ -46,6 +52,7 @@ import argparse
 import json
 import statistics
 import sys
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -80,6 +87,14 @@ WARM_COLD_GATE = 2.0
 #: click p50 must beat the per-session-cache baseline by at least this
 #: factor (cross-session pair/structure hits).
 SERVING_GATE = 2.0
+
+#: Gate on the network front (full runs): the HTTP round trip may add at
+#: most this many milliseconds to the in-process click p50 on the
+#: dbauthors replay — the wire protocol must stay invisible next to the
+#: paper's 100 ms continuity budget.  Smoke runs on shared CI boxes get
+#: a looser bar (scheduling noise easily exceeds the localhost RTT).
+SERVICE_OVERHEAD_GATE_MS = 5.0
+SERVICE_OVERHEAD_SMOKE_GATE_MS = 25.0
 
 
 def c2_pools(n_parents: int) -> list[tuple]:
@@ -461,6 +476,138 @@ def measure_serving(n_sessions: int, clicks: int, threads: int) -> dict:
     }
 
 
+def _replay_http(client, clicks: int, config=None) -> tuple[list[float], list[list[int]]]:
+    """One scripted session through the wire: latencies + per-step gids.
+
+    The same deterministic walking policy as :func:`_replay_session`
+    (via :func:`scripted_click_gid` — ``DisplayedGroup`` rows duck-type
+    the ``gid`` attribute it reads), so the HTTP and in-process arms
+    replay the identical workload by construction.
+    """
+    opened = client.open(config=config)
+    shown = opened.display
+    latencies: list[float] = []
+    displays: list[list[int]] = []
+    visited: set[int] = set()
+    for _ in range(clicks):
+        gid = scripted_click_gid(shown, visited)
+        started = time.perf_counter()
+        shown = client.click(opened.session_id, gid)
+        latencies.append((time.perf_counter() - started) * 1000.0)
+        displays.append([group.gid for group in shown])
+    client.close(opened.session_id)
+    return latencies, displays
+
+
+def measure_service(n_clients: int, clicks: int) -> dict:
+    """The network front vs the in-process manager on the same replay.
+
+    Three questions, one report: what does a click cost over the wire
+    (gated overhead vs the identical in-process replay, both arms on
+    fresh shared runtimes over the same prebuilt index); do N concurrent
+    HTTP clients see bitwise the displays a solo in-process session sees
+    (untimed — the protocol must be transparent, not just fast); and
+    does a session survive an abrupt server stop + restart on the same
+    state directory via its resume token.
+    """
+    from repro.service.client import ExplorationClient
+    from repro.service.server import ExplorationService
+
+    space = dbauthors_space()
+    config = SessionConfig(
+        k=5, time_budget_ms=BUDGET_MS, engine="celf", use_profile=False
+    )
+    base_runtime = GroupSpaceRuntime(space)
+
+    inproc_manager = SessionManager(
+        GroupSpaceRuntime(space, index=base_runtime.index),
+        default_config=config,
+    )
+    inproc = _replay_session(inproc_manager, clicks)
+
+    http_manager = SessionManager(
+        GroupSpaceRuntime(space, index=base_runtime.index),
+        default_config=config,
+    )
+    with ExplorationService(http_manager).start() as service:
+        client = ExplorationClient(service.host, service.port)
+        http, _ = _replay_http(client, clicks)
+        client.close_connection()
+
+    inproc_p50 = statistics.median(inproc)
+    http_p50 = statistics.median(http)
+
+    # Contended parity: N concurrent HTTP clients vs one solo in-process
+    # session over a private stack, untimed so selection is deterministic.
+    untimed = SessionConfig(
+        k=5, time_budget_ms=None, engine="celf", use_profile=False
+    )
+    parity_clicks = min(clicks, 3)
+    solo_manager = SessionManager(
+        GroupSpaceRuntime(space, index=base_runtime.index, share_cache=False),
+        default_config=untimed,
+    )
+    expected: list[list[int]] = []
+    session_id, shown = solo_manager.open_session()
+    visited: set[int] = set()
+    for _ in range(parity_clicks):
+        gid = scripted_click_gid(shown, visited)
+        shown = solo_manager.click(session_id, gid)
+        expected.append([group.gid for group in shown])
+    parity_manager = SessionManager(
+        GroupSpaceRuntime(space, index=base_runtime.index),
+        default_config=untimed,
+    )
+    with ExplorationService(parity_manager).start() as service:
+
+        def contended_displays(_client_index: int) -> list[list[int]]:
+            with ExplorationClient(service.host, service.port) as client:
+                _, displays = _replay_http(client, parity_clicks)
+                return displays
+
+        with ThreadPoolExecutor(max_workers=n_clients) as executor:
+            traces = list(executor.map(contended_displays, range(n_clients)))
+    parity = all(trace == expected for trace in traces)
+
+    # Durable resume: click, stop the server without closing (the crash),
+    # restart over the same state directory, resume by token.
+    resume_ok = False
+    with tempfile.TemporaryDirectory(prefix="bench-service-state-") as state:
+        crash_manager = SessionManager(
+            GroupSpaceRuntime(space, index=base_runtime.index),
+            default_config=untimed,
+            state_dir=state,
+        )
+        service = ExplorationService(crash_manager).start()
+        client = ExplorationClient(service.host, service.port)
+        opened = client.open()
+        shown = client.click(opened.session_id, opened.display[0].gid)
+        service.stop()  # abrupt: no close, in-memory registry lost
+        revived_manager = SessionManager(
+            GroupSpaceRuntime(space, index=base_runtime.index),
+            default_config=untimed,
+            state_dir=state,
+        )
+        with ExplorationService(revived_manager).start() as service:
+            with ExplorationClient(service.host, service.port) as client:
+                restored = client.open(resume=opened.resume_token)
+                resume_ok = [group.gid for group in restored.display] == [
+                    group.gid for group in shown
+                ]
+
+    return {
+        "clients": n_clients,
+        "clicks_per_session": clicks,
+        "budget_ms": BUDGET_MS,
+        "inproc_click_p50_ms": round(inproc_p50, 3),
+        "http_click_p50_ms": round(http_p50, 3),
+        "http_overhead_p50_ms": round(http_p50 - inproc_p50, 3),
+        "contended_parity_clients": n_clients,
+        "parity": parity,
+        "resume_roundtrip": resume_ok,
+    }
+
+
 def measure_index_build(smoke: bool) -> dict:
     """Batched vs per-group-loop prefix ranking on the largest space.
 
@@ -511,6 +658,8 @@ def run(
     serving_sessions: int = 8,
     serving_clicks: int = 4,
     serving_threads: int = 8,
+    service_clients: int = 8,
+    service_clicks: int = 4,
     smoke: bool = False,
 ) -> dict:
     pools = {"C2": c2_pools(n_parents), "C7": c7_pools(n_genres)}
@@ -557,6 +706,10 @@ def run(
         serving_sessions, serving_clicks, serving_threads
     )
     report["parity"]["serving"] = report["serving"]["parity"]
+    report["service"] = measure_service(service_clients, service_clicks)
+    report["parity"]["service"] = (
+        report["service"]["parity"] and report["service"]["resume_roundtrip"]
+    )
     report["index_build"] = measure_index_build(smoke)
     report["parity"]["index_build"] = report["index_build"]["parity"]
     return report
@@ -627,12 +780,14 @@ def main() -> int:
     if args.smoke:
         report = run(
             n_parents=1, n_genres=0, repeats=1, clicks=3, cache_rounds=2,
-            serving_sessions=3, serving_clicks=2, serving_threads=2, smoke=True,
+            serving_sessions=3, serving_clicks=2, serving_threads=2,
+            service_clients=3, service_clicks=2, smoke=True,
         )
     elif args.quick:
         report = run(
             n_parents=2, n_genres=1, repeats=2, clicks=5, cache_rounds=3,
             serving_sessions=4, serving_clicks=3, serving_threads=4,
+            service_clients=4, service_clicks=3,
         )
     else:
         report = run(n_parents=6, n_genres=3, repeats=5, clicks=11, cache_rounds=6)
@@ -664,6 +819,18 @@ def main() -> int:
         f"{report['serving']['cross_session_warm_hit_rate']:.0%}"
     )
     ok = ok and serving_speedup >= serving_gate
+    service_overhead = report["service"]["http_overhead_p50_ms"]
+    overhead_gate = (
+        SERVICE_OVERHEAD_SMOKE_GATE_MS if args.smoke else SERVICE_OVERHEAD_GATE_MS
+    )
+    print(
+        f"service: HTTP adds {service_overhead:+.2f} ms to the in-process "
+        f"click p50 (gate {overhead_gate:.0f} ms), "
+        f"{report['service']['contended_parity_clients']}-client parity "
+        f"{'ok' if report['service']['parity'] else 'BROKEN'}, crash resume "
+        f"{'ok' if report['service']['resume_roundtrip'] else 'BROKEN'}"
+    )
+    ok = ok and service_overhead <= overhead_gate
     build_speedup = report["index_build"]["build_speedup"]
     print(
         f"index build: batched ranking {build_speedup:.1f}x the per-group "

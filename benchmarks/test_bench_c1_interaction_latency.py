@@ -7,6 +7,17 @@ from repro.experiments.common import dbauthors_space
 from repro.experiments.latency import run_latency
 
 
+def test_bench_c1_http_arm():
+    # The remote-analyst arm: one small scale, the wire overhead must be
+    # a measurable-but-small constant on top of the in-process click.
+    report = run_latency(scales=(250,), budget_ms=25.0, http=True)
+    row = report.rows[0]
+    assert row["http_click_ms"] > 0
+    # Generous bound: a localhost round trip plus the budgeted click
+    # must stay well under the paper's 100 ms continuity budget.
+    assert row["http_click_ms"] < 100.0
+
+
 def test_bench_c1_report(benchmark):
     report = run_latency(scales=(250, 500, 1000, 2000), budget_ms=50.0)
     publish(report)

@@ -1,0 +1,95 @@
+"""Remote exploration: the VEXUS loop over the network, with resume.
+
+Boots the JSON-over-HTTP serving front (the same one ``python -m repro
+serve --http`` runs) over a freshly discovered group space, drives it
+with the typed client, then simulates a server crash and restores the
+session — history, feedback and display intact — on a restarted server
+from its durable state.
+
+Run:  python examples/remote_exploration.py
+
+Against a long-running deployment you would only need the client half::
+
+    python -m repro generate dbauthors --out data/
+    python -m repro discover --actions data/actions.csv \
+        --demographics data/demographics.csv --store store/
+    python -m repro serve --actions data/actions.csv \
+        --demographics data/demographics.csv --store store/ \
+        --http --port 8765 --state-dir store/sessions --idle-ttl 900
+
+    >>> from repro.service import ExplorationClient
+    >>> client = ExplorationClient("127.0.0.1", 8765)
+    >>> opened = client.open(config={"k": 5})
+    >>> client.click(opened.session_id, opened.display[0].gid)
+"""
+
+import tempfile
+
+from repro.core import DiscoveryConfig, discover_groups
+from repro.core.runtime import GroupSpaceRuntime, SessionManager
+from repro.core.session import SessionConfig
+from repro.data.generators import generate_dbauthors
+from repro.service import ExplorationClient, ExplorationService
+
+# ---------------------------------------------------------------- offline
+data = generate_dbauthors()
+space = discover_groups(
+    data.dataset,
+    DiscoveryConfig(method="lcm", min_support=0.05, max_description=3),
+)
+print(f"discovered: {space}")
+
+state_dir = tempfile.mkdtemp(prefix="vexus-sessions-")
+runtime = GroupSpaceRuntime(space)
+
+
+def boot() -> ExplorationService:
+    """One server process: shared runtime, durable session manager."""
+    manager = SessionManager(
+        runtime,
+        default_config=SessionConfig(k=5, time_budget_ms=100.0),
+        max_sessions=64,
+        state_dir=state_dir,
+    )
+    return ExplorationService(manager).start()
+
+
+# ---------------------------------------------------------------- online
+service = boot()
+print(f"serving on {service.url}")
+
+client = ExplorationClient(service.host, service.port)
+opened = client.open()
+print(f"\nsession {opened.session_id} (resume token {opened.resume_token})")
+print("GROUPVIZ — initial display:")
+for group in opened.display:
+    print(f"  #{group.gid:<5} {' ∧ '.join(group.description):<55} n={group.size}")
+
+clicked = opened.display[0]
+print(f"\nclick -> #{clicked.gid}")
+shown = client.click(opened.session_id, clicked.gid)
+for group in shown:
+    print(f"  #{group.gid:<5} {' ∧ '.join(group.description):<55} n={group.size}")
+
+members = client.drill_down(opened.session_id, shown[0].gid)
+print(f"\nSTATS — #{shown[0].gid} has {len(members)} members")
+print(f"session stats: {client.stats(opened.session_id)['steps']} history steps")
+
+# ------------------------------------------------------------ crash + resume
+print("\n-- simulating a server crash (no close, no warning) --")
+service.stop()
+
+service = boot()  # new process in real life; same state directory
+print(f"restarted on {service.url}")
+client = ExplorationClient(service.host, service.port)
+restored = client.open(resume=opened.resume_token)
+print(f"resumed as {restored.session_id}; display restored:")
+for group in restored.display:
+    print(f"  #{group.gid:<5} {' ∧ '.join(group.description):<55} n={group.size}")
+assert [g.gid for g in restored.display] == [g.gid for g in shown]
+
+summary = client.close(restored.session_id)
+print(f"\nclosed: {summary['clicks']} clicks, {summary['steps']} steps")
+print(f"resume token for next time: {summary['resume_token']}")
+service.stop()
+print("done")

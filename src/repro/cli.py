@@ -18,6 +18,19 @@ concurrent scripted sessions through a
 :class:`~repro.core.runtime.SessionManager` and reports per-session click
 latency plus the cross-session cache's warm-hit counters — the headless
 stand-in for many analysts hitting one VEXUS deployment.
+
+``serve --http`` turns the replay into an actual network service: a
+JSON-over-HTTP front (:mod:`repro.service`) over the same manager, with
+durable sessions when ``--state-dir`` is given (every interaction is
+checkpointed; ``open`` with a resume token restores a session across
+server restarts) and an idle sweeper (``--idle-ttl``) that persists and
+evicts abandoned sessions::
+
+    python -m repro serve --actions ... --store st/ --http --port 8765 \
+        --state-dir st/sessions --idle-ttl 900
+
+Drive it with :class:`repro.service.ExplorationClient` — see
+``examples/remote_exploration.py`` for a complete client walk-through.
 """
 
 from __future__ import annotations
@@ -107,7 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
     explore.set_defaults(handler=cmd_explore)
 
     serve = commands.add_parser(
-        "serve", help="replay N concurrent sessions against one runtime"
+        "serve",
+        help="replay N concurrent sessions against one runtime, or "
+        "(--http) expose it as a JSON-over-HTTP service",
     )
     _add_data_arguments(serve)
     serve.add_argument("--store", required=True, help="artifacts from `discover`")
@@ -122,6 +137,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-shared-cache", action="store_true",
         help="per-session caches only (the pre-runtime baseline)",
+    )
+    serve.add_argument(
+        "--http", action="store_true",
+        help="serve the exploration protocol over HTTP instead of replaying",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="admission control: refuse opens past this many live sessions",
+    )
+    serve.add_argument(
+        "--state-dir", default=None,
+        help="durable sessions: checkpoint every interaction here and "
+        "accept resume tokens across restarts",
+    )
+    serve.add_argument(
+        "--idle-ttl", type=float, default=None,
+        help="seconds of inactivity before a session is persisted and "
+        "evicted (needs --state-dir)",
     )
     serve.set_defaults(handler=cmd_serve)
 
@@ -365,11 +403,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     per-session click latency and the cross-session cache counters, so
     the cold-start amortization and warm-hit behaviour are visible from
     the command line without any benchmark harness.
+
+    With ``--http`` the same runtime + manager are instead exposed as a
+    network service (see :mod:`repro.service`) until interrupted.
     """
     from concurrent.futures import ThreadPoolExecutor
 
     if args.sessions < 1 or args.clicks < 1 or args.threads < 1:
         print("sessions, clicks and threads must all be >= 1", file=sys.stderr)
+        return 2
+    if args.idle_ttl is not None and args.state_dir is None:
+        print("--idle-ttl needs --state-dir", file=sys.stderr)
         return 2
     dataset = _load(args)
     started = time.perf_counter()
@@ -382,7 +426,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_config=SessionConfig(
             k=args.k, time_budget_ms=args.budget_ms, use_profile=False
         ),
+        max_sessions=args.max_sessions,
+        state_dir=args.state_dir,
     )
+    if args.http:
+        return _serve_http(args, manager, build_ms)
     print(
         f"runtime ready in {build_ms:.0f} ms: {len(runtime.space)} groups, "
         f"{'shared' if runtime.shared is not None else 'per-session'} cache"
@@ -423,6 +471,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"({shared['structure_hits']} hits), "
             f"{shared['pair_entries']} pair entries"
         )
+    return 0
+
+
+def _serve_http(
+    args: argparse.Namespace, manager: SessionManager, build_ms: float
+) -> int:
+    """Run the HTTP front until interrupted (SIGINT exits cleanly)."""
+    import threading
+
+    from repro.service.server import ExplorationService
+
+    service = ExplorationService(
+        manager,
+        host=args.host,
+        port=args.port,
+        idle_ttl_s=args.idle_ttl,
+    ).start()
+    durable = (
+        f"durable (state in {manager.state_dir})"
+        if manager.state_dir is not None
+        else "in-memory sessions"
+    )
+    # One parseable line per fact: scripts (and the crash-recovery suite)
+    # read the bound port from the first line.
+    print(f"serving on {service.url}", flush=True)
+    print(
+        f"runtime ready in {build_ms:.0f} ms: "
+        f"{len(manager.runtime.space)} groups, {durable}",
+        flush=True,
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    print("service stopped")
     return 0
 
 

@@ -63,6 +63,7 @@ same groups and scores (property-tested in
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from collections.abc import Callable, Sequence
 from typing import Any, Hashable, Optional
@@ -124,6 +125,7 @@ class _PoolStructure:
         "pool",
         "fingerprints",
         "key",
+        "_stable_key",
         "relevant",
         "n_relevant",
         "n_columns",
@@ -158,6 +160,7 @@ class _PoolStructure:
             relevant_fingerprint(relevant) if relevant_key is None else relevant_key
         )
         self.key = (self.fingerprints, relevant_key)
+        self._stable_key: Optional[str] = None
         self.relevant = np.unique(np.asarray(relevant, dtype=np.int64))
         self.n_relevant = len(self.relevant)
         memberships = [group.members for group in self.pool]
@@ -258,6 +261,35 @@ class _PoolStructure:
             ),
             1,
         )
+
+    # -- durable identity ------------------------------------------------
+
+    @property
+    def stable_key(self) -> str:
+        """Cross-process content identity of this (pool, relevant) pair.
+
+        ``key`` hashes member bytes with the process-salted builtin
+        ``hash`` — the right trade-off for the per-click hot path, but
+        meaningless in another process.  Durable state (the governor-tier
+        layer persisted by :func:`repro.core.store.save_session_state`)
+        instead keys on this sha256 digest of the *ordered* pool (gid,
+        size, member bytes) plus the deduplicated relevant set, so a
+        session restored after a restart lands on the same keys a fresh
+        build of the same content produces.  Computed lazily and cached:
+        warm clicks that never touch the governor or persistence pay
+        nothing.
+        """
+        if self._stable_key is None:
+            digest = hashlib.sha256()
+            for group in self.pool:
+                members = np.ascontiguousarray(group.members, dtype=np.int64)
+                digest.update(np.int64(group.gid).tobytes())
+                digest.update(np.int64(len(members)).tobytes())
+                digest.update(members.tobytes())
+            digest.update(b"|relevant|")
+            digest.update(self.relevant.tobytes())
+            self._stable_key = digest.hexdigest()
+        return self._stable_key
 
     # -- Jaccard columns ------------------------------------------------
 
@@ -368,6 +400,7 @@ class _PoolStructure:
         twin.pool = self.pool
         twin.fingerprints = self.fingerprints
         twin.key = self.key
+        twin._stable_key = self._stable_key
         twin.relevant = self.relevant
         twin.n_relevant = self.n_relevant
         twin.n_columns = self.n_columns
@@ -417,6 +450,7 @@ class _PoolStructure:
         twin.pool = list(pool)
         twin.fingerprints = fingerprints
         twin.key = (fingerprints, relevant_key)
+        twin._stable_key = None  # pool order is part of the identity
         twin.relevant = self.relevant
         twin.n_relevant = self.n_relevant
         twin.n_columns = self.n_columns
@@ -723,6 +757,29 @@ class PoolStatsCache:
         self._governor_tiers.move_to_end(key)
         while len(self._governor_tiers) > max(2 * self.capacity, 4):
             self._governor_tiers.popitem(last=False)
+
+    def export_governor_tiers(self) -> list[tuple[Any, Any, int]]:
+        """Governor layer as ``(structure_key, config_key, tier)`` rows.
+
+        The selection engine keys this layer on
+        :attr:`_PoolStructure.stable_key` (a content digest) plus the
+        selection-config tuple — both process-independent — so the rows
+        survive serialization and a later :meth:`import_governor_tiers`
+        in another process resumes escalation exactly where this one
+        stopped.  Rows are emitted in LRU order (oldest first) so a
+        bounded re-import keeps the same retention behaviour.
+        """
+        return [
+            (structure_key, config_key, tier)
+            for (structure_key, config_key), tier in self._governor_tiers.items()
+        ]
+
+    def import_governor_tiers(
+        self, rows: Sequence[tuple[Any, Any, int]]
+    ) -> None:
+        """Restore rows exported by :meth:`export_governor_tiers`."""
+        for structure_key, config_key, tier in rows:
+            self.record_governor_tier(structure_key, config_key, int(tier))
 
     # -- introspection ---------------------------------------------------
 

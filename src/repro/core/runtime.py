@@ -38,6 +38,8 @@ Three pieces turn the per-session stack into a serving runtime:
 from __future__ import annotations
 
 import threading
+import time
+import uuid
 from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
@@ -50,6 +52,44 @@ from repro.index.inverted import SimilarityIndex
 
 if TYPE_CHECKING:  # circular at runtime: session constructs a runtime
     from repro.core.session import ExplorationSession, SessionConfig
+
+
+#: Resume tokens are used as state-directory names, and the service
+#: accepts them from the network — anything outside this alphabet (path
+#: separators, ``..``, NUL) must never reach the filesystem layer.
+_TOKEN_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_"
+)
+
+
+def _valid_token(token: str) -> bool:
+    return 0 < len(token) <= 128 and set(token) <= _TOKEN_CHARS
+
+
+class UnknownSessionError(KeyError):
+    """A session id that is not live on this manager.
+
+    Subclasses ``KeyError`` so pre-existing callers that caught the bare
+    registry miss keep working; the message carries the offending id
+    (``KeyError`` alone prints just the key, which reads like an internal
+    crash when it surfaces through a service boundary).  The HTTP front
+    maps this to a 404.
+    """
+
+    def __init__(self, session_id: str) -> None:
+        super().__init__(session_id)
+        self.session_id = session_id
+
+    def __str__(self) -> str:
+        return f"unknown or already-closed session {self.session_id!r}"
+
+
+class SessionLimitError(RuntimeError):
+    """Admission control: ``max_sessions`` live sessions already exist.
+
+    The HTTP front maps this to a 429 so overloaded deployments shed new
+    analysts instead of degrading every live session.
+    """
 
 
 class SharedPairCache:
@@ -306,6 +346,9 @@ class GroupSpaceRuntime:
         self._private_version = 0
         self._sessions_opened = 0
         self._opened_lock = threading.Lock()
+        self._digest: Optional[str] = None
+        self._digest_version = -1
+        self._digest_lock = threading.Lock()
 
     # -- versioning ------------------------------------------------------
 
@@ -328,6 +371,24 @@ class GroupSpaceRuntime:
         if self.shared is not None:
             return self.shared.bump_version()
         return self._private_version
+
+    def membership_digest(self) -> str:
+        """The space's sha256 membership digest, cached per version.
+
+        Durable session checkpoints stamp every payload with this digest;
+        hashing the whole space on every click would put an O(total
+        members) pass on the serving hot path, so it is computed once and
+        reused until :meth:`bump_version` signals a mutation (the same
+        contract every other shared artifact lives by).
+        """
+        from repro.core.store import space_digest
+
+        with self._digest_lock:
+            version = self.version
+            if self._digest is None or self._digest_version != version:
+                self._digest = space_digest(self.space.memberships())
+                self._digest_version = version
+            return self._digest
 
     # -- shared artifacts ------------------------------------------------
 
@@ -418,14 +479,24 @@ class _ManagedSession:
     while the slot is reserved under the registry lock but the session is
     still being constructed; the instance lock is held for that whole
     window, so no interaction can observe the placeholder.
+
+    ``token`` is the session's *durable* identity: the name its persisted
+    state lives under in the manager's state directory, stable across
+    close / idle eviction / process restart (the live ``session_id`` is
+    only a handle into this process's registry).  ``last_active`` is the
+    monotonic instant of the last interaction, read by the idle sweeper.
     """
 
-    __slots__ = ("session", "lock", "clicks")
+    __slots__ = ("session", "lock", "clicks", "token", "last_active")
 
-    def __init__(self, session: Optional["ExplorationSession"]) -> None:
+    def __init__(
+        self, session: Optional["ExplorationSession"], token: str = ""
+    ) -> None:
         self.session = session
         self.lock = threading.Lock()
         self.clicks = 0
+        self.token = token
+        self.last_active = time.monotonic()
 
 
 class SessionManager:
@@ -438,6 +509,15 @@ class SessionManager:
     serialize instead of corrupting feedback/history state.  Cross-session
     warmth flows exclusively through the runtime's shared cache — the
     manager never lets one session touch another's state.
+
+    With a ``state_dir`` the manager is *durable*: every session gets a
+    resume token, every state-mutating interaction checkpoints the
+    session via :func:`repro.core.store.save_session_state` (so a crashed
+    process loses at most the interaction in flight), ``close`` and the
+    :meth:`evict_idle` sweeper persist the final state, and
+    ``open_session(resume=<token>)`` restores the session — feedback,
+    history tree, memo, profile and governor-tier state intact,
+    digest-validated against the live space — onto this runtime.
     """
 
     def __init__(
@@ -445,16 +525,25 @@ class SessionManager:
         runtime: GroupSpaceRuntime,
         default_config: Optional["SessionConfig"] = None,
         max_sessions: Optional[int] = None,
+        state_dir: Optional[str | Path] = None,
+        checkpoint_interactions: bool = True,
     ) -> None:
         if max_sessions is not None and max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
         self.runtime = runtime
         self.default_config = default_config
         self.max_sessions = max_sessions
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        #: Checkpoint after every click/backtrack (durable managers only).
+        #: Off, state is written only on close / idle eviction — cheaper,
+        #: but a crash loses everything since the session opened.
+        self.checkpoint_interactions = checkpoint_interactions
         self._sessions: dict[str, _ManagedSession] = {}
         self._lock = threading.Lock()
         self._counter = 0
         self.sessions_closed = 0
+        self.sessions_evicted = 0
+        self.sessions_resumed = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -462,16 +551,41 @@ class SessionManager:
         self,
         config: Optional["SessionConfig"] = None,
         seed_gids: Optional[list[int]] = None,
+        resume: Optional[str] = None,
     ) -> tuple[str, list[Group]]:
         """Open a session and show its initial display.
 
         Returns ``(session_id, initial groups)``; the id addresses every
-        later :meth:`click` / :meth:`close`.  Raises ``RuntimeError``
-        when ``max_sessions`` live sessions already exist (the caller's
-        admission-control signal) — checked *before* any session state
-        is constructed, so rejected requests stay cheap under exactly
-        the overload admission control exists for.
+        later :meth:`click` / :meth:`close`.  Raises
+        :class:`SessionLimitError` when ``max_sessions`` live sessions
+        already exist (the caller's admission-control signal) — checked
+        *before* any session state is constructed, so rejected requests
+        stay cheap under exactly the overload admission control exists
+        for.
+
+        With ``resume`` (a token a previous :meth:`open_session` /
+        :meth:`close` handed out), the session is restored from the state
+        directory instead of started fresh: the returned display is the
+        one the persisted session was showing, and its history, feedback,
+        memo, profile and governor-tier state carry on as if the
+        process had never stopped.  Unless ``config`` overrides it, the
+        persisted session's own configuration is restored too.  Raises
+        :class:`UnknownSessionError` for a token with no persisted state
+        and ``ValueError`` when the state was saved against a different
+        group space (digest mismatch) or the token is already live.
         """
+        if resume is not None:
+            if self.state_dir is None:
+                raise ValueError("resume needs a manager with a state_dir")
+            if seed_gids is not None:
+                raise ValueError("resume restores a display; drop seed_gids")
+            # Tokens name state directories and arrive over the network:
+            # reject anything that is not a token the manager could have
+            # minted before it can touch a path (no `..`, no separators).
+            if not _valid_token(resume):
+                raise UnknownSessionError(resume)
+            if not (self.state_dir / resume / "session.json").exists():
+                raise UnknownSessionError(resume)
         managed = _ManagedSession(None)
         managed.lock.acquire()  # interactions block until start() finishes
         with self._lock:
@@ -480,18 +594,61 @@ class SessionManager:
                 and len(self._sessions) >= self.max_sessions
             ):
                 managed.lock.release()
-                raise RuntimeError(
+                raise SessionLimitError(
                     f"session limit reached ({self.max_sessions} live sessions)"
+                )
+            if resume is not None and any(
+                existing.token == resume for existing in self._sessions.values()
+            ):
+                # Checked under the registration lock: two concurrent
+                # resumes of one token must not both win and then fight
+                # over the same checkpoint file.
+                managed.lock.release()
+                raise ValueError(
+                    f"resume token {resume!r} is already live on this manager"
                 )
             self._counter += 1
             session_id = f"s{self._counter:04d}"
+            if resume is not None:
+                managed.token = resume
+            elif self.state_dir is not None:
+                managed.token = f"{session_id}-{uuid.uuid4().hex[:12]}"
+            else:
+                managed.token = session_id
             self._sessions[session_id] = managed
         try:
-            session = self.runtime.create_session(
-                config if config is not None else self.default_config
-            )
-            managed.session = session
-            shown = session.start(seed_gids=seed_gids)
+            if resume is not None:
+                from repro.core.store import (
+                    load_session_config,
+                    load_session_state,
+                )
+
+                directory = self.state_dir / resume
+                if config is None:
+                    config = load_session_config(directory)
+                session = self.runtime.create_session(
+                    config if config is not None else self.default_config
+                )
+                managed.session = session
+                load_session_state(session, directory)
+                shown = session.displayed()
+                # Every click records exactly one step with a clicked
+                # gid, so the restored counter matches what an
+                # uninterrupted session would report in stats/close.
+                managed.clicks = sum(
+                    1
+                    for step in session.history
+                    if step.clicked_gid is not None
+                )
+                with self._lock:
+                    self.sessions_resumed += 1
+            else:
+                session = self.runtime.create_session(
+                    config if config is not None else self.default_config
+                )
+                managed.session = session
+                shown = session.start(seed_gids=seed_gids)
+                self._persist(managed)
         except BaseException:
             with self._lock:
                 self._sessions.pop(session_id, None)
@@ -500,35 +657,95 @@ class SessionManager:
             managed.lock.release()
         return session_id, shown
 
+    def _persist(self, managed: _ManagedSession) -> None:
+        """Write the session's durable state (no-op without a state_dir).
+
+        Callers hold ``managed.lock``, so checkpoints of one session are
+        serialized with its interactions and with close/eviction.
+        """
+        if self.state_dir is None or managed.session is None:
+            return
+        from repro.core.store import save_session_state
+
+        save_session_state(managed.session, self.state_dir / managed.token)
+
+    def _retire(self, session_id: str, managed: _ManagedSession) -> dict[str, object]:
+        """Persist + summarize one already-deregistered session.
+
+        ``managed.session`` can still be ``None`` when retirement races a
+        failing :meth:`open_session` (the slot is reserved before the
+        session is constructed); there is nothing to persist then.
+        """
+        with managed.lock:
+            self._persist(managed)
+            session = managed.session
+            return {
+                "session_id": session_id,
+                "resume_token": (
+                    managed.token if self.state_dir is not None else None
+                ),
+                "clicks": managed.clicks,
+                "steps": len(session.history) if session is not None else 0,
+                "cache": (
+                    session.pool_cache.stats()
+                    if session is not None and session.pool_cache is not None
+                    else {}
+                ),
+            }
+
     def close(self, session_id: str) -> dict[str, object]:
         """Retire a session; returns its final summary.
 
         The session object is dropped from the registry (later calls
-        raise ``KeyError``); its private caches die with it while
-        everything it published to the shared layer keeps warming other
-        sessions.
+        raise :class:`UnknownSessionError`); its private caches die with
+        it while everything it published to the shared layer keeps
+        warming other sessions.  On a durable manager the final state is
+        persisted first and the summary's ``resume_token`` reopens the
+        session later — close is an eviction, not an erasure.
         """
         with self._lock:
-            managed = self._sessions.pop(session_id)
+            try:
+                managed = self._sessions.pop(session_id)
+            except KeyError:
+                raise UnknownSessionError(session_id) from None
             self.sessions_closed += 1
-        with managed.lock:
-            session = managed.session
-            return {
-                "session_id": session_id,
-                "clicks": managed.clicks,
-                "steps": len(session.history),
-                "cache": (
-                    session.pool_cache.stats()
-                    if session.pool_cache is not None
-                    else {}
-                ),
-            }
+        return self._retire(session_id, managed)
+
+    def evict_idle(self, idle_seconds: float) -> list[dict[str, object]]:
+        """Persist + drop every session idle for ``idle_seconds`` or more.
+
+        The durable twin of admission control: long-gone analysts stop
+        holding live-session slots (and their private caches), yet their
+        resume tokens still restore them exactly where they left off.
+        Returns the evicted sessions' summaries.  In-flight interactions
+        are safe: eviction takes each session's lock, so a click that won
+        the race completes (and checkpoints) before the final persist.
+        """
+        if idle_seconds < 0:
+            raise ValueError("idle_seconds must be >= 0")
+        now = time.monotonic()
+        with self._lock:
+            expired = [
+                (session_id, managed)
+                for session_id, managed in self._sessions.items()
+                if now - managed.last_active >= idle_seconds
+            ]
+            for session_id, _ in expired:
+                del self._sessions[session_id]
+            self.sessions_evicted += len(expired)
+        return [
+            self._retire(session_id, managed)
+            for session_id, managed in expired
+        ]
 
     # -- interactions ----------------------------------------------------
 
     def _managed(self, session_id: str) -> _ManagedSession:
         with self._lock:
-            return self._sessions[session_id]
+            try:
+                return self._sessions[session_id]
+            except KeyError:
+                raise UnknownSessionError(session_id) from None
 
     def click(self, session_id: str, gid: int) -> list[Group]:
         """One explorer click, serialized per session."""
@@ -536,17 +753,63 @@ class SessionManager:
         with managed.lock:
             shown = managed.session.click(gid)
             managed.clicks += 1
+            managed.last_active = time.monotonic()
+            if self.checkpoint_interactions:
+                self._persist(managed)
             return shown
 
     def backtrack(self, session_id: str, step_id: int) -> list[Group]:
         managed = self._managed(session_id)
         with managed.lock:
-            return managed.session.backtrack(step_id)
+            shown = managed.session.backtrack(step_id)
+            managed.last_active = time.monotonic()
+            if self.checkpoint_interactions:
+                self._persist(managed)
+            return shown
 
     def displayed(self, session_id: str) -> list[Group]:
         managed = self._managed(session_id)
         with managed.lock:
+            # Reads count as activity too: an analyst polling the display
+            # (or STATS below) is present and must not be evicted as idle.
+            managed.last_active = time.monotonic()
             return managed.session.displayed()
+
+    def drill_down(self, session_id: str, gid: int):
+        """Member user indices of one group (the STATS/Focus-view read)."""
+        managed = self._managed(session_id)
+        with managed.lock:
+            managed.last_active = time.monotonic()
+            return managed.session.drill_down(gid)
+
+    def session_stats(self, session_id: str) -> dict[str, object]:
+        """One live session's service-visible counters."""
+        managed = self._managed(session_id)
+        with managed.lock:
+            managed.last_active = time.monotonic()
+            session = managed.session
+            return {
+                "session_id": session_id,
+                "resume_token": (
+                    managed.token if self.state_dir is not None else None
+                ),
+                "clicks": managed.clicks,
+                "steps": len(session.history),
+                "displayed": session.displayed_gids(),
+                "feedback_entries": len(session.feedback),
+                "memo": len(session.memo),
+                "cache": (
+                    session.pool_cache.stats()
+                    if session.pool_cache is not None
+                    else {}
+                ),
+            }
+
+    def resume_token(self, session_id: str) -> Optional[str]:
+        """The durable token of a live session (``None`` when not durable)."""
+        if self.state_dir is None:
+            return None
+        return self._managed(session_id).token
 
     def session(self, session_id: str) -> "ExplorationSession":
         """Direct access to a live session (single-threaded callers only)."""
@@ -569,6 +832,9 @@ class SessionManager:
         return {
             "live_sessions": live,
             "sessions_closed": self.sessions_closed,
+            "sessions_evicted": self.sessions_evicted,
+            "sessions_resumed": self.sessions_resumed,
+            "durable": self.state_dir is not None,
             "clicks_in_flight_sessions": clicks,
             "runtime": self.runtime.stats(),
         }

@@ -851,7 +851,10 @@ def _select_celf(
         and config.governor
         and budget_seconds is not None
     ):
-        governor_key = (stats.structure.key, _config_key(config))
+        # Keyed on the structure's *stable* content digest (not the
+        # process-local fingerprint key) so persisted sessions resume
+        # escalation across restarts — see store.save_session_state.
+        governor_key = (stats.structure.stable_key, _config_key(config))
         resume_tier = cache.governor_resume_tier(*governor_key)
 
     # Phase 1: floor fill — the top-k by index similarity.

@@ -16,15 +16,19 @@ Layout of a store directory::
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
+import os
 from collections.abc import Sequence
 from pathlib import Path
+from typing import Optional
 
 import numpy as np
 
 from repro.core.group import Group, GroupSpace
-from repro.core.session import ExplorationSession
+from repro.core.selection import SelectionConfig
+from repro.core.session import ExplorationSession, SessionConfig
 from repro.data.dataset import UserDataset
 from repro.index.inverted import SimilarityIndex
 
@@ -200,12 +204,92 @@ def load_index(space: GroupSpace, directory: str | Path) -> SimilarityIndex:
 # ---------------------------------------------------------------------------
 
 
+def _encode_config(config: SessionConfig) -> dict:
+    """JSON form of a session's configuration (selection nested)."""
+    fields = {
+        field.name: getattr(config, field.name)
+        for field in dataclasses.fields(SessionConfig)
+        if field.name != "selection"
+    }
+    fields["selection"] = dataclasses.asdict(config.selection)
+    return fields
+
+
+def _decode_config(payload: Optional[dict]) -> Optional[SessionConfig]:
+    if payload is None:
+        return None
+    fields = dict(payload)
+    selection = fields.pop("selection", None)
+    return SessionConfig(
+        **fields,
+        selection=SelectionConfig(**selection) if selection is not None else None,
+    )
+
+
+def load_session_config(directory: str | Path) -> Optional[SessionConfig]:
+    """The configuration a persisted session ran under, if recorded.
+
+    Lets :meth:`repro.core.runtime.SessionManager.open_session` resume a
+    session with exactly the knobs it was exploring with — a restored
+    analyst must not silently land on a different k / engine / governor.
+    Returns ``None`` for legacy payloads that predate config stamping.
+    """
+    directory = Path(directory)
+    payload = json.loads((directory / "session.json").read_text(encoding="utf-8"))
+    if payload["version"] != _FORMAT_VERSION:
+        raise ValueError(f"unsupported store version {payload['version']}")
+    return _decode_config(payload.get("config"))
+
+
+def _retuple(value):
+    """Recursively turn JSON arrays back into the tuples they were.
+
+    Governor keys are nested tuples of scalars (structure digest,
+    selection-config astuple); JSON flattens tuples to lists, and dict
+    keys must be hashable again on the way back in.
+    """
+    if isinstance(value, list):
+        return tuple(_retuple(item) for item in value)
+    return value
+
+
 def save_session_state(session: ExplorationSession, directory: str | Path) -> None:
-    """Persist everything needed to resume an exploration session."""
+    """Persist everything needed to resume an exploration session.
+
+    The payload is stamped with the dataset name and the content digest
+    of the group space the session was exploring, so
+    :func:`load_session_state` can refuse to graft a session onto a
+    space that has since been mutated or re-discovered (same contract as
+    :func:`load_index`).  Alongside the display/feedback/history/memo
+    state it records the session's configuration, the explorer profile,
+    and the pool cache's governor-tier layer (keyed on stable content
+    digests), so a resumed session's next governed click escalates from
+    where the persisted one stopped.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     payload = {
         "version": _FORMAT_VERSION,
+        "dataset": session.space.dataset.name,
+        # Cached on the runtime: this runs per interaction checkpoint and
+        # must not re-hash the whole space on every click.
+        "space_digest": session.runtime.membership_digest(),
+        "config": _encode_config(session.config),
+        "profile": {
+            "token_weight": dict(session.profile.token_weight),
+            "visited_gids": list(session.profile.visited_gids),
+            "steps_observed": session.profile.steps_observed,
+        },
+        "governor_tiers": (
+            [
+                [structure_key, list(config_key), tier]
+                for structure_key, config_key, tier in (
+                    session.pool_cache.export_governor_tiers()
+                )
+            ]
+            if session.pool_cache is not None
+            else []
+        ),
         "displayed": session.displayed_gids(),
         "feedback": [
             [kind, key, value]
@@ -232,7 +316,16 @@ def save_session_state(session: ExplorationSession, directory: str | Path) -> No
         "memo_groups": {str(gid): note for gid, note in session.memo.groups.items()},
         "memo_users": {str(user): note for user, note in session.memo.users.items()},
     }
-    (directory / "session.json").write_text(json.dumps(payload), encoding="utf-8")
+    # Atomic replace: this runs as a per-interaction checkpoint, and the
+    # crash the whole mechanism exists for can land mid-write.  A
+    # truncated session.json would turn "lost the click in flight" into
+    # "lost the session"; write-then-rename keeps the previous checkpoint
+    # intact until the new one is complete (and lets a concurrent resume
+    # read a consistent file, never a torn one).
+    final = directory / "session.json"
+    staging = directory / "session.json.tmp"
+    staging.write_text(json.dumps(payload), encoding="utf-8")
+    os.replace(staging, final)
 
 
 def load_session_state(
@@ -241,7 +334,12 @@ def load_session_state(
     """Restore a session saved by :func:`save_session_state` in place.
 
     ``session`` must be freshly constructed over the same space; its
-    history/feedback/memo are replaced by the stored state.
+    history/feedback/memo/profile (and the governor-tier layer of its
+    pool cache) are replaced by the stored state.  The stored space
+    digest is re-validated against the live space first — session state
+    saved for a since-mutated store raises here instead of silently
+    restoring a display of groups that no longer exist (mirroring
+    :func:`load_index`; legacy payloads without a digest load as before).
     """
     directory = Path(directory)
     payload = json.loads((directory / "session.json").read_text(encoding="utf-8"))
@@ -249,6 +347,22 @@ def load_session_state(
         raise ValueError(f"unsupported store version {payload['version']}")
     if len(session.history) > 0:
         raise ValueError("load_session_state needs a fresh session")
+    stored_dataset = payload.get("dataset")
+    if stored_dataset is not None and stored_dataset != session.space.dataset.name:
+        raise ValueError(
+            f"session state was saved on dataset {stored_dataset!r}, "
+            f"got {session.space.dataset.name!r}"
+        )
+    stored_digest = payload.get("space_digest")
+    if stored_digest is not None:
+        live_digest = space_digest(session.space.memberships())
+        if stored_digest != live_digest:
+            raise ValueError(
+                "stored session state is stale: it was saved on a group "
+                f"space whose membership digest was {stored_digest[:12]}..., "
+                f"but the live space digests to {live_digest[:12]}...; the "
+                "session cannot be resumed onto a mutated store"
+            )
 
     def decode(entries):
         return {
@@ -271,5 +385,22 @@ def load_session_state(
         session.memo.bookmark_group(int(gid), note)
     for user, note in payload["memo_users"].items():
         session.memo.bookmark_user(int(user), note)
+    profile = payload.get("profile")
+    if profile is not None:
+        session.profile.token_weight = {
+            token: float(weight)
+            for token, weight in profile["token_weight"].items()
+        }
+        session.profile.visited_gids = [int(gid) for gid in profile["visited_gids"]]
+        session.profile.steps_observed = int(profile["steps_observed"])
+    if session.pool_cache is not None:
+        session.pool_cache.import_governor_tiers(
+            [
+                (structure_key, _retuple(config_key), int(tier))
+                for structure_key, config_key, tier in payload.get(
+                    "governor_tiers", []
+                )
+            ]
+        )
     session._displayed = [session.space[gid] for gid in payload["displayed"]]
     return session

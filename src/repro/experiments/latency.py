@@ -35,7 +35,16 @@ def run_latency(
     engine: str = "celf",
     governor: bool = False,
     cache_pools: bool = True,
+    http: bool = False,
 ) -> ExperimentReport:
+    """C1 across population scales; ``http=True`` adds the remote arm.
+
+    The remote arm boots the JSON-over-HTTP front
+    (:mod:`repro.service`) over the *same* runtime at each scale and
+    measures the click round trip a networked analyst pays — the wire
+    overhead should be a flat few-hundred-microsecond constant on top of
+    the in-process click, independent of population size.
+    """
     rows: list[dict[str, object]] = []
     for n_authors in scales:
         data = generate_dbauthors(DBAuthorsConfig(n_authors=n_authors, seed=11))
@@ -72,20 +81,23 @@ def run_latency(
         context_ms = _timed(lambda: session.context.entries(10))
         drill_ms = _timed(lambda: session.drill_down(gid))
 
-        rows.append(
-            {
-                "users": n_authors,
-                "groups": len(space),
-                "click_ms": click_ms,
-                "reclick_ms": reclick_ms,
-                "click_evaluations": click_evaluations,
-                "governor_tier": governor_tier,
-                "backtrack_ms": backtrack_ms,
-                "memo_ms": memo_ms,
-                "context_ms": context_ms,
-                "drill_ms": drill_ms,
-            }
-        )
+        row: dict[str, object] = {
+            "users": n_authors,
+            "groups": len(space),
+            "click_ms": click_ms,
+            "reclick_ms": reclick_ms,
+            "click_evaluations": click_evaluations,
+            "governor_tier": governor_tier,
+            "backtrack_ms": backtrack_ms,
+            "memo_ms": memo_ms,
+            "context_ms": context_ms,
+            "drill_ms": drill_ms,
+        }
+        if http:
+            row["http_click_ms"] = _http_click_ms(
+                runtime, budget_ms, engine, governor, cache_pools
+            )
+        rows.append(row)
     return ExperimentReport(
         experiment="C1",
         paper_claim="all interactions O(1); greedy (click) bounded by its budget",
@@ -95,5 +107,37 @@ def run_latency(
             f"governor={governor}, cache={cache_pools}; "
             "other ops should stay ~constant; reclick = backtracked re-click "
             "(warm in the session pool cache)"
+            + ("; http_click = the same click over the network front" if http else "")
         ),
     )
+
+
+def _http_click_ms(
+    runtime: GroupSpaceRuntime,
+    budget_ms: float,
+    engine: str,
+    governor: bool,
+    cache_pools: bool,
+) -> float:
+    """Best-of-N remote click round trip against this runtime's service."""
+    from repro.core.runtime import SessionManager
+    from repro.service.client import ExplorationClient
+    from repro.service.server import ExplorationService
+
+    manager = SessionManager(
+        runtime,
+        default_config=SessionConfig(
+            k=5,
+            time_budget_ms=budget_ms,
+            engine=engine,
+            governor=governor,
+            cache_pools=cache_pools,
+        ),
+    )
+    with ExplorationService(manager).start() as service:
+        with ExplorationClient(service.host, service.port) as client:
+            opened = client.open()
+            gid = opened.display[0].gid
+            return _timed(
+                lambda: client.click(opened.session_id, gid), repeats=3
+            )

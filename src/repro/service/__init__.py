@@ -1,0 +1,35 @@
+"""Network serving front for the multi-session runtime.
+
+:mod:`repro.service.server` exposes a
+:class:`~repro.core.runtime.SessionManager` over JSON-over-HTTP (stdlib
+only — a threaded :class:`http.server.ThreadingHTTPServer` with
+keep-alive connections); :mod:`repro.service.client` is the typed Python
+client the CLI, the benchmarks and the examples drive it with.  The wire
+protocol mirrors the in-process API one-to-one — ``open`` / ``click`` /
+``drill_down`` / ``backtrack`` / ``displayed`` / ``stats`` / ``close``
+plus a health endpoint — so a scripted trace replayed through HTTP shows
+bitwise the displays the same trace shows in process (the
+protocol-conformance suite in ``tests/service/`` asserts exactly that).
+"""
+
+from repro.service.client import (
+    DisplayedGroup,
+    ExplorationClient,
+    OpenedSession,
+    ServiceError,
+    SessionLimitExceeded,
+    SessionNotFound,
+    StaleSessionState,
+)
+from repro.service.server import ExplorationService
+
+__all__ = [
+    "DisplayedGroup",
+    "ExplorationClient",
+    "ExplorationService",
+    "OpenedSession",
+    "ServiceError",
+    "SessionLimitExceeded",
+    "SessionNotFound",
+    "StaleSessionState",
+]

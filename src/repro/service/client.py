@@ -1,0 +1,238 @@
+"""Typed Python client for the exploration service.
+
+One :class:`ExplorationClient` holds one keep-alive HTTP connection —
+the remote analogue of one analyst's browser tab.  Methods mirror the
+in-process :class:`~repro.core.runtime.SessionManager` API and return
+typed values (:class:`DisplayedGroup` rows instead of raw dicts), so
+driving a remote runtime reads exactly like driving a local one::
+
+    client = ExplorationClient(host, port)
+    opened = client.open(config={"k": 5, "time_budget_ms": None})
+    shown = client.click(opened.session_id, opened.display[0].gid)
+    summary = client.close(opened.session_id)
+    # later, possibly against a restarted server:
+    resumed = client.open(resume=summary["resume_token"])
+
+Service-side failures surface as typed exceptions mapped from the HTTP
+status: :class:`SessionNotFound` (404), :class:`StaleSessionState`
+(409), :class:`SessionLimitExceeded` (429), and plain
+:class:`ServiceError` for everything else.
+
+The connection is *not* thread-safe (neither is a browser tab's);
+concurrent clients each get their own instance — see the contended
+suites under ``tests/service/``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DisplayedGroup:
+    """One GROUPVIZ slot as served over the wire."""
+
+    gid: int
+    description: tuple[str, ...]
+    size: int
+
+
+@dataclass(frozen=True)
+class OpenedSession:
+    """The reply to ``open``: the live handle plus the durable token."""
+
+    session_id: str
+    resume_token: Optional[str]
+    display: list[DisplayedGroup] = field(default_factory=list)
+
+
+class ServiceError(Exception):
+    """An error reply from the service (or a transport failure)."""
+
+    def __init__(self, status: int, error_type: str, message: str) -> None:
+        super().__init__(f"[{status} {error_type}] {message}")
+        self.status = status
+        self.error_type = error_type
+        self.message = message
+
+
+class SessionNotFound(ServiceError):
+    """404: unknown/closed session id or unknown resume token."""
+
+
+class StaleSessionState(ServiceError):
+    """409: persisted state conflicts with the live space (digest drift)."""
+
+
+class SessionLimitExceeded(ServiceError):
+    """429: admission control refused the open (``max_sessions`` live)."""
+
+
+_ERRORS_BY_STATUS = {
+    404: SessionNotFound,
+    409: StaleSessionState,
+    429: SessionLimitExceeded,
+}
+
+
+def _display(rows: list[dict]) -> list[DisplayedGroup]:
+    return [
+        DisplayedGroup(
+            gid=row["gid"],
+            description=tuple(row["description"]),
+            size=row["size"],
+        )
+        for row in rows
+    ]
+
+
+class ExplorationClient:
+    """One analyst's connection to a running exploration service."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            connection.connect()
+            # Requests are small multi-part writes; without TCP_NODELAY
+            # they can stall behind the server's delayed ACK (~40 ms) —
+            # see the matching note on the server handler.
+            connection.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            self._connection = connection
+        return self._connection
+
+    def close_connection(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ExplorationClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close_connection()
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload else {}
+        # One transparent retry on a dead keep-alive connection (the
+        # server reaps idle ones; a restarted server drops them all) —
+        # but only when re-sending cannot double-apply the request:
+        # either the failure happened before the request went out, or
+        # the method is a read.  A POST that died *after* sending (e.g.
+        # the reply was lost) may already have clicked server-side;
+        # re-sending it would desynchronize the session, so it surfaces
+        # and the caller resyncs via ``displayed``/``stats``.
+        for attempt in (0, 1):
+            sent = False
+            try:
+                connection = self._connect()
+                connection.request(method, path, body=payload, headers=headers)
+                sent = True
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except TimeoutError:
+                # A timed-out request may still be executing server-side;
+                # re-sending a non-idempotent click could apply it twice.
+                self.close_connection()
+                raise
+            except (
+                http.client.BadStatusLine,
+                http.client.CannotSendRequest,
+                ConnectionError,
+                OSError,
+            ):
+                self.close_connection()
+                if attempt or (sent and method != "GET"):
+                    raise
+        try:
+            reply = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(
+                response.status, "bad_reply", f"unparseable service reply: {error}"
+            )
+        if response.status >= 400:
+            error = reply.get("error", {}) if isinstance(reply, dict) else {}
+            raise _ERRORS_BY_STATUS.get(response.status, ServiceError)(
+                response.status,
+                error.get("type", "error"),
+                error.get("message", raw.decode("utf-8", "replace")),
+            )
+        return reply
+
+    # -- the exploration protocol ---------------------------------------
+
+    def open(
+        self,
+        config: Optional[dict] = None,
+        seed_gids: Optional[list[int]] = None,
+        resume: Optional[str] = None,
+    ) -> OpenedSession:
+        """Open a fresh session, or restore a persisted one by token."""
+        body: dict = {}
+        if config is not None:
+            body["config"] = config
+        if seed_gids is not None:
+            body["seed_gids"] = list(seed_gids)
+        if resume is not None:
+            body["resume"] = resume
+        reply = self._request("POST", "/v1/sessions", body)
+        return OpenedSession(
+            session_id=reply["session_id"],
+            resume_token=reply.get("resume_token"),
+            display=_display(reply["display"]),
+        )
+
+    def click(self, session_id: str, gid: int) -> list[DisplayedGroup]:
+        reply = self._request(
+            "POST", f"/v1/sessions/{session_id}/click", {"gid": gid}
+        )
+        return _display(reply["display"])
+
+    def backtrack(self, session_id: str, step_id: int) -> list[DisplayedGroup]:
+        reply = self._request(
+            "POST", f"/v1/sessions/{session_id}/backtrack", {"step_id": step_id}
+        )
+        return _display(reply["display"])
+
+    def drill_down(self, session_id: str, gid: int) -> list[int]:
+        reply = self._request(
+            "POST", f"/v1/sessions/{session_id}/drill_down", {"gid": gid}
+        )
+        return list(reply["members"])
+
+    def displayed(self, session_id: str) -> list[DisplayedGroup]:
+        reply = self._request("GET", f"/v1/sessions/{session_id}/displayed")
+        return _display(reply["display"])
+
+    def stats(self, session_id: str) -> dict:
+        return self._request("GET", f"/v1/sessions/{session_id}/stats")
+
+    def close(self, session_id: str) -> dict:
+        """Close the session; the summary carries its resume token."""
+        return self._request("POST", f"/v1/sessions/{session_id}/close")
+
+    def sessions(self) -> list[str]:
+        return list(self._request("GET", "/v1/sessions")["sessions"])
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def __repr__(self) -> str:
+        return f"ExplorationClient(http://{self.host}:{self.port})"

@@ -1,0 +1,508 @@
+"""JSON-over-HTTP front over a :class:`~repro.core.runtime.SessionManager`.
+
+§II deploys VEXUS as an interactive multi-analyst service: browsers talk
+to one shared group space over the network.  This module is that front,
+built entirely on the stdlib so the serving story needs nothing the
+selection engine doesn't already need:
+
+- a :class:`http.server.ThreadingHTTPServer` (one thread per connection,
+  HTTP/1.1 keep-alive, so a client's click loop pays one TCP handshake,
+  not one per click);
+- a wire protocol that mirrors the in-process API one-to-one, so the
+  HTTP layer can be proven *transparent*: the same scripted trace shows
+  bitwise-identical displays through either path;
+- durable sessions: with a state-dir-backed manager every mutation is
+  checkpointed, ``close`` returns a resume token, an idle sweeper evicts
+  (and persists) abandoned sessions, and ``open`` with ``resume``
+  restores a session after a crash or restart.
+
+Wire protocol (all bodies JSON; errors are
+``{"error": {"type", "message"}}``)::
+
+    POST /v1/sessions                    {config?, seed_gids?, resume?}
+                                         -> {session_id, resume_token, display}
+    POST /v1/sessions/<id>/click         {gid}      -> {display}
+    POST /v1/sessions/<id>/backtrack     {step_id}  -> {display}
+    POST /v1/sessions/<id>/drill_down    {gid}      -> {members}
+    GET  /v1/sessions/<id>/displayed                -> {display}
+    GET  /v1/sessions/<id>/stats                    -> per-session counters
+    POST /v1/sessions/<id>/close                    -> final summary
+    GET  /v1/sessions                               -> {sessions}
+    GET  /healthz                                   -> service + runtime +
+                                                       shared-cache stats
+
+Status mapping: 400 malformed request, 404 unknown session / resume
+token / route, 405 wrong method, 409 conflicting state (stale space
+digest, already-live resume token), 429 admission control
+(``max_sessions``), 500 anything else.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from functools import partial
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.core.group import Group
+from repro.core.runtime import (
+    SessionLimitError,
+    SessionManager,
+    UnknownSessionError,
+)
+from repro.core.session import SessionConfig
+
+#: Session-level configuration knobs a remote ``open`` may set.  The
+#: nested ``selection`` config stays server-side: the service owns its
+#: latency budget policy; clients choose *what* to explore, not how much
+#: CPU a click may burn.
+_CONFIG_FIELDS = frozenset(
+    {
+        "k",
+        "time_budget_ms",
+        "similarity_floor",
+        "max_pool",
+        "reward",
+        "use_profile",
+        "weighted_similarity",
+        "engine",
+        "governor",
+        "cache_pools",
+        "cache_capacity",
+    }
+)
+
+
+class _BadRequest(Exception):
+    """Client-side protocol violation; always mapped to a 400."""
+
+
+def _display_payload(groups: list[Group]) -> list[dict]:
+    """The GROUPVIZ slice of the wire format.
+
+    Everything the in-process display exposes per group — gid, the
+    describing attribute values, the member count — so the conformance
+    suite can compare the two paths field for field.
+    """
+    return [
+        {
+            "gid": group.gid,
+            "description": list(group.description),
+            "size": group.size,
+        }
+        for group in groups
+    ]
+
+
+def _int_field(body: dict, name: str) -> int:
+    if name not in body:
+        raise _BadRequest(f"missing field {name!r}")
+    value = body[name]
+    # bool is an int subclass; "gid": true must not address group 1.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _BadRequest(f"field {name!r} must be an integer")
+    return value
+
+
+class _Server(ThreadingHTTPServer):
+    """Connection-tracking threaded server.
+
+    Keep-alive means connection threads outlive individual requests;
+    tracking the sockets lets :meth:`ExplorationService.stop` tear down
+    live connections (the crash-recovery suite kills a server
+    mid-session and must not leave client threads blocked on a half-open
+    socket).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+
+    def track(self, connection) -> None:
+        with self._connections_lock:
+            self._connections.add(connection)
+
+    def untrack(self, connection) -> None:
+        with self._connections_lock:
+            self._connections.discard(connection)
+
+    def close_connections(self) -> None:
+        with self._connections_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request: route, call the manager, serialize the outcome."""
+
+    protocol_version = "HTTP/1.1"  # keep-alive: one connection per client
+    #: Idle keep-alive connections are reaped after this many seconds so
+    #: departed clients do not pin handler threads forever; the typed
+    #: client transparently reconnects.
+    timeout = 30.0
+    #: TCP_NODELAY: replies go out in several small writes (status line,
+    #: headers, JSON body); with Nagle on, the last write can sit behind
+    #: the peer's delayed ACK and a sub-millisecond localhost round trip
+    #: balloons to ~40 ms — wiping out the click budget the selection
+    #: engine fights for.
+    disable_nagle_algorithm = True
+
+    def __init__(self, service: "ExplorationService", *args, **kwargs) -> None:
+        self.service = service
+        super().__init__(*args, **kwargs)
+
+    def setup(self) -> None:
+        super().setup()
+        self.server.track(self.connection)
+
+    def finish(self) -> None:
+        super().finish()
+        self.server.untrack(self.connection)
+
+    def log_message(self, format: str, *args) -> None:
+        """Silent by default; the service counts instead of printing."""
+
+    # -- plumbing --------------------------------------------------------
+
+    def _reply(self, status: int, payload: dict) -> None:
+        encoded = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _fail(self, status: int, error_type: str, message: str) -> None:
+        self.service.count_error()
+        self._reply(status, {"error": {"type": error_type, "message": message}})
+
+    def _drain_body(self) -> None:
+        """Read the request body unconditionally, before any routing.
+
+        Keep-alive correctness: if a handler replies without consuming
+        the body (unmatched route, bodyless verbs like ``close``), the
+        leftover bytes would be parsed as the *next* request line on the
+        same connection, desynchronizing every later exchange.
+        """
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise _BadRequest("Content-Length must be an integer")
+        self._raw_body = self.rfile.read(length) if length > 0 else b""
+
+    def _body(self) -> dict:
+        if not self._raw_body:
+            return {}
+        try:
+            body = json.loads(self._raw_body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _BadRequest(f"request body is not valid JSON ({error})")
+        if not isinstance(body, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return body
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        self.service.count_request()
+        try:
+            self._drain_body()
+            handled = self._route(method)
+        except _BadRequest as error:
+            self._fail(400, "bad_request", str(error))
+        except UnknownSessionError as error:
+            self._fail(404, "unknown_session", str(error))
+        except SessionLimitError as error:
+            self._fail(429, "too_many_sessions", str(error))
+        except ValueError as error:
+            # Server-side state disagreement: stale space digest on
+            # resume, an already-live resume token, resume without a
+            # state dir — the request was well-formed but cannot be
+            # honoured against the current state.
+            self._fail(409, "conflict", str(error))
+        except (KeyError, IndexError) as error:
+            # Well-typed but unsatisfiable references (a gid outside the
+            # space, an unknown history step).
+            self._fail(400, "bad_reference", str(error))
+        except (BrokenPipeError, ConnectionResetError):
+            raise  # client went away mid-reply; nothing to serialize
+        except Exception as error:  # noqa: BLE001 — service must not die
+            self._fail(500, "internal_error", f"{type(error).__name__}: {error}")
+        else:
+            if not handled:
+                self._fail(404, "not_found", f"no route for {method} {self.path}")
+
+    #: Method each session verb answers to; a known verb with the wrong
+    #: method is a 405, not a 404 (the route exists, the method is wrong).
+    _SESSION_VERBS = {
+        "click": "POST",
+        "backtrack": "POST",
+        "drill_down": "POST",
+        "close": "POST",
+        "displayed": "GET",
+        "stats": "GET",
+    }
+
+    def _route(self, method: str) -> bool:
+        """Dispatch one request; False when no route matches."""
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/healthz":
+            if method != "GET":
+                self._fail(405, "method_not_allowed", "use GET /healthz")
+                return True
+            self._reply(200, self.service.health())
+            return True
+        segments = [segment for segment in path.split("/") if segment]
+        if len(segments) < 2 or segments[0] != "v1" or segments[1] != "sessions":
+            return False
+        manager = self.service.manager
+        if len(segments) == 2:
+            # Only GET and POST ever reach _route (no other do_* exists),
+            # and the collection answers to both.
+            if method == "POST":
+                self._open(self._body())
+            else:
+                self._reply(200, {"sessions": manager.session_ids()})
+            return True
+        session_id = segments[2]
+        verb = segments[3] if len(segments) == 4 else None
+        required = self._SESSION_VERBS.get(verb) if verb is not None else None
+        if required is None:
+            return False
+        if method != required:
+            self._fail(
+                405,
+                "method_not_allowed",
+                f"use {required} /v1/sessions/<id>/{verb}",
+            )
+            return True
+        if verb == "click":
+            shown = manager.click(
+                session_id, self._gid(self._int_gid(self._body()))
+            )
+            self._reply(200, {"display": _display_payload(shown)})
+        elif verb == "backtrack":
+            shown = manager.backtrack(
+                session_id, _int_field(self._body(), "step_id")
+            )
+            self._reply(200, {"display": _display_payload(shown)})
+        elif verb == "drill_down":
+            members = manager.drill_down(
+                session_id, self._gid(self._int_gid(self._body()))
+            )
+            self._reply(200, {"members": [int(user) for user in members]})
+        elif verb == "close":
+            self._reply(200, manager.close(session_id))
+        elif verb == "displayed":
+            shown = manager.displayed(session_id)
+            self._reply(200, {"display": _display_payload(shown)})
+        else:  # stats
+            self._reply(200, manager.session_stats(session_id))
+        return True
+
+    def _int_gid(self, body: dict) -> int:
+        return _int_field(body, "gid")
+
+    def _gid(self, gid: int) -> int:
+        space = self.service.manager.runtime.space
+        if not 0 <= gid < len(space):
+            raise _BadRequest(f"gid {gid} outside the group space (0..{len(space) - 1})")
+        return gid
+
+    def _open(self, body: dict) -> None:
+        unknown = set(body) - {"config", "seed_gids", "resume"}
+        if unknown:
+            raise _BadRequest(f"unknown open fields {sorted(unknown)}")
+        config = None
+        if body.get("config") is not None:
+            knobs = body["config"]
+            if not isinstance(knobs, dict):
+                raise _BadRequest("config must be a JSON object")
+            bad = set(knobs) - _CONFIG_FIELDS
+            if bad:
+                raise _BadRequest(f"unknown config fields {sorted(bad)}")
+            try:
+                config = SessionConfig(**knobs)
+            except (TypeError, ValueError) as error:
+                raise _BadRequest(f"invalid config: {error}")
+        seed_gids = body.get("seed_gids")
+        if seed_gids is not None:
+            if not isinstance(seed_gids, list):
+                raise _BadRequest("seed_gids must be a list of gids")
+            checked = []
+            for gid in seed_gids:
+                if isinstance(gid, bool) or not isinstance(gid, int):
+                    raise _BadRequest("seed_gids entries must be integers")
+                checked.append(self._gid(gid))
+            seed_gids = checked
+        resume = body.get("resume")
+        if resume is not None and not isinstance(resume, str):
+            raise _BadRequest("resume must be a token string")
+        manager = self.service.manager
+        session_id, shown = manager.open_session(
+            config=config, seed_gids=seed_gids, resume=resume
+        )
+        self._reply(
+            200,
+            {
+                "session_id": session_id,
+                "resume_token": manager.resume_token(session_id),
+                "display": _display_payload(shown),
+            },
+        )
+
+
+class ExplorationService:
+    """A running HTTP front over one session manager.
+
+    Binds at construction time (``port=0`` picks an ephemeral port — the
+    bound port is ``self.port`` immediately, so test clients never race
+    the listener), serves from a background thread after :meth:`start`,
+    and optionally runs an idle-eviction sweeper that persists and
+    retires sessions nobody has touched for ``idle_ttl_s`` seconds.
+
+    Usable as a context manager::
+
+        with ExplorationService(manager).start() as service:
+            client = ExplorationClient(service.host, service.port)
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        idle_ttl_s: Optional[float] = None,
+        sweep_interval_s: Optional[float] = None,
+    ) -> None:
+        if idle_ttl_s is not None and idle_ttl_s <= 0:
+            raise ValueError("idle_ttl_s must be > 0")
+        if idle_ttl_s is not None and manager.state_dir is None:
+            raise ValueError(
+                "idle eviction needs a durable manager (state_dir): evicting "
+                "without persistence would silently destroy live sessions"
+            )
+        self.manager = manager
+        self.idle_ttl_s = idle_ttl_s
+        self.sweep_interval_s = (
+            sweep_interval_s
+            if sweep_interval_s is not None
+            else (max(idle_ttl_s / 4.0, 0.05) if idle_ttl_s is not None else None)
+        )
+        self._httpd = _Server((host, port), partial(_Handler, self))
+        self.host, self.port = self._httpd.server_address[:2]
+        self._serve_thread: Optional[threading.Thread] = None
+        self._sweep_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._sweep_failures = 0
+        self._started_at = time.monotonic()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "ExplorationService":
+        if self._stopping.is_set():
+            # stop() closed the listening socket for good; a thread
+            # spawned now would die instantly and every client connect
+            # would be refused with nothing surfaced to the caller.
+            raise RuntimeError("service was stopped; construct a new one")
+        if self._serve_thread is not None:
+            raise RuntimeError("service already started")
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-service:{self.port}",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        if self.idle_ttl_s is not None:
+            self._sweep_thread = threading.Thread(
+                target=self._sweep_loop,
+                name=f"repro-service-sweeper:{self.port}",
+                daemon=True,
+            )
+            self._sweep_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, drop live connections, join the threads.
+
+        Deliberately does *not* close live sessions: a durable manager
+        has already checkpointed every interaction, so stopping here is
+        exactly the crash the resume path recovers from; callers wanting
+        a graceful drain close sessions through the protocol first.
+        """
+        self._stopping.set()
+        self._httpd.shutdown()
+        self._httpd.close_connections()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        if self._sweep_thread is not None:
+            self._sweep_thread.join(timeout=5.0)
+            self._sweep_thread = None
+
+    def __enter__(self) -> "ExplorationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _sweep_loop(self) -> None:
+        while not self._stopping.wait(self.sweep_interval_s):
+            try:
+                self.manager.evict_idle(self.idle_ttl_s)
+            except Exception:  # noqa: BLE001 — one bad sweep (full disk,
+                # a racing open) must not silently end eviction for the
+                # rest of the service's life; failures are surfaced on
+                # /healthz instead.
+                with self._stats_lock:
+                    self._sweep_failures += 1
+
+    # -- counters --------------------------------------------------------
+
+    def count_request(self) -> None:
+        with self._stats_lock:
+            self._requests += 1
+
+    def count_error(self) -> None:
+        with self._stats_lock:
+            self._errors += 1
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload: service, runtime and cache stats."""
+        with self._stats_lock:
+            requests, errors = self._requests, self._errors
+            sweep_failures = self._sweep_failures
+        return {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "requests": requests,
+            "errors": errors,
+            "idle_ttl_s": self.idle_ttl_s,
+            "sweep_failures": sweep_failures,
+            "manager": self.manager.stats(),
+        }
+
+    def __repr__(self) -> str:
+        return f"ExplorationService({self.url}, {len(self.manager)} live sessions)"

@@ -27,8 +27,10 @@ from repro.core.discovery import DiscoveryConfig, discover_groups
 from repro.core.poolcache import PoolStatsCache, _PoolStructure
 from repro.core.runtime import (
     GroupSpaceRuntime,
+    SessionLimitError,
     SessionManager,
     SharedPairCache,
+    UnknownSessionError,
     scripted_click_gid,
 )
 from repro.core.session import SessionConfig
@@ -176,8 +178,169 @@ class TestSessionManagerLifecycle:
         session_id, _ = manager.open_session()
         with pytest.raises(RuntimeError, match="session limit"):
             manager.open_session()
+        # The typed subclass is what the service maps to a 429.
+        with pytest.raises(SessionLimitError):
+            manager.open_session()
         manager.close(session_id)
         manager.open_session()  # capacity freed
+
+    def test_unknown_session_error_carries_the_id(self, space):
+        manager = SessionManager(
+            GroupSpaceRuntime(space), default_config=untimed_config()
+        )
+        for interaction in (
+            lambda: manager.click("s0404", 0),
+            lambda: manager.backtrack("s0404", 0),
+            lambda: manager.close("s0404"),
+            lambda: manager.displayed("s0404"),
+            lambda: manager.drill_down("s0404", 0),
+            lambda: manager.session_stats("s0404"),
+        ):
+            with pytest.raises(UnknownSessionError) as excinfo:
+                interaction()
+            # Not a bare KeyError traceback: the message names the id.
+            assert "s0404" in str(excinfo.value)
+            assert isinstance(excinfo.value, KeyError)  # compat contract
+
+    def test_closed_session_raises_unknown_session(self, space):
+        manager = SessionManager(
+            GroupSpaceRuntime(space), default_config=untimed_config()
+        )
+        session_id, shown = manager.open_session()
+        manager.close(session_id)
+        with pytest.raises(UnknownSessionError, match=session_id):
+            manager.click(session_id, shown[0].gid)
+        with pytest.raises(UnknownSessionError, match=session_id):
+            manager.close(session_id)
+
+
+class TestDurableManager:
+    def test_close_resume_round_trip(self, space, tmp_path):
+        manager = SessionManager(
+            GroupSpaceRuntime(space),
+            default_config=untimed_config(),
+            state_dir=tmp_path,
+        )
+        session_id, shown = manager.open_session()
+        after_click = manager.click(session_id, shown[0].gid)
+        summary = manager.close(session_id)
+        assert summary["resume_token"] is not None
+        resumed_id, restored = manager.open_session(
+            resume=summary["resume_token"]
+        )
+        assert [g.gid for g in restored] == [g.gid for g in after_click]
+        session = manager.session(resumed_id)
+        assert len(session.history) == 2
+        assert manager.sessions_resumed == 1
+        # The click counter carries over: stats after a resume read as if
+        # the process had never stopped.
+        assert manager.session_stats(resumed_id)["clicks"] == 1
+
+    def test_checkpoint_every_interaction_survives_abandonment(
+        self, space, tmp_path
+    ):
+        manager = SessionManager(
+            GroupSpaceRuntime(space),
+            default_config=untimed_config(),
+            state_dir=tmp_path,
+        )
+        session_id, shown = manager.open_session()
+        token = manager.resume_token(session_id)
+        after_click = manager.click(session_id, shown[0].gid)
+        # No close — the process "dies".  A new manager on the same
+        # state dir restores up to the last checkpointed interaction.
+        revived = SessionManager(
+            GroupSpaceRuntime(space),
+            default_config=untimed_config(),
+            state_dir=tmp_path,
+        )
+        _, restored = revived.open_session(resume=token)
+        assert [g.gid for g in restored] == [g.gid for g in after_click]
+
+    def test_resume_guards(self, space, tmp_path):
+        durable = SessionManager(
+            GroupSpaceRuntime(space),
+            default_config=untimed_config(),
+            state_dir=tmp_path,
+        )
+        with pytest.raises(UnknownSessionError):
+            durable.open_session(resume="never-issued")
+        session_id, _ = durable.open_session()
+        with pytest.raises(ValueError, match="already live"):
+            durable.open_session(resume=durable.resume_token(session_id))
+        ephemeral = SessionManager(
+            GroupSpaceRuntime(space), default_config=untimed_config()
+        )
+        with pytest.raises(ValueError, match="state_dir"):
+            ephemeral.open_session(resume="anything")
+        ephemeral_id, _ = ephemeral.open_session()
+        assert ephemeral.resume_token(ephemeral_id) is None
+
+    def test_traversal_resume_tokens_never_touch_paths(self, space, tmp_path):
+        manager = SessionManager(
+            GroupSpaceRuntime(space),
+            default_config=untimed_config(),
+            state_dir=tmp_path / "state",
+        )
+        for token in (
+            "../../../../tmp/evil",
+            "/etc/passwd",
+            "a/b",
+            "..",
+            "",
+            "x" * 200,
+            "tok\x00en",
+        ):
+            with pytest.raises(UnknownSessionError):
+                manager.open_session(resume=token)
+
+    def test_checkpoints_replace_atomically(self, space, tmp_path):
+        manager = SessionManager(
+            GroupSpaceRuntime(space),
+            default_config=untimed_config(),
+            state_dir=tmp_path,
+        )
+        session_id, shown = manager.open_session()
+        manager.click(session_id, shown[0].gid)
+        token = manager.resume_token(session_id)
+        # The staging file never survives a completed checkpoint.
+        assert not (tmp_path / token / "session.json.tmp").exists()
+        assert (tmp_path / token / "session.json").exists()
+
+    def test_reads_keep_the_session_alive(self, space, tmp_path):
+        manager = SessionManager(
+            GroupSpaceRuntime(space),
+            default_config=untimed_config(),
+            state_dir=tmp_path,
+        )
+        session_id, _ = manager.open_session()
+        manager._managed(session_id).last_active -= 1000.0
+        manager.displayed(session_id)  # a polling analyst is not idle
+        assert manager.evict_idle(500.0) == []
+        manager._managed(session_id).last_active -= 1000.0
+        manager.session_stats(session_id)
+        assert manager.evict_idle(500.0) == []
+
+    def test_evict_idle_persists_and_frees_slots(self, space, tmp_path):
+        manager = SessionManager(
+            GroupSpaceRuntime(space),
+            default_config=untimed_config(),
+            max_sessions=1,
+            state_dir=tmp_path,
+        )
+        session_id, shown = manager.open_session()
+        after_click = manager.click(session_id, shown[0].gid)
+        token = manager.resume_token(session_id)
+        assert manager.evict_idle(3600.0) == []  # nobody is idle yet
+        summaries = manager.evict_idle(0.0)
+        assert [s["session_id"] for s in summaries] == [session_id]
+        assert len(manager) == 0 and manager.sessions_evicted == 1
+        with pytest.raises(UnknownSessionError):
+            manager.displayed(session_id)
+        # The freed slot admits a new session, and the token restores
+        # the evicted one's exact display.
+        resumed_id, restored = manager.open_session(resume=token)
+        assert [g.gid for g in restored] == [g.gid for g in after_click]
 
     def test_session_and_runtime_disagreement_rejected(self, space):
         runtime = GroupSpaceRuntime(space)

@@ -1,0 +1,321 @@
+"""Protocol conformance: the HTTP front must be a transparent transport.
+
+Every suite here boots the real threaded server on an ephemeral port and
+talks to it over real sockets.  The core contract is *display parity*:
+a scripted trace replayed through HTTP shows, step for step and field
+for field, exactly what the same trace shows through the in-process
+:class:`~repro.core.runtime.SessionManager` — the network front adds
+latency, never behaviour.  The rest is the error surface: malformed
+requests, unknown sessions, admission control, conflicting resume state.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.runtime import GroupSpaceRuntime, SessionManager, scripted_click_gid
+from repro.core.session import SessionConfig
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+from repro.service import (
+    ExplorationClient,
+    ExplorationService,
+    ServiceError,
+    SessionLimitExceeded,
+    SessionNotFound,
+    StaleSessionState,
+)
+
+N_CLICKS = 3
+
+
+@pytest.fixture(scope="module")
+def space():
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=220, seed=29))
+    return discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.07, max_description=3),
+    )
+
+
+def untimed_config() -> SessionConfig:
+    # Untimed + no profile: selection is deterministic, so the two
+    # transports can be compared display for display.
+    return SessionConfig(k=5, time_budget_ms=None, use_profile=False)
+
+
+@pytest.fixture()
+def service(space):
+    manager = SessionManager(
+        GroupSpaceRuntime(space), default_config=untimed_config()
+    )
+    with ExplorationService(manager).start() as running:
+        yield running
+
+
+@pytest.fixture()
+def client(service):
+    with ExplorationClient(service.host, service.port) as connected:
+        yield connected
+
+
+def inprocess_trace(space, clicks: int, seed_gids=None):
+    """The oracle: the scripted trace through a private in-process stack.
+
+    Returns per-step displays as (gid, description, size) tuples — the
+    full wire payload, so parity is bitwise on every served field.
+    """
+    manager = SessionManager(
+        GroupSpaceRuntime(space, share_cache=False),
+        default_config=untimed_config(),
+    )
+    session_id, shown = manager.open_session(seed_gids=seed_gids)
+    trace = [[(g.gid, tuple(g.description), g.size) for g in shown]]
+    visited: set[int] = set()
+    for _ in range(clicks):
+        gid = scripted_click_gid(shown, visited)
+        shown = manager.click(session_id, gid)
+        trace.append([(g.gid, tuple(g.description), g.size) for g in shown])
+    manager.close(session_id)
+    return trace
+
+
+def http_trace(client, clicks: int, seed_gids=None):
+    opened = client.open(seed_gids=seed_gids)
+    shown = opened.display
+    trace = [[(g.gid, g.description, g.size) for g in shown]]
+    visited: set[int] = set()
+    for _ in range(clicks):
+        gid = scripted_click_gid(shown, visited)
+        shown = client.click(opened.session_id, gid)
+        trace.append([(g.gid, g.description, g.size) for g in shown])
+    return opened.session_id, trace
+
+
+class TestDisplayParity:
+    def test_scripted_trace_matches_in_process(self, space, client):
+        expected = inprocess_trace(space, N_CLICKS)
+        _, trace = http_trace(client, N_CLICKS)
+        assert trace == expected
+
+    def test_multi_client_traces_all_match(self, space, service):
+        expected = inprocess_trace(space, N_CLICKS)
+        for _ in range(3):  # three browsers, one shared runtime
+            with ExplorationClient(service.host, service.port) as client:
+                _, trace = http_trace(client, N_CLICKS)
+                assert trace == expected
+
+    def test_seeded_open_matches_in_process(self, space, client):
+        seeds = [group.gid for group in space.largest(2)]
+        expected = inprocess_trace(space, 1, seed_gids=seeds)
+        _, trace = http_trace(client, 1, seed_gids=seeds)
+        assert trace == expected
+
+    def test_backtrack_and_displayed_match_in_process(self, space, client):
+        manager = SessionManager(
+            GroupSpaceRuntime(space, share_cache=False),
+            default_config=untimed_config(),
+        )
+        session_id, shown = manager.open_session()
+        manager.click(session_id, shown[0].gid)
+        expected = [g.gid for g in manager.backtrack(session_id, 0)]
+
+        opened = client.open()
+        client.click(opened.session_id, opened.display[0].gid)
+        remote = [g.gid for g in client.backtrack(opened.session_id, 0)]
+        assert remote == expected
+        assert [
+            g.gid for g in client.displayed(opened.session_id)
+        ] == expected
+
+    def test_drill_down_matches_in_process(self, space, client):
+        opened = client.open()
+        gid = opened.display[0].gid
+        assert (
+            client.drill_down(opened.session_id, gid)
+            == space[gid].members.tolist()
+        )
+
+    def test_stats_and_close_report_the_session(self, client):
+        opened = client.open()
+        client.click(opened.session_id, opened.display[0].gid)
+        stats = client.stats(opened.session_id)
+        assert stats["steps"] == 2 and stats["clicks"] == 1
+        assert stats["displayed"]
+        summary = client.close(opened.session_id)
+        assert summary["clicks"] == 1 and summary["steps"] == 2
+        assert opened.session_id not in client.sessions()
+
+
+def raw_request(service, method, path, body: bytes):
+    connection = http.client.HTTPConnection(service.host, service.port)
+    try:
+        connection.request(
+            method, path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+class TestMalformedRequests:
+    def test_invalid_json_body(self, service, client):
+        opened = client.open()
+        status, reply = raw_request(
+            service, "POST", f"/v1/sessions/{opened.session_id}/click", b"{nope"
+        )
+        assert status == 400
+        assert reply["error"]["type"] == "bad_request"
+
+    def test_non_object_body(self, service, client):
+        opened = client.open()
+        status, reply = raw_request(
+            service, "POST", f"/v1/sessions/{opened.session_id}/click", b"[1, 2]"
+        )
+        assert status == 400
+
+    def test_missing_and_mistyped_fields(self, service, client):
+        opened = client.open()
+        path = f"/v1/sessions/{opened.session_id}/click"
+        for body in (b"{}", b'{"gid": "7"}', b'{"gid": true}', b'{"gid": 1.5}'):
+            status, reply = raw_request(service, "POST", path, body)
+            assert status == 400, body
+            assert "gid" in reply["error"]["message"]
+
+    def test_gid_outside_space(self, space, service, client):
+        opened = client.open()
+        for gid in (-1, len(space), 10**9):
+            status, reply = raw_request(
+                service,
+                "POST",
+                f"/v1/sessions/{opened.session_id}/click",
+                json.dumps({"gid": gid}).encode(),
+            )
+            assert status == 400, gid
+            assert "group space" in reply["error"]["message"]
+
+    def test_unknown_backtrack_step(self, client):
+        opened = client.open()
+        with pytest.raises(ServiceError) as excinfo:
+            client.backtrack(opened.session_id, 99)
+        assert excinfo.value.status == 400
+
+    def test_unknown_route_and_method(self, service, client):
+        status, reply = raw_request(service, "GET", "/v2/anything", b"")
+        assert status == 404 and reply["error"]["type"] == "not_found"
+        # A known route with the wrong method is a 405, not a 404.
+        status, reply = raw_request(service, "POST", "/healthz", b"{}")
+        assert status == 405
+        assert reply["error"]["type"] == "method_not_allowed"
+        opened = client.open()
+        status, reply = raw_request(
+            service, "GET", f"/v1/sessions/{opened.session_id}/click", b""
+        )
+        assert status == 405 and "POST" in reply["error"]["message"]
+
+    def test_unconsumed_bodies_do_not_desync_keepalive(self, service, client):
+        # One keep-alive connection, a body-carrying request to a route
+        # that never reads bodies, then a normal request on the same
+        # connection — the leftover bytes must not be parsed as the next
+        # request line.
+        opened = client.open()
+        connection = http.client.HTTPConnection(service.host, service.port)
+        try:
+            for path, expected in (
+                (f"/v1/sessions/{opened.session_id}/unknown-verb", 404),
+                (f"/v1/sessions/{opened.session_id}/stats", 405),
+            ):
+                connection.request(
+                    "POST", path, body=b'{"gid": 1}',
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                response.read()
+                assert response.status == expected
+            connection.request(
+                "GET", f"/v1/sessions/{opened.session_id}/displayed"
+            )
+            response = connection.getresponse()
+            reply = json.loads(response.read())
+            assert response.status == 200 and reply["display"]
+        finally:
+            connection.close()
+
+    def test_unknown_open_and_config_fields(self, service):
+        status, reply = raw_request(
+            service, "POST", "/v1/sessions", json.dumps({"sid": 1}).encode()
+        )
+        assert status == 400 and "unknown open fields" in reply["error"]["message"]
+        status, reply = raw_request(
+            service,
+            "POST",
+            "/v1/sessions",
+            json.dumps({"config": {"selection": {}}}).encode(),
+        )
+        assert status == 400 and "config" in reply["error"]["message"]
+        status, reply = raw_request(
+            service,
+            "POST",
+            "/v1/sessions",
+            json.dumps({"config": {"k": 99}}).encode(),
+        )
+        assert status == 400 and "invalid config" in reply["error"]["message"]
+
+
+class TestSessionErrors:
+    def test_unknown_session_is_404_with_the_id(self, client):
+        with pytest.raises(SessionNotFound) as excinfo:
+            client.click("s9999", 0)
+        assert excinfo.value.status == 404
+        assert "s9999" in excinfo.value.message
+
+    def test_closed_session_is_404(self, client):
+        opened = client.open()
+        client.close(opened.session_id)
+        with pytest.raises(SessionNotFound):
+            client.displayed(opened.session_id)
+
+    def test_resume_without_state_dir_is_conflict(self, client):
+        with pytest.raises(StaleSessionState) as excinfo:
+            client.open(resume="anything")
+        assert excinfo.value.status == 409
+
+
+class TestAdmissionControl:
+    def test_session_limit_maps_to_429(self, space):
+        manager = SessionManager(
+            GroupSpaceRuntime(space),
+            default_config=untimed_config(),
+            max_sessions=2,
+        )
+        with ExplorationService(manager).start() as service:
+            with ExplorationClient(service.host, service.port) as client:
+                first = client.open()
+                client.open()
+                with pytest.raises(SessionLimitExceeded) as excinfo:
+                    client.open()
+                assert excinfo.value.status == 429
+                assert "session limit" in excinfo.value.message
+                client.close(first.session_id)
+                client.open()  # capacity freed
+
+
+class TestHealth:
+    def test_healthz_surfaces_runtime_and_cache_stats(self, client):
+        opened = client.open()
+        client.click(opened.session_id, opened.display[0].gid)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["requests"] >= 2
+        manager_stats = health["manager"]
+        assert manager_stats["live_sessions"] == 1
+        assert manager_stats["runtime"]["shared"] is not None
+        assert "structure_hits" in manager_stats["runtime"]["shared"]
+
+    def test_errors_are_counted(self, client):
+        before = client.health()["errors"]
+        with pytest.raises(SessionNotFound):
+            client.displayed("nope")
+        assert client.health()["errors"] == before + 1

@@ -1,0 +1,468 @@
+"""Crash recovery: durable sessions must survive the server dying.
+
+Two layers of assurance:
+
+- **service-level** — a server is stopped abruptly mid-session (no
+  ``close``, registry lost; one case SIGKILLs a real ``python -m repro
+  serve --http`` subprocess), a new server is booted over the same state
+  directory, and ``open(resume=<token>)`` must restore the session so
+  that its display, history and every later click are identical to a
+  session that was never interrupted;
+- **store-level** — a hypothesis round-trip property over
+  ``save_session_state`` / ``load_session_state`` covering feedback
+  vectors, branching backtrack history, memo, profile and the PR-3
+  governor-tier layer, plus digest staleness checks mirroring
+  ``load_index``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.parse
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.runtime import (
+    GroupSpaceRuntime,
+    SessionManager,
+    scripted_click_gid,
+)
+from repro.core.session import ExplorationSession, SessionConfig
+from repro.core.store import (
+    load_session_config,
+    load_session_state,
+    save_session_state,
+)
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+from repro.service import (
+    ExplorationClient,
+    ExplorationService,
+    SessionNotFound,
+    StaleSessionState,
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=220, seed=29))
+    return discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.07, max_description=3),
+    )
+
+
+def untimed_config() -> SessionConfig:
+    return SessionConfig(k=5, time_budget_ms=None, use_profile=False)
+
+
+def durable_service(space, state_dir) -> ExplorationService:
+    manager = SessionManager(
+        GroupSpaceRuntime(space),
+        default_config=untimed_config(),
+        state_dir=state_dir,
+    )
+    return ExplorationService(manager).start()
+
+
+def uninterrupted_displays(space, clicks: int):
+    """The oracle: the same walk in one never-restarted session."""
+    manager = SessionManager(
+        GroupSpaceRuntime(space, share_cache=False),
+        default_config=untimed_config(),
+    )
+    session_id, shown = manager.open_session()
+    displays = [[g.gid for g in shown]]
+    visited: set[int] = set()
+    for _ in range(clicks):
+        shown = manager.click(session_id, scripted_click_gid(shown, visited))
+        displays.append([g.gid for g in shown])
+    session = manager.session(session_id)
+    return displays, session.feedback.snapshot(), len(session.history)
+
+
+class TestCrashRecovery:
+    TOTAL_CLICKS = 4
+    CRASH_AFTER = 2
+
+    def test_restart_resume_equals_uninterrupted_run(self, space, tmp_path):
+        expected, expected_feedback, expected_steps = uninterrupted_displays(
+            space, self.TOTAL_CLICKS
+        )
+
+        service = durable_service(space, tmp_path)
+        client = ExplorationClient(service.host, service.port)
+        opened = client.open()
+        displays = [[g.gid for g in opened.display]]
+        shown = opened.display
+        visited: set[int] = set()
+        for _ in range(self.CRASH_AFTER):
+            shown = client.click(
+                opened.session_id, scripted_click_gid(shown, visited)
+            )
+            displays.append([g.gid for g in shown])
+        service.stop()  # the crash: no close, live registry gone
+        client.close_connection()
+
+        service = durable_service(space, tmp_path)
+        with service:
+            with ExplorationClient(service.host, service.port) as client:
+                restored = client.open(resume=opened.resume_token)
+                # The restored display is exactly the pre-crash one.
+                assert [g.gid for g in restored.display] == displays[-1]
+                shown = restored.display
+                for _ in range(self.TOTAL_CLICKS - self.CRASH_AFTER):
+                    shown = client.click(
+                        restored.session_id, scripted_click_gid(shown, visited)
+                    )
+                    displays.append([g.gid for g in shown])
+                # Bitwise-identical walk to the never-interrupted session.
+                assert displays == expected
+                session = service.manager.session(restored.session_id)
+                assert session.feedback.snapshot() == expected_feedback
+                assert len(session.history) == expected_steps
+
+    def test_resume_restores_history_tree_and_cursor(self, space, tmp_path):
+        service = durable_service(space, tmp_path)
+        client = ExplorationClient(service.host, service.port)
+        opened = client.open()
+        first = client.click(opened.session_id, opened.display[0].gid)
+        client.click(opened.session_id, first[0].gid)
+        backtracked = client.backtrack(opened.session_id, 1)
+        service.stop()
+        client.close_connection()
+
+        with durable_service(space, tmp_path) as service:
+            with ExplorationClient(service.host, service.port) as client:
+                restored = client.open(resume=opened.resume_token)
+                # Display is the backtracked one, not the latest click's.
+                assert [g.gid for g in restored.display] == [
+                    g.gid for g in backtracked
+                ]
+                session = service.manager.session(restored.session_id)
+                assert len(session.history) == 3  # start + 2 clicks survive
+                assert session.current_step().step_id == 1  # cursor too
+
+    def test_unknown_token_404_and_live_token_conflict(self, space, tmp_path):
+        with durable_service(space, tmp_path) as service:
+            with ExplorationClient(service.host, service.port) as client:
+                with pytest.raises(SessionNotFound):
+                    client.open(resume="never-issued")
+                # Traversal-shaped tokens are unknown, not filesystem ops.
+                with pytest.raises(SessionNotFound):
+                    client.open(resume="../../../../tmp/evil")
+                opened = client.open()
+                client.click(opened.session_id, opened.display[0].gid)
+                with pytest.raises(StaleSessionState) as excinfo:
+                    client.open(resume=opened.resume_token)
+                assert "already live" in excinfo.value.message
+
+    def test_resume_onto_mutated_space_is_refused(self, space, tmp_path):
+        with durable_service(space, tmp_path) as service:
+            with ExplorationClient(service.host, service.port) as client:
+                opened = client.open()
+                client.click(opened.session_id, opened.display[0].gid)
+        other_data = generate_dbauthors(DBAuthorsConfig(n_authors=220, seed=77))
+        other_data.dataset.name = space.dataset.name
+        other_space = discover_groups(
+            other_data.dataset,
+            DiscoveryConfig(method="lcm", min_support=0.07, max_description=3),
+        )
+        with durable_service(other_space, tmp_path) as service:
+            with ExplorationClient(service.host, service.port) as client:
+                with pytest.raises(StaleSessionState) as excinfo:
+                    client.open(resume=opened.resume_token)
+                assert "stale" in excinfo.value.message
+
+    def test_idle_eviction_persists_and_resumes(self, space, tmp_path):
+        manager = SessionManager(
+            GroupSpaceRuntime(space),
+            default_config=untimed_config(),
+            state_dir=tmp_path,
+        )
+        service = ExplorationService(
+            manager, idle_ttl_s=0.2, sweep_interval_s=0.05
+        ).start()
+        with service:
+            with ExplorationClient(service.host, service.port) as client:
+                opened = client.open()
+                shown = client.click(opened.session_id, opened.display[0].gid)
+                deadline = time.monotonic() + 5.0
+                while len(manager) and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                assert len(manager) == 0, "idle session was never evicted"
+                assert manager.sessions_evicted == 1
+                with pytest.raises(SessionNotFound):
+                    client.displayed(opened.session_id)
+                # The evicted session resumes right where it stopped.
+                restored = client.open(resume=opened.resume_token)
+                assert [g.gid for g in restored.display] == [
+                    g.gid for g in shown
+                ]
+
+
+class TestSubprocessKill:
+    """The literal crash: SIGKILL a real served process, restart, resume."""
+
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        from repro.cli import main
+
+        data_dir = tmp_path_factory.mktemp("recovery-data")
+        store_dir = tmp_path_factory.mktemp("recovery-store")
+        assert main(
+            [
+                "generate", "dbauthors", "--out", str(data_dir),
+                "--users", "200", "--seed", "41",
+            ]
+        ) == 0
+        assert main(
+            [
+                "discover",
+                "--actions", str(data_dir / "actions.csv"),
+                "--demographics", str(data_dir / "demographics.csv"),
+                "--name", "recovery-db",
+                "--min-support", "0.08",
+                "--store", str(store_dir),
+            ]
+        ) == 0
+        return data_dir, store_dir
+
+    def serve(self, store, state_dir) -> tuple[subprocess.Popen, str, int]:
+        data_dir, store_dir = store
+        env = dict(os.environ, PYTHONPATH="src")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--actions", str(data_dir / "actions.csv"),
+                "--demographics", str(data_dir / "demographics.csv"),
+                "--name", "recovery-db",
+                "--store", str(store_dir),
+                "--http", "--port", "0",
+                "--state-dir", str(state_dir),
+                "--budget-ms", "50",
+            ],
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        line = process.stdout.readline()
+        assert line.startswith("serving on "), line
+        url = urllib.parse.urlsplit(line.split()[-1])
+        return process, url.hostname, url.port
+
+    def test_sigkill_restart_resume(self, store, tmp_path):
+        process, host, port = self.serve(store, tmp_path)
+        try:
+            client = ExplorationClient(host, port, timeout=60.0)
+            opened = client.open(config={"time_budget_ms": None, "use_profile": False})
+            shown = client.click(opened.session_id, opened.display[0].gid)
+            os.kill(process.pid, signal.SIGKILL)
+            process.wait(timeout=10)
+            client.close_connection()
+        finally:
+            if process.poll() is None:
+                process.kill()
+        process, host, port = self.serve(store, tmp_path)
+        try:
+            with ExplorationClient(host, port, timeout=60.0) as client:
+                restored = client.open(resume=opened.resume_token)
+                assert [g.gid for g in restored.display] == [
+                    g.gid for g in shown
+                ]
+                stats = client.stats(restored.session_id)
+                assert stats["steps"] == 2
+        finally:
+            process.kill()
+            process.wait(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# store-level round trip (hypothesis)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=150, seed=13))
+    return discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.1, max_description=2),
+    )
+
+
+def fresh_session(space) -> ExplorationSession:
+    return ExplorationSession(
+        space, config=SessionConfig(k=4, time_budget_ms=None, use_profile=True)
+    )
+
+
+def history_equal(left, right) -> bool:
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if (
+            a.step_id != b.step_id
+            or a.parent_id != b.parent_id
+            or a.clicked_gid != b.clicked_gid
+            or a.shown_gids != b.shown_gids
+            or a.feedback_snapshot != b.feedback_snapshot
+        ):
+            return False
+    return True
+
+
+class TestSessionStateRoundTrip:
+    """save_session_state / load_session_state is the identity."""
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        actions=st.lists(
+            st.tuples(
+                st.sampled_from(["click", "backtrack", "memo", "drill"]),
+                st.integers(0, 7),
+            ),
+            max_size=6,
+        ),
+        governor_rows=st.lists(
+            st.tuples(
+                st.text("abcdef0123456789", min_size=8, max_size=8),
+                st.integers(1, 4),
+                st.integers(1, 3),
+            ),
+            max_size=5,
+            unique_by=lambda row: row[0],
+        ),
+    )
+    def test_round_trip_preserves_everything(
+        self, small_space, tmp_path_factory, actions, governor_rows
+    ):
+        session = fresh_session(small_space)
+        shown = session.start()
+        for verb, value in actions:
+            if verb == "click":
+                session.click(shown[value % len(shown)].gid)
+            elif verb == "backtrack":
+                session.backtrack(value % len(session.history))
+            elif verb == "memo":
+                session.bookmark_group(shown[value % len(shown)].gid, "note")
+                session.bookmark_user(value, "person")
+            else:
+                session.drill_down(shown[value % len(shown)].gid)
+            shown = session.displayed()
+        # The PR-3 governor layer, keyed the way the selection engine
+        # keys it: (structure stable digest, selection-config astuple).
+        for digest, knob, tier in governor_rows:
+            session.pool_cache.record_governor_tier(
+                digest, (knob, "celf", None, 2.0), tier
+            )
+
+        directory = tmp_path_factory.mktemp("session-roundtrip")
+        save_session_state(session, directory)
+        restored = fresh_session(small_space)
+        load_session_state(restored, directory)
+
+        assert restored.displayed_gids() == session.displayed_gids()
+        assert restored.feedback.snapshot() == session.feedback.snapshot()
+        assert history_equal(restored.history, session.history)
+        cursor = session.history.current
+        restored_cursor = restored.history.current
+        assert (cursor is None) == (restored_cursor is None)
+        if cursor is not None:
+            assert restored_cursor.step_id == cursor.step_id
+        assert restored.memo.groups == session.memo.groups
+        assert restored.memo.users == session.memo.users
+        assert restored.profile.token_weight == session.profile.token_weight
+        assert restored.profile.visited_gids == session.profile.visited_gids
+        assert restored.profile.steps_observed == session.profile.steps_observed
+        assert (
+            restored.pool_cache.export_governor_tiers()
+            == session.pool_cache.export_governor_tiers()
+        )
+        # And the restored config matches the session's knobs.
+        config = load_session_config(directory)
+        assert config == session.config
+
+    def test_governor_tiers_resume_after_restore(self, small_space, tmp_path):
+        session = fresh_session(small_space)
+        session.start()
+        key = ("a" * 64, (5, "celf", 100.0))
+        session.pool_cache.record_governor_tier(*key, 3)
+        save_session_state(session, tmp_path)
+        restored = fresh_session(small_space)
+        load_session_state(restored, tmp_path)
+        assert restored.pool_cache.governor_resume_tier(*key) == 3
+
+    def test_stable_structure_key_is_cross_process_stable(self, small_space):
+        """The governor keys must not depend on PYTHONHASHSEED."""
+        script = (
+            "import numpy as np\n"
+            "from repro.core.group import Group\n"
+            "from repro.core.poolcache import _PoolStructure\n"
+            "pool = [Group(gid, ('a=' + str(gid % 2),), "
+            "np.arange(gid, gid + 5, dtype=np.int64)) for gid in range(4)]\n"
+            "print(_PoolStructure(pool, np.arange(9, dtype=np.int64))"
+            ".stable_key)\n"
+        )
+        digests = set()
+        for seed in ("0", "1"):
+            env = dict(os.environ, PYTHONPATH="src", PYTHONHASHSEED=seed)
+            digests.add(
+                subprocess.run(
+                    [sys.executable, "-c", script],
+                    env=env,
+                    cwd=os.path.dirname(
+                        os.path.dirname(os.path.dirname(__file__))
+                    ),
+                    capture_output=True,
+                    text=True,
+                    check=True,
+                ).stdout.strip()
+            )
+        assert len(digests) == 1
+
+    def test_legacy_payload_without_new_fields_loads(self, small_space, tmp_path):
+        session = fresh_session(small_space)
+        shown = session.start()
+        session.click(shown[0].gid)
+        save_session_state(session, tmp_path)
+        payload = json.loads((tmp_path / "session.json").read_text())
+        for key in ("dataset", "space_digest", "config", "profile", "governor_tiers"):
+            del payload[key]
+        (tmp_path / "session.json").write_text(json.dumps(payload))
+        restored = fresh_session(small_space)
+        load_session_state(restored, tmp_path)
+        assert restored.displayed_gids() == session.displayed_gids()
+        assert load_session_config(tmp_path) is None
+
+    def test_stale_space_digest_refused(self, small_space, tmp_path):
+        session = fresh_session(small_space)
+        session.start()
+        save_session_state(session, tmp_path)
+        other_data = generate_dbauthors(DBAuthorsConfig(n_authors=150, seed=99))
+        other_data.dataset.name = small_space.dataset.name
+        other_space = discover_groups(
+            other_data.dataset,
+            DiscoveryConfig(method="lcm", min_support=0.1, max_description=2),
+        )
+        with pytest.raises(ValueError, match="stale"):
+            load_session_state(fresh_session(other_space), tmp_path)
+
+    def test_wrong_dataset_name_refused(self, small_space, tmp_path):
+        session = fresh_session(small_space)
+        session.start()
+        save_session_state(session, tmp_path)
+        other_data = generate_dbauthors(DBAuthorsConfig(n_authors=150, seed=13))
+        other_data.dataset.name = "somebody-else"
+        other_space = discover_groups(
+            other_data.dataset,
+            DiscoveryConfig(method="lcm", min_support=0.1, max_description=2),
+        )
+        with pytest.raises(ValueError, match="dataset"):
+            load_session_state(fresh_session(other_space), tmp_path)

@@ -1,0 +1,165 @@
+"""Concurrency stress through the network path (``-m concurrency``).
+
+The in-process threaded suite (``tests/core/test_runtime.py``) already
+proves the manager's contracts; these tests re-prove them with real HTTP
+clients on real sockets — N clients × M interleaved clicks against one
+server — because the service adds its own layers (one handler thread per
+connection, JSON round trips, per-interaction checkpoints) that could
+break them independently:
+
+- per-session serialization: concurrent clicks on one session never
+  corrupt its history;
+- feedback isolation: concurrent sessions each learn exactly their own
+  walk;
+- shared warmth: cross-session structure hits still happen when every
+  session arrives over the wire;
+- durable checkpointing under contention: the persisted state of every
+  session is loadable and current after a threaded run.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.runtime import (
+    GroupSpaceRuntime,
+    SessionManager,
+    scripted_click_gid,
+)
+from repro.core.session import ExplorationSession, SessionConfig
+from repro.core.store import load_session_state
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+from repro.service import ExplorationClient, ExplorationService
+
+pytestmark = pytest.mark.concurrency
+
+N_CLIENTS = 6
+N_CLICKS = 4
+
+
+@pytest.fixture(scope="module")
+def space():
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=260, seed=23))
+    return discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.06, max_description=3),
+    )
+
+
+def untimed_config() -> SessionConfig:
+    return SessionConfig(k=5, time_budget_ms=None, use_profile=False)
+
+
+def solo_replay(space, clicks: int):
+    runtime = GroupSpaceRuntime(space, share_cache=False)
+    session = runtime.create_session(untimed_config())
+    shown = session.start()
+    displays = []
+    visited: set[int] = set()
+    for _ in range(clicks):
+        shown = session.click(scripted_click_gid(shown, visited))
+        displays.append([group.gid for group in shown])
+    return displays, session.feedback.snapshot()
+
+
+def http_replay(service, clicks: int):
+    """One remote analyst: own connection, scripted walk, then close."""
+    with ExplorationClient(service.host, service.port) as client:
+        opened = client.open()
+        shown = opened.display
+        displays = []
+        visited: set[int] = set()
+        for _ in range(clicks):
+            shown = client.click(
+                opened.session_id, scripted_click_gid(shown, visited)
+            )
+            displays.append([group.gid for group in shown])
+        feedback = service.manager.session(opened.session_id).feedback.snapshot()
+        summary = client.close(opened.session_id)
+        return displays, feedback, summary
+
+
+class TestContendedClients:
+    def test_n_clients_match_solo_and_stay_isolated(self, space):
+        expected_displays, expected_feedback = solo_replay(space, N_CLICKS)
+        manager = SessionManager(
+            GroupSpaceRuntime(space), default_config=untimed_config()
+        )
+        with ExplorationService(manager).start() as service:
+            with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda _: http_replay(service, N_CLICKS),
+                        range(N_CLIENTS),
+                    )
+                )
+        for displays, feedback, _summary in outcomes:
+            # Parity: the wire + thread contention is invisible.
+            assert displays == expected_displays
+            # Isolation: no other client's clicks leaked into CONTEXT.
+            assert feedback == expected_feedback
+
+    def test_cross_session_warmth_flows_through_http(self, space):
+        manager = SessionManager(
+            GroupSpaceRuntime(space), default_config=untimed_config()
+        )
+        with ExplorationService(manager).start() as service:
+            http_replay(service, N_CLICKS)  # session 1 pays the cold start
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda _: http_replay(service, N_CLICKS), range(4)
+                    )
+                )
+            assert all(
+                summary["cache"]["shared_structure_hits"] > 0
+                for _displays, _feedback, summary in outcomes
+            )
+            assert manager.runtime.shared.stats()["structure_hits"] > 0
+
+    def test_same_session_concurrent_clicks_serialize(self, space):
+        manager = SessionManager(
+            GroupSpaceRuntime(space), default_config=untimed_config()
+        )
+        with ExplorationService(manager).start() as service:
+            with ExplorationClient(service.host, service.port) as opener:
+                opened = opener.open()
+                gids = [group.gid for group in opened.display]
+
+            def click(gid: int):
+                # A separate connection per thread: genuinely parallel
+                # requests racing into one session.
+                with ExplorationClient(service.host, service.port) as client:
+                    return client.click(opened.session_id, gid)
+
+            with ThreadPoolExecutor(max_workers=len(gids)) as pool:
+                displays = list(pool.map(click, gids))
+            session = manager.session(opened.session_id)
+            # One history step per click, whatever the interleaving.
+            assert len(session.history) == 1 + len(gids)
+            assert all(1 <= len(display) <= 5 for display in displays)
+
+
+class TestDurableUnderContention:
+    def test_checkpoints_stay_consistent_under_threads(self, space, tmp_path):
+        manager = SessionManager(
+            GroupSpaceRuntime(space),
+            default_config=untimed_config(),
+            state_dir=tmp_path,
+        )
+        with ExplorationService(manager).start() as service:
+            with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda _: http_replay(service, N_CLICKS),
+                        range(N_CLIENTS),
+                    )
+                )
+        for displays, _feedback, summary in outcomes:
+            # Every closed session's persisted state is loadable and
+            # reflects its full walk — no checkpoint was torn or lost.
+            restored = ExplorationSession(space, config=untimed_config())
+            load_session_state(restored, tmp_path / summary["resume_token"])
+            assert restored.displayed_gids() == displays[-1]
+            assert len(restored.history) == 1 + N_CLICKS

@@ -172,6 +172,31 @@ class TestServe:
             ]
         ) == 2
 
+    def test_idle_ttl_requires_state_dir(self, data_dir, store_dir, capsys):
+        assert main(
+            [
+                "serve",
+                "--actions", str(data_dir / "actions.csv"),
+                "--name", "cli-db",
+                "--store", str(store_dir),
+                "--http", "--idle-ttl", "60",
+            ]
+        ) == 2
+        assert "--state-dir" in capsys.readouterr().err
+
+    def test_http_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "serve", "--actions", "a.csv", "--store", "st",
+                "--http", "--port", "8765", "--state-dir", "sessions",
+                "--idle-ttl", "900", "--max-sessions", "64",
+            ]
+        )
+        assert args.http and args.port == 8765
+        assert args.state_dir == "sessions" and args.idle_ttl == 900.0
+        assert args.max_sessions == 64
+
 
 class TestREPLUnit:
     @pytest.fixture(scope="class")
