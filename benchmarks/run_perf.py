@@ -34,6 +34,12 @@ the next:
   per-click round-trip overhead, N concurrent HTTP clients' untimed
   display parity against a solo in-process run, and a durable
   crash/resume round trip through the wire protocol;
+- ``spaces`` — multi-space hosting (:mod:`repro.spaces`): the same HTTP
+  replay routed through a two-space registry vs a dedicated
+  single-space server (gated routed-click overhead), the cold-attach
+  cost of a space built lazily in the background vs a warm routed open,
+  untimed routed display parity, and a space-eviction → lazy-rebuild →
+  resume-by-token round trip;
 - ``index_build`` — batched-lexsort prefix ranking vs the retained
   per-group-loop ranking on the largest generated group space.
 
@@ -95,6 +101,14 @@ SERVING_GATE = 2.0
 #: a looser bar (scheduling noise easily exceeds the localhost RTT).
 SERVICE_OVERHEAD_GATE_MS = 5.0
 SERVICE_OVERHEAD_SMOKE_GATE_MS = 25.0
+
+#: Gate on multi-space hosting (full runs): routing a click through the
+#: space registry may add at most this many milliseconds to the p50 of
+#: the identical replay against a dedicated single-space server — the
+#: router is one dict resolution per request and must stay invisible.
+#: Smoke runs on shared CI boxes get the service section's looser bar.
+SPACES_OVERHEAD_GATE_MS = 2.0
+SPACES_OVERHEAD_SMOKE_GATE_MS = 25.0
 
 
 def c2_pools(n_parents: int) -> list[tuple]:
@@ -608,6 +622,153 @@ def measure_service(n_clients: int, clicks: int) -> dict:
     }
 
 
+def measure_spaces(clicks: int) -> dict:
+    """Multi-space hosting vs a dedicated single-space server.
+
+    Four questions, one report: what does the router cost per click
+    (gated overhead — the identical budgeted replay over the same
+    prebuilt index, once through a two-space registry, once through a
+    plain single-space server); what does a *cold* attach cost (an open
+    against a space that only exists as a descriptor: build queued in
+    the background, polled to ready) next to a warm routed open; are
+    routed displays bitwise the single-space displays (untimed); and
+    does a space-level eviction round-trip — checkpoint, drop the
+    runtime, lazy rebuild, resume by token — restore the exact display.
+    """
+    from repro.core.discovery import DiscoveryConfig, discover_groups
+    from repro.data.generators.dbauthors import (
+        DBAuthorsConfig,
+        generate_dbauthors,
+    )
+    from repro.service.client import ExplorationClient, SpaceBuilding
+    from repro.service.server import ExplorationService
+    from repro.spaces import SpaceDescriptor, SpaceRegistry
+
+    space = dbauthors_space()
+    config = SessionConfig(
+        k=5, time_budget_ms=BUDGET_MS, engine="celf", use_profile=False
+    )
+    base_runtime = GroupSpaceRuntime(space)
+
+    def primary_descriptor() -> SpaceDescriptor:
+        return SpaceDescriptor(
+            name="primary",
+            builder=lambda: GroupSpaceRuntime(
+                space, index=base_runtime.index, name="primary"
+            ),
+        )
+
+    def cold_descriptor() -> SpaceDescriptor:
+        # A space that exists only as a recipe: generation + discovery +
+        # index build all happen on the registry's worker, which is what
+        # a cold attach actually costs.
+        def build() -> GroupSpaceRuntime:
+            data = generate_dbauthors(DBAuthorsConfig(n_authors=260, seed=13))
+            built = discover_groups(
+                data.dataset,
+                DiscoveryConfig(method="lcm", min_support=0.06, max_description=3),
+            )
+            return GroupSpaceRuntime(built, name="coldspace")
+
+        return SpaceDescriptor(name="coldspace", builder=build)
+
+    # Routed vs single-space click latency: identical replay, same index.
+    single_manager = SessionManager(
+        GroupSpaceRuntime(space, index=base_runtime.index),
+        default_config=config,
+    )
+    with ExplorationService(single_manager).start() as service:
+        with ExplorationClient(service.host, service.port) as client:
+            single, _ = _replay_http(client, clicks)
+
+    registry = SpaceRegistry(
+        [primary_descriptor(), cold_descriptor()], default_config=config
+    )
+    with ExplorationService(registry=registry).start() as service:
+        with ExplorationClient(service.host, service.port) as client:
+            client.open_when_ready(space="primary", timeout_s=60.0)
+            routed, _ = _replay_http(client, clicks)  # default space: primary
+            warm_opens: list[float] = []
+            for _ in range(3):
+                started = time.perf_counter()
+                opened = client.open(space="primary")
+                warm_opens.append((time.perf_counter() - started) * 1000.0)
+                client.close(opened.session_id)
+            # Cold attach: first open answers 202 and queues the build;
+            # the clock runs until an open is actually served.
+            started = time.perf_counter()
+            try:
+                client.open(space="coldspace")
+                first_answer = "ready"  # degenerate: build won the race
+            except SpaceBuilding:
+                first_answer = "building"
+            client.open_when_ready(space="coldspace", timeout_s=120.0)
+            cold_attach_ms = (time.perf_counter() - started) * 1000.0
+    registry.shutdown()
+
+    single_p50 = statistics.median(single)
+    routed_p50 = statistics.median(routed)
+
+    # Untimed routed parity: the registry path must show bitwise the
+    # displays the dedicated server shows (latency arms above are
+    # budgeted, so only this comparison is deterministic).
+    untimed = SessionConfig(
+        k=5, time_budget_ms=None, engine="celf", use_profile=False
+    )
+    parity_clicks = min(clicks, 3)
+    solo_manager = SessionManager(
+        GroupSpaceRuntime(space, index=base_runtime.index, share_cache=False),
+        default_config=untimed,
+    )
+    with ExplorationService(solo_manager).start() as service:
+        with ExplorationClient(service.host, service.port) as client:
+            _, expected = _replay_http(client, parity_clicks)
+    parity_registry = SpaceRegistry(
+        [primary_descriptor()], default_config=untimed
+    )
+    with ExplorationService(registry=parity_registry).start() as service:
+        with ExplorationClient(service.host, service.port) as client:
+            client.open_when_ready(space="primary", timeout_s=60.0)
+            _, routed_displays = _replay_http(client, parity_clicks)
+    parity_registry.shutdown()
+    parity = routed_displays == expected
+
+    # Eviction round trip: click, evict the space (checkpoints live
+    # sessions, drops the runtime), lazily rebuild, resume by token.
+    resume_ok = False
+    with tempfile.TemporaryDirectory(prefix="bench-spaces-state-") as state:
+        evict_registry = SpaceRegistry(
+            [primary_descriptor()],
+            default_config=untimed,
+            state_dir=state,
+        )
+        with ExplorationService(registry=evict_registry).start() as service:
+            with ExplorationClient(service.host, service.port) as client:
+                opened = client.open_when_ready(space="primary", timeout_s=60.0)
+                shown = client.click(opened.session_id, opened.display[0].gid)
+                evict_registry.evict("primary")
+                restored = client.open_when_ready(
+                    space="primary", resume=opened.resume_token, timeout_s=60.0
+                )
+                resume_ok = [group.gid for group in restored.display] == [
+                    group.gid for group in shown
+                ]
+        evict_registry.shutdown()
+
+    return {
+        "clicks_per_session": clicks,
+        "budget_ms": BUDGET_MS,
+        "single_space_click_p50_ms": round(single_p50, 3),
+        "routed_click_p50_ms": round(routed_p50, 3),
+        "routed_overhead_p50_ms": round(routed_p50 - single_p50, 3),
+        "warm_route_open_p50_ms": round(statistics.median(warm_opens), 3),
+        "cold_attach_ms": round(cold_attach_ms, 3),
+        "cold_attach_first_answer": first_answer,
+        "parity": parity,
+        "evict_resume_roundtrip": resume_ok,
+    }
+
+
 def measure_index_build(smoke: bool) -> dict:
     """Batched vs per-group-loop prefix ranking on the largest space.
 
@@ -709,6 +870,11 @@ def run(
     report["service"] = measure_service(service_clients, service_clicks)
     report["parity"]["service"] = (
         report["service"]["parity"] and report["service"]["resume_roundtrip"]
+    )
+    report["spaces"] = measure_spaces(service_clicks)
+    report["parity"]["spaces"] = (
+        report["spaces"]["parity"]
+        and report["spaces"]["evict_resume_roundtrip"]
     )
     report["index_build"] = measure_index_build(smoke)
     report["parity"]["index_build"] = report["index_build"]["parity"]
@@ -831,6 +997,19 @@ def main() -> int:
         f"{'ok' if report['service']['resume_roundtrip'] else 'BROKEN'}"
     )
     ok = ok and service_overhead <= overhead_gate
+    spaces_overhead = report["spaces"]["routed_overhead_p50_ms"]
+    spaces_gate = (
+        SPACES_OVERHEAD_SMOKE_GATE_MS if args.smoke else SPACES_OVERHEAD_GATE_MS
+    )
+    print(
+        f"spaces: routing adds {spaces_overhead:+.2f} ms to the "
+        f"single-space click p50 (gate {spaces_gate:.0f} ms), cold attach "
+        f"{report['spaces']['cold_attach_ms']:.0f} ms vs warm routed open "
+        f"{report['spaces']['warm_route_open_p50_ms']:.1f} ms, routed parity "
+        f"{'ok' if report['spaces']['parity'] else 'BROKEN'}, evict+resume "
+        f"{'ok' if report['spaces']['evict_resume_roundtrip'] else 'BROKEN'}"
+    )
+    ok = ok and spaces_overhead <= spaces_gate
     build_speedup = report["index_build"]["build_speedup"]
     print(
         f"index build: batched ranking {build_speedup:.1f}x the per-group "

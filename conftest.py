@@ -30,16 +30,5 @@ settings.register_profile(
 )
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
-
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "perf: perf-harness self-tests (seeded subprocess smoke runs of "
-        "benchmarks/run_perf.py)",
-    )
-    config.addinivalue_line(
-        "markers",
-        "concurrency: threaded multi-session serving-runtime tests "
-        "(N sessions x M clicks against one GroupSpaceRuntime; run "
-        "standalone via `pytest -m concurrency`)",
-    )
+# Custom markers (perf, concurrency) are registered in pytest.ini with
+# --strict-markers, so they are enforced at collection time everywhere.

@@ -1,0 +1,124 @@
+"""Multi-space hosting: two analysts, two group spaces, one server.
+
+Writes the same kind of manifest ``python -m repro serve --http --spaces
+manifest.json`` consumes, boots one registry-backed server over it, and
+walks the full hosting story: the first space builds lazily while the
+client polls through ``202 building``; a second analyst opens the other
+space and the two walks stay fully isolated; ``/spaces`` shows per-space
+state; the space budget (``max_ready=1``) evicts the idle space —
+durably checkpointing its live session — and a later open rebuilds it
+and resumes the session exactly where it stopped.
+
+Run:  python examples/multi_space.py
+
+Against a long-running deployment::
+
+    python -m repro serve --http --spaces manifest.json --port 8765 \
+        --state-dir store/sessions --max-ready 4 --idle-ttl 900
+
+    >>> from repro.service import ExplorationClient
+    >>> client = ExplorationClient("127.0.0.1", 8765)
+    >>> print(client.spaces()["spaces"].keys())
+    >>> opened = client.open_when_ready(space="bookcrossing-readers")
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.core.session import SessionConfig
+from repro.service import ExplorationClient, ExplorationService, SpaceBuilding
+from repro.spaces import SpaceRegistry, load_manifest
+
+workdir = Path(tempfile.mkdtemp(prefix="vexus-spaces-"))
+manifest_path = workdir / "manifest.json"
+manifest_path.write_text(
+    json.dumps(
+        {
+            "spaces": [
+                {
+                    "name": "dm-authors",
+                    "generator": {"kind": "dbauthors", "n_authors": 400, "seed": 7},
+                    "discovery": {"min_support": 0.05},
+                },
+                {
+                    "name": "bookcrossing-readers",
+                    "generator": {
+                        "kind": "bookcrossing",
+                        "n_users": 600,
+                        "n_items": 300,
+                        "n_ratings": 5000,
+                        "seed": 7,
+                    },
+                    "discovery": {"min_support": 0.03, "min_item_support": 10},
+                },
+            ]
+        }
+    ),
+    encoding="utf-8",
+)
+
+registry = SpaceRegistry(
+    load_manifest(manifest_path),
+    max_ready=1,  # tiny budget so the eviction story is visible below
+    state_dir=workdir / "sessions",
+    default_config=SessionConfig(k=5, time_budget_ms=100.0),
+)
+service = ExplorationService(registry=registry).start()
+print(f"serving {registry.names()} on {service.url} (default "
+      f"{registry.default_space}, max_ready=1)")
+
+# ------------------------------------------------- analyst 1: dm authors
+alice = ExplorationClient(service.host, service.port)
+try:
+    alice.open(space="dm-authors")
+except SpaceBuilding as building:
+    print(f"cold attach: {building} — the build runs in the background")
+opened_a = alice.open_when_ready(space="dm-authors", timeout_s=120.0)
+print(f"\n[alice/{opened_a.space}] session {opened_a.session_id}")
+for group in opened_a.display:
+    print(f"  #{group.gid:<5} {' ∧ '.join(group.description):<50} n={group.size}")
+shown_a = alice.click(opened_a.session_id, opened_a.display[0].gid)
+print(f"[alice] clicked #{opened_a.display[0].gid} -> "
+      f"{[group.gid for group in shown_a]}")
+
+# ------------------------------------------- analyst 2: bookcrossing
+bob = ExplorationClient(service.host, service.port)
+opened_b = bob.open_when_ready(space="bookcrossing-readers", timeout_s=120.0)
+print(f"\n[bob/{opened_b.space}] session {opened_b.session_id}")
+for group in opened_b.display:
+    print(f"  #{group.gid:<5} {' ∧ '.join(group.description):<50} n={group.size}")
+shown_b = bob.click(opened_b.session_id, opened_b.display[0].gid)
+print(f"[bob] clicked #{opened_b.display[0].gid} -> "
+      f"{[group.gid for group in shown_b]}")
+
+listing = alice.spaces()["spaces"]
+print("\n/spaces:", {name: row["state"] for name, row in listing.items()})
+
+# The max_ready=1 budget evicted dm-authors when bookcrossing-readers
+# finished building — alice's session was durably checkpointed first.
+assert listing["dm-authors"]["state"] == "cold"
+print(f"[alice] space evicted under the budget; resume token "
+      f"{opened_a.resume_token} survives")
+
+restored = alice.open_when_ready(
+    space="dm-authors", resume=opened_a.resume_token, timeout_s=120.0
+)
+assert [g.gid for g in restored.display] == [g.gid for g in shown_a]
+print(f"[alice] resumed as {restored.session_id}; display intact "
+      f"{[group.gid for group in restored.display]}")
+alice.close(restored.session_id)
+
+# Rebuilding dm-authors pushed bookcrossing-readers out in turn (the
+# budget always holds) — bob's session was checkpointed the same way
+# and resumes just as cleanly.
+restored_b = bob.open_when_ready(
+    space="bookcrossing-readers", resume=opened_b.resume_token, timeout_s=120.0
+)
+assert [g.gid for g in restored_b.display] == [g.gid for g in shown_b]
+print(f"[bob] space rotated out and back; resumed as "
+      f"{restored_b.session_id}, display intact")
+bob.close(restored_b.session_id)
+service.stop()
+registry.shutdown()
+print("done")

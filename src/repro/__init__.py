@@ -10,7 +10,9 @@ The package mirrors the paper's architecture (Fig. 1):
 - :mod:`repro.viz`    — crossfilter, stats, force layout, LDA, renderers;
 - :mod:`repro.analysis` — quality metrics and the Simpson guard;
 - :mod:`repro.agents` — simulated explorers for the paper's scenarios;
-- :mod:`repro.experiments` — one driver per paper figure/claim.
+- :mod:`repro.experiments` — one driver per paper figure/claim;
+- :mod:`repro.service` — the JSON-over-HTTP serving front + typed client;
+- :mod:`repro.spaces` — multi-space hosting (registry, router, manifests).
 
 Quickstart::
 

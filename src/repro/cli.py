@@ -31,6 +31,16 @@ evicts abandoned sessions::
 
 Drive it with :class:`repro.service.ExplorationClient` — see
 ``examples/remote_exploration.py`` for a complete client walk-through.
+
+``serve --http --spaces manifest.json`` hosts *many* group spaces from
+one process (:mod:`repro.spaces`): opens route by space name, cold
+spaces build lazily in the background (clients see ``202 building``
+until ready), ``--max-ready`` bounds resident runtimes with durable LRU
+eviction, and idle TTLs apply per space — see
+``examples/multi_space.py``::
+
+    python -m repro serve --http --spaces manifest.json \
+        --state-dir st/sessions --max-ready 4 --idle-ttl 900
 """
 
 from __future__ import annotations
@@ -122,10 +132,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve",
         help="replay N concurrent sessions against one runtime, or "
-        "(--http) expose it as a JSON-over-HTTP service",
+        "(--http) expose it as a JSON-over-HTTP service (one store, or "
+        "many group spaces via --spaces manifest.json)",
     )
-    _add_data_arguments(serve)
-    serve.add_argument("--store", required=True, help="artifacts from `discover`")
+    _add_data_arguments(serve, required=False)
+    serve.add_argument(
+        "--store", default=None,
+        help="artifacts from `discover` (single-space mode)",
+    )
+    serve.add_argument(
+        "--spaces", default=None, metavar="MANIFEST",
+        help="multi-space hosting (needs --http): serve every space in "
+        "this JSON manifest from one process — lazy background builds, "
+        "routing, per-space idle TTLs (see repro.spaces.load_manifest)",
+    )
+    serve.add_argument(
+        "--max-ready", type=int, default=None,
+        help="space budget (needs --spaces): at most this many built "
+        "runtimes stay resident; past it the least-recently-routed "
+        "space is evicted — with --state-dir its live sessions are "
+        "checkpointed first, without it only session-less spaces are "
+        "evicted (the budget is best-effort)",
+    )
     serve.add_argument("--sessions", type=int, default=4)
     serve.add_argument("--clicks", type=int, default=5)
     serve.add_argument(
@@ -177,8 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_data_arguments(command: argparse.ArgumentParser) -> None:
-    command.add_argument("--actions", required=True, help="actions CSV path")
+def _add_data_arguments(
+    command: argparse.ArgumentParser, required: bool = True
+) -> None:
+    command.add_argument("--actions", required=required, help="actions CSV path")
     command.add_argument("--demographics", default=None, help="demographics CSV path")
     command.add_argument("--name", default="dataset", help="dataset name")
 
@@ -405,7 +435,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     the command line without any benchmark harness.
 
     With ``--http`` the same runtime + manager are instead exposed as a
-    network service (see :mod:`repro.service`) until interrupted.
+    network service (see :mod:`repro.service`) until interrupted; with
+    ``--http --spaces manifest.json`` the service hosts *every* space in
+    the manifest from this one process (:mod:`repro.spaces`): opens route
+    by space name, cold spaces build in the background (202 until
+    ready), ``--max-ready`` bounds resident runtimes with durable LRU
+    eviction, and idle TTLs apply per space.
     """
     from concurrent.futures import ThreadPoolExecutor
 
@@ -414,6 +449,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if args.idle_ttl is not None and args.state_dir is None:
         print("--idle-ttl needs --state-dir", file=sys.stderr)
+        return 2
+    if args.spaces is not None:
+        if not args.http:
+            print("--spaces needs --http (the replay mode is single-space)",
+                  file=sys.stderr)
+            return 2
+        if args.store is not None or args.actions is not None:
+            print("--spaces and --store/--actions are mutually exclusive; "
+                  "the manifest names every space's data", file=sys.stderr)
+            return 2
+        return _serve_spaces(args)
+    if args.max_ready is not None:
+        print("--max-ready needs --spaces", file=sys.stderr)
+        return 2
+    if args.store is None or args.actions is None:
+        print("serve needs --store and --actions (or --http --spaces)",
+              file=sys.stderr)
         return 2
     dataset = _load(args)
     started = time.perf_counter()
@@ -471,6 +523,50 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"({shared['structure_hits']} hits), "
             f"{shared['pair_entries']} pair entries"
         )
+    return 0
+
+
+def _serve_spaces(args: argparse.Namespace) -> int:
+    """Multi-space hosting: every manifest space from one process."""
+    import threading
+
+    from repro.service.server import ExplorationService
+    from repro.spaces import SpaceRegistry, load_manifest
+
+    descriptors = load_manifest(args.spaces)
+    registry = SpaceRegistry(
+        descriptors,
+        max_ready=args.max_ready,
+        state_dir=args.state_dir,
+        default_config=SessionConfig(
+            k=args.k, time_budget_ms=args.budget_ms, use_profile=False
+        ),
+        max_sessions=args.max_sessions,
+        idle_ttl_s=args.idle_ttl,
+    )
+    service = ExplorationService(
+        registry=registry, host=args.host, port=args.port
+    ).start()
+    durable = (
+        f"durable (state in {registry.state_dir})"
+        if registry.state_dir is not None
+        else "in-memory sessions"
+    )
+    print(f"serving on {service.url}", flush=True)
+    print(
+        f"hosting {len(registry)} spaces "
+        f"({', '.join(registry.names())}; default {registry.default_space}), "
+        f"{durable}; spaces build lazily on first open",
+        flush=True,
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+        registry.shutdown(wait=False)
+    print("service stopped")
     return 0
 
 

@@ -37,6 +37,7 @@ Three pieces turn the per-session stack into a serving runtime:
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import uuid
@@ -92,6 +93,30 @@ class SessionLimitError(RuntimeError):
     """
 
 
+def adaptive_stripe_count(
+    fanout: Optional[int] = None, cores: Optional[int] = None
+) -> int:
+    """Stripe count sized to this machine and group space, power of two.
+
+    Lock stripes exist to keep concurrent sessions publishing different
+    neighborhoods off each other's locks, so the right count scales with
+    how many publishers can actually run at once (the core count — a few
+    stripes per core keeps the birthday-bound collision probability of
+    ``t`` threads around ``t²/(2·stripes)`` low) and is capped by the
+    space's pair fan-out (a tiny space cannot populate more stripes than
+    it has distinct pair keys, so extra stripes would only waste dicts).
+    Rounded up to a power of two and clamped to [4, 256]; pass an
+    explicit ``stripes`` to :class:`SharedPairCache` to bypass this
+    sizing entirely (the pre-adaptive fixed configuration).
+    """
+    if cores is None:
+        cores = os.cpu_count() or 1
+    stripes = 4 * max(cores, 1)
+    if fanout is not None and fanout > 0:
+        stripes = min(stripes, fanout)
+    return max(4, min(256, 1 << (max(stripes, 1) - 1).bit_length()))
+
+
 class SharedPairCache:
     """Lock-striped, version-stamped cross-session selection cache.
 
@@ -121,10 +146,16 @@ class SharedPairCache:
         self,
         pair_capacity: int = 400_000,
         structure_capacity: int = 64,
-        stripes: int = 16,
+        stripes: Optional[int] = None,
+        fanout: Optional[int] = None,
     ) -> None:
         if pair_capacity < 0 or structure_capacity < 0:
             raise ValueError("capacities must be >= 0")
+        if stripes is None:
+            # Adaptive default: sized from the core count and (when the
+            # owning runtime passes one) the space's pair fan-out.  An
+            # explicit ``stripes`` keeps the fixed pre-adaptive sizing.
+            stripes = adaptive_stripe_count(fanout)
         if stripes < 1:
             raise ValueError("stripes must be >= 1")
         self.pair_capacity = pair_capacity
@@ -288,6 +319,7 @@ class SharedPairCache:
     def stats(self) -> dict[str, int]:
         return {
             "version": self._version,
+            "stripes": self.n_stripes,
             "pair_entries": self.pair_entries(),
             "pair_hits": self.pair_hits,
             "pair_misses": self.pair_misses,
@@ -328,8 +360,16 @@ class GroupSpaceRuntime:
         materialize_fraction: float = 0.10,
         shared: Optional[SharedPairCache] = None,
         share_cache: bool = True,
+        name: Optional[str] = None,
+        cache_stripes: Optional[int] = None,
     ) -> None:
         self.space = space
+        #: Routing identity when this runtime is hosted by a
+        #: :class:`repro.spaces.SpaceRegistry`; session checkpoints are
+        #: stamped with it so state saved under one space name can never
+        #: be resumed onto another space (``None`` for anonymous
+        #: single-space runtimes — the pre-registry deployments).
+        self.name = name
         self.index = index or SimilarityIndex(
             space.memberships(),
             space.dataset.n_users,
@@ -341,7 +381,14 @@ class GroupSpaceRuntime:
                 f"space has {len(space)}"
             )
         self.shared: Optional[SharedPairCache] = (
-            shared if shared is not None else SharedPairCache() if share_cache else None
+            shared
+            if shared is not None
+            # The pair fan-out a session can publish under is bounded by
+            # the space size, so pass it to the adaptive stripe sizing
+            # (an explicit ``cache_stripes`` keeps the fixed layout).
+            else SharedPairCache(stripes=cache_stripes, fanout=len(space))
+            if share_cache
+            else None
         )
         self._private_version = 0
         self._sessions_opened = 0
@@ -424,6 +471,7 @@ class GroupSpaceRuntime:
         directory: str | Path,
         shared: Optional[SharedPairCache] = None,
         share_cache: bool = True,
+        name: Optional[str] = None,
     ) -> "GroupSpaceRuntime":
         """Build a runtime from offline artifacts written by ``discover``.
 
@@ -435,10 +483,13 @@ class GroupSpaceRuntime:
 
         space = load_group_space(dataset, directory)
         index = load_index(space, directory)
-        return cls(space, index=index, shared=shared, share_cache=share_cache)
+        return cls(
+            space, index=index, shared=shared, share_cache=share_cache, name=name
+        )
 
     def stats(self) -> dict[str, object]:
         return {
+            "name": self.name,
             "groups": len(self.space),
             "users": self.space.dataset.n_users,
             "index_entries": self.index.memory_entries(),
@@ -527,9 +578,25 @@ class SessionManager:
         max_sessions: Optional[int] = None,
         state_dir: Optional[str | Path] = None,
         checkpoint_interactions: bool = True,
+        id_prefix: str = "",
     ) -> None:
         if max_sessions is not None and max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
+        # Prefixes flow into session ids and from there into resume
+        # tokens (which name state directories), so they live under the
+        # same alphabet rule as the tokens themselves.
+        if id_prefix and (
+            len(id_prefix) > 80 or not set(id_prefix) <= _TOKEN_CHARS
+        ):
+            raise ValueError(
+                "id_prefix must be <= 80 chars of [A-Za-z0-9_-]"
+            )
+        #: Prepended to every minted session id: a
+        #: :class:`repro.spaces.SpaceRegistry` gives each space's manager
+        #: a distinct prefix so ids (and therefore resume tokens) are
+        #: unique across every space one process serves — the property
+        #: the multi-space router's session routing rests on.
+        self.id_prefix = id_prefix
         self.runtime = runtime
         self.default_config = default_config
         self.max_sessions = max_sessions
@@ -541,6 +608,7 @@ class SessionManager:
         self._sessions: dict[str, _ManagedSession] = {}
         self._lock = threading.Lock()
         self._counter = 0
+        self._admission_closed = False
         self.sessions_closed = 0
         self.sessions_evicted = 0
         self.sessions_resumed = 0
@@ -589,6 +657,15 @@ class SessionManager:
         managed = _ManagedSession(None)
         managed.lock.acquire()  # interactions block until start() finishes
         with self._lock:
+            if self._admission_closed:
+                # The space registry is retiring this manager: a session
+                # admitted now would register on a manager no router can
+                # reach (and, without persistence, die silently).  429 is
+                # transient — the next open lands on the rebuilt space.
+                managed.lock.release()
+                raise SessionLimitError(
+                    "manager is retiring; retry to reach its replacement"
+                )
             if (
                 self.max_sessions is not None
                 and len(self._sessions) >= self.max_sessions
@@ -608,7 +685,7 @@ class SessionManager:
                     f"resume token {resume!r} is already live on this manager"
                 )
             self._counter += 1
-            session_id = f"s{self._counter:04d}"
+            session_id = f"{self.id_prefix}s{self._counter:04d}"
             if resume is not None:
                 managed.token = resume
             elif self.state_dir is not None:
@@ -815,7 +892,35 @@ class SessionManager:
         """Direct access to a live session (single-threaded callers only)."""
         return self._managed(session_id).session
 
+    def close_admission(self) -> int:
+        """Atomically stop admitting sessions; returns the live count.
+
+        The space registry's eviction primitive: once this returns, no
+        ``open_session`` can add a session (opens raise
+        :class:`SessionLimitError`), so the returned count is exact — an
+        eviction that then checkpoints (or, counted zero, drops) the
+        manager cannot race a concurrent open into silent session loss.
+        """
+        with self._lock:
+            self._admission_closed = True
+            return len(self._sessions)
+
+    def reopen_admission(self) -> None:
+        """Undo :meth:`close_admission` (an eviction that stood down)."""
+        with self._lock:
+            self._admission_closed = False
+
     # -- introspection ---------------------------------------------------
+
+    def has_session(self, session_id: str) -> bool:
+        """Whether ``session_id`` is live on this manager (no side effects).
+
+        The multi-space router resolves a session id to its manager with
+        this; unlike :meth:`_managed` it neither raises nor touches
+        activity timestamps, so probing N managers stays cheap.
+        """
+        with self._lock:
+            return session_id in self._sessions
 
     def session_ids(self) -> list[str]:
         with self._lock:

@@ -271,6 +271,12 @@ def save_session_state(session: ExplorationSession, directory: str | Path) -> No
     payload = {
         "version": _FORMAT_VERSION,
         "dataset": session.space.dataset.name,
+        # Multi-space routing stamp: which named space (if any) this
+        # session belongs to.  The digest below catches content drift;
+        # the name additionally catches two *different* spaces that
+        # happen to share content (or a manifest rename), so state saved
+        # under one space name can never resume under another.
+        "space": session.runtime.name,
         # Cached on the runtime: this runs per interaction checkpoint and
         # must not re-hash the whole space on every click.
         "space_digest": session.runtime.membership_digest(),
@@ -352,6 +358,21 @@ def load_session_state(
         raise ValueError(
             f"session state was saved on dataset {stored_dataset!r}, "
             f"got {session.space.dataset.name!r}"
+        )
+    stored_space = payload.get("space")
+    live_space = session.runtime.name
+    if (
+        stored_space is not None
+        and live_space is not None
+        and stored_space != live_space
+    ):
+        # Both sides are named: a cross-space graft is refused even when
+        # the content digests happen to agree (two manifest entries over
+        # one store, or a renamed space).  One-sided names stay loadable
+        # so pre-registry payloads and anonymous runtimes keep working.
+        raise ValueError(
+            f"session state belongs to space {stored_space!r}; it cannot "
+            f"be resumed onto space {live_space!r}"
         )
     stored_digest = payload.get("space_digest")
     if stored_digest is not None:

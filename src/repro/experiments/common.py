@@ -10,6 +10,7 @@ quoted scale (1M ratings) for the experiments that can use it (C10).
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -17,6 +18,7 @@ from functools import lru_cache
 from repro.core.discovery import DiscoveryConfig, discover_groups
 from repro.core.group import GroupSpace
 from repro.core.runtime import GroupSpaceRuntime
+from repro.spaces import SpaceDescriptor, SpaceRegistry, valid_space_name
 from repro.data.generators.bookcrossing import (
     BookCrossingConfig,
     BookCrossingData,
@@ -117,14 +119,49 @@ def paper_scale_bookcrossing() -> BookCrossingData:
     return generate_bookcrossing(paper_scale_config())
 
 
-@lru_cache(maxsize=4)
-def _dbauthors_runtime(
-    seed: int, min_support: float, materialize_fraction: float
-) -> GroupSpaceRuntime:
-    return GroupSpaceRuntime(
-        dbauthors_space(seed, min_support),
-        materialize_fraction=materialize_fraction,
+@lru_cache(maxsize=1)
+def experiment_registry() -> SpaceRegistry:
+    """The process-wide space registry every experiment runtime lives in.
+
+    Drivers resolve their serving runtimes through it — the same hosting
+    subsystem the multi-space server uses.  ``max_ready=8`` keeps the
+    memory bound the two retired ``lru_cache(maxsize=4)`` helpers used
+    to provide (a parameter sweep does not retain every index it ever
+    built; experiment sessions hold no manager slots, so their spaces
+    stay evictable).  Each parameterization registers under a
+    deterministic token-safe name, and the registry's entry cache
+    preserves the one-runtime-per-space identity the old caches
+    provided (``runtime.space is dbauthors_space(...)`` still holds:
+    builders go through the cached space builders above).
+    """
+    return SpaceRegistry(build_workers=2, max_ready=8)
+
+
+def _fraction_token(value: float) -> str:
+    """A float knob as a registry-name-safe token (0.04 -> '0040')."""
+    return f"{int(round(value * 1000)):04d}"
+
+
+def _registry_name(stem: str) -> str:
+    """``stem`` as a valid space name, digest-compressed when too long.
+
+    Parameter stems stay readable while they fit the 48-char space-name
+    limit; paper-scale parameterizations (six-digit user/rating counts)
+    overflow it, so the tail is replaced by a sha256 digest of the full
+    stem — still deterministic per parameter set, always valid.
+    """
+    if valid_space_name(stem):
+        return stem
+    digest = hashlib.sha256(stem.encode("utf-8")).hexdigest()[:16]
+    return f"{stem[:31]}-{digest}"
+
+
+def _resolved_runtime(name: str, builder) -> GroupSpaceRuntime:
+    registry = experiment_registry()
+    registry.register(
+        SpaceDescriptor(name=name, builder=builder), exist_ok=True
     )
+    return registry.runtime(name)
 
 
 def dbauthors_runtime(
@@ -137,22 +174,19 @@ def dbauthors_runtime(
     Every experiment session created from it reuses the same similarity
     index and cross-session cache — the multi-user serving story the
     drivers now measure instead of rebuilding per-session indexes.
+    Resolved through :func:`experiment_registry`, so identical
+    parameters return the identical runtime object.
     """
-    return _dbauthors_runtime(seed, min_support, materialize_fraction)
-
-
-@lru_cache(maxsize=4)
-def _bookcrossing_runtime(
-    n_users: int,
-    n_items: int,
-    n_ratings: int,
-    seed: int,
-    min_support: float,
-    materialize_fraction: float,
-) -> GroupSpaceRuntime:
-    return GroupSpaceRuntime(
-        bookcrossing_space(n_users, n_items, n_ratings, seed, min_support),
-        materialize_fraction=materialize_fraction,
+    name = _registry_name(
+        f"dbauthors-s{seed}-ms{_fraction_token(min_support)}"
+        f"-mf{_fraction_token(materialize_fraction)}"
+    )
+    return _resolved_runtime(
+        name,
+        lambda: GroupSpaceRuntime(
+            dbauthors_space(seed, min_support),
+            materialize_fraction=materialize_fraction,
+        ),
     )
 
 
@@ -165,8 +199,17 @@ def bookcrossing_runtime(
     materialize_fraction: float = 0.10,
 ) -> GroupSpaceRuntime:
     """One serving runtime per bookcrossing space (see ``dbauthors_runtime``)."""
-    return _bookcrossing_runtime(
-        n_users, n_items, n_ratings, seed, min_support, materialize_fraction
+    name = _registry_name(
+        f"bookcrossing-u{n_users}-i{n_items}-r{n_ratings}-s{seed}"
+        f"-ms{_fraction_token(min_support)}"
+        f"-mf{_fraction_token(materialize_fraction)}"
+    )
+    return _resolved_runtime(
+        name,
+        lambda: GroupSpaceRuntime(
+            bookcrossing_space(n_users, n_items, n_ratings, seed, min_support),
+            materialize_fraction=materialize_fraction,
+        ),
     )
 
 

@@ -1,15 +1,18 @@
 """Network serving front for the multi-session runtime.
 
 :mod:`repro.service.server` exposes a
-:class:`~repro.core.runtime.SessionManager` over JSON-over-HTTP (stdlib
-only — a threaded :class:`http.server.ThreadingHTTPServer` with
-keep-alive connections); :mod:`repro.service.client` is the typed Python
-client the CLI, the benchmarks and the examples drive it with.  The wire
-protocol mirrors the in-process API one-to-one — ``open`` / ``click`` /
-``drill_down`` / ``backtrack`` / ``displayed`` / ``stats`` / ``close``
-plus a health endpoint — so a scripted trace replayed through HTTP shows
+:class:`~repro.core.runtime.SessionManager` — or a
+:class:`~repro.spaces.SpaceRegistry` hosting many named group spaces —
+over JSON-over-HTTP (stdlib only — a threaded
+:class:`http.server.ThreadingHTTPServer` with keep-alive connections);
+:mod:`repro.service.client` is the typed Python client the CLI, the
+benchmarks and the examples drive it with.  The wire protocol mirrors
+the in-process API one-to-one — ``open`` / ``click`` / ``drill_down`` /
+``backtrack`` / ``displayed`` / ``stats`` / ``close`` plus health and
+``/spaces`` endpoints — so a scripted trace replayed through HTTP shows
 bitwise the displays the same trace shows in process (the
-protocol-conformance suite in ``tests/service/`` asserts exactly that).
+protocol-conformance suites in ``tests/service/`` and ``tests/spaces/``
+assert exactly that, per hosted space).
 """
 
 from repro.service.client import (
@@ -19,6 +22,8 @@ from repro.service.client import (
     ServiceError,
     SessionLimitExceeded,
     SessionNotFound,
+    SpaceBuilding,
+    SpaceNotFound,
     StaleSessionState,
 )
 from repro.service.server import ExplorationService
@@ -31,5 +36,7 @@ __all__ = [
     "ServiceError",
     "SessionLimitExceeded",
     "SessionNotFound",
+    "SpaceBuilding",
+    "SpaceNotFound",
     "StaleSessionState",
 ]

@@ -14,9 +14,19 @@ driving a remote runtime reads exactly like driving a local one::
     resumed = client.open(resume=summary["resume_token"])
 
 Service-side failures surface as typed exceptions mapped from the HTTP
-status: :class:`SessionNotFound` (404), :class:`StaleSessionState`
-(409), :class:`SessionLimitExceeded` (429), and plain
-:class:`ServiceError` for everything else.
+status (and error type): :class:`SessionNotFound` (404),
+:class:`SpaceNotFound` (404 against a multi-space server),
+:class:`StaleSessionState` (409), :class:`SessionLimitExceeded` (429),
+and plain :class:`ServiceError` for everything else.
+
+Against a multi-space server, ``open(space="books")`` routes to a named
+space.  A cold space answers 202 while it builds in the background; the
+client raises :class:`SpaceBuilding` carrying the server's retry hint —
+:meth:`ExplorationClient.open_when_ready` wraps the poll loop::
+
+    opened = client.open_when_ready(space="books", timeout_s=60.0)
+
+``client.spaces()`` lists every hosted space with its state and stats.
 
 The connection is *not* thread-safe (neither is a browser tab's);
 concurrent clients each get their own instance — see the contended
@@ -28,6 +38,7 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -43,11 +54,17 @@ class DisplayedGroup:
 
 @dataclass(frozen=True)
 class OpenedSession:
-    """The reply to ``open``: the live handle plus the durable token."""
+    """The reply to ``open``: the live handle plus the durable token.
+
+    ``space`` is the routed space's name on multi-space servers (the
+    value to pass back with ``resume`` after an eviction or restart);
+    ``None`` against single-space deployments.
+    """
 
     session_id: str
     resume_token: Optional[str]
     display: list[DisplayedGroup] = field(default_factory=list)
+    space: Optional[str] = None
 
 
 class ServiceError(Exception):
@@ -72,10 +89,39 @@ class SessionLimitExceeded(ServiceError):
     """429: admission control refused the open (``max_sessions`` live)."""
 
 
+class SpaceNotFound(ServiceError):
+    """404 (``unknown_space``): no space registered under that name."""
+
+
+class SpaceBuilding(ServiceError):
+    """202: the routed space is materializing in the background.
+
+    Not a failure — the open was accepted and the build queued;
+    ``retry_after_s`` is the server's estimate of when to retry (see
+    :meth:`ExplorationClient.open_when_ready` for the canned loop).
+    """
+
+    def __init__(
+        self, space: Optional[str], message: str, retry_after_s: float
+    ) -> None:
+        super().__init__(202, "space_building", message)
+        self.space = space
+        self.retry_after_s = retry_after_s
+
+
 _ERRORS_BY_STATUS = {
-    404: SessionNotFound,
     409: StaleSessionState,
     429: SessionLimitExceeded,
+}
+
+#: A 404 names a session, a space, or just a route, and the caller's
+#: recovery differs for each (resync vs pick another space vs "this
+#: server has no such capability"), so the error *type* picks the
+#: exception class; an unrecognized 404 stays a plain ServiceError
+#: rather than masquerading as a missing session.
+_ERRORS_BY_TYPE = {
+    (404, "unknown_session"): SessionNotFound,
+    (404, "unknown_space"): SpaceNotFound,
 }
 
 
@@ -167,9 +213,24 @@ class ExplorationClient:
             raise ServiceError(
                 response.status, "bad_reply", f"unparseable service reply: {error}"
             )
+        if response.status == 202:
+            # Accepted-but-not-ready: the routed space is building in the
+            # background.  Raised typed (with the retry hint) rather than
+            # returned — no caller can use a display that isn't there.
+            body = reply if isinstance(reply, dict) else {}
+            space = body.get("space")
+            raise SpaceBuilding(
+                space,
+                f"space {space!r} is building",
+                float(body.get("retry_after_s") or 1.0),
+            )
         if response.status >= 400:
             error = reply.get("error", {}) if isinstance(reply, dict) else {}
-            raise _ERRORS_BY_STATUS.get(response.status, ServiceError)(
+            error_class = _ERRORS_BY_TYPE.get(
+                (response.status, error.get("type")),
+                _ERRORS_BY_STATUS.get(response.status, ServiceError),
+            )
+            raise error_class(
                 response.status,
                 error.get("type", "error"),
                 error.get("message", raw.decode("utf-8", "replace")),
@@ -183,8 +244,14 @@ class ExplorationClient:
         config: Optional[dict] = None,
         seed_gids: Optional[list[int]] = None,
         resume: Optional[str] = None,
+        space: Optional[str] = None,
     ) -> OpenedSession:
-        """Open a fresh session, or restore a persisted one by token."""
+        """Open a fresh session, or restore a persisted one by token.
+
+        ``space`` routes the open on a multi-space server (default: the
+        server's first manifest space); a cold space raises
+        :class:`SpaceBuilding` while its index builds in the background.
+        """
         body: dict = {}
         if config is not None:
             body["config"] = config
@@ -192,12 +259,42 @@ class ExplorationClient:
             body["seed_gids"] = list(seed_gids)
         if resume is not None:
             body["resume"] = resume
+        if space is not None:
+            body["space"] = space
         reply = self._request("POST", "/v1/sessions", body)
         return OpenedSession(
             session_id=reply["session_id"],
             resume_token=reply.get("resume_token"),
             display=_display(reply["display"]),
+            space=reply.get("space"),
         )
+
+    def open_when_ready(
+        self,
+        config: Optional[dict] = None,
+        seed_gids: Optional[list[int]] = None,
+        resume: Optional[str] = None,
+        space: Optional[str] = None,
+        timeout_s: float = 60.0,
+    ) -> OpenedSession:
+        """:meth:`open`, polling through :class:`SpaceBuilding` replies.
+
+        Retries on the server's ``retry_after_s`` cadence until the
+        space is ready or ``timeout_s`` elapses (then the last
+        :class:`SpaceBuilding` is re-raised).  Every other error — a
+        failed build included — surfaces immediately.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return self.open(
+                    config=config, seed_gids=seed_gids, resume=resume, space=space
+                )
+            except SpaceBuilding as building:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise
+                time.sleep(min(max(building.retry_after_s, 0.05), remaining))
 
     def click(self, session_id: str, gid: int) -> list[DisplayedGroup]:
         reply = self._request(
@@ -230,6 +327,10 @@ class ExplorationClient:
 
     def sessions(self) -> list[str]:
         return list(self._request("GET", "/v1/sessions")["sessions"])
+
+    def spaces(self) -> dict:
+        """Hosted spaces with per-space state/stats (multi-space servers)."""
+        return self._request("GET", "/spaces")
 
     def health(self) -> dict:
         return self._request("GET", "/healthz")

@@ -19,8 +19,9 @@ selection engine doesn't already need:
 Wire protocol (all bodies JSON; errors are
 ``{"error": {"type", "message"}}``)::
 
-    POST /v1/sessions                    {config?, seed_gids?, resume?}
-                                         -> {session_id, resume_token, display}
+    POST /v1/sessions                    {config?, seed_gids?, resume?, space?}
+                                         -> {session_id, resume_token, display,
+                                             space?}
     POST /v1/sessions/<id>/click         {gid}      -> {display}
     POST /v1/sessions/<id>/backtrack     {step_id}  -> {display}
     POST /v1/sessions/<id>/drill_down    {gid}      -> {members}
@@ -28,18 +29,32 @@ Wire protocol (all bodies JSON; errors are
     GET  /v1/sessions/<id>/stats                    -> per-session counters
     POST /v1/sessions/<id>/close                    -> final summary
     GET  /v1/sessions                               -> {sessions}
+    GET  /spaces                                    -> {spaces, default}
+                                                       (multi-space servers)
     GET  /healthz                                   -> service + runtime +
                                                        shared-cache stats
 
-Status mapping: 400 malformed request, 404 unknown session / resume
-token / route, 405 wrong method, 409 conflicting state (stale space
-digest, already-live resume token), 429 admission control
-(``max_sessions``), 500 anything else.
+A service fronts either one :class:`~repro.core.runtime.SessionManager`
+(the single-space deployment, unchanged) or a
+:class:`~repro.spaces.SpaceRegistry` hosting many named spaces.  With a
+registry, ``open`` routes by its ``space`` field (default: the
+manifest's first space), later session verbs route by the session id
+(ids are unique across spaces by construction), and an ``open`` against
+a cold space queues a background build and answers ``202 {"state":
+"building"}`` with a ``Retry-After`` hint — clicks on hot spaces are
+never blocked by another space's index construction.
+
+Status mapping: 202 space building (retry), 400 malformed request, 404
+unknown session / resume token / space / route, 405 wrong method, 409
+conflicting state (stale space digest, already-live resume token), 429
+admission control (``max_sessions``), 500 anything else (including
+sticky space build failures, typed ``space_build_failed``).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from functools import partial
@@ -53,6 +68,12 @@ from repro.core.runtime import (
     UnknownSessionError,
 )
 from repro.core.session import SessionConfig
+from repro.spaces.registry import (
+    SpaceBuildError,
+    SpaceBuildingError,
+    SpaceNotFoundError,
+    SpaceRegistry,
+)
 
 #: Session-level configuration knobs a remote ``open`` may set.  The
 #: nested ``selection`` config stays server-side: the service owns its
@@ -174,11 +195,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing --------------------------------------------------------
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: dict,
+        headers: Optional[dict[str, str]] = None,
+    ) -> None:
         encoded = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(encoded)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(encoded)
 
@@ -224,6 +252,26 @@ class _Handler(BaseHTTPRequestHandler):
             handled = self._route(method)
         except _BadRequest as error:
             self._fail(400, "bad_request", str(error))
+        except SpaceBuildingError as error:
+            # Not a failure: the build was accepted and is running in the
+            # background.  202 + Retry-After is the "come back shortly"
+            # protocol shape; the typed client raises SpaceBuilding with
+            # the hint so callers can poll without parsing.
+            self._reply(
+                202,
+                {
+                    "state": "building",
+                    "space": error.name,
+                    "retry_after_s": error.retry_after_s,
+                },
+                headers={
+                    "Retry-After": str(max(1, math.ceil(error.retry_after_s)))
+                },
+            )
+        except SpaceNotFoundError as error:
+            self._fail(404, "unknown_space", str(error))
+        except SpaceBuildError as error:
+            self._fail(500, "space_build_failed", str(error))
         except UnknownSessionError as error:
             self._fail(404, "unknown_session", str(error))
         except SessionLimitError as error:
@@ -266,17 +314,36 @@ class _Handler(BaseHTTPRequestHandler):
                 return True
             self._reply(200, self.service.health())
             return True
+        if path == "/spaces":
+            if method != "GET":
+                self._fail(405, "method_not_allowed", "use GET /spaces")
+                return True
+            registry = self.service.registry
+            if registry is None:
+                self._fail(
+                    404,
+                    "not_found",
+                    "this server hosts a single space; see /healthz",
+                )
+                return True
+            self._reply(
+                200,
+                {
+                    "spaces": registry.describe(),
+                    "default": registry.default_space,
+                },
+            )
+            return True
         segments = [segment for segment in path.split("/") if segment]
         if len(segments) < 2 or segments[0] != "v1" or segments[1] != "sessions":
             return False
-        manager = self.service.manager
         if len(segments) == 2:
             # Only GET and POST ever reach _route (no other do_* exists),
             # and the collection answers to both.
             if method == "POST":
                 self._open(self._body())
             else:
-                self._reply(200, {"sessions": manager.session_ids()})
+                self._reply(200, {"sessions": self.service.session_ids()})
             return True
         session_id = segments[2]
         verb = segments[3] if len(segments) == 4 else None
@@ -290,9 +357,13 @@ class _Handler(BaseHTTPRequestHandler):
                 f"use {required} /v1/sessions/<id>/{verb}",
             )
             return True
+        # Routed by session id: with a registry, ids are unique across
+        # spaces (each space's manager mints under its own prefix), so
+        # the resolved manager is the session's home space.
+        manager = self.service.resolve(session_id)
         if verb == "click":
             shown = manager.click(
-                session_id, self._gid(self._int_gid(self._body()))
+                session_id, self._gid(self._int_gid(self._body()), manager)
             )
             self._reply(200, {"display": _display_payload(shown)})
         elif verb == "backtrack":
@@ -302,7 +373,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(200, {"display": _display_payload(shown)})
         elif verb == "drill_down":
             members = manager.drill_down(
-                session_id, self._gid(self._int_gid(self._body()))
+                session_id, self._gid(self._int_gid(self._body()), manager)
             )
             self._reply(200, {"members": [int(user) for user in members]})
         elif verb == "close":
@@ -317,16 +388,20 @@ class _Handler(BaseHTTPRequestHandler):
     def _int_gid(self, body: dict) -> int:
         return _int_field(body, "gid")
 
-    def _gid(self, gid: int) -> int:
-        space = self.service.manager.runtime.space
+    def _gid(self, gid: int, manager: SessionManager) -> int:
+        space = manager.runtime.space
         if not 0 <= gid < len(space):
             raise _BadRequest(f"gid {gid} outside the group space (0..{len(space) - 1})")
         return gid
 
     def _open(self, body: dict) -> None:
-        unknown = set(body) - {"config", "seed_gids", "resume"}
+        unknown = set(body) - {"config", "seed_gids", "resume", "space"}
         if unknown:
             raise _BadRequest(f"unknown open fields {sorted(unknown)}")
+        space_name = body.get("space")
+        if space_name is not None and not isinstance(space_name, str):
+            raise _BadRequest("space must be a space name string")
+        manager, space_name = self.service.manager_for(space_name)
         config = None
         if body.get("config") is not None:
             knobs = body["config"]
@@ -347,33 +422,38 @@ class _Handler(BaseHTTPRequestHandler):
             for gid in seed_gids:
                 if isinstance(gid, bool) or not isinstance(gid, int):
                     raise _BadRequest("seed_gids entries must be integers")
-                checked.append(self._gid(gid))
+                checked.append(self._gid(gid, manager))
             seed_gids = checked
         resume = body.get("resume")
         if resume is not None and not isinstance(resume, str):
             raise _BadRequest("resume must be a token string")
-        manager = self.service.manager
         session_id, shown = manager.open_session(
             config=config, seed_gids=seed_gids, resume=resume
         )
-        self._reply(
-            200,
-            {
-                "session_id": session_id,
-                "resume_token": manager.resume_token(session_id),
-                "display": _display_payload(shown),
-            },
-        )
+        reply = {
+            "session_id": session_id,
+            "resume_token": manager.resume_token(session_id),
+            "display": _display_payload(shown),
+        }
+        if space_name is not None:
+            reply["space"] = space_name
+        self._reply(200, reply)
 
 
 class ExplorationService:
-    """A running HTTP front over one session manager.
+    """A running HTTP front over one session manager or a space registry.
 
     Binds at construction time (``port=0`` picks an ephemeral port — the
     bound port is ``self.port`` immediately, so test clients never race
     the listener), serves from a background thread after :meth:`start`,
     and optionally runs an idle-eviction sweeper that persists and
     retires sessions nobody has touched for ``idle_ttl_s`` seconds.
+
+    Exactly one of ``manager`` (the single-space deployment) or
+    ``registry`` (multi-space hosting: routing, lazy builds, per-space
+    TTLs) fronts the protocol.  In registry mode idle TTLs are
+    configured *on the registry* (globally and per space in the
+    manifest); the service only drives the sweep loop.
 
     Usable as a context manager::
 
@@ -383,26 +463,40 @@ class ExplorationService:
 
     def __init__(
         self,
-        manager: SessionManager,
+        manager: Optional[SessionManager] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         idle_ttl_s: Optional[float] = None,
         sweep_interval_s: Optional[float] = None,
+        registry: Optional[SpaceRegistry] = None,
     ) -> None:
+        if (manager is None) == (registry is None):
+            raise ValueError("pass exactly one of manager= or registry=")
+        if registry is not None and idle_ttl_s is not None:
+            raise ValueError(
+                "with a registry, configure idle TTLs on the registry "
+                "(global idle_ttl_s / per-space manifest entries)"
+            )
         if idle_ttl_s is not None and idle_ttl_s <= 0:
             raise ValueError("idle_ttl_s must be > 0")
-        if idle_ttl_s is not None and manager.state_dir is None:
+        if (
+            manager is not None
+            and idle_ttl_s is not None
+            and manager.state_dir is None
+        ):
             raise ValueError(
                 "idle eviction needs a durable manager (state_dir): evicting "
                 "without persistence would silently destroy live sessions"
             )
         self.manager = manager
+        self.registry = registry
         self.idle_ttl_s = idle_ttl_s
-        self.sweep_interval_s = (
-            sweep_interval_s
-            if sweep_interval_s is not None
-            else (max(idle_ttl_s / 4.0, 0.05) if idle_ttl_s is not None else None)
-        )
+        # Registry mode always runs the sweeper: TTLs (and whole spaces)
+        # may be registered after the service started, so the decision
+        # cannot be frozen at construction time — the loop re-reads the
+        # registry's TTLs every tick and idles cheaply when none exist.
+        self._sweep_wanted = registry is not None or idle_ttl_s is not None
+        self.sweep_interval_s = sweep_interval_s
         self._httpd = _Server((host, port), partial(_Handler, self))
         self.host, self.port = self._httpd.server_address[:2]
         self._serve_thread: Optional[threading.Thread] = None
@@ -434,7 +528,7 @@ class ExplorationService:
             daemon=True,
         )
         self._serve_thread.start()
-        if self.idle_ttl_s is not None:
+        if self._sweep_wanted:
             self._sweep_thread = threading.Thread(
                 target=self._sweep_loop,
                 name=f"repro-service-sweeper:{self.port}",
@@ -468,16 +562,68 @@ class ExplorationService:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
+    def _sweep_interval(self) -> float:
+        """Seconds until the next sweep, re-derived from the live TTLs.
+
+        A quarter of the shortest configured TTL keeps eviction timely;
+        a registry with no TTLs (yet) is polled lazily once a second so
+        a TTL registered later starts being honoured without a restart.
+        """
+        if self.sweep_interval_s is not None:
+            return self.sweep_interval_s
+        ttl = (
+            self.registry.min_ttl_s()
+            if self.registry is not None
+            else self.idle_ttl_s
+        )
+        return max(ttl / 4.0, 0.05) if ttl is not None else 1.0
+
     def _sweep_loop(self) -> None:
-        while not self._stopping.wait(self.sweep_interval_s):
+        while not self._stopping.wait(self._sweep_interval()):
             try:
-                self.manager.evict_idle(self.idle_ttl_s)
+                if self.registry is not None:
+                    self.registry.sweep_idle()
+                else:
+                    self.manager.evict_idle(self.idle_ttl_s)
             except Exception:  # noqa: BLE001 — one bad sweep (full disk,
                 # a racing open) must not silently end eviction for the
                 # rest of the service's life; failures are surfaced on
                 # /healthz instead.
                 with self._stats_lock:
                     self._sweep_failures += 1
+
+    # -- routing ---------------------------------------------------------
+
+    def manager_for(
+        self, space: Optional[str]
+    ) -> tuple[SessionManager, Optional[str]]:
+        """The manager an ``open`` targets, plus the resolved space name.
+
+        Registry mode routes by name (default: the manifest's first
+        space) and may raise the building / not-found space errors; a
+        single-space service refuses the ``space`` field outright — a
+        client that believes it is talking to a multi-space deployment
+        must hear so, not silently land on whatever space this is.
+        """
+        if self.registry is None:
+            if space is not None:
+                raise _BadRequest(
+                    "this server hosts a single space; drop the space field"
+                )
+            return self.manager, None
+        name = space if space is not None else self.registry.default_space
+        return self.registry.manager(name), name
+
+    def resolve(self, session_id: str) -> SessionManager:
+        """The manager serving ``session_id`` (routed in registry mode)."""
+        if self.registry is None:
+            return self.manager
+        return self.registry.route(session_id)
+
+    def session_ids(self) -> list[str]:
+        if self.registry is None:
+            return self.manager.session_ids()
+        return self.registry.session_ids()
 
     # -- counters --------------------------------------------------------
 
@@ -490,19 +636,32 @@ class ExplorationService:
             self._errors += 1
 
     def health(self) -> dict:
-        """The ``/healthz`` payload: service, runtime and cache stats."""
+        """The ``/healthz`` payload: service, runtime and cache stats.
+
+        Single-space mode keeps the PR 4 shape (``manager``); registry
+        mode reports the registry's aggregate counters plus a per-space
+        section (state, live sessions, runtime + shared-cache stats) so
+        one probe sees every hosted space.
+        """
         with self._stats_lock:
             requests, errors = self._requests, self._errors
             sweep_failures = self._sweep_failures
-        return {
+        payload = {
             "status": "ok",
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "requests": requests,
             "errors": errors,
             "idle_ttl_s": self.idle_ttl_s,
             "sweep_failures": sweep_failures,
-            "manager": self.manager.stats(),
         }
+        if self.registry is not None:
+            payload["registry"] = self.registry.stats()
+            payload["spaces"] = self.registry.describe()
+        else:
+            payload["manager"] = self.manager.stats()
+        return payload
 
     def __repr__(self) -> str:
+        if self.registry is not None:
+            return f"ExplorationService({self.url}, {self.registry!r})"
         return f"ExplorationService({self.url}, {len(self.manager)} live sessions)"

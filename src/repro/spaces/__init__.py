@@ -1,0 +1,28 @@
+"""Multi-space hosting: a registry + router over many group spaces.
+
+One VEXUS process serving many populations: :mod:`repro.spaces.descriptor`
+defines what a named space *is* (store / generator / builder recipes, the
+``--spaces`` manifest format), :mod:`repro.spaces.registry` turns those
+descriptors into serving state — lazy background index builds, a
+``max_ready`` budget with durable LRU eviction, per-space idle TTLs, and
+session-id routing the HTTP front (:mod:`repro.service`) hangs its
+``space`` field, ``/spaces`` listing and 202-while-building replies off.
+"""
+
+from repro.spaces.descriptor import SpaceDescriptor, load_manifest, valid_space_name
+from repro.spaces.registry import (
+    SpaceBuildError,
+    SpaceBuildingError,
+    SpaceNotFoundError,
+    SpaceRegistry,
+)
+
+__all__ = [
+    "SpaceBuildError",
+    "SpaceBuildingError",
+    "SpaceDescriptor",
+    "SpaceNotFoundError",
+    "SpaceRegistry",
+    "load_manifest",
+    "valid_space_name",
+]

@@ -1,0 +1,329 @@
+"""Space descriptors: what a named group space is and how to build it.
+
+VEXUS is one deployment serving *many* populations — §III alone walks DM
+authors and BookCrossing readers through the same tool.  A
+:class:`SpaceDescriptor` is the registry's unit of configuration: a
+routing name plus exactly one recipe for materializing the space's
+:class:`~repro.core.runtime.GroupSpaceRuntime`:
+
+- ``store`` — offline artifacts written by ``repro discover`` (the
+  production path: discovery ran once, the server only loads), with the
+  dataset loaded from CSVs (``actions``/``demographics``) or synthesized
+  by a ``generator`` spec;
+- ``generator`` alone — synthesize the dataset *and* run discovery at
+  build time (demo / benchmark spaces that need no files on disk);
+- ``builder`` — an in-process callable returning a ready runtime
+  (experiment fixtures; never serialized).
+
+:func:`load_manifest` reads the JSON manifest ``repro serve --http
+--spaces manifest.json`` consumes::
+
+    {
+      "defaults": {"idle_ttl_s": 900},
+      "spaces": [
+        {"name": "dm-authors",
+         "generator": {"kind": "dbauthors", "n_authors": 1500, "seed": 7},
+         "discovery": {"min_support": 0.04}},
+        {"name": "books",
+         "store": "stores/books",
+         "actions": "data/books/actions.csv",
+         "demographics": "data/books/demographics.csv",
+         "dataset": "bookcrossing",
+         "idle_ttl_s": 120}
+      ]
+    }
+
+Relative paths resolve against the manifest's own directory, unknown
+keys are rejected loudly (a typo'd knob must never become a silently
+default-configured production space), and per-space ``idle_ttl_s``
+overrides the registry-wide sweeper default — one hot demo space can
+stay resident while short-TTL batch spaces come and go.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.runtime import GroupSpaceRuntime
+
+#: Space names are routing keys: they prefix session ids, which flow into
+#: resume tokens, which name state directories — so they live under the
+#: resume-token alphabet (and never contain a path separator).
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9_-]{1,48}$")
+
+#: Generator spec kinds and the knobs each accepts (beyond "kind").
+_GENERATOR_KNOBS = {
+    "dbauthors": frozenset({"n_authors", "seed"}),
+    "bookcrossing": frozenset({"n_users", "n_items", "n_ratings", "seed"}),
+}
+
+_DISCOVERY_KNOBS = frozenset(
+    {"method", "min_support", "max_description", "min_item_support"}
+)
+
+_MANIFEST_KEYS = frozenset({"spaces", "defaults"})
+_DEFAULTS_KEYS = frozenset({"idle_ttl_s", "max_sessions"})
+_SPACE_KEYS = frozenset(
+    {
+        "name",
+        "dataset",
+        "store",
+        "actions",
+        "demographics",
+        "generator",
+        "discovery",
+        "materialize_fraction",
+        "idle_ttl_s",
+        "max_sessions",
+    }
+)
+
+
+def valid_space_name(name: str) -> bool:
+    return isinstance(name, str) and _NAME_PATTERN.match(name) is not None
+
+
+@dataclass
+class SpaceDescriptor:
+    """One named group space: routing key + materialization recipe.
+
+    Exactly one of ``store`` / ``generator``-only / ``builder`` defines
+    how the runtime is built (a ``store`` may use a ``generator`` to
+    synthesize its dataset, but a generator without a store implies
+    discovery at build time).  ``idle_ttl_s`` / ``max_sessions`` are
+    per-space serving policy consumed by the registry; ``dataset``
+    optionally pins the dataset name the space must be built on (store
+    loads already enforce this through ``load_group_space``).
+    """
+
+    name: str
+    dataset: Optional[str] = None
+    store: Optional[Path] = None
+    actions: Optional[Path] = None
+    demographics: Optional[Path] = None
+    generator: Optional[dict] = None
+    discovery: Optional[dict] = None
+    materialize_fraction: float = 0.10
+    idle_ttl_s: Optional[float] = None
+    max_sessions: Optional[int] = None
+    builder: Optional[Callable[[], GroupSpaceRuntime]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not valid_space_name(self.name):
+            raise ValueError(
+                f"space name {self.name!r} must match [A-Za-z0-9_-]{{1,48}} "
+                "(it names session-state directories and prefixes session ids)"
+            )
+        sources = sum(
+            1
+            for source in (self.builder, self.store, self.generator)
+            if source is not None
+        )
+        # A store + generator pair is legal (the generator synthesizes
+        # the dataset the stored space was discovered on); builder is
+        # always exclusive.
+        if self.builder is not None and sources > 1:
+            raise ValueError(
+                f"space {self.name!r}: builder excludes store/generator"
+            )
+        if self.builder is None and self.store is None and self.generator is None:
+            raise ValueError(
+                f"space {self.name!r} needs a store, a generator or a builder"
+            )
+        if self.store is not None:
+            self.store = Path(self.store)
+            if self.actions is None and self.generator is None:
+                raise ValueError(
+                    f"space {self.name!r}: a store needs its dataset — give "
+                    "actions (+ demographics) CSVs or a generator spec"
+                )
+        if self.actions is not None:
+            self.actions = Path(self.actions)
+        if self.demographics is not None:
+            self.demographics = Path(self.demographics)
+        if self.generator is not None:
+            self._check_generator(self.generator)
+        if self.discovery is not None:
+            unknown = set(self.discovery) - _DISCOVERY_KNOBS
+            if unknown:
+                raise ValueError(
+                    f"space {self.name!r}: unknown discovery knobs "
+                    f"{sorted(unknown)}"
+                )
+            if self.store is not None:
+                raise ValueError(
+                    f"space {self.name!r}: discovery knobs are meaningless "
+                    "with a store (discovery already ran offline)"
+                )
+        if not 0.0 < self.materialize_fraction <= 1.0:
+            raise ValueError(
+                f"space {self.name!r}: materialize_fraction must be in (0, 1]"
+            )
+        if self.idle_ttl_s is not None and self.idle_ttl_s <= 0:
+            raise ValueError(f"space {self.name!r}: idle_ttl_s must be > 0")
+        if self.max_sessions is not None and self.max_sessions < 1:
+            raise ValueError(f"space {self.name!r}: max_sessions must be >= 1")
+
+    def _check_generator(self, spec: dict) -> None:
+        if not isinstance(spec, dict) or "kind" not in spec:
+            raise ValueError(
+                f"space {self.name!r}: generator spec needs a 'kind'"
+            )
+        knobs = _GENERATOR_KNOBS.get(spec["kind"])
+        if knobs is None:
+            raise ValueError(
+                f"space {self.name!r}: unknown generator kind "
+                f"{spec['kind']!r} (known: {sorted(_GENERATOR_KNOBS)})"
+            )
+        unknown = set(spec) - knobs - {"kind"}
+        if unknown:
+            raise ValueError(
+                f"space {self.name!r}: unknown {spec['kind']} generator "
+                f"knobs {sorted(unknown)}"
+            )
+
+    # -- materialization -------------------------------------------------
+
+    def _dataset(self):
+        if self.generator is not None:
+            spec = dict(self.generator)
+            kind = spec.pop("kind")
+            if kind == "dbauthors":
+                from repro.data.generators.dbauthors import (
+                    DBAuthorsConfig,
+                    generate_dbauthors,
+                )
+
+                dataset = generate_dbauthors(DBAuthorsConfig(**spec)).dataset
+            else:
+                from repro.data.generators.bookcrossing import (
+                    BookCrossingConfig,
+                    generate_bookcrossing,
+                )
+
+                dataset = generate_bookcrossing(BookCrossingConfig(**spec)).dataset
+            if self.dataset is not None and dataset.name != self.dataset:
+                raise ValueError(
+                    f"space {self.name!r}: generator produced dataset "
+                    f"{dataset.name!r}, manifest expects {self.dataset!r}"
+                )
+            return dataset
+        from repro.data.etl import load_dataset
+
+        return load_dataset(
+            self.actions,
+            self.demographics,
+            name=self.dataset if self.dataset is not None else "dataset",
+        ).dataset
+
+    def materialize(self) -> GroupSpaceRuntime:
+        """Build this space's serving runtime (the registry's slow path).
+
+        Runs on a registry build worker, never on a serving thread: a
+        store load revalidates the persisted index against the live
+        space's membership digest, a generator-only descriptor runs
+        discovery and builds the index from scratch, and a builder is
+        called as-is.  The returned runtime always carries this
+        descriptor's name, so every session checkpoint it mints is
+        stamped for this space and no other.
+        """
+        if self.builder is not None:
+            runtime = self.builder()
+            if runtime.name is None:
+                runtime.name = self.name
+            elif runtime.name != self.name:
+                raise ValueError(
+                    f"space {self.name!r}: builder returned a runtime "
+                    f"named {runtime.name!r}"
+                )
+            return runtime
+        dataset = self._dataset()
+        if self.store is not None:
+            return GroupSpaceRuntime.from_store(
+                dataset, self.store, name=self.name
+            )
+        space = discover_groups(
+            dataset, DiscoveryConfig(**(self.discovery or {}))
+        )
+        return GroupSpaceRuntime(
+            space,
+            materialize_fraction=self.materialize_fraction,
+            name=self.name,
+        )
+
+    def describe(self) -> dict[str, object]:
+        """The configuration slice of the ``/spaces`` wire payload."""
+        return {
+            "name": self.name,
+            "dataset": self.dataset,
+            "source": (
+                "builder"
+                if self.builder is not None
+                else "store"
+                if self.store is not None
+                else "generator"
+            ),
+            "idle_ttl_s": self.idle_ttl_s,
+            "max_sessions": self.max_sessions,
+        }
+
+
+def _descriptor_from_manifest(
+    entry: dict, base: Path, defaults: dict
+) -> SpaceDescriptor:
+    if not isinstance(entry, dict):
+        raise ValueError("each manifest space must be a JSON object")
+    unknown = set(entry) - _SPACE_KEYS
+    if unknown:
+        raise ValueError(
+            f"space {entry.get('name', '?')!r}: unknown manifest keys "
+            f"{sorted(unknown)}"
+        )
+    if "name" not in entry:
+        raise ValueError("every manifest space needs a name")
+    fields = dict(defaults)
+    fields.update(entry)
+    for key in ("store", "actions", "demographics"):
+        if fields.get(key) is not None:
+            fields[key] = (base / fields[key]).resolve()
+    return SpaceDescriptor(**fields)
+
+
+def load_manifest(path: str | Path) -> list[SpaceDescriptor]:
+    """Parse a multi-space manifest into descriptors (order preserved).
+
+    The first space is the registry's default route.  Relative store /
+    CSV paths resolve against the manifest's directory, so a manifest
+    can travel with its stores.  Duplicate names and unknown keys raise.
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: manifest must be a JSON object")
+    unknown = set(payload) - _MANIFEST_KEYS
+    if unknown:
+        raise ValueError(f"{path}: unknown manifest keys {sorted(unknown)}")
+    defaults = payload.get("defaults") or {}
+    if not isinstance(defaults, dict) or set(defaults) - _DEFAULTS_KEYS:
+        raise ValueError(
+            f"{path}: defaults accepts only {sorted(_DEFAULTS_KEYS)}"
+        )
+    spaces = payload.get("spaces")
+    if not isinstance(spaces, list) or not spaces:
+        raise ValueError(f"{path}: manifest needs a non-empty 'spaces' list")
+    descriptors = [
+        _descriptor_from_manifest(entry, path.parent, defaults)
+        for entry in spaces
+    ]
+    names = [descriptor.name for descriptor in descriptors]
+    if len(set(names)) != len(names):
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        raise ValueError(f"{path}: duplicate space names {duplicates}")
+    return descriptors

@@ -1,0 +1,75 @@
+"""Shared fixtures for the multi-space hosting suites.
+
+Two small, distinct dbauthors group spaces (different generator seeds,
+so different populations, groups and displays) discovered once per test
+session; registries are built over *builder* descriptors that reuse the
+prebuilt spaces and indexes, so every test measures registry/routing
+behaviour, not discovery time.
+"""
+
+import pytest
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.runtime import GroupSpaceRuntime
+from repro.core.session import SessionConfig
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+from repro.index.inverted import SimilarityIndex
+from repro.spaces import SpaceDescriptor, SpaceRegistry
+
+
+def _discover(seed: int):
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=220, seed=seed))
+    return discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.07, max_description=3),
+    )
+
+
+@pytest.fixture(scope="session")
+def space_a():
+    return _discover(29)
+
+
+@pytest.fixture(scope="session")
+def space_b():
+    return _discover(31)
+
+
+@pytest.fixture(scope="session")
+def index_a(space_a):
+    return SimilarityIndex(space_a.memberships(), space_a.dataset.n_users, 0.10)
+
+
+@pytest.fixture(scope="session")
+def index_b(space_b):
+    return SimilarityIndex(space_b.memberships(), space_b.dataset.n_users, 0.10)
+
+
+def untimed_config() -> SessionConfig:
+    # Untimed + no profile: selection is deterministic, so traces can be
+    # compared display for display across transports and registries.
+    return SessionConfig(k=5, time_budget_ms=None, use_profile=False)
+
+
+def builder_descriptor(name, space, index, **knobs) -> SpaceDescriptor:
+    """A descriptor over a prebuilt space+index (no discovery at build)."""
+    return SpaceDescriptor(
+        name=name,
+        builder=lambda: GroupSpaceRuntime(space, index=index, name=name),
+        **knobs,
+    )
+
+
+@pytest.fixture()
+def two_space_registry(space_a, index_a, space_b, index_b, tmp_path):
+    """A durable registry hosting spaces "alpha" and "beta" (both cold)."""
+    registry = SpaceRegistry(
+        [
+            builder_descriptor("alpha", space_a, index_a),
+            builder_descriptor("beta", space_b, index_b),
+        ],
+        state_dir=tmp_path / "state",
+        default_config=untimed_config(),
+    )
+    yield registry
+    registry.shutdown(wait=True)

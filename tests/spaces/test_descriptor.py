@@ -1,0 +1,212 @@
+"""Space descriptors + manifest parsing: configuration must fail loudly.
+
+A multi-space deployment is configured once (the manifest) and then runs
+unattended; every typo'd knob, duplicate name or dangling store path has
+to surface at parse/validate time, never as a silently misconfigured
+production space.
+"""
+
+import json
+
+import pytest
+
+from repro.core.runtime import GroupSpaceRuntime
+from repro.core.store import save_group_space, save_index
+from repro.spaces import SpaceDescriptor, load_manifest, valid_space_name
+
+
+class TestValidation:
+    def test_name_charset_is_enforced(self):
+        # Names prefix session ids and name state directories, so the
+        # resume-token alphabet is the law.
+        for bad in ("", "a/b", "a.b", "a b", "x" * 49, "../etc"):
+            assert not valid_space_name(bad)
+            with pytest.raises(ValueError, match="space name"):
+                SpaceDescriptor(name=bad, generator={"kind": "dbauthors"})
+        assert valid_space_name("dm-authors_2")
+
+    def test_some_source_is_required(self):
+        with pytest.raises(ValueError, match="store, a generator or a builder"):
+            SpaceDescriptor(name="empty")
+
+    def test_store_needs_a_dataset_source(self):
+        with pytest.raises(ValueError, match="needs its dataset"):
+            SpaceDescriptor(name="s", store="somewhere")
+
+    def test_builder_excludes_other_sources(self):
+        with pytest.raises(ValueError, match="builder excludes"):
+            SpaceDescriptor(
+                name="s",
+                builder=lambda: None,
+                generator={"kind": "dbauthors"},
+            )
+
+    def test_generator_spec_is_checked(self):
+        with pytest.raises(ValueError, match="needs a 'kind'"):
+            SpaceDescriptor(name="s", generator={"seed": 1})
+        with pytest.raises(ValueError, match="unknown generator kind"):
+            SpaceDescriptor(name="s", generator={"kind": "mnist"})
+        with pytest.raises(ValueError, match="unknown dbauthors generator"):
+            SpaceDescriptor(
+                name="s", generator={"kind": "dbauthors", "n_users": 5}
+            )
+
+    def test_discovery_knobs_are_checked(self):
+        with pytest.raises(ValueError, match="unknown discovery knobs"):
+            SpaceDescriptor(
+                name="s",
+                generator={"kind": "dbauthors"},
+                discovery={"min_sup": 0.1},
+            )
+
+    def test_discovery_with_store_is_rejected(self):
+        with pytest.raises(ValueError, match="discovery already ran offline"):
+            SpaceDescriptor(
+                name="s",
+                store="somewhere",
+                generator={"kind": "dbauthors"},
+                discovery={"min_support": 0.1},
+            )
+
+    def test_policy_knobs_are_checked(self):
+        with pytest.raises(ValueError, match="idle_ttl_s"):
+            SpaceDescriptor(
+                name="s", generator={"kind": "dbauthors"}, idle_ttl_s=0
+            )
+        with pytest.raises(ValueError, match="max_sessions"):
+            SpaceDescriptor(
+                name="s", generator={"kind": "dbauthors"}, max_sessions=0
+            )
+
+
+class TestMaterialize:
+    def test_generator_descriptor_discovers_a_named_runtime(self):
+        descriptor = SpaceDescriptor(
+            name="dm",
+            generator={"kind": "dbauthors", "n_authors": 200, "seed": 29},
+            discovery={"min_support": 0.07},
+        )
+        runtime = descriptor.materialize()
+        assert runtime.name == "dm"
+        assert len(runtime.space) > 0
+        assert runtime.space.dataset.name == "db-authors-synthetic"
+
+    def test_store_descriptor_loads_offline_artifacts(
+        self, space_a, index_a, tmp_path
+    ):
+        save_group_space(space_a, tmp_path)
+        save_index(index_a, tmp_path)
+        descriptor = SpaceDescriptor(
+            name="stored",
+            store=tmp_path,
+            generator={"kind": "dbauthors", "n_authors": 220, "seed": 29},
+        )
+        runtime = descriptor.materialize()
+        assert runtime.name == "stored"
+        assert len(runtime.space) == len(space_a)
+        # The persisted index was loaded, not rebuilt.
+        assert runtime.index.memory_entries() == index_a.memory_entries()
+
+    def test_builder_runtime_is_stamped_with_the_name(self, space_a, index_a):
+        descriptor = SpaceDescriptor(
+            name="built",
+            builder=lambda: GroupSpaceRuntime(space_a, index=index_a),
+        )
+        assert descriptor.materialize().name == "built"
+
+    def test_builder_name_mismatch_raises(self, space_a, index_a):
+        descriptor = SpaceDescriptor(
+            name="built",
+            builder=lambda: GroupSpaceRuntime(
+                space_a, index=index_a, name="other"
+            ),
+        )
+        with pytest.raises(ValueError, match="named 'other'"):
+            descriptor.materialize()
+
+
+class TestExperimentRegistryNames:
+    def test_paper_scale_parameterizations_get_valid_names(self):
+        from repro.experiments.common import _registry_name
+
+        short = _registry_name("dbauthors-s11-ms0040-mf0100")
+        assert short == "dbauthors-s11-ms0040-mf0100"  # readable as-is
+        # Paper-scale bookcrossing knobs overflow 48 chars; the digested
+        # name must stay valid, deterministic and parameter-distinct.
+        long_a = "bookcrossing-u278858-i271379-r1000000-s7-ms0030-mf0100"
+        long_b = "bookcrossing-u278858-i271379-r1000000-s8-ms0030-mf0100"
+        assert valid_space_name(_registry_name(long_a))
+        assert _registry_name(long_a) == _registry_name(long_a)
+        assert _registry_name(long_a) != _registry_name(long_b)
+
+
+def write_manifest(path, payload) -> str:
+    target = path / "manifest.json"
+    target.write_text(json.dumps(payload), encoding="utf-8")
+    return target
+
+
+class TestManifest:
+    def test_manifest_round_trip_with_defaults_and_paths(self, tmp_path):
+        manifest = write_manifest(
+            tmp_path,
+            {
+                "defaults": {"idle_ttl_s": 900},
+                "spaces": [
+                    {
+                        "name": "dm",
+                        "generator": {"kind": "dbauthors", "seed": 7},
+                        "discovery": {"min_support": 0.05},
+                    },
+                    {
+                        "name": "books",
+                        "store": "stores/books",
+                        "actions": "data/actions.csv",
+                        "dataset": "bookcrossing",
+                        "idle_ttl_s": 60,
+                    },
+                ],
+            },
+        )
+        descriptors = load_manifest(manifest)
+        assert [d.name for d in descriptors] == ["dm", "books"]
+        # The default applies where the space is silent, the override wins.
+        assert descriptors[0].idle_ttl_s == 900
+        assert descriptors[1].idle_ttl_s == 60
+        # Relative paths resolve against the manifest's directory.
+        assert descriptors[1].store == (tmp_path / "stores/books").resolve()
+        assert descriptors[1].actions == (tmp_path / "data/actions.csv").resolve()
+
+    @pytest.mark.parametrize(
+        "payload, complaint",
+        [
+            ([], "JSON object"),
+            ({"spaces": []}, "non-empty 'spaces'"),
+            ({"spaces": [{"generator": {"kind": "dbauthors"}}]}, "needs a name"),
+            (
+                {"spaces": [{"name": "a", "generator": {"kind": "dbauthors"}, "sotre": "x"}]},
+                "unknown manifest keys",
+            ),
+            (
+                {"spices": [], "spaces": [{"name": "a", "generator": {"kind": "dbauthors"}}]},
+                "unknown manifest keys",
+            ),
+            (
+                {"defaults": {"ttl": 3}, "spaces": [{"name": "a", "generator": {"kind": "dbauthors"}}]},
+                "defaults accepts only",
+            ),
+            (
+                {
+                    "spaces": [
+                        {"name": "a", "generator": {"kind": "dbauthors"}},
+                        {"name": "a", "generator": {"kind": "dbauthors"}},
+                    ]
+                },
+                "duplicate space names",
+            ),
+        ],
+    )
+    def test_malformed_manifests_raise(self, tmp_path, payload, complaint):
+        manifest = write_manifest(tmp_path, payload)
+        with pytest.raises(ValueError, match=complaint):
+            load_manifest(manifest)

@@ -1,0 +1,324 @@
+"""Multi-space hosting over the wire: routing must be invisible.
+
+The acceptance bar for the served subsystem: one process hosts ≥ 2
+distinct group spaces, and a routed click is field-for-field identical
+to what a dedicated single-space server of that space serves; a cold
+space builds in the background while clicks on a hot space keep landing;
+an evicted space's session resumes bitwise-identical after re-attach —
+plus the typed error surface (``unknown_space`` 404s, 202-building with
+a retry hint) and the ``/spaces`` / ``/healthz`` introspection sections.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.core.runtime import GroupSpaceRuntime, SessionManager, scripted_click_gid
+from repro.core.session import SessionConfig
+from repro.service import (
+    ExplorationClient,
+    ExplorationService,
+    ServiceError,
+    SessionNotFound,
+    SpaceBuilding,
+    SpaceNotFound,
+)
+from repro.spaces import SpaceDescriptor, SpaceRegistry
+
+N_CLICKS = 3
+
+
+def untimed_config() -> SessionConfig:
+    return SessionConfig(k=5, time_budget_ms=None, use_profile=False)
+
+
+def builder_descriptor(name, space, index, **knobs) -> SpaceDescriptor:
+    return SpaceDescriptor(
+        name=name,
+        builder=lambda: GroupSpaceRuntime(space, index=index, name=name),
+        **knobs,
+    )
+
+
+@pytest.fixture()
+def registry_service(two_space_registry):
+    with ExplorationService(registry=two_space_registry).start() as service:
+        yield service
+
+
+@pytest.fixture()
+def client(registry_service):
+    with ExplorationClient(registry_service.host, registry_service.port) as connected:
+        yield connected
+
+
+def single_space_trace(space, index, clicks: int):
+    """The oracle: the same walk against a dedicated one-space server.
+
+    Full wire payloads — (gid, description, size) per slot — so routed
+    parity is field for field, not just gid for gid.
+    """
+    manager = SessionManager(
+        GroupSpaceRuntime(space, index=index, share_cache=False),
+        default_config=untimed_config(),
+    )
+    with ExplorationService(manager).start() as service:
+        with ExplorationClient(service.host, service.port) as client:
+            opened = client.open()
+            shown = opened.display
+            trace = [[(g.gid, g.description, g.size) for g in shown]]
+            visited: set[int] = set()
+            for _ in range(clicks):
+                gid = scripted_click_gid(shown, visited)
+                shown = client.click(opened.session_id, gid)
+                trace.append([(g.gid, g.description, g.size) for g in shown])
+            return trace
+
+
+def routed_trace(client, space_name: str, clicks: int):
+    opened = client.open_when_ready(space=space_name, timeout_s=30.0)
+    assert opened.space == space_name
+    shown = opened.display
+    trace = [[(g.gid, g.description, g.size) for g in shown]]
+    visited: set[int] = set()
+    for _ in range(clicks):
+        gid = scripted_click_gid(shown, visited)
+        shown = client.click(opened.session_id, gid)
+        trace.append([(g.gid, g.description, g.size) for g in shown])
+    return opened, trace
+
+
+class TestRoutedParity:
+    def test_each_space_matches_its_dedicated_server(
+        self, space_a, index_a, space_b, index_b, client
+    ):
+        """One process, two spaces; each routed trace == its solo server."""
+        expected_a = single_space_trace(space_a, index_a, N_CLICKS)
+        expected_b = single_space_trace(space_b, index_b, N_CLICKS)
+        opened_a, trace_a = routed_trace(client, "alpha", N_CLICKS)
+        opened_b, trace_b = routed_trace(client, "beta", N_CLICKS)
+        assert trace_a == expected_a
+        assert trace_b == expected_b
+        # The two spaces really are different populations (routing that
+        # collapsed them would be caught above only by luck).
+        assert trace_a != trace_b
+        assert opened_a.session_id.startswith("alpha-")
+        assert opened_b.session_id.startswith("beta-")
+
+    def test_default_space_is_the_first_manifest_entry(self, client):
+        client.open_when_ready(space="alpha", timeout_s=30.0)
+        opened = client.open()
+        assert opened.space == "alpha"
+        assert opened.session_id.startswith("alpha-")
+
+
+class TestBackgroundBuild:
+    def test_cold_open_is_202_and_hot_space_keeps_serving(
+        self, two_space_registry, registry_service, client
+    ):
+        opened, _ = routed_trace(client, "alpha", 1)
+        shown = client.displayed(opened.session_id)
+        with pytest.raises(SpaceBuilding) as excinfo:
+            client.open(space="beta")
+        assert excinfo.value.space == "beta"
+        assert excinfo.value.retry_after_s > 0
+        # While beta builds, alpha clicks still land.
+        visited = {g.gid for g in shown}
+        assert client.click(opened.session_id, shown[0].gid)
+        ready = client.open_when_ready(space="beta", timeout_s=30.0)
+        assert ready.session_id.startswith("beta-")
+
+    def test_202_carries_retry_after_header(self, registry_service):
+        connection = http.client.HTTPConnection(
+            registry_service.host, registry_service.port
+        )
+        try:
+            connection.request(
+                "POST",
+                "/v1/sessions",
+                body=json.dumps({"space": "beta"}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 202
+            assert payload["state"] == "building"
+            assert payload["space"] == "beta"
+            assert int(response.headers["Retry-After"]) >= 1
+        finally:
+            connection.close()
+
+
+class TestErrorSurface:
+    def test_unknown_space_is_a_typed_404(self, client):
+        with pytest.raises(SpaceNotFound) as excinfo:
+            client.open(space="nope")
+        assert excinfo.value.status == 404
+        assert excinfo.value.error_type == "unknown_space"
+        # Distinct from an unknown *session* 404.
+        with pytest.raises(SessionNotFound):
+            client.displayed("alpha-s9999")
+
+    def test_space_field_must_be_a_string(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.open(space=7)  # type: ignore[arg-type]
+        assert excinfo.value.status == 400
+
+    def test_single_space_server_refuses_the_space_field(self, space_a, index_a):
+        manager = SessionManager(
+            GroupSpaceRuntime(space_a, index=index_a),
+            default_config=untimed_config(),
+        )
+        with ExplorationService(manager).start() as service:
+            with ExplorationClient(service.host, service.port) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.open(space="alpha")
+                assert excinfo.value.status == 400
+                with pytest.raises(ServiceError) as excinfo:
+                    client.spaces()
+                assert excinfo.value.status == 404
+
+
+class TestIntrospection:
+    def test_spaces_lists_state_and_stats(self, client):
+        listing = client.spaces()
+        assert listing["default"] == "alpha"
+        assert set(listing["spaces"]) == {"alpha", "beta"}
+        assert all(
+            row["state"] == "cold" for row in listing["spaces"].values()
+        )
+        opened, _ = routed_trace(client, "alpha", 1)
+        listing = client.spaces()
+        alpha = listing["spaces"]["alpha"]
+        assert alpha["state"] == "ready"
+        assert alpha["live_sessions"] == 1
+        assert alpha["stats"]["runtime"]["name"] == "alpha"
+        assert listing["spaces"]["beta"]["state"] == "cold"
+
+    def test_healthz_carries_per_space_sections(self, client):
+        opened, _ = routed_trace(client, "alpha", 1)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["registry"]["spaces"] == 2
+        assert health["registry"]["ready"] == 1
+        alpha = health["spaces"]["alpha"]
+        assert alpha["live_sessions"] == 1
+        assert "shared" in alpha["stats"]["runtime"]
+        assert "manager" not in health  # the single-space key is gone
+
+    def test_session_listing_spans_spaces(self, client):
+        opened_a, _ = routed_trace(client, "alpha", 0)
+        opened_b, _ = routed_trace(client, "beta", 0)
+        assert client.sessions() == sorted(
+            [opened_a.session_id, opened_b.session_id]
+        )
+
+
+class TestServiceSweep:
+    def test_service_drives_per_space_ttl_sweeps(
+        self, space_a, index_a, space_b, index_b, tmp_path
+    ):
+        import time
+
+        registry = SpaceRegistry(
+            [
+                builder_descriptor("batch", space_a, index_a, idle_ttl_s=0.1),
+                builder_descriptor("hot", space_b, index_b),
+            ],
+            state_dir=tmp_path / "state",
+            default_config=untimed_config(),
+        )
+        with ExplorationService(
+            registry=registry, sweep_interval_s=0.03
+        ).start() as service:
+            with ExplorationClient(service.host, service.port) as client:
+                batch = client.open_when_ready(space="batch", timeout_s=30.0)
+                hot = client.open_when_ready(space="hot", timeout_s=30.0)
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    # The sweeper expires the batch session on its own.
+                    # Poll the *listing*, not the session — a displayed
+                    # read counts as activity and would keep it alive.
+                    if batch.session_id not in client.sessions():
+                        break
+                    time.sleep(0.05)
+                else:
+                    pytest.fail("idle batch session was never swept")
+                with pytest.raises(SessionNotFound):
+                    client.displayed(batch.session_id)
+                # The TTL-less hot space is exempt (its session is older
+                # than the whole sweep window by now).
+                assert client.displayed(hot.session_id)
+                resumed = client.open(
+                    space="batch", resume=batch.resume_token
+                )
+                assert resumed.session_id.startswith("batch-")
+        registry.shutdown()
+
+    def test_spaces_registered_after_start_are_swept(
+        self, space_a, index_a, space_b, index_b, tmp_path
+    ):
+        import time
+
+        # The registry starts with no TTLs at all; the sweeper must
+        # still pick up a short-TTL space registered only after the
+        # service was already running.
+        registry = SpaceRegistry(
+            [builder_descriptor("hot", space_b, index_b)],
+            state_dir=tmp_path / "state",
+            default_config=untimed_config(),
+        )
+        with ExplorationService(
+            registry=registry, sweep_interval_s=0.03
+        ).start() as service:
+            registry.register(
+                builder_descriptor("late", space_a, index_a, idle_ttl_s=0.1)
+            )
+            with ExplorationClient(service.host, service.port) as client:
+                late = client.open_when_ready(space="late", timeout_s=30.0)
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    if late.session_id not in client.sessions():
+                        break
+                    time.sleep(0.05)
+                else:
+                    pytest.fail("late-registered space was never swept")
+        registry.shutdown()
+
+    def test_registry_service_rejects_its_own_idle_ttl(self, two_space_registry):
+        with pytest.raises(ValueError, match="configure idle TTLs on the registry"):
+            ExplorationService(registry=two_space_registry, idle_ttl_s=5.0)
+
+    def test_exactly_one_front_is_required(self, space_a, index_a, two_space_registry):
+        with pytest.raises(ValueError, match="exactly one"):
+            ExplorationService()
+        manager = SessionManager(
+            GroupSpaceRuntime(space_a, index=index_a),
+            default_config=untimed_config(),
+        )
+        with pytest.raises(ValueError, match="exactly one"):
+            ExplorationService(manager, registry=two_space_registry)
+
+
+class TestEvictionResume:
+    def test_evicted_space_session_resumes_identically_over_http(
+        self, two_space_registry, registry_service, client
+    ):
+        opened, trace = routed_trace(client, "alpha", N_CLICKS)
+        final_display = trace[-1]
+        # Space-level eviction (the budget's move, forced here): live
+        # sessions are checkpointed, the runtime is dropped.
+        assert two_space_registry.evict("alpha")
+        with pytest.raises(SessionNotFound):
+            client.displayed(opened.session_id)
+        # Re-attach triggers the lazy rebuild; the resumed display is
+        # exactly what the evicted session was showing.
+        restored = client.open_when_ready(
+            space="alpha", resume=opened.resume_token, timeout_s=30.0
+        )
+        assert [
+            (g.gid, g.description, g.size) for g in restored.display
+        ] == final_display
+        # And the walk continues from there.
+        assert client.click(restored.session_id, restored.display[0].gid)

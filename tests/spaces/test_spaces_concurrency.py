@@ -1,0 +1,163 @@
+"""Cross-space isolation under contention (``-m concurrency``).
+
+N real HTTP clients spread across ≥ 2 hosted spaces, clicking
+concurrently against one server process:
+
+- display parity per space: every contended routed trace equals the
+  solo single-stack oracle of *its* space;
+- zero leakage: each session's feedback equals its space's solo oracle
+  (a clicked group from the other space leaking into CONTEXT would show
+  here), and the two spaces' shared caches never exchange entries;
+- evict-then-resume round-trip equality while the other space is under
+  live click load.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.runtime import GroupSpaceRuntime, scripted_click_gid
+from repro.core.session import SessionConfig
+from repro.service import ExplorationClient, ExplorationService, SessionNotFound
+from repro.spaces import SpaceRegistry
+
+pytestmark = pytest.mark.concurrency
+
+N_CLIENTS_PER_SPACE = 3
+N_CLICKS = 4
+
+
+def untimed_config() -> SessionConfig:
+    return SessionConfig(k=5, time_budget_ms=None, use_profile=False)
+
+
+def solo_oracle(space, index, clicks: int):
+    """The walk every contended client must reproduce for this space."""
+    runtime = GroupSpaceRuntime(space, index=index, share_cache=False)
+    session = runtime.create_session(untimed_config())
+    shown = session.start()
+    displays = []
+    visited: set[int] = set()
+    for _ in range(clicks):
+        shown = session.click(scripted_click_gid(shown, visited))
+        displays.append([group.gid for group in shown])
+    return displays, session.feedback.snapshot()
+
+
+def routed_replay(service, registry, space_name: str, clicks: int):
+    """One remote analyst on one space: walk, capture feedback, close."""
+    with ExplorationClient(service.host, service.port) as client:
+        opened = client.open_when_ready(space=space_name, timeout_s=60.0)
+        shown = opened.display
+        displays = []
+        visited: set[int] = set()
+        for _ in range(clicks):
+            shown = client.click(
+                opened.session_id, scripted_click_gid(shown, visited)
+            )
+            displays.append([group.gid for group in shown])
+        manager = registry.route(opened.session_id)
+        feedback = manager.session(opened.session_id).feedback.snapshot()
+        client.close(opened.session_id)
+        return space_name, displays, feedback
+
+
+class TestCrossSpaceContention:
+    def test_parity_and_isolation_across_two_spaces(
+        self, space_a, index_a, space_b, index_b, two_space_registry
+    ):
+        registry = two_space_registry
+        oracles = {
+            "alpha": solo_oracle(space_a, index_a, N_CLICKS),
+            "beta": solo_oracle(space_b, index_b, N_CLICKS),
+        }
+        targets = ["alpha", "beta"] * N_CLIENTS_PER_SPACE
+        with ExplorationService(registry=registry).start() as service:
+            with ThreadPoolExecutor(max_workers=len(targets)) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda name: routed_replay(
+                            service, registry, name, N_CLICKS
+                        ),
+                        targets,
+                    )
+                )
+        for space_name, displays, feedback in outcomes:
+            expected_displays, expected_feedback = oracles[space_name]
+            # Per-space display parity: routing + contention invisible.
+            assert displays == expected_displays
+            # Zero leakage: CONTEXT holds exactly this space's walk.
+            assert feedback == expected_feedback
+
+    def test_shared_caches_never_cross_spaces(
+        self, space_a, space_b, two_space_registry
+    ):
+        registry = two_space_registry
+        with ExplorationService(registry=registry).start() as service:
+            targets = ["alpha", "beta"] * 2
+            with ThreadPoolExecutor(max_workers=len(targets)) as pool:
+                list(
+                    pool.map(
+                        lambda name: routed_replay(
+                            service, registry, name, N_CLICKS
+                        ),
+                        targets,
+                    )
+                )
+        runtime_a = registry.manager("alpha", wait=True).runtime
+        runtime_b = registry.manager("beta", wait=True).runtime
+        # Distinct cache objects, each warmed only by its own space's
+        # pools: every cached structure key must resolve within its
+        # space's group count.
+        assert runtime_a.shared is not runtime_b.shared
+        for runtime, space in ((runtime_a, space_a), (runtime_b, space_b)):
+            assert runtime.shared.stats()["structures"] > 0
+            for key, _relevant_key in runtime.shared._structures:
+                assert all(gid < len(space) for gid, _size, _hash in key)
+
+    def test_evict_then_resume_round_trip_under_load(
+        self, space_a, index_a, space_b, index_b, two_space_registry
+    ):
+        registry = two_space_registry
+        oracle_displays, _ = solo_oracle(space_a, index_a, N_CLICKS)
+        with ExplorationService(registry=registry).start() as service:
+            with ExplorationClient(service.host, service.port) as client:
+                opened = client.open_when_ready(space="alpha", timeout_s=60.0)
+                shown = opened.display
+                visited: set[int] = set()
+                for _ in range(2):
+                    shown = client.click(
+                        opened.session_id, scripted_click_gid(shown, visited)
+                    )
+            # Keep beta under live click load while alpha is evicted and
+            # rebuilt — eviction of one space must not disturb another's
+            # in-flight traffic.
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                load = [
+                    pool.submit(
+                        routed_replay, service, registry, "beta", N_CLICKS
+                    )
+                    for _ in range(3)
+                ]
+                assert registry.evict("alpha")
+                with ExplorationClient(service.host, service.port) as client:
+                    with pytest.raises(SessionNotFound):
+                        client.displayed(opened.session_id)
+                    restored = client.open_when_ready(
+                        space="alpha",
+                        resume=opened.resume_token,
+                        timeout_s=60.0,
+                    )
+                    shown = restored.display
+                    for _ in range(2):
+                        shown = client.click(
+                            restored.session_id,
+                            scripted_click_gid(shown, visited),
+                        )
+                    # The resumed walk lands exactly where the solo,
+                    # never-evicted walk lands.
+                    assert [g.gid for g in shown] == oracle_displays[-1]
+                beta_oracle, _ = solo_oracle(space_b, index_b, N_CLICKS)
+                for future in load:
+                    _space, displays, _feedback = future.result(timeout=60.0)
+                    assert displays == beta_oracle
