@@ -110,6 +110,19 @@ SERVICE_OVERHEAD_SMOKE_GATE_MS = 25.0
 SPACES_OVERHEAD_GATE_MS = 2.0
 SPACES_OVERHEAD_SMOKE_GATE_MS = 25.0
 
+#: Gates on the journal durability layer.  Flatness: the p50 append cost
+#: late in a long session may be at most this multiple of the cost
+#: around click 10 — the O(1)-per-click claim (snapshot mode is
+#: O(session length) here by construction).  Ratio: a journaled click's
+#: end-to-end p50 must not exceed a snapshot-durability click's by more
+#: than this factor once the session is long (>= 50 clicks in full
+#: runs, where snapshot rewrites dominate).  Smoke runs on shared CI
+#: boxes get loose bars — single-digit-ms fsyncs are noisy there.
+JOURNAL_FLATNESS_GATE = 3.0
+JOURNAL_FLATNESS_SMOKE_GATE = 8.0
+JOURNAL_CLICK_RATIO_GATE = 1.10
+JOURNAL_CLICK_RATIO_SMOKE_GATE = 2.0
+
 
 def c2_pools(n_parents: int) -> list[tuple]:
     """C2's unit: the 200-candidate neighborhoods of large dbauthors groups."""
@@ -810,6 +823,95 @@ def measure_index_build(smoke: bool) -> dict:
     }
 
 
+def measure_journal(clicks: int, compact_every: int = 64) -> dict:
+    """Journal durability: O(1) appends, vs-snapshot clicks, recovery.
+
+    Three claims, one report.  *Flatness*: the fsync'd digest-chained
+    append is constant-cost per click — the p50 of appends late in a
+    long session must match the p50 around click 10, however long the
+    history has grown.  *Ratio*: snapshot durability rewrites the whole
+    session JSON on every click (O(session length)), so once the
+    session is long a journaled click's end-to-end p50 must not exceed
+    the snapshot-mode click's — the journal exists to make durable
+    clicks cheaper, not just crash-safe.  *Recovery*: a second manager
+    over the same state directory resumes by token (snapshot + verified
+    journal-tail replay) and must show exactly the display the first
+    manager last acknowledged.
+    """
+    space = dbauthors_space()
+    config = SessionConfig(
+        k=5, time_budget_ms=BUDGET_MS, engine="celf", use_profile=False
+    )
+    base_runtime = GroupSpaceRuntime(space)
+
+    def walk(manager: SessionManager) -> tuple[str, list, list[float]]:
+        session_id, shown = manager.open_session()
+        latencies: list[float] = []
+        visited: set[int] = set()
+        for _ in range(clicks):
+            gid = scripted_click_gid(shown, visited)
+            started = time.perf_counter()
+            shown = manager.click(session_id, gid)
+            latencies.append((time.perf_counter() - started) * 1000.0)
+        return session_id, shown, latencies
+
+    # Late window: where snapshot rewrites have grown heavy enough to
+    # matter (>= 50 clicks in on a full run, the back half in smoke).
+    tail_from = min(50, clicks // 2)
+    recovery_ok = False
+    arms: dict[str, list[float]] = {}
+    with tempfile.TemporaryDirectory(prefix="bench-journal-state-") as state:
+        for arm in ("snapshot", "journal"):
+            manager = SessionManager(
+                GroupSpaceRuntime(space, index=base_runtime.index),
+                default_config=config,
+                state_dir=Path(state) / arm,
+                durability=arm,
+                compact_every=compact_every,
+            )
+            session_id, shown, arms[arm] = walk(manager)
+            if arm == "journal":
+                journal = manager.session_journal(session_id)
+                append_ms = list(journal.append_ms)
+                token = manager.resume_token(session_id)
+                expected = [group.gid for group in shown]
+                revived = SessionManager(
+                    GroupSpaceRuntime(space, index=base_runtime.index),
+                    default_config=config,
+                    state_dir=Path(state) / arm,
+                    durability="journal",
+                    compact_every=compact_every,
+                )
+                _, restored = revived.open_session(resume=token)
+                recovery_ok = [group.gid for group in restored] == expected
+            manager.close(session_id)
+
+    # Click 10 vs the session's final stretch; p50s so a compaction
+    # landing inside either window cannot skew the flatness claim.
+    early_window = append_ms[9:19] if len(append_ms) >= 25 else append_ms[: max(len(append_ms) // 2, 1)]
+    late_window = append_ms[-10:]
+    append_early = statistics.median(early_window)
+    append_late = statistics.median(late_window)
+    snapshot_late = statistics.median(arms["snapshot"][tail_from:])
+    journal_late = statistics.median(arms["journal"][tail_from:])
+    return {
+        "clicks": clicks,
+        "budget_ms": BUDGET_MS,
+        "compact_every": compact_every,
+        "appends": len(append_ms),
+        "append_p50_early_ms": round(append_early, 4),
+        "append_p50_late_ms": round(append_late, 4),
+        "append_flatness": round(append_late / max(append_early, 1e-9), 2),
+        "snapshot_click_p50_ms": round(statistics.median(arms["snapshot"]), 3),
+        "journal_click_p50_ms": round(statistics.median(arms["journal"]), 3),
+        "late_from_click": tail_from + 1,
+        "snapshot_late_click_p50_ms": round(snapshot_late, 3),
+        "journal_late_click_p50_ms": round(journal_late, 3),
+        "late_click_ratio": round(journal_late / max(snapshot_late, 1e-9), 2),
+        "recovery_roundtrip": recovery_ok,
+    }
+
+
 def run(
     n_parents: int,
     n_genres: int,
@@ -821,6 +923,7 @@ def run(
     serving_threads: int = 8,
     service_clients: int = 8,
     service_clicks: int = 4,
+    journal_clicks: int = 200,
     smoke: bool = False,
 ) -> dict:
     pools = {"C2": c2_pools(n_parents), "C7": c7_pools(n_genres)}
@@ -876,6 +979,8 @@ def run(
         report["spaces"]["parity"]
         and report["spaces"]["evict_resume_roundtrip"]
     )
+    report["journal"] = measure_journal(journal_clicks)
+    report["parity"]["journal"] = report["journal"]["recovery_roundtrip"]
     report["index_build"] = measure_index_build(smoke)
     report["parity"]["index_build"] = report["index_build"]["parity"]
     return report
@@ -947,13 +1052,14 @@ def main() -> int:
         report = run(
             n_parents=1, n_genres=0, repeats=1, clicks=3, cache_rounds=2,
             serving_sessions=3, serving_clicks=2, serving_threads=2,
-            service_clients=3, service_clicks=2, smoke=True,
+            service_clients=3, service_clicks=2, journal_clicks=40,
+            smoke=True,
         )
     elif args.quick:
         report = run(
             n_parents=2, n_genres=1, repeats=2, clicks=5, cache_rounds=3,
             serving_sessions=4, serving_clicks=3, serving_threads=4,
-            service_clients=4, service_clicks=3,
+            service_clients=4, service_clicks=3, journal_clicks=80,
         )
     else:
         report = run(n_parents=6, n_genres=3, repeats=5, clicks=11, cache_rounds=6)
@@ -1010,6 +1116,26 @@ def main() -> int:
         f"{'ok' if report['spaces']['evict_resume_roundtrip'] else 'BROKEN'}"
     )
     ok = ok and spaces_overhead <= spaces_gate
+    journal_flatness = report["journal"]["append_flatness"]
+    journal_ratio = report["journal"]["late_click_ratio"]
+    flatness_gate = (
+        JOURNAL_FLATNESS_SMOKE_GATE if args.smoke else JOURNAL_FLATNESS_GATE
+    )
+    ratio_gate = (
+        JOURNAL_CLICK_RATIO_SMOKE_GATE if args.smoke else JOURNAL_CLICK_RATIO_GATE
+    )
+    print(
+        f"journal: append p50 {report['journal']['append_p50_late_ms']:.3f} ms "
+        f"at click {report['journal']['appends']} vs "
+        f"{report['journal']['append_p50_early_ms']:.3f} ms at click 10 "
+        f"({journal_flatness:.2f}x, gate {flatness_gate:.1f}x); journaled "
+        f"click p50 {journal_ratio:.2f}x snapshot-mode from click "
+        f"{report['journal']['late_from_click']} (gate {ratio_gate:.2f}x), "
+        f"crash resume "
+        f"{'ok' if report['journal']['recovery_roundtrip'] else 'BROKEN'}"
+    )
+    ok = ok and journal_flatness <= flatness_gate
+    ok = ok and journal_ratio <= ratio_gate
     build_speedup = report["index_build"]["build_speedup"]
     print(
         f"index build: batched ranking {build_speedup:.1f}x the per-group "

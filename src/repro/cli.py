@@ -189,6 +189,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds of inactivity before a session is persisted and "
         "evicted (needs --state-dir)",
     )
+    serve.add_argument(
+        "--journal", action="store_true",
+        help="journal durability (needs --state-dir): append each "
+        "interaction to a digest-chained per-session journal (O(1) "
+        "fsync per click) and compact to a snapshot periodically, "
+        "instead of rewriting the full snapshot every interaction",
+    )
+    serve.add_argument(
+        "--compact-every", type=int, default=64,
+        help="journal records between compactions (needs --journal)",
+    )
     serve.set_defaults(handler=cmd_serve)
 
     scenario = commands.add_parser("scenario", help="run a §III scenario")
@@ -450,6 +461,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.idle_ttl is not None and args.state_dir is None:
         print("--idle-ttl needs --state-dir", file=sys.stderr)
         return 2
+    if args.journal and args.state_dir is None:
+        print("--journal needs --state-dir", file=sys.stderr)
+        return 2
+    if args.compact_every < 1:
+        print("--compact-every must be >= 1", file=sys.stderr)
+        return 2
     if args.spaces is not None:
         if not args.http:
             print("--spaces needs --http (the replay mode is single-space)",
@@ -480,6 +497,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ),
         max_sessions=args.max_sessions,
         state_dir=args.state_dir,
+        durability="journal" if args.journal else "snapshot",
+        compact_every=args.compact_every,
     )
     if args.http:
         return _serve_http(args, manager, build_ms)
@@ -543,12 +562,14 @@ def _serve_spaces(args: argparse.Namespace) -> int:
         ),
         max_sessions=args.max_sessions,
         idle_ttl_s=args.idle_ttl,
+        durability="journal" if args.journal else "snapshot",
+        compact_every=args.compact_every,
     )
     service = ExplorationService(
         registry=registry, host=args.host, port=args.port
     ).start()
     durable = (
-        f"durable (state in {registry.state_dir})"
+        f"durable ({registry.durability}, state in {registry.state_dir})"
         if registry.state_dir is not None
         else "in-memory sessions"
     )
@@ -585,7 +606,7 @@ def _serve_http(
         idle_ttl_s=args.idle_ttl,
     ).start()
     durable = (
-        f"durable (state in {manager.state_dir})"
+        f"durable ({manager.durability}, state in {manager.state_dir})"
         if manager.state_dir is not None
         else "in-memory sessions"
     )

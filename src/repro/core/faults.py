@@ -1,0 +1,186 @@
+"""Fault injection for the durability write path.
+
+The journal's crash-safety claims ("a torn tail is discarded, a
+corrupted record is refused, replay is bitwise-identical") are only as
+good as the crashes they are tested against.  This module owns the
+injection points the write path is instrumented with, so the recovery
+suite can kill the process (or simulate the kill in-process) at every
+interesting instant:
+
+- ``journal.mid_append``  — half a frame reached the kernel (torn record)
+- ``journal.pre_fsync``   — the frame was written but never synced
+- ``journal.post_append`` — the frame is durable; the reply never left
+- ``store.pre_replace``   — a snapshot staged + synced, not yet renamed
+
+plus injectable ``fsync``/``write`` failures (ENOSPC and friends) for
+the graceful-degradation tests, where the disk fails but the process
+survives.
+
+Two activation modes:
+
+- **programmatic** — ``install(FaultPlan(...))`` / ``clear()``; with
+  ``crash_mode="raise"`` a crash point raises :class:`SimulatedCrash`
+  (a ``BaseException``, so no service-level ``except Exception`` can
+  swallow it) — fast in-process tests.
+- **environment** — ``REPRO_FAULTS="crash=journal.pre_fsync@3"`` in a
+  subprocess's env arms a SIGKILL at the 3rd arrival of that crash
+  point: a genuinely abrupt death for the end-to-end recovery matrix.
+
+Everything here is a no-op (one ``None`` check per call site) when no
+plan is installed, so production paths pay nothing measurable.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Environment variable a subprocess driver reads its plan from.
+#: Format: ``crash=<point>`` or ``crash=<point>@<n>`` (fire on the n-th
+#: arrival, 1-based).  Env-armed crashes always SIGKILL.
+ENV_VAR = "REPRO_FAULTS"
+
+_ERRNOS = {
+    "ENOSPC": errno.ENOSPC,
+    "EIO": errno.EIO,
+}
+
+
+class SimulatedCrash(BaseException):
+    """In-process stand-in for a hard process death at a crash point.
+
+    Subclasses ``BaseException`` deliberately: the service front's
+    blanket ``except Exception`` (which turns bugs into 500s) must not
+    be able to "survive" a crash the test asked for.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point!r}")
+        self.point = point
+
+
+@dataclass
+class FaultPlan:
+    """One armed fault: a crash point and/or failing syscalls.
+
+    ``crash_point`` + ``crash_at`` arm one crash at the n-th arrival of
+    that named point (then disarm — recovery runs of the same process
+    image must not re-crash).  ``fsync_errors`` / ``write_errors`` make
+    the next N guarded ``fsync``/``write`` calls raise ``OSError`` with
+    the configured errno, then heal — so tests can exercise both the
+    degradation and the recovery half of the story.
+    """
+
+    crash_point: Optional[str] = None
+    crash_at: int = 1
+    crash_mode: str = "kill"  # "kill" -> SIGKILL; "raise" -> SimulatedCrash
+    fsync_errors: int = 0
+    fsync_errno: int = errno.ENOSPC
+    write_errors: int = 0
+    write_errno: int = errno.ENOSPC
+    _hits: dict = field(default_factory=dict, repr=False)
+
+
+_plan: Optional[FaultPlan] = None
+_env_checked = False
+
+
+def install(plan: FaultPlan) -> None:
+    """Arm ``plan`` process-wide (tests pair this with :func:`clear`)."""
+    global _plan
+    _plan = plan
+
+
+def clear() -> None:
+    """Disarm everything (and forget any env-derived plan)."""
+    global _plan, _env_checked
+    _plan = None
+    _env_checked = True
+
+
+def active() -> Optional[FaultPlan]:
+    """The armed plan, lazily loading one from ``REPRO_FAULTS`` once."""
+    global _plan, _env_checked
+    if _plan is None and not _env_checked:
+        _env_checked = True
+        spec = os.environ.get(ENV_VAR)
+        if spec:
+            _plan = _parse(spec)
+    return _plan
+
+
+def _parse(spec: str) -> FaultPlan:
+    plan = FaultPlan()
+    for clause in spec.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        key, _, value = clause.partition("=")
+        if key == "crash":
+            point, _, nth = value.partition("@")
+            plan.crash_point = point
+            plan.crash_at = int(nth) if nth else 1
+            plan.crash_mode = "kill"
+        elif key == "fsync_error":
+            name, _, count = value.partition("@")
+            plan.fsync_errno = _ERRNOS.get(name, errno.ENOSPC)
+            plan.fsync_errors = int(count) if count else 1
+        else:
+            raise ValueError(f"unknown {ENV_VAR} clause {clause!r}")
+    return plan
+
+
+# -- crash points -----------------------------------------------------------
+
+
+def check(point: str) -> bool:
+    """True exactly when the armed crash fires at this arrival of ``point``.
+
+    Split from :func:`crash` so a call site that must do work *between*
+    deciding and dying (``journal.mid_append`` writes half a frame
+    first) can ask, act, then call :func:`crash` itself.
+    """
+    plan = active()
+    if plan is None or plan.crash_point != point:
+        return False
+    hits = plan._hits.get(point, 0) + 1
+    plan._hits[point] = hits
+    return hits == plan.crash_at
+
+
+def crash(point: str) -> None:
+    """Die (or simulate dying) right here."""
+    plan = active()
+    if plan is not None and plan.crash_mode == "raise":
+        raise SimulatedCrash(point)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def crash_point(point: str) -> None:
+    """The standard instrumentation call: fire if armed, else no-op."""
+    if check(point):
+        crash(point)
+
+
+# -- failing syscalls -------------------------------------------------------
+
+
+def fsync(fd: int) -> None:
+    """``os.fsync`` with injectable failure."""
+    plan = active()
+    if plan is not None and plan.fsync_errors > 0:
+        plan.fsync_errors -= 1
+        raise OSError(plan.fsync_errno, os.strerror(plan.fsync_errno))
+    os.fsync(fd)
+
+
+def write(fd: int, data: bytes) -> int:
+    """``os.write`` with injectable failure (the ENOSPC path)."""
+    plan = active()
+    if plan is not None and plan.write_errors > 0:
+        plan.write_errors -= 1
+        raise OSError(plan.write_errno, os.strerror(plan.write_errno))
+    return os.write(fd, data)

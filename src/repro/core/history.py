@@ -70,6 +70,29 @@ class History:
         self._current = step_id
         return self._steps[step_id]
 
+    def discard_last(self) -> Step:
+        """Remove the most recently recorded step and return it.
+
+        The one exception to "append-only": rolling back an interaction
+        whose durable journal append failed — the step must disappear
+        again so the session's in-memory state matches what the client
+        was told (503: not applied).  Only ever called right after
+        :meth:`record`, before anything could reference the step.
+        """
+        if not self._steps:
+            raise KeyError("history is empty; nothing to discard")
+        step = self._steps.pop()
+        if step.parent_id is not None:
+            children = self._children.get(step.parent_id)
+            if children is not None:
+                if step.step_id in children:
+                    children.remove(step.step_id)
+                if not children:
+                    del self._children[step.parent_id]
+        if self._current == step.step_id:
+            self._current = step.parent_id
+        return step
+
     # ------------------------------------------------------------------
 
     @property

@@ -48,6 +48,11 @@ from typing import TYPE_CHECKING, Optional
 from scipy import sparse
 
 from repro.core.group import Group, GroupSpace
+from repro.core.journal import (
+    DurabilityError,
+    JournalBrokenError,
+    SessionJournal,
+)
 from repro.core.poolcache import PoolStatsCache, _PoolStructure
 from repro.index.inverted import SimilarityIndex
 
@@ -536,9 +541,24 @@ class _ManagedSession:
     close / idle eviction / process restart (the live ``session_id`` is
     only a handle into this process's registry).  ``last_active`` is the
     monotonic instant of the last interaction, read by the idle sweeper.
+
+    ``journal`` is the session's append-only interaction log
+    (journal-durability managers only).  ``retired`` flips — under the
+    instance lock — when close/eviction has persisted the final state
+    and deregistered the session: an interaction that was blocked on the
+    lock while that happened must observe it and refuse, instead of
+    mutating an orphan whose changes could never be persisted again.
     """
 
-    __slots__ = ("session", "lock", "clicks", "token", "last_active")
+    __slots__ = (
+        "session",
+        "lock",
+        "clicks",
+        "token",
+        "last_active",
+        "journal",
+        "retired",
+    )
 
     def __init__(
         self, session: Optional["ExplorationSession"], token: str = ""
@@ -548,6 +568,51 @@ class _ManagedSession:
         self.clicks = 0
         self.token = token
         self.last_active = time.monotonic()
+        self.journal: Optional[SessionJournal] = None
+        self.retired = False
+
+
+class _SessionRollback:
+    """Pre-interaction state, captured so a failed durable write can
+    restore the session exactly (the 503 contract: "not applied").
+
+    Captures the small mutable layers an interaction touches — history
+    cursor/length, feedback snapshot, profile, display.  Governor tiers
+    are deliberately left alone on restore: they are a performance memo
+    keyed on content, so a stale extra row is harmless while feedback or
+    history drift would be corruption.
+    """
+
+    __slots__ = (
+        "steps",
+        "cursor",
+        "feedback",
+        "displayed",
+        "token_weight",
+        "visited_gids",
+        "steps_observed",
+    )
+
+    def __init__(self, session: "ExplorationSession") -> None:
+        self.steps = len(session.history)
+        current = session.history.current
+        self.cursor = current.step_id if current is not None else None
+        self.feedback = session.feedback.snapshot()
+        self.displayed = list(session._displayed)
+        self.token_weight = dict(session.profile.token_weight)
+        self.visited_gids = list(session.profile.visited_gids)
+        self.steps_observed = session.profile.steps_observed
+
+    def restore(self, session: "ExplorationSession") -> None:
+        while len(session.history) > self.steps:
+            session.history.discard_last()
+        if self.cursor is not None:
+            session.history.backtrack(self.cursor)
+        session.feedback.restore(self.feedback)
+        session.profile.token_weight = dict(self.token_weight)
+        session.profile.visited_gids = list(self.visited_gids)
+        session.profile.steps_observed = self.steps_observed
+        session._displayed = list(self.displayed)
 
 
 class SessionManager:
@@ -563,12 +628,32 @@ class SessionManager:
 
     With a ``state_dir`` the manager is *durable*: every session gets a
     resume token, every state-mutating interaction checkpoints the
-    session via :func:`repro.core.store.save_session_state` (so a crashed
-    process loses at most the interaction in flight), ``close`` and the
-    :meth:`evict_idle` sweeper persist the final state, and
-    ``open_session(resume=<token>)`` restores the session — feedback,
-    history tree, memo, profile and governor-tier state intact,
-    digest-validated against the live space — onto this runtime.
+    session (so a crashed process loses at most the interaction in
+    flight), ``close`` and the :meth:`evict_idle` sweeper persist the
+    final state, and ``open_session(resume=<token>)`` restores the
+    session — feedback, history tree, memo, profile and governor-tier
+    state intact, digest-validated against the live space — onto this
+    runtime.
+
+    ``durability`` picks *how* interactions are made durable:
+
+    - ``"snapshot"`` (default, the PR 4 behaviour): every interaction
+      rewrites the full JSON snapshot — O(session length) per click.
+    - ``"journal"``: every interaction appends one fsync'd,
+      digest-chained record to the session's
+      :class:`~repro.core.journal.SessionJournal` — O(1) per click —
+      and every ``compact_every`` interactions (plus on open, resume,
+      close and eviction) the journal is folded into a snapshot and
+      rotated.  Resume loads the snapshot and replays the verified
+      journal tail; resume tokens are unchanged.
+
+    A failed journal append rolls the in-memory interaction back and
+    raises a typed :class:`~repro.core.journal.DurabilityError` (HTTP:
+    503) — the state the client saw acknowledged is exactly the state
+    on disk, never silently more or less.  The manager then flips
+    ``degraded`` (surfaced in :meth:`stats`, ``/healthz`` and
+    ``/spaces``) and refuses further mutations until :meth:`heal`
+    manages a clean checkpoint of every live session.
     """
 
     def __init__(
@@ -579,9 +664,19 @@ class SessionManager:
         state_dir: Optional[str | Path] = None,
         checkpoint_interactions: bool = True,
         id_prefix: str = "",
+        durability: str = "snapshot",
+        compact_every: int = 64,
     ) -> None:
         if max_sessions is not None and max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
+        if durability not in ("snapshot", "journal"):
+            raise ValueError(
+                f"durability must be 'snapshot' or 'journal', got {durability!r}"
+            )
+        if durability == "journal" and state_dir is None:
+            raise ValueError("durability='journal' needs a state_dir")
+        if compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
         # Prefixes flow into session ids and from there into resume
         # tokens (which name state directories), so they live under the
         # same alphabet rule as the tokens themselves.
@@ -605,6 +700,15 @@ class SessionManager:
         #: Off, state is written only on close / idle eviction — cheaper,
         #: but a crash loses everything since the session opened.
         self.checkpoint_interactions = checkpoint_interactions
+        self.durability = durability
+        self.compact_every = compact_every
+        #: Sticky durability-failure flag: set when a journal append (or
+        #: a final checkpoint) fails; mutations refuse with
+        #: :class:`DurabilityError` until :meth:`heal` succeeds.  Reads
+        #: keep working — a degraded space is read-only, not down.
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        self.compaction_failures = 0
         self._sessions: dict[str, _ManagedSession] = {}
         self._lock = threading.Lock()
         self._counter = 0
@@ -642,6 +746,7 @@ class SessionManager:
         and ``ValueError`` when the state was saved against a different
         group space (digest mismatch) or the token is already live.
         """
+        self._check_durability()
         if resume is not None:
             if self.state_dir is None:
                 raise ValueError("resume needs a manager with a state_dir")
@@ -708,6 +813,18 @@ class SessionManager:
                 )
                 managed.session = session
                 load_session_state(session, directory)
+                if self.durability == "journal":
+                    # Recovery = last compacted snapshot (just loaded) +
+                    # replay of the verified journal tail; then compact,
+                    # folding the tail in and starting a fresh journal.
+                    managed.journal = SessionJournal(directory)
+                    managed.journal.recover(session)
+                    try:
+                        managed.journal.compact(session)
+                    except OSError as error:
+                        raise self._durability_failed(
+                            f"post-recovery compaction failed: {error}"
+                        ) from error
                 shown = session.displayed()
                 # Every click records exactly one step with a clicked
                 # gid, so the restored counter matches what an
@@ -725,7 +842,14 @@ class SessionManager:
                 )
                 managed.session = session
                 shown = session.start(seed_gids=seed_gids)
-                self._persist(managed)
+                try:
+                    self._persist(managed)
+                except OSError as error:
+                    if self.durability != "journal":
+                        raise
+                    raise self._durability_failed(
+                        f"initial checkpoint failed: {error}"
+                    ) from error
         except BaseException:
             with self._lock:
                 self._sessions.pop(session_id, None)
@@ -737,56 +861,113 @@ class SessionManager:
     def _persist(self, managed: _ManagedSession) -> None:
         """Write the session's durable state (no-op without a state_dir).
 
-        Callers hold ``managed.lock``, so checkpoints of one session are
-        serialized with its interactions and with close/eviction.
+        Snapshot durability rewrites the full snapshot; journal
+        durability *compacts* — snapshot plus journal rotation — which
+        is also how a fresh session's journal is created.  Callers hold
+        ``managed.lock``, so checkpoints of one session are serialized
+        with its interactions and with close/eviction.
         """
         if self.state_dir is None or managed.session is None:
+            return
+        if self.durability == "journal":
+            if managed.journal is None:
+                managed.journal = SessionJournal(self.state_dir / managed.token)
+            managed.journal.compact(managed.session)
             return
         from repro.core.store import save_session_state
 
         save_session_state(managed.session, self.state_dir / managed.token)
 
-    def _retire(self, session_id: str, managed: _ManagedSession) -> dict[str, object]:
-        """Persist + summarize one already-deregistered session.
+    def _check_durability(self) -> None:
+        """Refuse mutations on a degraded manager (journal mode)."""
+        if self.degraded:
+            raise DurabilityError(
+                "space is durability-degraded "
+                f"({self.degraded_reason}); mutations are refused until healed"
+            )
 
-        ``managed.session`` can still be ``None`` when retirement races a
-        failing :meth:`open_session` (the slot is reserved before the
-        session is constructed); there is nothing to persist then.
+    def _durability_failed(self, reason: str) -> DurabilityError:
+        """Flip the sticky degraded flag; returns the error to raise."""
+        with self._lock:
+            self.degraded = True
+            self.degraded_reason = reason
+        return DurabilityError(f"durable write failed: {reason}")
+
+    def heal(self) -> bool:
+        """Try to durably re-checkpoint every live session.
+
+        The operator's (or a probe's) way back from ``degraded`` once
+        the disk recovered: every live session is compacted onto a fresh
+        journal; only when all succeed does the degraded flag clear.
+        Returns whether the manager is healthy afterwards.
         """
-        with managed.lock:
-            self._persist(managed)
-            session = managed.session
-            return {
-                "session_id": session_id,
-                "resume_token": (
-                    managed.token if self.state_dir is not None else None
-                ),
-                "clicks": managed.clicks,
-                "steps": len(session.history) if session is not None else 0,
-                "cache": (
-                    session.pool_cache.stats()
-                    if session is not None and session.pool_cache is not None
-                    else {}
-                ),
-            }
+        if not self.degraded:
+            return True
+        with self._lock:
+            live = list(self._sessions.values())
+        for managed in live:
+            with managed.lock:
+                if managed.retired or managed.session is None:
+                    continue
+                try:
+                    self._persist(managed)
+                except OSError:
+                    return False
+        with self._lock:
+            self.degraded = False
+            self.degraded_reason = None
+        return True
+
+    @staticmethod
+    def _summary(
+        session_id: str, managed: _ManagedSession, durable: bool
+    ) -> dict[str, object]:
+        session = managed.session
+        return {
+            "session_id": session_id,
+            "resume_token": managed.token if durable else None,
+            "clicks": managed.clicks,
+            "steps": len(session.history) if session is not None else 0,
+            "cache": (
+                session.pool_cache.stats()
+                if session is not None and session.pool_cache is not None
+                else {}
+            ),
+        }
 
     def close(self, session_id: str) -> dict[str, object]:
         """Retire a session; returns its final summary.
 
-        The session object is dropped from the registry (later calls
-        raise :class:`UnknownSessionError`); its private caches die with
-        it while everything it published to the shared layer keeps
-        warming other sessions.  On a durable manager the final state is
-        persisted first and the summary's ``resume_token`` reopens the
-        session later — close is an eviction, not an erasure.
+        The final state is persisted *before* the session leaves the
+        registry, so a failed checkpoint (full disk) leaves the session
+        live and the error typed instead of silently dropping state; on
+        success later calls raise :class:`UnknownSessionError`, the
+        session's private caches die with it (everything it published to
+        the shared layer keeps warming other sessions), and on a durable
+        manager the summary's ``resume_token`` reopens it later — close
+        is an eviction, not an erasure.
         """
-        with self._lock:
-            try:
-                managed = self._sessions.pop(session_id)
-            except KeyError:
-                raise UnknownSessionError(session_id) from None
-            self.sessions_closed += 1
-        return self._retire(session_id, managed)
+        managed = self._managed(session_id)
+        with managed.lock:
+            if managed.retired:
+                raise UnknownSessionError(session_id)
+            if self.durability == "journal":
+                self._check_durability()
+                try:
+                    self._persist(managed)
+                except OSError as error:
+                    raise self._durability_failed(
+                        f"final checkpoint failed: {error}"
+                    ) from error
+            else:
+                self._persist(managed)
+            managed.retired = True
+            with self._lock:
+                self._sessions.pop(session_id, None)
+                self.sessions_closed += 1
+            return self._summary(
+                session_id, managed, self.state_dir is not None
+            )
 
     def evict_idle(self, idle_seconds: float) -> list[dict[str, object]]:
         """Persist + drop every session idle for ``idle_seconds`` or more.
@@ -794,9 +975,14 @@ class SessionManager:
         The durable twin of admission control: long-gone analysts stop
         holding live-session slots (and their private caches), yet their
         resume tokens still restore them exactly where they left off.
-        Returns the evicted sessions' summaries.  In-flight interactions
-        are safe: eviction takes each session's lock, so a click that won
-        the race completes (and checkpoints) before the final persist.
+        Returns the evicted sessions' summaries.  Each session is
+        persisted (journal mode: compacted) *before* it is deregistered,
+        under its own lock — an interaction that held the lock completes
+        and is included in the final checkpoint; one that was waiting
+        observes the retirement and gets :class:`UnknownSessionError`
+        instead of mutating an orphan.  A session whose final checkpoint
+        fails stays live for the next sweep rather than being dropped
+        with unpersisted state.
         """
         if idle_seconds < 0:
             raise ValueError("idle_seconds must be >= 0")
@@ -807,13 +993,29 @@ class SessionManager:
                 for session_id, managed in self._sessions.items()
                 if now - managed.last_active >= idle_seconds
             ]
-            for session_id, _ in expired:
-                del self._sessions[session_id]
-            self.sessions_evicted += len(expired)
-        return [
-            self._retire(session_id, managed)
-            for session_id, managed in expired
-        ]
+        summaries: list[dict[str, object]] = []
+        for session_id, managed in expired:
+            with managed.lock:
+                if managed.retired:
+                    continue
+                try:
+                    self._persist(managed)
+                except OSError as error:
+                    if self.durability == "journal":
+                        self._durability_failed(
+                            f"eviction checkpoint failed: {error}"
+                        )
+                    continue
+                managed.retired = True
+                with self._lock:
+                    self._sessions.pop(session_id, None)
+                    self.sessions_evicted += 1
+                summaries.append(
+                    self._summary(
+                        session_id, managed, self.state_dir is not None
+                    )
+                )
+        return summaries
 
     # -- interactions ----------------------------------------------------
 
@@ -824,10 +1026,86 @@ class SessionManager:
             except KeyError:
                 raise UnknownSessionError(session_id) from None
 
+    @staticmethod
+    def _check_live(managed: _ManagedSession, session_id: str) -> None:
+        """Caller holds ``managed.lock``: refuse interactions that lost a
+        race against close/eviction (the session's final state is already
+        persisted; mutating the orphan would silently diverge from it)."""
+        if managed.retired:
+            raise UnknownSessionError(session_id)
+
+    def _journaled(self, managed: _ManagedSession) -> bool:
+        return (
+            self.durability == "journal"
+            and self.checkpoint_interactions
+            and managed.journal is not None
+        )
+
+    def _governor_rows(self, managed: _ManagedSession) -> list[tuple]:
+        cache = managed.session.pool_cache
+        return cache.export_governor_tiers() if cache is not None else []
+
+    def _journal_append(
+        self,
+        managed: _ManagedSession,
+        rollback: _SessionRollback,
+        kind: str,
+        payload: dict,
+    ) -> None:
+        """Append one interaction record, rolling back in-memory state on
+        failure so the resulting :class:`DurabilityError` means exactly
+        "not applied" (a client retry cannot double-apply)."""
+        try:
+            managed.journal.append(kind, payload)
+        except OSError as error:
+            rollback.restore(managed.session)
+            raise self._durability_failed(
+                f"journal append failed: {error}"
+            ) from error
+
+    def _maybe_compact(self, managed: _ManagedSession) -> None:
+        """Fold the journal into a snapshot every ``compact_every``
+        interactions.  A failed compaction is counted, not fatal: every
+        acknowledged interaction is already durable in the journal, the
+        snapshot is just catching up — the next compaction retries."""
+        journal = managed.journal
+        if journal is None or journal.records_since_compaction < self.compact_every:
+            return
+        try:
+            journal.compact(managed.session)
+        except OSError:
+            with self._lock:
+                self.compaction_failures += 1
+
     def click(self, session_id: str, gid: int) -> list[Group]:
         """One explorer click, serialized per session."""
         managed = self._managed(session_id)
         with managed.lock:
+            self._check_live(managed, session_id)
+            if self._journaled(managed):
+                self._check_durability()
+                rollback = _SessionRollback(managed.session)
+                pre_rows = set(self._governor_rows(managed))
+                shown = managed.session.click(gid)
+                record = {
+                    "gid": gid,
+                    "shown": [group.gid for group in shown],
+                }
+                new_rows = [
+                    row
+                    for row in self._governor_rows(managed)
+                    if row not in pre_rows
+                ]
+                if new_rows:
+                    record["governor"] = [
+                        [structure_key, list(config_key), tier]
+                        for structure_key, config_key, tier in new_rows
+                    ]
+                self._journal_append(managed, rollback, "click", record)
+                managed.clicks += 1
+                managed.last_active = time.monotonic()
+                self._maybe_compact(managed)
+                return shown
             shown = managed.session.click(gid)
             managed.clicks += 1
             managed.last_active = time.monotonic()
@@ -838,6 +1116,17 @@ class SessionManager:
     def backtrack(self, session_id: str, step_id: int) -> list[Group]:
         managed = self._managed(session_id)
         with managed.lock:
+            self._check_live(managed, session_id)
+            if self._journaled(managed):
+                self._check_durability()
+                rollback = _SessionRollback(managed.session)
+                shown = managed.session.backtrack(step_id)
+                self._journal_append(
+                    managed, rollback, "backtrack", {"step_id": step_id}
+                )
+                managed.last_active = time.monotonic()
+                self._maybe_compact(managed)
+                return shown
             shown = managed.session.backtrack(step_id)
             managed.last_active = time.monotonic()
             if self.checkpoint_interactions:
@@ -847,6 +1136,7 @@ class SessionManager:
     def displayed(self, session_id: str) -> list[Group]:
         managed = self._managed(session_id)
         with managed.lock:
+            self._check_live(managed, session_id)
             # Reads count as activity too: an analyst polling the display
             # (or STATS below) is present and must not be evicted as idle.
             managed.last_active = time.monotonic()
@@ -856,8 +1146,22 @@ class SessionManager:
         """Member user indices of one group (the STATS/Focus-view read)."""
         managed = self._managed(session_id)
         with managed.lock:
+            self._check_live(managed, session_id)
             managed.last_active = time.monotonic()
-            return managed.session.drill_down(gid)
+            members = managed.session.drill_down(gid)
+            if self._journaled(managed) and not self.degraded:
+                # Best-effort event-stream record (a replication feed
+                # wants the full interaction sequence): drill-down
+                # mutates nothing durable, so it is written unsynced and
+                # a failure is ignored — the next synced append either
+                # flushes it or surfaces the disk problem on a mutation.
+                try:
+                    managed.journal.append(
+                        "drill_down", {"gid": gid}, sync=False
+                    )
+                except (OSError, JournalBrokenError):
+                    pass
+            return members
 
     def session_stats(self, session_id: str) -> dict[str, object]:
         """One live session's service-visible counters."""
@@ -887,6 +1191,10 @@ class SessionManager:
         if self.state_dir is None:
             return None
         return self._managed(session_id).token
+
+    def session_journal(self, session_id: str) -> Optional[SessionJournal]:
+        """A live session's journal (``None`` outside journal mode)."""
+        return self._managed(session_id).journal
 
     def session(self, session_id: str) -> "ExplorationSession":
         """Direct access to a live session (single-threaded callers only)."""
@@ -940,6 +1248,10 @@ class SessionManager:
             "sessions_evicted": self.sessions_evicted,
             "sessions_resumed": self.sessions_resumed,
             "durable": self.state_dir is not None,
+            "durability": self.durability,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "compaction_failures": self.compaction_failures,
             "clicks_in_flight_sessions": clicks,
             "runtime": self.runtime.stats(),
         }

@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core import faults
 from repro.core.group import Group, GroupSpace
 from repro.core.selection import SelectionConfig
 from repro.core.session import ExplorationSession, SessionConfig
@@ -33,6 +34,46 @@ from repro.data.dataset import UserDataset
 from repro.index.inverted import SimilarityIndex
 
 _FORMAT_VERSION = 1
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """fsync a directory so a rename inside it survives power loss.
+
+    ``os.replace`` makes a write *atomic* but not *durable*: the new
+    directory entry lives in the directory's own metadata, which the
+    kernel may hold dirty long after the file's data is on disk.  Every
+    durable rename in this codebase (session checkpoints, journal
+    rotation) pairs with this call.
+    """
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def durable_replace_bytes(final: Path, data: bytes) -> None:
+    """Atomically and *durably* replace ``final``'s contents with ``data``.
+
+    write staging -> fsync staging -> rename over final -> fsync the
+    directory: the full sequence, so after a crash at any instant the
+    file holds either the complete old contents or the complete new ones
+    (write-then-rename alone leaves both a torn-staging and a
+    lost-rename window).  The journal append path reuses the same
+    primitives via :mod:`repro.core.faults`, which also owns the
+    ``store.pre_replace`` crash point injected between the staging fsync
+    and the rename.
+    """
+    staging = final.with_name(final.name + ".tmp")
+    fd = os.open(staging, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        faults.write(fd, data)
+        faults.fsync(fd)
+    finally:
+        os.close(fd)
+    faults.crash_point("store.pre_replace")
+    os.replace(staging, final)
+    fsync_directory(final.parent)
 
 
 def space_digest(memberships: Sequence[np.ndarray]) -> str:
@@ -253,7 +294,11 @@ def _retuple(value):
     return value
 
 
-def save_session_state(session: ExplorationSession, directory: str | Path) -> None:
+def save_session_state(
+    session: ExplorationSession,
+    directory: str | Path,
+    journal_seq: Optional[int] = None,
+) -> None:
     """Persist everything needed to resume an exploration session.
 
     The payload is stamped with the dataset name and the content digest
@@ -265,6 +310,12 @@ def save_session_state(session: ExplorationSession, directory: str | Path) -> No
     and the pool cache's governor-tier layer (keyed on stable content
     digests), so a resumed session's next governed click escalates from
     where the persisted one stopped.
+
+    ``journal_seq`` (journal-mode managers) stamps the snapshot with the
+    last interaction sequence number it covers; recovery replays only
+    journal records *after* it, which is what makes replay idempotent
+    when a crash lands between the snapshot replace and the journal
+    rotation.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -322,16 +373,29 @@ def save_session_state(session: ExplorationSession, directory: str | Path) -> No
         "memo_groups": {str(gid): note for gid, note in session.memo.groups.items()},
         "memo_users": {str(user): note for user, note in session.memo.users.items()},
     }
-    # Atomic replace: this runs as a per-interaction checkpoint, and the
-    # crash the whole mechanism exists for can land mid-write.  A
-    # truncated session.json would turn "lost the click in flight" into
-    # "lost the session"; write-then-rename keeps the previous checkpoint
-    # intact until the new one is complete (and lets a concurrent resume
-    # read a consistent file, never a torn one).
-    final = directory / "session.json"
-    staging = directory / "session.json.tmp"
-    staging.write_text(json.dumps(payload), encoding="utf-8")
-    os.replace(staging, final)
+    if journal_seq is not None:
+        payload["journal_seq"] = int(journal_seq)
+    # Durable atomic replace: this runs as a per-interaction checkpoint,
+    # and the crash the whole mechanism exists for can land mid-write.
+    # A truncated session.json would turn "lost the click in flight"
+    # into "lost the session"; staging + fsync + rename + directory
+    # fsync keeps the previous checkpoint intact until the new one is
+    # durably complete (and lets a concurrent resume read a consistent
+    # file, never a torn one).
+    durable_replace_bytes(
+        directory / "session.json", json.dumps(payload).encode("utf-8")
+    )
+
+
+def load_session_journal_seq(directory: str | Path) -> int:
+    """The journal sequence number a persisted snapshot covers.
+
+    ``0`` for snapshots that predate the journal (or were written by a
+    snapshot-mode manager): every journal record replays on top of them.
+    """
+    directory = Path(directory)
+    payload = json.loads((directory / "session.json").read_text(encoding="utf-8"))
+    return int(payload.get("journal_seq") or 0)
 
 
 def load_session_state(

@@ -17,7 +17,11 @@ Service-side failures surface as typed exceptions mapped from the HTTP
 status (and error type): :class:`SessionNotFound` (404),
 :class:`SpaceNotFound` (404 against a multi-space server),
 :class:`StaleSessionState` (409), :class:`SessionLimitExceeded` (429),
-and plain :class:`ServiceError` for everything else.
+:class:`ServiceDegraded` (503, after honoring the server's
+``Retry-After`` for a bounded number of re-sends — a 503 reply means
+the interaction was rolled back, so re-sending is safe), and plain
+:class:`ServiceError` for everything else.  Reconnects after a dropped
+keep-alive use bounded exponential backoff with jitter.
 
 Against a multi-space server, ``open(space="books")`` routes to a named
 space.  A cold space answers 202 while it builds in the background; the
@@ -37,6 +41,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
 from dataclasses import dataclass, field
@@ -109,10 +114,33 @@ class SpaceBuilding(ServiceError):
         self.retry_after_s = retry_after_s
 
 
+class ServiceDegraded(ServiceError):
+    """503: the server's durable layer is failing.
+
+    The interaction was *not* applied — the server rolls the session
+    back before answering 503, so re-sending cannot double-apply.  The
+    client already retried on the server's ``Retry-After`` cadence
+    (bounded by ``degraded_retries``) before raising; ``retry_after_s``
+    carries the last hint for callers that want to keep waiting.
+    """
+
+    def __init__(self, status: int, error_type: str, message: str) -> None:
+        super().__init__(status, error_type, message)
+        self.retry_after_s = 1.0
+
+
 _ERRORS_BY_STATUS = {
     409: StaleSessionState,
     429: SessionLimitExceeded,
+    503: ServiceDegraded,
 }
+
+#: Exponential-backoff schedule for reconnects: base doubles per
+#: failure up to the cap, then a multiplicative jitter in [0.5, 1.0)
+#: decorrelates clients that all lost the same restarted server.
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 1.0
+_CONNECT_RETRIES = 3
 
 #: A 404 names a session, a space, or just a route, and the caller's
 #: recovery differs for each (resync vs pick another space vs "this
@@ -139,10 +167,25 @@ def _display(rows: list[dict]) -> list[DisplayedGroup]:
 class ExplorationClient:
     """One analyst's connection to a running exploration service."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        degraded_retries: int = 1,
+        retry_after_cap_s: float = 0.5,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: How many times a 503 (durability degraded) is retried before
+        #: surfacing as :class:`ServiceDegraded`.  A 503 means the server
+        #: rolled the interaction back, so re-sending is always safe; the
+        #: sleep honors the server's ``Retry-After`` header, clamped to
+        #: ``retry_after_cap_s`` so a pessimistic server hint cannot
+        #: stall an interactive caller for seconds per request.
+        self.degraded_retries = degraded_retries
+        self.retry_after_cap_s = retry_after_cap_s
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # -- transport -------------------------------------------------------
@@ -173,18 +216,34 @@ class ExplorationClient:
     def __exit__(self, *exc_info) -> None:
         self.close_connection()
 
+    @staticmethod
+    def _backoff_sleep(failures: int) -> None:
+        delay = min(_BACKOFF_BASE_S * (2 ** (failures - 1)), _BACKOFF_CAP_S)
+        time.sleep(delay * (0.5 + random.random() / 2))
+
+    @staticmethod
+    def _retry_after_s(response: http.client.HTTPResponse) -> float:
+        try:
+            return max(float(response.getheader("Retry-After") or 1.0), 0.0)
+        except ValueError:
+            return 1.0
+
     def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
         payload = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if payload else {}
-        # One transparent retry on a dead keep-alive connection (the
-        # server reaps idle ones; a restarted server drops them all) —
-        # but only when re-sending cannot double-apply the request:
-        # either the failure happened before the request went out, or
-        # the method is a read.  A POST that died *after* sending (e.g.
-        # the reply was lost) may already have clicked server-side;
+        # Transparent retries on a dead keep-alive connection (the
+        # server reaps idle ones; a restarted server drops them all),
+        # with bounded exponential backoff + jitter so a server mid
+        # restart gets a ramp rather than a synchronized hammer — but
+        # only when re-sending cannot double-apply the request: either
+        # the failure happened before the request went out, or the
+        # method is a read.  A POST that died *after* sending (e.g. the
+        # reply was lost) may already have clicked server-side;
         # re-sending it would desynchronize the session, so it surfaces
         # and the caller resyncs via ``displayed``/``stats``.
-        for attempt in (0, 1):
+        connect_failures = 0
+        degraded_replies = 0
+        while True:
             sent = False
             try:
                 connection = self._connect()
@@ -192,7 +251,6 @@ class ExplorationClient:
                 sent = True
                 response = connection.getresponse()
                 raw = response.read()
-                break
             except TimeoutError:
                 # A timed-out request may still be executing server-side;
                 # re-sending a non-idempotent click could apply it twice.
@@ -205,8 +263,23 @@ class ExplorationClient:
                 OSError,
             ):
                 self.close_connection()
-                if attempt or (sent and method != "GET"):
+                connect_failures += 1
+                if connect_failures > _CONNECT_RETRIES or (
+                    sent and method != "GET"
+                ):
                     raise
+                self._backoff_sleep(connect_failures)
+                continue
+            if response.status == 503 and degraded_replies < self.degraded_retries:
+                # Unlike a torn connection, a 503 is safe to re-send for
+                # any method: the server rolled the session back before
+                # answering, so the interaction was not applied.
+                degraded_replies += 1
+                time.sleep(
+                    min(self._retry_after_s(response), self.retry_after_cap_s)
+                )
+                continue
+            break
         try:
             reply = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -230,11 +303,14 @@ class ExplorationClient:
                 (response.status, error.get("type")),
                 _ERRORS_BY_STATUS.get(response.status, ServiceError),
             )
-            raise error_class(
+            failure = error_class(
                 response.status,
                 error.get("type", "error"),
                 error.get("message", raw.decode("utf-8", "replace")),
             )
+            if isinstance(failure, ServiceDegraded):
+                failure.retry_after_s = self._retry_after_s(response)
+            raise failure
         return reply
 
     # -- the exploration protocol ---------------------------------------
@@ -285,6 +361,7 @@ class ExplorationClient:
         failed build included — surfaces immediately.
         """
         deadline = time.monotonic() + timeout_s
+        polls = 0
         while True:
             try:
                 return self.open(
@@ -294,7 +371,16 @@ class ExplorationClient:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise
-                time.sleep(min(max(building.retry_after_s, 0.05), remaining))
+                # The server's hint is its *optimistic* first estimate;
+                # escalate gently past the first few polls (a build that
+                # overran its estimate likely needs multiples of it, not
+                # another tick) and jitter so concurrent waiters don't
+                # re-poll in lockstep.
+                polls += 1
+                hint = max(building.retry_after_s, 0.05)
+                delay = min(hint * (1.5 ** min(polls - 1, 4)), 5.0)
+                delay *= 0.5 + random.random() / 2
+                time.sleep(min(delay, remaining))
 
     def click(self, session_id: str, gid: int) -> list[DisplayedGroup]:
         reply = self._request(

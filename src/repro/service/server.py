@@ -46,9 +46,13 @@ never blocked by another space's index construction.
 
 Status mapping: 202 space building (retry), 400 malformed request, 404
 unknown session / resume token / space / route, 405 wrong method, 409
-conflicting state (stale space digest, already-live resume token), 429
-admission control (``max_sessions``), 500 anything else (including
-sticky space build failures, typed ``space_build_failed``).
+conflicting state (stale space digest, already-live resume token,
+corrupted journal), 429 admission control (``max_sessions``), 503
+durability degraded (typed ``durability_degraded`` with a
+``Retry-After``; the interaction was rolled back server-side, never
+half-applied), 500 anything else (including sticky space build
+failures, typed ``space_build_failed``).  ``/healthz`` and ``/spaces``
+carry a ``degraded`` flag while a space's durable layer is failing.
 """
 
 from __future__ import annotations
@@ -62,6 +66,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from repro.core.group import Group
+from repro.core.journal import DurabilityError
 from repro.core.runtime import (
     SessionLimitError,
     SessionManager,
@@ -210,9 +215,19 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(encoded)
 
-    def _fail(self, status: int, error_type: str, message: str) -> None:
+    def _fail(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        headers: Optional[dict[str, str]] = None,
+    ) -> None:
         self.service.count_error()
-        self._reply(status, {"error": {"type": error_type, "message": message}})
+        self._reply(
+            status,
+            {"error": {"type": error_type, "message": message}},
+            headers=headers,
+        )
 
     def _drain_body(self) -> None:
         """Read the request body unconditionally, before any routing.
@@ -276,6 +291,18 @@ class _Handler(BaseHTTPRequestHandler):
             self._fail(404, "unknown_session", str(error))
         except SessionLimitError as error:
             self._fail(429, "too_many_sessions", str(error))
+        except DurabilityError as error:
+            # The durable write failed and the interaction was rolled
+            # back server-side (503 genuinely means "not applied"); the
+            # Retry-After hint carries the manager's healing cadence.
+            self._fail(
+                503,
+                "durability_degraded",
+                str(error),
+                headers={
+                    "Retry-After": str(max(1, math.ceil(error.retry_after_s)))
+                },
+            )
         except ValueError as error:
             # Server-side state disagreement: stale space digest on
             # resume, an already-live resume token, resume without a
@@ -646,8 +673,14 @@ class ExplorationService:
         with self._stats_lock:
             requests, errors = self._requests, self._errors
             sweep_failures = self._sweep_failures
+        degraded = (
+            self.registry.any_degraded()
+            if self.registry is not None
+            else self.manager.degraded
+        )
         payload = {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded,
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "requests": requests,
             "errors": errors,

@@ -139,6 +139,8 @@ class SpaceRegistry:
         idle_ttl_s: Optional[float] = None,
         build_workers: int = 2,
         checkpoint_interactions: bool = True,
+        durability: str = "snapshot",
+        compact_every: int = 64,
     ) -> None:
         if max_ready is not None and max_ready < 1:
             raise ValueError("max_ready must be >= 1")
@@ -146,6 +148,12 @@ class SpaceRegistry:
             raise ValueError("idle_ttl_s must be > 0")
         if build_workers < 1:
             raise ValueError("build_workers must be >= 1")
+        if durability not in ("snapshot", "journal"):
+            raise ValueError(
+                f"durability must be 'snapshot' or 'journal', got {durability!r}"
+            )
+        if durability == "journal" and state_dir is None:
+            raise ValueError("durability='journal' needs a registry state_dir")
         self.max_ready = max_ready
         self.state_dir = Path(state_dir) if state_dir is not None else None
         self.default_config = default_config
@@ -154,6 +162,13 @@ class SpaceRegistry:
         #: overrides it per space (see :meth:`sweep_idle`).
         self.idle_ttl_s = idle_ttl_s
         self.checkpoint_interactions = checkpoint_interactions
+        #: Durability mode threaded into every space's manager:
+        #: ``"journal"`` gives each session an append-only interaction
+        #: journal (O(1) durable clicks) with compact-then-evict
+        #: semantics — budget/idle eviction folds each session's journal
+        #: into its snapshot before the space's runtime is dropped.
+        self.durability = durability
+        self.compact_every = compact_every
         self._entries: dict[str, _SpaceEntry] = {}
         self._order: list[str] = []  # registration order; [0] is default
         self._lock = threading.Lock()
@@ -304,6 +319,8 @@ class SpaceRegistry:
                 ),
                 checkpoint_interactions=self.checkpoint_interactions,
                 id_prefix=f"{name}-",
+                durability=self.durability,
+                compact_every=self.compact_every,
             )
         except Exception as error:  # noqa: BLE001 — recorded, re-raised typed
             cause = f"{type(error).__name__}: {error}"
@@ -452,6 +469,21 @@ class SpaceRegistry:
 
     # -- introspection ---------------------------------------------------
 
+    def any_degraded(self) -> bool:
+        """Whether any ready space's durable layer is failing.
+
+        The process-level health signal ``/healthz`` surfaces: a load
+        balancer should stop routing *writes* here while any hosted
+        space cannot persist them (per-space detail is on ``/spaces``).
+        """
+        with self._lock:
+            managers = [
+                entry.manager
+                for entry in self._entries.values()
+                if entry.state == "ready" and entry.manager is not None
+            ]
+        return any(manager.degraded for manager in managers)
+
     def session_ids(self) -> list[str]:
         """Live session ids across every ready space (sorted)."""
         with self._lock:
@@ -487,6 +519,7 @@ class SpaceRegistry:
             if manager is not None:
                 row["live_sessions"] = len(manager)
                 row["groups"] = len(manager.runtime.space)
+                row["degraded"] = manager.degraded
                 row["stats"] = manager.stats()
             described[name] = row
         return described
@@ -502,7 +535,18 @@ class SpaceRegistry:
             "max_ready": self.max_ready,
             "spaces_evicted": self.spaces_evicted,
             "durable": self.state_dir is not None,
+            "durability": self.durability,
+            "degraded_spaces": self._degraded_count(),
         }
+
+    def _degraded_count(self) -> int:
+        with self._lock:
+            managers = [
+                entry.manager
+                for entry in self._entries.values()
+                if entry.manager is not None
+            ]
+        return sum(1 for manager in managers if manager.degraded)
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the build workers (pending builds finish when ``wait``)."""

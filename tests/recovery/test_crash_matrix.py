@@ -1,0 +1,147 @@
+"""The crash-point matrix: SIGKILL'd processes, bitwise-identical recovery.
+
+For every instrumented instant of the durability write path
+(``repro.core.faults``), a real subprocess driving a journaled session
+is armed via ``REPRO_FAULTS`` to SIGKILL itself mid-write, then a clean
+process resumes over the same state directory and finishes the walk.
+The final state fingerprint — displays, feedback vector, full history
+tree, cursor — must equal an uninterrupted oracle run exactly:
+
+- ``journal.mid_append``   — half a frame on disk (torn tail, discarded)
+- ``journal.pre_fsync``    — frame written, never synced
+- ``journal.post_append``  — frame durable, reply never sent
+- ``store.pre_replace@2``  — killed mid-compaction (snapshot staged,
+  not renamed; the journal stays authoritative)
+- ``store.pre_replace@1``  — killed before the very first checkpoint
+  (nothing acknowledged; the walk restarts from scratch)
+
+Env-armed crashes die by ``os.kill(getpid(), SIGKILL)`` — a genuinely
+abrupt death, no atexit, no flushing.  A final case flips one byte in a
+recorded journal and asserts the next lifetime *refuses* to resume
+(typed corruption error) rather than replaying a wrong session.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.journal import JOURNAL_NAME
+
+pytestmark = pytest.mark.recovery
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DRIVER = Path(__file__).resolve().parent / "driver.py"
+CLICKS = 6
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    from repro.cli import main
+
+    data_dir = tmp_path_factory.mktemp("matrix-data")
+    store_dir = tmp_path_factory.mktemp("matrix-store")
+    assert main(
+        [
+            "generate", "dbauthors", "--out", str(data_dir),
+            "--users", "200", "--seed", "41",
+        ]
+    ) == 0
+    assert main(
+        [
+            "discover",
+            "--actions", str(data_dir / "actions.csv"),
+            "--demographics", str(data_dir / "demographics.csv"),
+            "--name", "matrix-db",
+            "--min-support", "0.08",
+            "--store", str(store_dir),
+        ]
+    ) == 0
+    return data_dir, store_dir
+
+
+def run_driver(store, work_dir, faults=None, clicks=CLICKS):
+    data_dir, store_dir = store
+    work_dir = Path(work_dir)
+    (work_dir / "state").mkdir(exist_ok=True)
+    env = dict(os.environ, PYTHONPATH="src", PYTHONHASHSEED="0")
+    env.pop("REPRO_FAULTS", None)
+    if faults is not None:
+        env["REPRO_FAULTS"] = faults
+    return subprocess.run(
+        [
+            sys.executable, str(DRIVER),
+            "--actions", str(data_dir / "actions.csv"),
+            "--demographics", str(data_dir / "demographics.csv"),
+            "--name", "matrix-db",
+            "--store", str(store_dir),
+            "--state-dir", str(work_dir / "state"),
+            "--token-file", str(work_dir / "token"),
+            "--out", str(work_dir / "out.json"),
+            "--clicks", str(clicks),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def oracle(store, tmp_path_factory):
+    work = tmp_path_factory.mktemp("oracle")
+    result = run_driver(store, work)
+    assert result.returncode == 0, result.stderr
+    return json.loads((work / "out.json").read_text())
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize(
+        "faults",
+        [
+            "crash=journal.mid_append@4",
+            "crash=journal.pre_fsync@4",
+            "crash=journal.post_append@4",
+            "crash=store.pre_replace@2",
+            "crash=store.pre_replace@1",
+        ],
+    )
+    def test_kill_restart_resume_equals_uninterrupted(
+        self, store, oracle, tmp_path, faults
+    ):
+        crashed = run_driver(store, tmp_path, faults=faults)
+        # The armed point fired: the process SIGKILL'd itself mid-write.
+        assert crashed.returncode == -9, (
+            f"expected a SIGKILL death, got rc={crashed.returncode}\n"
+            f"{crashed.stderr}"
+        )
+        assert not (tmp_path / "out.json").exists()
+
+        recovered = run_driver(store, tmp_path)
+        assert recovered.returncode == 0, recovered.stderr
+        # Snapshot + verified journal tail + the rest of the walk ==
+        # the walk that was never interrupted, field for field.
+        assert json.loads((tmp_path / "out.json").read_text()) == oracle
+
+    def test_flipped_record_is_refused_not_replayed(self, store, tmp_path):
+        # Crash a run so the state dir holds a journal with real records.
+        crashed = run_driver(
+            store, tmp_path, faults="crash=journal.post_append@4"
+        )
+        assert crashed.returncode == -9, crashed.stderr
+        token = (tmp_path / "token").read_text().strip()
+        journal_path = tmp_path / "state" / token / JOURNAL_NAME
+        blob = bytearray(journal_path.read_bytes())
+        assert len(blob) > 64
+        blob[-10] ^= 0x01  # inside the final record's digest
+        journal_path.write_bytes(bytes(blob))
+
+        refused = run_driver(store, tmp_path)
+        assert refused.returncode != 0
+        assert "corrupted" in refused.stderr
+        # And nothing was acknowledged on top of the poisoned state.
+        assert not (tmp_path / "out.json").exists()

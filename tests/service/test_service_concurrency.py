@@ -15,8 +15,14 @@ break them independently:
   session arrives over the wire;
 - durable checkpointing under contention: the persisted state of every
   session is loadable and current after a threaded run.
+
+``REPRO_TEST_DURABILITY=journal`` switches the durable tests to journal
+durability (one fsync'd digest-chained record per interaction, with an
+aggressive compaction cadence so rotation happens *during* contention) —
+CI runs the suite once per mode; the assertions are identical.
 """
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -36,6 +42,7 @@ pytestmark = pytest.mark.concurrency
 
 N_CLIENTS = 6
 N_CLICKS = 4
+DURABILITY = os.environ.get("REPRO_TEST_DURABILITY", "snapshot")
 
 
 @pytest.fixture(scope="module")
@@ -147,6 +154,10 @@ class TestDurableUnderContention:
             GroupSpaceRuntime(space),
             default_config=untimed_config(),
             state_dir=tmp_path,
+            durability=DURABILITY,
+            # Journal mode: compact every other record so snapshot
+            # rotation races the contended clicks, not just the closes.
+            compact_every=2,
         )
         with ExplorationService(manager).start() as service:
             with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
@@ -156,6 +167,7 @@ class TestDurableUnderContention:
                         range(N_CLIENTS),
                     )
                 )
+        assert not manager.degraded
         for displays, _feedback, summary in outcomes:
             # Every closed session's persisted state is loadable and
             # reflects its full walk — no checkpoint was torn or lost.
@@ -163,3 +175,13 @@ class TestDurableUnderContention:
             load_session_state(restored, tmp_path / summary["resume_token"])
             assert restored.displayed_gids() == displays[-1]
             assert len(restored.history) == 1 + N_CLICKS
+            if DURABILITY == "journal":
+                # The close compacted: a fresh genesis-only journal and
+                # a snapshot stamped with everything it covers.
+                from repro.core.journal import read_journal
+
+                records, torn = read_journal(
+                    tmp_path / summary["resume_token"] / "journal.log"
+                )
+                assert torn == 0
+                assert [r["kind"] for r in records] == ["genesis"]
