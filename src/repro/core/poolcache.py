@@ -781,6 +781,60 @@ class PoolStatsCache:
         for structure_key, config_key, tier in rows:
             self.record_governor_tier(structure_key, config_key, int(tier))
 
+    # -- targeted invalidation -------------------------------------------
+
+    def invalidate_fingerprints(
+        self, stale: "frozenset[GroupFingerprint] | set[GroupFingerprint]"
+    ) -> int:
+        """Drop every entry touching one of these group fingerprints.
+
+        The per-fingerprint counterpart of :meth:`clear` for store
+        mutations: only entries whose *content* actually changed
+        (removed or member-churned groups) are evicted; everything else
+        stays warm.  The governor layer is untouched — it keys on
+        process-independent content digests, so stale rows simply never
+        hit again.  Returns the number of entries dropped.
+        """
+        if not stale:
+            return 0
+        dropped = 0
+        for key in [
+            key
+            for key in self._structures
+            if any(fingerprint in stale for fingerprint in key[0])
+        ]:
+            evicted = self._structures.pop(key)
+            set_key = (frozenset(evicted.fingerprints), key[1])
+            if self._by_set.get(set_key) == key:
+                del self._by_set[set_key]
+            if self.last_structure_key == key:
+                self.last_structure_key = None
+            dropped += 1
+        # Feedback layers key on ``structure.key`` = (fingerprints,
+        # relevant_key); results key directly on the fingerprint tuple.
+        for key in [
+            key
+            for key in self._feedback_layers
+            if any(fingerprint in stale for fingerprint in key[0][0])
+        ]:
+            del self._feedback_layers[key]
+            dropped += 1
+        for key in [
+            key
+            for key in self._results
+            if any(fingerprint in stale for fingerprint in key[0])
+        ]:
+            del self._results[key]
+            dropped += 1
+        for key in [
+            key
+            for key in self._pair_sims
+            if key[0] in stale or key[1] in stale
+        ]:
+            del self._pair_sims[key]
+            dropped += 1
+        return dropped
+
     # -- introspection ---------------------------------------------------
 
     def __len__(self) -> int:

@@ -140,11 +140,24 @@ class SharedPairCache:
       mutable dicts.
 
     Every operation carries the version the caller observed *before* it
-    started computing.  :meth:`bump_version` (called by the runtime on
-    store mutation) increments the version and empties both layers under
-    every lock, and any read or publication stamped with an older
-    version is refused — so a session that raced the mutation can
-    neither read nor write stale state.
+    started computing, and every stored entry is stamped with the version
+    it was published under.  :meth:`bump_version` (the full-flush
+    mutation signal) increments the version and empties both layers, and
+    any read or publication stamped with an older version is refused — a
+    session that raced the mutation can neither read nor write stale
+    state.  The entry stamps close the historical race where a reader
+    observing the *new* version between the increment and the stripe
+    clears passed the staleness check and was served pre-mutation pairs:
+    a lookup now also requires the entry's own publication stamp to match
+    the caller's version, so un-cleared old entries are invisible the
+    instant the version moves.
+
+    Epoched store mutation (:meth:`GroupSpaceRuntime.apply_deltas`) does
+    *not* bump the version: entries are content-addressed, so only the
+    fingerprints whose content actually changed go stale —
+    :meth:`invalidate_fingerprints` drops exactly those, leaving the rest
+    warm for both old-epoch readers still draining and new-epoch
+    sessions.
     """
 
     def __init__(
@@ -171,9 +184,15 @@ class SharedPairCache:
         self._stripe_capacity = (
             max(pair_capacity // stripes, 1) if pair_capacity else 0
         )
-        self._stripes: list[dict[tuple, float]] = [{} for _ in range(stripes)]
+        # Stripe values are (publication version, similarity): the stamp
+        # is what makes bump_version race-free (see class docstring).
+        self._stripes: list[dict[tuple, tuple[int, float]]] = [
+            {} for _ in range(stripes)
+        ]
         self._stripe_locks = [threading.Lock() for _ in range(stripes)]
-        self._structures: "OrderedDict[tuple, _PoolStructure]" = OrderedDict()
+        self._structures: "OrderedDict[tuple, tuple[int, _PoolStructure]]" = (
+            OrderedDict()
+        )
         self._structures_lock = threading.Lock()
         self._version_lock = threading.Lock()
         # Counters are read-modify-write, so they take this lock — an
@@ -198,11 +217,16 @@ class SharedPairCache:
         return self._version
 
     def bump_version(self) -> int:
-        """Invalidate everything: store mutation makes all entries stale.
+        """Invalidate everything: a full-flush mutation makes all entries
+        stale.
 
-        Increments the version first (so publications that observed the
-        old version are refused from this point on), then empties both
-        layers under their locks.  Returns the new version.
+        Increments the version (publications that observed the old
+        version are refused from this point on), then empties both
+        layers under their locks.  Entry-level publication stamps make
+        the ordering safe: a reader that observes the new version before
+        a stripe is cleared still cannot be served an old entry, because
+        the entry's stamp no longer matches (the pre-stamp
+        implementation had exactly that race).  Returns the new version.
         """
         with self._version_lock:
             self._version += 1
@@ -213,6 +237,41 @@ class SharedPairCache:
         with self._structures_lock:
             self._structures.clear()
         return version
+
+    def invalidate_fingerprints(self, stale: frozenset | set) -> int:
+        """Drop exactly the entries whose content went stale (epoch apply).
+
+        ``stale`` is a set of group fingerprints whose member content
+        changed or disappeared in a mutation.  Pair entries touching any
+        stale fingerprint and structure snapshots whose pool references
+        one are removed; everything else stays warm and the version does
+        *not* move — unchanged content is still exactly what a fresh
+        computation would produce, for old-epoch and new-epoch readers
+        alike.  Returns the number of entries dropped.
+        """
+        if not stale:
+            return 0
+        dropped = 0
+        for lock, stripe in zip(self._stripe_locks, self._stripes):
+            with lock:
+                doomed = [
+                    key
+                    for key in stripe
+                    if key[0] in stale or key[1] in stale
+                ]
+                for key in doomed:
+                    del stripe[key]
+                dropped += len(doomed)
+        with self._structures_lock:
+            doomed = [
+                key
+                for key in self._structures
+                if any(fingerprint in stale for fingerprint in key[0])
+            ]
+            for key in doomed:
+                del self._structures[key]
+            dropped += len(doomed)
+        return dropped
 
     # -- pair layer ------------------------------------------------------
 
@@ -239,9 +298,12 @@ class SharedPairCache:
                     self._count("stale_rejections")
                     return {}
                 for key in stripe_keys:
-                    value = stripe.get(key)
-                    if value is not None:
-                        found[key] = value
+                    entry = stripe.get(key)
+                    # The publication stamp must match too: an entry
+                    # published under an older version may not have been
+                    # swept out yet when the caller observed the new one.
+                    if entry is not None and entry[0] == version:
+                        found[key] = entry[1]
         self._count("pair_hits", len(found))
         self._count("pair_misses", len(keys) - len(found))
         return found
@@ -268,7 +330,7 @@ class SharedPairCache:
                 for key in stripe_keys:
                     if len(stripe) >= self._stripe_capacity and key not in stripe:
                         break
-                    stripe[key] = entries[key]
+                    stripe[key] = (version, entries[key])
         return True
 
     # -- structure layer -------------------------------------------------
@@ -290,12 +352,12 @@ class SharedPairCache:
                 self._count("stale_rejections")
                 return None
             stored = self._structures.get(key)
-            if stored is None:
+            if stored is None or stored[0] != version:
                 self._count("structure_misses")
                 return None
             self._structures.move_to_end(key)
             self._count("structure_hits")
-            return stored.snapshot()
+            return stored[1].snapshot()
 
     def publish_structure(
         self, key: tuple, structure: _PoolStructure, version: int
@@ -310,7 +372,7 @@ class SharedPairCache:
             if version != self._version:
                 self._count("stale_rejections")
                 return False
-            self._structures[key] = snapshot
+            self._structures[key] = (version, snapshot)
             self._structures.move_to_end(key)
             while len(self._structures) > self.structure_capacity:
                 self._structures.popitem(last=False)
@@ -341,6 +403,49 @@ class SharedPairCache:
         )
 
 
+class StoreEpoch:
+    """One immutable generation of a group space's serving artifacts.
+
+    A mutation (:meth:`GroupSpaceRuntime.apply_deltas`) never edits the
+    live space or index in place — it builds a *new* epoch (space, index,
+    membership digest) and atomically swaps it in.  Sessions pin the
+    epoch they were opened (or resumed) under, so in-flight clicks and
+    untimed parity oracles keep reading a consistent generation until
+    they drain; durable checkpoints and journal records stamp the pinned
+    epoch's number and digest so recovery replays against the right
+    space generation.
+    """
+
+    __slots__ = ("number", "space", "index", "parent_digest", "_digest", "_lock")
+
+    def __init__(
+        self,
+        number: int,
+        space: GroupSpace,
+        index: SimilarityIndex,
+        parent_digest: Optional[str] = None,
+        digest: Optional[str] = None,
+    ) -> None:
+        self.number = number
+        self.space = space
+        self.index = index
+        self.parent_digest = parent_digest
+        self._digest = digest
+        self._lock = threading.Lock()
+
+    def digest(self) -> str:
+        """The epoch's sha256 membership digest, computed once."""
+        from repro.core.store import space_digest
+
+        with self._lock:
+            if self._digest is None:
+                self._digest = space_digest(self.space.memberships())
+            return self._digest
+
+    def __repr__(self) -> str:
+        return f"StoreEpoch(#{self.number}, {len(self.space)} groups)"
+
+
 class GroupSpaceRuntime:
     """Shared serving artifacts for all sessions over one group space.
 
@@ -348,10 +453,10 @@ class GroupSpaceRuntime:
     group space, the partially materialized similarity index (built with
     the batched lexsort ranking, so construction scales to very large
     spaces), the pooled membership CSR behind it, and the cross-session
-    :class:`SharedPairCache`.  All of it is immutable from a session's
-    point of view; the only mutation signal is :meth:`bump_version`,
-    which a caller that mutated the underlying store must invoke so no
-    session can keep serving artifacts of the old space.
+    :class:`SharedPairCache`.  The space/index pair lives in a
+    :class:`StoreEpoch`; :meth:`apply_deltas` swaps in a delta-maintained
+    new epoch without ever stalling readers, while the legacy
+    :meth:`bump_version` full flush remains for wholesale re-discovery.
 
     ``share_cache=False`` produces a private runtime (the implicit one a
     standalone :class:`~repro.core.session.ExplorationSession` builds for
@@ -367,24 +472,36 @@ class GroupSpaceRuntime:
         share_cache: bool = True,
         name: Optional[str] = None,
         cache_stripes: Optional[int] = None,
+        retain_epochs: int = 4,
     ) -> None:
-        self.space = space
         #: Routing identity when this runtime is hosted by a
         #: :class:`repro.spaces.SpaceRegistry`; session checkpoints are
         #: stamped with it so state saved under one space name can never
         #: be resumed onto another space (``None`` for anonymous
         #: single-space runtimes — the pre-registry deployments).
         self.name = name
-        self.index = index or SimilarityIndex(
+        index = index or SimilarityIndex(
             space.memberships(),
             space.dataset.n_users,
             materialize_fraction=materialize_fraction,
         )
-        if self.index.n_groups != len(space):
+        if index.n_groups != len(space):
             raise ValueError(
-                f"index covers {self.index.n_groups} groups, "
+                f"index covers {index.n_groups} groups, "
                 f"space has {len(space)}"
             )
+        if retain_epochs < 1:
+            raise ValueError("retain_epochs must be >= 1")
+        self.retain_epochs = retain_epochs
+        self._epoch = StoreEpoch(0, space, index)
+        #: Recent epochs by number (newest last), the current one always
+        #: included: an evicted session checkpointed under an older epoch
+        #: can resume — and replay its journal — against the exact
+        #: generation it was exploring, as long as it is retained.
+        self._retained: "OrderedDict[int, StoreEpoch]" = OrderedDict(
+            [(0, self._epoch)]
+        )
+        self._mutate_lock = threading.Lock()
         self.shared: Optional[SharedPairCache] = (
             shared
             if shared is not None
@@ -398,9 +515,129 @@ class GroupSpaceRuntime:
         self._private_version = 0
         self._sessions_opened = 0
         self._opened_lock = threading.Lock()
-        self._digest: Optional[str] = None
-        self._digest_version = -1
-        self._digest_lock = threading.Lock()
+
+    # -- epochs ----------------------------------------------------------
+
+    @property
+    def space(self) -> GroupSpace:
+        """The current epoch's group space (pin via :meth:`current_epoch`)."""
+        return self._epoch.space
+
+    @property
+    def index(self) -> SimilarityIndex:
+        """The current epoch's similarity index."""
+        return self._epoch.index
+
+    @property
+    def epoch(self) -> int:
+        """The current epoch number (0 until the first mutation)."""
+        return self._epoch.number
+
+    def current_epoch(self) -> StoreEpoch:
+        """The live epoch as one atomic object.
+
+        Sessions read this exactly once at construction so their space,
+        index and digest are guaranteed to belong to the same generation
+        even when a mutation lands mid-open.
+        """
+        return self._epoch
+
+    def resolve_digest(self, digest: str) -> Optional[StoreEpoch]:
+        """The retained epoch with this membership digest, if any.
+
+        The recovery hook: a checkpoint or journal stamped with an older
+        epoch's digest replays against that exact generation instead of
+        being refused, as long as the epoch is still retained (newest
+        epochs are consulted first; beyond ``retain_epochs`` the caller
+        gets ``None`` and refuses with an epoch-aware error).
+        """
+        with self._mutate_lock:
+            epochs = list(self._retained.values())
+        for epoch in reversed(epochs):
+            if epoch.digest() == digest:
+                return epoch
+        return None
+
+    def apply_deltas(self, delta, verify: bool = False) -> dict[str, object]:
+        """Apply a :class:`~repro.core.group.GroupDelta` as a new epoch.
+
+        Builds the mutated space (gids compacted), delta-maintains the
+        similarity index (only rows touching changed groups recompute —
+        ``verify=True`` additionally builds the full-rebuild oracle and
+        asserts bitwise prefix parity), invalidates the shared cache
+        *per content fingerprint* (no version bump: unchanged entries
+        stay warm), and atomically publishes the new
+        :class:`StoreEpoch`.  Readers are never blocked: sessions opened
+        before the swap keep serving their pinned epoch until they
+        drain.  Concurrent mutations serialize on one lock.  Returns a
+        mutation report (epoch number, digest, counts, timing).
+        """
+        from repro.core.group import apply_group_delta
+        from repro.core.poolcache import group_fingerprint
+
+        started = time.perf_counter()
+        with self._mutate_lock:
+            old = self._epoch
+            if delta.is_empty():
+                return {
+                    "epoch": old.number,
+                    "digest": old.digest(),
+                    "parent_digest": old.parent_digest,
+                    "n_groups": len(old.space),
+                    "added": 0,
+                    "removed": 0,
+                    "changed": 0,
+                    "cache_entries_dropped": 0,
+                    "apply_ms": (time.perf_counter() - started) * 1000.0,
+                }
+            new_space, old_to_new, changed_old, changed_new = apply_group_delta(
+                old.space, delta
+            )
+            new_index = old.index.apply_delta(
+                new_space.memberships(), changed_new, changed_old, old_to_new
+            )
+            if verify:
+                oracle = SimilarityIndex(
+                    new_space.memberships(),
+                    new_space.dataset.n_users,
+                    materialize_fraction=old.index.materialize_fraction,
+                )
+                if not new_index.parity_with(oracle):
+                    raise RuntimeError(
+                        "delta-maintained index diverged from the "
+                        "full-rebuild oracle; refusing to publish the epoch"
+                    )
+            # Only the fingerprints whose *content* went stale: removed
+            # and churned groups.  Shifted-but-identical groups keep
+            # their entries (their old fingerprints still describe the
+            # old-epoch readers' reality, and their new fingerprints
+            # simply miss and repopulate).
+            stale = frozenset(
+                group_fingerprint(old.space[int(gid)]) for gid in changed_old
+            )
+            dropped = (
+                self.shared.invalidate_fingerprints(stale)
+                if self.shared is not None
+                else 0
+            )
+            epoch = StoreEpoch(
+                old.number + 1, new_space, new_index, parent_digest=old.digest()
+            )
+            self._epoch = epoch
+            self._retained[epoch.number] = epoch
+            while len(self._retained) > self.retain_epochs:
+                self._retained.popitem(last=False)
+        return {
+            "epoch": epoch.number,
+            "digest": epoch.digest(),
+            "parent_digest": epoch.parent_digest,
+            "n_groups": len(new_space),
+            "added": len(delta.added),
+            "removed": len(delta.removed),
+            "changed": len(delta.changed),
+            "cache_entries_dropped": dropped,
+            "apply_ms": (time.perf_counter() - started) * 1000.0,
+        }
 
     # -- versioning ------------------------------------------------------
 
@@ -412,12 +649,12 @@ class GroupSpaceRuntime:
         return self._private_version
 
     def bump_version(self) -> int:
-        """Signal a store mutation: all shared artifacts become stale.
+        """Signal a wholesale store mutation: all shared artifacts stale.
 
-        Callers that mutate the group space (re-discovery, member edits)
-        must bump before serving new clicks; every session-cache layer is
-        already content-fingerprinted, and this additionally empties the
-        cross-session cache and refuses racing publications.
+        The legacy full-flush path (re-discovery replacing the space
+        outright); incremental group add/remove/member-churn should go
+        through :meth:`apply_deltas`, which invalidates per fingerprint
+        instead.
         """
         self._private_version += 1
         if self.shared is not None:
@@ -425,37 +662,39 @@ class GroupSpaceRuntime:
         return self._private_version
 
     def membership_digest(self) -> str:
-        """The space's sha256 membership digest, cached per version.
+        """The current epoch's sha256 membership digest (computed once).
 
-        Durable session checkpoints stamp every payload with this digest;
-        hashing the whole space on every click would put an O(total
-        members) pass on the serving hot path, so it is computed once and
-        reused until :meth:`bump_version` signals a mutation (the same
-        contract every other shared artifact lives by).
+        Durable session checkpoints stamp every payload with their
+        session's *pinned* epoch digest; hashing the whole space on
+        every click would put an O(total members) pass on the serving
+        hot path, so each :class:`StoreEpoch` computes it lazily and
+        exactly once.
         """
-        from repro.core.store import space_digest
-
-        with self._digest_lock:
-            version = self.version
-            if self._digest is None or self._digest_version != version:
-                self._digest = space_digest(self.space.memberships())
-                self._digest_version = version
-            return self._digest
+        return self._epoch.digest()
 
     # -- shared artifacts ------------------------------------------------
 
     def membership_csr(self) -> sparse.csr_matrix:
-        """The pooled group×user membership matrix (one per runtime)."""
+        """The pooled group×user membership matrix (one per epoch)."""
         return self.index.membership_csr()
 
     def session_cache(
-        self, capacity: int = 32, result_capacity: int = 64
+        self,
+        capacity: int = 32,
+        result_capacity: int = 64,
+        index: Optional[SimilarityIndex] = None,
     ) -> PoolStatsCache:
-        """A per-session pool cache wired to this runtime's shared layer."""
+        """A per-session pool cache wired to this runtime's shared layer.
+
+        ``index`` selects the epoch whose membership CSR seeds the cache
+        (a session resumed onto a retained older epoch must slice *that*
+        generation's rows); defaults to the current epoch's.
+        """
+        index = index if index is not None else self.index
         return PoolStatsCache(
             capacity=capacity,
             result_capacity=result_capacity,
-            space_matrix=self.membership_csr(),
+            space_matrix=index.membership_csr(),
             shared=self.shared,
         )
 
@@ -499,6 +738,8 @@ class GroupSpaceRuntime:
             "users": self.space.dataset.n_users,
             "index_entries": self.index.memory_entries(),
             "version": self.version,
+            "epoch": self.epoch,
+            "retained_epochs": len(self._retained),
             "sessions_opened": self._sessions_opened,
             "shared": self.shared.stats() if self.shared is not None else None,
         }
@@ -918,6 +1159,29 @@ class SessionManager:
             self.degraded_reason = None
         return True
 
+    def apply_deltas(self, delta, verify: bool = False) -> dict[str, object]:
+        """Apply a group delta to the served space as a new epoch.
+
+        The manager-level mutation endpoint: delegates to
+        :meth:`GroupSpaceRuntime.apply_deltas` (sessions already open
+        keep serving their pinned epoch — no session lock is taken, no
+        click stalls), then best-effort appends the mutation report to
+        the state directory's epoch lineage so an operator can audit
+        which generations this deployment served.
+        """
+        report = self.runtime.apply_deltas(delta, verify=verify)
+        if self.state_dir is not None:
+            from repro.core.store import append_epoch_record
+
+            try:
+                append_epoch_record(self.state_dir, report)
+            except OSError:
+                # Lineage is advisory: the mutation itself is in-memory
+                # state, not durable state, so a failed audit append
+                # must not degrade or roll back the epoch swap.
+                pass
+        return report
+
     @staticmethod
     def _summary(
         session_id: str, managed: _ManagedSession, durable: bool
@@ -1055,6 +1319,10 @@ class SessionManager:
         """Append one interaction record, rolling back in-memory state on
         failure so the resulting :class:`DurabilityError` means exactly
         "not applied" (a client retry cannot double-apply)."""
+        # Stamp the session's pinned epoch so recovery can tell which
+        # space generation the interaction ran against (replay ignores
+        # the field; the genesis meta digest is the authority).
+        payload.setdefault("epoch", managed.session.epoch.number)
         try:
             managed.journal.append(kind, payload)
         except OSError as error:

@@ -139,17 +139,25 @@ class ExplorationSession:
                 share_cache=False,
             )
         else:
-            if space is not None and space is not runtime.space:
+            current = runtime.current_epoch()
+            if space is not None and space is not current.space:
                 raise ValueError(
                     "space and runtime disagree; pass one or the other"
                 )
-            if index is not None and index is not runtime.index:
+            if index is not None and index is not current.index:
                 raise ValueError(
                     "index and runtime disagree; the runtime owns the index"
                 )
         self.runtime = runtime
-        self.space = runtime.space
-        self.index = runtime.index
+        # One atomic epoch read: reading ``runtime.space`` and
+        # ``runtime.index`` as two separate property accesses could
+        # straddle an ``apply_deltas`` swap and pair a new space with an
+        # old index.  The session pins this epoch for its whole life —
+        # in-flight clicks keep reading a consistent generation while
+        # mutations publish new epochs around it.
+        self.epoch = runtime.current_epoch()
+        self.space = self.epoch.space
+        self.index = self.epoch.index
         self.feedback = FeedbackVector()
         self.history = History()
         self.memo = Memo()
@@ -165,10 +173,32 @@ class ExplorationSession:
         # consulted before computing.  Feedback/result layers stay
         # private to this session.
         self.pool_cache: Optional[PoolStatsCache] = (
-            runtime.session_cache(capacity=self.config.cache_capacity)
+            runtime.session_cache(
+                capacity=self.config.cache_capacity, index=self.index
+            )
             if self.config.cache_pools
             else None
         )
+
+    def rebind_epoch(self, epoch) -> None:
+        """Re-pin a *fresh* session onto a retained older epoch.
+
+        The resume hook: a checkpoint saved under epoch N must replay
+        against epoch N's space and index even when the runtime has
+        since moved on.  Only a session with no history may rebind —
+        state already accumulated against one generation cannot be
+        reinterpreted against another.
+        """
+        if len(self.history) or self._displayed or len(self.feedback):
+            raise ValueError("rebind_epoch requires a fresh session")
+        self.epoch = epoch
+        self.space = epoch.space
+        self.index = epoch.index
+        self.context = ContextView(self.feedback, self.space.dataset)
+        if self.pool_cache is not None:
+            self.pool_cache = self.runtime.session_cache(
+                capacity=self.config.cache_capacity, index=self.index
+            )
 
     # ------------------------------------------------------------------
     # the loop

@@ -74,19 +74,17 @@ def membership_matrix(
     """
     count = len(memberships)
     arrays = [np.asarray(members, dtype=np.int64) for members in memberships]
-    row_indices = (
-        np.concatenate(
-            [np.full(len(members), group) for group, members in enumerate(arrays)]
-        )
-        if count
-        else np.empty(0, dtype=np.int64)
-    )
+    lengths = np.array([len(members) for members in arrays], dtype=np.int64)
+    indptr = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
     column_indices = (
         np.concatenate(arrays) if count else np.empty(0, dtype=np.int64)
     )
-    data = np.ones(len(row_indices), dtype=np.int64)
+    data = np.ones(len(column_indices), dtype=np.int64)
+    # Sorted-unique member arrays mean the buffers are already canonical
+    # CSR, so the matrix is assembled directly — no COO round trip.
     return sparse.csr_matrix(
-        (data, (row_indices, column_indices)),
+        (data, column_indices, indptr),
         shape=(count, max(n_users, 1)),
     )
 

@@ -173,6 +173,17 @@ def save_index(index: SimilarityIndex, directory: str | Path) -> None:
         [[neighbor.group, neighbor.similarity] for neighbor in index.materialized_neighbors(gid)]
         for gid in range(index.n_groups)
     ]
+    r_indptr = index._reserve_indptr
+    reserve = [
+        [
+            [int(gid), float(sim)]
+            for gid, sim in zip(
+                index._reserve_ids[r_indptr[g] : r_indptr[g + 1]].tolist(),
+                index._reserve_sims[r_indptr[g] : r_indptr[g + 1]].tolist(),
+            )
+        ]
+        for g in range(index.n_groups)
+    ]
     payload = {
         "version": _FORMAT_VERSION,
         "n_groups": index.n_groups,
@@ -180,6 +191,8 @@ def save_index(index: SimilarityIndex, directory: str | Path) -> None:
         "materialize_fraction": index.materialize_fraction,
         "prefix": prefix,
         "prefix_complete": [bool(flag) for flag in index._prefix_complete],
+        "reserve": reserve,
+        "tail_complete": [bool(flag) for flag in index._tail_complete],
         "space_digest": space_digest(index._memberships),
     }
     (directory / "index.json").write_text(json.dumps(payload), encoding="utf-8")
@@ -234,6 +247,28 @@ def load_index(space: GroupSpace, directory: str | Path) -> SimilarityIndex:
     index._prefix_indptr = indptr
     index._prefix_complete = np.array(
         payload["prefix_complete"], dtype=bool
+    )
+    # Maintenance reserve (absent in older payloads: loads empty, which
+    # delta maintenance tolerates — it just recomputes more rows).
+    reserve = payload.get("reserve")
+    if reserve is None:
+        reserve = [[] for _ in range(index.n_groups)]
+    r_counts = np.array([len(entry) for entry in reserve], dtype=np.int64)
+    r_indptr = np.zeros(index.n_groups + 1, dtype=np.int64)
+    np.cumsum(r_counts, out=r_indptr[1:])
+    r_flat = [pair for entry in reserve for pair in entry]
+    index._reserve_ids = np.array(
+        [pair[0] for pair in r_flat], dtype=np.int64
+    )
+    index._reserve_sims = np.array(
+        [pair[1] for pair in r_flat], dtype=np.float64
+    )
+    index._reserve_indptr = r_indptr
+    tail = payload.get("tail_complete")
+    index._tail_complete = (
+        np.array(tail, dtype=bool)
+        if tail is not None
+        else index._prefix_complete.copy()
     )
     index._exact_cache = {}
     index._matrix = None  # lazily rebuilt on the first exact lookup
@@ -328,9 +363,14 @@ def save_session_state(
         # happen to share content (or a manifest rename), so state saved
         # under one space name can never resume under another.
         "space": session.runtime.name,
-        # Cached on the runtime: this runs per interaction checkpoint and
-        # must not re-hash the whole space on every click.
-        "space_digest": session.runtime.membership_digest(),
+        # The session's *pinned* epoch digest (cached on the epoch: this
+        # runs per interaction checkpoint and must not re-hash the whole
+        # space on every click).  A session opened before a mutation
+        # keeps checkpointing its own generation's digest, so resume
+        # lands back on that exact retained epoch, not whatever the
+        # runtime currently serves.
+        "space_digest": session.epoch.digest(),
+        "epoch": session.epoch.number,
         "config": _encode_config(session.config),
         "profile": {
             "token_weight": dict(session.profile.token_weight),
@@ -440,14 +480,29 @@ def load_session_state(
         )
     stored_digest = payload.get("space_digest")
     if stored_digest is not None:
-        live_digest = space_digest(session.space.memberships())
+        live_digest = session.epoch.digest()
         if stored_digest != live_digest:
-            raise ValueError(
-                "stored session state is stale: it was saved on a group "
-                f"space whose membership digest was {stored_digest[:12]}..., "
-                f"but the live space digests to {live_digest[:12]}...; the "
-                "session cannot be resumed onto a mutated store"
-            )
+            # Not the current generation — but the runtime retains
+            # recent epochs precisely so a session checkpointed before a
+            # mutation can resume against the generation it was actually
+            # exploring.  The digest is the authority (epoch numbers are
+            # informative only: they restart at 0 on process restart).
+            resolved = session.runtime.resolve_digest(stored_digest)
+            if resolved is None:
+                stored_epoch = payload.get("epoch")
+                stamp = (
+                    f" (saved at epoch {stored_epoch})"
+                    if stored_epoch is not None
+                    else ""
+                )
+                raise ValueError(
+                    "stored session state is stale: it was saved on a group "
+                    f"space whose membership digest was {stored_digest[:12]}..."
+                    f"{stamp}, but the live space digests to "
+                    f"{live_digest[:12]}... and no retained epoch matches; "
+                    "the session cannot be resumed onto a mutated store"
+                )
+            session.rebind_epoch(resolved)
 
     def decode(entries):
         return {
@@ -489,3 +544,54 @@ def load_session_state(
         )
     session._displayed = [session.space[gid] for gid in payload["displayed"]]
     return session
+
+
+def append_epoch_record(directory: str | Path, report: dict) -> None:
+    """Append one mutation report to the state directory's epoch lineage.
+
+    ``epochs.json`` is an *advisory* audit trail (one JSON object per
+    line: epoch number, digest, parent digest, delta counts) — epochs
+    themselves are in-memory serving state, so this file is never read
+    on the recovery path and a failed append must not fail a mutation.
+    Appends are O(1); no rewrite of prior lineage.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(
+        {
+            key: report[key]
+            for key in (
+                "epoch",
+                "digest",
+                "parent_digest",
+                "n_groups",
+                "added",
+                "removed",
+                "changed",
+            )
+            if key in report
+        }
+    )
+    with open(directory / "epochs.json", "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+def load_epoch_lineage(directory: str | Path) -> list[dict]:
+    """The recorded epoch lineage, oldest first (empty when none).
+
+    Torn tail lines (a crash mid-append) are skipped, matching the
+    file's advisory contract.
+    """
+    path = Path(directory) / "epochs.json"
+    if not path.exists():
+        return []
+    records: list[dict] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records

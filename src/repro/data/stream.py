@@ -140,5 +140,12 @@ def sliding_windows(
             buffer = [e for e in buffer if e.timestamp > low]
             yield [e for e in buffer if e.timestamp <= next_emit]
             next_emit += step_seconds
-    if buffer and next_emit is not None:
-        yield buffer
+    if next_emit is not None:
+        # The pending emission at ``next_emit`` still owes one window.  Trim
+        # it to (next_emit - width, next_emit] exactly like every interior
+        # emission — otherwise the tail spans the whole residual buffer,
+        # which can exceed ``width_seconds``.
+        low = next_emit - width_seconds
+        tail = [e for e in buffer if low < e.timestamp <= next_emit]
+        if tail:
+            yield tail

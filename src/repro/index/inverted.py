@@ -44,6 +44,54 @@ from repro.core.similarity import membership_matrix
 #: amortizes.  Blocks are independent, so the split never changes output.
 _RANK_BLOCK_NNZ = 262_144
 
+# Tail entries ranked immediately after each serving prefix.  The reserve
+# is the slack that makes delta maintenance robust: when a store mutation
+# demotes a prefix entry below the stored boundary, the hole is filled
+# from the reserve instead of forcing a full row recompute (the classic
+# overprovisioning trick of incremental top-k view maintenance).
+_RESERVE_DEPTH = 8
+
+
+def _split_reserve(
+    ids: np.ndarray,
+    sims: np.ndarray,
+    indptr: np.ndarray,
+    tail_complete: np.ndarray,
+    budget: int,
+) -> tuple[np.ndarray, ...]:
+    """Split wide-ranked rows into serving prefix + maintenance reserve.
+
+    ``ids``/``sims``/``indptr`` hold up to ``budget + _RESERVE_DEPTH``
+    entries per row (a ranking prefix is a true prefix of the exact
+    ranking, so the first ``budget`` entries are bitwise-identical to a
+    budget-only ranking).  Returns
+    ``(prefix_ids, prefix_sims, prefix_indptr, complete,
+    reserve_ids, reserve_sims, reserve_indptr, tail_complete)``.
+    """
+    counts = np.diff(indptr)
+    pcounts = np.minimum(counts, budget)
+    rcounts = counts - pcounts
+    n = len(counts)
+    row = np.repeat(np.arange(n, dtype=np.int64), counts)
+    within = np.arange(len(ids), dtype=np.int64) - np.repeat(
+        indptr[:-1], counts
+    )
+    in_prefix = within < pcounts[row]
+    prefix_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(pcounts, out=prefix_indptr[1:])
+    reserve_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(rcounts, out=reserve_indptr[1:])
+    return (
+        ids[in_prefix],
+        sims[in_prefix],
+        prefix_indptr,
+        counts <= budget,
+        ids[~in_prefix],
+        sims[~in_prefix],
+        reserve_indptr,
+        np.asarray(tail_complete, dtype=bool),
+    )
+
 
 @dataclass(frozen=True)
 class Neighbor:
@@ -145,6 +193,148 @@ def _rank_prefix_block(
     order = order[np.argsort(sim_key, kind="stable")]
     order = order[np.argsort(rows[order], kind="stable")]
     return cols[order], sims[order], kept_counts, complete
+
+
+def _rank_rows(
+    overlaps_sub: sparse.csr_matrix,
+    row_gids: np.ndarray,
+    sizes: np.ndarray,
+    budget: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Rank a *subset* of rows, float-op-identical to :func:`_rank_prefix_loop`.
+
+    ``overlaps_sub`` holds one row per entry of ``row_gids`` (the rows'
+    products against the full membership matrix).  Used by
+    :meth:`SimilarityIndex.apply_delta` to recompute only the rows a
+    mutation touched; the same flat select-then-sort passes as
+    :func:`_rank_prefix_block`, with local row indices mapped through
+    ``row_gids`` for self-exclusion and size lookups — emitting the very
+    same arithmetic as the full build is what makes delta maintenance
+    bitwise-identical to a fresh rebuild.  Returns flat
+    ``(ids, sims, kept_counts, complete)`` arrays (rows in ``row_gids``
+    order).
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    row_gids = np.asarray(row_gids, dtype=np.int64)
+    n_rows = len(row_gids)
+    entry_counts = np.diff(overlaps_sub.indptr)
+    local = np.repeat(np.arange(n_rows, dtype=np.int64), entry_counts)
+    cols = overlaps_sub.indices.astype(np.int64)
+    inter = overlaps_sub.data.astype(np.float64)
+    keep = cols != row_gids[local]  # a group is not its own neighbor
+    local, cols, inter = local[keep], cols[keep], inter[keep]
+    union = sizes[row_gids[local]] + sizes[cols] - inter
+    sims = np.where(union > 0, inter / np.where(union > 0, union, 1.0), 0.0)
+    neg = -sims
+    counts = np.bincount(local, minlength=n_rows).astype(np.int64)
+    starts = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    kept_counts = np.minimum(counts, budget)
+    complete = counts <= budget
+
+    # Per-row selection threshold (the budget-th best negated similarity)
+    # via one padded partition per power-of-two length bucket — the exact
+    # scheme of :func:`_rank_prefix_block`.
+    threshold = np.full(n_rows, np.inf)
+    over = np.flatnonzero(counts > budget)
+    if len(over):
+        buckets = np.maximum(
+            np.ceil(np.log2(counts[over])).astype(np.int64), 0
+        )
+        for bucket in np.unique(buckets):
+            selected = over[buckets == bucket]
+            width = 1 << int(bucket)
+            lengths = counts[selected]
+            row_index = np.repeat(np.arange(len(selected)), lengths)
+            within = np.arange(lengths.sum()) - np.repeat(
+                np.cumsum(lengths) - lengths, lengths
+            )
+            source = np.repeat(starts[selected], lengths) + within
+            padded = np.full((len(selected), width), np.inf)
+            padded[row_index, within] = neg[source]
+            threshold[selected] = np.partition(padded, budget - 1, axis=-1)[
+                :, budget - 1
+            ]
+
+    # Keep strictly-better entries, admit threshold ties in neighbor-gid
+    # order until each row's budget is exact.
+    row_threshold = threshold[local]
+    sure = neg < row_threshold
+    still_needed = kept_counts - np.bincount(local[sure], minlength=n_rows)
+    tie_positions = np.flatnonzero(neg == row_threshold)
+    if len(tie_positions):
+        tie_order = tie_positions[
+            np.argsort(cols[tie_positions], kind="stable")
+        ]
+        tie_order = tie_order[np.argsort(local[tie_order], kind="stable")]
+        tie_rows = local[tie_order]
+        tie_counts = np.bincount(tie_rows, minlength=n_rows)
+        tie_starts = np.concatenate(([0], np.cumsum(tie_counts)))
+        tie_rank = np.arange(len(tie_order)) - tie_starts[tie_rows]
+        admitted = tie_order[tie_rank < still_needed[tie_rows]]
+        kept = np.concatenate((np.flatnonzero(sure), admitted))
+    else:
+        kept = np.flatnonzero(sure)
+
+    # Order the kept entries: row asc, similarity desc, gid asc.
+    order = kept[np.argsort(cols[kept], kind="stable")]
+    sim_key = np.ascontiguousarray(neg[order])
+    order = order[np.argsort(sim_key, kind="stable")]
+    order = order[np.argsort(local[order], kind="stable")]
+    return cols[order], sims[order], kept_counts, complete
+
+
+def _rank_rows_threaded(
+    overlaps_sub: sparse.csr_matrix,
+    row_gids: np.ndarray,
+    sizes: np.ndarray,
+    budget: int,
+    workers: Optional[int] = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`_rank_rows` over roughly equal-nnz row blocks on a pool.
+
+    The subset analogue of :func:`_rank_prefix_vectorized`'s blocking:
+    numpy's sort/partition kernels release the GIL, so blocks overlap on
+    real cores.  Per-block results concatenate back in row order, so the
+    output is identical to a single-block call.
+    """
+    n_rows = len(row_gids)
+    if workers is None:
+        workers = _rank_workers()
+    total_nnz = int(overlaps_sub.indptr[-1])
+    n_blocks = max(1, min(n_rows, -(-total_nnz // _RANK_BLOCK_NNZ)))
+    if workers <= 1 or n_blocks <= 1:
+        return _rank_rows(overlaps_sub, row_gids, sizes, budget)
+    bounds = np.searchsorted(
+        overlaps_sub.indptr[1:],
+        np.linspace(0, total_nnz, n_blocks + 1)[1:-1],
+        side="left",
+    )
+    edges = np.unique(np.concatenate(([0], bounds + 1, [n_rows]))).astype(
+        np.int64
+    )
+    spans = [
+        (int(edges[i]), int(edges[i + 1]))
+        for i in range(len(edges) - 1)
+        if edges[i] < edges[i + 1]
+    ]
+
+    def rank(span: tuple[int, int]):
+        return _rank_rows(
+            overlaps_sub[span[0] : span[1]],
+            row_gids[span[0] : span[1]],
+            sizes,
+            budget,
+        )
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        parts = list(pool.map(rank, spans))
+    return (
+        np.concatenate([part[0] for part in parts]),
+        np.concatenate([part[1] for part in parts]),
+        np.concatenate([part[2] for part in parts]),
+        np.concatenate([part[3] for part in parts]),
+    )
 
 
 def _rank_workers() -> int:
@@ -304,12 +494,20 @@ class SimilarityIndex:
         matrix = self._membership_matrix()
         self._matrix = matrix
         overlaps = (matrix @ matrix.T).tocsr()
+        budget = self._budget()
+        wide = _rank_prefix_vectorized(
+            overlaps, self._sizes, budget + _RESERVE_DEPTH
+        )
         (
             self._prefix_ids,
             self._prefix_sims,
             self._prefix_indptr,
             self._prefix_complete,
-        ) = _rank_prefix_vectorized(overlaps, self._sizes, self._budget())
+            self._reserve_ids,
+            self._reserve_sims,
+            self._reserve_indptr,
+            self._tail_complete,
+        ) = _split_reserve(*wide, budget)
 
     def _membership_matrix(self) -> sparse.csr_matrix:
         return membership_matrix(self._memberships, self.n_users)
@@ -356,6 +554,574 @@ class SimilarityIndex:
             Neighbor(int(group), float(similarity))
             for group, similarity in zip(ids.tolist(), sims.tolist())
         ]
+
+    # ------------------------------------------------------------------
+    # delta maintenance (epoched store mutation)
+    # ------------------------------------------------------------------
+
+    def apply_delta(
+        self,
+        new_memberships: list[np.ndarray],
+        changed_new_gids: np.ndarray,
+        changed_old_gids: np.ndarray,
+        old_to_new: np.ndarray,
+    ) -> "SimilarityIndex":
+        """A new index for the mutated space, recomputing only touched rows.
+
+        ``self`` stays untouched (old-epoch readers keep serving from it);
+        the returned instance is bitwise-identical — prefix ids, sims,
+        indptr and complete flags — to
+        ``SimilarityIndex(new_memberships, n_users, materialize_fraction)``,
+        a property the delta-parity fuzz suite and the perf harness's
+        ``mutation`` gate both assert against that full-rebuild oracle.
+
+        Three tiers of work, cheapest first:
+
+        - *Remap*: rows no changed group touches keep their prefix with
+          gids remapped through ``old_to_new`` (order-preserving
+          compaction keeps the (sim desc, gid asc) order valid by
+          construction), truncated when the per-row budget shrank.
+        - *Surgical repair*: rows that gained/lost/changed a pair with a
+          changed group re-rank from *known* entries — the stored prefix
+          minus stale changed-pair entries, plus the freshly computed
+          changed-pair similarities.  Exact whenever the merged list's
+          budget-th entry still dominates the stored prefix's old
+          boundary (every unstored neighbor ranks strictly below that
+          boundary, so none can enter), and the complete flag is
+          decidable (complete rows know all their neighbors; incomplete
+          rows stay incomplete when they lost no more pairs than they
+          gained).
+        - *Full recompute*: the changed/added rows themselves, plus the
+          repairs whose exactness condition fails — their row products
+          are re-ranked with the full build's arithmetic.
+        """
+        changed_new_gids = np.asarray(changed_new_gids, dtype=np.int64)
+        changed_old_gids = np.asarray(changed_old_gids, dtype=np.int64)
+        old_to_new = np.asarray(old_to_new, dtype=np.int64)
+        if len(old_to_new) != self.n_groups:
+            raise ValueError(
+                f"old_to_new covers {len(old_to_new)} gids, index has {self.n_groups}"
+            )
+
+        new = SimilarityIndex.__new__(SimilarityIndex)
+        new.n_groups = len(new_memberships)
+        new.n_users = self.n_users
+        new.materialize_fraction = self.materialize_fraction
+        new._memberships = [
+            np.asarray(members, dtype=np.int64) for members in new_memberships
+        ]
+        new._sizes = np.array([len(members) for members in new._memberships])
+        new._exact_cache = {}
+        new._matrix = new._membership_matrix()
+        if new.n_groups == 0:
+            new._prefix_ids = np.empty(0, dtype=np.int64)
+            new._prefix_sims = np.empty(0, dtype=np.float64)
+            new._prefix_indptr = np.zeros(1, dtype=np.int64)
+            new._prefix_complete = np.zeros(0, dtype=bool)
+            new._reserve_ids = np.empty(0, dtype=np.int64)
+            new._reserve_sims = np.empty(0, dtype=np.float64)
+            new._reserve_indptr = np.zeros(1, dtype=np.int64)
+            new._tail_complete = np.zeros(0, dtype=bool)
+            return new
+
+        budget_old = self._budget()
+        budget_new = new._budget()
+        n_old, n_new = self.n_groups, new.n_groups
+        sizes_new = new._sizes.astype(np.float64)
+        old_pcounts = np.diff(self._prefix_indptr)
+        old_rcounts = np.diff(self._reserve_indptr)
+        old_scounts = old_pcounts + old_rcounts
+        tail_old = self._tail_complete
+
+        recompute = np.zeros(n_new, dtype=bool)
+        recompute[changed_new_gids] = True
+        survivors = np.flatnonzero(old_to_new >= 0)
+        new_to_old = np.full(n_new, -1, dtype=np.int64)
+        new_to_old[old_to_new[survivors]] = survivors
+        if budget_new != budget_old:
+            # A changed per-row budget reshapes every prefix; rows whose
+            # stored entries (prefix + reserve) cannot fill the new
+            # prefix must recompute, the rest reshape via repair below.
+            short = (~tail_old) & (old_scounts < budget_new)
+            short_new = old_to_new[np.flatnonzero(short)]
+            recompute[short_new[short_new >= 0]] = True
+
+        # Stale changed-pair entries inside each stored row (prefix and
+        # reserve; they get dropped during repair, and a count > 0 marks
+        # the row as touched).
+        stale_old = np.zeros(n_old, dtype=bool)
+        stale_old[changed_old_gids] = True
+        stale_in_stored = np.zeros(n_old, dtype=np.int64)
+        for arr_ids, arr_indptr, arr_counts in (
+            (self._prefix_ids, self._prefix_indptr, old_pcounts),
+            (self._reserve_ids, self._reserve_indptr, old_rcounts),
+        ):
+            if len(arr_ids):
+                flags = stale_old[arr_ids].astype(np.int64)
+                nonempty = np.flatnonzero(arr_counts > 0)
+                if len(nonempty):
+                    stale_in_stored[nonempty] += np.add.reduceat(
+                        flags, arr_indptr[nonempty]
+                    )
+
+        # Deepest stored boundary per old row (the last reserve entry, or
+        # the last prefix entry when the reserve is empty) — every
+        # unstored neighbor of a tail-truncated row ranks strictly below
+        # it.  Candidates falling below it are output no-ops, and the
+        # repair exactness test measures against it.
+        bnd_sim_old = np.full(n_old, -np.inf)
+        bnd_gid_old = np.zeros(n_old, dtype=np.int64)
+        stored_any = old_scounts > 0
+        has_res = old_rcounts > 0
+        at_r = (self._reserve_indptr[:-1] + old_rcounts - 1)[has_res]
+        bnd_sim_old[has_res] = self._reserve_sims[at_r]
+        bnd_gid_old[has_res] = self._reserve_ids[at_r]
+        only_p = stored_any & ~has_res
+        at_p = (self._prefix_indptr[:-1] + old_pcounts - 1)[only_p]
+        bnd_sim_old[only_p] = self._prefix_sims[at_p]
+        bnd_gid_old[only_p] = self._prefix_ids[at_p]
+        # The boundary gid in *new* space: unstored survivors with old
+        # gid above the boundary land strictly above this value after
+        # order-preserving compaction.
+        survived_below = np.cumsum(old_to_new >= 0)
+        mapped_b = old_to_new[bnd_gid_old]
+        bnd_gid_new = np.where(
+            stored_any & (mapped_b >= 0),
+            mapped_b,
+            np.where(stored_any, survived_below[bnd_gid_old] - 1, 0),
+        )
+
+        # Per-row lost/gained pair counts against the changed groups, and
+        # the changed-pair candidate entries (row, changed gid, fresh
+        # similarity — the very arithmetic of the full build, so repaired
+        # entries are bitwise-identical to recomputed ones).
+        old_matrix = self._ensure_matrix()
+        changed_pos = {int(g): k for k, g in enumerate(changed_new_gids)}
+        changed_old_pos = {int(g): j for j, g in enumerate(changed_old_gids)}
+        lost = np.zeros(n_new, dtype=np.int64)
+        gained = np.zeros(n_new, dtype=np.int64)
+        scratch = np.zeros(max(n_new, n_old) + 1, dtype=bool)
+        ov_new = ov_old = None
+        if len(changed_new_gids):
+            ov_new = (new._matrix @ new._matrix[changed_new_gids].T).tocsc()
+        if len(changed_old_gids):
+            ov_old = (old_matrix @ old_matrix[changed_old_gids].T).tocsc()
+            for j, g_old in enumerate(changed_old_gids):
+                rows_o = ov_old.indices[ov_old.indptr[j] : ov_old.indptr[j + 1]]
+                rows_o = rows_o[rows_o != g_old]
+                mapped = old_to_new[rows_o]
+                mapped = mapped[mapped >= 0]
+                if not len(mapped):
+                    continue
+                g_new = old_to_new[g_old]
+                col = changed_pos.get(int(g_new), -1) if g_new >= 0 else -1
+                if col < 0:
+                    lost[mapped] += 1  # the group is gone: every pair lost
+                    continue
+                rows_n = ov_new.indices[
+                    ov_new.indptr[col] : ov_new.indptr[col + 1]
+                ]
+                scratch[rows_n] = True
+                lost[mapped[~scratch[mapped]]] += 1
+                scratch[rows_n] = False
+        cand_rows_parts: list[np.ndarray] = []
+        cand_gids_parts: list[np.ndarray] = []
+        cand_sims_parts: list[np.ndarray] = []
+        if ov_new is not None:
+            for col, g_new in enumerate(changed_new_gids):
+                start, end = ov_new.indptr[col], ov_new.indptr[col + 1]
+                rows_n = ov_new.indices[start:end].astype(np.int64)
+                inters = ov_new.data[start:end].astype(np.float64)
+                keep = rows_n != g_new
+                rows_n, inters = rows_n[keep], inters[keep]
+                if not len(rows_n):
+                    continue
+                union = sizes_new[rows_n] + sizes_new[g_new] - inters
+                sims = np.where(
+                    union > 0, inters / np.where(union > 0, union, 1.0), 0.0
+                )
+                cand_rows_parts.append(rows_n)
+                cand_gids_parts.append(
+                    np.full(len(rows_n), g_new, dtype=np.int64)
+                )
+                cand_sims_parts.append(sims)
+                g_old = new_to_old[g_new]
+                if g_old < 0:
+                    gained[rows_n] += 1  # brand-new group: every pair gained
+                    continue
+                j = changed_old_pos[int(g_old)]
+                rows_o = ov_old.indices[ov_old.indptr[j] : ov_old.indptr[j + 1]]
+                mapped = old_to_new[rows_o[rows_o != g_old]]
+                mapped = mapped[mapped >= 0]
+                scratch[mapped] = True
+                gained[rows_n[~scratch[rows_n]]] += 1
+                scratch[mapped] = False
+        if cand_rows_parts:
+            cand_rows = np.concatenate(cand_rows_parts)
+            cand_gids = np.concatenate(cand_gids_parts)
+            cand_sims = np.concatenate(cand_sims_parts)
+        else:
+            cand_rows = np.empty(0, dtype=np.int64)
+            cand_gids = np.empty(0, dtype=np.int64)
+            cand_sims = np.empty(0, dtype=np.float64)
+        if len(cand_rows):
+            # Drop candidates strictly below their row's stored boundary
+            # on tail-truncated rows: they can enter neither the new
+            # prefix nor the provable reserve.  (Tail-complete rows keep
+            # every candidate — a new pair is a new true neighbor there.)
+            row_old = new_to_old[cand_rows]
+            surv = row_old >= 0
+            safe = np.where(surv, row_old, 0)
+            droppable = (
+                surv
+                & ~tail_old[safe]
+                & stored_any[safe]
+                & (
+                    (cand_sims < bnd_sim_old[safe])
+                    | (
+                        (cand_sims == bnd_sim_old[safe])
+                        & (cand_gids > bnd_gid_new[safe])
+                    )
+                )
+            )
+            if droppable.any():
+                keep_cand = ~droppable
+                cand_rows = cand_rows[keep_cand]
+                cand_gids = cand_gids[keep_cand]
+                cand_sims = cand_sims[keep_cand]
+
+        # Touched survivors: anything with a stale stored entry, a lost
+        # pair, a fresh changed-pair similarity to consider, or a
+        # reshaped per-row budget.
+        stale_new = np.zeros(n_new, dtype=np.int64)
+        stale_new[old_to_new[survivors]] = stale_in_stored[survivors]
+        has_candidate = np.zeros(n_new, dtype=bool)
+        has_candidate[cand_rows] = True
+        touched = (
+            (
+                (stale_new > 0)
+                | (lost > 0)
+                | has_candidate
+                | (budget_new != budget_old)
+            )
+            & (new_to_old >= 0)
+            & ~recompute
+        )
+        # A tail-truncated row that lost more pairs than its reserve and
+        # gains can absorb may drop to <= budget true neighbors — the
+        # complete flag is undecidable from stored state, so recompute.
+        tail_t = np.zeros(n_new, dtype=bool)
+        tail_t[old_to_new[survivors]] = tail_old[survivors]
+        rcount_t = np.zeros(n_new, dtype=np.int64)
+        rcount_t[old_to_new[survivors]] = old_rcounts[survivors]
+        recompute |= (
+            touched
+            & ~tail_t
+            & (lost - gained > (budget_old - budget_new) + rcount_t)
+        )
+        touched &= ~recompute
+
+        # Surgical repair: merge each touched row's kept stored entries
+        # (prefix plus reserve, one contiguous ranking) with its fresh
+        # changed-pair similarities.  The kept entries are already in
+        # (sim desc, gid asc) order and the candidates are few, so this
+        # is a vectorized delete-then-binary-insert — no re-sort of the
+        # surviving bulk.
+        repair = np.flatnonzero(touched)
+        m_gids = np.empty(0, dtype=np.int64)
+        m_sims = np.empty(0, dtype=np.float64)
+        m_counts = np.zeros(len(repair), dtype=np.int64)
+        m_bounds = np.zeros(len(repair) + 1, dtype=np.int64)
+        repair_slot = np.full(n_new, -1, dtype=np.int64)
+        rep_tail = np.zeros(0, dtype=bool)
+        res_counts = np.zeros(0, dtype=np.int64)
+        res_bounds = np.zeros(1, dtype=np.int64)
+        res_ids = np.empty(0, dtype=np.int64)
+        res_sims = np.empty(0, dtype=np.float64)
+        if len(repair):
+            repair_slot[repair] = np.arange(len(repair))
+            old_rows = new_to_old[repair]
+            counts_r = old_scounts[old_rows].astype(np.int64)
+            pcounts_r = old_pcounts[old_rows].astype(np.int64)
+            rep_tail = tail_old[old_rows]
+            total = int(counts_r.sum())
+            local = np.repeat(np.arange(len(repair), dtype=np.int64), counts_r)
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(counts_r) - counts_r, counts_r
+            )
+            in_p = within < np.repeat(pcounts_r, counts_r)
+            stored_ids = np.empty(total, dtype=np.int64)
+            stored_sims = np.empty(total, dtype=np.float64)
+            src_p = np.repeat(self._prefix_indptr[old_rows], counts_r) + within
+            src_r = (
+                np.repeat(self._reserve_indptr[old_rows] - pcounts_r, counts_r)
+                + within
+            )
+            stored_ids[in_p] = self._prefix_ids[src_p[in_p]]
+            stored_sims[in_p] = self._prefix_sims[src_p[in_p]]
+            stored_ids[~in_p] = self._reserve_ids[src_r[~in_p]]
+            stored_sims[~in_p] = self._reserve_sims[src_r[~in_p]]
+            keep_entry = ~stale_old[stored_ids]
+            loc_kept = local[keep_entry]
+            gid_kept = old_to_new[stored_ids[keep_entry]]
+            sim_kept = stored_sims[keep_entry]
+            kcounts = np.bincount(loc_kept, minlength=len(repair))
+            kbounds = np.zeros(len(repair) + 1, dtype=np.int64)
+            np.cumsum(kcounts, out=kbounds[1:])
+            apos = np.arange(len(loc_kept), dtype=np.int64) - kbounds[loc_kept]
+
+            cand_loc = repair_slot[cand_rows]
+            sel = cand_loc >= 0
+            c_loc, c_gid, c_sim = cand_loc[sel], cand_gids[sel], cand_sims[sel]
+            corder = np.lexsort((c_gid, -c_sim, c_loc))
+            c_loc, c_gid, c_sim = c_loc[corder], c_gid[corder], c_sim[corder]
+            ccounts = np.bincount(c_loc, minlength=len(repair))
+            cbounds = np.zeros(len(repair) + 1, dtype=np.int64)
+            np.cumsum(ccounts, out=cbounds[1:])
+            cwithin = np.arange(len(c_loc), dtype=np.int64) - cbounds[c_loc]
+
+            # Each candidate's insertion index among its row's kept
+            # entries under (sim desc, gid asc): one batched binary
+            # search over all candidates at once.
+            lo = kbounds[c_loc].copy()
+            hi = lo + kcounts[c_loc]
+            while np.any(lo < hi):
+                mid = (lo + hi) >> 1
+                active = lo < hi
+                probe = np.where(active, mid, 0)
+                ranks_before = (sim_kept[probe] > c_sim) | (
+                    (sim_kept[probe] == c_sim) & (gid_kept[probe] < c_gid)
+                )
+                go_right = active & ranks_before
+                lo = np.where(go_right, mid + 1, lo)
+                hi = np.where(active & ~ranks_before, mid, hi)
+            cpos = lo - kbounds[c_loc]
+
+            # Kept entries shift right by the number of candidates that
+            # insert at or before their index (padded per-row histogram
+            # of insertion points, prefix-summed in one pass).
+            pbounds = np.zeros(len(repair) + 1, dtype=np.int64)
+            np.cumsum(kcounts + 1, out=pbounds[1:])
+            pad = np.zeros(int(pbounds[-1]), dtype=np.int64)
+            np.add.at(pad, pbounds[c_loc] + cpos, 1)
+            running = np.cumsum(pad)
+            seg_base = running[pbounds[:-1]] - pad[pbounds[:-1]]
+            shift = running[pbounds[loc_kept] + apos] - seg_base[loc_kept]
+
+            m_counts = kcounts + ccounts
+            np.cumsum(m_counts, out=m_bounds[1:])
+            m_total = int(m_bounds[-1])
+            m_gids = np.empty(m_total, dtype=np.int64)
+            m_sims = np.empty(m_total, dtype=np.float64)
+            kept_dst = m_bounds[loc_kept] + apos + shift
+            m_gids[kept_dst] = gid_kept
+            m_sims[kept_dst] = sim_kept
+            cand_dst = m_bounds[c_loc] + cpos + cwithin
+            m_gids[cand_dst] = c_gid
+            m_sims[cand_dst] = c_sim
+
+            # Exactness test for tail-truncated rows: the merged
+            # budget-th entry must still dominate the deepest stored
+            # boundary — every unstored neighbor ranks strictly below
+            # that boundary, so only then can none of them belong in the
+            # new prefix.  Tail-complete rows have no unstored neighbors
+            # and are always exact.
+            bnd_sim = np.full(len(repair), -np.inf)
+            bnd_gid = np.zeros(len(repair), dtype=np.int64)
+            needs_test = np.flatnonzero(~rep_tail)
+            if len(needs_test):
+                rows_t = old_rows[needs_test]
+                last_sim = bnd_sim_old[rows_t]
+                bound_gid = bnd_gid_new[rows_t]
+                bnd_sim[needs_test] = last_sim
+                bnd_gid[needs_test] = bound_gid
+                have = m_counts[needs_test] >= budget_new
+                entry_at = m_bounds[needs_test] + budget_new - 1
+                entry_at = np.where(have, entry_at, 0)
+                entry_sim = m_sims[entry_at] if len(m_sims) else np.zeros(
+                    len(needs_test)
+                )
+                entry_gid = m_gids[entry_at] if len(m_gids) else np.zeros(
+                    len(needs_test), dtype=np.int64
+                )
+                exact = have & (
+                    (entry_sim > last_sim)
+                    | ((entry_sim == last_sim) & (entry_gid <= bound_gid))
+                )
+                recompute[repair[needs_test[~exact]]] = True
+                touched[repair[needs_test[~exact]]] = False
+
+            # New reserves for repaired rows: merged entries just past
+            # the prefix, kept while they still dominate the old stored
+            # boundary (only those are provably the true next ranks;
+            # tail-complete rows keep everything, capped at depth).
+            navail = np.clip(m_counts - budget_new, 0, _RESERVE_DEPTH)
+            res_bounds = np.zeros(len(repair) + 1, dtype=np.int64)
+            np.cumsum(navail, out=res_bounds[1:])
+            res_local = np.repeat(
+                np.arange(len(repair), dtype=np.int64), navail
+            )
+            res_within = (
+                np.arange(int(res_bounds[-1]), dtype=np.int64)
+                - res_bounds[res_local]
+            )
+            res_src = m_bounds[res_local] + budget_new + res_within
+            r_ids = m_gids[res_src]
+            r_sims = m_sims[res_src]
+            valid = (
+                rep_tail[res_local]
+                | (r_sims > bnd_sim[res_local])
+                | ((r_sims == bnd_sim[res_local]) & (r_ids <= bnd_gid[res_local]))
+            )
+            # Validity is prefix-closed per row (entries are rank-sorted),
+            # so the per-row valid count is just a bincount.
+            res_counts = np.bincount(
+                res_local[valid], minlength=len(repair)
+            ).astype(np.int64)
+            keep_res = valid
+            res_ids = r_ids[keep_res]
+            res_sims = r_sims[keep_res]
+            res_bounds = np.zeros(len(repair) + 1, dtype=np.int64)
+            np.cumsum(res_counts, out=res_bounds[1:])
+
+        # Full recompute for the rows repair cannot reproduce exactly —
+        # ranked one reserve deeper than the prefix so they come back
+        # with fresh slack.
+        fresh = np.flatnonzero(recompute)
+        fresh_flat_ids = np.empty(0, dtype=np.int64)
+        fresh_flat_sims = np.empty(0, dtype=np.float64)
+        fresh_wide = np.zeros(len(fresh), dtype=np.int64)
+        fresh_tail = np.zeros(0, dtype=bool)
+        if len(fresh):
+            overlaps_sub = (new._matrix[fresh] @ new._matrix.T).tocsr()
+            fresh_flat_ids, fresh_flat_sims, fresh_wide, fresh_tail = (
+                _rank_rows_threaded(
+                    overlaps_sub,
+                    fresh,
+                    new._sizes,
+                    budget_new + _RESERVE_DEPTH,
+                )
+            )
+        fresh_pcounts = np.minimum(fresh_wide, budget_new)
+        fresh_rcounts = fresh_wide - fresh_pcounts
+
+        # Stitch (vectorized): fresh rows splice in, repaired rows take
+        # their merged top-budget, kept rows carry over verbatim with
+        # gids remapped (a changed budget routes every survivor through
+        # repair, so kept rows never reshape).
+        complete = np.zeros(n_new, dtype=bool)
+        tail_complete = np.zeros(n_new, dtype=bool)
+        counts_final = np.zeros(n_new, dtype=np.int64)
+        r_counts_final = np.zeros(n_new, dtype=np.int64)
+        repaired = touched  # repair rows that survived the exactness test
+        kept_mask = ~recompute & ~repaired
+        kept_rows = np.flatnonzero(kept_mask)
+        kept_old = new_to_old[kept_rows]
+        kept_counts = old_pcounts[kept_old].astype(np.int64)
+        kept_rcounts = old_rcounts[kept_old].astype(np.int64)
+        counts_final[kept_rows] = kept_counts
+        r_counts_final[kept_rows] = kept_rcounts
+        complete[kept_rows] = self._prefix_complete[kept_old]
+        tail_complete[kept_rows] = tail_old[kept_old]
+        rep_rows = np.flatnonzero(repaired)
+        if len(rep_rows):
+            rep_slots = repair_slot[rep_rows]
+            rep_counts = np.minimum(m_counts[rep_slots], budget_new).astype(
+                np.int64
+            )
+            counts_final[rep_rows] = rep_counts
+            r_counts_final[rep_rows] = res_counts[rep_slots]
+            # Tail-complete rows know every neighbor, so the merged count
+            # is the true count; tail-truncated rows stay incomplete
+            # (they lost no more pairs than their reserve and gains
+            # could absorb).
+            complete[rep_rows] = rep_tail[rep_slots] & (
+                m_counts[rep_slots] <= budget_new
+            )
+            tail_complete[rep_rows] = rep_tail[rep_slots] & (
+                m_counts[rep_slots] <= budget_new + _RESERVE_DEPTH
+            )
+        counts_final[fresh] = fresh_pcounts
+        r_counts_final[fresh] = fresh_rcounts
+        complete[fresh] = fresh_wide <= budget_new
+        tail_complete[fresh] = fresh_tail
+        indptr = np.zeros(n_new + 1, dtype=np.int64)
+        np.cumsum(counts_final, out=indptr[1:])
+        r_indptr = np.zeros(n_new + 1, dtype=np.int64)
+        np.cumsum(r_counts_final, out=r_indptr[1:])
+        out_ids = np.empty(int(indptr[-1]), dtype=np.int64)
+        out_sims = np.empty(int(indptr[-1]), dtype=np.float64)
+        out_r_ids = np.empty(int(r_indptr[-1]), dtype=np.int64)
+        out_r_sims = np.empty(int(r_indptr[-1]), dtype=np.float64)
+
+        def scatter(
+            rows, counts, src_starts, src_ids, src_sims, remap, dst_indptr,
+            dst_ids, dst_sims,
+        ):
+            if not len(rows):
+                return
+            n = int(counts.sum())
+            within = np.arange(n, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            src = np.repeat(src_starts, counts) + within
+            dst = np.repeat(dst_indptr[rows], counts) + within
+            dst_ids[dst] = remap[src_ids[src]] if remap is not None else src_ids[src]
+            dst_sims[dst] = src_sims[src]
+
+        scatter(
+            kept_rows, kept_counts, self._prefix_indptr[kept_old],
+            self._prefix_ids, self._prefix_sims, old_to_new,
+            indptr, out_ids, out_sims,
+        )
+        scatter(
+            kept_rows, kept_rcounts, self._reserve_indptr[kept_old],
+            self._reserve_ids, self._reserve_sims, old_to_new,
+            r_indptr, out_r_ids, out_r_sims,
+        )
+        if len(rep_rows):
+            scatter(
+                rep_rows, rep_counts, m_bounds[rep_slots],
+                m_gids, m_sims, None,
+                indptr, out_ids, out_sims,
+            )
+            scatter(
+                rep_rows, res_counts[rep_slots], res_bounds[rep_slots],
+                res_ids, res_sims, None,
+                r_indptr, out_r_ids, out_r_sims,
+            )
+        if len(fresh):
+            fresh_starts = np.zeros(len(fresh), dtype=np.int64)
+            np.cumsum(fresh_wide[:-1], out=fresh_starts[1:])
+            scatter(
+                fresh, fresh_pcounts, fresh_starts,
+                fresh_flat_ids, fresh_flat_sims, None,
+                indptr, out_ids, out_sims,
+            )
+            scatter(
+                fresh, fresh_rcounts, fresh_starts + fresh_pcounts,
+                fresh_flat_ids, fresh_flat_sims, None,
+                r_indptr, out_r_ids, out_r_sims,
+            )
+        new._prefix_ids = out_ids
+        new._prefix_sims = out_sims
+        new._prefix_indptr = indptr
+        new._prefix_complete = complete
+        new._reserve_ids = out_r_ids
+        new._reserve_sims = out_r_sims
+        new._reserve_indptr = r_indptr
+        new._tail_complete = tail_complete
+        return new
+
+    def parity_with(self, other: "SimilarityIndex") -> bool:
+        """Bitwise prefix parity with another index (the rebuild oracle)."""
+        return (
+            self.n_groups == other.n_groups
+            and np.array_equal(self._prefix_indptr, other._prefix_indptr)
+            and np.array_equal(self._prefix_ids, other._prefix_ids)
+            and np.array_equal(self._prefix_sims, other._prefix_sims)
+            and np.array_equal(self._prefix_complete, other._prefix_complete)
+        )
 
     # ------------------------------------------------------------------
 

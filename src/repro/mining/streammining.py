@@ -24,12 +24,16 @@ never stores transactions (the "in-core" property).
 from __future__ import annotations
 
 import itertools
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.mining.itemsets import FrequentItemset
+
+if TYPE_CHECKING:
+    from repro.core.group import GroupDelta, GroupSpace
 
 
 @dataclass
@@ -177,3 +181,74 @@ class StreamMiner:
         ]
         found.sort(key=lambda itemset: (len(itemset.items), itemset.items))
         return found
+
+
+def delta_from_window(
+    space: "GroupSpace",
+    transactions: Sequence[Iterable[int]],
+    itemsets: Iterable[FrequentItemset],
+    token_vocab,
+    min_group_size: int = 1,
+    remove_missing: bool = False,
+) -> "GroupDelta":
+    """Turn one mined window into a :class:`~repro.core.group.GroupDelta`.
+
+    The bridge between stream mining and online store mutation: feed a
+    window of transactions through a :class:`StreamMiner`, then hand the
+    current space, the window's transactions (indexed by user — the shape
+    :meth:`repro.data.dataset.UserDataset.transactions` returns) and the
+    miner's :meth:`StreamMiner.results` here; the returned delta applies
+    through ``GroupSpaceRuntime.apply_deltas`` as one new epoch.
+
+    Stream-mined itemsets carry no tid-lists (transactions are never
+    stored), so members are resolved by one containment scan over the
+    window: user ``u`` belongs to an itemset's group iff every item
+    appears in ``transactions[u]``.  Descriptions are decoded through
+    ``token_vocab`` and matched against the current space:
+
+    - a mined description absent from the space becomes an **add**;
+    - one present with different members becomes a member **churn**;
+    - identical membership is dropped (no-op — keeps epochs minimal);
+    - with ``remove_missing=True``, described groups of the current space
+      that the window no longer supports become **removes**.  Off by
+      default: a sliding window sees only recent activity, and absence
+      from one window is weak evidence a long-lived group died.
+
+    Mined groups smaller than ``min_group_size`` are ignored entirely
+    (they neither add nor remove anything).
+    """
+    from repro.core.group import GroupDelta
+
+    token_sets = [frozenset(int(t) for t in tokens) for tokens in transactions]
+    added: list[tuple[tuple[str, ...], np.ndarray]] = []
+    changed: list[tuple[int, np.ndarray]] = []
+    mined_descriptions: set[tuple[str, ...]] = set()
+    for itemset in itemsets:
+        items = [int(item) for item in itemset.items]
+        description = tuple(token_vocab.label(item) for item in items)
+        if description in mined_descriptions:
+            continue  # first mention wins; duplicates would collide
+        members = np.array(
+            [
+                user
+                for user, tokens in enumerate(token_sets)
+                if all(item in tokens for item in items)
+            ],
+            dtype=np.int64,
+        )
+        if len(members) < min_group_size:
+            continue
+        mined_descriptions.add(description)
+        current = space.by_description(description)
+        if current is None:
+            added.append((description, members))
+        elif not np.array_equal(current.members, members):
+            changed.append((current.gid, members))
+    removed: list[int] = []
+    if remove_missing:
+        removed = [
+            group.gid
+            for group in space
+            if group.description and group.description not in mined_descriptions
+        ]
+    return GroupDelta.build(added=added, removed=removed, changed=changed)

@@ -44,6 +44,7 @@ import json
 import random
 import socket
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -417,6 +418,39 @@ class ExplorationClient:
     def spaces(self) -> dict:
         """Hosted spaces with per-space state/stats (multi-space servers)."""
         return self._request("GET", "/spaces")
+
+    def mutate(
+        self,
+        space: str,
+        add: Sequence[tuple[Sequence[str], Sequence[int]]] = (),
+        remove: Sequence[int] = (),
+        update: Sequence[tuple[int, Sequence[int]]] = (),
+        verify: bool = False,
+    ) -> dict:
+        """Apply a group delta to ``space``; returns the epoch report.
+
+        ``add`` is (description terms, member ids) pairs, ``remove`` is
+        gids, ``update`` is (gid, new member ids) pairs — all in the
+        *current* epoch's gid numbering.  Sessions already open keep
+        serving their pinned epoch; only sessions opened after the reply
+        see the new groups.  ``verify=True`` asks the server to check
+        the delta-maintained index against a full rebuild (slow; meant
+        for audits, not the serving path).
+        """
+        body: dict = {"verify": verify}
+        if add:
+            body["add"] = [
+                {"description": list(description), "members": list(members)}
+                for description, members in add
+            ]
+        if remove:
+            body["remove"] = [int(gid) for gid in remove]
+        if update:
+            body["update"] = [
+                {"gid": int(gid), "members": list(members)}
+                for gid, members in update
+            ]
+        return self._request("POST", f"/spaces/{space}/mutate", body)
 
     def health(self) -> dict:
         return self._request("GET", "/healthz")

@@ -31,6 +31,8 @@ Wire protocol (all bodies JSON; errors are
     GET  /v1/sessions                               -> {sessions}
     GET  /spaces                                    -> {spaces, default}
                                                        (multi-space servers)
+    POST /spaces/<name>/mutate           {add?, remove?, update?, verify?}
+                                                    -> epoch report
     GET  /healthz                                   -> service + runtime +
                                                        shared-cache stats
 
@@ -43,6 +45,24 @@ manifest's first space), later session verbs route by the session id
 a cold space queues a background build and answers ``202 {"state":
 "building"}`` with a ``Retry-After`` hint — clicks on hot spaces are
 never blocked by another space's index construction.
+
+**Online store mutation.**  ``POST /spaces/<name>/mutate`` applies a
+group delta (``add`` new groups, ``remove`` gids, ``update`` a group's
+members) to a *ready* space and publishes a new store epoch.  Mutation
+is epoch-drained, never stop-the-world: sessions opened before the
+mutation stay pinned to their epoch's space + index until they drain
+(their displays are unaffected — concurrent clicks are parity-identical
+to a quiesced run), sessions opened after it serve the new epoch, and
+shared caches invalidate per content fingerprint, so entries for
+untouched groups stay warm across the mutation.  Journal and checkpoint
+records are stamped with the session's pinned epoch (number + digest);
+resume re-binds onto a retained epoch by digest, and a resume whose
+digest no longer matches any retained epoch is refused with a 409.
+``verify: true`` additionally rebuilds the index from scratch and
+refuses to publish unless the delta-maintained index is bitwise
+identical (the parity oracle — for tests and paranoid operators).  The
+reply is the epoch report: new epoch number, digest, parent digest,
+per-kind delta counts, dropped cache entries, and apply latency.
 
 Status mapping: 202 space building (retry), 400 malformed request, 404
 unknown session / resume token / space / route, 405 wrong method, 409
@@ -65,7 +85,7 @@ from functools import partial
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
-from repro.core.group import Group
+from repro.core.group import Group, GroupDelta
 from repro.core.journal import DurabilityError
 from repro.core.runtime import (
     SessionLimitError,
@@ -362,6 +382,20 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return True
         segments = [segment for segment in path.split("/") if segment]
+        if (
+            len(segments) == 3
+            and segments[0] == "spaces"
+            and segments[2] == "mutate"
+        ):
+            if method != "POST":
+                self._fail(
+                    405,
+                    "method_not_allowed",
+                    "use POST /spaces/<name>/mutate",
+                )
+                return True
+            self._mutate(segments[1], self._body())
+            return True
         if len(segments) < 2 or segments[0] != "v1" or segments[1] != "sessions":
             return False
         if len(segments) == 2:
@@ -465,6 +499,69 @@ class _Handler(BaseHTTPRequestHandler):
         if space_name is not None:
             reply["space"] = space_name
         self._reply(200, reply)
+
+    @staticmethod
+    def _member_list(value, where: str) -> list[int]:
+        if not isinstance(value, list) or not value:
+            raise _BadRequest(f"{where} must be a non-empty list of user ids")
+        members = []
+        for user in value:
+            if isinstance(user, bool) or not isinstance(user, int):
+                raise _BadRequest(f"{where} entries must be integers")
+            members.append(user)
+        return members
+
+    def _mutate(self, space_name: str, body: dict) -> None:
+        unknown = set(body) - {"add", "remove", "update", "verify"}
+        if unknown:
+            raise _BadRequest(f"unknown mutate fields {sorted(unknown)}")
+        verify = body.get("verify", False)
+        if not isinstance(verify, bool):
+            raise _BadRequest("verify must be a boolean")
+        added = []
+        for i, item in enumerate(body.get("add") or []):
+            if not isinstance(item, dict) or set(item) - {"description", "members"}:
+                raise _BadRequest(
+                    "add entries must be {description, members} objects"
+                )
+            description = item.get("description")
+            if not isinstance(description, list) or not all(
+                isinstance(term, str) for term in description
+            ):
+                raise _BadRequest(
+                    f"add[{i}].description must be a list of strings"
+                )
+            added.append(
+                (description, self._member_list(item.get("members"), f"add[{i}].members"))
+            )
+        removed = []
+        for gid in body.get("remove") or []:
+            if isinstance(gid, bool) or not isinstance(gid, int):
+                raise _BadRequest("remove entries must be integer gids")
+            removed.append(gid)
+        changed = []
+        for i, item in enumerate(body.get("update") or []):
+            if not isinstance(item, dict) or set(item) - {"gid", "members"}:
+                raise _BadRequest(
+                    "update entries must be {gid, members} objects"
+                )
+            gid = item.get("gid")
+            if isinstance(gid, bool) or not isinstance(gid, int):
+                raise _BadRequest(f"update[{i}].gid must be an integer")
+            changed.append(
+                (gid, self._member_list(item.get("members"), f"update[{i}].members"))
+            )
+        try:
+            delta = GroupDelta.build(
+                added=added, removed=removed, changed=changed
+            )
+        except ValueError as error:
+            # Shape-level rejection (duplicate targets, negative members):
+            # the request itself is malformed, not a state conflict.
+            raise _BadRequest(str(error))
+        if delta.is_empty():
+            raise _BadRequest("mutation delta is empty")
+        self._reply(200, self.service.mutate(space_name, delta, verify=verify))
 
 
 class ExplorationService:
@@ -651,6 +748,17 @@ class ExplorationService:
         if self.registry is None:
             return self.manager.session_ids()
         return self.registry.session_ids()
+
+    def mutate(self, space: str, delta, verify: bool = False) -> dict:
+        """Apply a group delta to ``space`` as a new store epoch.
+
+        Registry mode routes by name; a single-space service refuses the
+        spaces namespace outright (same contract as ``GET /spaces`` — the
+        path names a space this server cannot resolve).
+        """
+        if self.registry is None:
+            raise SpaceNotFoundError(space)
+        return self.registry.mutate(space, delta, verify=verify)
 
     # -- counters --------------------------------------------------------
 

@@ -297,6 +297,27 @@ class SpaceRegistry:
                 return manager
         raise UnknownSessionError(session_id)
 
+    def mutate(self, name: str, delta, verify: bool = False) -> dict:
+        """Apply a :class:`~repro.core.group.GroupDelta` to a ready space.
+
+        Publishes a new store epoch on the space's runtime — sessions
+        pinned to older retained epochs keep serving until they drain —
+        and returns the epoch report.  Only ready spaces mutate (there
+        is no index to delta-maintain yet on a cold one): cold/building
+        spaces raise :class:`SpaceBuildingError` and failed spaces
+        re-raise their sticky :class:`SpaceBuildError`, exactly like the
+        serving path.  A mutation is not a routing event, so it does not
+        refresh the LRU stamp.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            if entry.state == "failed":
+                raise SpaceBuildError(name, entry.error)
+            if entry.state != "ready":
+                raise SpaceBuildingError(name, round(self._build_hint_s, 3))
+            manager = entry.manager
+        return manager.apply_deltas(delta, verify=verify)
+
     # -- building --------------------------------------------------------
 
     def _build(self, name: str) -> None:
@@ -444,7 +465,12 @@ class SpaceRegistry:
         """
         with self._lock:
             targets = [
-                (entry.manager, entry.descriptor.idle_ttl_s or self.idle_ttl_s)
+                (
+                    entry.manager,
+                    entry.descriptor.idle_ttl_s
+                    if entry.descriptor.idle_ttl_s is not None
+                    else self.idle_ttl_s,
+                )
                 for entry in self._entries.values()
                 if entry.state == "ready"
             ]

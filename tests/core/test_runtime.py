@@ -16,6 +16,7 @@ Three contracts, matching §II's multi-user setting:
   old version are refused (the hypothesis case drives the interleaving).
 """
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -449,6 +450,69 @@ class TestSharedPairCacheVersioning:
             assert served.members_matrix is structure.members_matrix
             assert served.sim_columns == structure.sim_columns
             assert served.sim_columns is not structure.sim_columns
+
+    def test_mid_bump_reader_never_served_uncleared_entries(self):
+        """Regression: the historical bump race, frozen at its window.
+
+        ``bump_version`` increments the version first and sweeps the
+        stripes second.  The pre-stamp implementation stored bare
+        similarities, so a reader observing the *new* version inside
+        that window passed the staleness check and was served
+        pre-mutation pairs.  Publication stamps close it: this test
+        freezes the bump halfway (version moved, stripes untouched) and
+        the old entries must already be invisible.
+        """
+        shared = SharedPairCache(stripes=2)
+        entries = {(1, 2): 0.5, (3, 4): 0.25}
+        assert shared.publish_pairs(entries, shared.version)
+        with shared._version_lock:
+            shared._version += 1  # bump'd, stripes not yet swept
+        assert shared.get_pairs(list(entries), shared.version) == {}
+
+    def test_concurrent_bumps_never_serve_cross_version_values(self):
+        """Black-box interleave: values encode their publication version.
+
+        Publishers store ``float(version)`` under the version they
+        observed; a reader that ever receives a value different from
+        the version it read under has been served another generation's
+        entry — exactly the race the stamps exist to prevent.
+        """
+        import threading
+
+        shared = SharedPairCache(stripes=2)
+        stop = threading.Event()
+        torn: list[tuple] = []
+
+        def publisher():
+            while not stop.is_set():
+                version = shared.version
+                shared.publish_pairs(
+                    {(i, i + 1): float(version) for i in range(8)}, version
+                )
+
+        def bumper():
+            while not stop.is_set():
+                shared.bump_version()
+
+        def reader():
+            keys = [(i, i + 1) for i in range(8)]
+            while not stop.is_set():
+                version = shared.version
+                for key, value in shared.get_pairs(keys, version).items():
+                    if value != float(version):
+                        torn.append((key, value, version))
+
+        threads = [
+            threading.Thread(target=target)
+            for target in (publisher, bumper, reader, reader)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.4)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert torn == []
 
     def test_snapshot_columns_do_not_alias_sessions(self):
         shared = SharedPairCache()

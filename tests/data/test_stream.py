@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.data.dataset import UserDataset
 from repro.data.schema import Action
@@ -89,6 +91,68 @@ class TestWindows:
     def test_sliding_rejects_bad_params(self):
         with pytest.raises(ValueError):
             list(sliding_windows(iter([]), 1.0, 0.0))
+
+    def test_sliding_tail_is_trimmed_to_the_window_width(self):
+        """Regression: the final emission used to span the whole residual
+        buffer.
+
+        With width 1.0 and step 3.0, events 0.5 and 0.9 land in the first
+        window and 3.6 arrives long after it; the pre-fix tail yielded
+        ``[0.9, 3.6]`` — a 2.7-second "window" from a 1-second
+        configuration.  The tail must be trimmed to
+        ``(next_emit - width, next_emit]`` like every interior emission.
+        """
+        windows = list(
+            sliding_windows(self._stream([0.5, 0.9, 3.6]), 1.0, 3.0)
+        )
+        spans = [w[-1].timestamp - w[0].timestamp for w in windows if w]
+        assert all(span <= 1.0 + 1e-9 for span in spans)
+        assert [e.timestamp for e in windows[-1]] == [3.6]
+
+
+class TestWindowProperties:
+    """Hypothesis: the windowing invariants hold for arbitrary streams."""
+
+    @staticmethod
+    def _stream(times):
+        return [StreamEvent(t, Action("u", "i", 1.0)) for t in sorted(times)]
+
+    times = st.lists(
+        st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False),
+        max_size=60,
+    )
+    widths = st.floats(0.1, 5.0, allow_nan=False)
+
+    @settings(max_examples=60, deadline=None)
+    @given(times=times, width=widths)
+    def test_tumbling_partitions_every_event_exactly_once(self, times, width):
+        events = self._stream(times)
+        windows = list(tumbling_windows(events, width))
+        flattened = [event for window in windows for event in window]
+        assert flattened == events  # order-preserving, nothing lost
+        for window in windows:
+            assert window  # empty windows are skipped
+            assert window[-1].timestamp - window[0].timestamp < width + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(times=times, width=widths, step=widths)
+    def test_sliding_windows_never_exceed_width(self, times, width, step):
+        events = self._stream(times)
+        windows = list(sliding_windows(events, width, step))
+        event_times = [event.timestamp for event in events]
+        previous_start = None
+        for window in windows:
+            if not window:
+                continue
+            stamps = [event.timestamp for event in window]
+            # Span bounded by the configured width — including the tail.
+            assert stamps[-1] - stamps[0] <= width + 1e-9
+            # Each window is a contiguous run of the stream, in order.
+            position = event_times.index(stamps[0])
+            assert event_times[position : position + len(stamps)] == stamps
+            if previous_start is not None:
+                assert stamps[0] >= previous_start - 1e-9
+            previous_start = stamps[0]
 
 
 class TestDerivedStreams:

@@ -20,9 +20,16 @@ break them independently:
 durability (one fsync'd digest-chained record per interaction, with an
 aggressive compaction cadence so rotation happens *during* contention) —
 CI runs the suite once per mode; the assertions are identical.
+
+``REPRO_TEST_MUTATION=1`` additionally arms the background-mutator
+stress: a thread publishes store epochs as fast as it can while the N
+clients click, and every client must still see bitwise the displays of
+a quiesced solo run — epoch pinning makes online mutation invisible to
+open sessions, under both durability modes.
 """
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -43,6 +50,7 @@ pytestmark = pytest.mark.concurrency
 N_CLIENTS = 6
 N_CLICKS = 4
 DURABILITY = os.environ.get("REPRO_TEST_DURABILITY", "snapshot")
+MUTATION = os.environ.get("REPRO_TEST_MUTATION", "") == "1"
 
 
 @pytest.fixture(scope="module")
@@ -146,6 +154,105 @@ class TestContendedClients:
             # One history step per click, whatever the interleaving.
             assert len(session.history) == 1 + len(gids)
             assert all(1 <= len(display) <= 5 for display in displays)
+
+
+def one_group_churn(runtime, seed: int):
+    """A minimal membership churn against the runtime's current epoch."""
+    import numpy as np
+
+    from repro.core.group import GroupDelta
+
+    rng = np.random.default_rng(seed)
+    space = runtime.space
+    gid = int(rng.integers(len(space)))
+    members = space[gid].members
+    if len(members) > 1:
+        churned = np.delete(members, int(rng.integers(len(members))))
+    else:
+        churned = np.union1d(
+            members, [int(rng.integers(space.dataset.n_users))]
+        )
+    return GroupDelta.build(changed=[(gid, churned)])
+
+
+@pytest.mark.skipif(
+    not MUTATION,
+    reason="set REPRO_TEST_MUTATION=1 to run the background-mutator stress",
+)
+class TestMutationUnderContention:
+    def test_pinned_sessions_see_quiesced_displays_mid_mutation(
+        self, space, tmp_path
+    ):
+        """Clicks raced by a store mutator match a quiesced run bitwise.
+
+        Every session opens under the genesis epoch, then a background
+        thread publishes churn epochs as fast as it can while N HTTP
+        clients walk their sessions concurrently.  Epoch pinning means
+        the mutator must be *invisible*: every display equals the solo
+        quiesced replay, and feedback stays per-session.  Runs under
+        whichever durability mode ``REPRO_TEST_DURABILITY`` selects, so
+        per-click checkpoints/journal appends race the epoch swaps too.
+        """
+        expected_displays, expected_feedback = solo_replay(space, N_CLICKS)
+        manager = SessionManager(
+            GroupSpaceRuntime(space),
+            default_config=untimed_config(),
+            state_dir=tmp_path,
+            durability=DURABILITY,
+            compact_every=2,
+        )
+        with ExplorationService(manager).start() as service:
+            clients = [
+                ExplorationClient(service.host, service.port)
+                for _ in range(N_CLIENTS)
+            ]
+            try:
+                opened = [client.open() for client in clients]
+                stop = threading.Event()
+
+                def mutator():
+                    seed = 0
+                    while not stop.is_set():
+                        seed += 1
+                        manager.apply_deltas(
+                            one_group_churn(manager.runtime, seed)
+                        )
+
+                churner = threading.Thread(target=mutator)
+                churner.start()
+                try:
+
+                    def walk(pair):
+                        client, session = pair
+                        shown = session.display
+                        displays = []
+                        visited: set[int] = set()
+                        for _ in range(N_CLICKS):
+                            shown = client.click(
+                                session.session_id,
+                                scripted_click_gid(shown, visited),
+                            )
+                            displays.append([group.gid for group in shown])
+                        feedback = manager.session(
+                            session.session_id
+                        ).feedback.snapshot()
+                        return displays, feedback
+
+                    with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+                        outcomes = list(
+                            pool.map(walk, zip(clients, opened))
+                        )
+                finally:
+                    stop.set()
+                    churner.join()
+            finally:
+                for client in clients:
+                    client.close_connection()
+        assert manager.runtime.epoch > 0  # the mutator really published
+        assert not manager.degraded
+        for displays, feedback in outcomes:
+            assert displays == expected_displays
+            assert feedback == expected_feedback
 
 
 class TestDurableUnderContention:

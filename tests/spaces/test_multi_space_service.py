@@ -180,6 +180,82 @@ class TestErrorSurface:
                 assert excinfo.value.status == 404
 
 
+class TestMutation:
+    """POST /spaces/<name>/mutate: epoched mutation over the wire."""
+
+    def test_mutate_publishes_an_epoch_and_pins_open_sessions(
+        self, space_a, client
+    ):
+        opened = client.open_when_ready(space="alpha", timeout_s=30.0)
+        before = [(g.gid, g.size) for g in client.displayed(opened.session_id)]
+        members = sorted(int(u) for u in space_a[0].members[:5])
+        report = client.mutate(
+            "alpha",
+            add=[(["wire:group"], members)],
+            update=[(1, members)],
+            remove=[len(space_a) - 1],
+            verify=True,
+        )
+        assert report["epoch"] == 1
+        assert report["parent_digest"] and report["digest"]
+        assert (report["added"], report["removed"], report["changed"]) == (1, 1, 1)
+        # The session opened before the swap is epoch-pinned: identical
+        # display, and clicks keep landing.
+        after = [(g.gid, g.size) for g in client.displayed(opened.session_id)]
+        assert after == before
+        assert client.click(opened.session_id, before[0][0])
+        # A second mutation chains onto the first.
+        again = client.mutate("alpha", remove=[0])
+        assert again["epoch"] == 2
+        assert again["parent_digest"] == report["digest"]
+
+    def test_mutate_validation_and_conflicts(self, client):
+        client.open_when_ready(space="alpha", timeout_s=30.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.mutate("alpha")  # empty delta
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.mutate("alpha", remove=[10**7])  # gid outside the space
+        assert excinfo.value.status == 409
+        with pytest.raises(SpaceNotFound):
+            client.mutate("nope", remove=[0])
+
+    def test_mutate_requires_post_and_well_typed_members(
+        self, registry_service, client
+    ):
+        client.open_when_ready(space="alpha", timeout_s=30.0)
+        connection = http.client.HTTPConnection(
+            registry_service.host, registry_service.port
+        )
+        try:
+            connection.request("GET", "/spaces/alpha/mutate")
+            response = connection.getresponse()
+            assert response.status == 405
+            response.read()
+            body = json.dumps({"update": [{"gid": 1, "members": [1, "x"]}]})
+            connection.request(
+                "POST",
+                "/spaces/alpha/mutate",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert b"integers" in response.read()
+        finally:
+            connection.close()
+
+    def test_single_space_server_has_no_mutable_spaces(self, space_a, index_a):
+        manager = SessionManager(
+            GroupSpaceRuntime(space_a, index=index_a),
+            default_config=untimed_config(),
+        )
+        with ExplorationService(manager).start() as service:
+            with ExplorationClient(service.host, service.port) as client:
+                with pytest.raises(SpaceNotFound):
+                    client.mutate("alpha", remove=[0])
+
+
 class TestIntrospection:
     def test_spaces_lists_state_and_stats(self, client):
         listing = client.spaces()

@@ -347,6 +347,36 @@ class TestIdleSweep:
         assert registry.min_ttl_s() == 0.05
         registry.shutdown()
 
+    def test_falsy_space_ttl_does_not_fall_back_to_the_global(
+        self, space_a, index_a, tmp_path
+    ):
+        """Regression: the sweep used truthiness, not ``is not None``.
+
+        A falsy per-space TTL (0.0 — descriptor validation normally
+        refuses it, so it is forced in post hoc, the way a bad manifest
+        merge or a future "sweep immediately" sentinel would) silently
+        fell through to the registry default: here a 300 s global that
+        would never evict inside the test.  The ``is not None`` check
+        honours the space's own setting — the session is evicted on the
+        very first sweep.
+        """
+        descriptor = builder_descriptor("batch", space_a, index_a)
+        object.__setattr__(descriptor, "idle_ttl_s", 0.0)
+        registry = SpaceRegistry(
+            [descriptor],
+            state_dir=tmp_path / "state",
+            default_config=untimed_config(),
+            idle_ttl_s=300.0,
+        )
+        manager = registry.manager("batch", wait=True)
+        session_id, _ = manager.open_session()
+        time.sleep(0.01)
+        assert registry.sweep_idle() == 1
+        with pytest.raises(UnknownSessionError):
+            manager.displayed(session_id)
+        assert registry.min_ttl_s() == 0.0
+        registry.shutdown()
+
     def test_ttls_without_state_dir_are_rejected(self, space_a, index_a):
         with pytest.raises(ValueError, match="state_dir"):
             SpaceRegistry(
