@@ -131,6 +131,22 @@ JOURNAL_CLICK_RATIO_SMOKE_GATE = 2.0
 #: require parity (single measured steps on shared CI boxes are noise).
 MUTATION_SPEEDUP_GATE = 5.0
 
+#: Gates on the replicated serving tier.  *Attach*: mapping a space's
+#: artifacts from the shared-memory arena (digest-verified NumPy views)
+#: must beat rebuilding the similarity index cold by at least this
+#: factor — the zero-copy claim; the smoke bar is loose because the
+#: rebuild baseline is tiny there.  *Throughput*: N workers must lift
+#: contended click throughput at 8+ concurrent sessions by at least
+#: this factor over the single-process front.  The full throughput bar
+#: only applies when the box has enough cores to host the workers
+#: (``cpu_count >= workers + 2``) — on a starved runner the pool
+#: timeshares one core and measures scheduling, not the architecture;
+#: smoke runs assert the pool is not catastrophically slower.
+REPLICATION_ATTACH_GATE = 10.0
+REPLICATION_ATTACH_SMOKE_GATE = 3.0
+REPLICATION_THROUGHPUT_GATE = 2.0
+REPLICATION_THROUGHPUT_SMOKE_GATE = 0.2
+
 
 def c2_pools(n_parents: int) -> list[tuple]:
     """C2's unit: the 200-candidate neighborhoods of large dbauthors groups."""
@@ -1022,6 +1038,185 @@ def measure_mutation(steps: int, clicks: int) -> dict:
     }
 
 
+def measure_replication(workers: int, sessions: int, clicks: int) -> dict:
+    """The multi-process serving tier vs the single-process front.
+
+    Four claims from the shared-nothing replication design.  *Attach*: a
+    worker coming up over the shared-memory arena (digest-verified
+    zero-copy views) must be much cheaper than the cold per-process
+    index rebuild it replaces — gated speedup.  *Throughput*: N workers
+    behind the sticky router must lift contended click throughput over
+    one GIL (gated on boxes with enough cores; measured either way).
+    *Parity* (untimed): every scripted walk through either front shows
+    bitwise the displays of a solo in-process session.  *Takeover*
+    (untimed): SIGKILL a worker mid-walk, resume its token — the shared
+    state directory restores the session field-identical on a surviving
+    replica.
+    """
+    import os
+    import signal
+
+    from repro.replication import (
+        attach_arena,
+        publish_arena,
+        serve_replicated,
+        sweep_orphans,
+    )
+    from repro.service.client import ExplorationClient
+    from repro.service.server import ExplorationService
+
+    space = dbauthors_space()
+    config = SessionConfig(k=5, time_budget_ms=None, use_profile=False)
+    tag = f"benchrepl{os.getpid()}"
+
+    # -- attach vs cold rebuild ------------------------------------------
+    memberships = [group.members for group in space]
+    started = time.perf_counter()
+    index = SimilarityIndex(
+        memberships, space.dataset.n_users, materialize_fraction=0.10
+    )
+    rebuild_ms = (time.perf_counter() - started) * 1000.0
+
+    sweep_orphans(tag)
+    try:
+        published = publish_arena(space, index, tag)
+        attach_samples = []
+        for _ in range(3):
+            started = time.perf_counter()
+            attached = attach_arena(tag, published.digest)
+            GroupSpaceRuntime.from_arena(space.dataset, attached)
+            attach_samples.append((time.perf_counter() - started) * 1000.0)
+        attach_ms = statistics.median(attach_samples)
+
+        # -- oracle for the untimed parity claims ------------------------
+        oracle_session = GroupSpaceRuntime(
+            space, share_cache=False
+        ).create_session(config)
+        shown = oracle_session.start()
+        oracle: list[list[int]] = []
+        visited: set[int] = set()
+        for _ in range(clicks):
+            shown = oracle_session.click(scripted_click_gid(shown, visited))
+            oracle.append([group.gid for group in shown])
+
+        def contended(host: str, port: int) -> tuple[float, list]:
+            def walk(_client_index: int):
+                with ExplorationClient(host, port) as client:
+                    opened = client.open()
+                    shown = opened.display
+                    displays: list[list[int]] = []
+                    seen: set[int] = set()
+                    for _ in range(clicks):
+                        shown = client.click(
+                            opened.session_id,
+                            scripted_click_gid(shown, seen),
+                        )
+                        displays.append([group.gid for group in shown])
+                    return opened.session_id, displays
+
+            started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=sessions) as executor:
+                outcomes = list(executor.map(walk, range(sessions)))
+            return time.perf_counter() - started, outcomes
+
+        with tempfile.TemporaryDirectory(
+            prefix="bench-replication-state-"
+        ) as state:
+            # -- single-process contended baseline -----------------------
+            # Same durability posture as the pool arm (per-click
+            # checkpoints into a state dir) so the comparison isolates
+            # the serving architecture, not the persistence cost.
+            single_state = Path(state) / "single"
+            single_state.mkdir()
+            manager = SessionManager(
+                GroupSpaceRuntime(space, index=index),
+                default_config=config,
+                state_dir=single_state,
+            )
+            with ExplorationService(manager).start() as service:
+                contended(service.host, service.port)  # warmup
+                single_s, single_outcomes = contended(
+                    service.host, service.port
+                )
+
+            # -- the worker pool -----------------------------------------
+            pool_state = Path(state) / "pool"
+            pool_state.mkdir()
+            pool_front = serve_replicated(
+                space.dataset,
+                space,
+                index,
+                workers=workers,
+                tag=tag,
+                state_dir=pool_state,
+                space_name="bench",
+                default_config=config,
+            )
+            try:
+                contended(pool_front.host, pool_front.port)  # warmup
+                pool_s, pool_outcomes = contended(
+                    pool_front.host, pool_front.port
+                )
+                worker_spread = len(
+                    {sid.split("-")[0] for sid, _ in pool_outcomes}
+                )
+
+                # -- kill-one-worker takeover (untimed) ------------------
+                with ExplorationClient(
+                    pool_front.host, pool_front.port
+                ) as client:
+                    opened = client.open()
+                    shown = opened.display
+                    seen: set[int] = set()
+                    last: list[int] = []
+                    for _ in range(2):
+                        shown = client.click(
+                            opened.session_id,
+                            scripted_click_gid(shown, seen),
+                        )
+                        last = [group.gid for group in shown]
+                    victim = int(opened.session_id.split("-")[0][1:])
+                    pid = next(
+                        row["pid"]
+                        for row in client.replicas()
+                        if row["index"] == victim
+                    )
+                    os.kill(pid, signal.SIGKILL)
+                    time.sleep(0.2)
+                    resumed = client.open(resume=opened.resume_token)
+                    takeover = (
+                        not resumed.session_id.startswith(f"w{victim}-")
+                        and [group.gid for group in resumed.display] == last
+                    )
+            finally:
+                pool_front.stop()
+    finally:
+        sweep_orphans(tag)
+
+    total_clicks = sessions * clicks
+    single_tput = total_clicks / max(single_s, 1e-9)
+    pool_tput = total_clicks / max(pool_s, 1e-9)
+    parity = all(
+        displays == oracle for _, displays in single_outcomes
+    ) and all(displays == oracle for _, displays in pool_outcomes)
+    return {
+        "workers": workers,
+        "sessions": sessions,
+        "clicks_per_session": clicks,
+        "cpu_count": os.cpu_count() or 1,
+        "rebuild_ms": round(rebuild_ms, 1),
+        "attach_ms": round(attach_ms, 2),
+        "attach_speedup": round(rebuild_ms / max(attach_ms, 1e-9), 1),
+        "arena_bytes": published.size,
+        "single_clicks_per_s": round(single_tput, 1),
+        "pool_clicks_per_s": round(pool_tput, 1),
+        "contended_speedup": round(pool_tput / max(single_tput, 1e-9), 2),
+        "worker_spread": worker_spread,
+        "parity": parity,
+        "takeover_roundtrip": takeover,
+    }
+
+
 def run(
     n_parents: int,
     n_genres: int,
@@ -1098,6 +1293,15 @@ def run(
     )
     report["parity"]["mutation"] = (
         report["mutation"]["index_parity"] and report["mutation"]["click_parity"]
+    )
+    report["replication"] = measure_replication(
+        workers=2 if smoke else 4,
+        sessions=4 if smoke else 8,
+        clicks=2 if smoke else 4,
+    )
+    report["parity"]["replication"] = (
+        report["replication"]["parity"]
+        and report["replication"]["takeover_roundtrip"]
     )
     return report
 
@@ -1272,6 +1476,38 @@ def main() -> int:
     )
     if not args.smoke:
         ok = ok and mutation["speedup"] >= MUTATION_SPEEDUP_GATE
+    replication = report["replication"]
+    attach_gate = (
+        REPLICATION_ATTACH_SMOKE_GATE if args.smoke else REPLICATION_ATTACH_GATE
+    )
+    print(
+        f"replication: arena attach {replication['attach_ms']:.1f} ms vs "
+        f"cold rebuild {replication['rebuild_ms']:.0f} ms — "
+        f"{replication['attach_speedup']:.1f}x (gate {attach_gate:.1f}x), "
+        f"{replication['workers']}-worker contended throughput "
+        f"{replication['pool_clicks_per_s']:.0f} clicks/s vs single-process "
+        f"{replication['single_clicks_per_s']:.0f} — "
+        f"{replication['contended_speedup']:.2f}x across "
+        f"{replication['worker_spread']} workers, cross-worker parity "
+        f"{'ok' if replication['parity'] else 'BROKEN'}, kill-one takeover "
+        f"{'ok' if replication['takeover_roundtrip'] else 'BROKEN'}"
+    )
+    ok = ok and replication["attach_speedup"] >= attach_gate
+    if args.smoke:
+        ok = ok and (
+            replication["contended_speedup"]
+            >= REPLICATION_THROUGHPUT_SMOKE_GATE
+        )
+    elif replication["cpu_count"] >= replication["workers"] + 2:
+        ok = ok and (
+            replication["contended_speedup"] >= REPLICATION_THROUGHPUT_GATE
+        )
+    else:
+        print(
+            f"replication: throughput gate waived — "
+            f"{replication['cpu_count']} cores cannot host "
+            f"{replication['workers']} workers + router + clients"
+        )
     print(f"parity: {report['parity']}  ->  {'OK' if ok else 'REGRESSION'}")
     return 0 if ok else 1
 

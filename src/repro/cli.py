@@ -177,6 +177,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--http", action="store_true",
         help="serve the exploration protocol over HTTP instead of replaying",
     )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="replicated serving (needs --http + --store): spawn N "
+        "worker processes that map the space's artifacts zero-copy from "
+        "shared memory, behind a sticky session router — one GIL per "
+        "worker instead of one for the whole service",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=0,
@@ -491,15 +498,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print("--spaces and --store/--actions are mutually exclusive; "
                   "the manifest names every space's data", file=sys.stderr)
             return 2
+        if args.workers is not None:
+            print("--workers replicates a single space (--store); it does "
+                  "not compose with --spaces yet", file=sys.stderr)
+            return 2
         return _serve_spaces(args)
     if args.max_ready is not None:
         print("--max-ready needs --spaces", file=sys.stderr)
         return 2
+    if args.workers is not None:
+        if args.workers < 1:
+            print("--workers must be >= 1", file=sys.stderr)
+            return 2
+        if not args.http:
+            print("--workers needs --http", file=sys.stderr)
+            return 2
     if args.store is None or args.actions is None:
         print("serve needs --store and --actions (or --http --spaces)",
               file=sys.stderr)
         return 2
     dataset = _load(args)
+    if args.workers is not None:
+        return _serve_pool(args, dataset)
     started = time.perf_counter()
     runtime = GroupSpaceRuntime.from_store(
         dataset, args.store, share_cache=not args.no_shared_cache
@@ -608,10 +628,86 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_spaces(args: argparse.Namespace) -> int:
-    """Multi-space hosting: every manifest space from one process."""
+def _install_drain_handlers() -> "object":
+    """Arm SIGTERM/SIGINT to request a graceful drain.
+
+    Returns the event the serving loop waits on.  Both signals set it
+    instead of killing the process, so every serve mode walks the same
+    shutdown path: stop accepting, checkpoint live sessions, exit 0 —
+    a recycled worker (systemd restart, rolling deploy) never loses a
+    walk.
+    """
+    import signal
     import threading
 
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    return stop
+
+
+def _serve_pool(args: argparse.Namespace, dataset) -> int:
+    """Replicated serving: N spawned workers behind a sticky router."""
+    from repro.replication import serve_replicated
+
+    if args.idle_ttl is not None:
+        print("--idle-ttl is not supported with --workers yet",
+              file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    runtime = GroupSpaceRuntime.from_store(
+        dataset, args.store, share_cache=False
+    )
+    build_ms = (time.perf_counter() - started) * 1000.0
+    service = serve_replicated(
+        dataset,
+        runtime.space,
+        runtime.index,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        tag=dataset.name,
+        state_dir=args.state_dir,
+        durability="journal" if args.journal else "snapshot",
+        compact_every=args.compact_every,
+        default_config=SessionConfig(
+            k=args.k, time_budget_ms=args.budget_ms, use_profile=False
+        ),
+        max_sessions=args.max_sessions,
+        space_name=dataset.name,
+    )
+    durable = (
+        f"durable ({service.pool.durability}, state in "
+        f"{service.pool.state_dir})"
+        if service.pool.state_dir is not None
+        else "in-memory sessions"
+    )
+    print(f"serving on {service.url}", flush=True)
+    print(
+        f"artifacts loaded in {build_ms:.0f} ms: "
+        f"{len(runtime.space)} groups, {args.workers} workers attached "
+        f"zero-copy from shared memory, {durable}",
+        flush=True,
+    )
+    stop = _install_drain_handlers()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        # pool.stop() drains each worker over /internal/drain — every
+        # worker checkpoints its live sessions before exiting.
+        service.stop()
+    print("service stopped")
+    return 0
+
+
+def _serve_spaces(args: argparse.Namespace) -> int:
+    """Multi-space hosting: every manifest space from one process."""
     from repro.service.server import ExplorationService
     from repro.spaces import SpaceRegistry, load_manifest
 
@@ -643,12 +739,20 @@ def _serve_spaces(args: argparse.Namespace) -> int:
         f"{durable}; spaces build lazily on first open",
         flush=True,
     )
+    stop = _install_drain_handlers()
     try:
-        threading.Event().wait()
+        stop.wait()
     except KeyboardInterrupt:
         pass
     finally:
         service.stop()
+        drained = registry.drain()
+        if drained:
+            print(
+                f"drained {sum(drained.values())} live sessions across "
+                f"{len(drained)} spaces",
+                flush=True,
+            )
         registry.shutdown(wait=False)
     print("service stopped")
     return 0
@@ -658,8 +762,6 @@ def _serve_http(
     args: argparse.Namespace, manager: SessionManager, build_ms: float
 ) -> int:
     """Run the HTTP front until interrupted (SIGINT exits cleanly)."""
-    import threading
-
     from repro.service.server import ExplorationService
 
     service = ExplorationService(
@@ -681,12 +783,20 @@ def _serve_http(
         f"{len(manager.runtime.space)} groups, {durable}",
         flush=True,
     )
+    stop = _install_drain_handlers()
     try:
-        threading.Event().wait()
+        stop.wait()
     except KeyboardInterrupt:
         pass
     finally:
         service.stop()
+        if manager.state_dir is not None:
+            drained = manager.evict_idle(0.0)
+            print(
+                f"drained {len(drained)} live sessions to "
+                f"{manager.state_dir}",
+                flush=True,
+            )
     print("service stopped")
     return 0
 

@@ -383,11 +383,30 @@ class SharedPairCache:
     def pair_entries(self) -> int:
         return sum(len(stripe) for stripe in self._stripes)
 
-    def stats(self) -> dict[str, int]:
+    def stripe_occupancy(self) -> list[int]:
+        """Entries per stripe, each read under its own lock.
+
+        The per-stripe view the global counters hide: a replica whose
+        key hashing degenerates (or whose stripe count was sized for a
+        different fan-out) shows up as a skewed histogram here long
+        before ``pair_entries`` looks wrong.
+        """
+        occupancy = []
+        for stripe, lock in zip(self._stripes, self._stripe_locks):
+            with lock:
+                occupancy.append(len(stripe))
+        return occupancy
+
+    def stats(self) -> dict[str, object]:
+        occupancy = self.stripe_occupancy()
         return {
             "version": self._version,
             "stripes": self.n_stripes,
-            "pair_entries": self.pair_entries(),
+            "pair_entries": sum(occupancy),
+            "stripe_capacity": self._stripe_capacity,
+            "stripe_entries": occupancy,
+            "stripe_min": min(occupancy) if occupancy else 0,
+            "stripe_max": max(occupancy) if occupancy else 0,
             "pair_hits": self.pair_hits,
             "pair_misses": self.pair_misses,
             "structures": len(self._structures),
@@ -639,6 +658,68 @@ class GroupSpaceRuntime:
             "apply_ms": (time.perf_counter() - started) * 1000.0,
         }
 
+    def adopt_epoch(
+        self,
+        space: GroupSpace,
+        index: SimilarityIndex,
+        stale_gids=(),
+        digest: Optional[str] = None,
+        epoch_number: Optional[int] = None,
+    ) -> dict[str, object]:
+        """Publish an externally built (space, index) pair as a new epoch.
+
+        The replica-side half of :meth:`apply_deltas`: when the mutation
+        was applied elsewhere (the replication parent) and this runtime
+        receives the finished artifacts — typically attached zero-copy
+        from a shared-memory arena — it swaps them in with the same
+        contract: readers never block, pinned sessions keep their old
+        epoch, and only the shared-cache entries whose content went
+        stale are dropped.  ``stale_gids`` name the *current* (old)
+        epoch's groups whose membership changed or vanished; their
+        fingerprints are computed against this process's own space (pool
+        fingerprints are process-local, so the publisher cannot compute
+        them for us).  ``digest`` seeds the new epoch's digest when the
+        publisher already knows it (arena attach verified it, so it is
+        authoritative).
+        """
+        from repro.core.poolcache import group_fingerprint
+
+        started = time.perf_counter()
+        with self._mutate_lock:
+            old = self._epoch
+            stale = frozenset(
+                group_fingerprint(old.space[int(gid)])
+                for gid in stale_gids
+                if 0 <= int(gid) < len(old.space)
+            )
+            dropped = (
+                self.shared.invalidate_fingerprints(stale)
+                if self.shared is not None and stale
+                else 0
+            )
+            number = (
+                epoch_number if epoch_number is not None else old.number + 1
+            )
+            epoch = StoreEpoch(
+                number,
+                space,
+                index,
+                parent_digest=old.digest(),
+                digest=digest,
+            )
+            self._epoch = epoch
+            self._retained[epoch.number] = epoch
+            while len(self._retained) > self.retain_epochs:
+                self._retained.popitem(last=False)
+        return {
+            "epoch": epoch.number,
+            "digest": epoch.digest(),
+            "parent_digest": epoch.parent_digest,
+            "n_groups": len(space),
+            "cache_entries_dropped": dropped,
+            "apply_ms": (time.perf_counter() - started) * 1000.0,
+        }
+
     # -- versioning ------------------------------------------------------
 
     @property
@@ -730,6 +811,48 @@ class GroupSpaceRuntime:
         return cls(
             space, index=index, shared=shared, share_cache=share_cache, name=name
         )
+
+    @classmethod
+    def from_arena(
+        cls,
+        dataset,
+        attached,
+        shared: Optional[SharedPairCache] = None,
+        share_cache: bool = True,
+        name: Optional[str] = None,
+        retain_epochs: int = 4,
+    ) -> "GroupSpaceRuntime":
+        """Build a runtime over artifacts attached from a shared arena.
+
+        ``attached`` duck-types the
+        :class:`repro.replication.arena.AttachedArena` surface —
+        ``group_space(dataset)``, ``similarity_index()``, ``digest`` and
+        ``epoch`` — so this module never imports the replication tier.
+        The space and index are zero-copy views over the arena's shared
+        buffer (the attach already digest-verified them); the genesis
+        epoch adopts the arena's digest and epoch number, so resume
+        stamps and lineage records agree with the publisher's.
+        """
+        runtime = cls(
+            attached.group_space(dataset),
+            index=attached.similarity_index(),
+            shared=shared,
+            share_cache=share_cache,
+            name=name,
+            retain_epochs=retain_epochs,
+        )
+        # The constructor minted epoch 0 with a lazy digest; re-key it
+        # to the publisher's numbering so both sides of the replication
+        # boundary stamp checkpoints identically.
+        genesis = StoreEpoch(
+            attached.epoch,
+            runtime.space,
+            runtime.index,
+            digest=attached.digest,
+        )
+        runtime._epoch = genesis
+        runtime._retained = OrderedDict([(genesis.number, genesis)])
+        return runtime
 
     def stats(self) -> dict[str, object]:
         return {

@@ -89,6 +89,28 @@ def membership_matrix(
     )
 
 
+def membership_matrix_from_csr(
+    indices: np.ndarray, indptr: np.ndarray, n_users: int
+) -> sparse.csr_matrix:
+    """:func:`membership_matrix` assembled from pre-pooled CSR buffers.
+
+    ``indices``/``indptr`` are the already-concatenated member columns and
+    row offsets (the layout a shared-memory arena stores) — the matrix is
+    assembled directly over those buffers, so attaching a replica costs
+    one ``ones`` allocation for the data vector instead of re-pooling
+    every member array.  Bitwise-identical to
+    ``membership_matrix(memberships, n_users)`` over the per-group views
+    ``indices[indptr[g]:indptr[g+1]]``, a property the arena tests assert.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    indptr = np.asarray(indptr, dtype=np.int64)
+    data = np.ones(len(indices), dtype=np.int64)
+    return sparse.csr_matrix(
+        (data, indices, indptr),
+        shape=(len(indptr) - 1, max(n_users, 1)),
+    )
+
+
 def jaccard_column(
     members_matrix: sparse.csr_matrix,
     member_sizes: np.ndarray,

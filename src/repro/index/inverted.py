@@ -488,6 +488,70 @@ class SimilarityIndex:
         self._exact_cache: dict[int, list[Neighbor]] = {}
         self._build()
 
+    @classmethod
+    def from_arrays(
+        cls,
+        memberships: list[np.ndarray],
+        n_users: int,
+        materialize_fraction: float,
+        *,
+        prefix_ids: np.ndarray,
+        prefix_sims: np.ndarray,
+        prefix_indptr: np.ndarray,
+        prefix_complete: np.ndarray,
+        reserve_ids: np.ndarray,
+        reserve_sims: np.ndarray,
+        reserve_indptr: np.ndarray,
+        tail_complete: np.ndarray,
+        csr_indices: Optional[np.ndarray] = None,
+        csr_indptr: Optional[np.ndarray] = None,
+    ) -> "SimilarityIndex":
+        """An index over pre-ranked flat arrays, without building anything.
+
+        The zero-copy attach constructor: the caller (a shared-memory
+        arena, a store loader) already holds the prefix/reserve rankings
+        this index would compute in ``_build``, so they are adopted
+        as-is — typically read-only views over a shared buffer.  The
+        membership matrix stays lazy (same path store-restored indexes
+        use); when ``csr_indices``/``csr_indptr`` are given it is later
+        assembled straight over those pooled buffers instead of
+        re-concatenating the member arrays.
+        """
+        if not 0 < materialize_fraction <= 1:
+            raise ValueError("materialize_fraction must be in (0, 1]")
+        new = cls.__new__(cls)
+        new.n_groups = len(memberships)
+        new.n_users = n_users
+        new.materialize_fraction = materialize_fraction
+        new._memberships = [
+            np.asarray(members, dtype=np.int64) for members in memberships
+        ]
+        new._sizes = np.array([len(members) for members in new._memberships])
+        new._exact_cache = {}
+        new._matrix = None
+        if csr_indices is not None and csr_indptr is not None:
+            new._csr_source = (csr_indices, csr_indptr)
+        for label, indptr, ids, sims in (
+            ("prefix", prefix_indptr, prefix_ids, prefix_sims),
+            ("reserve", reserve_indptr, reserve_ids, reserve_sims),
+        ):
+            if len(indptr) != new.n_groups + 1:
+                raise ValueError(
+                    f"{label} indptr covers {len(indptr) - 1} groups, "
+                    f"memberships cover {new.n_groups}"
+                )
+            if len(ids) != len(sims) or int(indptr[-1]) != len(ids):
+                raise ValueError(f"{label} arrays are inconsistent")
+        new._prefix_ids = prefix_ids
+        new._prefix_sims = prefix_sims
+        new._prefix_indptr = prefix_indptr
+        new._prefix_complete = prefix_complete
+        new._reserve_ids = reserve_ids
+        new._reserve_sims = reserve_sims
+        new._reserve_indptr = reserve_indptr
+        new._tail_complete = tail_complete
+        return new
+
     # ------------------------------------------------------------------
 
     def _build(self) -> None:
@@ -521,7 +585,17 @@ class SimilarityIndex:
         """
         matrix = getattr(self, "_matrix", None)
         if matrix is None:
-            self._matrix = matrix = self._membership_matrix()
+            source = getattr(self, "_csr_source", None)
+            if source is not None:
+                from repro.core.similarity import membership_matrix_from_csr
+
+                indices, indptr = source
+                matrix = membership_matrix_from_csr(
+                    indices, indptr, self.n_users
+                )
+            else:
+                matrix = self._membership_matrix()
+            self._matrix = matrix
         return matrix
 
     def membership_csr(self) -> sparse.csr_matrix:

@@ -1,0 +1,52 @@
+"""Shared-nothing worker replication over zero-copy shared-memory arenas.
+
+The serving tier from this package multiplies the single-process stack
+across N ``spawn``-started workers without multiplying its memory or
+startup cost: each epoch's immutable artifacts (membership CSR, the
+similarity index's flat prefix/reserve arrays) are serialized once into
+a content-addressed ``multiprocessing.shared_memory`` segment
+(:mod:`~repro.replication.arena`) and mapped read-only by every replica
+(:mod:`~repro.replication.worker`), while a sticky router
+(:mod:`~repro.replication.pool`) pins each session's walk to the worker
+holding its in-memory state and fails resumes over to any live replica
+via the shared journal directory.
+"""
+
+from repro.replication.arena import (
+    ARENA_PREFIX,
+    ArenaDigestMismatch,
+    AttachedArena,
+    PublishedArena,
+    arena_name,
+    attach_arena,
+    list_segments,
+    publish_arena,
+    sweep_orphans,
+    unlink_arena,
+)
+from repro.replication.pool import (
+    ReplicatedService,
+    WorkerPool,
+    WorkerUnavailable,
+    serve_replicated,
+)
+from repro.replication.worker import WorkerControl, worker_main
+
+__all__ = [
+    "ARENA_PREFIX",
+    "ArenaDigestMismatch",
+    "AttachedArena",
+    "PublishedArena",
+    "ReplicatedService",
+    "WorkerControl",
+    "WorkerPool",
+    "WorkerUnavailable",
+    "arena_name",
+    "attach_arena",
+    "list_segments",
+    "publish_arena",
+    "serve_replicated",
+    "sweep_orphans",
+    "unlink_arena",
+    "worker_main",
+]

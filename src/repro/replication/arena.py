@@ -1,0 +1,545 @@
+"""Shared-memory arenas for a group space's immutable epoch artifacts.
+
+One :class:`StoreEpoch`'s serving artifacts — the pooled membership CSR
+buffers, the similarity index's flat prefix/reserve rankings, and the
+group descriptions — are bit-for-bit immutable once published, which is
+exactly the property that lets N replica processes on one box *map* them
+instead of owning them.  An :class:`ArtifactArena` segment is one
+``multiprocessing.shared_memory`` block laid out as::
+
+    8-byte magic | uint64-LE header length | JSON header | aligned arrays
+
+keyed by the epoch's sha256 membership digest
+(:func:`repro.core.store.space_digest`), so the segment name *is* the
+content address: publishing the same epoch twice attaches the existing
+segment, and a worker attaching by digest can verify — by re-hashing the
+mapped member arrays — that the bytes it mapped are the bytes the
+publisher named.  A mismatch raises the typed
+:class:`ArenaDigestMismatch` and the worker refuses to serve (the same
+contract as ``load_index``'s stale-store refusal).
+
+Lifetime is deliberately manual.  CPython's ``resource_tracker`` would
+unlink every segment when *any* tracking process exits, which is wrong
+for a parent/worker fleet sharing segments across process lifetimes —
+so both publish and attach unregister from it and ownership works like
+this: the parent unlinks segments it ages out of the retention window
+(Linux keeps existing mappings valid after ``shm_unlink``, so workers
+pinned to an old epoch are unaffected) and sweeps leftover segments by
+name prefix on startup (:func:`sweep_orphans`) because a SIGKILLed
+parent really does leak them.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+_MAGIC = b"RARENA1\n"
+_HEADER_LEN = struct.Struct("<Q")
+_ALIGN = 64
+
+#: ``/dev/shm`` entries carrying this prefix belong to us; the startup
+#: orphan sweep matches on it (plus the deployment tag) and nothing else.
+ARENA_PREFIX = "repro_arena"
+
+#: Names stored in every arena, in layout order.  The first two are the
+#: pooled membership CSR buffers; the rest are the similarity index's
+#: flat ranking arrays in ``SimilarityIndex.from_arrays`` order.
+_ARRAY_NAMES = (
+    "member_indices",
+    "member_indptr",
+    "prefix_ids",
+    "prefix_sims",
+    "prefix_indptr",
+    "prefix_complete",
+    "reserve_ids",
+    "reserve_sims",
+    "reserve_indptr",
+    "tail_complete",
+)
+
+
+class ArenaDigestMismatch(ValueError):
+    """The mapped artifact bytes do not hash to the digest that keys them.
+
+    Raised on attach, before any artifact is handed out: a worker must
+    never serve neighbors from a segment whose content disagrees with
+    its manifest (torn publish, stray writer, name collision).
+    """
+
+
+def _disown(shm: shared_memory.SharedMemory) -> None:
+    """Stop the resource tracker from unlinking this segment at exit.
+
+    On CPython < 3.13 both create *and* attach register the segment, so
+    the first tracked process to exit would tear the arena out from
+    under every other replica.  Lifetime is managed explicitly by the
+    parent (unlink on age-out, sweep on restart) instead.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _unlink(shm: shared_memory.SharedMemory) -> None:
+    """Unlink with the tracker re-armed so its books stay balanced.
+
+    ``SharedMemory.unlink`` unconditionally sends the tracker an
+    unregister — which we already sent in :func:`_disown` — so the pair
+    is rebalanced by registering first; otherwise the tracker process
+    logs a ``KeyError`` at exit for every segment we ever removed.
+    """
+    try:
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:
+        pass
+    shm.unlink()
+
+
+def _leave_mapped(shm: shared_memory.SharedMemory) -> None:
+    """Accept that this mapping lives until process exit, quietly.
+
+    A segment with exported NumPy views cannot be unmapped
+    (``BufferError``); that is fine — exit reclaims the pages — but
+    ``SharedMemory.__del__`` would retry the close and spray ``Exception
+    ignored`` tracebacks over stderr during interpreter shutdown.  Shadow
+    the bound ``close`` with a no-op so the finalizer stays silent.
+    """
+    shm.close = lambda: None  # type: ignore[method-assign]
+
+
+def arena_name(tag: str, digest: str) -> str:
+    """The content-addressed segment name for one published epoch."""
+    return f"{ARENA_PREFIX}_{tag}_{digest[:16]}"
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _space_digest(memberships) -> str:
+    from repro.core.store import space_digest
+
+    return space_digest(memberships)
+
+
+@dataclass
+class PublishedArena:
+    """A parent-side handle on one published segment."""
+
+    name: str
+    digest: str
+    epoch: int
+    size: int
+    shm: shared_memory.SharedMemory
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except BufferError:
+            _leave_mapped(self.shm)
+
+    def unlink(self) -> None:
+        try:
+            _unlink(self.shm)
+        except FileNotFoundError:
+            pass
+
+    def __del__(self) -> None:
+        # Route garbage collection through the quiet close so a dropped
+        # publisher never sprays BufferError finalizer noise.
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def publish_arena(space, index, tag: str, epoch: int = 0) -> PublishedArena:
+    """Serialize one epoch's artifacts into a shared-memory segment.
+
+    Content-addressed and idempotent: the segment name is derived from
+    the space's membership digest, and racing publishers of the same
+    epoch converge on one segment (``FileExistsError`` means someone
+    else finished first — attach their copy).  The digest is computed
+    from the live space here, so the name can never promise bytes the
+    segment does not hold.
+    """
+    memberships = space.memberships()
+    digest = _space_digest(memberships)
+    lengths = np.array(
+        [len(members) for members in memberships], dtype=np.int64
+    )
+    member_indptr = np.zeros(len(memberships) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=member_indptr[1:])
+    member_indices = (
+        np.concatenate(
+            [np.asarray(m, dtype=np.int64) for m in memberships]
+        )
+        if len(memberships)
+        else np.empty(0, dtype=np.int64)
+    )
+    arrays = {
+        "member_indices": member_indices,
+        "member_indptr": member_indptr,
+        "prefix_ids": index._prefix_ids,
+        "prefix_sims": index._prefix_sims,
+        "prefix_indptr": index._prefix_indptr,
+        "prefix_complete": index._prefix_complete,
+        "reserve_ids": index._reserve_ids,
+        "reserve_sims": index._reserve_sims,
+        "reserve_indptr": index._reserve_indptr,
+        "tail_complete": index._tail_complete,
+    }
+    payloads = {
+        name: np.ascontiguousarray(arrays[name]) for name in _ARRAY_NAMES
+    }
+
+    manifest: dict[str, dict] = {}
+    # Header length depends on the offsets, which depend on the header
+    # length — resolved by fixing the data start first (header measured
+    # with zero offsets, padded up to alignment).
+    probe = {
+        name: {"dtype": arr.dtype.str, "count": int(arr.shape[0]), "offset": 0}
+        for name, arr in payloads.items()
+    }
+    header = {
+        "version": 1,
+        "digest": digest,
+        "tag": tag,
+        "epoch": int(epoch),
+        "dataset": space.dataset.name,
+        "n_users": int(space.dataset.n_users),
+        "n_groups": len(memberships),
+        "materialize_fraction": float(index.materialize_fraction),
+        "descriptions": [list(group.description) for group in space],
+        "arrays": probe,
+    }
+    probe_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    # Offsets widen the JSON by at most a few digits per array; pad the
+    # header region generously so the final encoding always fits.
+    data_start = _aligned(
+        len(_MAGIC) + _HEADER_LEN.size + len(probe_bytes) + 16 * len(payloads)
+    )
+    offset = data_start
+    for name in _ARRAY_NAMES:
+        arr = payloads[name]
+        offset = _aligned(offset)
+        manifest[name] = {
+            "dtype": arr.dtype.str,
+            "count": int(arr.shape[0]),
+            "offset": offset,
+        }
+        offset += arr.nbytes
+    header["arrays"] = manifest
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    total = max(offset, 1)
+
+    name = arena_name(tag, digest)
+    try:
+        shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+    except FileExistsError:
+        # Another publisher won the race; the content address guarantees
+        # the existing segment holds the same bytes (attach verifies).
+        attached = attach_arena(tag, digest)
+        existing = attached.shm
+        attached._shm = None  # hand ownership to the PublishedArena
+        return PublishedArena(
+            name=name,
+            digest=digest,
+            epoch=attached.epoch,
+            size=existing.size,
+            shm=existing,
+        )
+    _disown(shm)
+    buf = shm.buf
+    buf[: len(_MAGIC)] = _MAGIC
+    _HEADER_LEN.pack_into(buf, len(_MAGIC), len(header_bytes))
+    start = len(_MAGIC) + _HEADER_LEN.size
+    buf[start : start + len(header_bytes)] = header_bytes
+    for name_, meta in manifest.items():
+        data = payloads[name_].tobytes()
+        buf[meta["offset"] : meta["offset"] + len(data)] = data
+    return PublishedArena(
+        name=name, digest=digest, epoch=int(epoch), size=total, shm=shm
+    )
+
+
+class AttachedArena:
+    """A worker-side zero-copy view over one published arena.
+
+    Every accessor returns read-only NumPy views into the shared buffer
+    — nothing is copied but the small description list.  The instance
+    must outlive every view it hands out (closing the segment with live
+    exports is a ``BufferError``); workers keep their attachments for
+    the life of the epoch binding.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, header: dict, verified: bool
+    ) -> None:
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self.header = header
+        self.verified = verified
+        self._views: dict[str, np.ndarray] = {}
+
+    # -- identity --------------------------------------------------------
+
+    @property
+    def shm(self) -> shared_memory.SharedMemory:
+        if self._shm is None:
+            raise ValueError("arena is closed")
+        return self._shm
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def digest(self) -> str:
+        return self.header["digest"]
+
+    @property
+    def epoch(self) -> int:
+        return int(self.header["epoch"])
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.header["n_groups"])
+
+    # -- raw views -------------------------------------------------------
+
+    def array(self, name: str) -> np.ndarray:
+        """A read-only view of one stored array."""
+        view = self._views.get(name)
+        if view is None:
+            meta = self.header["arrays"][name]
+            view = np.frombuffer(
+                self.shm.buf,
+                dtype=np.dtype(meta["dtype"]),
+                count=meta["count"],
+                offset=meta["offset"],
+            )
+            view.flags.writeable = False
+            self._views[name] = view
+        return view
+
+    def memberships(self) -> list[np.ndarray]:
+        """Per-group member views (int64, sorted-unique by publish)."""
+        indices = self.array("member_indices")
+        indptr = self.array("member_indptr")
+        return [
+            indices[indptr[g] : indptr[g + 1]] for g in range(self.n_groups)
+        ]
+
+    # -- artifact constructors -------------------------------------------
+
+    def group_space(self, dataset):
+        """The epoch's :class:`GroupSpace` over zero-copy member views.
+
+        ``dataset`` must be the dataset the publisher serialized against
+        — the header pins its name and user count, and every member
+        index is bounds-checked, so a worker booted with the wrong data
+        refuses instead of serving out-of-range neighbors.
+        """
+        from repro.core.group import Group, GroupSpace
+
+        if dataset.name != self.header["dataset"]:
+            raise ValueError(
+                f"arena was published for dataset "
+                f"{self.header['dataset']!r}, worker holds {dataset.name!r}"
+            )
+        if int(dataset.n_users) != int(self.header["n_users"]):
+            raise ValueError(
+                f"arena expects {self.header['n_users']} users, "
+                f"dataset has {dataset.n_users}"
+            )
+        indices = self.array("member_indices")
+        if len(indices) and int(indices.max()) >= int(dataset.n_users):
+            raise ValueError(
+                "arena member indices exceed the dataset's user range"
+            )
+        descriptions = self.header["descriptions"]
+        groups = [
+            Group(gid, tuple(descriptions[gid]), members)
+            for gid, members in enumerate(self.memberships())
+        ]
+        return GroupSpace(dataset, groups)
+
+    def similarity_index(self):
+        """The epoch's :class:`SimilarityIndex` over borrowed rankings."""
+        from repro.index.inverted import SimilarityIndex
+
+        return SimilarityIndex.from_arrays(
+            self.memberships(),
+            int(self.header["n_users"]),
+            float(self.header["materialize_fraction"]),
+            prefix_ids=self.array("prefix_ids"),
+            prefix_sims=self.array("prefix_sims"),
+            prefix_indptr=self.array("prefix_indptr"),
+            prefix_complete=self.array("prefix_complete"),
+            reserve_ids=self.array("reserve_ids"),
+            reserve_sims=self.array("reserve_sims"),
+            reserve_indptr=self.array("reserve_indptr"),
+            tail_complete=self.array("tail_complete"),
+            csr_indices=self.array("member_indices"),
+            csr_indptr=self.array("member_indptr"),
+        )
+
+    # -- lifetime --------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap the segment (only safe once no views remain live)."""
+        self._views.clear()
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:
+                # Live exports somewhere; leave the mapping alone.  The
+                # views stay valid and process exit reclaims the pages.
+                _leave_mapped(self._shm)
+                return
+            self._shm = None
+
+    def unlink(self) -> None:
+        try:
+            _unlink(self.shm)
+        except FileNotFoundError:
+            pass
+
+    def __del__(self) -> None:
+        # Garbage collection goes through the quiet close: mappings with
+        # live views stay mapped, silently, until process exit.
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def attach_arena(
+    tag: str, digest: str, verify: bool = True
+) -> AttachedArena:
+    """Map a published arena by content address and verify it.
+
+    ``verify=True`` (the default, and what every worker uses) re-hashes
+    the mapped member arrays with the same
+    :func:`~repro.core.store.space_digest` the publisher used and
+    demands it equal both the requested digest and the one stored in
+    the header — a disagreement is a typed :class:`ArenaDigestMismatch`
+    refusal, never silently-wrong neighbors.
+    """
+    name = arena_name(tag, digest)
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"no arena segment {name!r} — the publisher has not "
+            f"published epoch digest {digest[:12]}… (or already unlinked it)"
+        ) from None
+    _disown(shm)
+    try:
+        header = _read_header(shm)
+    except Exception:
+        shm.close()
+        raise
+    arena = AttachedArena(shm, header, verified=False)
+    if header.get("digest") != digest:
+        stored = str(header.get("digest", ""))[:12]
+        arena.close()
+        raise ArenaDigestMismatch(
+            f"arena {name!r} manifest names digest {stored}…, "
+            f"attach requested {digest[:12]}…"
+        )
+    if verify:
+        mapped = _space_digest(arena.memberships())
+        if mapped != digest:
+            # Drop the member views before unmapping.
+            arena._views.clear()
+            arena.close()
+            raise ArenaDigestMismatch(
+                f"arena {name!r} content digests to {mapped[:12]}…, "
+                f"manifest promises {digest[:12]}… — refusing to serve "
+                f"from a corrupt or foreign segment"
+            )
+        arena.verified = True
+    return arena
+
+
+def _read_header(shm: shared_memory.SharedMemory) -> dict:
+    buf = shm.buf
+    if bytes(buf[: len(_MAGIC)]) != _MAGIC:
+        raise ArenaDigestMismatch(
+            f"segment {shm.name!r} does not carry the arena magic"
+        )
+    (header_len,) = _HEADER_LEN.unpack_from(buf, len(_MAGIC))
+    start = len(_MAGIC) + _HEADER_LEN.size
+    header = json.loads(bytes(buf[start : start + header_len]).decode("utf-8"))
+    if header.get("version") != 1:
+        raise ValueError(
+            f"unsupported arena version {header.get('version')!r}"
+        )
+    return header
+
+
+def unlink_arena(tag: str, digest: str) -> bool:
+    """Remove one segment by content address; True when it existed.
+
+    Existing mappings stay valid (POSIX ``shm_unlink`` removes the name,
+    not the memory), so workers pinned to this epoch are unaffected —
+    only new attaches are refused.
+    """
+    name = arena_name(tag, digest)
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    _disown(shm)
+    try:
+        _unlink(shm)
+    except FileNotFoundError:
+        return False
+    finally:
+        shm.close()
+    return True
+
+
+def list_segments(tag: str) -> list[str]:
+    """Segment names under this tag currently present in ``/dev/shm``."""
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return []
+    prefix = f"{ARENA_PREFIX}_{tag}_"
+    return sorted(
+        entry.name for entry in root.iterdir() if entry.name.startswith(prefix)
+    )
+
+
+def sweep_orphans(tag: str) -> list[str]:
+    """Unlink every segment under this tag; the startup leak sweep.
+
+    A SIGKILLed parent leaks its segments (nothing ran unlink, and the
+    resource tracker was deliberately disarmed) — the replacement parent
+    calls this before publishing anything, so a crash loop can never
+    accumulate dead arenas in ``/dev/shm``.  Returns the removed names.
+    """
+    removed: list[str] = []
+    for name in list_segments(tag):
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        _disown(shm)
+        try:
+            _unlink(shm)
+            removed.append(name)
+        except FileNotFoundError:
+            pass
+        finally:
+            shm.close()
+    return removed

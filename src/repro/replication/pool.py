@@ -1,0 +1,805 @@
+"""The parent tier: publish arenas, spawn replicas, route sticky traffic.
+
+:class:`WorkerPool` owns the authoritative
+:class:`~repro.core.runtime.GroupSpaceRuntime` (mutations apply here
+first), serializes each epoch's artifacts into a shared-memory arena
+(:mod:`repro.replication.arena`), and keeps N ``spawn``-started worker
+processes attached to the current arena — each one a full
+``SessionManager`` + HTTP service minting ids under its own ``w<i>-``
+prefix.  :class:`ReplicatedService` is the HTTP router in front of them:
+
+- *sticky routing*: session ids and resume tokens start with the minting
+  worker's tag, so every verb of a walk lands on the replica holding its
+  in-memory state;
+- *takeover*: a resume whose home worker is dead routes to any live
+  replica — all workers share one state directory, so the PR 6 journal
+  tail replays there and the walk continues field-identical;
+- *mutation*: ``POST /spaces/<name>/mutate`` applies the delta on the
+  parent runtime, publishes the new epoch's arena, and broadcasts
+  ``rebind`` to every worker (each invalidates its own stale
+  fingerprints); segments aged out of the retention window are unlinked
+  (mapped copies in pinned workers stay valid);
+- *health*: ``/healthz`` and ``/spaces`` aggregate per-replica liveness,
+  epoch, and session counts.
+
+A worker that stops answering is marked dead, the request that noticed
+gets a typed 503 with ``Retry-After`` (the stock client retries), and a
+replacement is respawned onto the current arena in the background.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import multiprocessing
+import re
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from functools import partial
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional
+
+from repro.replication.arena import (
+    PublishedArena,
+    publish_arena,
+    sweep_orphans,
+)
+from repro.replication.worker import _worker_entry
+
+_WORKER_ID = re.compile(r"^w(\d+)-")
+
+#: Seconds a freshly spawned worker gets to come up (imports NumPy and
+#: SciPy from scratch under the spawn start method, then maps the arena).
+_BOOT_TIMEOUT_S = 60.0
+
+#: Per-request forwarding timeout.  Generous: a budgeted click is capped
+#: near the paper's 100 ms, but resumes replay journal tails.
+_FORWARD_TIMEOUT_S = 30.0
+
+
+class WorkerUnavailable(RuntimeError):
+    """The replica that owns this request is (currently) gone."""
+
+
+@dataclass
+class _Replica:
+    index: int
+    process: multiprocessing.process.BaseProcess
+    port: int
+    pid: int
+    epoch: int
+    digest: str
+    alive: bool = True
+    restarts: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+def _post(
+    host: str,
+    port: int,
+    path: str,
+    body: dict,
+    timeout: float = _FORWARD_TIMEOUT_S,
+) -> dict:
+    payload = json.dumps(body).encode("utf-8")
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request(
+            "POST",
+            path,
+            body=payload,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        data = json.loads(response.read().decode("utf-8") or "{}")
+        if response.status >= 400:
+            raise RuntimeError(
+                f"worker answered {response.status} on {path}: {data}"
+            )
+        return data
+    finally:
+        connection.close()
+
+
+class WorkerPool:
+    """N replica processes serving one space from shared-memory arenas."""
+
+    def __init__(
+        self,
+        dataset,
+        space,
+        index=None,
+        *,
+        workers: int = 2,
+        tag: Optional[str] = None,
+        state_dir: Optional[str | Path] = None,
+        durability: str = "snapshot",
+        compact_every: int = 64,
+        default_config=None,
+        max_sessions: Optional[int] = None,
+        host: str = "127.0.0.1",
+        space_name: Optional[str] = None,
+        retain_segments: int = 4,
+        materialize_fraction: float = 0.10,
+        sweep: bool = True,
+    ) -> None:
+        from repro.core.runtime import GroupSpaceRuntime
+
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if retain_segments < 1:
+            raise ValueError("retain_segments must be >= 1")
+        self.dataset = dataset
+        self.host = host
+        self.space_name = space_name
+        #: The deployment identity: segment names carry it, and the
+        #: startup sweep removes whatever a crashed predecessor with the
+        #: same tag leaked.  Defaults to the space name so restarts of
+        #: one deployment sweep their own orphans and nobody else's.
+        self.tag = tag if tag is not None else (space_name or "space")
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.durability = durability
+        self.compact_every = compact_every
+        self.default_config = default_config
+        self.max_sessions = max_sessions
+        self.retain_segments = retain_segments
+        self.n_workers = workers
+        #: Segments a SIGKILLed predecessor leaked; swept before the
+        #: first publish so a crash loop never accumulates dead arenas.
+        self.swept_orphans: list[str] = sweep_orphans(self.tag) if sweep else []
+        # The parent's runtime is the mutation authority, never a
+        # serving path — no cross-session cache needed here.
+        self.runtime = GroupSpaceRuntime(
+            space,
+            index=index,
+            materialize_fraction=materialize_fraction,
+            share_cache=False,
+            name=space_name,
+        )
+        self._ctx = multiprocessing.get_context("spawn")
+        self._published: "OrderedDict[str, PublishedArena]" = OrderedDict()
+        self._mutate_lock = threading.Lock()
+        self._stopped = False
+        genesis = publish_arena(
+            self.runtime.space,
+            self.runtime.index,
+            self.tag,
+            epoch=self.runtime.epoch,
+        )
+        self._published[genesis.digest] = genesis
+        self.replicas: list[_Replica] = [
+            self._spawn(index_) for index_ in range(workers)
+        ]
+        self._route_counter = 0
+        self._route_lock = threading.Lock()
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _spec(self, worker_index: int) -> dict:
+        return {
+            "tag": self.tag,
+            "worker_index": worker_index,
+            "digest": self.runtime.membership_digest(),
+            "epoch": self.runtime.epoch,
+            "dataset": self.dataset,
+            "space_name": self.space_name,
+            "state_dir": (
+                str(self.state_dir) if self.state_dir is not None else None
+            ),
+            "durability": self.durability,
+            "compact_every": self.compact_every,
+            "default_config": self.default_config,
+            "max_sessions": self.max_sessions,
+            "host": self.host,
+        }
+
+    def _spawn(self, worker_index: int) -> _Replica:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_entry,
+            args=(self._spec(worker_index), child_conn),
+            name=f"repro-worker-{self.tag}-{worker_index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(_BOOT_TIMEOUT_S):
+            process.terminate()
+            raise RuntimeError(
+                f"worker {worker_index} did not come up within "
+                f"{_BOOT_TIMEOUT_S:.0f}s"
+            )
+        ready = parent_conn.recv()
+        parent_conn.close()
+        if not ready.get("ok"):
+            process.join(timeout=5.0)
+            raise RuntimeError(
+                f"worker {worker_index} failed to boot: {ready.get('error')}"
+            )
+        return _Replica(
+            index=worker_index,
+            process=process,
+            port=int(ready["port"]),
+            pid=int(ready["pid"]),
+            epoch=int(ready["epoch"]),
+            digest=str(ready["digest"]),
+        )
+
+    def _mark_dead(self, replica: _Replica) -> None:
+        replica.alive = False
+
+    def respawn(self, worker_index: int) -> _Replica:
+        """Replace a dead replica in place (idempotent per index)."""
+        replica = self.replicas[worker_index]
+        with replica.lock:
+            current = self.replicas[worker_index]
+            if current.alive and current.process.is_alive():
+                return current
+            if current.process.is_alive():
+                current.process.terminate()
+            current.process.join(timeout=5.0)
+            with self._mutate_lock:
+                # Snapshot digest/epoch under the mutation lock so the
+                # replacement can never attach an arena that a racing
+                # mutate is about to supersede without a rebind.
+                fresh = self._spawn(worker_index)
+            fresh.restarts = current.restarts + 1
+            self.replicas[worker_index] = fresh
+            return fresh
+
+    def _respawn_async(self, worker_index: int) -> None:
+        threading.Thread(
+            target=lambda: self._quiet_respawn(worker_index),
+            name=f"repro-respawn-{self.tag}-{worker_index}",
+            daemon=True,
+        ).start()
+
+    def _quiet_respawn(self, worker_index: int) -> None:
+        try:
+            self.respawn(worker_index)
+        except Exception:
+            pass  # next request on this replica retries the respawn
+
+    # -- routing ---------------------------------------------------------
+
+    def worker_of(self, reference: str) -> Optional[int]:
+        """The worker index a session id / resume token is stuck to."""
+        match = _WORKER_ID.match(reference or "")
+        if match is None:
+            return None
+        index = int(match.group(1))
+        return index if 0 <= index < len(self.replicas) else None
+
+    def alive_replicas(self) -> list[_Replica]:
+        return [replica for replica in self.replicas if replica.alive]
+
+    def pick_fresh(self) -> _Replica:
+        """Round-robin over live replicas for a fresh ``open``."""
+        candidates = self.alive_replicas()
+        if not candidates:
+            raise WorkerUnavailable("no live replicas")
+        with self._route_lock:
+            self._route_counter += 1
+            return candidates[self._route_counter % len(candidates)]
+
+    def pick_for(
+        self, reference: str, takeover: bool = False
+    ) -> _Replica:
+        """The replica owning ``reference`` (a session id or token).
+
+        ``takeover=True`` (resume-by-token routing) falls back to any
+        live replica when the home worker is dead: the shared state
+        directory holds the snapshot + journal tail, so any replica can
+        finish the walk.  Mid-session verbs never take over — the
+        session's in-memory state died with its worker, and the client's
+        recovery path is a resume.
+        """
+        index = self.worker_of(reference)
+        if index is None:
+            raise KeyError(
+                f"reference {reference!r} carries no worker tag"
+            )
+        replica = self.replicas[index]
+        if replica.alive and replica.process.is_alive():
+            return replica
+        if replica.alive:
+            # First observer of a silently dead process (SIGKILL).
+            self._mark_dead(replica)
+            self._respawn_async(index)
+        if takeover:
+            candidates = self.alive_replicas()
+            if candidates:
+                return candidates[0]
+        raise WorkerUnavailable(
+            f"worker {index} is down; its replacement is starting"
+        )
+
+    # -- mutation --------------------------------------------------------
+
+    def mutate(self, delta, verify: bool = False) -> dict:
+        """Apply a delta everywhere: parent epoch, arena, worker rebinds.
+
+        The parent runtime applies (and optionally parity-verifies) the
+        delta, the new epoch is published as a content-addressed arena
+        segment, and every live worker is told to rebind by digest —
+        computing its own stale-fingerprint set from ``changed_old``
+        (the old-gid view of the delta) because fingerprints are
+        process-local.  Old segments beyond the retention window are
+        unlinked; workers pinned to them keep their mappings.
+        """
+        respawn: list[int] = []
+        with self._mutate_lock:
+            changed_old = sorted(
+                {int(gid) for gid in delta.removed}
+                | {int(gid) for gid, _ in delta.changed}
+            )
+            report = dict(self.runtime.apply_deltas(delta, verify=verify))
+            published = publish_arena(
+                self.runtime.space,
+                self.runtime.index,
+                self.tag,
+                epoch=report["epoch"],
+            )
+            self._published[published.digest] = published
+            rebound = []
+            for replica in self.replicas:
+                if not replica.alive:
+                    continue
+                try:
+                    outcome = _post(
+                        self.host,
+                        replica.port,
+                        "/internal/rebind",
+                        {
+                            "digest": published.digest,
+                            "epoch": report["epoch"],
+                            "changed_old": changed_old,
+                        },
+                    )
+                except (OSError, RuntimeError, ValueError):
+                    self._mark_dead(replica)
+                    respawn.append(replica.index)
+                    continue
+                replica.epoch = int(outcome.get("epoch", report["epoch"]))
+                replica.digest = published.digest
+                rebound.append(replica.index)
+            while len(self._published) > self.retain_segments:
+                _, aged = self._published.popitem(last=False)
+                aged.unlink()
+                aged.close()
+            report["arena"] = published.name
+            report["rebound_workers"] = rebound
+        for index in respawn:
+            self._respawn_async(index)
+        return report
+
+    # -- introspection ---------------------------------------------------
+
+    def replica_health(self) -> list[dict]:
+        """One row per replica: liveness probe + worker-side counters."""
+        rows = []
+        for replica in self.replicas:
+            row = {
+                "index": replica.index,
+                "pid": replica.pid,
+                "port": replica.port,
+                "alive": replica.alive and replica.process.is_alive(),
+                "restarts": replica.restarts,
+                "epoch": replica.epoch,
+                "digest": replica.digest,
+            }
+            if row["alive"]:
+                try:
+                    ping = _post(
+                        self.host,
+                        replica.port,
+                        "/internal/ping",
+                        {},
+                        timeout=2.0,
+                    )
+                    row.update(
+                        sessions=ping.get("sessions"),
+                        degraded=ping.get("degraded"),
+                        epoch=ping.get("epoch", row["epoch"]),
+                        digest=ping.get("digest", row["digest"]),
+                    )
+                except (OSError, RuntimeError, ValueError):
+                    row["alive"] = False
+                    self._mark_dead(replica)
+                    self._respawn_async(replica.index)
+            rows.append(row)
+        return rows
+
+    def stats(self) -> dict:
+        replicas = self.replica_health()
+        return {
+            "mode": "replicated",
+            "tag": self.tag,
+            "workers": self.n_workers,
+            "alive": sum(1 for row in replicas if row["alive"]),
+            "epoch": self.runtime.epoch,
+            "digest": self.runtime.membership_digest(),
+            "segments": list(self._published.keys()),
+            "swept_orphans": self.swept_orphans,
+            "replicas": replicas,
+        }
+
+    # -- shutdown --------------------------------------------------------
+
+    def stop(self, drain: bool = True) -> None:
+        """Drain every worker, reap the processes, unlink the segments."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for replica in self.replicas:
+            if not (replica.alive and replica.process.is_alive()):
+                continue
+            if drain:
+                try:
+                    _post(
+                        self.host,
+                        replica.port,
+                        "/internal/drain",
+                        {},
+                        timeout=10.0,
+                    )
+                except (OSError, RuntimeError, ValueError):
+                    pass
+        deadline = time.monotonic() + 15.0
+        for replica in self.replicas:
+            replica.process.join(
+                timeout=max(0.1, deadline - time.monotonic())
+            )
+            if replica.process.is_alive():
+                replica.process.terminate()
+                replica.process.join(timeout=5.0)
+            if replica.process.is_alive():
+                replica.process.kill()
+                replica.process.join(timeout=5.0)
+            replica.alive = False
+        for published in self._published.values():
+            published.unlink()
+            published.close()
+        self._published.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """Forward the wire protocol to the sticky replica, verbatim."""
+
+    protocol_version = "HTTP/1.1"
+
+    def __init__(self, service: "ReplicatedService", *args, **kwargs) -> None:
+        self.service = service
+        super().__init__(*args, **kwargs)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    # -- plumbing --------------------------------------------------------
+
+    def _body_bytes(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length > 0 else b""
+
+    def _body(self) -> dict:
+        raw = self._body_bytes()
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise _RouterBadRequest("body must be a JSON object")
+        if not isinstance(body, dict):
+            raise _RouterBadRequest("body must be a JSON object")
+        return body
+
+    def _reply(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _fail(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        headers: Optional[dict] = None,
+    ) -> None:
+        self._reply(
+            status,
+            {"error": {"type": error_type, "message": message}},
+            headers=headers,
+        )
+
+    def _forward(self, replica: _Replica, body: Optional[bytes] = None) -> None:
+        """Proxy this request to ``replica`` and relay the raw answer."""
+        payload = body if body is not None else self._body_bytes()
+        connection = http.client.HTTPConnection(
+            self.service.pool.host, replica.port, timeout=_FORWARD_TIMEOUT_S
+        )
+        try:
+            connection.request(
+                self.command,
+                self.path,
+                body=payload or None,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            data = response.read()
+            headers = {}
+            retry_after = response.getheader("Retry-After")
+            if retry_after:
+                headers["Retry-After"] = retry_after
+            self.send_response(response.status)
+            self.send_header(
+                "Content-Type",
+                response.getheader("Content-Type", "application/json"),
+            )
+            self.send_header("Content-Length", str(len(data)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(data)
+        except (OSError, http.client.HTTPException):
+            self.service.pool._mark_dead(replica)
+            self.service.pool._respawn_async(replica.index)
+            raise WorkerUnavailable(
+                f"worker {replica.index} dropped the connection"
+            )
+        finally:
+            connection.close()
+
+    # -- routing ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            handled = self._route(method)
+        except _RouterBadRequest as error:
+            self._fail(400, "bad_request", str(error))
+        except WorkerUnavailable as error:
+            # The stock client's 503 retry loop handles this: the
+            # replacement replica (or a takeover resume) answers next.
+            self._fail(
+                503,
+                "replica_unavailable",
+                str(error),
+                headers={"Retry-After": "1"},
+            )
+        except KeyError as error:
+            self._fail(404, "unknown_session", str(error))
+        except ValueError as error:
+            self._fail(409, "conflict", str(error))
+        except (BrokenPipeError, ConnectionResetError):
+            raise
+        except Exception as error:  # noqa: BLE001 — router must not die
+            self._fail(
+                500, "internal_error", f"{type(error).__name__}: {error}"
+            )
+        else:
+            if not handled:
+                self._fail(
+                    404, "not_found", f"no route for {method} {self.path}"
+                )
+
+    def _route(self, method: str) -> bool:
+        pool = self.service.pool
+        path = self.path.split("?", 1)[0].rstrip("/")
+        segments = [segment for segment in path.split("/") if segment]
+        if path == "/healthz" and method == "GET":
+            self._reply(200, self.service.health())
+            return True
+        if path == "/spaces" and method == "GET":
+            self._reply(200, self.service.spaces_payload())
+            return True
+        if (
+            len(segments) == 3
+            and segments[0] == "spaces"
+            and segments[2] == "mutate"
+            and method == "POST"
+        ):
+            from repro.service.server import _BadRequest, parse_mutation
+
+            name = segments[1]
+            expected = pool.space_name or "default"
+            if name != expected:
+                self._fail(
+                    404, "unknown_space", f"no space named {name!r}"
+                )
+                return True
+            try:
+                delta, verify = parse_mutation(self._body())
+            except _BadRequest as error:
+                raise _RouterBadRequest(str(error))
+            self._reply(200, pool.mutate(delta, verify=verify))
+            return True
+        if len(segments) >= 2 and segments[0] == "v1" and segments[1] == "sessions":
+            if len(segments) == 2:
+                if method == "POST":
+                    raw = self._body_bytes()
+                    body = {}
+                    if raw:
+                        try:
+                            body = json.loads(raw.decode("utf-8"))
+                        except (json.JSONDecodeError, UnicodeDecodeError):
+                            raise _RouterBadRequest(
+                                "body must be a JSON object"
+                            )
+                    if not isinstance(body, dict):
+                        raise _RouterBadRequest("body must be a JSON object")
+                    resume = body.get("resume")
+                    if resume is not None and not isinstance(resume, str):
+                        raise _RouterBadRequest("resume must be a token string")
+                    if resume is not None and pool.worker_of(resume) is not None:
+                        replica = pool.pick_for(resume, takeover=True)
+                    else:
+                        replica = pool.pick_fresh()
+                    self._forward(replica, body=raw)
+                else:
+                    self._reply(200, {"sessions": self.service.session_ids()})
+                return True
+            session_id = segments[2]
+            replica = pool.pick_for(session_id)
+            self._forward(replica)
+            return True
+        return False
+
+
+class _RouterBadRequest(Exception):
+    pass
+
+
+class _RouterServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class ReplicatedService:
+    """The HTTP router over a :class:`WorkerPool`.
+
+    Speaks the same wire protocol as
+    :class:`~repro.service.server.ExplorationService`, so the stock
+    :class:`~repro.service.client.ExplorationClient` works unchanged —
+    the replication tier is invisible to clients except in ``/healthz``'s
+    ``replicas`` section and the worker tags inside session ids.
+    """
+
+    def __init__(
+        self, pool: WorkerPool, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.pool = pool
+        self._httpd = _RouterServer((host, port), partial(_RouterHandler, self))
+        self.host, self.port = self._httpd.server_address[:2]
+        self._serve_thread: Optional[threading.Thread] = None
+        self._started_at = time.monotonic()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReplicatedService":
+        if self._serve_thread is not None:
+            raise RuntimeError("router already started")
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-router:{self.port}",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def stop(self, stop_pool: bool = True) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        if stop_pool:
+            self.pool.stop()
+
+    def __enter__(self) -> "ReplicatedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- aggregation -----------------------------------------------------
+
+    def session_ids(self) -> list[str]:
+        ids: list[str] = []
+        for replica in self.pool.alive_replicas():
+            try:
+                connection = http.client.HTTPConnection(
+                    self.pool.host, replica.port, timeout=5.0
+                )
+                try:
+                    connection.request("GET", "/v1/sessions")
+                    response = connection.getresponse()
+                    payload = json.loads(response.read().decode("utf-8"))
+                    ids.extend(payload.get("sessions", []))
+                finally:
+                    connection.close()
+            except (OSError, ValueError, http.client.HTTPException):
+                self.pool._mark_dead(replica)
+                self.pool._respawn_async(replica.index)
+        return sorted(ids)
+
+    def health(self) -> dict:
+        pool_stats = self.pool.stats()
+        alive = pool_stats["alive"]
+        degraded = alive < self.pool.n_workers or any(
+            row.get("degraded") for row in pool_stats["replicas"]
+        )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "pool": pool_stats,
+            "replicas": pool_stats["replicas"],
+        }
+
+    def spaces_payload(self) -> dict:
+        name = self.pool.space_name or "default"
+        pool_stats = self.pool.stats()
+        return {
+            "spaces": [
+                {
+                    "name": name,
+                    "state": "ready" if pool_stats["alive"] else "down",
+                    "epoch": pool_stats["epoch"],
+                    "digest": pool_stats["digest"],
+                    "replicas": pool_stats["replicas"],
+                }
+            ],
+            "default": name,
+        }
+
+
+def serve_replicated(
+    dataset,
+    space,
+    index=None,
+    *,
+    workers: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **pool_kwargs,
+) -> ReplicatedService:
+    """Convenience: build the pool, start the router, return it running."""
+    pool = WorkerPool(
+        dataset, space, index, workers=workers, host=host, **pool_kwargs
+    )
+    try:
+        return ReplicatedService(pool, host=host, port=port).start()
+    except BaseException:
+        pool.stop()
+        raise
+
+
+__all__ = [
+    "ReplicatedService",
+    "WorkerPool",
+    "WorkerUnavailable",
+    "serve_replicated",
+]

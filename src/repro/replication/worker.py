@@ -1,0 +1,203 @@
+"""One replica process: attach the arena, serve, obey the parent.
+
+A worker is the existing single-space serving stack —
+:class:`~repro.core.runtime.GroupSpaceRuntime` +
+:class:`~repro.core.runtime.SessionManager` +
+:class:`~repro.service.server.ExplorationService` — booted over artifacts
+*mapped* from the parent's shared-memory arena instead of built locally.
+The only additions are the ``w<index>-`` session-id prefix (which makes
+ids and resume tokens route back to this replica) and a
+:class:`WorkerControl` mounted on the service's ``POST /internal/<verb>``
+namespace:
+
+- ``ping`` — liveness + epoch/digest/session counters for ``/healthz``;
+- ``rebind`` — the parent published a new epoch's arena: attach it
+  (digest-verified), invalidate the stale pool fingerprints (computed
+  here, against *this* process's current space — fingerprints are
+  process-local), and adopt the new epoch.  Sessions pinned to older
+  epochs keep serving them; the attachments are retained so their mapped
+  arrays stay valid even after the parent unlinks the segment names;
+- ``drain`` — checkpoint every live session and exit cleanly (the same
+  path the ``SIGTERM``/``SIGINT`` handlers take), so worker recycling
+  never loses a walk.
+
+``worker_main`` is a module-level entry point because the pool spawns
+workers with the ``spawn`` start method (no fork(): a forked CPython
+inherits the parent's locks, sockets and signal state, all wrong here).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+import traceback
+from typing import Optional
+
+from repro.replication.arena import AttachedArena, attach_arena
+
+
+class WorkerControl:
+    """The parent-facing command surface of one worker."""
+
+    def __init__(self, manager, runtime, tag: str, worker_index: int) -> None:
+        self.manager = manager
+        self.runtime = runtime
+        self.tag = tag
+        self.worker_index = worker_index
+        self.drain_event = threading.Event()
+        #: Attachments by digest.  Never dropped while the process lives:
+        #: a session pinned to an old epoch reads arrays mapped from the
+        #: old segment, and unmapping them under it would be a crash, not
+        #: a cleanup.  The set is bounded by the parent's retention
+        #: window times the worker's lifetime between recycles.
+        self.attachments: dict[str, AttachedArena] = {}
+        self._rebind_lock = threading.Lock()
+
+    def describe(self) -> dict:
+        return {
+            "ok": True,
+            "pid": os.getpid(),
+            "worker": self.worker_index,
+            "epoch": self.runtime.epoch,
+            "digest": self.runtime.membership_digest(),
+            "sessions": len(self.manager),
+            "degraded": self.manager.degraded,
+        }
+
+    def handle(self, verb: str, body: dict) -> dict:
+        if verb == "ping":
+            return self.describe()
+        if verb == "rebind":
+            return self.rebind(body)
+        if verb == "drain":
+            return self.drain()
+        raise KeyError(f"unknown internal verb {verb!r}")
+
+    def rebind(self, body: dict) -> dict:
+        digest = body.get("digest")
+        if not isinstance(digest, str) or not digest:
+            raise ValueError("rebind needs the new epoch's digest")
+        epoch = body.get("epoch")
+        if not isinstance(epoch, int):
+            raise ValueError("rebind needs the new epoch number")
+        changed_old = body.get("changed_old") or []
+        with self._rebind_lock:
+            if self.runtime.membership_digest() == digest:
+                report = {"epoch": self.runtime.epoch, "digest": digest,
+                          "noop": True}
+            else:
+                attached = attach_arena(self.tag, digest)
+                report = self.runtime.adopt_epoch(
+                    attached.group_space(self.runtime.space.dataset),
+                    attached.similarity_index(),
+                    stale_gids=[int(gid) for gid in changed_old],
+                    digest=digest,
+                    epoch_number=epoch,
+                )
+                self.attachments[digest] = attached
+        report.update(self.describe())
+        return report
+
+    def drain(self) -> dict:
+        summary = {"draining": True, **self.describe()}
+        # The reply goes out before the service stops: the event is only
+        # *set* here, the main thread does the checkpoint + exit.
+        self.drain_event.set()
+        return summary
+
+
+def _graceful_exit(manager, service, attachments=()) -> None:
+    """Checkpoint every live session, then stop serving.
+
+    ``evict_idle(0.0)`` persists (snapshot or journal-compact, per the
+    manager's durability mode) and retires every session, so a recycled
+    worker's walks resume bitwise-identical from the shared state
+    directory — the drain contract the regression suite asserts.  The
+    arena attachments are closed last: mappings with views still live
+    stay mapped (exit reclaims them), but the close keeps the interpreter
+    shutdown free of finalizer noise.
+    """
+    if manager.state_dir is not None:
+        try:
+            manager.evict_idle(0.0)
+        except Exception:
+            traceback.print_exc(file=sys.stderr)
+    service.stop()
+    for attached in list(attachments):
+        attached.close()
+
+
+def worker_main(spec: dict, ready_conn) -> int:
+    """Boot one replica from a parent-built spec; blocks until drained.
+
+    ``spec`` carries only picklable boot material (the dataset, the
+    arena address, manager knobs); everything heavy is mapped from the
+    arena.  ``ready_conn`` receives exactly one message: ``{"ok": True,
+    "port", "pid", ...}`` once the HTTP front is listening, or ``{"ok":
+    False, "error"}`` when boot failed (digest mismatch, missing
+    segment) — the parent decides what to do about it.
+    """
+    from repro.core.runtime import GroupSpaceRuntime, SessionManager
+    from repro.service.server import ExplorationService
+
+    tag = spec["tag"]
+    worker_index = int(spec["worker_index"])
+    try:
+        attached = attach_arena(tag, spec["digest"])
+        runtime = GroupSpaceRuntime.from_arena(
+            spec["dataset"],
+            attached,
+            name=spec.get("space_name"),
+        )
+        manager = SessionManager(
+            runtime,
+            default_config=spec.get("default_config"),
+            max_sessions=spec.get("max_sessions"),
+            state_dir=spec.get("state_dir"),
+            id_prefix=f"w{worker_index}-",
+            durability=spec.get("durability", "snapshot"),
+            compact_every=spec.get("compact_every", 64),
+        )
+        control = WorkerControl(manager, runtime, tag, worker_index)
+        control.attachments[attached.digest] = attached
+        service = ExplorationService(
+            manager,
+            host=spec.get("host", "127.0.0.1"),
+            port=int(spec.get("port", 0)),
+            control=control,
+        ).start()
+    except BaseException as error:  # noqa: BLE001 — report boot failures
+        ready_conn.send(
+            {"ok": False, "error": f"{type(error).__name__}: {error}"}
+        )
+        ready_conn.close()
+        return 1
+
+    def _on_signal(signum, frame) -> None:
+        control.drain_event.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+    ready_conn.send(
+        {
+            "ok": True,
+            "port": service.port,
+            "pid": os.getpid(),
+            "worker": worker_index,
+            "epoch": runtime.epoch,
+            "digest": runtime.membership_digest(),
+        }
+    )
+    ready_conn.close()
+
+    control.drain_event.wait()
+    _graceful_exit(manager, service, control.attachments.values())
+    return 0
+
+
+def _worker_entry(spec: dict, ready_conn) -> None:
+    """The ``Process(target=...)`` shim: exit with ``worker_main``'s code."""
+    sys.exit(worker_main(spec, ready_conn))

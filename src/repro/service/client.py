@@ -455,5 +455,15 @@ class ExplorationClient:
     def health(self) -> dict:
         return self._request("GET", "/healthz")
 
+    def replicas(self) -> list[dict]:
+        """Per-replica liveness rows when the server is a worker pool.
+
+        A replicated front (``serve --workers N``) reports one row per
+        worker — index, pid, liveness, restart count, bound epoch — in
+        ``/healthz``; a single-process server reports none, so this
+        returns ``[]`` there and callers need no mode check.
+        """
+        return list(self.health().get("replicas") or [])
+
     def __repr__(self) -> str:
         return f"ExplorationClient(http://{self.host}:{self.port})"

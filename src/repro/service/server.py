@@ -142,6 +142,76 @@ def _display_payload(groups: list[Group]) -> list[dict]:
     ]
 
 
+def _member_list(value, where: str) -> list[int]:
+    if not isinstance(value, list) or not value:
+        raise _BadRequest(f"{where} must be a non-empty list of user ids")
+    members = []
+    for user in value:
+        if isinstance(user, bool) or not isinstance(user, int):
+            raise _BadRequest(f"{where} entries must be integers")
+        members.append(user)
+    return members
+
+
+def parse_mutation(body: dict) -> tuple[GroupDelta, bool]:
+    """Validate a ``POST /spaces/<name>/mutate`` body into a delta.
+
+    Shared by the single-process handler above and the replication
+    router (which forwards the parsed delta to its worker pool), so both
+    fronts reject malformed mutations with identical 400s.  Returns
+    ``(delta, verify)``; every violation raises the handler-mapped
+    :class:`_BadRequest`.
+    """
+    unknown = set(body) - {"add", "remove", "update", "verify"}
+    if unknown:
+        raise _BadRequest(f"unknown mutate fields {sorted(unknown)}")
+    verify = body.get("verify", False)
+    if not isinstance(verify, bool):
+        raise _BadRequest("verify must be a boolean")
+    added = []
+    for i, item in enumerate(body.get("add") or []):
+        if not isinstance(item, dict) or set(item) - {"description", "members"}:
+            raise _BadRequest(
+                "add entries must be {description, members} objects"
+            )
+        description = item.get("description")
+        if not isinstance(description, list) or not all(
+            isinstance(term, str) for term in description
+        ):
+            raise _BadRequest(
+                f"add[{i}].description must be a list of strings"
+            )
+        added.append(
+            (description, _member_list(item.get("members"), f"add[{i}].members"))
+        )
+    removed = []
+    for gid in body.get("remove") or []:
+        if isinstance(gid, bool) or not isinstance(gid, int):
+            raise _BadRequest("remove entries must be integer gids")
+        removed.append(gid)
+    changed = []
+    for i, item in enumerate(body.get("update") or []):
+        if not isinstance(item, dict) or set(item) - {"gid", "members"}:
+            raise _BadRequest(
+                "update entries must be {gid, members} objects"
+            )
+        gid = item.get("gid")
+        if isinstance(gid, bool) or not isinstance(gid, int):
+            raise _BadRequest(f"update[{i}].gid must be an integer")
+        changed.append(
+            (gid, _member_list(item.get("members"), f"update[{i}].members"))
+        )
+    try:
+        delta = GroupDelta.build(added=added, removed=removed, changed=changed)
+    except ValueError as error:
+        # Shape-level rejection (duplicate targets, negative members):
+        # the request itself is malformed, not a state conflict.
+        raise _BadRequest(str(error))
+    if delta.is_empty():
+        raise _BadRequest("mutation delta is empty")
+    return delta, verify
+
+
 def _int_field(body: dict, name: str) -> int:
     if name not in body:
         raise _BadRequest(f"missing field {name!r}")
@@ -382,6 +452,17 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return True
         segments = [segment for segment in path.split("/") if segment]
+        if len(segments) == 2 and segments[0] == "internal":
+            control = self.service.control
+            if control is None:
+                return False  # not a replication worker: plain 404
+            if method != "POST":
+                self._fail(
+                    405, "method_not_allowed", "use POST /internal/<verb>"
+                )
+                return True
+            self._reply(200, control.handle(segments[1], self._body()))
+            return True
         if (
             len(segments) == 3
             and segments[0] == "spaces"
@@ -500,67 +581,8 @@ class _Handler(BaseHTTPRequestHandler):
             reply["space"] = space_name
         self._reply(200, reply)
 
-    @staticmethod
-    def _member_list(value, where: str) -> list[int]:
-        if not isinstance(value, list) or not value:
-            raise _BadRequest(f"{where} must be a non-empty list of user ids")
-        members = []
-        for user in value:
-            if isinstance(user, bool) or not isinstance(user, int):
-                raise _BadRequest(f"{where} entries must be integers")
-            members.append(user)
-        return members
-
     def _mutate(self, space_name: str, body: dict) -> None:
-        unknown = set(body) - {"add", "remove", "update", "verify"}
-        if unknown:
-            raise _BadRequest(f"unknown mutate fields {sorted(unknown)}")
-        verify = body.get("verify", False)
-        if not isinstance(verify, bool):
-            raise _BadRequest("verify must be a boolean")
-        added = []
-        for i, item in enumerate(body.get("add") or []):
-            if not isinstance(item, dict) or set(item) - {"description", "members"}:
-                raise _BadRequest(
-                    "add entries must be {description, members} objects"
-                )
-            description = item.get("description")
-            if not isinstance(description, list) or not all(
-                isinstance(term, str) for term in description
-            ):
-                raise _BadRequest(
-                    f"add[{i}].description must be a list of strings"
-                )
-            added.append(
-                (description, self._member_list(item.get("members"), f"add[{i}].members"))
-            )
-        removed = []
-        for gid in body.get("remove") or []:
-            if isinstance(gid, bool) or not isinstance(gid, int):
-                raise _BadRequest("remove entries must be integer gids")
-            removed.append(gid)
-        changed = []
-        for i, item in enumerate(body.get("update") or []):
-            if not isinstance(item, dict) or set(item) - {"gid", "members"}:
-                raise _BadRequest(
-                    "update entries must be {gid, members} objects"
-                )
-            gid = item.get("gid")
-            if isinstance(gid, bool) or not isinstance(gid, int):
-                raise _BadRequest(f"update[{i}].gid must be an integer")
-            changed.append(
-                (gid, self._member_list(item.get("members"), f"update[{i}].members"))
-            )
-        try:
-            delta = GroupDelta.build(
-                added=added, removed=removed, changed=changed
-            )
-        except ValueError as error:
-            # Shape-level rejection (duplicate targets, negative members):
-            # the request itself is malformed, not a state conflict.
-            raise _BadRequest(str(error))
-        if delta.is_empty():
-            raise _BadRequest("mutation delta is empty")
+        delta, verify = parse_mutation(body)
         self._reply(200, self.service.mutate(space_name, delta, verify=verify))
 
 
@@ -593,6 +615,7 @@ class ExplorationService:
         idle_ttl_s: Optional[float] = None,
         sweep_interval_s: Optional[float] = None,
         registry: Optional[SpaceRegistry] = None,
+        control: Optional[object] = None,
     ) -> None:
         if (manager is None) == (registry is None):
             raise ValueError("pass exactly one of manager= or registry=")
@@ -614,6 +637,12 @@ class ExplorationService:
             )
         self.manager = manager
         self.registry = registry
+        #: Replication hook: a worker process mounts its parent-facing
+        #: command surface here (``POST /internal/<verb>`` → ``control
+        #: .handle(verb, body)``).  ``None`` — every deployment except a
+        #: replication worker — keeps the namespace a plain 404, so the
+        #: verbs are unreachable on public-facing services.
+        self.control = control
         self.idle_ttl_s = idle_ttl_s
         # Registry mode always runs the sweeper: TTLs (and whole spaces)
         # may be registered after the service started, so the decision

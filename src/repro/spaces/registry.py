@@ -141,6 +141,7 @@ class SpaceRegistry:
         checkpoint_interactions: bool = True,
         durability: str = "snapshot",
         compact_every: int = 64,
+        id_tag: str = "",
     ) -> None:
         if max_ready is not None and max_ready < 1:
             raise ValueError("max_ready must be >= 1")
@@ -169,6 +170,11 @@ class SpaceRegistry:
         #: into its snapshot before the space's runtime is dropped.
         self.durability = durability
         self.compact_every = compact_every
+        #: Deployment tag minted in front of every space's session-id
+        #: prefix (ids become ``{id_tag}{space}-s0001``).  The
+        #: replication tier sets ``w<index>-`` here so ids and resume
+        #: tokens carry the worker that owns their in-memory state.
+        self.id_tag = id_tag
         self._entries: dict[str, _SpaceEntry] = {}
         self._order: list[str] = []  # registration order; [0] is default
         self._lock = threading.Lock()
@@ -339,7 +345,7 @@ class SpaceRegistry:
                     self.state_dir / name if self.state_dir is not None else None
                 ),
                 checkpoint_interactions=self.checkpoint_interactions,
-                id_prefix=f"{name}-",
+                id_prefix=f"{self.id_tag}{name}-",
                 durability=self.durability,
                 compact_every=self.compact_every,
             )
@@ -573,6 +579,29 @@ class SpaceRegistry:
                 if entry.manager is not None
             ]
         return sum(1 for manager in managers if manager.degraded)
+
+    def drain(self) -> dict[str, int]:
+        """Checkpoint + retire every live session in every ready space.
+
+        The graceful-shutdown primitive behind ``cli serve``'s
+        ``SIGTERM`` handler (and worker recycling in the replication
+        tier): each ready manager persists and deregisters all of its
+        sessions — journal mode compacts them — so every walk resumes
+        bitwise-identical after a restart.  Needs a ``state_dir``;
+        without one there is nowhere to checkpoint and this is a no-op.
+        Returns per-space drained-session counts.
+        """
+        if self.state_dir is None:
+            return {}
+        with self._lock:
+            ready = [
+                (name, entry.manager)
+                for name, entry in self._entries.items()
+                if entry.state == "ready" and entry.manager is not None
+            ]
+        return {
+            name: len(manager.evict_idle(0.0)) for name, manager in ready
+        }
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the build workers (pending builds finish when ``wait``)."""

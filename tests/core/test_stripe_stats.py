@@ -1,0 +1,53 @@
+"""Per-stripe cache observability (tier-1, in-process).
+
+``SharedPairCache.stats()`` used to report only global counters, which
+made replica-vs-single-process cache behaviour undiagnosable: a skewed
+stripe (one hot lock, one full shard evicting) looked identical to a
+balanced cache.  The stats now carry per-stripe occupancy, and the
+payload flows unchanged through ``runtime.stats()`` → ``manager`` →
+``/healthz``, so one probe shows the distribution on any serving tier.
+"""
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.runtime import GroupSpaceRuntime, SharedPairCache
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+
+
+def test_stats_report_per_stripe_occupancy():
+    shared = SharedPairCache(stripes=4)
+    entries = {
+        (("pair", i), ("pair", i + 1)): float(i) for i in range(0, 40, 2)
+    }
+    assert shared.publish_pairs(entries, shared.version)
+    counters = shared.stats()
+    assert counters["stripes"] == 4
+    assert len(counters["stripe_entries"]) == 4
+    assert sum(counters["stripe_entries"]) == counters["pair_entries"] == 20
+    assert counters["stripe_min"] == min(counters["stripe_entries"])
+    assert counters["stripe_max"] == max(counters["stripe_entries"])
+    assert counters["stripe_capacity"] >= counters["stripe_max"]
+
+
+def test_empty_cache_reports_zero_stripes_consistently():
+    shared = SharedPairCache(stripes=2)
+    counters = shared.stats()
+    assert counters["stripe_entries"] == [0, 0]
+    assert counters["stripe_min"] == counters["stripe_max"] == 0
+    assert counters["pair_entries"] == 0
+
+
+def test_occupancy_flows_through_healthz():
+    from repro.core.runtime import SessionManager
+    from repro.service.server import ExplorationService
+
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=150, seed=11))
+    space = discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.08, max_description=3),
+    )
+    manager = SessionManager(GroupSpaceRuntime(space))
+    service = ExplorationService(manager)
+    shared = service.health()["manager"]["runtime"]["shared"]
+    assert "stripe_entries" in shared
+    assert len(shared["stripe_entries"]) == shared["stripes"]
+    assert sum(shared["stripe_entries"]) == shared["pair_entries"]

@@ -1,0 +1,196 @@
+"""Shared-memory arena contracts: zero-copy parity, digest refusal, sweep.
+
+The arena is the replication tier's perf core — workers map each epoch's
+immutable artifacts instead of rebuilding them — so these tests pin the
+three claims everything above it leans on:
+
+- **round-trip parity** — a space/index rebuilt from mapped views is
+  indistinguishable from the originals: same groups, bitwise-equal
+  prefix arrays, identical scripted-walk displays via
+  ``GroupSpaceRuntime.from_arena``;
+- **digest refusal** — an attach whose mapped bytes do not hash to the
+  manifest digest raises the typed :class:`ArenaDigestMismatch` instead
+  of serving wrong neighbors (the shared-memory mirror of
+  ``load_index``'s stale-store refusal);
+- **explicit lifetime** — segments are content-addressed, publish is
+  idempotent, and the startup sweep removes everything a dead publisher
+  left under its tag.
+
+All in-process (publish + attach in one process maps the same pages),
+so the file runs in tier-1; the multi-process claims live in
+``test_pool.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.runtime import GroupSpaceRuntime, scripted_click_gid
+from repro.core.session import SessionConfig
+from repro.core.similarity import membership_matrix, membership_matrix_from_csr
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+from repro.index.inverted import SimilarityIndex
+from repro.replication import (
+    ArenaDigestMismatch,
+    arena_name,
+    attach_arena,
+    list_segments,
+    publish_arena,
+    sweep_orphans,
+)
+
+TAG = "arenatest"
+
+
+@pytest.fixture(scope="module")
+def space():
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=200, seed=31))
+    return discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.07, max_description=3),
+    )
+
+
+@pytest.fixture(scope="module")
+def index(space):
+    return SimilarityIndex(
+        [group.members for group in space],
+        space.dataset.n_users,
+        materialize_fraction=0.10,
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_segments():
+    sweep_orphans(TAG)
+    yield
+    sweep_orphans(TAG)
+
+
+def untimed_config() -> SessionConfig:
+    return SessionConfig(k=5, time_budget_ms=None, use_profile=False)
+
+
+def scripted_displays(runtime, clicks: int) -> list[list[int]]:
+    session = runtime.create_session(untimed_config())
+    shown = session.start()
+    displays, visited = [], set()
+    for _ in range(clicks):
+        shown = session.click(scripted_click_gid(shown, visited))
+        displays.append([group.gid for group in shown])
+    return displays
+
+
+class TestRoundTrip:
+    def test_attached_space_and_index_match_originals(self, space, index):
+        published = publish_arena(space, index, TAG)
+        attached = attach_arena(TAG, published.digest)
+        assert attached.verified
+        assert attached.digest == published.digest
+
+        rebuilt = attached.group_space(space.dataset)
+        assert len(rebuilt) == len(space)
+        for gid in range(len(space)):
+            assert rebuilt[gid].description == tuple(space[gid].description)
+            assert np.array_equal(rebuilt[gid].members, space[gid].members)
+
+        borrowed = attached.similarity_index()
+        assert borrowed.parity_with(index)
+
+    def test_mapped_views_are_zero_copy_and_read_only(self, space, index):
+        published = publish_arena(space, index, TAG)
+        attached = attach_arena(TAG, published.digest)
+        ids = attached.array("prefix_ids")
+        # A view over the segment, not a copy of it…
+        assert ids.base is not None
+        with pytest.raises(ValueError):
+            ids[0] = -1
+        # …and the groups borrow it too: int64 members re-wrap without
+        # copying (the Group constructor's asarray is a no-op view).
+        rebuilt = attached.group_space(space.dataset)
+        assert rebuilt[0].members.flags.writeable is False
+
+    def test_from_arena_runtime_replays_identically(self, space, index):
+        oracle = scripted_displays(
+            GroupSpaceRuntime(space, share_cache=False), clicks=4
+        )
+        published = publish_arena(space, index, TAG)
+        attached = attach_arena(TAG, published.digest)
+        runtime = GroupSpaceRuntime.from_arena(space.dataset, attached)
+        assert runtime.membership_digest() == published.digest
+        assert scripted_displays(runtime, clicks=4) == oracle
+
+    def test_matrix_from_csr_matches_membership_matrix(self, space):
+        memberships = [group.members for group in space]
+        indptr = np.zeros(len(memberships) + 1, dtype=np.int64)
+        np.cumsum([len(m) for m in memberships], out=indptr[1:])
+        indices = np.concatenate(memberships).astype(np.int64)
+        direct = membership_matrix(memberships, space.dataset.n_users)
+        from_csr = membership_matrix_from_csr(
+            indices, indptr, space.dataset.n_users
+        )
+        assert (direct != from_csr).nnz == 0
+
+
+class TestLifetime:
+    def test_publish_is_idempotent_per_digest(self, space, index):
+        first = publish_arena(space, index, TAG)
+        second = publish_arena(space, index, TAG)
+        assert first.name == second.name == arena_name(TAG, first.digest)
+        assert list_segments(TAG).count(first.name) <= 1
+
+    def test_sweep_removes_everything_under_the_tag(self, space, index):
+        published = publish_arena(space, index, TAG)
+        assert published.name in list_segments(TAG)
+        removed = sweep_orphans(TAG)
+        assert published.name in removed
+        assert list_segments(TAG) == []
+        with pytest.raises(FileNotFoundError):
+            attach_arena(TAG, published.digest)
+
+    def test_missing_segment_is_a_file_not_found(self):
+        with pytest.raises(FileNotFoundError):
+            attach_arena(TAG, "0" * 64)
+
+
+class TestDigestRefusal:
+    def test_corrupt_payload_refuses_with_typed_error(self, space, index):
+        """Flipped membership bytes must never serve (satellite 3).
+
+        The manifest digest in the header promises specific membership
+        bytes; attach recomputes the digest over the *mapped* views and
+        a disagreement is a typed refusal — a worker must not come up
+        over a corrupt or foreign segment and show wrong neighbors.
+        """
+        published = publish_arena(space, index, TAG)
+        peek = attach_arena(TAG, published.digest, verify=False)
+        offset = peek.header["arrays"]["member_indices"]["offset"]
+        peek.shm.buf[offset] ^= 0xFF
+        with pytest.raises(ArenaDigestMismatch) as excinfo:
+            attach_arena(TAG, published.digest)
+        assert published.digest[:12] in str(excinfo.value)
+
+    def test_unverified_attach_is_flagged(self, space, index):
+        published = publish_arena(space, index, TAG)
+        attached = attach_arena(TAG, published.digest, verify=False)
+        assert attached.verified is False
+
+
+class TestFromArraysValidation:
+    def test_rejects_inconsistent_indptr(self, space, index):
+        published = publish_arena(space, index, TAG)
+        attached = attach_arena(TAG, published.digest)
+        with pytest.raises(ValueError):
+            SimilarityIndex.from_arrays(
+                attached.memberships(),
+                space.dataset.n_users,
+                0.10,
+                prefix_ids=attached.array("prefix_ids")[:-1],
+                prefix_sims=attached.array("prefix_sims"),
+                prefix_indptr=attached.array("prefix_indptr"),
+                prefix_complete=attached.array("prefix_complete"),
+                reserve_ids=attached.array("reserve_ids"),
+                reserve_sims=attached.array("reserve_sims"),
+                reserve_indptr=attached.array("reserve_indptr"),
+                tail_complete=attached.array("tail_complete"),
+            )

@@ -26,6 +26,12 @@ stress: a thread publishes store epochs as fast as it can while the N
 clients click, and every client must still see bitwise the displays of
 a quiesced solo run — epoch pinning makes online mutation invisible to
 open sessions, under both durability modes.
+
+``REPRO_TEST_WORKERS=N`` (N >= 2) arms the replicated variant: the same
+contended-parity claim re-proven against a real N-worker pool (spawned
+replicas attached zero-copy to the shared-memory arena, sticky router
+in front) — displays compared only, since sessions live in worker
+processes the test cannot reach into.
 """
 
 import os
@@ -51,6 +57,7 @@ N_CLIENTS = 6
 N_CLICKS = 4
 DURABILITY = os.environ.get("REPRO_TEST_DURABILITY", "snapshot")
 MUTATION = os.environ.get("REPRO_TEST_MUTATION", "") == "1"
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "0") or 0)
 
 
 @pytest.fixture(scope="module")
@@ -292,3 +299,62 @@ class TestDurableUnderContention:
                 )
                 assert torn == 0
                 assert [r["kind"] for r in records] == ["genesis"]
+
+
+@pytest.mark.replication
+@pytest.mark.skipif(
+    WORKERS < 2,
+    reason="set REPRO_TEST_WORKERS>=2 to run the replicated-pool stress",
+)
+class TestReplicatedContention:
+    def test_contended_clients_match_solo_across_workers(
+        self, space, tmp_path
+    ):
+        """N clients through a real worker pool still replay the oracle.
+
+        The strongest cross-process parity claim: every walk is bitwise
+        the quiesced solo run even though the clients are spread over
+        ``WORKERS`` spawned replicas serving zero-copy arena views, with
+        per-click checkpoints into a shared state directory under the
+        selected durability mode.  Only displays are compared — the
+        sessions' feedback vectors live in the worker processes.
+        """
+        from repro.replication import serve_replicated
+
+        expected_displays, _expected_feedback = solo_replay(space, N_CLICKS)
+        service = serve_replicated(
+            space.dataset,
+            space,
+            workers=WORKERS,
+            tag=f"conc{os.getpid()}",
+            state_dir=tmp_path,
+            space_name="conc",
+            default_config=untimed_config(),
+            durability=DURABILITY,
+        )
+        try:
+
+            def walk(_client_index: int):
+                with ExplorationClient(service.host, service.port) as client:
+                    opened = client.open()
+                    shown = opened.display
+                    displays = []
+                    visited: set[int] = set()
+                    for _ in range(N_CLICKS):
+                        shown = client.click(
+                            opened.session_id,
+                            scripted_click_gid(shown, visited),
+                        )
+                        displays.append([group.gid for group in shown])
+                    client.close(opened.session_id)
+                    return opened.session_id, displays
+
+            with ThreadPoolExecutor(max_workers=N_CLIENTS) as executor:
+                outcomes = list(executor.map(walk, range(N_CLIENTS)))
+        finally:
+            service.stop()
+        # Contention genuinely spanned replicas…
+        assert len({sid.split("-")[0] for sid, _ in outcomes}) == WORKERS
+        # …and the wire + process + arena layers are invisible.
+        for _sid, displays in outcomes:
+            assert displays == expected_displays
