@@ -147,6 +147,24 @@ REPLICATION_ATTACH_SMOKE_GATE = 3.0
 REPLICATION_THROUGHPUT_GATE = 2.0
 REPLICATION_THROUGHPUT_SMOKE_GATE = 0.2
 
+#: Gates on the composed multi-space replicated tier.  *Overhead*: a
+#: click routed through the registry-composed pool (worker tag + space
+#: prefix parsing, per-space forwarding) must cost at most this much
+#: over the single-space replicated click p50 — composition is routing
+#: arithmetic, not another serving layer.  *Warm boot*: restoring a
+#: space's arena from the on-disk snapshot cache must beat the cold
+#: discovery + index build + publish path by at least this factor (the
+#: whole point of ``--arena-cache``); smoke bars are loose because both
+#: arms are tiny there.  Like the throughput gate above, the overhead
+#: bar only applies when the box can actually host the fleet
+#: (``cpu_count >= workers + 2``) — on a starved runner both pools
+#: timeshare one core and the p50 delta measures scheduler jitter, not
+#: routing arithmetic; the harness still measures and reports.
+REPLICATION_SPACES_OVERHEAD_GATE_MS = 2.0
+REPLICATION_SPACES_OVERHEAD_SMOKE_GATE_MS = 5.0
+ARENA_CACHE_WARM_GATE = 3.0
+ARENA_CACHE_WARM_SMOKE_GATE = 1.2
+
 
 def c2_pools(n_parents: int) -> list[tuple]:
     """C2's unit: the 200-candidate neighborhoods of large dbauthors groups."""
@@ -1217,6 +1235,191 @@ def measure_replication(workers: int, sessions: int, clicks: int) -> dict:
     }
 
 
+def measure_replication_spaces(workers: int, clicks: int) -> dict:
+    """The registry-composed replicated tier vs its single-space twin.
+
+    Two claims from the PR 9 composition.  *Routed overhead*: a click
+    through ``MultiSpaceWorkerPool`` (composed ``w<i>-<space>-s0001``
+    ids, per-space forwarding) must sit within a small constant of the
+    single-space ``WorkerPool`` click p50 over the *same* space and
+    fleet size — gated.  *Warm boot*: re-creating a space's arena from
+    the ``--arena-cache`` snapshot (mmap + verified attach + zero-copy
+    runtime) must beat the cold path it replaces (discovery + index
+    build + publish) by a gated factor; dataset synthesis is excluded
+    from both arms since both perform it identically.  *Parity*
+    (untimed): the composed walk shows bitwise the solo session's
+    displays.
+    """
+    import os
+
+    from repro.core.discovery import DiscoveryConfig, discover_groups
+    from repro.replication import (
+        attach_arena,
+        load_arena_cache,
+        publish_arena,
+        save_arena_cache,
+        serve_replicated,
+        serve_replicated_spaces,
+        sweep_orphans,
+    )
+    from repro.service.client import ExplorationClient
+    from repro.spaces.descriptor import SpaceDescriptor
+
+    config = SessionConfig(k=5, time_budget_ms=None, use_profile=False)
+    tag = f"benchspaces{os.getpid()}"
+    space = dbauthors_space()
+    index = SimilarityIndex(
+        [group.members for group in space], space.dataset.n_users, 0.10
+    )
+
+    # -- oracle walk ------------------------------------------------------
+    oracle_session = GroupSpaceRuntime(space, share_cache=False).create_session(
+        config
+    )
+    shown = oracle_session.start()
+    oracle: list[list[int]] = []
+    visited: set[int] = set()
+    for _ in range(clicks):
+        shown = oracle_session.click(scripted_click_gid(shown, visited))
+        oracle.append([group.gid for group in shown])
+
+    def timed_walk(host: str, port: int, space_name=None):
+        with ExplorationClient(host, port) as client:
+            opened = client.open_when_ready(space=space_name, timeout_s=300.0)
+            shown = opened.display
+            seen: set[int] = set()
+            samples, displays = [], []
+            for _ in range(clicks):
+                gid = scripted_click_gid(shown, seen)
+                started = time.perf_counter()
+                shown = client.click(opened.session_id, gid)
+                samples.append((time.perf_counter() - started) * 1000.0)
+                displays.append([group.gid for group in shown])
+            return statistics.median(samples), displays
+
+    sweep_orphans(tag)
+    sweep_orphans(f"{tag}m")
+    try:
+        with tempfile.TemporaryDirectory(prefix="bench-spaces-") as scratch:
+            # -- single-space replicated baseline ------------------------
+            single = serve_replicated(
+                space.dataset,
+                space,
+                index,
+                workers=workers,
+                tag=tag,
+                state_dir=Path(scratch) / "single",
+                space_name="bench",
+                default_config=config,
+            )
+            try:
+                timed_walk(single.host, single.port)  # warmup
+                single_p50, single_displays = timed_walk(
+                    single.host, single.port
+                )
+            finally:
+                single.stop()
+
+            # -- the composed registry pool, same space + a sibling ------
+            composed = serve_replicated_spaces(
+                [
+                    SpaceDescriptor(
+                        name="bench",
+                        generator={"kind": "dbauthors", "seed": 11},
+                        discovery={
+                            "method": "lcm",
+                            "min_support": 0.04,
+                            "max_description": 3,
+                        },
+                    ),
+                    SpaceDescriptor(
+                        name="sibling",
+                        generator={
+                            "kind": "dbauthors",
+                            "n_authors": 300,
+                            "seed": 7,
+                        },
+                        discovery={
+                            "method": "lcm",
+                            "min_support": 0.08,
+                            "max_description": 3,
+                        },
+                    ),
+                ],
+                workers=workers,
+                tag=f"{tag}m",
+                state_dir=Path(scratch) / "spaces",
+                default_config=config,
+            )
+            try:
+                timed_walk(composed.host, composed.port, "bench")  # warmup
+                spaces_p50, spaces_displays = timed_walk(
+                    composed.host, composed.port, "bench"
+                )
+            finally:
+                composed.stop()
+
+        # -- arena-cache warm boot vs cold publish -----------------------
+        with tempfile.TemporaryDirectory(prefix="bench-arena-cache-") as cache:
+            started = time.perf_counter()
+            cold_space = discover_groups(
+                space.dataset,
+                DiscoveryConfig(
+                    method="lcm", min_support=0.04, max_description=3
+                ),
+            )
+            cold_index = SimilarityIndex(
+                [group.members for group in cold_space],
+                cold_space.dataset.n_users,
+                0.10,
+            )
+            published = publish_arena(cold_space, cold_index, tag)
+            cold_ms = (time.perf_counter() - started) * 1000.0
+            save_arena_cache(published, tag, cache)
+            published.unlink()
+            published.close()
+
+            started = time.perf_counter()
+            loaded = load_arena_cache(tag, cache)
+            attached = attach_arena(tag, loaded.digest)
+            warm_runtime = GroupSpaceRuntime.from_arena(
+                space.dataset, attached
+            )
+            warm_ms = (time.perf_counter() - started) * 1000.0
+            warm_start = [
+                group.gid
+                for group in warm_runtime.create_session(config).start()
+            ]
+            solo_start = [
+                group.gid
+                for group in GroupSpaceRuntime(
+                    space, share_cache=False
+                ).create_session(config).start()
+            ]
+            loaded.unlink()
+            loaded.close()
+    finally:
+        sweep_orphans(tag)
+        sweep_orphans(f"{tag}m")
+
+    return {
+        "workers": workers,
+        "clicks": clicks,
+        "cpu_count": os.cpu_count() or 1,
+        "single_replicated_click_p50_ms": round(single_p50, 3),
+        "spaces_replicated_click_p50_ms": round(spaces_p50, 3),
+        "routed_overhead_p50_ms": round(spaces_p50 - single_p50, 3),
+        "cold_publish_ms": round(cold_ms, 1),
+        "warm_boot_ms": round(warm_ms, 1),
+        "warm_boot_speedup": round(cold_ms / max(warm_ms, 1e-9), 1),
+        "parity": (
+            single_displays == oracle
+            and spaces_displays == oracle
+            and warm_start == solo_start
+        ),
+    }
+
+
 def run(
     n_parents: int,
     n_genres: int,
@@ -1303,6 +1506,12 @@ def run(
         report["replication"]["parity"]
         and report["replication"]["takeover_roundtrip"]
     )
+    report["replication_spaces"] = measure_replication_spaces(
+        workers=2, clicks=4 if smoke else 24
+    )
+    report["parity"]["replication_spaces"] = report["replication_spaces"][
+        "parity"
+    ]
     return report
 
 
@@ -1508,6 +1717,37 @@ def main() -> int:
             f"{replication['cpu_count']} cores cannot host "
             f"{replication['workers']} workers + router + clients"
         )
+    spaces_repl = report["replication_spaces"]
+    spaces_repl_gate = (
+        REPLICATION_SPACES_OVERHEAD_SMOKE_GATE_MS
+        if args.smoke
+        else REPLICATION_SPACES_OVERHEAD_GATE_MS
+    )
+    warm_gate = (
+        ARENA_CACHE_WARM_SMOKE_GATE if args.smoke else ARENA_CACHE_WARM_GATE
+    )
+    print(
+        f"replication spaces: composed routing adds "
+        f"{spaces_repl['routed_overhead_p50_ms']:+.2f} ms to the "
+        f"single-space replicated click p50 "
+        f"{spaces_repl['single_replicated_click_p50_ms']:.2f} ms "
+        f"(gate {spaces_repl_gate:.0f} ms); arena-cache warm boot "
+        f"{spaces_repl['warm_boot_ms']:.0f} ms vs cold publish "
+        f"{spaces_repl['cold_publish_ms']:.0f} ms — "
+        f"{spaces_repl['warm_boot_speedup']:.1f}x (gate {warm_gate:.1f}x), "
+        f"composed parity {'ok' if spaces_repl['parity'] else 'BROKEN'}"
+    )
+    if spaces_repl["cpu_count"] >= spaces_repl["workers"] + 2:
+        ok = ok and (
+            spaces_repl["routed_overhead_p50_ms"] <= spaces_repl_gate
+        )
+    else:
+        print(
+            f"replication spaces: routed-overhead gate waived — "
+            f"{spaces_repl['cpu_count']} cores cannot host "
+            f"{spaces_repl['workers']} workers + router + clients"
+        )
+    ok = ok and spaces_repl["warm_boot_speedup"] >= warm_gate
     print(f"parity: {report['parity']}  ->  {'OK' if ok else 'REGRESSION'}")
     return 0 if ok else 1
 

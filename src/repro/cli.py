@@ -179,10 +179,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="replicated serving (needs --http + --store): spawn N "
-        "worker processes that map the space's artifacts zero-copy from "
-        "shared memory, behind a sticky session router — one GIL per "
-        "worker instead of one for the whole service",
+        help="replicated serving (needs --http, plus --store or "
+        "--spaces): spawn N worker processes that map each space's "
+        "artifacts zero-copy from shared memory, behind a sticky "
+        "session router — one GIL per worker instead of one for the "
+        "whole service; with --spaces every worker hosts the full "
+        "registry and ids compose as w<i>-<space>-s0001",
+    )
+    serve.add_argument(
+        "--arena-cache", default=None, metavar="DIR",
+        help="arena snapshot cache (needs --workers + --spaces): "
+        "serialize each space's published arena payload to DIR and "
+        "mmap-load it on the next boot, skipping discovery + index "
+        "construction for unchanged manifests",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -499,10 +508,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   "the manifest names every space's data", file=sys.stderr)
             return 2
         if args.workers is not None:
-            print("--workers replicates a single space (--store); it does "
-                  "not compose with --spaces yet", file=sys.stderr)
+            if args.workers < 1:
+                print("--workers must be >= 1", file=sys.stderr)
+                return 2
+            if args.max_ready is not None:
+                print("--max-ready does not compose with --workers (the "
+                      "replicated registry keeps every built space "
+                      "resident)", file=sys.stderr)
+                return 2
+            return _serve_pool_spaces(args)
+        if args.arena_cache is not None:
+            print("--arena-cache needs --workers (the cache snapshots "
+                  "published arena segments)", file=sys.stderr)
             return 2
         return _serve_spaces(args)
+    if args.arena_cache is not None:
+        print("--arena-cache needs --spaces (single-space pools rebuild "
+              "from the store directly)", file=sys.stderr)
+        return 2
     if args.max_ready is not None:
         print("--max-ready needs --spaces", file=sys.stderr)
         return 2
@@ -691,6 +714,72 @@ def _serve_pool(args: argparse.Namespace, dataset) -> int:
         f"artifacts loaded in {build_ms:.0f} ms: "
         f"{len(runtime.space)} groups, {args.workers} workers attached "
         f"zero-copy from shared memory, {durable}",
+        flush=True,
+    )
+    stop = _install_drain_handlers()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        # pool.stop() drains each worker over /internal/drain — every
+        # worker checkpoints its live sessions before exiting.
+        service.stop()
+    print("service stopped")
+    return 0
+
+
+def _serve_pool_spaces(args: argparse.Namespace) -> int:
+    """Replicated multi-space hosting: the full registry behind N workers.
+
+    The composed tier: the parent registry materializes manifest spaces
+    lazily (clients see the familiar 202 + Retry-After while a space
+    builds), publishes each build as a shared-memory arena, and every
+    worker process serves *all* spaces from those arenas under composed
+    ``w<i>-<space>-s0001`` session ids.  ``--arena-cache`` additionally
+    snapshots each published payload to disk so the next boot of the
+    same manifest mmap-loads instead of re-running discovery.
+    """
+    from pathlib import Path
+
+    from repro.replication import serve_replicated_spaces
+    from repro.spaces import load_manifest
+
+    descriptors = load_manifest(args.spaces)
+    service = serve_replicated_spaces(
+        descriptors,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        tag=Path(args.spaces).stem,
+        state_dir=args.state_dir,
+        durability="journal" if args.journal else "snapshot",
+        compact_every=args.compact_every,
+        default_config=SessionConfig(
+            k=args.k, time_budget_ms=args.budget_ms, use_profile=False
+        ),
+        max_sessions=args.max_sessions,
+        idle_ttl_s=args.idle_ttl,
+        arena_cache=args.arena_cache,
+    )
+    pool = service.pool
+    durable = (
+        f"durable ({pool.durability}, state in {pool.state_dir})"
+        if pool.state_dir is not None
+        else "in-memory sessions"
+    )
+    cache = (
+        f", arena cache in {pool.arena_cache}"
+        if pool.arena_cache is not None
+        else ""
+    )
+    print(f"serving on {service.url}", flush=True)
+    print(
+        f"hosting {len(pool.registry.names())} spaces "
+        f"({', '.join(pool.registry.names())}; default "
+        f"{pool.registry.default_space}) on {args.workers} workers, "
+        f"{durable}{cache}; spaces build lazily on first open and "
+        "publish to shared memory",
         flush=True,
     )
     stop = _install_drain_handlers()

@@ -98,6 +98,20 @@ class SessionLimitError(RuntimeError):
     """
 
 
+class StaleEpochError(ValueError):
+    """A resume pinned to an epoch no process retains anymore.
+
+    The session was checkpointed against a store generation (membership
+    digest) that has since aged out of every retention window — the
+    runtime's ``retain_epochs`` ring, or, in the replicated tier, the
+    pool's ``retain_segments`` arena window after a worker respawn.
+    Subclasses ``ValueError`` so pre-existing 409 mappings keep firing,
+    but the HTTP fronts type it ``stale_epoch`` (vs the generic
+    ``conflict``) so clients can tell "your walk's store generation is
+    gone, start a fresh session" from other state disagreements.
+    """
+
+
 def adaptive_stripe_count(
     fanout: Optional[int] = None, cores: Optional[int] = None
 ) -> int:

@@ -489,13 +489,15 @@ def load_session_state(
             # informative only: they restart at 0 on process restart).
             resolved = session.runtime.resolve_digest(stored_digest)
             if resolved is None:
+                from repro.core.runtime import StaleEpochError
+
                 stored_epoch = payload.get("epoch")
                 stamp = (
                     f" (saved at epoch {stored_epoch})"
                     if stored_epoch is not None
                     else ""
                 )
-                raise ValueError(
+                raise StaleEpochError(
                     "stored session state is stale: it was saved on a group "
                     f"space whose membership digest was {stored_digest[:12]}..."
                     f"{stamp}, but the live space digests to "

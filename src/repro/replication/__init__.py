@@ -9,7 +9,12 @@ a content-addressed ``multiprocessing.shared_memory`` segment
 (:mod:`~repro.replication.worker`), while a sticky router
 (:mod:`~repro.replication.pool`) pins each session's walk to the worker
 holding its in-memory state and fails resumes over to any live replica
-via the shared journal directory.
+via the shared journal directory.  :class:`MultiSpaceWorkerPool`
+composes the tier with the space registry: one fleet serves every space
+in a manifest, publishing one arena per ``(space, epoch)`` and minting
+``w<i>-<space>-s0001`` ids so routing works per ``(space, worker)``;
+published payloads can additionally be snapshotted to disk
+(``arena_cache``) and mmap-loaded on the next boot.
 """
 
 from repro.replication.arena import (
@@ -17,35 +22,52 @@ from repro.replication.arena import (
     ArenaDigestMismatch,
     AttachedArena,
     PublishedArena,
+    arena_cache_path,
     arena_name,
     attach_arena,
     list_segments,
+    load_arena_cache,
     publish_arena,
+    save_arena_cache,
     sweep_orphans,
     unlink_arena,
 )
 from repro.replication.pool import (
+    MultiSpaceWorkerPool,
     ReplicatedService,
     WorkerPool,
     WorkerUnavailable,
+    compile_reference_pattern,
     serve_replicated,
+    serve_replicated_spaces,
 )
-from repro.replication.worker import WorkerControl, worker_main
+from repro.replication.worker import (
+    SpaceWorkerControl,
+    WorkerControl,
+    worker_main,
+)
 
 __all__ = [
     "ARENA_PREFIX",
     "ArenaDigestMismatch",
     "AttachedArena",
+    "MultiSpaceWorkerPool",
     "PublishedArena",
     "ReplicatedService",
+    "SpaceWorkerControl",
     "WorkerControl",
     "WorkerPool",
     "WorkerUnavailable",
+    "arena_cache_path",
     "arena_name",
     "attach_arena",
+    "compile_reference_pattern",
     "list_segments",
+    "load_arena_cache",
     "publish_arena",
+    "save_arena_cache",
     "serve_replicated",
+    "serve_replicated_spaces",
     "sweep_orphans",
     "unlink_arena",
     "worker_main",

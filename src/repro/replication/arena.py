@@ -32,7 +32,10 @@ parent really does leak them.
 from __future__ import annotations
 
 import json
+import mmap
+import os
 import struct
+import sys
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 from pathlib import Path
@@ -517,6 +520,145 @@ def list_segments(tag: str) -> list[str]:
     prefix = f"{ARENA_PREFIX}_{tag}_"
     return sorted(
         entry.name for entry in root.iterdir() if entry.name.startswith(prefix)
+    )
+
+
+def arena_cache_path(tag: str, cache_dir: str | Path) -> Path:
+    """Where one tag's latest published payload is cached on disk."""
+    return Path(cache_dir) / f"{tag}.arena"
+
+
+def save_arena_cache(
+    published: PublishedArena, tag: str, cache_dir: str | Path
+) -> Path:
+    """Persist one published segment's bytes for the next cold boot.
+
+    The file is the segment verbatim (magic, header, aligned arrays) —
+    self-describing and content-addressed, so :func:`load_arena_cache`
+    can re-create the shared segment without touching discovery or
+    index construction.  One file per tag: the latest publish wins,
+    written atomically (tmp + rename) so a crash mid-save leaves the
+    previous snapshot intact.
+    """
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    final = arena_cache_path(tag, directory)
+    staging = directory / f"{tag}.arena.tmp"
+    with open(staging, "wb") as handle:
+        handle.write(bytes(published.shm.buf))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(staging, final)
+    return final
+
+
+def _manifest_extent(header: dict) -> int:
+    """The last byte any header-manifested array reaches, or ``inf``.
+
+    Anything malformed reports an unreachable extent so the caller
+    treats the file as torn rather than crashing on it.
+    """
+    arrays = header.get("arrays")
+    if not isinstance(arrays, dict) or not arrays:
+        return sys.maxsize
+    end = 0
+    try:
+        for meta in arrays.values():
+            nbytes = int(meta["count"]) * np.dtype(meta["dtype"]).itemsize
+            end = max(end, int(meta["offset"]) + nbytes)
+    except Exception:  # noqa: BLE001 — foreign/garbage manifest
+        return sys.maxsize
+    return end
+
+
+def load_arena_cache(
+    tag: str, cache_dir: str | Path, verify: bool = True
+) -> Optional[PublishedArena]:
+    """Re-create a published segment from its on-disk snapshot, verified.
+
+    ``mmap``s the cache file, copies the payload into a fresh
+    shared-memory segment under the content address the header names,
+    and (by default) re-attaches with digest verification — the same
+    refusal every worker applies — before handing the publisher handle
+    back.  Anything wrong (missing file, torn write, foreign tag, stale
+    digest) returns ``None`` after removing the bad file: a corrupt
+    cache must degrade to a cold build, never to wrong neighbors.
+    """
+    path = arena_cache_path(tag, cache_dir)
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return None
+    if size < len(_MAGIC) + _HEADER_LEN.size:
+        path.unlink(missing_ok=True)
+        return None
+    with open(path, "rb") as handle:
+        with mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ) as mapped:
+            if mapped[: len(_MAGIC)] != _MAGIC:
+                header = None
+            else:
+                try:
+                    (header_len,) = _HEADER_LEN.unpack_from(mapped, len(_MAGIC))
+                    start = len(_MAGIC) + _HEADER_LEN.size
+                    header = json.loads(
+                        mapped[start : start + header_len].decode("utf-8")
+                    )
+                except Exception:  # noqa: BLE001 — torn/foreign file
+                    header = None
+            if (
+                not isinstance(header, dict)
+                or header.get("version") != 1
+                or header.get("tag") != tag
+                or not header.get("digest")
+            ):
+                path.unlink(missing_ok=True)
+                return None
+            # The membership digest only covers the member arrays (the
+            # first region of the payload), so a torn tail would still
+            # "verify" — demand the file reach every extent the header
+            # manifests before re-creating the segment.
+            if size < _manifest_extent(header):
+                path.unlink(missing_ok=True)
+                return None
+            digest = str(header["digest"])
+            epoch = int(header.get("epoch", 0))
+            name = arena_name(tag, digest)
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=size
+                )
+            except FileExistsError:
+                # The segment is already live (a racing loader or a
+                # publisher beat us); attach-and-verify their copy.
+                try:
+                    attached = attach_arena(tag, digest, verify=verify)
+                except (FileNotFoundError, ValueError):
+                    return None
+                existing = attached.shm
+                attached._shm = None  # hand ownership to the PublishedArena
+                return PublishedArena(
+                    name=name,
+                    digest=digest,
+                    epoch=attached.epoch,
+                    size=existing.size,
+                    shm=existing,
+                )
+            _disown(shm)
+            shm.buf[:size] = mapped[:size]
+    if verify:
+        try:
+            probe = attach_arena(tag, digest, verify=True)
+        except (FileNotFoundError, ValueError):
+            try:
+                _unlink(shm)
+            except FileNotFoundError:
+                pass
+            shm.close()
+            path.unlink(missing_ok=True)
+            return None
+        probe.close()
+    return PublishedArena(
+        name=name, digest=digest, epoch=epoch, size=shm.size, shm=shm
     )
 
 

@@ -6,7 +6,16 @@ first), serializes each epoch's artifacts into a shared-memory arena
 (:mod:`repro.replication.arena`), and keeps N ``spawn``-started worker
 processes attached to the current arena — each one a full
 ``SessionManager`` + HTTP service minting ids under its own ``w<i>-``
-prefix.  :class:`ReplicatedService` is the HTTP router in front of them:
+prefix.  :class:`MultiSpaceWorkerPool` is the same fleet fronting a full
+:class:`~repro.spaces.registry.SpaceRegistry`: the parent lazily
+materializes each named space (202 + Retry-After while building, exactly
+as the single-process registry front does), publishes one arena per
+``(space, epoch)`` under a per-space tag, and each worker runs a
+*registry* of arena-attached runtimes — session ids compose the worker
+tag and the space prefix (``w<i>-<space>-s0001``) so sticky routing,
+journal-tail takeover and durable eviction all route by ``(space,
+worker)``.  :class:`ReplicatedService` is the HTTP router in front of
+either pool:
 
 - *sticky routing*: session ids and resume tokens start with the minting
   worker's tag, so every verb of a walk lands on the replica holding its
@@ -18,20 +27,27 @@ prefix.  :class:`ReplicatedService` is the HTTP router in front of them:
   parent runtime, publishes the new epoch's arena, and broadcasts
   ``rebind`` to every worker (each invalidates its own stale
   fingerprints); segments aged out of the retention window are unlinked
-  (mapped copies in pinned workers stay valid);
+  (mapped copies in pinned workers stay valid).  In registry mode only
+  the named space's arena is republished and rebound;
 - *health*: ``/healthz`` and ``/spaces`` aggregate per-replica liveness,
   epoch, and session counts.
 
 A worker that stops answering is marked dead, the request that noticed
 gets a typed 503 with ``Retry-After`` (the stock client retries), and a
-replacement is respawned onto the current arena in the background.
+replacement is respawned onto the current arena(s) with bounded backoff
+in the background.  Consecutive respawn failures are surfaced per
+replica on ``/healthz`` and scale the 503's ``Retry-After`` so a load
+balancer can tell a blip from a crash loop.
 """
 
 from __future__ import annotations
 
+import base64
 import http.client
 import json
+import math
 import multiprocessing
+import pickle
 import re
 import threading
 import time
@@ -44,12 +60,25 @@ from typing import Optional
 
 from repro.replication.arena import (
     PublishedArena,
+    attach_arena,
+    load_arena_cache,
     publish_arena,
+    save_arena_cache,
     sweep_orphans,
 )
 from repro.replication.worker import _worker_entry
+from repro.spaces.descriptor import SpaceDescriptor
+from repro.spaces.registry import (
+    SpaceBuildError,
+    SpaceBuildingError,
+    SpaceNotFoundError,
+    SpaceRegistry,
+)
 
-_WORKER_ID = re.compile(r"^w(\d+)-")
+#: Space names shaped like a worker tag would make ``w1-eval-s0001``
+#: unparseable (worker 1 of space ``eval``, or some worker of space
+#: ``w1-eval``?) — pools refuse such manifests loudly at construction.
+_AMBIGUOUS_SPACE = re.compile(r"^w\d+-")
 
 #: Seconds a freshly spawned worker gets to come up (imports NumPy and
 #: SciPy from scratch under the spawn start method, then maps the arena).
@@ -59,9 +88,69 @@ _BOOT_TIMEOUT_S = 60.0
 #: near the paper's 100 ms, but resumes replay journal tails.
 _FORWARD_TIMEOUT_S = 30.0
 
+#: In-thread retry schedule for replacing a dead replica.  Spawning can
+#: fail transiently (fd pressure, a port race, the OS reaping slowly);
+#: retrying with backoff inside the respawn thread means one SIGKILL
+#: never strands a replica slot behind a single failed attempt.  After
+#: the schedule is exhausted the thread gives up and the next route that
+#: needs the replica re-arms it.
+_RESPAWN_BACKOFF_S = (0.1, 0.4, 1.6)
+
+
+def compile_reference_pattern(
+    space_names: Optional[list[str]] = None,
+) -> "re.Pattern[str]":
+    """The anchored sticky-routing pattern for session ids / tokens.
+
+    Session ids are ``w<index>-s0001`` (single-space pools) or
+    ``w<index>-<space>-s0001`` (registry pools); resume tokens append
+    ``-<hex12>``.  The pattern anchors the full shape — worker tag,
+    then (for registry pools) one of the *known* space names escaped
+    literally, then the session counter — instead of grabbing any
+    leading ``w<digits>-``, so a reference that merely *starts* like a
+    worker tag is never misrouted.  Known names are alternated
+    longest-first so a space whose name extends another's
+    (``eval`` / ``eval-extra``) resolves to the longest literal match.
+    """
+    if space_names:
+        names = sorted(space_names, key=len, reverse=True)
+        alternatives = "|".join(re.escape(name) for name in names)
+        return re.compile(rf"^w(\d+)-({alternatives})-s\d{{4,}}(?:-|$)")
+    return re.compile(r"^w(\d+)-s\d{4,}(?:-|$)")
+
+
+def _parse_reference(
+    reference: str, pattern: "re.Pattern[str]", n_workers: int
+) -> tuple[Optional[int], Optional[str]]:
+    """``(worker index, space name)`` of a reference, or ``(None, None)``."""
+    match = pattern.match(reference or "")
+    if match is None:
+        return None, None
+    index = int(match.group(1))
+    if not 0 <= index < n_workers:
+        return None, None
+    space = match.group(2) if pattern.groups >= 2 else None
+    return index, space
+
 
 class WorkerUnavailable(RuntimeError):
-    """The replica that owns this request is (currently) gone."""
+    """The replica that owns this request is (currently) gone.
+
+    Carries the typed-503 surface: ``retry_after_s`` scales with the
+    replica's consecutive respawn failures, and ``error_type`` flips to
+    ``replica_respawn_failing`` once the bounded backoff schedule has
+    been burned through without a successful replacement.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: float = 1.0,
+        error_type: str = "replica_unavailable",
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.error_type = error_type
 
 
 @dataclass
@@ -70,8 +159,9 @@ class _Replica:
     process: multiprocessing.process.BaseProcess
     port: int
     pid: int
-    epoch: int
-    digest: str
+    epoch: int = -1
+    digest: str = ""
+    spaces: dict = field(default_factory=dict)
     alive: bool = True
     restarts: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock)
@@ -104,97 +194,46 @@ def _post(
         connection.close()
 
 
-class WorkerPool:
-    """N replica processes serving one space from shared-memory arenas."""
+class _ReplicaFleet:
+    """Shared replica machinery: spawn, respawn-with-backoff, routing.
 
-    def __init__(
-        self,
-        dataset,
-        space,
-        index=None,
-        *,
-        workers: int = 2,
-        tag: Optional[str] = None,
-        state_dir: Optional[str | Path] = None,
-        durability: str = "snapshot",
-        compact_every: int = 64,
-        default_config=None,
-        max_sessions: Optional[int] = None,
-        host: str = "127.0.0.1",
-        space_name: Optional[str] = None,
-        retain_segments: int = 4,
-        materialize_fraction: float = 0.10,
-        sweep: bool = True,
-    ) -> None:
-        from repro.core.runtime import GroupSpaceRuntime
+    Subclasses provide ``_spec`` (the boot material one worker needs),
+    ``_release`` (parent-side artifact teardown after the fleet is
+    reaped) and the health-row describe/merge hooks; everything about
+    process lifecycle, sticky routing and failure accounting lives here
+    so the single-space and registry pools cannot drift apart.
+    """
 
+    # -- construction ----------------------------------------------------
+
+    def _init_fleet(self, *, workers: int, host: str, tag: str) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        if retain_segments < 1:
-            raise ValueError("retain_segments must be >= 1")
-        self.dataset = dataset
         self.host = host
-        self.space_name = space_name
-        #: The deployment identity: segment names carry it, and the
-        #: startup sweep removes whatever a crashed predecessor with the
-        #: same tag leaked.  Defaults to the space name so restarts of
-        #: one deployment sweep their own orphans and nobody else's.
-        self.tag = tag if tag is not None else (space_name or "space")
-        self.state_dir = Path(state_dir) if state_dir is not None else None
-        self.durability = durability
-        self.compact_every = compact_every
-        self.default_config = default_config
-        self.max_sessions = max_sessions
-        self.retain_segments = retain_segments
+        self.tag = tag
         self.n_workers = workers
-        #: Segments a SIGKILLed predecessor leaked; swept before the
-        #: first publish so a crash loop never accumulates dead arenas.
-        self.swept_orphans: list[str] = sweep_orphans(self.tag) if sweep else []
-        # The parent's runtime is the mutation authority, never a
-        # serving path — no cross-session cache needed here.
-        self.runtime = GroupSpaceRuntime(
-            space,
-            index=index,
-            materialize_fraction=materialize_fraction,
-            share_cache=False,
-            name=space_name,
-        )
+        self.replicas: list[_Replica] = []
         self._ctx = multiprocessing.get_context("spawn")
-        self._published: "OrderedDict[str, PublishedArena]" = OrderedDict()
         self._mutate_lock = threading.Lock()
         self._stopped = False
-        genesis = publish_arena(
-            self.runtime.space,
-            self.runtime.index,
-            self.tag,
-            epoch=self.runtime.epoch,
-        )
-        self._published[genesis.digest] = genesis
-        self.replicas: list[_Replica] = [
-            self._spawn(index_) for index_ in range(workers)
-        ]
         self._route_counter = 0
         self._route_lock = threading.Lock()
+        self._respawn_lock = threading.Lock()
+        self._respawning: set[int] = set()
+        #: Cumulative failed respawn attempts per replica slot (never
+        #: reset — ``/healthz`` surfaces it as a crash-loop odometer).
+        self._respawn_failures: dict[int, int] = {}
+        #: Consecutive failures since the last successful respawn; zeroed
+        #: on success, drives the typed 503's ``Retry-After``.
+        self._respawn_streak: dict[int, int] = {}
+
+    def _spawn_fleet(self) -> None:
+        self.replicas = [self._spawn(index) for index in range(self.n_workers)]
 
     # -- worker lifecycle ------------------------------------------------
 
     def _spec(self, worker_index: int) -> dict:
-        return {
-            "tag": self.tag,
-            "worker_index": worker_index,
-            "digest": self.runtime.membership_digest(),
-            "epoch": self.runtime.epoch,
-            "dataset": self.dataset,
-            "space_name": self.space_name,
-            "state_dir": (
-                str(self.state_dir) if self.state_dir is not None else None
-            ),
-            "durability": self.durability,
-            "compact_every": self.compact_every,
-            "default_config": self.default_config,
-            "max_sessions": self.max_sessions,
-            "host": self.host,
-        }
+        raise NotImplementedError
 
     def _spawn(self, worker_index: int) -> _Replica:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
@@ -224,8 +263,12 @@ class WorkerPool:
             process=process,
             port=int(ready["port"]),
             pid=int(ready["pid"]),
-            epoch=int(ready["epoch"]),
-            digest=str(ready["digest"]),
+            epoch=int(ready.get("epoch", -1)),
+            digest=str(ready.get("digest", "")),
+            spaces={
+                name: dict(info)
+                for name, info in (ready.get("spaces") or {}).items()
+            },
         )
 
     def _mark_dead(self, replica: _Replica) -> None:
@@ -236,6 +279,8 @@ class WorkerPool:
         replica = self.replicas[worker_index]
         with replica.lock:
             current = self.replicas[worker_index]
+            if self._stopped:
+                return current
             if current.alive and current.process.is_alive():
                 return current
             if current.process.is_alive():
@@ -251,6 +296,11 @@ class WorkerPool:
             return fresh
 
     def _respawn_async(self, worker_index: int) -> None:
+        """Arm one background respawn for the slot (dedup'd while live)."""
+        with self._respawn_lock:
+            if self._stopped or worker_index in self._respawning:
+                return
+            self._respawning.add(worker_index)
         threading.Thread(
             target=lambda: self._quiet_respawn(worker_index),
             name=f"repro-respawn-{self.tag}-{worker_index}",
@@ -258,20 +308,53 @@ class WorkerPool:
         ).start()
 
     def _quiet_respawn(self, worker_index: int) -> None:
+        """Respawn with bounded backoff; count every failed attempt.
+
+        Each failure bumps the replica's cumulative ``respawn_failures``
+        (surfaced on ``/healthz``) and its consecutive streak (scales
+        the 503 ``Retry-After`` routes answer while the slot is down).
+        When the schedule runs dry the thread exits — the guard set is
+        cleared, so the next route that lands on the dead slot arms a
+        fresh round instead of silently never retrying.
+        """
         try:
-            self.respawn(worker_index)
-        except Exception:
-            pass  # next request on this replica retries the respawn
+            for delay in (*_RESPAWN_BACKOFF_S, None):
+                if self._stopped:
+                    return
+                try:
+                    self.respawn(worker_index)
+                except Exception:
+                    self._respawn_failures[worker_index] = (
+                        self._respawn_failures.get(worker_index, 0) + 1
+                    )
+                    self._respawn_streak[worker_index] = (
+                        self._respawn_streak.get(worker_index, 0) + 1
+                    )
+                    if delay is None:
+                        return
+                    time.sleep(delay)
+                else:
+                    self._respawn_streak[worker_index] = 0
+                    return
+        finally:
+            with self._respawn_lock:
+                self._respawning.discard(worker_index)
 
     # -- routing ---------------------------------------------------------
 
     def worker_of(self, reference: str) -> Optional[int]:
         """The worker index a session id / resume token is stuck to."""
-        match = _WORKER_ID.match(reference or "")
-        if match is None:
-            return None
-        index = int(match.group(1))
-        return index if 0 <= index < len(self.replicas) else None
+        index, _ = _parse_reference(
+            reference, self._reference_re, len(self.replicas)
+        )
+        return index
+
+    def reference_space(self, reference: str) -> Optional[str]:
+        """The space a reference belongs to (registry pools only)."""
+        _, space = _parse_reference(
+            reference, self._reference_re, len(self.replicas)
+        )
+        return space
 
     def alive_replicas(self) -> list[_Replica]:
         return [replica for replica in self.replicas if replica.alive]
@@ -285,9 +368,7 @@ class WorkerPool:
             self._route_counter += 1
             return candidates[self._route_counter % len(candidates)]
 
-    def pick_for(
-        self, reference: str, takeover: bool = False
-    ) -> _Replica:
+    def pick_for(self, reference: str, takeover: bool = False) -> _Replica:
         """The replica owning ``reference`` (a session id or token).
 
         ``takeover=True`` (resume-by-token routing) falls back to any
@@ -299,23 +380,214 @@ class WorkerPool:
         """
         index = self.worker_of(reference)
         if index is None:
-            raise KeyError(
-                f"reference {reference!r} carries no worker tag"
-            )
+            raise KeyError(f"reference {reference!r} carries no worker tag")
         replica = self.replicas[index]
         if replica.alive and replica.process.is_alive():
             return replica
         if replica.alive:
-            # First observer of a silently dead process (SIGKILL).
             self._mark_dead(replica)
-            self._respawn_async(index)
+        # Always re-arm: the in-flight guard dedups, and a slot whose
+        # backoff schedule ran dry gets a fresh round from the next
+        # request that needs it instead of staying down forever.
+        self._respawn_async(index)
         if takeover:
             candidates = self.alive_replicas()
             if candidates:
                 return candidates[0]
-        raise WorkerUnavailable(
+        raise self._unavailable(index)
+
+    def _unavailable(self, index: int) -> WorkerUnavailable:
+        streak = self._respawn_streak.get(index, 0)
+        if streak >= len(_RESPAWN_BACKOFF_S):
+            return WorkerUnavailable(
+                f"worker {index} is down and its last {streak} respawn "
+                "attempts failed",
+                retry_after_s=min(1.0 + streak, 15.0),
+                error_type="replica_respawn_failing",
+            )
+        return WorkerUnavailable(
             f"worker {index} is down; its replacement is starting"
         )
+
+    def prepare_open_body(self, body: dict) -> bool:
+        """Pre-route hook for ``open``; True when ``body`` was rewritten."""
+        return False
+
+    # -- introspection ---------------------------------------------------
+
+    def _describe_replica(self, row: dict, replica: _Replica) -> None:
+        raise NotImplementedError
+
+    def _merge_ping(self, row: dict, replica: _Replica, ping: dict) -> None:
+        raise NotImplementedError
+
+    def replica_health(self) -> list[dict]:
+        """One row per replica: liveness probe + worker-side counters."""
+        rows = []
+        for replica in self.replicas:
+            row = {
+                "index": replica.index,
+                "pid": replica.pid,
+                "port": replica.port,
+                "alive": replica.alive and replica.process.is_alive(),
+                "restarts": replica.restarts,
+                "respawn_failures": self._respawn_failures.get(
+                    replica.index, 0
+                ),
+            }
+            self._describe_replica(row, replica)
+            if row["alive"]:
+                try:
+                    ping = _post(
+                        self.host,
+                        replica.port,
+                        "/internal/ping",
+                        {},
+                        timeout=2.0,
+                    )
+                except (OSError, RuntimeError, ValueError):
+                    row["alive"] = False
+                    self._mark_dead(replica)
+                    self._respawn_async(replica.index)
+                else:
+                    row.update(
+                        sessions=ping.get("sessions"),
+                        degraded=ping.get("degraded"),
+                    )
+                    self._merge_ping(row, replica, ping)
+            rows.append(row)
+        return rows
+
+    # -- shutdown --------------------------------------------------------
+
+    def _release(self) -> None:
+        raise NotImplementedError
+
+    def stop(self, drain: bool = True) -> None:
+        """Drain every worker, reap the processes, unlink the segments."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for replica in self.replicas:
+            if not (replica.alive and replica.process.is_alive()):
+                continue
+            if drain:
+                try:
+                    _post(
+                        self.host,
+                        replica.port,
+                        "/internal/drain",
+                        {},
+                        timeout=10.0,
+                    )
+                except (OSError, RuntimeError, ValueError):
+                    pass
+        deadline = time.monotonic() + 15.0
+        for replica in self.replicas:
+            replica.process.join(
+                timeout=max(0.1, deadline - time.monotonic())
+            )
+            if replica.process.is_alive():
+                replica.process.terminate()
+                replica.process.join(timeout=5.0)
+            if replica.process.is_alive():
+                replica.process.kill()
+                replica.process.join(timeout=5.0)
+            replica.alive = False
+        self._release()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class WorkerPool(_ReplicaFleet):
+    """N replica processes serving one space from shared-memory arenas."""
+
+    def __init__(
+        self,
+        dataset,
+        space,
+        index=None,
+        *,
+        workers: int = 2,
+        tag: Optional[str] = None,
+        state_dir: Optional[str | Path] = None,
+        durability: str = "snapshot",
+        compact_every: int = 64,
+        default_config=None,
+        max_sessions: Optional[int] = None,
+        host: str = "127.0.0.1",
+        space_name: Optional[str] = None,
+        retain_segments: int = 4,
+        materialize_fraction: float = 0.10,
+        sweep: bool = True,
+    ) -> None:
+        from repro.core.runtime import GroupSpaceRuntime
+
+        if retain_segments < 1:
+            raise ValueError("retain_segments must be >= 1")
+        #: The deployment identity: segment names carry it, and the
+        #: startup sweep removes whatever a crashed predecessor with the
+        #: same tag leaked.  Defaults to the space name so restarts of
+        #: one deployment sweep their own orphans and nobody else's.
+        self._init_fleet(
+            workers=workers,
+            host=host,
+            tag=tag if tag is not None else (space_name or "space"),
+        )
+        self.dataset = dataset
+        self.space_name = space_name
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.durability = durability
+        self.compact_every = compact_every
+        self.default_config = default_config
+        self.max_sessions = max_sessions
+        self.retain_segments = retain_segments
+        self._reference_re = compile_reference_pattern()
+        #: Segments a SIGKILLed predecessor leaked; swept before the
+        #: first publish so a crash loop never accumulates dead arenas.
+        self.swept_orphans: list[str] = sweep_orphans(self.tag) if sweep else []
+        # The parent's runtime is the mutation authority, never a
+        # serving path — no cross-session cache needed here.
+        self.runtime = GroupSpaceRuntime(
+            space,
+            index=index,
+            materialize_fraction=materialize_fraction,
+            share_cache=False,
+            name=space_name,
+        )
+        self._published: "OrderedDict[str, PublishedArena]" = OrderedDict()
+        genesis = publish_arena(
+            self.runtime.space,
+            self.runtime.index,
+            self.tag,
+            epoch=self.runtime.epoch,
+        )
+        self._published[genesis.digest] = genesis
+        self._spawn_fleet()
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _spec(self, worker_index: int) -> dict:
+        return {
+            "tag": self.tag,
+            "worker_index": worker_index,
+            "digest": self.runtime.membership_digest(),
+            "epoch": self.runtime.epoch,
+            "dataset": self.dataset,
+            "space_name": self.space_name,
+            "state_dir": (
+                str(self.state_dir) if self.state_dir is not None else None
+            ),
+            "durability": self.durability,
+            "compact_every": self.compact_every,
+            "default_config": self.default_config,
+            "max_sessions": self.max_sessions,
+            "host": self.host,
+        }
 
     # -- mutation --------------------------------------------------------
 
@@ -376,42 +648,22 @@ class WorkerPool:
             self._respawn_async(index)
         return report
 
+    def mutate_space(self, name: str, delta, verify: bool = False) -> dict:
+        """Route a named mutation: this pool hosts exactly one space."""
+        expected = self.space_name or "default"
+        if name != expected:
+            raise SpaceNotFoundError(name)
+        return self.mutate(delta, verify=verify)
+
     # -- introspection ---------------------------------------------------
 
-    def replica_health(self) -> list[dict]:
-        """One row per replica: liveness probe + worker-side counters."""
-        rows = []
-        for replica in self.replicas:
-            row = {
-                "index": replica.index,
-                "pid": replica.pid,
-                "port": replica.port,
-                "alive": replica.alive and replica.process.is_alive(),
-                "restarts": replica.restarts,
-                "epoch": replica.epoch,
-                "digest": replica.digest,
-            }
-            if row["alive"]:
-                try:
-                    ping = _post(
-                        self.host,
-                        replica.port,
-                        "/internal/ping",
-                        {},
-                        timeout=2.0,
-                    )
-                    row.update(
-                        sessions=ping.get("sessions"),
-                        degraded=ping.get("degraded"),
-                        epoch=ping.get("epoch", row["epoch"]),
-                        digest=ping.get("digest", row["digest"]),
-                    )
-                except (OSError, RuntimeError, ValueError):
-                    row["alive"] = False
-                    self._mark_dead(replica)
-                    self._respawn_async(replica.index)
-            rows.append(row)
-        return rows
+    def _describe_replica(self, row: dict, replica: _Replica) -> None:
+        row["epoch"] = replica.epoch
+        row["digest"] = replica.digest
+
+    def _merge_ping(self, row: dict, replica: _Replica, ping: dict) -> None:
+        row["epoch"] = ping.get("epoch", row["epoch"])
+        row["digest"] = ping.get("digest", row["digest"])
 
     def stats(self) -> dict:
         replicas = self.replica_health()
@@ -427,49 +679,433 @@ class WorkerPool:
             "replicas": replicas,
         }
 
+    def spaces_payload(self) -> dict:
+        name = self.space_name or "default"
+        pool_stats = self.stats()
+        return {
+            "spaces": [
+                {
+                    "name": name,
+                    "state": "ready" if pool_stats["alive"] else "down",
+                    "epoch": pool_stats["epoch"],
+                    "digest": pool_stats["digest"],
+                    "replicas": pool_stats["replicas"],
+                }
+            ],
+            "default": name,
+        }
+
     # -- shutdown --------------------------------------------------------
 
-    def stop(self, drain: bool = True) -> None:
-        """Drain every worker, reap the processes, unlink the segments."""
-        if self._stopped:
-            return
-        self._stopped = True
-        for replica in self.replicas:
-            if not (replica.alive and replica.process.is_alive()):
-                continue
-            if drain:
-                try:
-                    _post(
-                        self.host,
-                        replica.port,
-                        "/internal/drain",
-                        {},
-                        timeout=10.0,
-                    )
-                except (OSError, RuntimeError, ValueError):
-                    pass
-        deadline = time.monotonic() + 15.0
-        for replica in self.replicas:
-            replica.process.join(
-                timeout=max(0.1, deadline - time.monotonic())
-            )
-            if replica.process.is_alive():
-                replica.process.terminate()
-                replica.process.join(timeout=5.0)
-            if replica.process.is_alive():
-                replica.process.kill()
-                replica.process.join(timeout=5.0)
-            replica.alive = False
+    def _release(self) -> None:
         for published in self._published.values():
             published.unlink()
             published.close()
         self._published.clear()
 
-    def __enter__(self) -> "WorkerPool":
-        return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
+class MultiSpaceWorkerPool(_ReplicaFleet):
+    """A replica fleet fronting a whole space registry.
+
+    The parent hosts the authoritative :class:`SpaceRegistry`: spaces
+    materialize lazily on its build workers (serving threads see the
+    registry's usual 202-building / 404 / sticky-500 ladder through the
+    router), and the build's last step publishes the runtime's artifacts
+    as a shared-memory arena under the per-space tag
+    ``{pool_tag}_{space}`` and broadcasts an ``attach_space`` to every
+    live worker.  Workers host their *own* registries of arena-attached
+    runtimes — each space's manager mints ids ``w<i>-<space>-s0001`` —
+    so one fleet serves every space without N×M rebuild cost, and a
+    mutation republishes and rebinds only the space it names.
+
+    With ``arena_cache`` set, every published payload is also serialized
+    to ``<dir>/<space_tag>.arena``; the next cold boot mmap-loads the
+    file back into a segment and skips discovery + index construction
+    entirely (builder-backed spaces are exempt — they have no standalone
+    dataset recipe to bounds-check a cached arena against).
+    """
+
+    def __init__(
+        self,
+        descriptors,
+        *,
+        workers: int = 2,
+        tag: Optional[str] = None,
+        state_dir: Optional[str | Path] = None,
+        durability: str = "snapshot",
+        compact_every: int = 64,
+        default_config=None,
+        max_sessions: Optional[int] = None,
+        host: str = "127.0.0.1",
+        retain_segments: int = 4,
+        idle_ttl_s: Optional[float] = None,
+        build_workers: int = 2,
+        arena_cache: Optional[str | Path] = None,
+        sweep: bool = True,
+    ) -> None:
+        descriptors = list(descriptors)
+        if not descriptors:
+            raise ValueError("a replicated registry needs at least one space")
+        if retain_segments < 1:
+            raise ValueError("retain_segments must be >= 1")
+        ambiguous = [
+            descriptor.name
+            for descriptor in descriptors
+            if _AMBIGUOUS_SPACE.match(descriptor.name)
+        ]
+        if ambiguous:
+            raise ValueError(
+                f"space names {ambiguous} match the worker-tag shape "
+                "'w<index>-': composed session ids could not be routed "
+                "unambiguously — rename them"
+            )
+        if durability == "journal" and state_dir is None:
+            raise ValueError("durability='journal' needs a state_dir")
+        if state_dir is None and (
+            idle_ttl_s is not None
+            or any(d.idle_ttl_s is not None for d in descriptors)
+        ):
+            raise ValueError(
+                "idle TTLs need a state_dir: workers sweep durably"
+            )
+        self._init_fleet(
+            workers=workers,
+            host=host,
+            tag=tag if tag is not None else "spaces",
+        )
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.durability = durability
+        self.compact_every = compact_every
+        self.default_config = default_config
+        self.max_sessions = max_sessions
+        self.idle_ttl_s = idle_ttl_s
+        self.retain_segments = retain_segments
+        self.arena_cache = (
+            Path(arena_cache) if arena_cache is not None else None
+        )
+        #: Space names whose boot was served from the arena snapshot
+        #: cache instead of a cold build (perf harness reads this).
+        self.arena_cache_hits: list[str] = []
+        self.swept_orphans: list[str] = sweep_orphans(self.tag) if sweep else []
+        self._arenas: dict[str, "OrderedDict[str, PublishedArena]"] = {}
+        self._current: dict[str, dict] = {}
+        self._datasets: dict[str, object] = {}
+        self._policies: dict[str, dict] = {}
+        self._cacheable: dict[str, SpaceDescriptor] = {}
+        self._cache_attachments: list = []
+        for descriptor in descriptors:
+            self._policies[descriptor.name] = {
+                "idle_ttl_s": descriptor.idle_ttl_s,
+                "max_sessions": descriptor.max_sessions,
+            }
+            if descriptor.builder is None:
+                self._cacheable[descriptor.name] = descriptor
+        # The parent registry is the mutation authority, never a serving
+        # path: no state_dir (workers own durability on the shared one),
+        # no TTLs, no session budget — just lazily built runtimes.
+        self.registry = SpaceRegistry(
+            [self._wrap(descriptor) for descriptor in descriptors],
+            build_workers=build_workers,
+        )
+        self._reference_re = compile_reference_pattern(
+            [descriptor.name for descriptor in descriptors]
+        )
+        self._spawn_fleet()
+
+    def space_tag(self, name: str) -> str:
+        """The arena namespace of one space (swept under the pool tag)."""
+        return f"{self.tag}_{name}"
+
+    # -- materialization -------------------------------------------------
+
+    def _wrap(self, descriptor: SpaceDescriptor) -> SpaceDescriptor:
+        # Serving policy (TTLs, session budgets) stays off the parent
+        # wrapper: it applies on the workers, which hold the sessions.
+        return SpaceDescriptor(
+            name=descriptor.name,
+            builder=partial(self._materialize_space, descriptor),
+        )
+
+    def _materialize_space(self, descriptor: SpaceDescriptor):
+        """Build (or cache-load) one space; runs on a registry builder.
+
+        The warm path mmap-loads the arena snapshot file back into a
+        fresh segment, rebuilds only the dataset (cheap relative to
+        discovery + index construction) and maps the runtime from the
+        arena; the cold path materializes the descriptor and publishes
+        its artifacts.  Either way the arena is recorded as the space's
+        current segment and broadcast to every live worker before the
+        registry flips the space to ready.
+        """
+        from repro.core.runtime import GroupSpaceRuntime
+
+        name = descriptor.name
+        space_tag = self.space_tag(name)
+        runtime = None
+        if self.arena_cache is not None and name in self._cacheable:
+            published = load_arena_cache(space_tag, self.arena_cache)
+            if published is not None:
+                dataset = descriptor.build_dataset()
+                attached = attach_arena(space_tag, published.digest)
+                runtime = GroupSpaceRuntime.from_arena(
+                    dataset, attached, share_cache=False, name=name
+                )
+                self._cache_attachments.append(attached)
+                self.arena_cache_hits.append(name)
+        if runtime is None:
+            runtime = descriptor.materialize()
+            dataset = runtime.space.dataset
+            published = publish_arena(
+                runtime.space, runtime.index, space_tag, epoch=runtime.epoch
+            )
+            if self.arena_cache is not None and name in self._cacheable:
+                save_arena_cache(published, space_tag, self.arena_cache)
+        with self._mutate_lock:
+            segments = self._arenas.setdefault(name, OrderedDict())
+            segments[published.digest] = published
+            self._current[name] = {
+                "digest": published.digest,
+                "epoch": int(runtime.epoch),
+            }
+            self._datasets[name] = dataset
+        self._broadcast_space(name)
+        return runtime
+
+    def _attach_payload(self, name: str) -> dict:
+        current = self._current[name]
+        policy = self._policies[name]
+        return {
+            "name": name,
+            "space_tag": self.space_tag(name),
+            "digest": current["digest"],
+            "epoch": current["epoch"],
+            "dataset_b64": base64.b64encode(
+                pickle.dumps(self._datasets[name])
+            ).decode("ascii"),
+            "idle_ttl_s": policy["idle_ttl_s"],
+            "max_sessions": policy["max_sessions"],
+        }
+
+    def _broadcast_space(self, name: str) -> None:
+        """Tell every live worker to adopt a newly materialized space."""
+        payload = self._attach_payload(name)
+        respawn: list[int] = []
+        for replica in self.replicas:
+            if not replica.alive:
+                continue
+            try:
+                outcome = _post(
+                    self.host,
+                    replica.port,
+                    "/internal/attach_space",
+                    payload,
+                )
+            except (OSError, RuntimeError, ValueError):
+                self._mark_dead(replica)
+                respawn.append(replica.index)
+                continue
+            replica.spaces[name] = {
+                "digest": str(outcome.get("digest", payload["digest"])),
+                "epoch": int(outcome.get("epoch", payload["epoch"])),
+            }
+        for index in respawn:
+            self._respawn_async(index)
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _spec(self, worker_index: int) -> dict:
+        spaces = []
+        for name in self.registry.names():
+            current = self._current.get(name)
+            if current is None:
+                continue  # cold/building: workers adopt it via broadcast
+            policy = self._policies[name]
+            spaces.append(
+                {
+                    "name": name,
+                    "space_tag": self.space_tag(name),
+                    "digest": current["digest"],
+                    "epoch": current["epoch"],
+                    "dataset": self._datasets[name],
+                    "idle_ttl_s": policy["idle_ttl_s"],
+                    "max_sessions": policy["max_sessions"],
+                }
+            )
+        return {
+            "multi_space": True,
+            "tag": self.tag,
+            "worker_index": worker_index,
+            "host": self.host,
+            "state_dir": (
+                str(self.state_dir) if self.state_dir is not None else None
+            ),
+            "durability": self.durability,
+            "compact_every": self.compact_every,
+            "default_config": self.default_config,
+            "max_sessions": self.max_sessions,
+            "idle_ttl_s": self.idle_ttl_s,
+            "spaces": spaces,
+        }
+
+    # -- routing ---------------------------------------------------------
+
+    def prepare_open_body(self, body: dict) -> bool:
+        """Resolve + pin the target space before forwarding an ``open``.
+
+        Raises the registry's typed ladder (202-building queues the lazy
+        build exactly like the single-process front) *before* the
+        forward, and rewrites the body to carry the resolved space name
+        so worker-side default-space drift can never misroute: a resume
+        token's space is recovered from the token itself, a space-less
+        fresh open pins the registry default.
+        """
+        space = body.get("space")
+        if space is not None and not isinstance(space, str):
+            raise _RouterBadRequest("space must be a string")
+        resume = body.get("resume")
+        if space is None and isinstance(resume, str):
+            space = self.reference_space(resume)
+        if space is None:
+            space = self.registry.default_space
+        self.registry.manager(space, wait=False)
+        if body.get("space") != space:
+            body["space"] = space
+            return True
+        return False
+
+    # -- mutation --------------------------------------------------------
+
+    def mutate(self, name: str, delta, verify: bool = False) -> dict:
+        """Apply a delta to one space: parent epoch, arena, rebinds.
+
+        Only the named space's runtime advances, only its arena is
+        republished, and only its per-space retention window is trimmed;
+        every other space keeps serving untouched — the router's
+        ``POST /spaces/<name>/mutate`` maps straight here.
+        """
+        runtime = self.registry.runtime(name, wait=False)
+        space_tag = self.space_tag(name)
+        respawn: list[int] = []
+        with self._mutate_lock:
+            changed_old = sorted(
+                {int(gid) for gid in delta.removed}
+                | {int(gid) for gid, _ in delta.changed}
+            )
+            report = dict(runtime.apply_deltas(delta, verify=verify))
+            published = publish_arena(
+                runtime.space, runtime.index, space_tag, epoch=report["epoch"]
+            )
+            segments = self._arenas.setdefault(name, OrderedDict())
+            segments[published.digest] = published
+            self._current[name] = {
+                "digest": published.digest,
+                "epoch": int(report["epoch"]),
+            }
+            if self.arena_cache is not None and name in self._cacheable:
+                save_arena_cache(published, space_tag, self.arena_cache)
+            rebound = []
+            for replica in self.replicas:
+                if not replica.alive:
+                    continue
+                try:
+                    outcome = _post(
+                        self.host,
+                        replica.port,
+                        "/internal/rebind",
+                        {
+                            "space": name,
+                            "digest": published.digest,
+                            "epoch": report["epoch"],
+                            "changed_old": changed_old,
+                        },
+                    )
+                except (OSError, RuntimeError, ValueError):
+                    self._mark_dead(replica)
+                    respawn.append(replica.index)
+                    continue
+                replica.spaces[name] = {
+                    "digest": published.digest,
+                    "epoch": int(outcome.get("epoch", report["epoch"])),
+                }
+                rebound.append(replica.index)
+            while len(segments) > self.retain_segments:
+                _, aged = segments.popitem(last=False)
+                aged.unlink()
+                aged.close()
+            report["space"] = name
+            report["arena"] = published.name
+            report["rebound_workers"] = rebound
+        for index in respawn:
+            self._respawn_async(index)
+        return report
+
+    def mutate_space(self, name: str, delta, verify: bool = False) -> dict:
+        return self.mutate(name, delta, verify=verify)
+
+    # -- introspection ---------------------------------------------------
+
+    def _describe_replica(self, row: dict, replica: _Replica) -> None:
+        row["spaces"] = {
+            name: dict(info) for name, info in replica.spaces.items()
+        }
+
+    def _merge_ping(self, row: dict, replica: _Replica, ping: dict) -> None:
+        spaces = ping.get("spaces")
+        if isinstance(spaces, dict):
+            row["spaces"] = spaces
+
+    def stats(self) -> dict:
+        replicas = self.replica_health()
+        return {
+            "mode": "replicated-spaces",
+            "tag": self.tag,
+            "workers": self.n_workers,
+            "alive": sum(1 for row in replicas if row["alive"]),
+            "registry": self.registry.stats(),
+            "spaces": {
+                name: dict(current)
+                for name, current in self._current.items()
+            },
+            "segments": {
+                name: list(segments)
+                for name, segments in self._arenas.items()
+            },
+            "swept_orphans": self.swept_orphans,
+            "arena_cache": (
+                str(self.arena_cache) if self.arena_cache is not None else None
+            ),
+            "arena_cache_hits": list(self.arena_cache_hits),
+            "replicas": replicas,
+        }
+
+    def spaces_payload(self) -> dict:
+        described = self.registry.describe()
+        for name, row in described.items():
+            current = self._current.get(name)
+            if current is not None:
+                row["epoch"] = current["epoch"]
+                row["digest"] = current["digest"]
+                row["segments"] = list(self._arenas.get(name, ()))
+        return {
+            "spaces": described,
+            "default": self.registry.default_space,
+            "replicas": self.replica_health(),
+        }
+
+    # -- shutdown --------------------------------------------------------
+
+    def _release(self) -> None:
+        # Wait out in-flight builds first so a racing builder cannot
+        # publish a segment after the sweep below already ran.
+        self.registry.shutdown(wait=True)
+        for segments in self._arenas.values():
+            for published in segments.values():
+                published.unlink()
+                published.close()
+        self._arenas.clear()
+        for attached in self._cache_attachments:
+            attached.close()
+        self._cache_attachments.clear()
 
 
 class _RouterHandler(BaseHTTPRequestHandler):
@@ -487,8 +1123,16 @@ class _RouterHandler(BaseHTTPRequestHandler):
     # -- plumbing --------------------------------------------------------
 
     def _body_bytes(self) -> bytes:
-        length = int(self.headers.get("Content-Length") or 0)
-        return self.rfile.read(length) if length > 0 else b""
+        # Read-once, cached: error replies fire from anywhere in the
+        # route (often before the body was needed), and an unread body
+        # left in the socket desyncs the next keep-alive request into
+        # a framing 400.  ``_dispatch`` drains through here up front.
+        cached = getattr(self, "_cached_body", None)
+        if cached is None:
+            length = int(self.headers.get("Content-Length") or 0)
+            cached = self.rfile.read(length) if length > 0 else b""
+            self._cached_body = cached
+        return cached
 
     def _body(self) -> dict:
         raw = self._body_bytes()
@@ -574,18 +1218,44 @@ class _RouterHandler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
     def _dispatch(self, method: str) -> None:
+        # One handler instance serves every request on a keep-alive
+        # connection: reset the body cache, then drain eagerly so an
+        # error reply fired before any body read can't leave request
+        # bytes in the socket (the next request would parse mid-body).
+        self._cached_body = None
+        self._body_bytes()
         try:
             handled = self._route(method)
         except _RouterBadRequest as error:
             self._fail(400, "bad_request", str(error))
+        except SpaceBuildingError as error:
+            self._reply(
+                202,
+                {
+                    "state": "building",
+                    "space": error.name,
+                    "retry_after_s": error.retry_after_s,
+                },
+                headers={
+                    "Retry-After": str(max(1, math.ceil(error.retry_after_s)))
+                },
+            )
+        except SpaceNotFoundError as error:
+            # Before KeyError: it subclasses KeyError but is not a
+            # session-routing miss.
+            self._fail(404, "unknown_space", str(error))
+        except SpaceBuildError as error:
+            self._fail(500, "space_build_failed", str(error))
         except WorkerUnavailable as error:
             # The stock client's 503 retry loop handles this: the
             # replacement replica (or a takeover resume) answers next.
             self._fail(
                 503,
-                "replica_unavailable",
+                error.error_type,
                 str(error),
-                headers={"Retry-After": "1"},
+                headers={
+                    "Retry-After": str(max(1, math.ceil(error.retry_after_s)))
+                },
             )
         except KeyError as error:
             self._fail(404, "unknown_session", str(error))
@@ -621,18 +1291,13 @@ class _RouterHandler(BaseHTTPRequestHandler):
         ):
             from repro.service.server import _BadRequest, parse_mutation
 
-            name = segments[1]
-            expected = pool.space_name or "default"
-            if name != expected:
-                self._fail(
-                    404, "unknown_space", f"no space named {name!r}"
-                )
-                return True
             try:
                 delta, verify = parse_mutation(self._body())
             except _BadRequest as error:
                 raise _RouterBadRequest(str(error))
-            self._reply(200, pool.mutate(delta, verify=verify))
+            self._reply(
+                200, pool.mutate_space(segments[1], delta, verify=verify)
+            )
             return True
         if len(segments) >= 2 and segments[0] == "v1" and segments[1] == "sessions":
             if len(segments) == 2:
@@ -651,10 +1316,13 @@ class _RouterHandler(BaseHTTPRequestHandler):
                     resume = body.get("resume")
                     if resume is not None and not isinstance(resume, str):
                         raise _RouterBadRequest("resume must be a token string")
+                    modified = pool.prepare_open_body(body)
                     if resume is not None and pool.worker_of(resume) is not None:
                         replica = pool.pick_for(resume, takeover=True)
                     else:
                         replica = pool.pick_fresh()
+                    if modified:
+                        raw = json.dumps(body).encode("utf-8")
                     self._forward(replica, body=raw)
                 else:
                     self._reply(200, {"sessions": self.service.session_ids()})
@@ -676,7 +1344,7 @@ class _RouterServer(ThreadingHTTPServer):
 
 
 class ReplicatedService:
-    """The HTTP router over a :class:`WorkerPool`.
+    """The HTTP router over a worker pool (single-space or registry).
 
     Speaks the same wire protocol as
     :class:`~repro.service.server.ExplorationService`, so the stock
@@ -686,7 +1354,10 @@ class ReplicatedService:
     """
 
     def __init__(
-        self, pool: WorkerPool, host: str = "127.0.0.1", port: int = 0
+        self,
+        pool: "WorkerPool | MultiSpaceWorkerPool",
+        host: str = "127.0.0.1",
+        port: int = 0,
     ) -> None:
         self.pool = pool
         self._httpd = _RouterServer((host, port), partial(_RouterHandler, self))
@@ -760,20 +1431,7 @@ class ReplicatedService:
         }
 
     def spaces_payload(self) -> dict:
-        name = self.pool.space_name or "default"
-        pool_stats = self.pool.stats()
-        return {
-            "spaces": [
-                {
-                    "name": name,
-                    "state": "ready" if pool_stats["alive"] else "down",
-                    "epoch": pool_stats["epoch"],
-                    "digest": pool_stats["digest"],
-                    "replicas": pool_stats["replicas"],
-                }
-            ],
-            "default": name,
-        }
+        return self.pool.spaces_payload()
 
 
 def serve_replicated(
@@ -797,9 +1455,31 @@ def serve_replicated(
         raise
 
 
+def serve_replicated_spaces(
+    descriptors,
+    *,
+    workers: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **pool_kwargs,
+) -> ReplicatedService:
+    """Convenience: replicate a whole registry behind one router."""
+    pool = MultiSpaceWorkerPool(
+        descriptors, workers=workers, host=host, **pool_kwargs
+    )
+    try:
+        return ReplicatedService(pool, host=host, port=port).start()
+    except BaseException:
+        pool.stop()
+        raise
+
+
 __all__ = [
+    "MultiSpaceWorkerPool",
     "ReplicatedService",
     "WorkerPool",
     "WorkerUnavailable",
+    "compile_reference_pattern",
     "serve_replicated",
+    "serve_replicated_spaces",
 ]

@@ -151,6 +151,10 @@ _CONNECT_RETRIES = 3
 _ERRORS_BY_TYPE = {
     (404, "unknown_session"): SessionNotFound,
     (404, "unknown_space"): SpaceNotFound,
+    # A 409 already maps to StaleSessionState by status; the explicit
+    # entry pins the ``stale_epoch`` refusal (retention window exhausted)
+    # to the same class so the pairing survives status-map edits.
+    (409, "stale_epoch"): StaleSessionState,
 }
 
 
@@ -175,6 +179,7 @@ class ExplorationClient:
         timeout: float = 30.0,
         degraded_retries: int = 1,
         retry_after_cap_s: float = 0.5,
+        building_retry_cap_s: float = 30.0,
     ) -> None:
         self.host = host
         self.port = port
@@ -184,9 +189,16 @@ class ExplorationClient:
         #: rolled the interaction back, so re-sending is always safe; the
         #: sleep honors the server's ``Retry-After`` header, clamped to
         #: ``retry_after_cap_s`` so a pessimistic server hint cannot
-        #: stall an interactive caller for seconds per request.
+        #: stall an interactive caller for seconds per request.  The
+        #: clamp applies to *degraded-503 retries only*: a 503 hint is a
+        #: healing estimate and over-waiting it wastes interactive time,
+        #: whereas a 202 building hint is the server's measurement of a
+        #: real index build — honoring it is the whole point, so
+        #: :meth:`open_when_ready` clamps to the separate (much larger)
+        #: ``building_retry_cap_s`` instead.
         self.degraded_retries = degraded_retries
         self.retry_after_cap_s = retry_after_cap_s
+        self.building_retry_cap_s = building_retry_cap_s
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # -- transport -------------------------------------------------------
@@ -376,10 +388,16 @@ class ExplorationClient:
                 # escalate gently past the first few polls (a build that
                 # overran its estimate likely needs multiples of it, not
                 # another tick) and jitter so concurrent waiters don't
-                # re-poll in lockstep.
+                # re-poll in lockstep.  The cap is the building-specific
+                # one: a space honestly advertising a multi-second index
+                # build must not be busy-polled on the degraded-503
+                # cadence.
                 polls += 1
                 hint = max(building.retry_after_s, 0.05)
-                delay = min(hint * (1.5 ** min(polls - 1, 4)), 5.0)
+                delay = min(
+                    hint * (1.5 ** min(polls - 1, 4)),
+                    self.building_retry_cap_s,
+                )
                 delay *= 0.5 + random.random() / 2
                 time.sleep(min(delay, remaining))
 

@@ -90,6 +90,7 @@ from repro.core.journal import DurabilityError
 from repro.core.runtime import (
     SessionLimitError,
     SessionManager,
+    StaleEpochError,
     UnknownSessionError,
 )
 from repro.core.session import SessionConfig
@@ -393,6 +394,12 @@ class _Handler(BaseHTTPRequestHandler):
                     "Retry-After": str(max(1, math.ceil(error.retry_after_s)))
                 },
             )
+        except StaleEpochError as error:
+            # The resume's pinned store generation aged out of every
+            # retention window (runtime epochs, or arena segments after
+            # a worker respawn).  Typed apart from the generic conflict:
+            # the client's only recovery is a fresh session, not a retry.
+            self._fail(409, "stale_epoch", str(error))
         except ValueError as error:
             # Server-side state disagreement: stale space digest on
             # resume, an already-live resume token, resume without a

@@ -223,6 +223,22 @@ class SpaceDescriptor:
             name=self.dataset if self.dataset is not None else "dataset",
         ).dataset
 
+    def build_dataset(self):
+        """Load / synthesize just the dataset, without discovery or index.
+
+        The replication tier's warm-boot path needs the dataset (workers
+        bounds-check arena members against it) but maps every derived
+        artifact from a cached arena snapshot — paying for discovery and
+        index construction there would defeat the cache.  Builder
+        descriptors have no separable dataset recipe and refuse.
+        """
+        if self.builder is not None:
+            raise ValueError(
+                f"space {self.name!r}: a builder descriptor has no "
+                "standalone dataset recipe"
+            )
+        return self._dataset()
+
     def materialize(self) -> GroupSpaceRuntime:
         """Build this space's serving runtime (the registry's slow path).
 

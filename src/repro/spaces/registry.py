@@ -36,6 +36,7 @@ into serving state on demand.
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -47,6 +48,14 @@ from repro.spaces.descriptor import SpaceDescriptor
 
 if TYPE_CHECKING:
     from repro.core.session import SessionConfig
+
+#: A space name that *looks like* a worker tag.  Under a non-empty
+#: ``id_tag`` (the replication tier's ``w<index>-``), ids would read
+#: ``w0-w1-eval-s0001`` — and any id or resume token minted by a
+#: differently-deployed registry over the same manifest becomes
+#: indistinguishable from a tagged id of another space.  Refused loudly
+#: at registration instead of misrouting resumes at 2 a.m.
+_WORKER_TAG_LIKE = re.compile(r"^w\d+-")
 
 
 class SpaceNotFoundError(KeyError):
@@ -204,6 +213,13 @@ class SpaceRegistry:
 
     def register(self, descriptor: SpaceDescriptor, exist_ok: bool = False) -> None:
         """Add a space; ``exist_ok`` tolerates re-registration by name."""
+        if self.id_tag and _WORKER_TAG_LIKE.match(descriptor.name):
+            raise ValueError(
+                f"space name {descriptor.name!r} is ambiguous under id tag "
+                f"{self.id_tag!r}: it matches the worker-tag shape "
+                f"'w<index>-', so session ids and resume tokens could not "
+                f"be routed unambiguously — rename the space"
+            )
         if descriptor.idle_ttl_s is not None and self.state_dir is None:
             raise ValueError(
                 f"space {descriptor.name!r} sets idle_ttl_s but the "
@@ -277,6 +293,16 @@ class SpaceRegistry:
     def runtime(self, name: str, wait: bool = True) -> GroupSpaceRuntime:
         """The (built) runtime of ``name`` — the experiments' entry point."""
         return self.manager(name, wait=wait).runtime
+
+    def peek(self, name: str) -> str:
+        """The space's lifecycle state without side effects.
+
+        Unlike :meth:`manager`, peeking a cold space does *not* queue a
+        build — the replication tier's ``rebind`` uses this to update an
+        evicted space's arena record without resurrecting its runtime.
+        """
+        with self._lock:
+            return self._entry(name).state
 
     def route(self, session_id: str) -> SessionManager:
         """The manager serving a live session id, whatever its space.

@@ -1,0 +1,150 @@
+"""On-disk arena snapshot cache: warm boots without discovery (tier-1).
+
+The cache persists a published segment's bytes verbatim
+(``<dir>/<tag>.arena``, atomic tmp+rename) so the next boot can
+``mmap`` the file straight back into shared memory instead of re-running
+discovery and index construction.  The load path must be as paranoid as
+a worker attach: anything wrong — missing file, torn write, a file
+saved under a different tag, garbage — degrades to ``None`` (a cold
+build) after removing the bad file, never to wrong neighbors.
+
+All in-process; the composed warm-boot behavior (``arena_cache_hits``
+on a :class:`MultiSpaceWorkerPool`) lives in ``test_spaces_pool.py``.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+from repro.index.inverted import SimilarityIndex
+from repro.replication import (
+    arena_cache_path,
+    attach_arena,
+    list_segments,
+    load_arena_cache,
+    publish_arena,
+    save_arena_cache,
+    sweep_orphans,
+)
+
+TAG = f"cachetest{os.getpid()}"
+
+
+@pytest.fixture(scope="module")
+def space():
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=160, seed=13))
+    return discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.08, max_description=3),
+    )
+
+
+@pytest.fixture(scope="module")
+def index(space):
+    return SimilarityIndex(
+        [group.members for group in space],
+        space.dataset.n_users,
+        materialize_fraction=0.10,
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_segments():
+    sweep_orphans(TAG)
+    yield
+    sweep_orphans(TAG)
+
+
+def test_save_load_round_trip(space, index, tmp_path):
+    published = publish_arena(space, index, TAG, epoch=3)
+    saved = save_arena_cache(published, TAG, tmp_path)
+    assert saved == arena_cache_path(TAG, tmp_path)
+    assert saved.stat().st_size == published.size
+    original_digest = published.digest
+    published.unlink()
+    published.close()
+    assert list_segments(TAG) == []
+
+    loaded = load_arena_cache(TAG, tmp_path)
+    assert loaded is not None
+    assert loaded.digest == original_digest
+    assert loaded.epoch == 3
+    # The re-created segment passes the same digest-verified attach
+    # every worker performs.
+    attached = attach_arena(TAG, loaded.digest, verify=True)
+    assert attached.verified
+    attached.close()
+    loaded.unlink()
+    loaded.close()
+
+
+def test_missing_cache_is_a_cold_boot(tmp_path):
+    assert load_arena_cache(TAG, tmp_path) is None
+    assert load_arena_cache(TAG, tmp_path / "never-created") is None
+
+
+def test_garbage_cache_is_removed(tmp_path):
+    path = arena_cache_path(TAG, tmp_path)
+    path.write_bytes(b"not an arena at all, but plenty long " * 4)
+    assert load_arena_cache(TAG, tmp_path) is None
+    assert not path.exists()
+    assert list_segments(TAG) == []
+
+
+def test_torn_write_is_removed(space, index, tmp_path):
+    published = publish_arena(space, index, TAG)
+    path = save_arena_cache(published, TAG, tmp_path)
+    published.unlink()
+    published.close()
+    # Simulate a torn write: keep the header, drop the arrays' tail so
+    # the digest can no longer verify.
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    assert load_arena_cache(TAG, tmp_path) is None
+    assert not path.exists()
+    assert list_segments(TAG) == []
+
+
+def test_foreign_tag_cache_is_refused(space, index, tmp_path):
+    published = publish_arena(space, index, TAG)
+    saved = save_arena_cache(published, TAG, tmp_path)
+    published.unlink()
+    published.close()
+    # A file copied under another tag's name must not impersonate it:
+    # the header names the saving tag and the digest is tag-scoped.
+    foreign = f"{TAG}other"
+    shutil.copy(saved, arena_cache_path(foreign, tmp_path))
+    try:
+        assert load_arena_cache(foreign, tmp_path) is None
+        assert not arena_cache_path(foreign, tmp_path).exists()
+        assert list_segments(foreign) == []
+    finally:
+        sweep_orphans(foreign)
+
+
+def test_load_attaches_when_segment_already_live(space, index, tmp_path):
+    published = publish_arena(space, index, TAG, epoch=1)
+    save_arena_cache(published, TAG, tmp_path)
+    # The segment is still live (e.g. a racing publisher won): the
+    # loader must attach to it rather than fail on FileExistsError.
+    loaded = load_arena_cache(TAG, tmp_path)
+    assert loaded is not None
+    assert loaded.digest == published.digest
+    assert loaded.name == published.name
+    loaded.close()
+    published.unlink()
+    published.close()
+
+
+def test_latest_save_wins(space, index, tmp_path):
+    published = publish_arena(space, index, TAG, epoch=0)
+    save_arena_cache(published, TAG, tmp_path)
+    first = arena_cache_path(TAG, tmp_path).read_bytes()
+    save_arena_cache(published, TAG, tmp_path)
+    assert arena_cache_path(TAG, tmp_path).read_bytes() == first
+    assert not (tmp_path / f"{TAG}.arena.tmp").exists()
+    published.unlink()
+    published.close()

@@ -1,0 +1,184 @@
+"""Respawn resilience: bounded retry, surfaced failures, typed 503s.
+
+Regression (``-m replication``): ``_quiet_respawn`` swallowed every
+spawn exception with a bare ``pass`` and the router only armed a
+respawn on the alive→dead *transition* — so a single failed respawn
+(port momentarily taken, fork pressure, a transient import error) left
+the slot down forever while routes kept answering the generic 503 with
+a constant 1 s hint.  The fix:
+
+- the respawn thread retries on a bounded backoff schedule
+  (``_RESPAWN_BACKOFF_S``), counting every failed attempt;
+- every route that lands on a dead slot re-arms a (dedup'd) round, so a
+  schedule that ran dry is retried by the next request instead of
+  never;
+- ``/healthz`` rows surface the cumulative ``respawn_failures``;
+- while the failure streak persists the 503 flips to the typed
+  ``replica_respawn_failing`` with a scaled ``Retry-After`` so clients
+  back off instead of hammering a slot that is not coming back soon.
+
+Exercised against a real 1-worker pool whose ``_spawn`` is wrapped to
+fail on purpose: twice-then-succeed (the retry must win) and
+always-fail (the typed degradation must surface).
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.session import SessionConfig
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+from repro.replication import serve_replicated
+from repro.service import ExplorationClient
+from repro.service.client import ServiceDegraded
+
+pytestmark = pytest.mark.replication
+
+TAG = f"respawntest{os.getpid()}"
+
+
+@pytest.fixture(scope="module")
+def space():
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=180, seed=17))
+    return discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.08, max_description=3),
+    )
+
+
+def untimed_config() -> SessionConfig:
+    return SessionConfig(k=5, time_budget_ms=None, use_profile=False)
+
+
+def _wait(predicate, timeout_s=30.0, interval_s=0.1):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+def _kill_worker(pool, index):
+    pid = pool.replicas[index].pid
+    os.kill(pid, signal.SIGKILL)
+    _wait(lambda: not pool.replicas[index].process.is_alive(), timeout_s=10.0)
+
+
+def test_respawn_retries_surfaces_failures_and_degrades_typed(
+    space, tmp_path
+):
+    service = serve_replicated(
+        space.dataset,
+        space,
+        workers=1,
+        tag=TAG,
+        state_dir=tmp_path,
+        space_name="pooled",
+        default_config=untimed_config(),
+    )
+    pool = service.pool
+    original_spawn = pool._spawn
+    try:
+        with ExplorationClient(
+            service.host, service.port, degraded_retries=0
+        ) as client:
+            opened = client.open()
+            baseline = [g.gid for g in opened.display]
+
+            # -- phase 1: spawn fails twice, the backoff retry wins ---
+            remaining_failures = [2]
+
+            def flaky_spawn(index):
+                if remaining_failures[0] > 0:
+                    remaining_failures[0] -= 1
+                    raise OSError("injected spawn failure")
+                return original_spawn(index)
+
+            pool._spawn = flaky_spawn
+            _kill_worker(pool, 0)
+
+            # The first route on the dead slot answers a typed 503 and
+            # arms the respawn round (pre-fix: only the transition did,
+            # and the round gave up after one swallowed failure).
+            with pytest.raises(ServiceDegraded) as excinfo:
+                client.click(opened.session_id, baseline[0])
+            assert excinfo.value.error_type == "replica_unavailable"
+            assert excinfo.value.retry_after_s >= 1.0
+
+            assert _wait(
+                lambda: pool.replicas[0].alive
+                and pool.replicas[0].process.is_alive()
+            ), "backoff respawn never brought the worker back"
+            assert remaining_failures[0] == 0
+            assert pool._respawn_failures[0] == 2
+
+            row = next(
+                r for r in client.replicas() if r["index"] == 0
+            )
+            assert row["alive"] is True
+            assert row["restarts"] == 1
+            # Pre-fix the health row had no such key at all.
+            assert row["respawn_failures"] == 2
+
+            # The session's memory died with the old worker; its token
+            # restores on the replacement from the shared state dir.
+            resumed = client.open(resume=opened.resume_token)
+            assert [g.gid for g in resumed.display] == baseline
+
+            # -- phase 2: spawn keeps failing, the 503 must say so ----
+            def doomed_spawn(index):
+                raise OSError("injected permanent spawn failure")
+
+            pool._spawn = doomed_spawn
+            _kill_worker(pool, 0)
+            with pytest.raises(ServiceDegraded) as excinfo:
+                client.click(resumed.session_id, baseline[0])
+            # The first reply may still be the optimistic flavor; the
+            # streak builds as the armed round burns its schedule.
+            assert _wait(
+                lambda: pool._respawn_streak.get(0, 0) >= 3
+            ), "failing respawns never accumulated a streak"
+
+            with pytest.raises(ServiceDegraded) as excinfo:
+                client.click(resumed.session_id, baseline[0])
+            assert excinfo.value.error_type == "replica_respawn_failing"
+            # Retry-After scales with the streak instead of the flat
+            # 1 s hint (pre-fix clients hammered a dead slot at 1 Hz).
+            assert excinfo.value.retry_after_s >= 2.0
+
+            # -- phase 3: the next request re-arms and recovers -------
+            # Pre-fix the dry schedule was terminal: nothing ever
+            # retried a slot whose (single, swallowed) respawn failed.
+            # Now any resume landing on the slot re-arms a round, and
+            # with the spawn healed the round succeeds.
+            pool._spawn = original_spawn
+            recovered = None
+            deadline = time.monotonic() + 30.0
+            while recovered is None and time.monotonic() < deadline:
+                try:
+                    recovered = client.open(resume=resumed.resume_token)
+                except ServiceDegraded:
+                    time.sleep(0.2)
+            assert recovered is not None, (
+                "slot stayed down after spawn was healed"
+            )
+            assert [g.gid for g in recovered.display] == baseline
+            assert client.click(recovered.session_id, baseline[0])
+
+            row = next(
+                r for r in client.replicas() if r["index"] == 0
+            )
+            assert row["alive"] is True
+            assert row["restarts"] == 2
+            # Phase 1's two injected failures plus however much of
+            # phase 2's doomed schedule burned before the heal (at
+            # least the streak the test waited for).
+            assert row["respawn_failures"] >= 5
+            assert pool._respawn_streak.get(0, 0) == 0
+    finally:
+        pool._spawn = original_spawn
+        service.stop()

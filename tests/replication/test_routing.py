@@ -1,0 +1,132 @@
+"""Sticky-routing reference parsing (tier-1: no processes spawned).
+
+The PR 8 router extracted the worker index with a bare ``^w(\\d+)-``
+prefix match.  Composed with the space registry that is wrong twice
+over: a space legitimately named ``w1-eval`` (the descriptor name
+alphabet allows it) would make ``w1-eval-s0001`` parse as *worker 1 of
+space eval*, silently misrouting every resume; and any reference that
+merely starts like a worker tag was treated as pool-owned.  The fix is
+an anchored pattern over the full composed shape — worker tag, a known
+space name matched as an escaped literal (longest first), the session
+counter — plus loud refusal of manifests whose space names collide with
+the worker-tag shape.  These tests pin both halves.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replication.pool import (
+    MultiSpaceWorkerPool,
+    _parse_reference,
+    compile_reference_pattern,
+)
+from repro.spaces.descriptor import SpaceDescriptor
+from repro.spaces.registry import SpaceRegistry
+
+_NAME = st.from_regex(r"[A-Za-z0-9_-]{1,12}", fullmatch=True).filter(
+    lambda name: re.match(r"^w\d+-", name) is None
+)
+
+
+def _descriptor(name: str) -> SpaceDescriptor:
+    return SpaceDescriptor(
+        name=name, generator={"kind": "dbauthors", "n_authors": 50, "seed": 1}
+    )
+
+
+class TestSingleSpacePattern:
+    def test_session_id_and_token_parse(self):
+        pattern = compile_reference_pattern()
+        assert _parse_reference("w0-s0001", pattern, 2) == (0, None)
+        assert _parse_reference("w1-s0042-a1b2c3d4e5f6", pattern, 2) == (
+            1,
+            None,
+        )
+        # Counters past 9999 widen; the pattern must keep matching.
+        assert _parse_reference("w1-s12345", pattern, 2) == (1, None)
+
+    def test_out_of_range_and_garbage(self):
+        pattern = compile_reference_pattern()
+        assert _parse_reference("w5-s0001", pattern, 2) == (None, None)
+        assert _parse_reference("", pattern, 2) == (None, None)
+        assert _parse_reference("s0001", pattern, 2) == (None, None)
+        assert _parse_reference("w-s0001", pattern, 2) == (None, None)
+
+    def test_registry_shaped_reference_is_not_pool_owned(self):
+        # The regression: ``w1-eval-s0001`` is a *registry* session id
+        # (worker 1, space ``eval``), never a single-space pool's.  The
+        # old ``^w(\d+)-`` prefix match claimed it and misrouted.
+        pattern = compile_reference_pattern()
+        assert _parse_reference("w1-eval-s0001", pattern, 4) == (None, None)
+        assert _parse_reference("w1-evals0001", pattern, 4) == (None, None)
+
+
+class TestMultiSpacePattern:
+    def test_space_extraction(self):
+        pattern = compile_reference_pattern(["authors", "books"])
+        assert _parse_reference("w0-books-s0001", pattern, 2) == (0, "books")
+        assert _parse_reference(
+            "w1-authors-s0007-abcdef012345", pattern, 2
+        ) == (1, "authors")
+        assert _parse_reference("w0-movies-s0001", pattern, 2) == (None, None)
+
+    def test_longest_name_wins_on_overlap(self):
+        pattern = compile_reference_pattern(["eval", "eval-extra"])
+        assert _parse_reference("w0-eval-s0001", pattern, 2) == (0, "eval")
+        assert _parse_reference("w0-eval-extra-s0001", pattern, 2) == (
+            0,
+            "eval-extra",
+        )
+        # A token of the short space must not be claimed by the long
+        # one: the hex suffix is not a session counter.
+        assert _parse_reference(
+            "w0-eval-s0001-0a1b2c3d4e5f", pattern, 2
+        ) == (0, "eval")
+
+    @settings(max_examples=60)
+    @given(
+        names=st.lists(_NAME, min_size=1, max_size=4, unique=True),
+        pick=st.integers(min_value=0, max_value=3),
+        index=st.integers(min_value=0, max_value=3),
+        counter=st.integers(min_value=1, max_value=99999),
+        token=st.booleans(),
+    )
+    def test_composed_references_route_home(
+        self, names, pick, index, counter, token
+    ):
+        """Any composed reference parses back to its minting worker."""
+        name = names[pick % len(names)]
+        pattern = compile_reference_pattern(names)
+        reference = f"w{index}-{name}-s{counter:04d}"
+        if token:
+            reference += "-0a1b2c3d4e5f"
+        parsed_index, parsed_space = _parse_reference(reference, pattern, 4)
+        assert parsed_index == index
+        assert parsed_space in names
+        assert reference.startswith(f"w{index}-{parsed_space}-s")
+        # Strangers never parse: a foreign worker index or a space the
+        # manifest does not know routes as not-pool-owned.
+        assert _parse_reference(reference, pattern, index) == (None, None)
+        assert _parse_reference(f"x{reference}", pattern, 4) == (None, None)
+
+
+class TestAmbiguousManifestRefusal:
+    def test_pool_refuses_worker_shaped_space_names(self):
+        with pytest.raises(ValueError, match="w<index>-"):
+            MultiSpaceWorkerPool(
+                [_descriptor("authors"), _descriptor("w1-eval")],
+                workers=1,
+                sweep=False,
+            )
+
+    def test_registry_refuses_worker_shaped_names_under_id_tag(self):
+        registry = SpaceRegistry(id_tag="w0-")
+        with pytest.raises(ValueError, match="ambiguous"):
+            registry.register(_descriptor("w12-books"))
+        # Without an id tag the name is fine — nothing to collide with.
+        plain = SpaceRegistry()
+        plain.register(_descriptor("w12-books"))
+        assert plain.names() == ["w12-books"]

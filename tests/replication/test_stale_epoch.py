@@ -1,0 +1,129 @@
+"""Resume after the pinned epoch aged out: a typed refusal, not a 500.
+
+Regression (``-m replication``, part of the recovery matrix): a session
+checkpointed on epoch N kept serving its pinned arena after a mutation
+to N+1 — the worker retains its attachment, POSIX keeps unlinked
+segments mapped.  But once that *worker* died, the respawned
+replacement binds only the current epoch, and with the old segment
+trimmed past ``retain_segments`` the resume has nothing to rebind to.
+Pre-fix that surfaced as the generic 409 ``conflict`` (and, on the
+worker-side arena attach, an untyped 500) — indistinguishable from an
+already-live token, so clients retried a resume that can never succeed.
+
+Now the dead end is the typed 409 ``stale_epoch``
+(:class:`~repro.core.runtime.StaleEpochError` end to end): the client's
+only recovery is a fresh session, and the error says so.  A sibling
+session checkpointed on the *current* epoch must keep resuming through
+the same respawn — the refusal is targeted, not a blanket.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.session import SessionConfig
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+from repro.replication import serve_replicated
+from repro.service import ExplorationClient
+from repro.service.client import ServiceDegraded, StaleSessionState
+
+pytestmark = [pytest.mark.replication, pytest.mark.recovery]
+
+TAG = f"staletest{os.getpid()}"
+
+
+@pytest.fixture(scope="module")
+def space():
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=180, seed=23))
+    return discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.08, max_description=3),
+    )
+
+
+def untimed_config() -> SessionConfig:
+    return SessionConfig(k=5, time_budget_ms=None, use_profile=False)
+
+
+def _wait(predicate, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.1)
+    return False
+
+
+def test_resume_past_retention_is_typed_stale_epoch(space, tmp_path):
+    service = serve_replicated(
+        space.dataset,
+        space,
+        workers=1,
+        tag=TAG,
+        state_dir=tmp_path,
+        space_name="pooled",
+        retain_segments=1,
+        default_config=untimed_config(),
+    )
+    pool = service.pool
+    try:
+        with ExplorationClient(
+            service.host, service.port, degraded_retries=0
+        ) as client:
+            pinned = client.open()
+            baseline = [g.gid for g in pinned.display]
+            # Checkpoint an interaction so the stored state pins the
+            # epoch-0 digest.
+            client.click(pinned.session_id, baseline[0])
+
+            report = client.mutate(
+                "pooled",
+                add=[(["stale", "test"], [0, 1, 2, 3, 4])],
+                remove=[baseline[0]],
+            )
+            assert report["epoch"] == 1
+            # retain_segments=1: the epoch-0 arena is already gone
+            # parent-side; only the live worker's mapping kept it.
+            assert len(pool._published) == 1
+
+            # A sibling checkpointed on the *new* epoch.
+            fresh = client.open()
+            client.click(fresh.session_id, [g.gid for g in fresh.display][0])
+
+            # The pinned session still walks its old epoch while its
+            # worker lives (mapped segments survive the unlink).
+            assert client.click(pinned.session_id, baseline[1])
+
+            os.kill(pool.replicas[0].pid, signal.SIGKILL)
+            _wait(lambda: not pool.replicas[0].process.is_alive())
+            try:
+                client.open(resume=pinned.resume_token)  # arms respawn
+            except (ServiceDegraded, StaleSessionState):
+                pass
+            assert _wait(
+                lambda: pool.replicas[0].alive
+                and pool.replicas[0].process.is_alive()
+            ), "worker never respawned"
+
+            # The replacement binds only epoch 1: the pinned resume is
+            # a dead end and must say so, typed.  Pre-fix this was the
+            # generic 409 ``conflict``.
+            with pytest.raises(StaleSessionState) as excinfo:
+                client.open(resume=pinned.resume_token)
+            assert excinfo.value.error_type == "stale_epoch"
+            assert excinfo.value.status == 409
+            assert "stale" in excinfo.value.message
+
+            # Targeted, not a blanket: the sibling pinned the current
+            # epoch and resumes through the same respawn.
+            resumed = client.open(resume=fresh.resume_token)
+            assert resumed.session_id.startswith("w0-")
+            assert client.click(
+                resumed.session_id,
+                [g.gid for g in resumed.display][0],
+            )
+    finally:
+        service.stop()

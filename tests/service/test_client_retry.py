@@ -1,0 +1,175 @@
+"""Client retry cadence: building 202s vs degraded 503s (tier-1).
+
+Regression: :class:`ExplorationClient` clamped *every* server retry
+hint to ``retry_after_cap_s`` (0.5 s) — the right cap for degraded-503
+replies, where the server rolled the session back and a quick re-send
+is cheap, but catastrophically wrong for 202 *building* replies: a
+space honestly advertising a multi-second index build got busy-polled
+at 2 Hz for the whole build.  ``open_when_ready`` must honor the 202
+hint up to the separate ``building_retry_cap_s`` (30 s default) while
+``_request`` keeps the tight degraded clamp.
+
+These tests drive the real client against a scripted in-process HTTP
+stub and record what the client actually sleeps.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+import repro.service.client as client_module
+from repro.service.client import ExplorationClient, ServiceDegraded
+
+_OPEN_REPLY = {
+    "session_id": "s0001",
+    "resume_token": "s0001-deadbeef0123",
+    "display": [{"gid": 7, "description": ["f=1"], "size": 3}],
+    "space": "x",
+}
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Replays ``server.script`` (a list of (status, headers, body))."""
+
+    def do_POST(self):  # noqa: N802 - http.server API
+        self.rfile.read(int(self.headers.get("Content-Length") or 0))
+        with self.server.lock:
+            index = min(self.server.served, len(self.server.script) - 1)
+            self.server.served += 1
+        status, headers, body = self.server.script[index]
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, *args):  # quiet
+        pass
+
+
+@pytest.fixture
+def scripted_server():
+    servers = []
+
+    def start(script):
+        server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+        server.script = script
+        server.served = 0
+        server.lock = threading.Lock()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append((server, thread))
+        return server
+
+    yield start
+    for server, thread in servers:
+        server.shutdown()
+        thread.join(timeout=5)
+        server.server_close()
+
+
+@pytest.fixture
+def recorded_sleeps(monkeypatch):
+    """Capture the client's sleeps (without sleeping) and kill jitter."""
+    sleeps = []
+    monkeypatch.setattr(
+        client_module.time, "sleep", lambda seconds: sleeps.append(seconds)
+    )
+    monkeypatch.setattr(client_module.random, "random", lambda: 1.0)
+    return sleeps
+
+
+def _building_reply(retry_after_s):
+    return (
+        202,
+        {"Retry-After": str(int(retry_after_s))},
+        {"state": "building", "space": "x", "retry_after_s": retry_after_s},
+    )
+
+
+def test_open_when_ready_honors_multi_second_building_hint(
+    scripted_server, recorded_sleeps
+):
+    server = scripted_server(
+        [_building_reply(8.0), _building_reply(8.0), (200, {}, _OPEN_REPLY)]
+    )
+    client = ExplorationClient("127.0.0.1", server.server_address[1])
+    try:
+        opened = client.open_when_ready(space="x", timeout_s=120.0)
+    finally:
+        client.close_connection()
+    assert opened.session_id == "s0001"
+    assert len(recorded_sleeps) == 2
+    # The regression clamped this to retry_after_cap_s (0.5 s): an 8 s
+    # build got polled 16x instead of ~once.  The hint must pass
+    # through whole (jitter pinned to its 1.0 ceiling).
+    assert recorded_sleeps[0] == pytest.approx(8.0)
+    # The escalation multiplies the hint, never shrinks it.
+    assert recorded_sleeps[1] >= recorded_sleeps[0]
+
+
+def test_open_when_ready_caps_at_building_cap_not_degraded_cap(
+    scripted_server, recorded_sleeps
+):
+    server = scripted_server(
+        [_building_reply(300.0), (200, {}, _OPEN_REPLY)]
+    )
+    client = ExplorationClient(
+        "127.0.0.1", server.server_address[1], building_retry_cap_s=10.0
+    )
+    try:
+        client.open_when_ready(space="x", timeout_s=120.0)
+    finally:
+        client.close_connection()
+    assert recorded_sleeps == [pytest.approx(10.0)]
+
+
+def test_degraded_503_keeps_tight_clamp(scripted_server, recorded_sleeps):
+    degraded = (
+        503,
+        {"Retry-After": "8"},
+        {
+            "error": {
+                "type": "degraded",
+                "message": "journal degraded; retry",
+            }
+        },
+    )
+    server = scripted_server([degraded, (200, {}, _OPEN_REPLY)])
+    client = ExplorationClient("127.0.0.1", server.server_address[1])
+    try:
+        opened = client.open(space="x")
+    finally:
+        client.close_connection()
+    assert opened.session_id == "s0001"
+    # The 503 path must NOT inherit the building cap: the server
+    # already rolled back, so the quick 0.5 s re-send stays.
+    assert recorded_sleeps == [pytest.approx(0.5)]
+
+
+def test_degraded_503_exhausted_retries_surface_typed(
+    scripted_server, recorded_sleeps
+):
+    degraded = (
+        503,
+        {"Retry-After": "4"},
+        {"error": {"type": "degraded", "message": "still degraded"}},
+    )
+    server = scripted_server([degraded, degraded, degraded])
+    client = ExplorationClient(
+        "127.0.0.1", server.server_address[1], degraded_retries=1
+    )
+    try:
+        with pytest.raises(ServiceDegraded) as excinfo:
+            client.open(space="x")
+    finally:
+        client.close_connection()
+    # The surfaced error carries the *server's* hint uncapped — the
+    # caller decides its own cadence.
+    assert excinfo.value.retry_after_s == pytest.approx(4.0)
+    assert recorded_sleeps == [pytest.approx(0.5)]
