@@ -165,6 +165,20 @@ REPLICATION_SPACES_OVERHEAD_SMOKE_GATE_MS = 5.0
 ARENA_CACHE_WARM_GATE = 3.0
 ARENA_CACHE_WARM_SMOKE_GATE = 1.2
 
+#: Gate on the observability tax (full runs): with the full pipeline
+#: armed in its production-default shape (metrics registry, event bus,
+#: per-request trace spans), the HTTP click p50 may cost at most this
+#: multiple of the identical replay against a ``metrics=False`` server
+#: — instrumentation must be invisible next to selection itself.  The
+#: arms are interleaved session-by-session so machine drift hits both
+#: equally.  Sub-floor absolute deltas pass regardless of the ratio:
+#: at millisecond click costs a few hundred microseconds of scheduler
+#: jitter can exceed 5% without meaning anything.  Smoke runs on
+#: shared CI boxes get a loose ratio for the same reason journal does.
+OBSERVABILITY_CLICK_RATIO_GATE = 1.05
+OBSERVABILITY_CLICK_RATIO_SMOKE_GATE = 2.0
+OBSERVABILITY_OVERHEAD_FLOOR_MS = 0.25
+
 
 def c2_pools(n_parents: int) -> list[tuple]:
     """C2's unit: the 200-candidate neighborhoods of large dbauthors groups."""
@@ -674,6 +688,97 @@ def measure_service(n_clients: int, clicks: int) -> dict:
         "contended_parity_clients": n_clients,
         "parity": parity,
         "resume_roundtrip": resume_ok,
+    }
+
+
+def measure_observability(n_clients: int, clicks: int, rounds: int) -> dict:
+    """The observability tax: instrumented vs dark HTTP click replay.
+
+    Two servers over the same prebuilt index, both replaying the
+    identical untimed scripted walk: one with the production-default
+    pipeline armed (metrics registry, event bus, per-request trace
+    spans — exactly what ``--metrics on`` serves), one with
+    ``metrics=False`` (the kill switch: no registry, no bus, spans
+    inert).  Sessions alternate between the arms so machine drift taxes
+    both equally; the gated number is the instrumented/dark click p50
+    ratio.  Both arms must show bitwise-identical displays — turning
+    instrumentation on may never change what the user sees.  A
+    contended phase (``n_clients`` concurrent walks against the
+    instrumented server) then scrapes ``/metrics`` and asserts the
+    non-blocking event bus dropped nothing.
+    """
+    from repro.obs import parse_prometheus_text
+    from repro.service.client import ExplorationClient
+    from repro.service.server import ExplorationService
+
+    space = dbauthors_space()
+    untimed = SessionConfig(
+        k=5, time_budget_ms=None, engine="celf", use_profile=False
+    )
+    base_runtime = GroupSpaceRuntime(space)
+
+    def service_for(metrics: bool) -> "ExplorationService":
+        manager = SessionManager(
+            GroupSpaceRuntime(space, index=base_runtime.index),
+            default_config=untimed,
+        )
+        return ExplorationService(manager, metrics=metrics).start()
+
+    latencies: dict[bool, list[float]] = {True: [], False: []}
+    displays: dict[bool, list] = {True: [], False: []}
+    instrumented = service_for(True)
+    dark = service_for(False)
+    try:
+        arms = {
+            True: ExplorationClient(instrumented.host, instrumented.port),
+            False: ExplorationClient(dark.host, dark.port),
+        }
+        try:
+            for _round in range(rounds):
+                for armed in (True, False):
+                    ms, shown = _replay_http(arms[armed], clicks)
+                    latencies[armed].extend(ms)
+                    displays[armed].append(shown)
+        finally:
+            for client in arms.values():
+                client.close_connection()
+
+        # Contended phase: concurrent walks, then the drop audit.
+        def contended_walk(_client_index: int) -> None:
+            with ExplorationClient(
+                instrumented.host, instrumented.port
+            ) as client:
+                _replay_http(client, clicks)
+
+        with ThreadPoolExecutor(max_workers=n_clients) as executor:
+            list(executor.map(contended_walk, range(n_clients)))
+        with ExplorationClient(instrumented.host, instrumented.port) as client:
+            parsed = parse_prometheus_text(client.metrics())
+    finally:
+        instrumented.stop()
+        dark.stop()
+
+    dropped = sum(
+        value
+        for _labels, value in parsed.get("repro_events_dropped_total", [])
+    )
+    published = sum(
+        value
+        for _labels, value in parsed.get("repro_events_published_total", [])
+    )
+    instrumented_p50 = statistics.median(latencies[True])
+    dark_p50 = statistics.median(latencies[False])
+    return {
+        "clicks_per_session": clicks,
+        "rounds": rounds,
+        "contended_clients": n_clients,
+        "instrumented_click_p50_ms": round(instrumented_p50, 3),
+        "dark_click_p50_ms": round(dark_p50, 3),
+        "click_ratio": round(instrumented_p50 / max(dark_p50, 1e-9), 3),
+        "overhead_p50_ms": round(instrumented_p50 - dark_p50, 3),
+        "events_published": published,
+        "events_dropped": dropped,
+        "parity": displays[True] == displays[False],
     }
 
 
@@ -1482,6 +1587,15 @@ def run(
     report["parity"]["service"] = (
         report["service"]["parity"] and report["service"]["resume_roundtrip"]
     )
+    report["observability"] = measure_observability(
+        n_clients=service_clients,
+        clicks=service_clicks,
+        rounds=3 if smoke else 6,
+    )
+    report["parity"]["observability"] = (
+        report["observability"]["parity"]
+        and report["observability"]["events_dropped"] == 0.0
+    )
     report["spaces"] = measure_spaces(service_clicks)
     report["parity"]["spaces"] = (
         report["spaces"]["parity"]
@@ -1632,6 +1746,27 @@ def main() -> int:
         f"{'ok' if report['service']['resume_roundtrip'] else 'BROKEN'}"
     )
     ok = ok and service_overhead <= overhead_gate
+    observability = report["observability"]
+    obs_ratio = observability["click_ratio"]
+    obs_gate = (
+        OBSERVABILITY_CLICK_RATIO_SMOKE_GATE
+        if args.smoke
+        else OBSERVABILITY_CLICK_RATIO_GATE
+    )
+    print(
+        f"observability: instrumented click p50 {obs_ratio:.2f}x the dark "
+        f"server ({observability['overhead_p50_ms']:+.3f} ms, gate "
+        f"{obs_gate:.2f}x or under "
+        f"{OBSERVABILITY_OVERHEAD_FLOOR_MS:.2f} ms), "
+        f"{observability['events_published']:.0f} events published / "
+        f"{observability['events_dropped']:.0f} dropped, display parity "
+        f"{'ok' if observability['parity'] else 'BROKEN'}"
+    )
+    ok = ok and (
+        obs_ratio <= obs_gate
+        or observability["overhead_p50_ms"] <= OBSERVABILITY_OVERHEAD_FLOOR_MS
+    )
+    ok = ok and observability["events_dropped"] == 0.0
     spaces_overhead = report["spaces"]["routed_overhead_p50_ms"]
     spaces_gate = (
         SPACES_OVERHEAD_SMOKE_GATE_MS if args.smoke else SPACES_OVERHEAD_GATE_MS

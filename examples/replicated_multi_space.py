@@ -61,6 +61,7 @@ def walk(client, opened):
 
 
 def main() -> None:
+    from repro.obs import parse_prometheus_text
     from repro.replication import serve_replicated_spaces
     from repro.service import ExplorationClient
 
@@ -102,6 +103,35 @@ def main() -> None:
             }
             print(f"[cold] per-space epochs: {epochs}")
             assert epochs["books"] == 0
+
+            # -- fleet observability: the router's merged /metrics is
+            # one scrape away, every worker's series labeled w<i>, and
+            # the whole exposition must re-parse as valid Prometheus
+            # text (the CI smoke leans on this assertion).
+            text = client.metrics()
+            parsed = parse_prometheus_text(text)
+            fleet = sorted(
+                {
+                    labels["worker"]
+                    for labels, _value in parsed["repro_interactions_total"]
+                    if "worker" in labels
+                }
+            )
+            assert fleet == [f"w{i}" for i in range(WORKERS)], fleet
+            print("[cold] /metrics excerpt (worker-labeled interactions):")
+            for line in text.splitlines():
+                if line.startswith("repro_interactions_total{"):
+                    print(f"    {line}")
+            feed = client.activity("authors", limit=5)
+            assert {event["kind"] for event in feed} <= {
+                "open", "click", "drill_down", "backtrack", "close", "mutate",
+            }
+            print("[cold] authors activity feed (newest 5, fleet-merged):")
+            for event in feed:
+                print(
+                    f"    {event['kind']:<7} session={event['session_id']} "
+                    f"trace={event.get('trace_id', '-')}"
+                )
     finally:
         service.stop()
     cold_s = time.perf_counter() - started

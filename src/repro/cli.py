@@ -213,6 +213,22 @@ def build_parser() -> argparse.ArgumentParser:
         "evicted (needs --state-dir)",
     )
     serve.add_argument(
+        "--metrics", choices=("on", "off"), default="on",
+        help="observability (needs --http): 'on' serves the Prometheus "
+        "exposition at GET /metrics and the per-space activity feed at "
+        "GET /spaces/<name>/activity (with --workers the router merges "
+        "every worker's series under worker labels); 'off' disables all "
+        "instrumentation — both endpoints 404 and interactions publish "
+        "nothing",
+    )
+    serve.add_argument(
+        "--slow-click-ms", type=float, default=None, metavar="MS",
+        help="slow-request threshold (needs --http --metrics on): any "
+        "request slower than MS is logged with its per-stage span "
+        "timings (route, pool_build, selection, cache_lookup, "
+        "journal_fsync, arena_attach) under its X-Repro-Trace id",
+    )
+    serve.add_argument(
         "--journal", action="store_true",
         help="journal durability (needs --state-dir): append each "
         "interaction to a digest-chained per-session journal (O(1) "
@@ -702,6 +718,8 @@ def _serve_pool(args: argparse.Namespace, dataset) -> int:
         ),
         max_sessions=args.max_sessions,
         space_name=dataset.name,
+        metrics=args.metrics == "on",
+        slow_click_ms=args.slow_click_ms,
     )
     durable = (
         f"durable ({service.pool.durability}, state in "
@@ -761,6 +779,8 @@ def _serve_pool_spaces(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         idle_ttl_s=args.idle_ttl,
         arena_cache=args.arena_cache,
+        metrics=args.metrics == "on",
+        slow_click_ms=args.slow_click_ms,
     )
     pool = service.pool
     durable = (
@@ -814,7 +834,11 @@ def _serve_spaces(args: argparse.Namespace) -> int:
         compact_every=args.compact_every,
     )
     service = ExplorationService(
-        registry=registry, host=args.host, port=args.port
+        registry=registry,
+        host=args.host,
+        port=args.port,
+        metrics=args.metrics == "on",
+        slow_click_ms=args.slow_click_ms,
     ).start()
     durable = (
         f"durable ({registry.durability}, state in {registry.state_dir})"
@@ -858,6 +882,8 @@ def _serve_http(
         host=args.host,
         port=args.port,
         idle_ttl_s=args.idle_ttl,
+        metrics=args.metrics == "on",
+        slow_click_ms=args.slow_click_ms,
     ).start()
     durable = (
         f"durable ({manager.durability}, state in {manager.state_dir})"

@@ -55,6 +55,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
 from repro.core import faults
+from repro.obs.trace import span
 
 if TYPE_CHECKING:  # circular at runtime: sessions are replayed, not imported
     from repro.core.session import ExplorationSession
@@ -344,7 +345,8 @@ class SessionJournal:
             faults.write(self._fd, frame)
             faults.crash_point("journal.pre_fsync")
             if sync:
-                faults.fsync(self._fd)
+                with span("journal_fsync"):
+                    faults.fsync(self._fd)
             faults.crash_point("journal.post_append")
         except OSError:
             self.broken = True

@@ -74,6 +74,7 @@ from scipy import sparse
 from repro.core.feedback import FeedbackVector
 from repro.core.group import Group
 from repro.core.similarity import jaccard_column, membership_matrix
+from repro.obs.trace import traced
 
 #: (gid, member count, member-content hash) — identifies one group's
 #: membership by value, not by object identity.
@@ -529,6 +530,7 @@ class PoolStatsCache:
 
     # -- structure layer -------------------------------------------------
 
+    @traced("cache_lookup")
     def structure_for(
         self,
         pool: Sequence[Group],

@@ -1044,6 +1044,7 @@ class SessionManager:
         id_prefix: str = "",
         durability: str = "snapshot",
         compact_every: int = 64,
+        obs=None,
     ) -> None:
         if max_sessions is not None and max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
@@ -1094,6 +1095,51 @@ class SessionManager:
         self.sessions_closed = 0
         self.sessions_evicted = 0
         self.sessions_resumed = 0
+        #: Space label on every event/metric this manager publishes.
+        self.space_label = runtime.name or ""
+        #: Optional :class:`repro.obs.Observability` bundle; ``None``
+        #: (the default) means zero instrumentation on every code path.
+        self.obs = None
+        if obs is not None:
+            self.attach_obs(obs)
+
+    # -- observability ---------------------------------------------------
+
+    def attach_obs(self, obs) -> None:
+        """Wire an observability bundle into this manager.
+
+        Interactions publish typed events (open/click/drill_down/
+        backtrack/close/evict/mutate), journal appends feed the latency
+        histogram, and the runtime's shared pair cache exports its stats
+        as export-time gauges.  Idempotent per bundle is not required —
+        attach once, at construction or when a registry builds the
+        space.
+        """
+        if obs is self.obs:
+            return
+        self.obs = obs
+        if obs is None:
+            return
+        shared = getattr(self.runtime, "shared", None)
+        if shared is not None:
+            obs.register_shared_cache(self.space_label, shared)
+
+    def _publish(
+        self,
+        kind: str,
+        session_id: str = "",
+        detail: Optional[dict] = None,
+        elapsed_ms: Optional[float] = None,
+    ) -> None:
+        obs = self.obs
+        if obs is not None:
+            obs.publish(
+                kind,
+                space=self.space_label,
+                session_id=session_id,
+                detail=detail,
+                elapsed_ms=elapsed_ms,
+            )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -1234,6 +1280,9 @@ class SessionManager:
             raise
         finally:
             managed.lock.release()
+        self._publish(
+            "open", session_id, detail={"resumed": resume is not None}
+        )
         return session_id, shown
 
     def _persist(self, managed: _ManagedSession) -> None:
@@ -1317,6 +1366,16 @@ class SessionManager:
                 # state, not durable state, so a failed audit append
                 # must not degrade or roll back the epoch swap.
                 pass
+        self._publish(
+            "mutate",
+            detail={
+                "epoch": report.get("epoch"),
+                "added": report.get("added"),
+                "removed": report.get("removed"),
+                "changed": report.get("changed"),
+            },
+            elapsed_ms=report.get("apply_ms"),
+        )
         return report
 
     @staticmethod
@@ -1366,9 +1425,11 @@ class SessionManager:
             with self._lock:
                 self._sessions.pop(session_id, None)
                 self.sessions_closed += 1
-            return self._summary(
+            summary = self._summary(
                 session_id, managed, self.state_dir is not None
             )
+        self._publish("close", session_id, detail={"clicks": managed.clicks})
+        return summary
 
     def evict_idle(self, idle_seconds: float) -> list[dict[str, object]]:
         """Persist + drop every session idle for ``idle_seconds`` or more.
@@ -1416,6 +1477,9 @@ class SessionManager:
                         session_id, managed, self.state_dir is not None
                     )
                 )
+            self._publish(
+                "evict", session_id, detail={"clicks": managed.clicks}
+            )
         return summaries
 
     # -- interactions ----------------------------------------------------
@@ -1467,6 +1531,9 @@ class SessionManager:
             raise self._durability_failed(
                 f"journal append failed: {error}"
             ) from error
+        obs = self.obs
+        if obs is not None and managed.journal.append_ms:
+            obs.journal_append_ms.observe(managed.journal.append_ms[-1])
 
     def _maybe_compact(self, managed: _ManagedSession) -> None:
         """Fold the journal into a snapshot every ``compact_every``
@@ -1484,6 +1551,19 @@ class SessionManager:
 
     def click(self, session_id: str, gid: int) -> list[Group]:
         """One explorer click, serialized per session."""
+        if self.obs is None:
+            return self._click(session_id, gid)
+        started = time.perf_counter()
+        shown = self._click(session_id, gid)
+        self._publish(
+            "click",
+            session_id,
+            detail={"gid": gid},
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        )
+        return shown
+
+    def _click(self, session_id: str, gid: int) -> list[Group]:
         managed = self._managed(session_id)
         with managed.lock:
             self._check_live(managed, session_id)
@@ -1519,6 +1599,19 @@ class SessionManager:
             return shown
 
     def backtrack(self, session_id: str, step_id: int) -> list[Group]:
+        if self.obs is None:
+            return self._backtrack(session_id, step_id)
+        started = time.perf_counter()
+        shown = self._backtrack(session_id, step_id)
+        self._publish(
+            "backtrack",
+            session_id,
+            detail={"step_id": step_id},
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        )
+        return shown
+
+    def _backtrack(self, session_id: str, step_id: int) -> list[Group]:
         managed = self._managed(session_id)
         with managed.lock:
             self._check_live(managed, session_id)
@@ -1549,6 +1642,13 @@ class SessionManager:
 
     def drill_down(self, session_id: str, gid: int):
         """Member user indices of one group (the STATS/Focus-view read)."""
+        if self.obs is None:
+            return self._drill_down(session_id, gid)
+        members = self._drill_down(session_id, gid)
+        self._publish("drill_down", session_id, detail={"gid": gid})
+        return members
+
+    def _drill_down(self, session_id: str, gid: int):
         managed = self._managed(session_id)
         with managed.lock:
             self._check_live(managed, session_id)

@@ -116,6 +116,7 @@ import numpy as np
 
 from repro.core.feedback import FeedbackVector
 from repro.core.group import Group
+from repro.obs.trace import traced
 from repro.core.poolcache import (
     PoolStatsCache,
     _attribute_of,
@@ -664,6 +665,7 @@ class _VectorEngine:
         )
 
 
+@traced("selection")
 def select_k(
     pool: Sequence[Group],
     relevant: np.ndarray,

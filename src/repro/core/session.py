@@ -30,6 +30,7 @@ from repro.core.profile import ExplorerProfile
 from repro.core.runtime import GroupSpaceRuntime
 from repro.core.selection import SelectionConfig, SelectionResult, select_k
 from repro.index.inverted import SimilarityIndex
+from repro.obs.trace import span
 
 
 @dataclass
@@ -211,17 +212,22 @@ class ExplorationSession:
         dataset); with seeds (e.g. last year's PC in Scenario 1) the pool is
         the seeds plus their index neighborhoods.
         """
-        if seed_gids is None:
-            pool = self.space.largest(self.config.max_pool)
-        else:
-            pool_ids: list[int] = []
-            for gid in seed_gids:
-                if gid not in pool_ids:
-                    pool_ids.append(gid)
-                for neighbor in self.index.neighbors(gid, self.config.max_pool):
-                    if neighbor.group not in pool_ids:
-                        pool_ids.append(neighbor.group)
-            pool = [self.space[gid] for gid in pool_ids[: self.config.max_pool]]
+        with span("pool_build"):
+            if seed_gids is None:
+                pool = self.space.largest(self.config.max_pool)
+            else:
+                pool_ids: list[int] = []
+                for gid in seed_gids:
+                    if gid not in pool_ids:
+                        pool_ids.append(gid)
+                    for neighbor in self.index.neighbors(
+                        gid, self.config.max_pool
+                    ):
+                        if neighbor.group not in pool_ids:
+                            pool_ids.append(neighbor.group)
+                pool = [
+                    self.space[gid] for gid in pool_ids[: self.config.max_pool]
+                ]
         relevant = np.arange(self.space.dataset.n_users, dtype=np.int64)
         result = select_k(
             pool, relevant, self.feedback, self.config.selection,
@@ -246,23 +252,24 @@ class ExplorationSession:
         )
         self.profile.observe(group)
 
-        neighbors = self.index.neighbors(gid, self.config.max_pool)
-        pool = [
-            self.space[neighbor.group]
-            for neighbor in neighbors
-            if neighbor.similarity >= self.config.similarity_floor
-        ]
-        if self.config.weighted_similarity and len(self.feedback):
-            pool = self._rerank_weighted(group, pool)
-        prior = None
-        prior_key = None
-        if self.config.use_profile and self.profile.steps_observed > 1:
-            pool = self.profile.rank(pool)
-            prior = self.profile.interest
-            prior_key = self._profile_key()
-        if not pool:
-            # Dead end in the graph: stay on the clicked group's display.
-            pool = [group]
+        with span("pool_build"):
+            neighbors = self.index.neighbors(gid, self.config.max_pool)
+            pool = [
+                self.space[neighbor.group]
+                for neighbor in neighbors
+                if neighbor.similarity >= self.config.similarity_floor
+            ]
+            if self.config.weighted_similarity and len(self.feedback):
+                pool = self._rerank_weighted(group, pool)
+            prior = None
+            prior_key = None
+            if self.config.use_profile and self.profile.steps_observed > 1:
+                pool = self.profile.rank(pool)
+                prior = self.profile.interest
+                prior_key = self._profile_key()
+            if not pool:
+                # Dead end in the graph: stay on the clicked group's display.
+                pool = [group]
         result = select_k(
             pool, group.members, self.feedback, self.config.selection,
             prior=prior, cache=self.pool_cache, prior_key=prior_key,

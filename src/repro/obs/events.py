@@ -1,0 +1,261 @@
+"""In-process event bus: every session interaction, typed and fanned out.
+
+The ROADMAP's "live exploration feed" item asks for session interactions
+to be observable as they happen, not reconstructed from logs.  Each
+interaction the runtime serves — ``open``, ``click``, ``drill_down``,
+``backtrack``, ``close``, ``evict``, ``mutate`` — publishes one
+:class:`Event` to the process's :class:`EventBus`, which fans it out to
+pluggable sinks:
+
+- :class:`MetricsSink` — mirrors events onto the metrics registry
+  (interaction counters by kind/space, click-latency histogram);
+- :class:`ActivityRing` — a bounded per-space ring of recent events,
+  served at ``GET /spaces/<name>/activity``;
+- :class:`JsonlSink` — optional durable feed: one JSON line per event,
+  written from a background drainer thread.
+
+The contract that matters is in :meth:`EventBus.publish`: a click must
+never stall on a sink.  Inline sinks (``inline = True``) are O(1)
+lock-guarded appends and run on the publishing thread; queued sinks get
+a *bounded* queue plus a daemon drainer — when the queue is full the
+event is counted in :attr:`EventBus.drops` and discarded, and a sink
+that raises has its event counted as dropped rather than propagating
+into the interaction path.  The concurrency suites assert zero drops
+with the default sinks attached; the drop counter exists so a
+deliberately slow external sink degrades visibly instead of invisibly.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Interaction kinds the runtime publishes.
+EVENT_KINDS = (
+    "open", "click", "drill_down", "backtrack", "close", "evict", "mutate",
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One session interaction, as the runtime saw it."""
+
+    kind: str
+    space: str = ""
+    session_id: str = ""
+    ts: float = field(default_factory=time.time)
+    #: Clicked/drilled group id, backtrack target step, etc.
+    detail: dict = field(default_factory=dict)
+    elapsed_ms: Optional[float] = None
+    trace_id: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        row = {
+            "kind": self.kind,
+            "space": self.space,
+            "session_id": self.session_id,
+            "ts": round(self.ts, 3),
+        }
+        if self.detail:
+            row["detail"] = dict(self.detail)
+        if self.elapsed_ms is not None:
+            row["elapsed_ms"] = round(self.elapsed_ms, 3)
+        if self.trace_id:
+            row["trace_id"] = self.trace_id
+        return row
+
+
+class Sink:
+    """Base sink: set ``inline = True`` only for O(1), non-blocking accepts."""
+
+    inline = False
+
+    def accept(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class ActivityRing(Sink):
+    """Bounded per-space ring of recent events (the activity feed)."""
+
+    inline = True
+
+    def __init__(self, per_space: int = 256) -> None:
+        if per_space < 1:
+            raise ValueError("per_space must be >= 1")
+        self.per_space = per_space
+        self._lock = threading.Lock()
+        self._rings: dict[str, deque] = {}
+
+    def accept(self, event: Event) -> None:
+        with self._lock:
+            ring = self._rings.get(event.space)
+            if ring is None:
+                ring = deque(maxlen=self.per_space)
+                self._rings[event.space] = ring
+            ring.append(event)
+
+    def recent(self, space: str, limit: Optional[int] = None) -> list[dict]:
+        """Most recent events for ``space``, oldest first."""
+        with self._lock:
+            ring = self._rings.get(space)
+            rows = list(ring) if ring is not None else []
+        if limit is not None and limit >= 0:
+            rows = rows[-limit:]
+        return [event.to_dict() for event in rows]
+
+    def spaces(self) -> list[str]:
+        with self._lock:
+            return sorted(self._rings)
+
+    def clear_space(self, space: str) -> int:
+        """Drop a space's ring (eviction must not leave a ghost feed)."""
+        with self._lock:
+            ring = self._rings.pop(space, None)
+            return len(ring) if ring is not None else 0
+
+
+class MetricsSink(Sink):
+    """Mirror events onto a metrics registry (the single source of truth)."""
+
+    inline = True
+
+    def __init__(self, registry) -> None:
+        self._interactions = registry.counter(
+            "repro_interactions_total",
+            "Session interactions by kind and space",
+        )
+        self._click_ms = registry.histogram(
+            "repro_click_ms",
+            "End-to-end click service time (milliseconds)",
+        )
+
+    def accept(self, event: Event) -> None:
+        self._interactions.labels(kind=event.kind, space=event.space).inc()
+        if event.kind == "click" and event.elapsed_ms is not None:
+            self._click_ms.labels(space=event.space).observe(event.elapsed_ms)
+
+
+class JsonlSink(Sink):
+    """One JSON line per event; writes happen on the bus drainer thread."""
+
+    inline = False
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._fh = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def accept(self, event: Event) -> None:
+        line = json.dumps(event.to_dict(), sort_keys=True)
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+
+
+class EventBus:
+    """Non-blocking fan-out of events to attached sinks.
+
+    Inline sinks run on the publisher's thread (they are contractually
+    O(1)); queued sinks are fed through one bounded queue drained by a
+    single daemon thread.  ``publish`` never blocks and never raises:
+    full queues and raising sinks increment :attr:`drops` (also mirrored
+    to the registry by the owning
+    :class:`~repro.obs.Observability`).
+    """
+
+    def __init__(self, queue_size: int = 4096) -> None:
+        self._inline: list[Sink] = []
+        self._queued: list[Sink] = []
+        self._queue: "queue.Queue[Optional[Event]]" = queue.Queue(
+            maxsize=queue_size
+        )
+        self._drainer: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._drops = 0
+        self.published = 0
+        self._closed = False
+
+    @property
+    def drops(self) -> int:
+        with self._lock:
+            return self._drops
+
+    def _count_drop(self) -> None:
+        with self._lock:
+            self._drops += 1
+
+    def subscribe(self, sink: Sink) -> Sink:
+        with self._lock:
+            if sink.inline:
+                self._inline.append(sink)
+            else:
+                self._queued.append(sink)
+                if self._drainer is None and not self._closed:
+                    self._drainer = threading.Thread(
+                        target=self._drain, name="repro-obs-events", daemon=True
+                    )
+                    self._drainer.start()
+        return sink
+
+    def publish(self, event: Event) -> None:
+        self.published += 1
+        for sink in self._inline:
+            try:
+                sink.accept(event)
+            except Exception:
+                self._count_drop()
+        if self._queued:
+            try:
+                self._queue.put_nowait(event)
+            except queue.Full:
+                self._count_drop()
+
+    def _drain(self) -> None:
+        while True:
+            event = self._queue.get()
+            if event is None:
+                return
+            for sink in self._queued:
+                try:
+                    sink.accept(event)
+                except Exception:
+                    self._count_drop()
+
+    def flush(self, timeout_s: float = 2.0) -> bool:
+        """Best-effort wait until the queued backlog is drained."""
+        deadline = time.time() + timeout_s
+        while not self._queue.empty():
+            if time.time() >= deadline:
+                return False
+            time.sleep(0.005)
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            drainer = self._drainer
+        if drainer is not None:
+            self._queue.put(None)
+            drainer.join(timeout=2.0)
+        for sink in self._inline + self._queued:
+            try:
+                sink.close()
+            except Exception:
+                pass

@@ -1,0 +1,137 @@
+"""Per-request trace propagation and per-stage span timing.
+
+One click that blows the 100 ms budget is useless to debug as a single
+number: the time went somewhere — routing, candidate-pool assembly, the
+CELF greedy, a pool-cache miss, the journal fsync, an arena attach.
+This module decomposes it:
+
+- the **client** (or anything upstream) mints a trace id and sends it in
+  the ``X-Repro-Trace`` header; the replicated router forwards the header
+  verbatim on the sticky-session hop, so the same id lands in whichever
+  worker process serves the click — including the takeover worker after
+  a SIGKILL, because the header travels with the *request*, not the
+  process;
+- the **server** activates a :class:`Trace` for the request's duration;
+- instrumented stages deep in the core (``select_k``, the journal's
+  fsync, the pool cache's structure lookup, arena attach) wrap
+  themselves in :func:`span` — a context manager that records a named
+  timing into the active trace, or does nothing at all when no trace is
+  active.
+
+The no-trace fast path is the design constraint: ``span`` is called on
+every click in every serve mode, so with tracing disabled it must cost
+one contextvar read and two attribute writes — no allocation beyond the
+tiny ``_Span`` object, no clock read, no branching in the caller.  The
+perf harness's ``observability`` section gates this (instrumented p50
+within 1.05x of uninstrumented).
+
+Stage names used across the codebase::
+
+    route            HTTP dispatch + routing (service front)
+    pool_build       candidate-pool assembly from the inverted index
+    selection        the full select_k call (either engine)
+    cache_lookup     pool-cache structure resolution
+    journal_fsync    the durable journal append's fsync
+    arena_attach     shared-memory arena attach (worker boot / rebind)
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import threading
+import time
+import uuid
+from typing import Optional
+
+#: The propagation header, hop by hop: client -> router -> worker.
+TRACE_HEADER = "X-Repro-Trace"
+
+_active: "contextvars.ContextVar[Optional[Trace]]" = contextvars.ContextVar(
+    "repro_trace", default=None
+)
+
+#: Trace ids are minted per request; the counter disambiguates requests
+#: minted within one clock tick on one process.
+_mint_lock = threading.Lock()
+_mint_counter = 0
+
+
+def mint_trace_id() -> str:
+    """A fresh, process-unique, wire-safe trace id."""
+    global _mint_counter
+    with _mint_lock:
+        _mint_counter += 1
+        serial = _mint_counter
+    return f"{uuid.uuid4().hex[:16]}-{serial:x}"
+
+
+class Trace:
+    """Span accumulator for one request."""
+
+    __slots__ = ("trace_id", "started", "stages")
+
+    def __init__(self, trace_id: str) -> None:
+        self.trace_id = trace_id
+        self.started = time.perf_counter()
+        self.stages: list[tuple[str, float]] = []
+
+    def total_ms(self) -> float:
+        return (time.perf_counter() - self.started) * 1000.0
+
+    def stage_report(self) -> list[dict]:
+        return [
+            {"stage": stage, "ms": round(ms, 3)} for stage, ms in self.stages
+        ]
+
+
+def current_trace() -> Optional[Trace]:
+    return _active.get()
+
+
+def activate(trace: Trace) -> "contextvars.Token":
+    return _active.set(trace)
+
+
+def deactivate(token: "contextvars.Token") -> None:
+    _active.reset(token)
+
+
+class _Span:
+    __slots__ = ("stage", "trace", "t0")
+
+    def __init__(self, stage: str) -> None:
+        self.stage = stage
+
+    def __enter__(self) -> "_Span":
+        trace = _active.get()
+        self.trace = trace
+        if trace is not None:
+            self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        trace = self.trace
+        if trace is not None:
+            trace.stages.append(
+                (self.stage, (time.perf_counter() - self.t0) * 1000.0)
+            )
+
+
+def span(stage: str) -> _Span:
+    """Record a named stage timing into the active trace (no-op without one)."""
+    return _Span(stage)
+
+
+def traced(stage: str):
+    """Decorator form of :func:`span`: time the whole call as one stage."""
+
+    def wrap(fn):
+        @functools.wraps(fn)
+        def inner(*args, **kwargs):
+            with _Span(stage):
+                return fn(*args, **kwargs)
+
+        return inner
+
+    return wrap

@@ -43,6 +43,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.trace import traced
+
 _MAGIC = b"RARENA1\n"
 _HEADER_LEN = struct.Struct("<Q")
 _ALIGN = 64
@@ -425,6 +427,7 @@ class AttachedArena:
             pass
 
 
+@traced("arena_attach")
 def attach_arena(
     tag: str, digest: str, verify: bool = True
 ) -> AttachedArena:

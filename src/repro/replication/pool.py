@@ -57,7 +57,17 @@ from functools import partial
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Optional
+from urllib.parse import parse_qs
 
+from repro.obs import (
+    TRACE_HEADER,
+    Observability,
+    current_trace,
+    label_dump,
+    merge_dumps,
+    render_dump,
+    span,
+)
 from repro.replication.arena import (
     PublishedArena,
     attach_arena,
@@ -206,12 +216,28 @@ class _ReplicaFleet:
 
     # -- construction ----------------------------------------------------
 
-    def _init_fleet(self, *, workers: int, host: str, tag: str) -> None:
+    def _init_fleet(
+        self,
+        *,
+        workers: int,
+        host: str,
+        tag: str,
+        metrics: bool = True,
+        slow_click_ms: Optional[float] = None,
+        slowlog_dir: Optional[str | Path] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.host = host
         self.tag = tag
         self.n_workers = workers
+        #: Observability knobs, threaded verbatim into every worker spec:
+        #: ``metrics=False`` boots workers with no obs bundle at all, and
+        #: ``slowlog_dir`` gives each worker its own
+        #: ``slowlog-w<i>.jsonl`` under the shared directory.
+        self.metrics = bool(metrics)
+        self.slow_click_ms = slow_click_ms
+        self.slowlog_dir = str(slowlog_dir) if slowlog_dir is not None else None
         self.replicas: list[_Replica] = []
         self._ctx = multiprocessing.get_context("spawn")
         self._mutate_lock = threading.Lock()
@@ -524,6 +550,9 @@ class WorkerPool(_ReplicaFleet):
         retain_segments: int = 4,
         materialize_fraction: float = 0.10,
         sweep: bool = True,
+        metrics: bool = True,
+        slow_click_ms: Optional[float] = None,
+        slowlog_dir: Optional[str | Path] = None,
     ) -> None:
         from repro.core.runtime import GroupSpaceRuntime
 
@@ -537,6 +566,9 @@ class WorkerPool(_ReplicaFleet):
             workers=workers,
             host=host,
             tag=tag if tag is not None else (space_name or "space"),
+            metrics=metrics,
+            slow_click_ms=slow_click_ms,
+            slowlog_dir=slowlog_dir,
         )
         self.dataset = dataset
         self.space_name = space_name
@@ -587,6 +619,9 @@ class WorkerPool(_ReplicaFleet):
             "default_config": self.default_config,
             "max_sessions": self.max_sessions,
             "host": self.host,
+            "metrics": self.metrics,
+            "slow_click_ms": self.slow_click_ms,
+            "slowlog_dir": self.slowlog_dir,
         }
 
     # -- mutation --------------------------------------------------------
@@ -742,6 +777,9 @@ class MultiSpaceWorkerPool(_ReplicaFleet):
         build_workers: int = 2,
         arena_cache: Optional[str | Path] = None,
         sweep: bool = True,
+        metrics: bool = True,
+        slow_click_ms: Optional[float] = None,
+        slowlog_dir: Optional[str | Path] = None,
     ) -> None:
         descriptors = list(descriptors)
         if not descriptors:
@@ -772,6 +810,9 @@ class MultiSpaceWorkerPool(_ReplicaFleet):
             workers=workers,
             host=host,
             tag=tag if tag is not None else "spaces",
+            metrics=metrics,
+            slow_click_ms=slow_click_ms,
+            slowlog_dir=slowlog_dir,
         )
         self.state_dir = Path(state_dir) if state_dir is not None else None
         self.durability = durability
@@ -944,6 +985,9 @@ class MultiSpaceWorkerPool(_ReplicaFleet):
             "default_config": self.default_config,
             "max_sessions": self.max_sessions,
             "idle_ttl_s": self.idle_ttl_s,
+            "metrics": self.metrics,
+            "slow_click_ms": self.slow_click_ms,
+            "slowlog_dir": self.slowlog_dir,
             "spaces": spaces,
         }
 
@@ -1146,17 +1190,45 @@ class _RouterHandler(BaseHTTPRequestHandler):
             raise _RouterBadRequest("body must be a JSON object")
         return body
 
+    #: Set by :meth:`_dispatch` while an instrumented request is live so
+    #: replies can stamp the final status on the request span.
+    _request_span = None
+
     def _reply(
         self, status: int, payload: dict, headers: Optional[dict] = None
     ) -> None:
-        data = json.dumps(payload).encode("utf-8")
+        self._send(
+            status,
+            json.dumps(payload).encode("utf-8"),
+            "application/json",
+            headers,
+        )
+
+    def _reply_text(
+        self,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ) -> None:
+        """A raw-text reply: the Prometheus ``/metrics`` exposition."""
+        self._send(status, text.encode("utf-8"), content_type, None)
+
+    def _send(
+        self,
+        status: int,
+        encoded: bytes,
+        content_type: str,
+        headers: Optional[dict],
+    ) -> None:
+        if self._request_span is not None:
+            self._request_span.set_status(status)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(data)))
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(data)
+        self.wfile.write(encoded)
 
     def _fail(
         self,
@@ -1174,6 +1246,18 @@ class _RouterHandler(BaseHTTPRequestHandler):
     def _forward(self, replica: _Replica, body: Optional[bytes] = None) -> None:
         """Proxy this request to ``replica`` and relay the raw answer."""
         payload = body if body is not None else self._body_bytes()
+        forward_headers = {"Content-Type": "application/json"}
+        # Trace propagation across the replication hop: the client's
+        # X-Repro-Trace travels verbatim; when the router minted the id
+        # itself (no incoming header, obs on), the active trace carries
+        # it — either way the worker's slow log records the same id the
+        # client can correlate on.
+        trace = current_trace()
+        trace_id = self.headers.get(TRACE_HEADER) or (
+            trace.trace_id if trace is not None else None
+        )
+        if trace_id:
+            forward_headers[TRACE_HEADER] = trace_id
         connection = http.client.HTTPConnection(
             self.service.pool.host, replica.port, timeout=_FORWARD_TIMEOUT_S
         )
@@ -1182,7 +1266,7 @@ class _RouterHandler(BaseHTTPRequestHandler):
                 self.command,
                 self.path,
                 body=payload or None,
-                headers={"Content-Type": "application/json"},
+                headers=forward_headers,
             )
             response = connection.getresponse()
             data = response.read()
@@ -1190,6 +1274,8 @@ class _RouterHandler(BaseHTTPRequestHandler):
             retry_after = response.getheader("Retry-After")
             if retry_after:
                 headers["Retry-After"] = retry_after
+            if self._request_span is not None:
+                self._request_span.set_status(response.status)
             self.send_response(response.status)
             self.send_header(
                 "Content-Type",
@@ -1224,8 +1310,23 @@ class _RouterHandler(BaseHTTPRequestHandler):
         # bytes in the socket (the next request would parse mid-body).
         self._cached_body = None
         self._body_bytes()
+        obs = self.service.obs
+        if obs is None:
+            self._handle(method)
+            return
+        with obs.request(
+            self.path, self.headers.get(TRACE_HEADER)
+        ) as request_span:
+            self._request_span = request_span
+            try:
+                self._handle(method)
+            finally:
+                self._request_span = None
+
+    def _handle(self, method: str) -> None:
         try:
-            handled = self._route(method)
+            with span("route"):
+                handled = self._route(method)
         except _RouterBadRequest as error:
             self._fail(400, "bad_request", str(error))
         except SpaceBuildingError as error:
@@ -1283,6 +1384,31 @@ class _RouterHandler(BaseHTTPRequestHandler):
         if path == "/spaces" and method == "GET":
             self._reply(200, self.service.spaces_payload())
             return True
+        if path == "/metrics" and method == "GET":
+            text = self.service.metrics_text()
+            if text is None:
+                self._fail(
+                    404, "not_found", "metrics are disabled on this router"
+                )
+            else:
+                self._reply_text(200, text)
+            return True
+        if (
+            len(segments) == 3
+            and segments[0] == "spaces"
+            and segments[2] == "activity"
+            and method == "GET"
+        ):
+            payload = self.service.activity_payload(
+                segments[1], self._query_int("limit")
+            )
+            if payload is None:
+                self._fail(
+                    404, "not_found", "metrics are disabled on this router"
+                )
+            else:
+                self._reply(200, payload)
+            return True
         if (
             len(segments) == 3
             and segments[0] == "spaces"
@@ -1333,6 +1459,21 @@ class _RouterHandler(BaseHTTPRequestHandler):
             return True
         return False
 
+    def _query_int(self, name: str) -> Optional[int]:
+        """An optional integer query parameter (``None`` when absent)."""
+        parts = self.path.split("?", 1)
+        if len(parts) < 2:
+            return None
+        values = parse_qs(parts[1]).get(name)
+        if not values:
+            return None
+        try:
+            return int(values[-1])
+        except ValueError:
+            raise _RouterBadRequest(
+                f"query parameter {name!r} must be an integer"
+            )
+
 
 class _RouterBadRequest(Exception):
     pass
@@ -1358,12 +1499,34 @@ class ReplicatedService:
         pool: "WorkerPool | MultiSpaceWorkerPool",
         host: str = "127.0.0.1",
         port: int = 0,
+        metrics: bool = True,
+        slow_click_ms: Optional[float] = None,
     ) -> None:
         self.pool = pool
+        #: The router's own observability bundle: request/trace metrics
+        #: for the routing hop itself, plus the fleet aggregation below.
+        #: ``metrics=False`` turns the router dark (``/metrics`` 404s)
+        #: regardless of what the workers were booted with.
+        self.obs = Observability(slow_click_ms=slow_click_ms) if metrics else None
+        if self.obs is not None:
+            self.obs.registry.register_collector(self._collect_respawns)
         self._httpd = _RouterServer((host, port), partial(_RouterHandler, self))
         self.host, self.port = self._httpd.server_address[:2]
         self._serve_thread: Optional[threading.Thread] = None
         self._started_at = time.monotonic()
+
+    def _collect_respawns(self) -> None:
+        """Mirror the pool's respawn-failure odometer onto the registry.
+
+        The pool's ``_respawn_failures`` dict stays the single source of
+        truth (``/healthz`` reads it directly); this export-time collector
+        reflects it into ``repro_respawn_failures_total{worker=}`` so
+        ``/metrics`` reports the same numbers without double accounting.
+        """
+        for index, count in list(self.pool._respawn_failures.items()):
+            self.obs.respawn_failures.labels(worker=f"w{index}").set(
+                float(count)
+            )
 
     @property
     def url(self) -> str:
@@ -1388,6 +1551,8 @@ class ReplicatedService:
             self._serve_thread = None
         if stop_pool:
             self.pool.stop()
+        if self.obs is not None:
+            self.obs.close()
 
     def __enter__(self) -> "ReplicatedService":
         return self
@@ -1433,6 +1598,66 @@ class ReplicatedService:
     def spaces_payload(self) -> dict:
         return self.pool.spaces_payload()
 
+    def metrics_text(self) -> Optional[str]:
+        """The merged fleet exposition (``None`` when metrics are off).
+
+        Scrape-on-demand: each live worker's registry is dumped over
+        ``/internal/metrics`` at request time, labeled ``worker="w<i>"``
+        and merged with the router's own series.  A replica that stops
+        answering is marked dead and respawned exactly like any other
+        probe — and because the merged view is rebuilt from live dumps
+        on every scrape, a SIGKILLed worker's series vanish immediately
+        and its replacement restarts them from zero (no stale series).
+        """
+        if self.obs is None:
+            return None
+        dumps = [self.obs.dump_metrics()]
+        for replica in self.pool.alive_replicas():
+            try:
+                reply = _post(
+                    self.pool.host,
+                    replica.port,
+                    "/internal/metrics",
+                    {},
+                    timeout=2.0,
+                )
+            except (OSError, RuntimeError, ValueError):
+                self.pool._mark_dead(replica)
+                self.pool._respawn_async(replica.index)
+                continue
+            dump = reply.get("metrics")
+            if dump:
+                dumps.append(
+                    label_dump(dump, {"worker": f"w{replica.index}"})
+                )
+        return render_dump(merge_dumps(dumps))
+
+    def activity_payload(
+        self, space: str, limit: Optional[int] = None
+    ) -> Optional[dict]:
+        """The fleet-wide activity feed of one space, oldest first."""
+        if self.obs is None:
+            return None
+        events: list[dict] = []
+        for replica in self.pool.alive_replicas():
+            try:
+                reply = _post(
+                    self.pool.host,
+                    replica.port,
+                    "/internal/activity",
+                    {"space": space, "limit": limit},
+                    timeout=2.0,
+                )
+            except (OSError, RuntimeError, ValueError):
+                self.pool._mark_dead(replica)
+                self.pool._respawn_async(replica.index)
+                continue
+            events.extend(reply.get("events") or [])
+        events.sort(key=lambda event: event.get("ts") or 0.0)
+        if limit is not None and limit >= 0:
+            events = events[-limit:] if limit else []
+        return {"space": space, "events": events}
+
 
 def serve_replicated(
     dataset,
@@ -1442,14 +1667,29 @@ def serve_replicated(
     workers: int = 2,
     host: str = "127.0.0.1",
     port: int = 0,
+    metrics: bool = True,
+    slow_click_ms: Optional[float] = None,
     **pool_kwargs,
 ) -> ReplicatedService:
     """Convenience: build the pool, start the router, return it running."""
     pool = WorkerPool(
-        dataset, space, index, workers=workers, host=host, **pool_kwargs
+        dataset,
+        space,
+        index,
+        workers=workers,
+        host=host,
+        metrics=metrics,
+        slow_click_ms=slow_click_ms,
+        **pool_kwargs,
     )
     try:
-        return ReplicatedService(pool, host=host, port=port).start()
+        return ReplicatedService(
+            pool,
+            host=host,
+            port=port,
+            metrics=metrics,
+            slow_click_ms=slow_click_ms,
+        ).start()
     except BaseException:
         pool.stop()
         raise
@@ -1461,14 +1701,27 @@ def serve_replicated_spaces(
     workers: int = 2,
     host: str = "127.0.0.1",
     port: int = 0,
+    metrics: bool = True,
+    slow_click_ms: Optional[float] = None,
     **pool_kwargs,
 ) -> ReplicatedService:
     """Convenience: replicate a whole registry behind one router."""
     pool = MultiSpaceWorkerPool(
-        descriptors, workers=workers, host=host, **pool_kwargs
+        descriptors,
+        workers=workers,
+        host=host,
+        metrics=metrics,
+        slow_click_ms=slow_click_ms,
+        **pool_kwargs,
     )
     try:
-        return ReplicatedService(pool, host=host, port=port).start()
+        return ReplicatedService(
+            pool,
+            host=host,
+            port=port,
+            metrics=metrics,
+            slow_click_ms=slow_click_ms,
+        ).start()
     except BaseException:
         pool.stop()
         raise

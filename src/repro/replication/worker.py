@@ -47,14 +47,56 @@ from typing import Optional
 from repro.replication.arena import AttachedArena, attach_arena
 
 
+def _build_obs(spec: dict, worker_index: int):
+    """The worker-process observability bundle, from parent spec fields.
+
+    ``metrics: False`` in the spec disables instrumentation wholesale
+    (the worker then serves 404 on ``/metrics`` and reports no dumps to
+    the parent).  The bundle is rebuilt from scratch on every boot —
+    including a respawn after SIGKILL — which is what keeps a takeover
+    worker's series starting from zero instead of inheriting ghosts.
+    """
+    from repro.obs import Observability
+
+    if not spec.get("metrics", True):
+        return None
+    slowlog_dir = spec.get("slowlog_dir")
+    slowlog_path = (
+        os.path.join(slowlog_dir, f"slowlog-w{worker_index}.jsonl")
+        if slowlog_dir
+        else None
+    )
+    return Observability(
+        slow_click_ms=spec.get("slow_click_ms"),
+        slowlog_path=slowlog_path,
+    )
+
+
+def _metrics_reply(obs) -> dict:
+    if obs is None:
+        return {"ok": True, "metrics": None}
+    return {"ok": True, "metrics": obs.dump_metrics()}
+
+
+def _activity_reply(obs, space: str, body: dict) -> dict:
+    limit = body.get("limit")
+    if not isinstance(limit, int):
+        limit = None
+    events = [] if obs is None else obs.activity.recent(space, limit)
+    return {"ok": True, "space": space, "events": events}
+
+
 class WorkerControl:
     """The parent-facing command surface of one single-space worker."""
 
-    def __init__(self, manager, runtime, tag: str, worker_index: int) -> None:
+    def __init__(
+        self, manager, runtime, tag: str, worker_index: int, obs=None
+    ) -> None:
         self.manager = manager
         self.runtime = runtime
         self.tag = tag
         self.worker_index = worker_index
+        self.obs = obs
         self.drain_event = threading.Event()
         #: Attachments by digest.  Never dropped while the process lives:
         #: a session pinned to an old epoch reads arrays mapped from the
@@ -80,6 +122,14 @@ class WorkerControl:
             return self.describe()
         if verb == "rebind":
             return self.rebind(body)
+        if verb == "metrics":
+            return _metrics_reply(self.obs)
+        if verb == "activity":
+            # A single-space worker keeps one ring, keyed by its
+            # manager's own label — serve it whatever name was asked.
+            return _activity_reply(
+                self.obs, self.manager.space_label, body
+            )
         if verb == "drain":
             return self.drain()
         raise KeyError(f"unknown internal verb {verb!r}")
@@ -134,10 +184,13 @@ class SpaceWorkerControl:
     this process is always an arena mapping, never a discovery run.
     """
 
-    def __init__(self, registry, tag: str, worker_index: int) -> None:
+    def __init__(
+        self, registry, tag: str, worker_index: int, obs=None
+    ) -> None:
         self.registry = registry
         self.tag = tag
         self.worker_index = worker_index
+        self.obs = obs
         self.drain_event = threading.Event()
         #: Attachments by (space, digest); retained for the process
         #: lifetime for the same reason as the single-space worker's.
@@ -232,6 +285,13 @@ class SpaceWorkerControl:
             return self.rebind(body)
         if verb == "attach_space":
             return self.attach_space(body)
+        if verb == "metrics":
+            return _metrics_reply(self.obs)
+        if verb == "activity":
+            space = body.get("space")
+            return _activity_reply(
+                self.obs, space if isinstance(space, str) else "", body
+            )
         if verb == "drain":
             return self.drain()
         raise KeyError(f"unknown internal verb {verb!r}")
@@ -393,13 +453,16 @@ def worker_main(spec: dict, ready_conn) -> int:
             durability=spec.get("durability", "snapshot"),
             compact_every=spec.get("compact_every", 64),
         )
-        control = WorkerControl(manager, runtime, tag, worker_index)
+        obs = _build_obs(spec, worker_index)
+        control = WorkerControl(manager, runtime, tag, worker_index, obs=obs)
         control.attachments[attached.digest] = attached
         service = ExplorationService(
             manager,
             host=spec.get("host", "127.0.0.1"),
             port=int(spec.get("port", 0)),
             control=control,
+            obs=obs,
+            metrics=obs is not None,
         ).start()
     except BaseException as error:  # noqa: BLE001 — report boot failures
         ready_conn.send(
@@ -455,7 +518,10 @@ def _space_worker_main(spec: dict, ready_conn) -> int:
             compact_every=spec.get("compact_every", 64),
             id_tag=f"w{worker_index}-",
         )
-        control = SpaceWorkerControl(registry, spec["tag"], worker_index)
+        obs = _build_obs(spec, worker_index)
+        control = SpaceWorkerControl(
+            registry, spec["tag"], worker_index, obs=obs
+        )
         for entry in spec.get("spaces", ()):
             control.adopt_space(
                 name=entry["name"],
@@ -471,6 +537,8 @@ def _space_worker_main(spec: dict, ready_conn) -> int:
             host=spec.get("host", "127.0.0.1"),
             port=int(spec.get("port", 0)),
             control=control,
+            obs=obs,
+            metrics=obs is not None,
         ).start()
     except BaseException as error:  # noqa: BLE001 — report boot failures
         ready_conn.send(

@@ -48,6 +48,8 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.trace import TRACE_HEADER, mint_trace_id
+
 
 @dataclass(frozen=True)
 class DisplayedGroup:
@@ -200,6 +202,12 @@ class ExplorationClient:
         self.retry_after_cap_s = retry_after_cap_s
         self.building_retry_cap_s = building_retry_cap_s
         self._connection: Optional[http.client.HTTPConnection] = None
+        #: Sticky trace-id override: when set, every request carries it
+        #: in ``X-Repro-Trace`` instead of a per-request minted id (the
+        #: propagation tests pin a known id through the router hop).
+        self.trace_id: Optional[str] = None
+        #: The trace id the most recent request actually sent.
+        self.last_trace_id: Optional[str] = None
 
     # -- transport -------------------------------------------------------
 
@@ -244,6 +252,12 @@ class ExplorationClient:
     def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
         payload = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if payload else {}
+        # One id per logical request, minted client-side: retries of the
+        # same call re-send the same id, so server-side slow-log records
+        # correlate even across a reconnect or takeover.
+        trace_id = self.trace_id or mint_trace_id()
+        headers[TRACE_HEADER] = trace_id
+        self.last_trace_id = trace_id
         # Transparent retries on a dead keep-alive connection (the
         # server reaps idle ones; a restarted server drops them all),
         # with bounded exponential backoff + jitter so a server mid
@@ -472,6 +486,50 @@ class ExplorationClient:
 
     def health(self) -> dict:
         return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (``GET /metrics``).
+
+        The one raw-text endpoint in the protocol, so it bypasses the
+        JSON reply path; 404 means metrics are disabled server-side.
+        """
+        connect_failures = 0
+        while True:
+            try:
+                connection = self._connect()
+                connection.request(
+                    "GET", "/metrics",
+                    headers={TRACE_HEADER: self.trace_id or mint_trace_id()},
+                )
+                response = connection.getresponse()
+                raw = response.read()
+            except (
+                http.client.BadStatusLine,
+                http.client.CannotSendRequest,
+                ConnectionError,
+                OSError,
+            ):
+                self.close_connection()
+                connect_failures += 1
+                if connect_failures > _CONNECT_RETRIES:
+                    raise
+                self._backoff_sleep(connect_failures)
+                continue
+            break
+        if response.status >= 400:
+            raise ServiceError(
+                response.status,
+                "metrics_unavailable",
+                raw.decode("utf-8", "replace"),
+            )
+        return raw.decode("utf-8")
+
+    def activity(self, space: str, limit: Optional[int] = None) -> list[dict]:
+        """Recent interaction events for one space, oldest first."""
+        path = f"/spaces/{space}/activity"
+        if limit is not None:
+            path += f"?limit={int(limit)}"
+        return list(self._request("GET", path)["events"])
 
     def replicas(self) -> list[dict]:
         """Per-replica liveness rows when the server is a worker pool.

@@ -84,6 +84,7 @@ import time
 from functools import partial
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
+from urllib.parse import parse_qs
 
 from repro.core.group import Group, GroupDelta
 from repro.core.journal import DurabilityError
@@ -94,6 +95,7 @@ from repro.core.runtime import (
     UnknownSessionError,
 )
 from repro.core.session import SessionConfig
+from repro.obs import TRACE_HEADER, Observability, span
 from repro.spaces.registry import (
     SpaceBuildError,
     SpaceBuildingError,
@@ -291,15 +293,39 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing --------------------------------------------------------
 
+    #: Set by :meth:`_dispatch` while an instrumented request is live so
+    #: :meth:`_reply` can stamp the final status on the request span.
+    _request_span = None
+
     def _reply(
         self,
         status: int,
         payload: dict,
         headers: Optional[dict[str, str]] = None,
     ) -> None:
-        encoded = json.dumps(payload).encode("utf-8")
+        self._send(status, json.dumps(payload).encode("utf-8"),
+                   "application/json", headers)
+
+    def _reply_text(
+        self,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ) -> None:
+        """A raw-text reply: the Prometheus ``/metrics`` exposition."""
+        self._send(status, text.encode("utf-8"), content_type, None)
+
+    def _send(
+        self,
+        status: int,
+        encoded: bytes,
+        content_type: str,
+        headers: Optional[dict[str, str]],
+    ) -> None:
+        if self._request_span is not None:
+            self._request_span.set_status(status)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(encoded)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -353,9 +379,28 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         self.service.count_request()
+        obs = self.service.obs
+        if obs is None:
+            self._handle(method)
+            return
+        # Activate a trace for the request's duration: span() calls deep
+        # in the core record into it, the HTTP counters update on exit,
+        # and a request over the slow threshold lands in the slow log
+        # under the client's (or router's) X-Repro-Trace id.
+        with obs.request(
+            self.path, self.headers.get(TRACE_HEADER)
+        ) as request_span:
+            self._request_span = request_span
+            try:
+                self._handle(method)
+            finally:
+                self._request_span = None
+
+    def _handle(self, method: str) -> None:
         try:
             self._drain_body()
-            handled = self._route(method)
+            with span("route"):
+                handled = self._route(method)
         except _BadRequest as error:
             self._fail(400, "bad_request", str(error))
         except SpaceBuildingError as error:
@@ -438,6 +483,18 @@ class _Handler(BaseHTTPRequestHandler):
                 return True
             self._reply(200, self.service.health())
             return True
+        if path == "/metrics":
+            if method != "GET":
+                self._fail(405, "method_not_allowed", "use GET /metrics")
+                return True
+            text = self.service.metrics_text()
+            if text is None:
+                self._fail(
+                    404, "not_found", "metrics are disabled on this server"
+                )
+                return True
+            self._reply_text(200, text)
+            return True
         if path == "/spaces":
             if method != "GET":
                 self._fail(405, "method_not_allowed", "use GET /spaces")
@@ -469,6 +526,44 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 return True
             self._reply(200, control.handle(segments[1], self._body()))
+            return True
+        if (
+            len(segments) == 3
+            and segments[0] == "spaces"
+            and segments[2] == "activity"
+        ):
+            if method != "GET":
+                self._fail(
+                    405,
+                    "method_not_allowed",
+                    "use GET /spaces/<name>/activity",
+                )
+                return True
+            obs = self.service.obs
+            if obs is None:
+                self._fail(
+                    404,
+                    "not_found",
+                    "the activity feed is disabled on this server",
+                )
+                return True
+            # Registry mode keys rings by space name; a single-space
+            # server publishes under its manager's own label, so any
+            # requested name serves that one feed.
+            ring_key = (
+                segments[1]
+                if self.service.registry is not None
+                else self.service.manager.space_label
+            )
+            self._reply(
+                200,
+                {
+                    "space": segments[1],
+                    "events": obs.activity.recent(
+                        ring_key, self._query_int("limit")
+                    ),
+                },
+            )
             return True
         if (
             len(segments) == 3
@@ -533,6 +628,19 @@ class _Handler(BaseHTTPRequestHandler):
         else:  # stats
             self._reply(200, manager.session_stats(session_id))
         return True
+
+    def _query_int(self, name: str) -> Optional[int]:
+        """An optional integer query parameter (``None`` when absent)."""
+        parts = self.path.split("?", 1)
+        if len(parts) < 2:
+            return None
+        values = parse_qs(parts[1]).get(name)
+        if not values:
+            return None
+        try:
+            return int(values[-1])
+        except ValueError:
+            raise _BadRequest(f"query parameter {name!r} must be an integer")
 
     def _int_gid(self, body: dict) -> int:
         return _int_field(body, "gid")
@@ -623,6 +731,9 @@ class ExplorationService:
         sweep_interval_s: Optional[float] = None,
         registry: Optional[SpaceRegistry] = None,
         control: Optional[object] = None,
+        obs: Optional[Observability] = None,
+        metrics: bool = True,
+        slow_click_ms: Optional[float] = None,
     ) -> None:
         if (manager is None) == (registry is None):
             raise ValueError("pass exactly one of manager= or registry=")
@@ -644,6 +755,24 @@ class ExplorationService:
             )
         self.manager = manager
         self.registry = registry
+        #: Observability bundle: metrics registry + event bus + traces.
+        #: ``metrics=False`` is the kill switch — ``self.obs`` stays
+        #: ``None``, ``/metrics`` and the activity feed 404, and no
+        #: interaction publishes anything.  Pass ``obs=`` to share a
+        #: bundle the caller owns (replication workers do); otherwise
+        #: the service constructs and owns one.
+        self._owns_obs = False
+        if not metrics:
+            obs = None
+        elif obs is None:
+            obs = Observability(slow_click_ms=slow_click_ms)
+            self._owns_obs = True
+        self.obs = obs
+        if obs is not None:
+            if manager is not None:
+                manager.attach_obs(obs)
+            else:
+                registry.attach_obs(obs)
         #: Replication hook: a worker process mounts its parent-facing
         #: command surface here (``POST /internal/<verb>`` → ``control
         #: .handle(verb, body)``).  ``None`` — every deployment except a
@@ -715,6 +844,8 @@ class ExplorationService:
         if self._sweep_thread is not None:
             self._sweep_thread.join(timeout=5.0)
             self._sweep_thread = None
+        if self._owns_obs and self.obs is not None:
+            self.obs.close()
 
     def __enter__(self) -> "ExplorationService":
         return self
@@ -749,8 +880,7 @@ class ExplorationService:
                 # a racing open) must not silently end eviction for the
                 # rest of the service's life; failures are surfaced on
                 # /healthz instead.
-                with self._stats_lock:
-                    self._sweep_failures += 1
+                self._count_sweep_failure()
 
     # -- routing ---------------------------------------------------------
 
@@ -806,6 +936,28 @@ class ExplorationService:
         with self._stats_lock:
             self._errors += 1
 
+    def _count_sweep_failure(self) -> None:
+        """One source of truth: the registry counter when obs is on."""
+        if self.obs is not None:
+            self.obs.sweep_failures.inc()
+        else:
+            with self._stats_lock:
+                self._sweep_failures += 1
+
+    def sweep_failures(self) -> int:
+        if self.obs is not None:
+            return int(self.obs.sweep_failures.labels().get())
+        with self._stats_lock:
+            return self._sweep_failures
+
+    # -- observability ----------------------------------------------------
+
+    def metrics_text(self) -> Optional[str]:
+        """The Prometheus exposition (``None`` when metrics are off)."""
+        if self.obs is None:
+            return None
+        return self.obs.render_metrics()
+
     def health(self) -> dict:
         """The ``/healthz`` payload: service, runtime and cache stats.
 
@@ -816,7 +968,7 @@ class ExplorationService:
         """
         with self._stats_lock:
             requests, errors = self._requests, self._errors
-            sweep_failures = self._sweep_failures
+        sweep_failures = self.sweep_failures()
         degraded = (
             self.registry.any_degraded()
             if self.registry is not None

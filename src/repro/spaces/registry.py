@@ -151,6 +151,7 @@ class SpaceRegistry:
         durability: str = "snapshot",
         compact_every: int = 64,
         id_tag: str = "",
+        obs=None,
     ) -> None:
         if max_ready is not None and max_ready < 1:
             raise ValueError("max_ready must be >= 1")
@@ -195,6 +196,9 @@ class SpaceRegistry:
         #: conservative default.
         self._build_hint_s = 1.0
         self.spaces_evicted = 0
+        #: Optional :class:`repro.obs.Observability` bundle, shared by
+        #: every space's manager this registry builds.
+        self.obs = obs
         for descriptor in descriptors:
             self.register(descriptor)
         if self._ttls_configured() and self.state_dir is None:
@@ -202,6 +206,41 @@ class SpaceRegistry:
                 "idle TTLs need a registry state_dir: sweeping without "
                 "persistence would silently destroy live sessions"
             )
+
+    def attach_obs(self, obs) -> None:
+        """Wire an observability bundle into the registry and its spaces.
+
+        Managers already built pick it up immediately; spaces built
+        later inherit it at construction.  The service front calls this
+        when it owns the bundle (``ExplorationService(registry=...,
+        obs=...)``).
+        """
+        self.obs = obs
+        if obs is None:
+            return
+        with self._lock:
+            managers = [
+                entry.manager
+                for entry in self._entries.values()
+                if entry.manager is not None
+            ]
+        for manager in managers:
+            manager.attach_obs(obs)
+
+    def _note_space_eviction(self, name: str) -> None:
+        """Reset + mark a retired space's observable state.
+
+        The activity ring is cleared first (a rebuilt space must not
+        inherit a ghost feed), then a space-level ``evict`` event is
+        published as the feed's only survivor — the marker a live
+        dashboard sees when a whole space was retired, as opposed to
+        the per-session ``evict`` events the manager publishes while
+        checkpointing.
+        """
+        obs = self.obs
+        if obs is not None:
+            obs.activity.clear_space(name)
+            obs.publish("evict", space=name, detail={"space_evicted": True})
 
     def _ttls_configured(self) -> bool:
         return self.idle_ttl_s is not None or any(
@@ -374,6 +413,7 @@ class SpaceRegistry:
                 id_prefix=f"{self.id_tag}{name}-",
                 durability=self.durability,
                 compact_every=self.compact_every,
+                obs=self.obs,
             )
         except Exception as error:  # noqa: BLE001 — recorded, re-raised typed
             cause = f"{type(error).__name__}: {error}"
@@ -456,6 +496,7 @@ class SpaceRegistry:
             # session's own lock, so an in-flight click completes (and
             # checkpoints) before its session's final persist.
             manager.evict_idle(0.0)
+            self._note_space_eviction(name)
 
     def evict(self, name: str) -> bool:
         """Persist + drop one space's serving state (False when refused).
@@ -480,6 +521,7 @@ class SpaceRegistry:
             if manager is None:
                 return False
         manager.evict_idle(0.0)
+        self._note_space_eviction(name)
         return True
 
     reset = evict  # a failed space is retried through the same verb

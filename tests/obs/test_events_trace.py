@@ -1,0 +1,209 @@
+"""The event bus and trace plumbing (`-m obs`, no sockets).
+
+The contracts under test are the ones the serving tier leans on:
+``publish`` never blocks or raises (full queues and broken sinks become
+counted drops), the activity ring forgets an evicted space completely,
+and a :func:`span` outside any active trace costs one contextvar read
+and records nothing.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import Observability, read_slowlog
+from repro.obs.events import ActivityRing, Event, EventBus, JsonlSink, Sink
+from repro.obs.trace import (
+    Trace,
+    activate,
+    current_trace,
+    deactivate,
+    mint_trace_id,
+    span,
+    traced,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestEventBus:
+    def test_inline_fanout_and_ring(self):
+        bus = EventBus()
+        ring = bus.subscribe(ActivityRing(per_space=4))
+        for index in range(6):
+            bus.publish(Event(kind="click", space="a", session_id=f"s{index}"))
+        recent = ring.recent("a")
+        assert len(recent) == 4  # bounded
+        assert [row["session_id"] for row in recent] == [
+            "s2", "s3", "s4", "s5",
+        ]  # oldest first, newest kept
+        assert ring.recent("a", limit=2)[-1]["session_id"] == "s5"
+        assert bus.drops == 0
+        assert bus.published == 6
+
+    def test_raising_sink_counts_drop_and_never_raises(self):
+        bus = EventBus()
+
+        class Broken(Sink):
+            inline = True
+
+            def accept(self, event):
+                raise RuntimeError("sink exploded")
+
+        bus.subscribe(Broken())
+        bus.publish(Event(kind="open"))
+        assert bus.drops == 1
+
+    def test_full_queue_counts_drops_without_blocking(self):
+        bus = EventBus(queue_size=2)
+
+        class Stuck(Sink):
+            inline = False
+
+            def accept(self, event):
+                time.sleep(10.0)
+
+        bus.subscribe(Stuck())
+        started = time.perf_counter()
+        for _ in range(50):
+            bus.publish(Event(kind="click"))
+        elapsed = time.perf_counter() - started
+        assert elapsed < 1.0, "publish blocked on a stuck sink"
+        assert bus.drops > 0
+
+    def test_jsonl_sink_drains_on_background_thread(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        bus.subscribe(JsonlSink(path))
+        for index in range(5):
+            bus.publish(Event(kind="click", space="s", session_id=f"s{index}"))
+        assert bus.flush()
+        bus.close()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert [row["session_id"] for row in lines] == [
+            f"s{i}" for i in range(5)
+        ]
+        assert bus.drops == 0
+
+    def test_clear_space_forgets_the_feed(self):
+        ring = ActivityRing()
+        ring.accept(Event(kind="click", space="doomed"))
+        ring.accept(Event(kind="click", space="kept"))
+        assert ring.clear_space("doomed") == 1
+        assert ring.recent("doomed") == []
+        assert ring.spaces() == ["kept"]
+        assert ring.clear_space("doomed") == 0  # idempotent
+
+
+class TestTrace:
+    def test_span_is_inert_without_an_active_trace(self):
+        with span("selection"):
+            pass
+        assert current_trace() is None
+
+    def test_active_trace_records_stages(self):
+        trace = Trace("t-1")
+        token = activate(trace)
+        try:
+            with span("selection"):
+                time.sleep(0.002)
+            with span("journal_fsync"):
+                pass
+        finally:
+            deactivate(token)
+        stages = {row["stage"] for row in trace.stage_report()}
+        assert stages == {"selection", "journal_fsync"}
+        selection_ms = next(
+            row["ms"]
+            for row in trace.stage_report()
+            if row["stage"] == "selection"
+        )
+        assert selection_ms >= 1.0
+
+    def test_traced_decorator_wraps_calls(self):
+        @traced("selection")
+        def work(x):
+            return x * 2
+
+        trace = Trace("t-2")
+        token = activate(trace)
+        try:
+            assert work(21) == 42
+        finally:
+            deactivate(token)
+        assert [row["stage"] for row in trace.stage_report()] == ["selection"]
+        # And outside a trace the call is a plain function call.
+        assert work(1) == 2
+
+    def test_minted_ids_are_unique(self):
+        ids = {mint_trace_id() for _ in range(200)}
+        assert len(ids) == 200
+
+
+class TestObservabilityBundle:
+    def test_publish_attaches_active_trace_id(self):
+        obs = Observability()
+        trace = Trace("attached-1")
+        token = activate(trace)
+        try:
+            obs.publish("click", space="s", session_id="s0001")
+        finally:
+            deactivate(token)
+        obs.publish("open", space="s", session_id="s0002")
+        events = obs.activity.recent("s")
+        assert events[0].get("trace_id") == "attached-1"
+        assert "trace_id" not in events[1]
+        obs.close()
+
+    def test_metrics_sink_counts_interactions_and_click_latency(self):
+        obs = Observability()
+        obs.publish("click", space="s", elapsed_ms=3.0)
+        obs.publish("click", space="s", elapsed_ms=30.0)
+        obs.publish("open", space="s")
+        registry = obs.registry
+        assert registry.get(
+            "repro_interactions_total", kind="click", space="s"
+        ) == 2.0
+        assert registry.get(
+            "repro_interactions_total", kind="open", space="s"
+        ) == 1.0
+        rendered = obs.render_metrics()
+        assert "repro_click_ms_bucket" in rendered
+        obs.close()
+
+    def test_slow_request_log_records_stages_and_trace(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        obs = Observability(slow_click_ms=0.0, slowlog_path=str(path))
+        with obs.request("/v1/sessions/s0001/click", "slow-trace-1"):
+            with span("selection"):
+                pass
+        records = read_slowlog(path)
+        assert len(records) == 1
+        assert records[0]["trace_id"] == "slow-trace-1"
+        assert records[0]["path"] == "/v1/sessions/s0001/click"
+        assert "selection" in {
+            row["stage"] for row in records[0]["stages"]
+        }
+        assert obs.registry.get("repro_slow_requests_total") == 1.0
+        obs.close()
+
+    def test_bus_drops_surface_on_the_registry(self):
+        obs = Observability()
+
+        class Broken(Sink):
+            inline = True
+
+            def accept(self, event):
+                raise RuntimeError("boom")
+
+        obs.bus.subscribe(Broken())
+        obs.publish("click", space="s")
+        rendered = obs.render_metrics()  # collectors run at export
+        assert obs.registry.get("repro_events_dropped_total") >= 1.0
+        assert "repro_events_dropped_total" in rendered
+        obs.close()

@@ -1,0 +1,241 @@
+"""The metrics registry: families, labels, exposition, fleet merging.
+
+Unit-level (`-m obs`): no sockets, no processes.  The property test at
+the bottom is the merge oracle the replicated ``/metrics`` aggregation
+relies on — merging per-worker histogram dumps must be arithmetically
+indistinguishable from one registry having observed every value.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_MS_BUCKETS,
+    MetricsRegistry,
+    label_dump,
+    merge_dumps,
+    parse_prometheus_text,
+    render_dump,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestFamilies:
+    def test_counter_inc_and_labels(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("repro_test_total", "test counter")
+        requests.inc()
+        requests.labels(status="200").inc(2.0)
+        requests.labels(status="404").inc()
+        assert registry.get("repro_test_total") == 1.0
+        assert registry.get("repro_test_total", status="200") == 2.0
+        assert registry.get("repro_test_total", status="404") == 1.0
+        assert registry.get("repro_test_total", status="500") == 0.0
+
+    def test_gauge_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_test_gauge", "test gauge")
+        gauge.labels(space="a").set(7.5)
+        gauge.labels(space="a").set(3.0)
+        assert registry.get("repro_test_gauge", space="a") == 3.0
+
+    def test_histogram_buckets_cumulative_in_render(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_test_ms", "test histogram")
+        for value in (0.3, 3.0, 40.0, 99999.0):
+            hist.observe(value)
+        parsed = parse_prometheus_text(registry.render())
+        buckets = {
+            dict(labels)["le"]: value
+            for labels, value in parsed["repro_test_ms_bucket"]
+        }
+        assert buckets["0.5"] == 1.0
+        assert buckets["5"] == 2.0
+        assert buckets["50"] == 3.0
+        assert buckets["+Inf"] == 4.0
+        assert parsed["repro_test_ms_count"][0][1] == 4.0
+        assert parsed["repro_test_ms_sum"][0][1] == pytest.approx(100042.3)
+
+    def test_same_name_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_dup_total", "dup")
+        second = registry.counter("repro_dup_total", "dup")
+        assert first is second
+
+    def test_reserved_label_rejected(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_res_ms", "reserved")
+        with pytest.raises(ValueError):
+            hist.labels(le="1.0")
+
+    def test_collector_runs_at_export_and_never_breaks_scrape(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_live_gauge", "live")
+        calls = []
+
+        def fill():
+            calls.append(1)
+            gauge.set(42.0)
+
+        def broken():
+            raise RuntimeError("boom")
+
+        registry.register_collector(fill)
+        registry.register_collector(broken)
+        text = registry.render()
+        assert calls, "collector did not run at export time"
+        assert parse_prometheus_text(text)["repro_live_gauge"] == [
+            ({}, 42.0)
+        ]
+
+    def test_concurrent_increments_are_lossless(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_race_total", "race")
+        per_thread = 2000
+
+        def spin():
+            for _ in range(per_thread):
+                counter.labels(worker="x").inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.get("repro_race_total", worker="x") == 8 * per_thread
+
+
+class TestExposition:
+    def test_render_parse_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_rt_total", "roundtrip").labels(
+            kind="click", space="dblp"
+        ).inc(3)
+        registry.histogram("repro_rt_ms", "roundtrip").observe(12.0)
+        parsed = parse_prometheus_text(registry.render())
+        assert parsed["repro_rt_total"] == [
+            ({"kind": "click", "space": "dblp"}, 3.0)
+        ]
+        assert "repro_rt_ms_bucket" in parsed
+
+    def test_render_dump_matches_direct_render(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_dump_total", "dump").inc(5)
+        registry.histogram("repro_dump_ms", "dump").observe(2.0)
+        assert render_dump(registry.dump()) == registry.render()
+
+    def test_label_dump_folds_labels_into_every_series(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_lab_total", "lab").labels(kind="open").inc()
+        registry.histogram("repro_lab_ms", "lab").observe(1.0)
+        labeled = label_dump(registry.dump(), {"worker": "w3"})
+        parsed = parse_prometheus_text(render_dump(labeled))
+        for labels, _value in parsed["repro_lab_total"]:
+            assert dict(labels)["worker"] == "w3"
+        for labels, _value in parsed["repro_lab_ms_bucket"]:
+            assert dict(labels)["worker"] == "w3"
+        # The original dump is untouched (label_dump copies).
+        for labels, _value in parse_prometheus_text(registry.render())[
+            "repro_lab_total"
+        ]:
+            assert "worker" not in dict(labels)
+
+
+class TestMerging:
+    def test_merge_sums_matching_series_and_keeps_distinct_ones(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        one.counter("repro_m_total", "m").labels(kind="click").inc(2)
+        two.counter("repro_m_total", "m").labels(kind="click").inc(3)
+        two.counter("repro_m_total", "m").labels(kind="open").inc(1)
+        merged = merge_dumps([one.dump(), two.dump()])
+        parsed = parse_prometheus_text(render_dump(merged))
+        values = {
+            dict(labels)["kind"]: value
+            for labels, value in parsed["repro_m_total"]
+        }
+        assert values == {"click": 5.0, "open": 1.0}
+
+    def test_merge_rejects_conflicting_types(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        one.counter("repro_conflict", "c").inc()
+        two.gauge("repro_conflict", "c").set(1.0)
+        with pytest.raises(ValueError):
+            merge_dumps([one.dump(), two.dump()])
+
+    def test_worker_labeled_dumps_stay_separate_series(self):
+        workers = []
+        for index in range(3):
+            registry = MetricsRegistry()
+            registry.counter("repro_w_total", "w").inc(index + 1)
+            workers.append(
+                label_dump(registry.dump(), {"worker": f"w{index}"})
+            )
+        parsed = parse_prometheus_text(render_dump(merge_dumps(workers)))
+        values = {
+            dict(labels)["worker"]: value
+            for labels, value in parsed["repro_w_total"]
+        }
+        assert values == {"w0": 1.0, "w1": 2.0, "w2": 3.0}
+
+
+# One strategy shared by the property tests: a fleet of workers, each
+# with its own list of observed latencies.  Integer-valued floats keep
+# the sums exact so the oracle comparison can be equality, not approx.
+_FLEET = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=10_000).map(float),
+        max_size=40,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestMergeOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(_FLEET)
+    def test_histogram_merge_matches_single_registry_oracle(self, fleet):
+        """Merging per-worker dumps == one registry observing everything."""
+        dumps = []
+        for values in fleet:
+            registry = MetricsRegistry()
+            hist = registry.histogram("repro_oracle_ms", "oracle")
+            for value in values:
+                hist.labels(space="s").observe(value)
+            dumps.append(registry.dump())
+        merged_text = render_dump(merge_dumps(dumps))
+
+        oracle = MetricsRegistry()
+        hist = oracle.histogram("repro_oracle_ms", "oracle")
+        for values in fleet:
+            for value in values:
+                hist.labels(space="s").observe(value)
+
+        assert parse_prometheus_text(merged_text) == parse_prometheus_text(
+            oracle.render()
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(_FLEET)
+    def test_bucket_counts_survive_worker_labeling(self, fleet):
+        """Worker labels partition the merged histogram without loss."""
+        dumps = []
+        total = 0
+        for index, values in enumerate(fleet):
+            registry = MetricsRegistry()
+            hist = registry.histogram("repro_part_ms", "part")
+            for value in values:
+                hist.observe(value)
+            total += len(values)
+            dumps.append(label_dump(registry.dump(), {"worker": f"w{index}"}))
+        parsed = parse_prometheus_text(render_dump(merge_dumps(dumps)))
+        counts = parsed.get("repro_part_ms_count", [])
+        assert sum(value for _labels, value in counts) == float(total)
+
+    def test_default_buckets_are_sorted_and_ms_scaled(self):
+        assert list(DEFAULT_MS_BUCKETS) == sorted(DEFAULT_MS_BUCKETS)
+        assert DEFAULT_MS_BUCKETS[0] < 1.0 <= DEFAULT_MS_BUCKETS[-1]

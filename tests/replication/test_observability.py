@@ -1,0 +1,199 @@
+"""Fleet observability through the replicated tier (`-m replication`).
+
+One shared two-worker pool (spawn startup is the expensive part) walked
+through phases:
+
+- **aggregation** — the router's ``/metrics`` merges every worker's
+  scrape-on-demand dump under ``worker="w<i>"`` labels alongside the
+  router's own unlabeled series, and the whole exposition parses;
+- **tracing** — a client-minted ``X-Repro-Trace`` id crosses the sticky
+  router hop and lands in the owning worker's slow-request log with
+  per-stage spans, and survives a resume-after-takeover onto a
+  different worker;
+- **no stale series** — SIGKILL a worker: its series vanish from the
+  merged view at the next scrape (the dead replica is skipped and
+  marked), and the respawned replacement restarts its series from zero
+  rather than inheriting the dead process's counts.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.discovery import DiscoveryConfig, discover_groups
+from repro.core.runtime import scripted_click_gid
+from repro.core.session import SessionConfig
+from repro.data.generators.dbauthors import DBAuthorsConfig, generate_dbauthors
+from repro.obs import parse_prometheus_text, read_slowlog
+from repro.replication import serve_replicated
+from repro.service import ExplorationClient
+
+pytestmark = [pytest.mark.replication, pytest.mark.obs]
+
+TAG = f"obstest{os.getpid()}"
+
+
+@pytest.fixture(scope="module")
+def space():
+    data = generate_dbauthors(DBAuthorsConfig(n_authors=220, seed=29))
+    return discover_groups(
+        data.dataset,
+        DiscoveryConfig(method="lcm", min_support=0.07, max_description=3),
+    )
+
+
+def untimed_config() -> SessionConfig:
+    return SessionConfig(k=5, time_budget_ms=None, use_profile=False)
+
+
+@pytest.fixture(scope="module")
+def obs_pool(space, tmp_path_factory):
+    slowlog_dir = tmp_path_factory.mktemp("slowlogs")
+    service = serve_replicated(
+        space.dataset,
+        space,
+        workers=2,
+        tag=TAG,
+        state_dir=tmp_path_factory.mktemp("obs-state"),
+        space_name="pooled",
+        default_config=untimed_config(),
+        slow_click_ms=0.0,
+        slowlog_dir=slowlog_dir,
+    )
+    yield service, slowlog_dir
+    service.stop()
+
+
+def _interactions_by_worker(parsed):
+    """``{worker: total interactions}`` from a parsed fleet exposition."""
+    totals = {}
+    for labels, value in parsed.get("repro_interactions_total", []):
+        worker = labels.get("worker")
+        if worker is not None:
+            totals[worker] = totals.get(worker, 0.0) + value
+    return totals
+
+
+def _wait_alive(client, count, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        rows = client.replicas()
+        if sum(1 for row in rows if row["alive"]) >= count:
+            return rows
+        time.sleep(0.2)
+    raise AssertionError(f"fleet never recovered to {count} live replicas")
+
+
+class TestFleetObservability:
+    def test_fleet_metrics_tracing_and_respawn_reset(
+        self, obs_pool, space
+    ):
+        service, slowlog_dir = obs_pool
+        with ExplorationClient(service.host, service.port) as client:
+            # -- seed work on both workers ----------------------------
+            opened = [client.open() for _ in range(4)]
+            tags = sorted({o.session_id.split("-")[0] for o in opened})
+            assert tags == ["w0", "w1"]
+            visited_by_session = {}
+            for o in opened:
+                visited = visited_by_session.setdefault(o.session_id, set())
+                client.click(
+                    o.session_id, scripted_click_gid(o.display, visited)
+                )
+
+            # -- aggregation: worker labels, parseable, no drops ------
+            parsed = parse_prometheus_text(client.metrics())
+            per_worker = _interactions_by_worker(parsed)
+            assert set(per_worker) == {"w0", "w1"}
+            assert all(total > 0 for total in per_worker.values())
+            # The router's own request counters are unlabeled.
+            router_series = [
+                labels
+                for labels, _value in parsed["repro_http_requests_total"]
+                if "worker" not in labels
+            ]
+            assert router_series
+            # Zero event-bus drops anywhere in the fleet.
+            for labels, value in parsed.get(
+                "repro_events_dropped_total", []
+            ):
+                assert value == 0.0, f"events dropped: {labels}"
+            # Respawn-failure counter exists per slot only after
+            # failures; none are expected here.
+            for labels, value in parsed.get(
+                "repro_respawn_failures_total", []
+            ):
+                assert value == 0.0
+
+            # -- fleet activity feed ----------------------------------
+            feed = client.activity("pooled")
+            assert {event["kind"] for event in feed} >= {"open", "click"}
+            timestamps = [event["ts"] for event in feed]
+            assert timestamps == sorted(timestamps)
+
+            # -- tracing: client id crosses the router hop ------------
+            client.trace_id = "hop-trace-1"
+            victim = next(
+                o for o in opened if o.session_id.startswith("w0-")
+            )
+            visited = visited_by_session[victim.session_id]
+            shown = client.displayed(victim.session_id)
+            client.click(
+                victim.session_id, scripted_click_gid(shown, visited)
+            )
+            client.trace_id = None
+            w0_records = read_slowlog(slowlog_dir / "slowlog-w0.jsonl")
+            hop_rows = [
+                row
+                for row in w0_records
+                if row["trace_id"] == "hop-trace-1"
+                and row["path"].endswith("/click")
+            ]
+            assert hop_rows, "client trace id never reached the worker"
+            stages = {row["stage"] for row in hop_rows[0]["stages"]}
+            assert "selection" in stages
+
+            # -- kill w0: stale series vanish at the next scrape ------
+            pre_kill = _interactions_by_worker(
+                parse_prometheus_text(client.metrics())
+            )
+            assert pre_kill["w0"] > 0
+            pid = next(
+                row["pid"]
+                for row in client.replicas()
+                if row["index"] == 0
+            )
+            os.kill(pid, signal.SIGKILL)
+            time.sleep(0.2)
+            # The first scrape after the kill notices the dead replica,
+            # drops its series, and arms the respawn.
+            parsed = parse_prometheus_text(client.metrics())
+            assert "w0" not in _interactions_by_worker(parsed)
+            assert "w1" in _interactions_by_worker(parsed)
+
+            # -- takeover resume keeps its trace id -------------------
+            client.trace_id = "takeover-trace-1"
+            resumed = client.open(resume=victim.resume_token)
+            client.trace_id = None
+            assert resumed.session_id.startswith("w1-")
+            w1_records = read_slowlog(slowlog_dir / "slowlog-w1.jsonl")
+            assert any(
+                row["trace_id"] == "takeover-trace-1"
+                for row in w1_records
+            ), "takeover resume lost the client trace id"
+
+            # -- respawned worker starts from zero --------------------
+            _wait_alive(client, 2)
+            parsed = parse_prometheus_text(client.metrics())
+            respawned = _interactions_by_worker(parsed).get("w0", 0.0)
+            assert respawned == 0.0, (
+                "respawned worker inherited the dead process's series: "
+                f"{respawned}"
+            )
+            # New work on the replacement counts from scratch.
+            fresh = [client.open() for _ in range(4)]
+            if any(o.session_id.startswith("w0-") for o in fresh):
+                parsed = parse_prometheus_text(client.metrics())
+                assert _interactions_by_worker(parsed).get("w0", 0.0) > 0
